@@ -1,0 +1,212 @@
+//! Bus-architecture boards (§III-C, Fig. 6).
+//!
+//! "If there is external access to the data bus and three of the four
+//! modules can be turned off the data bus … then the data bus could be
+//! used to drive the fourth module, as if it were a primary input … to
+//! that particular module."
+
+use dft_netlist::{LevelizeError, Netlist};
+use dft_fault::{simulate, universe, DetectionResult};
+use dft_sim::PatternSet;
+
+/// One module on the bus: a netlist whose primary inputs are fed from
+/// the bus and whose primary outputs can drive the bus through tri-state
+/// drivers.
+#[derive(Clone, Debug)]
+pub struct BusModule {
+    /// The module's logic.
+    pub netlist: Netlist,
+    /// Display name (e.g. "RAM", "I/O controller").
+    pub name: String,
+}
+
+/// A microcomputer-style board: several modules sharing a bus, with
+/// external access and per-module output enables.
+#[derive(Clone, Debug)]
+pub struct BusBoard {
+    modules: Vec<BusModule>,
+    bus_width: usize,
+}
+
+impl BusBoard {
+    /// Creates a board. Every module must have at most `bus_width`
+    /// inputs and outputs (they connect through the bus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a module's port widths exceed the bus width.
+    #[must_use]
+    pub fn new(bus_width: usize, modules: Vec<BusModule>) -> Self {
+        for m in &modules {
+            assert!(
+                m.netlist.primary_inputs().len() <= bus_width,
+                "{}: too many inputs for the bus",
+                m.name
+            );
+            assert!(
+                m.netlist.primary_outputs().len() <= bus_width,
+                "{}: too many outputs for the bus",
+                m.name
+            );
+        }
+        BusBoard { modules, bus_width }
+    }
+
+    /// The modules.
+    #[must_use]
+    pub fn modules(&self) -> &[BusModule] {
+        &self.modules
+    }
+
+    /// Bus width.
+    #[must_use]
+    pub fn bus_width(&self) -> usize {
+        self.bus_width
+    }
+
+    /// Tests one module in isolation: all other drivers are tri-stated,
+    /// the tester drives the bus into the module and observes its
+    /// response — the module is tested "as if [the bus] were a primary
+    /// input (or primary output)".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn test_module(
+        &self,
+        index: usize,
+        patterns: &PatternSet,
+    ) -> Result<DetectionResult, LevelizeError> {
+        let m = &self.modules[index];
+        let faults = universe(&m.netlist);
+        simulate(&m.netlist, patterns, &faults)
+    }
+
+    /// The paper's N³ economics: testing modules one at a time costs
+    /// Σ nᵢ³ instead of (Σ nᵢ)³. Returns `(monolithic, partitioned)`
+    /// in arbitrary work units.
+    #[must_use]
+    pub fn divide_and_conquer_work(&self) -> (f64, f64) {
+        let sizes: Vec<f64> = self
+            .modules
+            .iter()
+            .map(|m| m.netlist.logic_gate_count() as f64)
+            .collect();
+        let total: f64 = sizes.iter().sum();
+        let monolithic = total.powi(3);
+        let partitioned = sizes.iter().map(|s| s.powi(3)).sum();
+        (monolithic, partitioned)
+    }
+
+    /// Diagnoses a stuck bus line: "If a bus wire is stuck, any module or
+    /// the bus trace itself may be the culprit." Voltage-level testing
+    /// cannot resolve further, so the candidate set is every module
+    /// attached to that line plus the trace.
+    #[must_use]
+    pub fn diagnose_stuck_bus_line(&self, line: usize) -> Vec<String> {
+        let mut candidates: Vec<String> = self
+            .modules
+            .iter()
+            .filter(|m| {
+                m.netlist.primary_outputs().len() > line
+                    || m.netlist.primary_inputs().len() > line
+            })
+            .map(|m| m.name.clone())
+            .collect();
+        candidates.push("bus trace".to_owned());
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::circuits::{comparator, parity_tree};
+
+    fn fig6_board() -> BusBoard {
+        // Four modules on an 8-bit bus, echoing Fig. 6's µP/ROM/RAM/IO.
+        BusBoard::new(
+            9,
+            vec![
+                BusModule {
+                    netlist: parity_tree(8),
+                    name: "processor-checker".into(),
+                },
+                BusModule {
+                    netlist: parity_tree(7),
+                    name: "rom-checker".into(),
+                },
+                BusModule {
+                    netlist: comparator(4),
+                    name: "ram-compare".into(),
+                },
+                BusModule {
+                    netlist: parity_tree(6),
+                    name: "io-controller".into(),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn isolated_module_is_fully_testable() {
+        let board = fig6_board();
+        for (i, m) in board.modules().iter().enumerate() {
+            let k = m.netlist.primary_inputs().len();
+            let rows: Vec<Vec<bool>> = (0..1usize << k)
+                .map(|v| (0..k).map(|b| v >> b & 1 == 1).collect())
+                .collect();
+            let p = PatternSet::from_rows(k, &rows);
+            let r = board.test_module(i, &p).unwrap();
+            assert_eq!(r.coverage(), 1.0, "module {} not covered", m.name);
+        }
+    }
+
+    #[test]
+    fn divide_and_conquer_cuts_the_cubic_cost() {
+        let board = fig6_board();
+        let (mono, part) = board.divide_and_conquer_work();
+        assert!(
+            mono / part > 8.0,
+            "partitioning must win by ≥ 8× (got {:.1})",
+            mono / part
+        );
+    }
+
+    #[test]
+    fn halving_a_board_divides_work_by_four_total_eight_each() {
+        // The paper: "this would reduce the test generation and fault
+        // simulation tasks by 8 for two boards" — each half costs
+        // (N/2)³ = N³/8.
+        let whole = 1000f64;
+        let half = (whole / 2.0).powi(3);
+        assert!((half * 8.0 - whole.powi(3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stuck_bus_line_is_ambiguous() {
+        let board = fig6_board();
+        let candidates = board.diagnose_stuck_bus_line(0);
+        assert!(
+            candidates.len() > 2,
+            "voltage testing cannot resolve a stuck bus: {candidates:?}"
+        );
+        assert!(candidates.contains(&"bus trace".to_owned()));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many inputs")]
+    fn oversized_module_is_rejected() {
+        let _ = BusBoard::new(
+            2,
+            vec![BusModule {
+                netlist: parity_tree(8),
+                name: "too-wide".into(),
+            }],
+        );
+    }
+}

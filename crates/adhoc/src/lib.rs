@@ -1,0 +1,34 @@
+//! # dft-adhoc
+//!
+//! Ad-hoc Design for Testability — §III of Williams & Parker: techniques
+//! "applied to a given product … not directed at solving the general
+//! sequential problem", usually at the board level.
+//!
+//! * [`degating`] — logical partitioning with degate/control lines
+//!   (Figs. 2–3), including the classic free-running-oscillator block.
+//! * [`test_points`] — extra controllability/observability pins chosen
+//!   by testability analysis (Fig. 4, §II).
+//! * [`bus`] — bus-architecture boards with tri-state module isolation
+//!   (Fig. 6) and the bus-fault diagnosis ambiguity the paper warns
+//!   about.
+//! * [`signature_board`] — board-level Signature Analysis sessions
+//!   (Figs. 7–8): golden signatures per net, kernel-first probing,
+//!   closed-loop breaking.
+//! * [`bed_of_nails`] — in-circuit testing with per-group resolution
+//!   (Fig. 5) versus edge-connector ambiguity.
+
+pub mod bed_of_nails;
+pub mod bus;
+pub mod degating;
+pub mod reset;
+pub mod signature_board;
+pub mod test_points;
+
+pub use bed_of_nails::{edge_connector_candidates, in_circuit_test, InCircuitReport};
+pub use bus::{BusBoard, BusModule};
+pub use degating::{block_oscillator, insert_degating, Degated};
+pub use reset::{add_reset, ResetKind};
+pub use signature_board::{break_loop, SignatureDiagnosis, SignatureSession};
+pub use test_points::{
+    apply_decoder_control, apply_test_points, select_test_points, TestPointPlan,
+};

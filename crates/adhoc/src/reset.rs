@@ -1,0 +1,157 @@
+//! CLEAR/PRESET test points for predictability (§III-B).
+//!
+//! "A CLEAR or PRESET function for all memory elements can be used. Thus
+//! the sequential machine can be put into a known state with very few
+//! patterns." This transform adds a synchronous clear (or preset) line
+//! gating every storage element's data input — one pin that converts an
+//! unresettable machine (state forever X) into one the tester can
+//! initialize in a single clock.
+
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
+
+/// Which known state the line forces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResetKind {
+    /// All storage to 0 (CLEAR).
+    Clear,
+    /// All storage to 1 (PRESET).
+    Preset,
+}
+
+/// Adds a synchronous CLEAR/PRESET input `rst` to every storage element:
+/// with `rst` = 1, the next clock captures the forced value; with
+/// `rst` = 0 behaviour is unchanged. Returns the modified netlist and
+/// the reset input.
+///
+/// Cost: one pin, one inverter, and one gate per storage element
+/// (AND for clear, OR for preset).
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+pub fn add_reset(
+    netlist: &Netlist,
+    kind: ResetKind,
+) -> Result<(Netlist, GateId), LevelizeError> {
+    netlist.levelize()?;
+    let mut out = netlist.clone();
+    out.set_name(format!("{}_rst", netlist.name()));
+    let rst = out.add_input("rst");
+    match kind {
+        ResetKind::Clear => {
+            let rst_n = out.add_gate(GateKind::Not, &[rst]).expect("valid");
+            for dff in out.storage_elements() {
+                let d = out.gate(dff).inputs()[0];
+                let gated = out.add_gate(GateKind::And, &[d, rst_n]).expect("valid");
+                out.reconnect_input(dff, 0, gated).expect("valid pin");
+            }
+        }
+        ResetKind::Preset => {
+            for dff in out.storage_elements() {
+                let d = out.gate(dff).inputs()[0];
+                let gated = out.add_gate(GateKind::Or, &[d, rst]).expect("valid");
+                out.reconnect_input(dff, 0, gated).expect("valid pin");
+            }
+        }
+    }
+    Ok((out, rst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_fault::{sequential, universe};
+    use dft_netlist::circuits::binary_counter;
+    use dft_sim::{Logic, SequentialSim};
+    use dft_testability::{analyze, INFINITE};
+
+    #[test]
+    fn one_clock_initializes_the_machine() {
+        let n = binary_counter(4);
+        let (with_rst, _) = add_reset(&n, ResetKind::Clear).unwrap();
+        let mut sim = SequentialSim::new(&with_rst).unwrap();
+        // Inputs are (en, rst). From all-X, one reset clock lands at 0.
+        assert!(sim.state().iter().all(|&v| v == Logic::X));
+        sim.step(&[Logic::Zero, Logic::One]);
+        assert!(sim.state().iter().all(|&v| v == Logic::Zero));
+        // And the counter then counts normally.
+        sim.step(&[Logic::One, Logic::Zero]);
+        assert_eq!(sim.state()[0], Logic::One);
+    }
+
+    #[test]
+    fn preset_forces_ones() {
+        let n = binary_counter(3);
+        let (with_rst, _) = add_reset(&n, ResetKind::Preset).unwrap();
+        let mut sim = SequentialSim::new(&with_rst).unwrap();
+        sim.step(&[Logic::Zero, Logic::One]);
+        assert!(sim.state().iter().all(|&v| v == Logic::One));
+    }
+
+    #[test]
+    fn scoap_controllability_becomes_finite() {
+        // The unresettable counter's state costs INFINITE to control;
+        // with CLEAR the fixpoint converges to finite values.
+        let n = binary_counter(4);
+        let before = analyze(&n).unwrap();
+        let q0 = n.find_output("q0").unwrap();
+        assert_eq!(before.cc0(q0), INFINITE);
+
+        let (with_rst, _) = add_reset(&n, ResetKind::Clear).unwrap();
+        let after = analyze(&with_rst).unwrap();
+        let q0r = with_rst.find_output("q0").unwrap();
+        assert!(after.cc0(q0r) < INFINITE, "CLEAR makes 0 reachable");
+        assert!(after.cc1(q0r) < INFINITE, "…and counting makes 1 reachable");
+    }
+
+    #[test]
+    fn sequential_testing_starts_working() {
+        // The paper's point end to end: the raw counter is untestable by
+        // sequences (state never initializes); with CLEAR, a reset-then-
+        // count sequence detects real coverage.
+        let n = binary_counter(4);
+        let faults = universe(&n);
+        let seq: Vec<Vec<Logic>> = std::iter::repeat_n(vec![Logic::One], 40).collect();
+        let raw = sequential(&n, &seq, &faults).unwrap();
+        assert_eq!(raw.detected_count(), 0);
+
+        let (with_rst, _) = add_reset(&n, ResetKind::Clear).unwrap();
+        let faults2 = universe(&with_rst);
+        let mut seq2: Vec<Vec<Logic>> = vec![vec![Logic::Zero, Logic::One]]; // reset
+        seq2.extend(std::iter::repeat_n(vec![Logic::One, Logic::Zero], 40)); // count
+        let fixed = sequential(&with_rst, &seq2, &faults2).unwrap();
+        assert!(
+            fixed.coverage() > 0.5,
+            "reset + counting must reach real coverage ({:.2})",
+            fixed.coverage()
+        );
+    }
+
+    #[test]
+    fn functional_behaviour_preserved_with_rst_low() {
+        let n = binary_counter(3);
+        let (with_rst, _) = add_reset(&n, ResetKind::Clear).unwrap();
+        let mut a = SequentialSim::new(&n).unwrap();
+        let mut b = SequentialSim::new(&with_rst).unwrap();
+        a.reset_to(Logic::Zero);
+        b.reset_to(Logic::Zero);
+        for i in 0..12 {
+            let en = Logic::from(i % 3 != 0);
+            let oa = a.step(&[en]);
+            let ob = b.step(&[en, Logic::Zero]);
+            assert_eq!(oa, ob, "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn cost_is_one_gate_per_latch_plus_inverter() {
+        let n = binary_counter(5);
+        let (with_rst, _) = add_reset(&n, ResetKind::Clear).unwrap();
+        assert_eq!(
+            with_rst.logic_gate_count(),
+            n.logic_gate_count() + 5 + 1
+        );
+        let (with_pre, _) = add_reset(&n, ResetKind::Preset).unwrap();
+        assert_eq!(with_pre.logic_gate_count(), n.logic_gate_count() + 5);
+    }
+}

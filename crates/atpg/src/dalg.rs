@@ -1,0 +1,546 @@
+//! The D-Algorithm (Roth) — deterministic ATPG with internal-line
+//! decisions.
+//!
+//! Where PODEM enumerates primary-input assignments, the D-Algorithm
+//! assigns internal lines: drive the fault effect (D/D̄) toward an output
+//! through the *D-frontier*, and justify every required line value
+//! through the *J-frontier* (consistency). The paper names it directly:
+//! once scan reduces the problem to combinational logic, "techniques such
+//! as the D-Algorithm \[93\] … are again viable approaches".
+//!
+//! The implementation searches on good-machine line values with full
+//! forward/backward implication; faulty-machine values are derived
+//! forward (with the fault injected). Every test it returns is verified
+//! by forward simulation before being reported.
+
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin, PortRef};
+use dft_fault::Fault;
+use dft_sim::Logic;
+
+use crate::podem::{GenOutcome, PodemConfig, SolveStats, TestCube};
+
+/// Runs the D-Algorithm for `fault` on a combinational netlist.
+///
+/// Returns the same [`GenOutcome`] vocabulary as [`crate::podem`]; the
+/// two engines are cross-checked in tests (same testable/untestable
+/// verdicts on exhaustively-checkable circuits).
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+pub fn dalg(
+    netlist: &Netlist,
+    fault: Fault,
+    config: &PodemConfig,
+) -> Result<GenOutcome, LevelizeError> {
+    let lv = netlist.levelize()?;
+    let mut solver = DalgSolver {
+        netlist,
+        order: lv.order().to_vec(),
+        fault,
+        budget: i64::from(config.backtrack_limit) * 8,
+        stats: SolveStats::default(),
+    };
+    let n = netlist.gate_count();
+    let mut good = vec![Logic::X; n];
+
+    // Excite: the activation net's good value must be the complement of
+    // the stuck value.
+    let activation = match fault.site.pin {
+        Pin::Output => fault.site.gate,
+        Pin::Input(p) => netlist.gate(fault.site.gate).inputs()[p as usize],
+    };
+    good[activation.index()] = Logic::from(!fault.stuck);
+
+    let found = solver.search(&mut good);
+    if solver.budget <= 0 {
+        return Ok(GenOutcome::Aborted);
+    }
+    match found {
+        Some(cube) => Ok(GenOutcome::Test(cube)),
+        None => Ok(GenOutcome::Untestable),
+    }
+}
+
+struct DalgSolver<'n> {
+    netlist: &'n Netlist,
+    order: Vec<GateId>,
+    fault: Fault,
+    budget: i64,
+    stats: SolveStats,
+}
+
+impl DalgSolver<'_> {
+    /// Forward-computes faulty-machine values from good-machine values
+    /// (X where good is X and the fault effect hasn't fixed them).
+    fn faulty_values(&self, good: &[Logic]) -> Vec<Logic> {
+        let mut faulty = vec![Logic::X; self.netlist.gate_count()];
+        for &pi in self.netlist.primary_inputs() {
+            faulty[pi.index()] = good[pi.index()];
+        }
+        if self.fault.site.pin == Pin::Output
+            && self.netlist.gate(self.fault.site.gate).kind().is_source()
+        {
+            faulty[self.fault.site.gate.index()] = Logic::from(self.fault.stuck);
+        }
+        for &id in &self.order {
+            let gate = self.netlist.gate(id);
+            match gate.kind() {
+                GateKind::Input => continue,
+                GateKind::Dff => continue, // stays X (uncontrollable)
+                GateKind::Const0 => faulty[id.index()] = Logic::Zero,
+                GateKind::Const1 => faulty[id.index()] = Logic::One,
+                kind => {
+                    let ins: Vec<Logic> = gate
+                        .inputs()
+                        .iter()
+                        .enumerate()
+                        .map(|(p, &s)| {
+                            if self.fault.site.gate == id
+                                && self.fault.site.pin == Pin::Input(p as u8)
+                            {
+                                Logic::from(self.fault.stuck)
+                            } else {
+                                faulty[s.index()]
+                            }
+                        })
+                        .collect();
+                    faulty[id.index()] = Logic::eval_gate(kind, &ins);
+                }
+            }
+            if self.fault.site == PortRef::output(id) {
+                faulty[id.index()] = Logic::from(self.fault.stuck);
+            }
+        }
+        faulty
+    }
+
+    /// Forward + backward implication on good-machine values.
+    /// Returns `false` on contradiction.
+    fn imply(&mut self, good: &mut [Logic]) -> bool {
+        self.stats.forward_evals += 1;
+        loop {
+            let mut changed = false;
+            // Forward.
+            for &id in &self.order {
+                let gate = self.netlist.gate(id);
+                if gate.kind().is_source() {
+                    match gate.kind() {
+                        GateKind::Const0 => {
+                            if good[id.index()] == Logic::One {
+                                return false;
+                            }
+                            good[id.index()] = Logic::Zero;
+                        }
+                        GateKind::Const1 => {
+                            if good[id.index()] == Logic::Zero {
+                                return false;
+                            }
+                            good[id.index()] = Logic::One;
+                        }
+                        _ => {}
+                    }
+                    continue;
+                }
+                let ins: Vec<Logic> =
+                    gate.inputs().iter().map(|&s| good[s.index()]).collect();
+                let computed = Logic::eval_gate(gate.kind(), &ins);
+                let cur = good[id.index()];
+                match (computed.to_bool(), cur.to_bool()) {
+                    (Some(a), Some(b)) if a != b => return false,
+                    (Some(_), None) => {
+                        good[id.index()] = computed;
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            // Backward.
+            for idx in (0..self.order.len()).rev() {
+                let id = self.order[idx];
+                let gate = self.netlist.gate(id);
+                if gate.kind().is_source() {
+                    continue;
+                }
+                let Some(out) = good[id.index()].to_bool() else {
+                    continue;
+                };
+                let forced: Vec<(GateId, Logic)> = backward_forced(self.netlist, id, out, good);
+                for (src, v) in forced {
+                    let cur = good[src.index()];
+                    match (cur.to_bool(), v.to_bool()) {
+                        (Some(a), Some(b)) if a != b => return false,
+                        (None, Some(_)) => {
+                            good[src.index()] = v;
+                            changed = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Nets whose assigned good value is not yet implied by their inputs.
+    fn unjustified(&self, good: &[Logic]) -> Vec<GateId> {
+        let mut out = Vec::new();
+        for (id, gate) in self.netlist.iter() {
+            if gate.kind().is_source() || !good[id.index()].is_known() {
+                continue;
+            }
+            let ins: Vec<Logic> = gate.inputs().iter().map(|&s| good[s.index()]).collect();
+            if !Logic::eval_gate(gate.kind(), &ins).is_known() {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    fn search(&mut self, good: &mut [Logic]) -> Option<TestCube> {
+        self.budget -= 1;
+        if self.budget <= 0 {
+            return None;
+        }
+        if !self.imply(good) {
+            return None;
+        }
+        let faulty = self.faulty_values(good);
+
+        // Success: fault effect at a PO and everything justified.
+        let at_po = self.netlist.primary_outputs().iter().any(|&(g, _)| {
+            matches!(
+                (good[g.index()].to_bool(), faulty[g.index()].to_bool()),
+                (Some(a), Some(b)) if a != b
+            )
+        });
+        let unjust = self.unjustified(good);
+        if at_po && unjust.is_empty() {
+            let cube = TestCube {
+                assignment: self
+                    .netlist
+                    .primary_inputs()
+                    .iter()
+                    .map(|&pi| good[pi.index()])
+                    .collect(),
+            };
+            if self.verify(&cube) {
+                return Some(cube);
+            }
+            return None;
+        }
+
+        // Justify pending line values first (consistency).
+        if let Some(&g) = unjust.first() {
+            let gate = self.netlist.gate(g);
+            let out = good[g.index()].to_bool().expect("unjustified lines are known");
+            for choice in justification_choices(gate.kind(), gate.fanin(), out) {
+                let mut trial = good.to_vec();
+                let mut ok = true;
+                for (pin, v) in &choice {
+                    let src = gate.inputs()[*pin];
+                    match trial[src.index()].to_bool() {
+                        Some(b) if b != *v => {
+                            ok = false;
+                            break;
+                        }
+                        _ => trial[src.index()] = Logic::from(*v),
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                if let Some(t) = self.search(&mut trial) {
+                    return Some(t);
+                }
+                self.stats.backtracks += 1;
+            }
+            return None;
+        }
+
+        // Propagate the fault effect: D-frontier decisions.
+        let frontier: Vec<GateId> = self
+            .netlist
+            .iter()
+            .filter(|(id, gate)| {
+                // The effect can still pass while either component of the
+                // output remains unknown (good may already be fixed by a
+                // side path while faulty is undecided, or vice versa).
+                !gate.kind().is_source()
+                    && (!good[id.index()].is_known() || !faulty[id.index()].is_known())
+                    && gate.inputs().iter().enumerate().any(|(p, &s)| {
+                        let gv = good[s.index()];
+                        let fv = if self.fault.site.gate == *id
+                            && self.fault.site.pin == Pin::Input(p as u8)
+                        {
+                            Logic::from(self.fault.stuck)
+                        } else {
+                            faulty[s.index()]
+                        };
+                        matches!(
+                            (gv.to_bool(), fv.to_bool()),
+                            (Some(a), Some(b)) if a != b
+                        )
+                    })
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if frontier.is_empty() {
+            return None;
+        }
+        for g in frontier {
+            let gate = self.netlist.gate(g);
+            let mut base = good.to_vec();
+            let mut ok = true;
+            // X side pins of an XOR-family gate: either polarity lets the
+            // effect through (it merely inverts it), but downstream
+            // consistency may require a specific one — branch over them.
+            let mut xor_free: Vec<GateId> = Vec::new();
+            for (p, &s) in gate.inputs().iter().enumerate() {
+                let is_d_pin = {
+                    let gv = good[s.index()];
+                    let fv = if self.fault.site.gate == g
+                        && self.fault.site.pin == Pin::Input(p as u8)
+                    {
+                        Logic::from(self.fault.stuck)
+                    } else {
+                        faulty[s.index()]
+                    };
+                    matches!((gv.to_bool(), fv.to_bool()), (Some(a), Some(b)) if a != b)
+                };
+                if is_d_pin {
+                    continue;
+                }
+                match gate.kind().controlling_value() {
+                    Some(c) => match base[s.index()].to_bool() {
+                        Some(b) if b == c => {
+                            // Controlling side value: the effect cannot
+                            // pass through this gate.
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => base[s.index()] = Logic::from(!c),
+                    },
+                    None => {
+                        if base[s.index()].to_bool().is_none()
+                            && !xor_free.contains(&s)
+                        {
+                            xor_free.push(s);
+                        }
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // Enumerate the XOR side-pin polarities (capped: beyond 6
+            // free pins fall back to all-zeros only).
+            let combos = if xor_free.len() <= 6 {
+                1u32 << xor_free.len()
+            } else {
+                1
+            };
+            for combo in 0..combos {
+                let mut trial = base.clone();
+                for (k, &s) in xor_free.iter().enumerate() {
+                    trial[s.index()] = Logic::from(combo >> k & 1 == 1);
+                }
+                if let Some(t) = self.search(&mut trial) {
+                    return Some(t);
+                }
+                self.stats.backtracks += 1;
+            }
+        }
+        None
+    }
+
+    /// Independent forward verification of a candidate cube.
+    fn verify(&self, cube: &TestCube) -> bool {
+        let mut good = vec![Logic::X; self.netlist.gate_count()];
+        for (i, &pi) in self.netlist.primary_inputs().iter().enumerate() {
+            good[pi.index()] = cube.assignment[i];
+        }
+        for &id in &self.order {
+            let gate = self.netlist.gate(id);
+            if gate.kind().is_source() {
+                match gate.kind() {
+                    GateKind::Const0 => good[id.index()] = Logic::Zero,
+                    GateKind::Const1 => good[id.index()] = Logic::One,
+                    _ => {}
+                }
+                continue;
+            }
+            let ins: Vec<Logic> = gate.inputs().iter().map(|&s| good[s.index()]).collect();
+            good[id.index()] = Logic::eval_gate(gate.kind(), &ins);
+        }
+        let faulty = self.faulty_values(&good);
+        self.netlist.primary_outputs().iter().any(|&(g, _)| {
+            matches!(
+                (good[g.index()].to_bool(), faulty[g.index()].to_bool()),
+                (Some(a), Some(b)) if a != b
+            )
+        })
+    }
+}
+
+/// Input assignments *forced* by a known gate output (backward
+/// implication): e.g. AND output 1 forces every input to 1; AND output 0
+/// with all-but-one input at 1 forces the last input to 0.
+fn backward_forced(
+    netlist: &Netlist,
+    id: GateId,
+    out: bool,
+    good: &[Logic],
+) -> Vec<(GateId, Logic)> {
+    let gate = netlist.gate(id);
+    let mut forced = Vec::new();
+    match gate.kind() {
+        GateKind::Buf => forced.push((gate.inputs()[0], Logic::from(out))),
+        GateKind::Not => forced.push((gate.inputs()[0], Logic::from(!out))),
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            let c = gate.kind().controlling_value().expect("AND/OR family");
+            let inv = gate.kind().inverts();
+            let controlled_out = c != inv;
+            if out != controlled_out {
+                // Only the all-noncontrolling row produces this output.
+                for &s in gate.inputs() {
+                    forced.push((s, Logic::from(!c)));
+                }
+            } else {
+                // Some input must be controlling; forced only when all
+                // other inputs are already known noncontrolling and one
+                // input remains unknown.
+                let has_c = gate
+                    .inputs()
+                    .iter()
+                    .any(|&s| good[s.index()] == Logic::from(c));
+                if !has_c {
+                    let unknown: Vec<GateId> = gate
+                        .inputs()
+                        .iter()
+                        .copied()
+                        .filter(|&s| !good[s.index()].is_known())
+                        .collect();
+                    if unknown.len() == 1 {
+                        forced.push((unknown[0], Logic::from(c)));
+                    }
+                }
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut parity = out != (gate.kind() == GateKind::Xnor);
+            let mut unknown = Vec::new();
+            for &s in gate.inputs() {
+                match good[s.index()].to_bool() {
+                    Some(b) => parity ^= b,
+                    None => unknown.push(s),
+                }
+            }
+            if unknown.len() == 1 {
+                forced.push((unknown[0], Logic::from(parity)));
+            }
+        }
+        _ => {}
+    }
+    forced
+}
+
+/// Enumerates the input assignments that justify `out` at a gate of
+/// `kind` with `fanin` inputs. Each choice is a list of `(pin, value)`
+/// requirements.
+fn justification_choices(kind: GateKind, fanin: usize, out: bool) -> Vec<Vec<(usize, bool)>> {
+    match kind {
+        GateKind::Buf => vec![vec![(0, out)]],
+        GateKind::Not => vec![vec![(0, !out)]],
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            let c = kind.controlling_value().expect("AND/OR family");
+            let inv = kind.inverts();
+            let controlled_out = c != inv; // output when some input = c
+            if out == controlled_out {
+                // One controlling input suffices: one choice per pin.
+                (0..fanin).map(|p| vec![(p, c)]).collect()
+            } else {
+                // All inputs noncontrolling.
+                vec![(0..fanin).map(|p| (p, !c)).collect()]
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            // All input combinations of the right parity.
+            let want = out != (kind == GateKind::Xnor);
+            let mut choices = Vec::new();
+            for bits in 0..1u32 << fanin {
+                let parity = (bits.count_ones() % 2) == 1;
+                if parity == want {
+                    choices.push((0..fanin).map(|p| (p, bits >> p & 1 == 1)).collect());
+                }
+            }
+            choices
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::podem::{podem, PodemConfig};
+    use dft_fault::{simulate, universe};
+    use dft_netlist::circuits::{c17, full_adder, majority};
+    use dft_sim::PatternSet;
+
+    fn cross_check(netlist: &Netlist) {
+        let cfg = PodemConfig::default();
+        for f in universe(netlist) {
+            let d = dalg(netlist, f, &cfg).unwrap();
+            let p = podem(netlist, f, &cfg).unwrap();
+            match (&d, &p) {
+                (GenOutcome::Test(cube), GenOutcome::Test(_)) => {
+                    let row = cube.filled(false);
+                    let set = PatternSet::from_rows(row.len(), &[row]);
+                    let r = simulate(netlist, &set, &[f]).unwrap();
+                    assert_eq!(r.first_detected[0], Some(0), "dalg cube fails for {f}");
+                }
+                (GenOutcome::Untestable, GenOutcome::Untestable) => {}
+                other => panic!("engines disagree on {f}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_podem_on_c17() {
+        cross_check(&c17());
+    }
+
+    #[test]
+    fn agrees_with_podem_on_full_adder() {
+        cross_check(&full_adder());
+    }
+
+    #[test]
+    fn agrees_with_podem_on_majority() {
+        cross_check(&majority());
+    }
+
+    #[test]
+    fn agrees_with_podem_on_random_logic() {
+        cross_check(&dft_netlist::circuits::random_combinational(7, 25, 5));
+    }
+
+    #[test]
+    fn justification_choice_tables() {
+        // AND out=1 → single choice, all pins 1.
+        let ch = justification_choices(GateKind::And, 3, true);
+        assert_eq!(ch, vec![vec![(0, true), (1, true), (2, true)]]);
+        // AND out=0 → one choice per pin.
+        let ch = justification_choices(GateKind::And, 2, false);
+        assert_eq!(ch.len(), 2);
+        // XOR out=1 with 2 inputs → two odd-parity rows.
+        let ch = justification_choices(GateKind::Xor, 2, true);
+        assert_eq!(ch.len(), 2);
+        // NOT inverts.
+        assert_eq!(justification_choices(GateKind::Not, 1, true), vec![vec![(0, false)]]);
+    }
+}

@@ -1,0 +1,321 @@
+//! The production ATPG flow: random phase, deterministic top-off,
+//! compaction.
+
+use dft_netlist::{LevelizeError, Netlist};
+use dft_fault::{simulate, Fault};
+use dft_sim::PatternSet;
+
+use crate::compact::compact;
+use crate::dalg::dalg;
+use crate::podem::{GenOutcome, Podem, PodemConfig, TestCube};
+use crate::random::random_atpg;
+
+/// Which deterministic engine tops off the random phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeterministicEngine {
+    /// PI-decision PODEM (default; fastest here).
+    #[default]
+    Podem,
+    /// Roth's D-Algorithm.
+    DAlgorithm,
+}
+
+/// Configuration for [`generate_tests`].
+#[derive(Clone, Debug)]
+pub struct AtpgConfig {
+    /// Random patterns to try before deterministic generation
+    /// (0 disables the random phase).
+    pub random_budget: usize,
+    /// Random-phase seed.
+    pub seed: u64,
+    /// Deterministic engine for the top-off phase.
+    pub engine: DeterministicEngine,
+    /// Backtrack limit per fault.
+    pub backtrack_limit: u32,
+    /// Run compaction on the final set.
+    pub compact: bool,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            random_budget: 256,
+            seed: 0,
+            engine: DeterministicEngine::Podem,
+            backtrack_limit: 10_000,
+            compact: true,
+        }
+    }
+}
+
+/// Per-fault status after a [`generate_tests`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultStatus {
+    /// Detected during the random phase.
+    DetectedRandom,
+    /// Detected by a deterministic test.
+    DetectedDeterministic,
+    /// Proven redundant.
+    Untestable,
+    /// Deterministic search aborted (backtrack limit).
+    Aborted,
+}
+
+/// The result of a full ATPG run.
+#[derive(Clone, Debug)]
+pub struct AtpgRun {
+    /// Final (compacted) test set.
+    pub patterns: PatternSet,
+    /// Per-fault outcome, aligned with the input fault list.
+    pub status: Vec<FaultStatus>,
+    /// Total deterministic backtracks.
+    pub backtracks: u64,
+    /// Total forward implications (effort proxy for Eq. (1)).
+    pub forward_evals: u64,
+}
+
+impl AtpgRun {
+    /// Coverage counting untestable faults as covered (they cannot cause
+    /// an escape — the usual "testable coverage" figure) — and raw
+    /// detected-only coverage via [`AtpgRun::detected_coverage`].
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.status.is_empty() {
+            return 1.0;
+        }
+        let ok = self
+            .status
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    FaultStatus::DetectedRandom
+                        | FaultStatus::DetectedDeterministic
+                        | FaultStatus::Untestable
+                )
+            })
+            .count();
+        ok as f64 / self.status.len() as f64
+    }
+
+    /// Fraction of faults actually detected by the pattern set.
+    #[must_use]
+    pub fn detected_coverage(&self) -> f64 {
+        if self.status.is_empty() {
+            return 1.0;
+        }
+        let ok = self
+            .status
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    FaultStatus::DetectedRandom | FaultStatus::DetectedDeterministic
+                )
+            })
+            .count();
+        ok as f64 / self.status.len() as f64
+    }
+
+    /// Number of aborted faults.
+    #[must_use]
+    pub fn aborted(&self) -> usize {
+        self.status
+            .iter()
+            .filter(|s| matches!(s, FaultStatus::Aborted))
+            .count()
+    }
+}
+
+/// Runs the full ATPG flow on a combinational netlist (or the
+/// combinational test view extracted by `dft-scan`).
+///
+/// 1. Random phase: up to `random_budget` patterns with fault dropping.
+/// 2. Deterministic phase: PODEM or the D-Algorithm per surviving fault.
+/// 3. Optional compaction (cube merge + reverse-order drop), re-verified
+///    by fault simulation.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+pub fn generate_tests(
+    netlist: &Netlist,
+    faults: &[Fault],
+    config: &AtpgConfig,
+) -> Result<AtpgRun, LevelizeError> {
+    let mut status = vec![FaultStatus::Aborted; faults.len()];
+    let mut cubes: Vec<TestCube> = Vec::new();
+    let mut random_rows: Vec<Vec<bool>> = Vec::new();
+    let mut backtracks = 0u64;
+    let mut forward_evals = 0u64;
+
+    // Phase 1: random with dropping.
+    let mut remaining: Vec<usize> = (0..faults.len()).collect();
+    if config.random_budget > 0 {
+        let r = random_atpg(netlist, faults, config.random_budget, 1.0, config.seed)?;
+        // Keep only the useful prefix patterns (those that detected
+        // something first).
+        let mut used: Vec<usize> = r
+            .detection
+            .first_detected
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        for &p in &used {
+            random_rows.push(r.patterns.get(p));
+        }
+        remaining = r
+            .detection
+            .first_detected
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.is_none().then_some(i))
+            .collect();
+        for (i, d) in r.detection.first_detected.iter().enumerate() {
+            if d.is_some() {
+                status[i] = FaultStatus::DetectedRandom;
+            }
+        }
+    }
+
+    // Phase 2: deterministic top-off.
+    let podem_cfg = PodemConfig {
+        backtrack_limit: config.backtrack_limit,
+    };
+    let solver = Podem::new(netlist, podem_cfg)?;
+    for &fi in &remaining {
+        let outcome = match config.engine {
+            DeterministicEngine::Podem => {
+                let (o, stats) = solver.solve(faults[fi]);
+                backtracks += u64::from(stats.backtracks);
+                forward_evals += stats.forward_evals;
+                o
+            }
+            DeterministicEngine::DAlgorithm => dalg(netlist, faults[fi], &podem_cfg)?,
+        };
+        status[fi] = match outcome {
+            GenOutcome::Test(cube) => {
+                cubes.push(cube);
+                FaultStatus::DetectedDeterministic
+            }
+            GenOutcome::Untestable => FaultStatus::Untestable,
+            GenOutcome::Aborted => FaultStatus::Aborted,
+        };
+    }
+
+    // Phase 3: assemble + compact.
+    let n_pi = netlist.primary_inputs().len();
+    let patterns = if config.compact {
+        let mut set = compact(netlist, &cubes, faults)?;
+        // Compaction covers deterministic targets; re-add the random rows
+        // and drop again to be sure nothing regressed.
+        let mut all_rows: Vec<Vec<bool>> = random_rows;
+        all_rows.extend((0..set.len()).map(|p| set.get(p)));
+        set = PatternSet::from_rows(n_pi, &all_rows);
+        crate::compact::reverse_order_drop(netlist, &set, faults)?
+    } else {
+        let mut rows = random_rows;
+        rows.extend(cubes.iter().map(|c| c.filled(false)));
+        PatternSet::from_rows(n_pi, &rows)
+    };
+
+    // Final verification pass: statuses must be consistent with the
+    // actual pattern set (detected faults stay detected).
+    debug_assert!({
+        let r = simulate(netlist, &patterns, faults)?;
+        status.iter().enumerate().all(|(i, s)| match s {
+            FaultStatus::DetectedRandom | FaultStatus::DetectedDeterministic => {
+                r.first_detected[i].is_some()
+            }
+            _ => true,
+        })
+    });
+
+    Ok(AtpgRun {
+        patterns,
+        status,
+        backtracks,
+        forward_evals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_fault::universe;
+    use dft_netlist::circuits::{c17, comparator, random_combinational};
+
+    #[test]
+    fn full_flow_covers_c17() {
+        let n = c17();
+        let faults = universe(&n);
+        let run = generate_tests(&n, &faults, &AtpgConfig::default()).unwrap();
+        assert_eq!(run.coverage(), 1.0);
+        assert_eq!(run.detected_coverage(), 1.0);
+        let r = simulate(&n, &run.patterns, &faults).unwrap();
+        assert_eq!(r.coverage(), 1.0, "patterns must actually detect");
+    }
+
+    #[test]
+    fn deterministic_only_flow() {
+        let n = comparator(3);
+        let faults = universe(&n);
+        let cfg = AtpgConfig {
+            random_budget: 0,
+            ..AtpgConfig::default()
+        };
+        let run = generate_tests(&n, &faults, &cfg).unwrap();
+        assert!(run.coverage() > 0.99);
+        assert!(run
+            .status
+            .iter()
+            .all(|s| !matches!(s, FaultStatus::DetectedRandom)));
+    }
+
+    #[test]
+    fn dalg_engine_flow() {
+        let n = c17();
+        let faults = universe(&n);
+        let cfg = AtpgConfig {
+            engine: DeterministicEngine::DAlgorithm,
+            random_budget: 0,
+            ..AtpgConfig::default()
+        };
+        let run = generate_tests(&n, &faults, &cfg).unwrap();
+        assert_eq!(run.coverage(), 1.0);
+    }
+
+    #[test]
+    fn compaction_shrinks_without_losing_coverage() {
+        let n = random_combinational(10, 60, 3);
+        let faults = universe(&n);
+        let with = generate_tests(&n, &faults, &AtpgConfig::default()).unwrap();
+        let without = generate_tests(
+            &n,
+            &faults,
+            &AtpgConfig {
+                compact: false,
+                ..AtpgConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(with.patterns.len() <= without.patterns.len());
+        let r = simulate(&n, &with.patterns, &faults).unwrap();
+        assert!((r.coverage() - with.detected_coverage()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effort_counters_accumulate() {
+        let n = random_combinational(10, 80, 11);
+        let faults = universe(&n);
+        let cfg = AtpgConfig {
+            random_budget: 0,
+            ..AtpgConfig::default()
+        };
+        let run = generate_tests(&n, &faults, &cfg).unwrap();
+        assert!(run.forward_evals > 0);
+    }
+}

@@ -1,0 +1,618 @@
+//! PODEM: path-oriented decision making over primary-input assignments.
+
+use std::collections::HashMap;
+
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin};
+use dft_fault::Fault;
+use dft_sim::Logic;
+use dft_testability::{analyze, TestabilityReport};
+
+use crate::DVal;
+
+/// A (possibly partial) test pattern: one value per primary input, `X`
+/// meaning "don't care" (free for compaction or random fill).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestCube {
+    /// Per-primary-input assignment, in netlist input order.
+    pub assignment: Vec<Logic>,
+}
+
+impl TestCube {
+    /// Fills don't-cares with `fill` and returns a concrete pattern row.
+    #[must_use]
+    pub fn filled(&self, fill: bool) -> Vec<bool> {
+        self.assignment
+            .iter()
+            .map(|v| v.to_bool().unwrap_or(fill))
+            .collect()
+    }
+
+    /// Number of assigned (care) bits.
+    #[must_use]
+    pub fn care_count(&self) -> usize {
+        self.assignment.iter().filter(|v| v.is_known()).count()
+    }
+
+    /// Whether two cubes can merge (no opposing care bits).
+    #[must_use]
+    pub fn compatible(&self, other: &TestCube) -> bool {
+        self.assignment
+            .iter()
+            .zip(&other.assignment)
+            .all(|(&a, &b)| match (a.to_bool(), b.to_bool()) {
+                (Some(x), Some(y)) => x == y,
+                _ => true,
+            })
+    }
+
+    /// The merge of two compatible cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cubes are not [`TestCube::compatible`].
+    #[must_use]
+    pub fn merged(&self, other: &TestCube) -> TestCube {
+        assert!(self.compatible(other), "merging incompatible cubes");
+        TestCube {
+            assignment: self
+                .assignment
+                .iter()
+                .zip(&other.assignment)
+                .map(|(&a, &b)| if a.is_known() { a } else { b })
+                .collect(),
+        }
+    }
+}
+
+/// The outcome of one deterministic test-generation attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenOutcome {
+    /// A test cube was found (verified by construction: the fault effect
+    /// reaches a primary output under this cube).
+    Test(TestCube),
+    /// The fault is provably untestable (redundant) — the search space
+    /// was exhausted.
+    Untestable,
+    /// The backtrack limit was hit before a verdict.
+    Aborted,
+}
+
+impl GenOutcome {
+    /// The cube, if a test was found.
+    #[must_use]
+    pub fn cube(&self) -> Option<&TestCube> {
+        match self {
+            GenOutcome::Test(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning knobs for [`podem`]/[`Podem`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PodemConfig {
+    /// Abort the search after this many backtracks.
+    pub backtrack_limit: u32,
+}
+
+impl Default for PodemConfig {
+    fn default() -> Self {
+        PodemConfig {
+            backtrack_limit: 10_000,
+        }
+    }
+}
+
+/// Search-effort counters for one [`Podem::solve`] call — the raw data
+/// behind the paper's Eq. (1) runtime-scaling experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Decisions reverted.
+    pub backtracks: u32,
+    /// Full forward implications performed.
+    pub forward_evals: u64,
+}
+
+/// A reusable PODEM solver for one netlist (levelization and testability
+/// guidance are computed once).
+#[derive(Debug)]
+pub struct Podem<'n> {
+    netlist: &'n Netlist,
+    order: Vec<GateId>,
+    fanout: Vec<Vec<(GateId, u8)>>,
+    report: TestabilityReport,
+    pi_index: HashMap<GateId, usize>,
+    is_po: Vec<bool>,
+    config: PodemConfig,
+}
+
+impl<'n> Podem<'n> {
+    /// Compiles a solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    pub fn new(netlist: &'n Netlist, config: PodemConfig) -> Result<Self, LevelizeError> {
+        let lv = netlist.levelize()?;
+        let report = analyze(netlist)?;
+        let mut is_po = vec![false; netlist.gate_count()];
+        for &(g, _) in netlist.primary_outputs() {
+            is_po[g.index()] = true;
+        }
+        Ok(Podem {
+            netlist,
+            order: lv.order().to_vec(),
+            fanout: netlist.fanout_map(),
+            report,
+            pi_index: netlist
+                .primary_inputs()
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| (g, i))
+                .collect(),
+            is_po,
+            config,
+        })
+    }
+
+    /// Attempts to generate a test for `fault`.
+    #[must_use]
+    pub fn solve(&self, fault: Fault) -> (GenOutcome, SolveStats) {
+        self.solve_any_of(&[fault])
+    }
+
+    /// Attempts to generate a test for a fault present at *several* sites
+    /// simultaneously (one logical defect with multiple copies — the
+    /// time-frame-expansion case, where the same physical fault appears
+    /// in every unrolled frame). All sites are stuck in the faulty
+    /// machine; a test excites at least one and drives the effect to an
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty.
+    #[must_use]
+    pub fn solve_any_of(&self, sites: &[Fault]) -> (GenOutcome, SolveStats) {
+        assert!(!sites.is_empty(), "need at least one fault site");
+        let mut stats = SolveStats::default();
+        let n_pi = self.netlist.primary_inputs().len();
+        let mut assign: Vec<Logic> = vec![Logic::X; n_pi];
+        let mut vals = vec![DVal::X; self.netlist.gate_count()];
+        // Decision stack: (pi index, tried_both).
+        let mut stack: Vec<(usize, bool)> = Vec::new();
+
+        loop {
+            self.forward(&assign, sites, &mut vals);
+            stats.forward_evals += 1;
+
+            if self.detected(&vals) {
+                return (
+                    GenOutcome::Test(TestCube {
+                        assignment: assign,
+                    }),
+                    stats,
+                );
+            }
+
+            let next = self
+                .objective(&vals, sites)
+                .and_then(|(net, v)| self.backtrace(&vals, net, v));
+
+            match next {
+                Some((pi, v)) => {
+                    assign[pi] = Logic::from(v);
+                    stack.push((pi, false));
+                }
+                None => {
+                    // Backtrack.
+                    loop {
+                        match stack.pop() {
+                            None => return (GenOutcome::Untestable, stats),
+                            Some((pi, true)) => {
+                                assign[pi] = Logic::X;
+                            }
+                            Some((pi, false)) => {
+                                stats.backtracks += 1;
+                                if stats.backtracks >= self.config.backtrack_limit {
+                                    return (GenOutcome::Aborted, stats);
+                                }
+                                let flipped = match assign[pi] {
+                                    Logic::Zero => Logic::One,
+                                    Logic::One => Logic::Zero,
+                                    Logic::X => unreachable!("decision PIs are assigned"),
+                                };
+                                assign[pi] = flipped;
+                                stack.push((pi, true));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The effective value seen by `gate`'s input `pin`, applying the
+    /// fault if it sits on that pin.
+    fn pin_val(&self, vals: &[DVal], sites: &[Fault], gate: GateId, pin: usize) -> DVal {
+        let src = self.netlist.gate(gate).inputs()[pin];
+        let mut v = vals[src.index()];
+        for f in sites {
+            if f.site.gate == gate && f.site.pin == Pin::Input(pin as u8) {
+                v.faulty = Logic::from(f.stuck);
+            }
+        }
+        v
+    }
+
+    /// Full forward implication of the current PI assignment.
+    fn forward(&self, assign: &[Logic], sites: &[Fault], vals: &mut [DVal]) {
+        for (i, &pi) in self.netlist.primary_inputs().iter().enumerate() {
+            let mut v = DVal::known(assign[i]);
+            for f in sites {
+                if f.site == dft_netlist::PortRef::output(pi) {
+                    v.faulty = Logic::from(f.stuck);
+                }
+            }
+            vals[pi.index()] = v;
+        }
+        for &id in &self.order {
+            let gate = self.netlist.gate(id);
+            let mut v = match gate.kind() {
+                GateKind::Input => continue,
+                GateKind::Const0 => DVal::ZERO,
+                GateKind::Const1 => DVal::ONE,
+                GateKind::Dff => DVal::X, // uncontrollable state
+                kind => {
+                    let mut goods = Vec::with_capacity(gate.fanin());
+                    let mut faults_ = Vec::with_capacity(gate.fanin());
+                    for pin in 0..gate.fanin() {
+                        let pv = self.pin_val(vals, sites, id, pin);
+                        goods.push(pv.good);
+                        faults_.push(pv.faulty);
+                    }
+                    DVal {
+                        good: Logic::eval_gate(kind, &goods),
+                        faulty: Logic::eval_gate(kind, &faults_),
+                    }
+                }
+            };
+            for f in sites {
+                if f.site == dft_netlist::PortRef::output(id) {
+                    v.faulty = Logic::from(f.stuck);
+                }
+            }
+            vals[id.index()] = v;
+        }
+    }
+
+    fn detected(&self, vals: &[DVal]) -> bool {
+        self.netlist
+            .primary_outputs()
+            .iter()
+            .any(|&(g, _)| vals[g.index()].is_d())
+    }
+
+    /// The good-machine value at a fault's activation point, and the
+    /// gate to backtrace from when exciting.
+    fn excitation(&self, vals: &[DVal], fault: Fault) -> (Logic, GateId) {
+        match fault.site.pin {
+            Pin::Output => (vals[fault.site.gate.index()].good, fault.site.gate),
+            Pin::Input(p) => {
+                let src = self.netlist.gate(fault.site.gate).inputs()[p as usize];
+                (vals[src.index()].good, src)
+            }
+        }
+    }
+
+    /// Next objective `(net, value)`, or `None` when the current partial
+    /// assignment can no longer lead to a test.
+    fn objective(&self, vals: &[DVal], sites: &[Fault]) -> Option<(GateId, bool)> {
+        // Is any site excited (a fault effect exists somewhere)?
+        let mut excitable: Option<(GateId, bool)> = None;
+        let mut any_excited = false;
+        for &f in sites {
+            let (site_good, driver) = self.excitation(vals, f);
+            match site_good.to_bool() {
+                None => {
+                    if excitable.is_none() {
+                        excitable = Some((driver, !f.stuck));
+                    }
+                }
+                Some(v) if v != f.stuck => any_excited = true,
+                Some(_) => {}
+            }
+        }
+        if !any_excited {
+            return excitable; // excite (or dead end if None)
+        }
+        // Excited: advance the D-frontier.
+        let frontier = self.d_frontier(vals, sites);
+        let mut best: Option<(u32, GateId, usize)> = None;
+        for g in frontier {
+            if !self.x_path_to_po(vals, g) {
+                continue;
+            }
+            // Choose the frontier gate cheapest to observe.
+            let co = self.report.observability(g);
+            // Pick an X input pin to set to the noncontrolling value.
+            let gate = self.netlist.gate(g);
+            let pin = (0..gate.fanin())
+                .find(|&p| self.pin_val(vals, sites, g, p).good == Logic::X);
+            if let Some(pin) = pin {
+                if best.is_none_or(|(c, _, _)| co < c) {
+                    best = Some((co, g, pin));
+                }
+            }
+        }
+        let best = match best {
+            Some(b) => b,
+            // No frontier progress possible: excite another site if one
+            // remains, else dead end.
+            None => return excitable,
+        };
+        let (_, g, pin) = best;
+        let gate = self.netlist.gate(g);
+        let noncontrolling = match gate.kind().controlling_value() {
+            Some(c) => !c,
+            // XOR family: any known value propagates; aim for 0.
+            None => false,
+        };
+        let src = gate.inputs()[pin];
+        Some((src, noncontrolling))
+    }
+
+    /// Gates with a fault effect on an input and an undetermined output.
+    fn d_frontier(&self, vals: &[DVal], sites: &[Fault]) -> Vec<GateId> {
+        let mut out = Vec::new();
+        for (id, gate) in self.netlist.iter() {
+            if gate.kind().is_source() || !vals[id.index()].has_x() {
+                continue;
+            }
+            let has_d = (0..gate.fanin())
+                .any(|p| self.pin_val(vals, sites, id, p).is_d());
+            if has_d {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Whether an X-path (gates with undetermined outputs) connects `from`
+    /// to some primary output.
+    fn x_path_to_po(&self, vals: &[DVal], from: GateId) -> bool {
+        let mut seen = vec![false; self.netlist.gate_count()];
+        let mut stack = vec![from];
+        while let Some(g) = stack.pop() {
+            if seen[g.index()] {
+                continue;
+            }
+            seen[g.index()] = true;
+            if self.is_po[g.index()] {
+                return true;
+            }
+            for &(reader, _) in &self.fanout[g.index()] {
+                if !seen[reader.index()]
+                    && !self.netlist.gate(reader).kind().is_storage()
+                    && vals[reader.index()].has_x()
+                {
+                    stack.push(reader);
+                }
+            }
+        }
+        false
+    }
+
+    /// Maps an objective `(net, value)` to a primary-input assignment by
+    /// walking X-paths toward inputs, guided by SCOAP costs.
+    fn backtrace(&self, vals: &[DVal], mut net: GateId, mut v: bool) -> Option<(usize, bool)> {
+        loop {
+            let gate = self.netlist.gate(net);
+            match gate.kind() {
+                GateKind::Input => {
+                    return Some((self.pi_index[&net], v));
+                }
+                GateKind::Const0 | GateKind::Const1 | GateKind::Dff => return None,
+                GateKind::Buf => net = gate.inputs()[0],
+                GateKind::Not => {
+                    v = !v;
+                    net = gate.inputs()[0];
+                }
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let c = gate
+                        .kind()
+                        .controlling_value()
+                        .expect("AND/OR family");
+                    let v_target = v != gate.kind().inverts();
+                    let x_inputs: Vec<GateId> = gate
+                        .inputs()
+                        .iter()
+                        .copied()
+                        .filter(|&s| vals[s.index()].good == Logic::X)
+                        .collect();
+                    if x_inputs.is_empty() {
+                        return None;
+                    }
+                    let pick = if v_target == c {
+                        // One controlling input suffices: easiest.
+                        x_inputs
+                            .into_iter()
+                            .min_by_key(|&s| self.report.measure(s).control(c))
+                    } else {
+                        // All inputs must be noncontrolling: hardest first.
+                        x_inputs
+                            .into_iter()
+                            .max_by_key(|&s| self.report.measure(s).control(!c))
+                    };
+                    net = pick.expect("nonempty");
+                    v = v_target == c;
+                    v = if v { c } else { !c };
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    let mut parity = gate.kind() == GateKind::Xnor;
+                    let mut pick = None;
+                    for &s in gate.inputs() {
+                        match vals[s.index()].good.to_bool() {
+                            Some(b) => parity ^= b,
+                            None => {
+                                if pick.is_none() {
+                                    pick = Some(s);
+                                }
+                            }
+                        }
+                    }
+                    let s = pick?;
+                    // Remaining X inputs (other than `s`) are treated as 0
+                    // by this heuristic; forward implication corrects us.
+                    net = s;
+                    v = v != parity;
+                }
+            }
+        }
+    }
+}
+
+/// One-shot convenience wrapper around [`Podem`].
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+pub fn podem(
+    netlist: &Netlist,
+    fault: Fault,
+    config: &PodemConfig,
+) -> Result<GenOutcome, LevelizeError> {
+    let solver = Podem::new(netlist, *config)?;
+    Ok(solver.solve(fault).0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_fault::{simulate, universe};
+    use dft_netlist::circuits::{c17, comparator, full_adder, majority, parity_tree};
+    use dft_netlist::{Netlist, PortRef};
+    use dft_sim::PatternSet;
+
+    /// Every generated cube must actually detect its fault (independent
+    /// check through the fault simulator).
+    fn verify_all(netlist: &Netlist) {
+        let faults = universe(netlist);
+        let solver = Podem::new(netlist, PodemConfig::default()).unwrap();
+        for &f in &faults {
+            let (outcome, _) = solver.solve(f);
+            match outcome {
+                GenOutcome::Test(cube) => {
+                    let row = cube.filled(false);
+                    let p = PatternSet::from_rows(row.len(), &[row]);
+                    let r = simulate(netlist, &p, &[f]).unwrap();
+                    assert_eq!(
+                        r.first_detected[0],
+                        Some(0),
+                        "cube for {f} does not detect it on {}",
+                        netlist.name()
+                    );
+                }
+                GenOutcome::Untestable => {
+                    // Cross-check with exhaustive fault simulation.
+                    let k = netlist.primary_inputs().len();
+                    assert!(k <= 12, "exhaustive check infeasible");
+                    let rows: Vec<Vec<bool>> = (0..1usize << k)
+                        .map(|v| (0..k).map(|i| v >> i & 1 == 1).collect())
+                        .collect();
+                    let p = PatternSet::from_rows(k, &rows);
+                    let r = simulate(netlist, &p, &[f]).unwrap();
+                    assert_eq!(
+                        r.first_detected[0], None,
+                        "{f} declared untestable but a test exists on {}",
+                        netlist.name()
+                    );
+                }
+                GenOutcome::Aborted => panic!("abort on tiny circuit for {f}"),
+            }
+        }
+    }
+
+    #[test]
+    fn complete_and_sound_on_c17() {
+        verify_all(&c17());
+    }
+
+    #[test]
+    fn complete_and_sound_on_full_adder() {
+        verify_all(&full_adder());
+    }
+
+    #[test]
+    fn complete_and_sound_on_majority() {
+        verify_all(&majority());
+    }
+
+    #[test]
+    fn complete_and_sound_on_parity_tree() {
+        verify_all(&parity_tree(5));
+    }
+
+    #[test]
+    fn complete_and_sound_on_comparator() {
+        verify_all(&comparator(3));
+    }
+
+    #[test]
+    fn complete_and_sound_on_random_logic() {
+        let n = dft_netlist::circuits::random_combinational(9, 40, 77);
+        verify_all(&n);
+    }
+
+    #[test]
+    fn proves_redundant_fault_untestable() {
+        use dft_netlist::GateKind;
+        let mut n = Netlist::new("redundant");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        let y = n.add_gate(GateKind::Or, &[a, g]).unwrap();
+        n.mark_output(y, "y").unwrap();
+        let f = dft_fault::Fault::stuck_at_0(PortRef::output(g));
+        let outcome = podem(&n, f, &PodemConfig::default()).unwrap();
+        assert_eq!(outcome, GenOutcome::Untestable);
+    }
+
+    #[test]
+    fn state_behind_dffs_is_uncontrollable() {
+        // y = AND(a, q) where q is an uncontrollable DFF: the a s-a-0
+        // fault cannot be tested combinationally (needs q = 1).
+        use dft_netlist::GateKind;
+        let mut n = Netlist::new("seq");
+        let a = n.add_input("a");
+        let d = n.add_dff(a).unwrap();
+        let y = n.add_gate(GateKind::And, &[a, d]).unwrap();
+        n.mark_output(y, "y").unwrap();
+        let f = dft_fault::Fault::stuck_at_0(PortRef::input(y, 0));
+        let outcome = podem(&n, f, &PodemConfig::default()).unwrap();
+        assert_eq!(
+            outcome,
+            GenOutcome::Untestable,
+            "combinational ATPG must give up on state — the paper's motivation for scan"
+        );
+    }
+
+    #[test]
+    fn cube_helpers() {
+        let c1 = TestCube {
+            assignment: vec![Logic::One, Logic::X, Logic::Zero],
+        };
+        let c2 = TestCube {
+            assignment: vec![Logic::X, Logic::Zero, Logic::Zero],
+        };
+        assert!(c1.compatible(&c2));
+        let m = c1.merged(&c2);
+        assert_eq!(m.assignment, vec![Logic::One, Logic::Zero, Logic::Zero]);
+        assert_eq!(m.care_count(), 3);
+        assert_eq!(c1.filled(true), vec![true, true, false]);
+        let c3 = TestCube {
+            assignment: vec![Logic::Zero, Logic::X, Logic::X],
+        };
+        assert!(!c1.compatible(&c3));
+    }
+}

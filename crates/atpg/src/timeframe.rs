@@ -1,0 +1,336 @@
+//! Bounded sequential ATPG by time-frame expansion.
+//!
+//! §I-B: Eq. (1) "does not take into account the falloff in automatic
+//! test generation capability due to sequential complexity of the
+//! network." This module shows that falloff concretely: the sequential
+//! machine is unrolled into `k` combinational frames (state threads from
+//! frame to frame; frame 0 starts unknown), the target fault is
+//! replicated into every frame, and the multi-site PODEM of
+//! [`Podem::solve_any_of`] searches for a `k`-cycle test sequence. The
+//! circuit the combinational engine must handle grows `k`-fold — which
+//! is exactly why §IV's scan techniques exist.
+
+use std::collections::HashMap;
+
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin, PortRef};
+use dft_fault::Fault;
+use dft_sim::Logic;
+
+use crate::podem::{GenOutcome, Podem, PodemConfig, TestCube};
+
+/// A `k`-frame unrolling of a sequential netlist.
+#[derive(Clone, Debug)]
+pub struct Unrolled {
+    netlist: Netlist,
+    frames: usize,
+    original_pi_count: usize,
+    /// `map[frame]`: original gate id → unrolled gate id.
+    map: Vec<HashMap<GateId, GateId>>,
+}
+
+impl Unrolled {
+    /// Unrolls `netlist` into `frames` combinational copies.
+    ///
+    /// Frame 0's storage elements stay as (uncontrollable, unknown) `Dff`
+    /// sources; in later frames each storage output is replaced by the
+    /// previous frame's data-input net. Every frame's primary outputs are
+    /// exposed as `f<k>_<name>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is 0.
+    pub fn build(netlist: &Netlist, frames: usize) -> Result<Self, LevelizeError> {
+        assert!(frames > 0, "need at least one frame");
+        let lv = netlist.levelize()?;
+        let mut out = Netlist::new(format!("{}_x{frames}", netlist.name()));
+        let mut map: Vec<HashMap<GateId, GateId>> = Vec::with_capacity(frames);
+
+        for f in 0..frames {
+            let mut m: HashMap<GateId, GateId> = HashMap::new();
+            // Sources first: inputs and storage.
+            for (id, gate) in netlist.iter() {
+                match gate.kind() {
+                    GateKind::Input => {
+                        let name = format!("f{f}_{}", gate.name().unwrap_or("pi"));
+                        m.insert(id, out.try_add_input(name).expect("fresh per frame"));
+                    }
+                    GateKind::Dff => {
+                        if f == 0 {
+                            // Unknown initial state: keep an uncontrollable
+                            // storage source (data input is a dummy).
+                            let dummy = out.add_const(false);
+                            m.insert(id, out.add_dff(dummy).expect("valid"));
+                        } else {
+                            // Previous frame's data-input net.
+                            let d_orig = netlist.gate(id).inputs()[0];
+                            m.insert(id, map[f - 1][&d_orig]);
+                        }
+                    }
+                    GateKind::Const0 | GateKind::Const1 => {
+                        m.insert(id, out.add_const(gate.kind() == GateKind::Const1));
+                    }
+                    _ => {}
+                }
+            }
+            // Logic gates in dependency order.
+            for &id in lv.order() {
+                let gate = netlist.gate(id);
+                if gate.kind().is_source() {
+                    continue;
+                }
+                let ins: Vec<GateId> = gate.inputs().iter().map(|s| m[s]).collect();
+                let new_id = out.add_gate(gate.kind(), &ins).expect("arity preserved");
+                m.insert(id, new_id);
+            }
+            for (g, name) in netlist.primary_outputs() {
+                out.mark_output(m[g], format!("f{f}_{name}"))
+                    .expect("fresh per frame");
+            }
+            map.push(m);
+        }
+        Ok(Unrolled {
+            netlist: out,
+            frames,
+            original_pi_count: netlist.primary_inputs().len(),
+            map,
+        })
+    }
+
+    /// The unrolled combinational netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Frame count.
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Replicates an original fault into every frame.
+    ///
+    /// A fault on a storage element maps to: its data-pin fault in each
+    /// frame (corrupting what the next frame sees is expressed by the
+    /// output fault of the previous frame's data net), and its output
+    /// fault onto each frame's state source net.
+    #[must_use]
+    pub fn replicate_fault(&self, fault: Fault) -> Vec<Fault> {
+        let mut sites = Vec::with_capacity(self.frames);
+        for f in 0..self.frames {
+            let gate = self.map[f][&fault.site.gate];
+            // A DFF data-pin fault in frame f corrupts the value frame
+            // f+1 reads: in the unrolled netlist that is an output fault
+            // on the data net alias — but the alias *is* `gate` for
+            // frame f+1's state (map[f+1][dff] = map[f][d]). Simplest
+            // faithful translation: pin faults on storage become output
+            // faults on the aliased net for every frame > 0, plus the
+            // original-pin semantics never observable in frame 0 (the
+            // capture would land in frame `frames`, outside the window).
+            let pin = match fault.site.pin {
+                Pin::Input(p)
+                    if self.is_storage_original(fault.site.gate) && p == 0 =>
+                {
+                    // Translate below via the *next* frame's state net.
+                    if f + 1 < self.frames {
+                        let next_state = self.map[f + 1][&fault.site.gate];
+                        sites.push(Fault {
+                            site: PortRef::output(next_state),
+                            stuck: fault.stuck,
+                        });
+                    }
+                    continue;
+                }
+                p => p,
+            };
+            sites.push(Fault {
+                site: PortRef { gate, pin },
+                stuck: fault.stuck,
+            });
+        }
+        sites.sort_unstable();
+        sites.dedup();
+        sites
+    }
+
+    fn is_storage_original(&self, _gate: GateId) -> bool {
+        // The map only contains originals; storage is identified through
+        // the per-frame aliasing structure: frame 0 maps storage to a
+        // fresh Dff gate in the unrolled netlist.
+        matches!(
+            self.netlist.gate(self.map[0][&_gate]).kind(),
+            GateKind::Dff
+        )
+    }
+
+    /// Splits a cube over the unrolled inputs into a per-cycle input
+    /// sequence for the original machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube width disagrees with the unrolled netlist.
+    #[must_use]
+    pub fn decode_sequence(&self, cube: &TestCube) -> Vec<Vec<Logic>> {
+        assert_eq!(
+            cube.assignment.len(),
+            self.netlist.primary_inputs().len(),
+            "cube width mismatch"
+        );
+        (0..self.frames)
+            .map(|f| {
+                let lo = f * self.original_pi_count;
+                cube.assignment[lo..lo + self.original_pi_count].to_vec()
+            })
+            .collect()
+    }
+}
+
+/// Outcome of [`sequential_podem`]: the generator verdict plus, on
+/// success, the decoded per-cycle input sequence.
+pub type SequentialGenResult = (GenOutcome, Option<Vec<Vec<Logic>>>);
+
+/// Attempts to generate a `frames`-cycle test sequence for `fault` on a
+/// sequential netlist via time-frame expansion and multi-site PODEM.
+///
+/// `Untestable` here means *no test within the frame bound* (a longer
+/// window might still succeed — bounded sequential ATPG cannot prove
+/// global redundancy).
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+pub fn sequential_podem(
+    netlist: &Netlist,
+    fault: Fault,
+    frames: usize,
+    config: &PodemConfig,
+) -> Result<SequentialGenResult, LevelizeError> {
+    let unrolled = Unrolled::build(netlist, frames)?;
+    let sites = unrolled.replicate_fault(fault);
+    if sites.is_empty() {
+        return Ok((GenOutcome::Untestable, None));
+    }
+    let solver = Podem::new(unrolled.netlist(), *config)?;
+    let (outcome, _) = solver.solve_any_of(&sites);
+    let seq = outcome
+        .cube()
+        .map(|cube| unrolled.decode_sequence(cube));
+    Ok((outcome, seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_fault::{sequential, universe};
+    use dft_netlist::circuits::{binary_counter, shift_register};
+
+    #[test]
+    fn unrolled_shape() {
+        let n = shift_register(3);
+        let u = Unrolled::build(&n, 4).unwrap();
+        assert!(u.netlist().levelize().is_ok());
+        // 4 frames × 1 PI; outputs 4 × 3.
+        assert_eq!(u.netlist().primary_inputs().len(), 4);
+        assert_eq!(u.netlist().primary_outputs().len(), 12);
+        // Only frame 0 keeps storage sources.
+        assert_eq!(u.netlist().storage_elements().len(), 3);
+    }
+
+    #[test]
+    fn finds_multi_cycle_tests_for_shift_register() {
+        // A stem fault deep in a shift register needs enough frames to
+        // march the effect out; with 1 frame it is out of reach, with 4
+        // it is found — and the sequence verifies on the real machine.
+        let n = shift_register(3);
+        let sin = n.primary_inputs()[0];
+        let f = Fault::stuck_at_0(PortRef::output(sin));
+        let cfg = PodemConfig::default();
+
+        let (short, _) = sequential_podem(&n, f, 1, &cfg).unwrap();
+        assert_eq!(
+            short,
+            GenOutcome::Untestable,
+            "one frame cannot observe the corrupted capture"
+        );
+
+        let (long, seq) = sequential_podem(&n, f, 4, &cfg).unwrap();
+        let seq = match (&long, seq) {
+            (GenOutcome::Test(_), Some(seq)) => seq,
+            other => panic!("expected a 4-frame test, got {other:?}"),
+        };
+        // Independent check on the actual sequential machine: fill X
+        // inputs with 1 (the fault is s-a-0, opposing fill is safest but
+        // the engine's cube is already sufficient — fill is free).
+        let filled: Vec<Vec<Logic>> = seq
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&v| if v.is_known() { v } else { Logic::One })
+                    .collect()
+            })
+            .collect();
+        let det = sequential(&n, &filled, &[f]).unwrap();
+        assert!(det.first_detected[0].is_some(), "sequence must detect");
+    }
+
+    #[test]
+    fn unresettable_counter_stays_untestable_at_any_depth() {
+        let n = binary_counter(3);
+        let q2 = n.find_output("q2").unwrap();
+        let f = Fault::stuck_at_0(PortRef::output(q2));
+        let cfg = PodemConfig::default();
+        for frames in [1, 3, 6] {
+            let (outcome, _) = sequential_podem(&n, f, frames, &cfg).unwrap();
+            assert_eq!(
+                outcome,
+                GenOutcome::Untestable,
+                "X initial state never resolves at {frames} frames"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_grows_with_frame_depth() {
+        let n = shift_register(4);
+        let faults = universe(&n);
+        let cfg = PodemConfig {
+            backtrack_limit: 2_000,
+        };
+        let mut prev = 0usize;
+        for frames in [1usize, 3, 6] {
+            let found = faults
+                .iter()
+                .filter(|&&f| {
+                    matches!(
+                        sequential_podem(&n, f, frames, &cfg).unwrap().0,
+                        GenOutcome::Test(_)
+                    )
+                })
+                .count();
+            assert!(found >= prev, "coverage must not shrink with depth");
+            prev = found;
+        }
+        assert!(
+            prev as f64 / faults.len() as f64 > 0.8,
+            "6 frames should reach most of a 4-stage shift register ({prev}/{})",
+            faults.len()
+        );
+    }
+
+    #[test]
+    fn effort_grows_with_frames() {
+        // The sequential-complexity falloff of Eq. (1): the circuit the
+        // combinational engine faces grows linearly with the window.
+        let n = binary_counter(4);
+        let comb = |u: &Unrolled| {
+            u.netlist().logic_gate_count() - u.netlist().storage_elements().len()
+        };
+        let u1 = Unrolled::build(&n, 1).unwrap();
+        let u8 = Unrolled::build(&n, 8).unwrap();
+        assert_eq!(comb(&u8), 8 * comb(&u1), "combinational frames replicate");
+    }
+}

@@ -1,0 +1,127 @@
+//! The composite good/faulty value used by the deterministic generators.
+
+use std::fmt;
+
+use dft_sim::Logic;
+
+/// A pair of three-valued components: the net's value in the good machine
+/// and in the faulty machine.
+///
+/// This encodes Roth's five-valued D-calculus — `D` is good-1/faulty-0,
+/// `D̄` good-0/faulty-1 — plus the partially-known combinations that a
+/// componentwise evaluation produces naturally. Evaluating both
+/// components with the ordinary three-valued gate semantics is exactly
+/// simulating the good and faulty machines of the paper's Fig. 1 in
+/// lock-step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct DVal {
+    /// Value in the good machine.
+    pub good: Logic,
+    /// Value in the faulty machine.
+    pub faulty: Logic,
+}
+
+impl DVal {
+    /// Fully unknown.
+    pub const X: DVal = DVal {
+        good: Logic::X,
+        faulty: Logic::X,
+    };
+    /// Known 0 in both machines.
+    pub const ZERO: DVal = DVal {
+        good: Logic::Zero,
+        faulty: Logic::Zero,
+    };
+    /// Known 1 in both machines.
+    pub const ONE: DVal = DVal {
+        good: Logic::One,
+        faulty: Logic::One,
+    };
+    /// Roth's D: good 1, faulty 0.
+    pub const D: DVal = DVal {
+        good: Logic::One,
+        faulty: Logic::Zero,
+    };
+    /// Roth's D̄: good 0, faulty 1.
+    pub const DBAR: DVal = DVal {
+        good: Logic::Zero,
+        faulty: Logic::One,
+    };
+
+    /// A value equal in both machines.
+    #[must_use]
+    pub fn known(v: Logic) -> DVal {
+        DVal { good: v, faulty: v }
+    }
+
+    /// Whether this is a fault effect (both components known, different).
+    #[must_use]
+    pub fn is_d(self) -> bool {
+        matches!(
+            (self.good.to_bool(), self.faulty.to_bool()),
+            (Some(a), Some(b)) if a != b
+        )
+    }
+
+    /// Whether both machines agree on a known value.
+    #[must_use]
+    pub fn known_equal(self) -> Option<bool> {
+        match (self.good.to_bool(), self.faulty.to_bool()) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether either component is still unknown.
+    #[must_use]
+    pub fn has_x(self) -> bool {
+        !self.good.is_known() || !self.faulty.is_known()
+    }
+}
+
+impl fmt::Display for DVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.good, self.faulty) {
+            (Logic::One, Logic::Zero) => f.write_str("D"),
+            (Logic::Zero, Logic::One) => f.write_str("D̄"),
+            (g, ff) if g == ff => write!(f, "{g}"),
+            (g, ff) => write!(f, "{g}/{ff}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(DVal::D.is_d());
+        assert!(DVal::DBAR.is_d());
+        assert!(!DVal::ONE.is_d());
+        assert!(!DVal::X.is_d());
+        assert_eq!(DVal::ONE.known_equal(), Some(true));
+        assert_eq!(DVal::D.known_equal(), None);
+        assert!(DVal::X.has_x());
+        assert!(!DVal::D.has_x());
+        let half = DVal {
+            good: Logic::One,
+            faulty: Logic::X,
+        };
+        assert!(half.has_x());
+        assert!(!half.is_d());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DVal::D.to_string(), "D");
+        assert_eq!(DVal::DBAR.to_string(), "D̄");
+        assert_eq!(DVal::ZERO.to_string(), "0");
+        assert_eq!(DVal::X.to_string(), "X");
+        let half = DVal {
+            good: Logic::Zero,
+            faulty: Logic::X,
+        };
+        assert_eq!(half.to_string(), "0/X");
+    }
+}

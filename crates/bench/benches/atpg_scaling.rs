@@ -1,0 +1,33 @@
+//! Criterion bench: Eq. (1) in the small — deterministic test
+//! generation time at three gate counts (experiment E2's timing source).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dft_atpg::{generate_tests, AtpgConfig};
+use dft_fault::universe;
+use dft_netlist::circuits::RandomCircuit;
+use std::hint::black_box;
+
+fn bench_atpg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atpg_gate_count");
+    for gates in [100usize, 200, 400] {
+        let n = RandomCircuit::new(16, gates).seed(gates as u64).build();
+        let faults = universe(&n);
+        let cfg = AtpgConfig {
+            random_budget: 64,
+            compact: false,
+            backtrack_limit: 100,
+            ..AtpgConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
+            b.iter(|| generate_tests(black_box(&n), black_box(&faults), black_box(&cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_atpg
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: BILBO self-test session cost per PN pattern
+//! (experiment E11's machinery; the paper's pitch is that these run "at
+//! very high speeds by only applying the shift clocks").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dft_bist::SelfTestSession;
+use dft_netlist::circuits::random_combinational;
+use std::hint::black_box;
+
+fn bench_selftest(c: &mut Criterion) {
+    let cln1 = random_combinational(16, 200, 61);
+    let cln2 = random_combinational(16, 200, 62);
+    let session = SelfTestSession::new(&cln1, &cln2);
+
+    let mut group = c.benchmark_group("bilbo");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("good_machine_256_patterns", |b| {
+        b.iter(|| session.run_phase(black_box(256), 1, &[]))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_selftest
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: compiled-code simulation vs the graph-walking
+//! parallel simulator ("compiled code Boolean simulation", §IV-A).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dft_netlist::circuits::random_combinational;
+use dft_sim::{CompiledSim, ParallelSim, PatternSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_compiled(c: &mut Criterion) {
+    let n = random_combinational(24, 2000, 9);
+    let mut rng = StdRng::seed_from_u64(5);
+    let patterns = PatternSet::random(24, 512, &mut rng);
+    let parallel = ParallelSim::new(&n).unwrap();
+    let compiled = CompiledSim::new(&n).unwrap();
+
+    let mut group = c.benchmark_group("simulation_2000gates_512patterns");
+    group.throughput(Throughput::Elements(512));
+    group.bench_function("levelized_graph_walk", |b| {
+        b.iter(|| parallel.run(black_box(&patterns)))
+    });
+    group.bench_function("compiled_straight_line", |b| {
+        b.iter(|| compiled.run(black_box(&patterns)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compiled
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: the full-scan flow end to end (experiment E9's
+//! machinery: insert → extract → ATPG → schedule → verify).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_atpg::AtpgConfig;
+use dft_core::full_scan_flow;
+use dft_netlist::circuits::random_sequential;
+use dft_scan::{ScanConfig, ScanStyle};
+use std::hint::black_box;
+
+fn bench_flow(c: &mut Criterion) {
+    let n = random_sequential(6, 12, 18, 4, 21);
+    let scan = ScanConfig::new(ScanStyle::Lssd);
+    let atpg = AtpgConfig {
+        random_budget: 128,
+        backtrack_limit: 200,
+        ..AtpgConfig::default()
+    };
+    c.bench_function("full_scan_flow_12latch", |b| {
+        b.iter(|| full_scan_flow(black_box(&n), black_box(&scan), black_box(&atpg)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flow
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: signature-register throughput (experiment E7's
+//! compression machinery — a Signature Analysis probe session absorbs
+//! one bit per board clock).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dft_lfsr::{Misr, Polynomial, SignatureRegister};
+use std::hint::black_box;
+
+fn bench_signature(c: &mut Criterion) {
+    let poly = Polynomial::primitive(16).expect("table entry");
+    let stream: Vec<bool> = (0..4096).map(|i| i % 3 == 0).collect();
+
+    let mut group = c.benchmark_group("signature");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("sisr_16bit", |b| {
+        b.iter(|| {
+            let mut reg = SignatureRegister::new(poly);
+            for &bit in black_box(&stream) {
+                reg.shift_in(bit);
+            }
+            reg.signature()
+        })
+    });
+    group.bench_function("misr_16bit", |b| {
+        b.iter(|| {
+            let mut reg = Misr::new(poly);
+            for w in 0..4096u64 {
+                reg.clock_word(black_box(w * 2654435761 % 65536));
+            }
+            reg.signature()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_signature
+}
+criterion_main!(benches);

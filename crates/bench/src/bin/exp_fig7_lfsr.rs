@@ -1,0 +1,45 @@
+//! E6 — Fig. 7: the counting sequence of the 3-bit LFSR (Q1 ← Q2 ⊕ Q3)
+//! from every initial value.
+
+use dft_bench::print_table;
+use dft_lfsr::{Lfsr, Polynomial};
+
+fn main() {
+    let poly = Polynomial::new(3, &[2]);
+    println!("characteristic polynomial: {poly}");
+
+    // The full orbit from the all-ones seed (the paper's figure).
+    let mut lfsr = Lfsr::fibonacci(poly, 0b111);
+    let mut rows = Vec::new();
+    for step in 0..8 {
+        let s = lfsr.state();
+        rows.push(vec![
+            step.to_string(),
+            format!("{}", s & 1),
+            format!("{}", s >> 1 & 1),
+            format!("{}", s >> 2 & 1),
+        ]);
+        lfsr.step();
+    }
+    print_table(
+        "Fig. 7 counting sequence from Q1Q2Q3 = 111",
+        &["clock", "Q1", "Q2", "Q3"],
+        &rows,
+    );
+
+    // Period from every seed.
+    let mut rows = Vec::new();
+    for seed in 0..8u64 {
+        let period = if seed == 0 {
+            "1 (stuck: zero state)".to_owned()
+        } else {
+            Lfsr::fibonacci(poly, seed).period().to_string()
+        };
+        rows.push(vec![format!("{seed:03b}"), period]);
+    }
+    print_table("Period by initial value", &["seed", "period"], &rows);
+    println!(
+        "\nEvery nonzero seed walks the full 2^3 − 1 = 7 states (maximal length);\n\
+         the zero state is the classic dead state the tester must avoid."
+    );
+}

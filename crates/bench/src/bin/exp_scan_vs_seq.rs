@@ -1,0 +1,60 @@
+//! E9 — §IV: the payoff of scan. Sequential testing of the raw machine
+//! versus the full-scan flow (insert → extract → combinational ATPG →
+//! shift/capture schedule), with the serialization cost on display.
+
+use dft_atpg::AtpgConfig;
+use dft_bench::print_table;
+use dft_core::compare_scan_payoff;
+use dft_netlist::circuits::{binary_counter, johnson_counter, random_sequential};
+use dft_scan::{ScanConfig, ScanStyle};
+
+fn main() {
+    let designs = [
+        ("counter8", binary_counter(8)),
+        ("johnson6", johnson_counter(6)),
+        ("fsm s8", random_sequential(6, 8, 20, 4, 11)),
+        ("fsm s16", random_sequential(8, 16, 20, 6, 12)),
+    ];
+    let mut rows = Vec::new();
+    for (name, n) in &designs {
+        let payoff = compare_scan_payoff(
+            n,
+            256,
+            5,
+            &ScanConfig::new(ScanStyle::Lssd),
+            &AtpgConfig::default(),
+        )
+        .expect("flow runs");
+        rows.push(vec![
+            (*name).to_owned(),
+            n.storage_elements().len().to_string(),
+            format!("{:.1}", payoff.sequential_coverage * 100.0),
+            format!("{:.1}", payoff.scan.view_coverage * 100.0),
+            payoff.scan.pattern_count.to_string(),
+            payoff.scan.test_cycles.to_string(),
+            format!("{:.1}", payoff.scan.overhead.gate_overhead_percent()),
+            payoff.scan.good_machine_mismatches.to_string(),
+        ]);
+    }
+    print_table(
+        "Sequential testing (256 random cycles) vs full scan",
+        &[
+            "design",
+            "latches",
+            "seq cov %",
+            "scan cov %",
+            "patterns",
+            "scan cycles",
+            "ovh %",
+            "mismatch",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: sequential coverage collapses on machines with unreachable\n\
+         state (the counter), while the scan flow reaches (near-)complete coverage at\n\
+         the price of chain-shift cycles — the paper's \"apparent disadvantage is the\n\
+         serialization of the test\". `mismatch` = 0 verifies the combinational test\n\
+         view's predictions end-to-end on the functional machine."
+    );
+}

@@ -1,0 +1,59 @@
+//! E12 — §V-B: syndrome testing. S = K/2ⁿ per output; most faults move
+//! the count; the held-input (segmented) technique of \[116\] recovers
+//! the rest.
+
+use dft_bench::print_table;
+use dft_bist::{segmented_syndrome_coverage, syndrome, syndrome_testable};
+use dft_fault::universe;
+use dft_netlist::circuits::{c17, full_adder, sn74181};
+
+fn main() {
+    // Syndromes of the SN74181-style ALU outputs.
+    let (alu, _) = sn74181();
+    let syn = syndrome(&alu).expect("combinational");
+    let rows: Vec<Vec<String>> = alu
+        .primary_outputs()
+        .iter()
+        .zip(&syn)
+        .map(|((_, name), s)| {
+            vec![name.clone(), s.k.to_string(), format!("{:.4}", s.value())]
+        })
+        .collect();
+    print_table(
+        "SN74181 output syndromes (n = 14, 2^14 = 16384 patterns)",
+        &["output", "K (minterms)", "S = K/2^n"],
+        &rows,
+    );
+
+    // Syndrome-testability across small benchmarks, and the segmented fix.
+    let mut rows = Vec::new();
+    for (name, n) in [("c17", c17()), ("full_adder", full_adder())] {
+        let faults = universe(&n);
+        let testable = syndrome_testable(&n, &faults).expect("combinational");
+        let plain = testable.iter().filter(|&&t| t).count();
+        // Segmented: split on the first input.
+        let seg = segmented_syndrome_coverage(
+            &n,
+            &faults,
+            &[vec![(0, false)], vec![(0, true)]],
+        )
+        .expect("combinational");
+        rows.push(vec![
+            name.to_owned(),
+            faults.len().to_string(),
+            format!("{:.1}", plain as f64 / faults.len() as f64 * 100.0),
+            format!("{:.1}", seg * 100.0),
+        ]);
+    }
+    print_table(
+        "Syndrome testability (plain vs one held input, two passes)",
+        &["circuit", "faults", "plain %", "segmented %"],
+        &rows,
+    );
+    println!(
+        "\nPaper: real networks needed at most one extra input (≤ 5 %) to become\n\
+         syndrome-testable. Here the same effect comes from holding an existing\n\
+         input across two passes — the [116] variant — which lifts coverage at the\n\
+         cost of a 2× longer (still tiny-data) test."
+    );
+}

@@ -1,0 +1,71 @@
+//! E13 — Table I and §V-C: Walsh functions for the Fig. 24 network and
+//! the C_all/C₀ test.
+
+use dft_bench::print_table;
+use dft_bist::{c0_coefficient, c_all_coefficient, table1, walsh_detectable};
+use dft_fault::{universe, Fault};
+use dft_netlist::circuits::majority;
+use dft_netlist::PortRef;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table1()
+        .iter()
+        .map(|r| {
+            vec![
+                format!(
+                    "{}{}{}",
+                    u8::from(r.x[0]),
+                    u8::from(r.x[1]),
+                    u8::from(r.x[2])
+                ),
+                format!("{:+}", r.w2),
+                format!("{:+}", r.w13),
+                u8::from(r.f).to_string(),
+                format!("{:+}", r.w2_f),
+                format!("{:+}", r.w13_f),
+                format!("{:+}", r.w_all),
+                format!("{:+}", r.w_all_f),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I — Walsh functions for the Fig. 24 function",
+        &["x1x2x3", "W2", "W1,3", "F", "W2·F", "W1,3·F", "Wall", "Wall·F"],
+        &rows,
+    );
+    println!(
+        "(convention: 0 ↦ −1, 1 ↦ +1 as the paper states; its printed W_ALL column\n\
+         carries the opposite global sign — inconsequential for the test.)"
+    );
+
+    let n = majority();
+    let c0 = c0_coefficient(&n, 0).expect("combinational");
+    let c_all = c_all_coefficient(&n, 0).expect("combinational");
+    println!("\nC0 = {c0}, C_all = {c_all}  (C_all ≠ 0 ⇒ the technique applies)");
+
+    // Every primary-input stuck fault zeroes C_all.
+    let mut rows = Vec::new();
+    for &pi in n.primary_inputs() {
+        for stuck in [false, true] {
+            let f = Fault {
+                site: PortRef::output(pi),
+                stuck,
+            };
+            let det = walsh_detectable(&n, &[f]).expect("combinational")[0];
+            rows.push(vec![
+                format!("{f}"),
+                if det { "detected".into() } else { "MISSED".into() },
+            ]);
+        }
+    }
+    print_table("Primary-input stuck faults via (C0, C_all)", &["fault", "verdict"], &rows);
+
+    let faults = universe(&n);
+    let det = walsh_detectable(&n, &faults).expect("combinational");
+    let frac = det.iter().filter(|&&d| d).count() as f64 / faults.len() as f64;
+    println!(
+        "\nwhole-universe detectability via (C0, C_all): {:.1} % of {} faults",
+        frac * 100.0,
+        faults.len()
+    );
+}

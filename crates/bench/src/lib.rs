@@ -1,0 +1,92 @@
+//! # dft-bench
+//!
+//! The experiment harness: one binary per table/figure/quantitative
+//! claim of Williams & Parker (see `DESIGN.md` §3 for the full index),
+//! plus criterion benches for the timing-based experiments.
+//!
+//! Run an experiment with e.g.
+//!
+//! ```text
+//! cargo run --release -p dft-bench --bin exp_eq1_scaling
+//! ```
+
+use dft_sim::PatternSet;
+
+/// Prints an aligned text table (the format every experiment binary
+/// reports in).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// All 2ⁿ patterns over `n` inputs (n ≤ 20 to stay sane).
+///
+/// # Panics
+///
+/// Panics if `n > 20`.
+#[must_use]
+pub fn exhaustive_patterns(n: usize) -> PatternSet {
+    assert!(n <= 20, "exhaustive pattern materialization capped at 2^20");
+    let rows: Vec<Vec<bool>> = (0..1usize << n)
+        .map(|v| (0..n).map(|i| v >> i & 1 == 1).collect())
+        .collect();
+    PatternSet::from_rows(n, &rows)
+}
+
+/// Formats a float with engineering-friendly precision.
+#[must_use]
+pub fn eng(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_patterns_enumerate() {
+        let p = exhaustive_patterns(3);
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.get(5), vec![true, false, true]);
+    }
+
+    #[test]
+    fn eng_formats() {
+        assert_eq!(eng(0.0), "0");
+        assert_eq!(eng(3.77e22), "3.770e22");
+        assert_eq!(eng(123.4), "123.4");
+        assert_eq!(eng(1.5), "1.500");
+    }
+}

@@ -1,0 +1,85 @@
+//! Smoke tests: the fast experiment binaries must run to completion and
+//! print their headline markers (the heavyweight sweeps are exercised
+//! manually / in release mode — see EXPERIMENTS.md).
+
+use std::process::Command;
+
+fn run(bin: &str, expect: &[&str]) {
+    let out = Command::new(bin)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} exited with {:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for marker in expect {
+        assert!(
+            stdout.contains(marker),
+            "{bin} output missing {marker:?}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn exp_fig1_stuck_at() {
+    run(env!("CARGO_BIN_EXE_exp_fig1_stuck_at"), &["TEST", "01"]);
+}
+
+#[test]
+fn exp_fig7_lfsr() {
+    run(
+        env!("CARGO_BIN_EXE_exp_fig7_lfsr"),
+        &["x^3 + x^2 + 1", "Period by initial value"],
+    );
+}
+
+#[test]
+fn exp_cost_of_test() {
+    run(
+        env!("CARGO_BIN_EXE_exp_cost_of_test"),
+        &["300.00", "chip coverage"],
+    );
+}
+
+#[test]
+fn exp_fault_universe() {
+    run(
+        env!("CARGO_BIN_EXE_exp_fault_universe"),
+        &["6000", "after equivalence collapsing"],
+    );
+}
+
+#[test]
+fn exp_table1_walsh() {
+    run(
+        env!("CARGO_BIN_EXE_exp_table1_walsh"),
+        &["Table I", "C_all = -4", "detected"],
+    );
+}
+
+#[test]
+fn exp_ram_march() {
+    run(
+        env!("CARGO_BIN_EXE_exp_ram_march"),
+        &["MATS+", "March C−", "100.0"],
+    );
+}
+
+#[test]
+fn exp_functional_infeasible() {
+    run(
+        env!("CARGO_BIN_EXE_exp_functional_infeasible"),
+        &["2^75", "years"],
+    );
+}
+
+#[test]
+fn exp_cmos_stuck_open() {
+    run(
+        env!("CARGO_BIN_EXE_exp_cmos_stuck_open"),
+        &["stuck-open", "100.0"],
+    );
+}

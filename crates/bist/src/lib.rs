@@ -1,0 +1,39 @@
+//! # dft-bist
+//!
+//! Self-testing and built-in test — §V of Williams & Parker.
+//!
+//! * [`bilbo`] — the Built-In Logic Block Observation register (Fig. 19)
+//!   with all four modes, and the two-network ping-pong self-test of
+//!   Figs. 20–21 with fault-coverage and test-data-volume measurement.
+//! * [`mod@syndrome`] — syndrome testing (§V-B, Savir): S = K/2ⁿ, per-fault
+//!   syndrome-testability, and the segmented (held-input) testing that
+//!   makes syndrome-untestable circuits testable.
+//! * [`walsh`] — testing by verifying Walsh coefficients (§V-C,
+//!   Susskind): C₀ and C_all measurement, the Table I computation, and
+//!   per-fault detectability.
+//! * [`autonomous`] — autonomous testing (§V-D, McCluskey &
+//!   Bozorgui-Nesbat): exhaustive self-verification, multiplexer
+//!   partitioning, and the sensitized partitioning of the SN74181
+//!   (Figs. 33–34).
+
+pub mod autonomous;
+pub mod bilbo;
+pub mod ram;
+pub mod schedule;
+pub mod syndrome;
+pub mod walsh;
+
+pub use autonomous::{
+    autonomous_signature, sensitized_partition_74181, LfsrModuleMode, MuxPartition,
+    ReconfigurableLfsr, Sensitized74181Report,
+};
+pub use bilbo::{BilboMode, BilboRegister, SelfTestReport, SelfTestSession};
+pub use ram::{march_c_minus, march_coverage, mats_plus, MarchResult, Ram, RamFault};
+pub use schedule::{schedule as schedule_bist, BistBlock, BistPlan, BistSession};
+pub use syndrome::{
+    fault_syndromes, segmented_syndrome_coverage, syndrome, syndrome_testable, Syndrome,
+};
+pub use walsh::{
+    c0_coefficient, c_all_coefficient, table1, walsh_coefficient, walsh_detectable,
+    Table1Row,
+};

@@ -1,0 +1,395 @@
+//! Embedded-RAM testing: march algorithms.
+//!
+//! §IV-A notes that "it is not practical to implement RAM with SRL
+//! memory, so additional procedures are required to handle embedded RAM
+//! circuitry \[20\]". Those procedures are the march tests: deterministic
+//! read/write sweeps that detect the RAM-specific fault classes the
+//! stuck-at gate model cannot express — cell stuck-at, address-decoder
+//! faults, and coupling between cells (the paper's reference \[59\] covers
+//! the pattern-sensitive family).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RAM-specific fault classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RamFault {
+    /// Cell `addr` bit `bit` stuck at `value`.
+    StuckCell {
+        /// Faulty word address.
+        addr: usize,
+        /// Faulty bit within the word.
+        bit: usize,
+        /// Stuck value.
+        value: bool,
+    },
+    /// A transition of `aggressor`'s bit `bit` flips `victim`'s bit
+    /// `bit` (inversion coupling, CFin): `rising` selects the 0→1
+    /// trigger, otherwise 1→0.
+    Coupling {
+        /// The cell whose transition disturbs another.
+        aggressor: usize,
+        /// The disturbed cell.
+        victim: usize,
+        /// The coupled bit (same position in both words).
+        bit: usize,
+        /// Trigger on a rising (0→1) aggressor transition; falling
+        /// otherwise.
+        rising: bool,
+    },
+    /// Address `a` aliases onto address `b` (decoder fault: both map to
+    /// the same physical word).
+    AddressAlias {
+        /// First address.
+        a: usize,
+        /// Second address (reads/writes land on `a`'s word).
+        b: usize,
+    },
+}
+
+/// A behavioural RAM with an optional injected fault.
+#[derive(Clone, Debug)]
+pub struct Ram {
+    words: Vec<u64>,
+    width: usize,
+    fault: Option<RamFault>,
+}
+
+impl Ram {
+    /// A zeroed RAM of `depth` words × `width` bits (width ≤ 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0 or `width` is outside 1..=64.
+    #[must_use]
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        assert!((1..=64).contains(&width), "width must be 1..=64");
+        Ram {
+            words: vec![0; depth],
+            width,
+            fault: None,
+        }
+    }
+
+    /// Number of words.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Word width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Injects a fault (replacing any previous one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault references an out-of-range address or bit.
+    pub fn inject(&mut self, fault: RamFault) {
+        match fault {
+            RamFault::StuckCell { addr, bit, .. } => {
+                assert!(addr < self.depth() && bit < self.width);
+            }
+            RamFault::Coupling {
+                aggressor,
+                victim,
+                bit,
+                ..
+            } => {
+                assert!(aggressor < self.depth() && victim < self.depth());
+                assert!(bit < self.width && aggressor != victim);
+            }
+            RamFault::AddressAlias { a, b } => {
+                assert!(a < self.depth() && b < self.depth() && a != b);
+            }
+        }
+        self.fault = Some(fault);
+    }
+
+    fn physical(&self, addr: usize) -> usize {
+        match self.fault {
+            Some(RamFault::AddressAlias { a, b }) if addr == b => a,
+            _ => addr,
+        }
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1 << self.width) - 1
+        }
+    }
+
+    /// Writes `data` to `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write(&mut self, addr: usize, data: u64) {
+        assert!(addr < self.depth(), "address out of range");
+        let phys = self.physical(addr);
+        let old = self.words[phys];
+        self.words[phys] = data & self.mask();
+        if let Some(RamFault::Coupling {
+            aggressor,
+            victim,
+            bit,
+            rising,
+        }) = self.fault
+        {
+            if phys == aggressor {
+                let was = old >> bit & 1 == 1;
+                let now = self.words[phys] >> bit & 1 == 1;
+                let triggered = if rising { !was && now } else { was && !now };
+                if triggered {
+                    self.words[victim] ^= 1 << bit;
+                }
+            }
+        }
+    }
+
+    /// Reads the word at `addr` (stuck cells override the stored value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[must_use]
+    pub fn read(&self, addr: usize) -> u64 {
+        assert!(addr < self.depth(), "address out of range");
+        let phys = self.physical(addr);
+        let mut w = self.words[phys];
+        if let Some(RamFault::StuckCell { addr: fa, bit, value }) = self.fault {
+            if phys == fa {
+                if value {
+                    w |= 1 << bit;
+                } else {
+                    w &= !(1 << bit);
+                }
+            }
+        }
+        w & self.mask()
+    }
+}
+
+/// Result of a march run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MarchResult {
+    /// Whether every read matched its expectation.
+    pub pass: bool,
+    /// Total read+write operations performed.
+    pub operations: u64,
+}
+
+/// MATS+ : `⇕(w0); ⇑(r0, w1); ⇓(r1, w0)` — detects all stuck cells and
+/// address-decoder faults in `5·depth` operations.
+pub fn mats_plus(ram: &mut Ram) -> MarchResult {
+    let depth = ram.depth();
+    let ones = ram.mask_for_tests();
+    let mut ops = 0u64;
+    let mut pass = true;
+    for a in 0..depth {
+        ram.write(a, 0);
+        ops += 1;
+    }
+    for a in 0..depth {
+        pass &= ram.read(a) == 0;
+        ram.write(a, ones);
+        ops += 2;
+    }
+    for a in (0..depth).rev() {
+        pass &= ram.read(a) == ones;
+        ram.write(a, 0);
+        ops += 2;
+    }
+    MarchResult {
+        pass,
+        operations: ops,
+    }
+}
+
+/// March C− : `⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)` —
+/// additionally detects unlinked inversion coupling faults, in
+/// `10·depth` operations.
+pub fn march_c_minus(ram: &mut Ram) -> MarchResult {
+    let depth = ram.depth();
+    let ones = ram.mask_for_tests();
+    let mut ops = 0u64;
+    let mut pass = true;
+    for a in 0..depth {
+        ram.write(a, 0);
+        ops += 1;
+    }
+    for a in 0..depth {
+        pass &= ram.read(a) == 0;
+        ram.write(a, ones);
+        ops += 2;
+    }
+    for a in 0..depth {
+        pass &= ram.read(a) == ones;
+        ram.write(a, 0);
+        ops += 2;
+    }
+    for a in (0..depth).rev() {
+        pass &= ram.read(a) == 0;
+        ram.write(a, ones);
+        ops += 2;
+    }
+    for a in (0..depth).rev() {
+        pass &= ram.read(a) == ones;
+        ram.write(a, 0);
+        ops += 2;
+    }
+    for a in 0..depth {
+        pass &= ram.read(a) == 0;
+        ops += 1;
+    }
+    MarchResult {
+        pass,
+        operations: ops,
+    }
+}
+
+impl Ram {
+    fn mask_for_tests(&self) -> u64 {
+        self.mask()
+    }
+}
+
+/// Measures a march algorithm's coverage of a random fault sample:
+/// fraction of injected faults that make the march fail.
+pub fn march_coverage<F>(
+    depth: usize,
+    width: usize,
+    march: F,
+    trials: u32,
+    seed: u64,
+) -> f64
+where
+    F: Fn(&mut Ram) -> MarchResult,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut caught = 0u32;
+    for _ in 0..trials {
+        let mut ram = Ram::new(depth, width);
+        let fault = match rng.gen_range(0..3u8) {
+            0 => RamFault::StuckCell {
+                addr: rng.gen_range(0..depth),
+                bit: rng.gen_range(0..width),
+                value: rng.gen_bool(0.5),
+            },
+            1 => {
+                let aggressor = rng.gen_range(0..depth);
+                let mut victim = rng.gen_range(0..depth);
+                if victim == aggressor {
+                    victim = (victim + 1) % depth;
+                }
+                RamFault::Coupling {
+                    aggressor,
+                    victim,
+                    bit: rng.gen_range(0..width),
+                    rising: rng.gen_bool(0.5),
+                }
+            }
+            _ => {
+                let a = rng.gen_range(0..depth);
+                let mut b = rng.gen_range(0..depth);
+                if b == a {
+                    b = (b + 1) % depth;
+                }
+                RamFault::AddressAlias { a, b }
+            }
+        };
+        ram.inject(fault);
+        if !march(&mut ram).pass {
+            caught += 1;
+        }
+    }
+    f64::from(caught) / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_ram_passes_both_marches() {
+        let mut ram = Ram::new(64, 8);
+        assert!(mats_plus(&mut ram).pass);
+        let mut ram = Ram::new(64, 8);
+        let r = march_c_minus(&mut ram).pass;
+        assert!(r);
+    }
+
+    #[test]
+    fn operation_counts_match_the_formulas() {
+        let mut ram = Ram::new(32, 4);
+        assert_eq!(mats_plus(&mut ram).operations, 5 * 32);
+        let mut ram = Ram::new(32, 4);
+        assert_eq!(march_c_minus(&mut ram).operations, 10 * 32);
+    }
+
+    #[test]
+    fn stuck_cells_always_caught() {
+        for value in [false, true] {
+            let mut ram = Ram::new(16, 4);
+            ram.inject(RamFault::StuckCell {
+                addr: 9,
+                bit: 2,
+                value,
+            });
+            assert!(!mats_plus(&mut ram).pass, "stuck-{value} escaped MATS+");
+        }
+    }
+
+    #[test]
+    fn address_alias_caught_by_mats_plus() {
+        let mut ram = Ram::new(16, 4);
+        ram.inject(RamFault::AddressAlias { a: 3, b: 11 });
+        assert!(!mats_plus(&mut ram).pass);
+    }
+
+    #[test]
+    fn coupling_needs_march_c() {
+        // A falling-transition coupling with the victim above the
+        // aggressor escapes MATS+ (the final descending sweep reads the
+        // victim before the aggressor's last fall) but not March C−.
+        let mut escapes = 0;
+        for (aggr, vict) in [(9usize, 4usize), (4, 9)] {
+            for rising in [false, true] {
+                let fault = RamFault::Coupling {
+                    aggressor: aggr,
+                    victim: vict,
+                    bit: 0,
+                    rising,
+                };
+                let mut ram = Ram::new(16, 1);
+                ram.inject(fault);
+                let mats = mats_plus(&mut ram).pass;
+                let mut ram = Ram::new(16, 1);
+                ram.inject(fault);
+                assert!(
+                    !march_c_minus(&mut ram).pass,
+                    "March C− must catch coupling {aggr}->{vict} rising={rising}"
+                );
+                if mats {
+                    escapes += 1;
+                }
+            }
+        }
+        assert!(escapes >= 1, "some coupling orientation escapes MATS+");
+    }
+
+    #[test]
+    fn march_c_covers_the_random_fault_sample_completely() {
+        let cov = march_coverage(32, 4, march_c_minus, 200, 7);
+        assert!((cov - 1.0).abs() < 1e-9, "March C− coverage {cov}");
+        let mats = march_coverage(32, 4, mats_plus, 200, 7);
+        assert!(mats < 1.0, "MATS+ should miss some couplings ({mats})");
+        assert!(mats > 0.8);
+    }
+}

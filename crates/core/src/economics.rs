@@ -1,0 +1,197 @@
+//! The cost of testing (§I-B, §I-C).
+
+/// Packaging levels at which a fault can be caught.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Component test.
+    Chip,
+    /// Board test.
+    Board,
+    /// System integration test.
+    System,
+    /// Deployed in the field.
+    Field,
+}
+
+impl Level {
+    /// All levels, cheapest first.
+    pub const ALL: [Level; 4] = [Level::Chip, Level::Board, Level::System, Level::Field];
+}
+
+/// The rule-of-ten escalation model: "If it costs $0.30 to detect a
+/// fault at the chip level, then it would cost $3 … at the board level;
+/// $30 … at the system level; and $300 … in the field."
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Cost to detect one fault at chip level (the paper's $0.30).
+    pub chip_cost: f64,
+    /// Escalation factor per packaging level (the paper's 10).
+    pub escalation: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            chip_cost: 0.30,
+            escalation: 10.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of detecting one fault at `level`.
+    #[must_use]
+    pub fn detection_cost(&self, level: Level) -> f64 {
+        let steps = match level {
+            Level::Chip => 0,
+            Level::Board => 1,
+            Level::System => 2,
+            Level::Field => 3,
+        };
+        self.chip_cost * self.escalation.powi(steps)
+    }
+
+    /// Expected escape cost per shipped unit: faults missed at each level
+    /// surface at the next one. `fault_count` faults per unit,
+    /// `coverage[level]` is the detection probability at each of the four
+    /// levels (field coverage is effectively 1 — the customer always
+    /// finds it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage.len() != 4`.
+    #[must_use]
+    pub fn expected_cost(&self, fault_count: f64, coverage: &[f64]) -> f64 {
+        assert_eq!(coverage.len(), 4, "one coverage figure per level");
+        let mut remaining = fault_count;
+        let mut cost = 0.0;
+        for (level, &c) in Level::ALL.iter().zip(coverage) {
+            let caught = remaining * c.clamp(0.0, 1.0);
+            cost += caught * self.detection_cost(*level);
+            remaining -= caught;
+        }
+        // Whatever survives the field coverage entry is still a field
+        // repair eventually.
+        cost + remaining * self.detection_cost(Level::Field)
+    }
+}
+
+/// The defect level (fraction of shipped parts that are faulty) implied
+/// by process yield and fault coverage — the Williams–Brown model
+/// `DL = 1 − Y^(1−T)`.
+///
+/// §I-C: "If the defect level of boards is too high, the cost of field
+/// repairs is also too high." This is the quantitative link between the
+/// fault coverage every experiment in this repository measures and the
+/// escape economics of [`CostModel`]: at Y = 50 % yield, 90 % coverage
+/// still ships ~6.7 % defective parts; 99.9 % coverage ships 0.07 %.
+///
+/// # Panics
+///
+/// Panics if `yield_` or `coverage` is outside `[0, 1]` (or yield is 0).
+#[must_use]
+pub fn defect_level(yield_: f64, coverage: f64) -> f64 {
+    assert!(yield_ > 0.0 && yield_ <= 1.0, "yield must be in (0, 1]");
+    assert!((0.0..=1.0).contains(&coverage), "coverage must be in [0, 1]");
+    1.0 - yield_.powf(1.0 - coverage)
+}
+
+/// The §I-B exhaustive-functional-test estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FunctionalTestEstimate {
+    /// log2 of the required pattern count (N + M).
+    pub log2_patterns: u32,
+    /// Pattern count as a float (may overflow integer range).
+    pub patterns: f64,
+    /// Test time in seconds at the given application rate.
+    pub seconds: f64,
+}
+
+impl FunctionalTestEstimate {
+    /// Test time in years.
+    #[must_use]
+    pub fn years(&self) -> f64 {
+        self.seconds / (365.25 * 24.0 * 3600.0)
+    }
+}
+
+/// Computes the exhaustive functional test size for a network with
+/// `inputs` primary inputs and `latches` storage elements at
+/// `patterns_per_second` application rate: "if a network has N inputs
+/// with M latches, at a minimum it takes 2^(N+M) patterns".
+#[must_use]
+pub fn functional_test(
+    inputs: u32,
+    latches: u32,
+    patterns_per_second: f64,
+) -> FunctionalTestEstimate {
+    let log2 = inputs + latches;
+    let patterns = (log2 as f64).exp2();
+    FunctionalTestEstimate {
+        log2_patterns: log2,
+        patterns,
+        seconds: patterns / patterns_per_second,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_of_ten_matches_the_paper() {
+        let m = CostModel::default();
+        assert!((m.detection_cost(Level::Chip) - 0.30).abs() < 1e-12);
+        assert!((m.detection_cost(Level::Board) - 3.0).abs() < 1e-12);
+        assert!((m.detection_cost(Level::System) - 30.0).abs() < 1e-12);
+        assert!((m.detection_cost(Level::Field) - 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_chip_coverage_cuts_total_cost() {
+        let m = CostModel::default();
+        // 10 faults/unit; compare 99% vs 80% chip coverage.
+        let good = m.expected_cost(10.0, &[0.99, 0.9, 0.9, 1.0]);
+        let poor = m.expected_cost(10.0, &[0.80, 0.9, 0.9, 1.0]);
+        assert!(good < poor);
+        // Catching everything at chip level costs 10 × $0.30.
+        let perfect = m.expected_cost(10.0, &[1.0, 0.0, 0.0, 0.0]);
+        assert!((perfect - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn escapes_are_expensive() {
+        let m = CostModel::default();
+        // Nothing caught before the field: 10 × $300.
+        let worst = m.expected_cost(10.0, &[0.0, 0.0, 0.0, 1.0]);
+        assert!((worst - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defect_level_williams_brown() {
+        // Perfect coverage ships no defects; zero coverage ships 1 − Y.
+        assert!((defect_level(0.5, 1.0)).abs() < 1e-12);
+        assert!((defect_level(0.5, 0.0) - 0.5).abs() < 1e-12);
+        // The classic table entry: Y = 50 %, T = 90 % ⇒ DL ≈ 6.7 %.
+        let dl = defect_level(0.5, 0.9);
+        assert!((dl - 0.067).abs() < 0.001, "dl {dl}");
+        // Higher coverage, lower defect level — monotone.
+        assert!(defect_level(0.5, 0.99) < dl);
+    }
+
+    #[test]
+    fn paper_functional_test_example() {
+        // N = 25, M = 50 ⇒ 2^75 ≈ 3.8 × 10^22 patterns; at 1 µs per
+        // pattern, over a billion years.
+        let est = functional_test(25, 50, 1e6);
+        assert_eq!(est.log2_patterns, 75);
+        assert!((est.patterns / 3.777_9e22 - 1.0).abs() < 0.01);
+        assert!(est.years() > 1e9, "{} years", est.years());
+    }
+
+    #[test]
+    fn small_networks_are_feasible() {
+        let est = functional_test(10, 0, 1e6);
+        assert!(est.seconds < 1.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dft-core
+//!
+//! The survey itself as an API: Williams & Parker present Design for
+//! Testability as "essentially a menu of techniques, each with its
+//! associated cost of implementation and return on investment". This
+//! crate is that menu made executable:
+//!
+//! * [`economics`] — why one tests at all: the rule-of-ten escalation
+//!   ($0.30 chip → $3 board → $30 system → $300 field, §I-C) and the
+//!   2^(N+M) functional-test infeasibility argument (§I-B).
+//! * [`scaling`] — Eq. (1): T = K·Nᵉ fitting for measured test
+//!   generation and fault simulation effort.
+//! * [`planner`] — analyzes a design (structure + SCOAP testability) and
+//!   recommends techniques off the menu with cost estimates.
+//! * [`flow`] — end-to-end flows: full-scan (insert → extract → ATPG →
+//!   schedule → verify) and the before/after comparison the paper's
+//!   argument rests on.
+//!
+//! ```
+//! use dft_netlist::circuits::binary_counter;
+//! use dft_core::planner::DftPlanner;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = binary_counter(8);
+//! let assessment = DftPlanner::assess(&design)?;
+//! // An unresettable counter screams for scan.
+//! assert!(assessment.needs_structured_dft());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod economics;
+pub mod flow;
+pub mod planner;
+pub mod scaling;
+
+pub use economics::{defect_level, functional_test, CostModel, FunctionalTestEstimate};
+pub use flow::{
+    adhoc_flow, compare_scan_payoff, full_scan_flow, AdhocFlowReport, ScanFlowReport, ScanPayoff,
+};
+pub use planner::{DftAssessment, DftPlanner, Recommendation, Technique};
+pub use scaling::{fit_power_law, PowerLawFit};

@@ -1,0 +1,376 @@
+//! The DFT planner: analyze a design, recommend techniques off the menu.
+
+use dft_netlist::{LevelizeError, Netlist};
+use dft_scan::{overhead_for, ScanStyle};
+use dft_testability::{analyze, INFINITE};
+
+/// The menu of §III–§V.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Extra observation/control pins (§III-B).
+    TestPoints,
+    /// CLEAR/PRESET lines for predictability (§III-B).
+    ClearPreset,
+    /// Degating lines for logical partitioning (§III-A).
+    Degating,
+    /// Bus-architecture module isolation (§III-C).
+    BusArchitecture,
+    /// Board-level signature analysis (§III-D).
+    SignatureAnalysis,
+    /// Level-Sensitive Scan Design (§IV-A).
+    Lssd,
+    /// Scan Path (§IV-B).
+    ScanPath,
+    /// Scan/Set shadow register (§IV-C).
+    ScanSet,
+    /// Random-Access Scan (§IV-D).
+    RandomAccessScan,
+    /// BILBO self-test (§V-A).
+    Bilbo,
+    /// Syndrome testing (§V-B).
+    SyndromeTesting,
+    /// Walsh-coefficient verification (§V-C).
+    WalshTesting,
+    /// Autonomous (exhaustive, partitioned) testing (§V-D).
+    AutonomousTesting,
+}
+
+/// One recommendation with its estimated price — the paper's "menu of
+/// techniques, each with its associated cost of implementation".
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// The technique.
+    pub technique: Technique,
+    /// Why the planner suggests it for this design.
+    pub rationale: String,
+    /// Estimated extra gates.
+    pub extra_gates: usize,
+    /// Estimated extra pins.
+    pub extra_pins: usize,
+}
+
+/// The planner's analysis of one design.
+#[derive(Clone, Debug)]
+pub struct DftAssessment {
+    /// Logic gate count (the paper's N).
+    pub gate_count: usize,
+    /// Storage element count (the paper's M).
+    pub storage_count: usize,
+    /// Primary input / output counts.
+    pub io: (usize, usize),
+    /// Number of nets SCOAP says can never be controlled (typically
+    /// unresettable state — the predictability problem).
+    pub uncontrollable_nets: usize,
+    /// The worst finite controllability cost in the design.
+    pub worst_controllability: u32,
+    /// The worst finite observability cost.
+    pub worst_observability: u32,
+    /// Whether exhaustive application of all 2^(N+M) patterns is
+    /// feasible within ~2³⁰ patterns.
+    pub exhaustively_testable: bool,
+    /// Ordered recommendations (strongest first).
+    pub recommendations: Vec<Recommendation>,
+}
+
+impl DftAssessment {
+    /// Whether the design has state that ad-hoc techniques cannot reach
+    /// (the paper's case for the structured approaches).
+    #[must_use]
+    pub fn needs_structured_dft(&self) -> bool {
+        self.storage_count > 0 && self.uncontrollable_nets > 0
+    }
+
+    /// The top recommendation, if any.
+    #[must_use]
+    pub fn first_choice(&self) -> Option<&Recommendation> {
+        self.recommendations.first()
+    }
+}
+
+impl std::fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}: +{} gates, +{} pins — {}",
+            self.technique, self.extra_gates, self.extra_pins, self.rationale
+        )
+    }
+}
+
+impl std::fmt::Display for DftAssessment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "design: {} gates, {} latches, {}/{} I/O; {} uncontrollable nets; \
+             worst CC {} / CO {}; exhaustible: {}",
+            self.gate_count,
+            self.storage_count,
+            self.io.0,
+            self.io.1,
+            self.uncontrollable_nets,
+            self.worst_controllability,
+            self.worst_observability,
+            self.exhaustively_testable
+        )?;
+        for r in &self.recommendations {
+            writeln!(f, "  - {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The planner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DftPlanner;
+
+impl DftPlanner {
+    /// Analyzes `netlist` and assembles the recommendation list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles (fix the
+    /// asynchronous loop first — no technique on the menu survives one).
+    pub fn assess(netlist: &Netlist) -> Result<DftAssessment, LevelizeError> {
+        let report = analyze(netlist)?;
+        let stats = netlist.stats();
+        let mut uncontrollable = 0usize;
+        let mut worst_cc = 0u32;
+        let mut worst_co = 0u32;
+        for id in netlist.ids() {
+            let m = report.measure(id);
+            let cc = m.cc0.min(m.cc1);
+            if cc >= INFINITE {
+                uncontrollable += 1;
+            } else {
+                worst_cc = worst_cc.max(cc);
+            }
+            if m.co < INFINITE {
+                worst_co = worst_co.max(m.co);
+            }
+        }
+        let n_plus_m = stats.primary_input_count + stats.storage_count;
+        let exhaustively_testable = n_plus_m <= 30;
+
+        let mut recs: Vec<Recommendation> = Vec::new();
+
+        if uncontrollable > 0 && stats.storage_count > 0 {
+            recs.push(Recommendation {
+                technique: Technique::ClearPreset,
+                rationale: format!(
+                    "{uncontrollable} nets can never be steered from power-up X: \
+                     a CLEAR/PRESET line initializes the machine in one clock"
+                ),
+                extra_gates: stats.storage_count + 1,
+                extra_pins: 1,
+            });
+        }
+
+        if stats.storage_count > 0 {
+            // Structured techniques, costed through dft-scan.
+            for (style, tech, note) in [
+                (
+                    ScanStyle::Lssd,
+                    Technique::Lssd,
+                    "full controllability/observability of state, race-free two-phase clocking",
+                ),
+                (
+                    ScanStyle::ScanPath,
+                    Technique::ScanPath,
+                    "full state access with a single extra clock (watch the race rule)",
+                ),
+                (
+                    ScanStyle::RandomAccessScan,
+                    Technique::RandomAccessScan,
+                    "state access without shift serialization; higher pin cost",
+                ),
+                (
+                    ScanStyle::ScanSet { width: 64 },
+                    Technique::ScanSet,
+                    "snapshot observability without touching the system data path",
+                ),
+            ] {
+                let oh = overhead_for(netlist, style);
+                recs.push(Recommendation {
+                    technique: tech,
+                    rationale: format!(
+                        "{} storage elements ({} unreachable by ad-hoc means): {note}",
+                        stats.storage_count, uncontrollable
+                    ),
+                    extra_gates: oh.extra_gates,
+                    extra_pins: oh.extra_pins,
+                });
+            }
+        }
+
+        if netlist.is_combinational() {
+            if exhaustively_testable {
+                recs.push(Recommendation {
+                    technique: Technique::AutonomousTesting,
+                    rationale: format!(
+                        "combinational with {} inputs: exhaustive application is feasible and fault-model independent",
+                        stats.primary_input_count
+                    ),
+                    extra_gates: 2 * stats.primary_input_count,
+                    extra_pins: 2,
+                });
+                recs.push(Recommendation {
+                    technique: Technique::SyndromeTesting,
+                    rationale: "combinational and exhaustible: count output 1s, near-zero data volume"
+                        .into(),
+                    extra_gates: 2,
+                    extra_pins: 1,
+                });
+                recs.push(Recommendation {
+                    technique: Technique::WalshTesting,
+                    rationale: "combinational and exhaustible: verify C_all and C0".into(),
+                    extra_gates: 2,
+                    extra_pins: 1,
+                });
+            }
+            recs.push(Recommendation {
+                technique: Technique::Bilbo,
+                rationale: "combinational logic is highly susceptible to random patterns (§V-A)"
+                    .into(),
+                extra_gates: 2 * (stats.primary_input_count + stats.primary_output_count),
+                extra_pins: 2,
+            });
+        }
+
+        if worst_co > 12 || worst_cc > 12 {
+            recs.push(Recommendation {
+                technique: Technique::TestPoints,
+                rationale: format!(
+                    "worst controllability {worst_cc} / observability {worst_co}: pin the hot spots"
+                ),
+                extra_gates: 4 * 3,
+                extra_pins: 4,
+            });
+            recs.push(Recommendation {
+                technique: Technique::Degating,
+                rationale: "deep cones: degate module boundaries for direct control".into(),
+                extra_gates: 3 * 4,
+                extra_pins: 5,
+            });
+        }
+
+        if stats.logic_gate_count > 500 {
+            recs.push(Recommendation {
+                technique: Technique::BusArchitecture,
+                rationale: "large design: divide and conquer the N³ test-generation cost".into(),
+                extra_gates: stats.primary_output_count, // tri-state drivers
+                extra_pins: 2,
+            });
+            recs.push(Recommendation {
+                technique: Technique::SignatureAnalysis,
+                rationale: "self-stimulating board: compress responses to per-net signatures"
+                    .into(),
+                extra_gates: 0,
+                extra_pins: 1,
+            });
+        }
+
+        // Strongest-first ordering: structured before ad-hoc when state
+        // is unreachable; by gate overhead otherwise.
+        if uncontrollable > 0 {
+            recs.sort_by_key(|r| {
+                (
+                    !matches!(
+                        r.technique,
+                        Technique::Lssd
+                            | Technique::ScanPath
+                            | Technique::RandomAccessScan
+                            | Technique::ScanSet
+                    ),
+                    r.extra_gates,
+                )
+            });
+        } else {
+            recs.sort_by_key(|r| r.extra_gates);
+        }
+
+        Ok(DftAssessment {
+            gate_count: stats.logic_gate_count,
+            storage_count: stats.storage_count,
+            io: (stats.primary_input_count, stats.primary_output_count),
+            uncontrollable_nets: uncontrollable,
+            worst_controllability: worst_cc,
+            worst_observability: worst_co,
+            exhaustively_testable,
+            recommendations: recs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::circuits::{
+        binary_counter, c17, random_combinational, random_sequential,
+    };
+
+    #[test]
+    fn counter_gets_scan_first() {
+        let a = DftPlanner::assess(&binary_counter(8)).unwrap();
+        assert!(a.needs_structured_dft());
+        assert!(a.uncontrollable_nets > 0);
+        let first = a.first_choice().unwrap();
+        assert!(matches!(
+            first.technique,
+            Technique::Lssd | Technique::ScanPath | Technique::ScanSet | Technique::RandomAccessScan
+        ));
+    }
+
+    #[test]
+    fn small_combinational_gets_exhaustive_menu() {
+        let a = DftPlanner::assess(&c17()).unwrap();
+        assert!(!a.needs_structured_dft());
+        assert!(a.exhaustively_testable);
+        let techniques: Vec<Technique> =
+            a.recommendations.iter().map(|r| r.technique).collect();
+        assert!(techniques.contains(&Technique::AutonomousTesting));
+        assert!(techniques.contains(&Technique::SyndromeTesting));
+        assert!(techniques.contains(&Technique::Bilbo));
+    }
+
+    #[test]
+    fn wide_combinational_is_not_exhaustible() {
+        let a = DftPlanner::assess(&random_combinational(40, 300, 1)).unwrap();
+        assert!(!a.exhaustively_testable);
+        let techniques: Vec<Technique> =
+            a.recommendations.iter().map(|r| r.technique).collect();
+        assert!(!techniques.contains(&Technique::SyndromeTesting));
+        assert!(techniques.contains(&Technique::Bilbo));
+    }
+
+    #[test]
+    fn unresettable_state_earns_a_clear_preset_recommendation() {
+        let a = DftPlanner::assess(&binary_counter(6)).unwrap();
+        assert!(a
+            .recommendations
+            .iter()
+            .any(|r| r.technique == Technique::ClearPreset));
+        // And the whole assessment renders readably.
+        let text = a.to_string();
+        assert!(text.contains("uncontrollable"));
+        assert!(text.contains("ClearPreset"));
+    }
+
+    #[test]
+    fn recommendations_carry_costs() {
+        let a = DftPlanner::assess(&random_sequential(6, 16, 20, 4, 2)).unwrap();
+        for r in &a.recommendations {
+            assert!(
+                !r.rationale.is_empty(),
+                "{:?} lacks a rationale",
+                r.technique
+            );
+        }
+        let lssd = a
+            .recommendations
+            .iter()
+            .find(|r| r.technique == Technique::Lssd)
+            .unwrap();
+        assert!(lssd.extra_gates > 0);
+        assert_eq!(lssd.extra_pins, 4);
+    }
+}

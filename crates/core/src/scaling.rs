@@ -1,0 +1,124 @@
+//! Eq. (1) of the paper: T = K·Nᵉ.
+//!
+//! "It has been observed that the computer run time to do test
+//! generation and fault simulation is approximately proportional to the
+//! number of logic gates to the power of 3" (with a footnote debating
+//! 2 vs 3). This module fits measured (N, T) samples to a power law so
+//! experiment E2 can report the observed exponent.
+
+/// A fitted power law `t = k·nᵉ`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLawFit {
+    /// The proportionality constant K.
+    pub k: f64,
+    /// The exponent e.
+    pub exponent: f64,
+    /// Coefficient of determination (R²) of the log-log regression.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Predicted T at a given N.
+    #[must_use]
+    pub fn predict(&self, n: f64) -> f64 {
+        self.k * n.powf(self.exponent)
+    }
+}
+
+/// Fits `t = k·nᵉ` by least squares on (ln n, ln t).
+///
+/// Samples with non-positive coordinates are ignored (they have no
+/// logarithm). Returns `None` with fewer than two usable samples or zero
+/// variance in `n`.
+#[must_use]
+pub fn fit_power_law(samples: &[(f64, f64)]) -> Option<PowerLawFit> {
+    let pts: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|&&(n, t)| n > 0.0 && t > 0.0)
+        .map(|&(n, t)| (n.ln(), t.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let m = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = m * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (m * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / m;
+
+    // R² on the log-log data.
+    let mean_y = sy / m;
+    let ss_tot: f64 = pts.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = pts
+        .iter()
+        .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+
+    Some(PowerLawFit {
+        k: intercept.exp(),
+        exponent: slope,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_cubic() {
+        let samples: Vec<(f64, f64)> =
+            (1..=10).map(|n| (n as f64 * 100.0, 2.5 * (n as f64 * 100.0).powi(3))).collect();
+        let fit = fit_power_law(&samples).unwrap();
+        assert!((fit.exponent - 3.0).abs() < 1e-9);
+        assert!((fit.k - 2.5).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn recovers_quadratic_with_noise() {
+        let samples: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let n = i as f64 * 50.0;
+                // ±5% deterministic "noise".
+                let noise = 1.0 + 0.05 * ((i % 3) as f64 - 1.0);
+                (n, 0.8 * n * n * noise)
+            })
+            .collect();
+        let fit = fit_power_law(&samples).unwrap();
+        assert!((fit.exponent - 2.0).abs() < 0.1, "exponent {}", fit.exponent);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn predict_round_trips() {
+        let fit = PowerLawFit {
+            k: 2.0,
+            exponent: 3.0,
+            r_squared: 1.0,
+        };
+        assert!((fit.predict(10.0) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(fit_power_law(&[]).is_none());
+        assert!(fit_power_law(&[(100.0, 5.0)]).is_none());
+        assert!(fit_power_law(&[(100.0, 5.0), (100.0, 6.0)]).is_none());
+        assert!(fit_power_law(&[(-1.0, 5.0), (0.0, 6.0)]).is_none());
+        // Non-positive samples are skipped, not fatal.
+        let fit = fit_power_law(&[(-1.0, 1.0), (10.0, 10.0), (100.0, 100.0)]).unwrap();
+        assert!((fit.exponent - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,381 @@
+//! Structural fault collapsing: equivalence and dominance.
+//!
+//! §I-B of the paper: "Some reduction in the number of single stuck-at
+//! faults can be achieved by fault equivalencing … the number of single
+//! stuck-at faults needed to be assumed is about 3000" (from 6000 for a
+//! 1000-gate network). These are the classic structural rules:
+//!
+//! * controlling-input equivalence — an AND input s-a-0 is equivalent to
+//!   the AND output s-a-0 (NAND: output s-a-1; OR: output s-a-1;
+//!   NOR: output s-a-0);
+//! * inverter/buffer equivalence — the input fault maps through the gate;
+//! * fanout-free stems — a driver's output fault is equivalent to the
+//!   sole reader's input fault.
+
+use std::collections::HashMap;
+
+use dft_netlist::{GateKind, Netlist, Pin, PortRef};
+
+use crate::Fault;
+
+/// The result of collapsing a fault universe.
+#[derive(Clone, Debug)]
+pub struct Collapse {
+    faults: Vec<Fault>,
+    /// For each fault index, the index of its class representative.
+    rep_of: Vec<usize>,
+    /// Indices of the representatives, in universe order.
+    reps: Vec<usize>,
+}
+
+impl Collapse {
+    /// The original universe this collapse was computed over.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The representative fault of `fault_index`'s equivalence class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault_index` is out of range.
+    #[must_use]
+    pub fn representative(&self, fault_index: usize) -> Fault {
+        self.faults[self.rep_of[fault_index]]
+    }
+
+    /// One fault per equivalence class, in universe order.
+    #[must_use]
+    pub fn representatives(&self) -> Vec<Fault> {
+        self.reps.iter().map(|&i| self.faults[i]).collect()
+    }
+
+    /// Number of equivalence classes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// The collapse ratio `classes / universe` (the paper's 1000-gate
+    /// example lands near 0.5).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.faults.is_empty() {
+            1.0
+        } else {
+            self.reps.len() as f64 / self.faults.len() as f64
+        }
+    }
+
+    /// Expands per-representative detection flags back over the whole
+    /// universe: a fault is detected iff its representative is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detected.len()` differs from
+    /// [`Collapse::class_count`].
+    #[must_use]
+    pub fn expand_detection(&self, detected: &[bool]) -> Vec<bool> {
+        assert_eq!(detected.len(), self.reps.len());
+        let class_index: HashMap<usize, usize> = self
+            .reps
+            .iter()
+            .enumerate()
+            .map(|(k, &rep)| (rep, k))
+            .collect();
+        self.rep_of
+            .iter()
+            .map(|&rep| detected[class_index[&rep]])
+            .collect()
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Keep the smaller index as representative for determinism.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Collapses `faults` over `netlist` by structural equivalence.
+///
+/// Faults not present in the list are ignored (you may collapse a
+/// sub-universe). Representatives are chosen deterministically (smallest
+/// universe index per class).
+#[must_use]
+pub fn collapse(netlist: &Netlist, faults: &[Fault]) -> Collapse {
+    let index: HashMap<Fault, usize> = faults
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (f, i))
+        .collect();
+    let mut uf = UnionFind::new(faults.len());
+    let merge = |uf: &mut UnionFind, a: Fault, b: Fault| {
+        if let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) {
+            uf.union(ia, ib);
+        }
+    };
+
+    let fanout = netlist.fanout_map();
+    for (id, gate) in netlist.iter() {
+        // Rule 1: controlling-value equivalence through the gate.
+        if let Some(c) = gate.kind().controlling_value() {
+            let out_val = c != gate.kind().inverts();
+            for pin in 0..gate.fanin() {
+                merge(
+                    &mut uf,
+                    Fault {
+                        site: PortRef::input(id, pin as u8),
+                        stuck: c,
+                    },
+                    Fault {
+                        site: PortRef::output(id),
+                        stuck: out_val,
+                    },
+                );
+            }
+        }
+        // Rule 2: single-input gates map both polarities through.
+        match gate.kind() {
+            GateKind::Buf => {
+                for v in [false, true] {
+                    merge(
+                        &mut uf,
+                        Fault {
+                            site: PortRef::input(id, 0),
+                            stuck: v,
+                        },
+                        Fault {
+                            site: PortRef::output(id),
+                            stuck: v,
+                        },
+                    );
+                }
+            }
+            GateKind::Not => {
+                for v in [false, true] {
+                    merge(
+                        &mut uf,
+                        Fault {
+                            site: PortRef::input(id, 0),
+                            stuck: v,
+                        },
+                        Fault {
+                            site: PortRef::output(id),
+                            stuck: !v,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+        // Rule 3: fanout-free stem — driver output fault ≡ sole reader's
+        // input fault (unless the stem is also observed as a primary
+        // output, where the faults differ in observability).
+        let is_po = netlist.primary_outputs().iter().any(|&(g, _)| g == id);
+        if fanout[id.index()].len() == 1 && !is_po {
+            let (reader, pin) = fanout[id.index()][0];
+            for v in [false, true] {
+                merge(
+                    &mut uf,
+                    Fault {
+                        site: PortRef::output(id),
+                        stuck: v,
+                    },
+                    Fault {
+                        site: PortRef::input(reader, pin),
+                        stuck: v,
+                    },
+                );
+            }
+        }
+    }
+
+    let rep_of: Vec<usize> = (0..faults.len()).map(|i| uf.find(i)).collect();
+    let mut reps: Vec<usize> = rep_of.clone();
+    reps.sort_unstable();
+    reps.dedup();
+    Collapse {
+        faults: faults.to_vec(),
+        rep_of,
+        reps,
+    }
+}
+
+/// Dominance-based reduction on top of equivalence: for an AND/NAND
+/// (resp. OR/NOR) gate, the output s-a-noncontrolled-response fault
+/// dominates every input s-a-noncontrolling fault, so it can be dropped
+/// from test-generation target lists (any test for the dominated input
+/// fault also detects it). Returns the reduced target list.
+///
+/// Note: dominance is safe for test *generation* but, unlike equivalence,
+/// does not preserve per-fault detection equality — dominated faults may
+/// be detected by patterns that miss their dominator.
+#[must_use]
+pub fn dominance_collapse(netlist: &Netlist, faults: &[Fault]) -> Vec<Fault> {
+    let eq = collapse(netlist, faults);
+    let mut keep: Vec<Fault> = Vec::new();
+    for f in eq.representatives() {
+        // Drop gate-output faults that dominate their input faults: for an
+        // AND gate, output s-a-1 is detected whenever any input s-a-1 is.
+        let gate = netlist.gate(f.site.gate);
+        if f.site.pin == Pin::Output {
+            if let Some(c) = gate.kind().controlling_value() {
+                let dominated_by_inputs = f.stuck == (c == gate.kind().inverts());
+                let is_po = netlist
+                    .primary_outputs()
+                    .iter()
+                    .any(|&(g, _)| g == f.site.gate);
+                if dominated_by_inputs && !is_po && gate.fanin() > 0 {
+                    continue;
+                }
+            }
+        }
+        keep.push(f);
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe;
+    use dft_netlist::circuits::c17;
+    use dft_netlist::{GateKind, Netlist};
+
+    #[test]
+    fn and_gate_classes() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        let faults = universe(&n);
+        let col = collapse(&n, &faults);
+        // Universe: a.out×2, b.out×2, g.in0×2, g.in1×2, g.out×2 = 10.
+        // Equivalences: {g.in0/0, g.in1/0, g.out/0} merge;
+        // a.out/v ≡ g.in0/v (fanout-free stem), b.out/v ≡ g.in1/v.
+        // Classes: {a0,in0-0,b0,in1-0,out0}? Careful: a.out/0 ≡ g.in0/0 ≡ g.out/0
+        // and b.out/0 ≡ g.in1/0 ≡ g.out/0 — all s-a-0 merge into one class.
+        // s-a-1: {a1,in0-1}, {b1,in1-1}, {out1} → 3 classes.
+        assert_eq!(col.class_count(), 4);
+        assert!((col.ratio() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverter_chain_collapses_to_two_classes() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let g2 = n.add_gate(GateKind::Not, &[g1]).unwrap();
+        n.mark_output(g2, "y").unwrap();
+        let faults = universe(&n);
+        let col = collapse(&n, &faults);
+        // Everything chains through: a/v ≡ g1.in/v ≡ g1.out/!v ≡ g2.in/!v ≡ g2.out/v
+        assert_eq!(col.class_count(), 2);
+    }
+
+    #[test]
+    fn xor_gates_do_not_collapse_inputs() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        let faults = universe(&n);
+        let col = collapse(&n, &faults);
+        // Only stem equivalences apply: a↔in0, b↔in1 → classes:
+        // in0/0, in0/1, in1/0, in1/1, out/0, out/1 = 6.
+        assert_eq!(col.class_count(), 6);
+    }
+
+    #[test]
+    fn c17_collapse_is_roughly_half() {
+        let n = c17();
+        let faults = universe(&n);
+        let col = collapse(&n, &faults);
+        assert!(col.class_count() < faults.len());
+        // Known value for c17 under these rules.
+        assert!(
+            col.ratio() > 0.3 && col.ratio() < 0.7,
+            "ratio {} out of expected band",
+            col.ratio()
+        );
+    }
+
+    #[test]
+    fn representative_is_stable_and_in_class() {
+        let n = c17();
+        let faults = universe(&n);
+        let col = collapse(&n, &faults);
+        for i in 0..faults.len() {
+            let rep = col.representative(i);
+            assert!(faults.contains(&rep));
+        }
+        let reps = col.representatives();
+        assert_eq!(reps.len(), col.class_count());
+    }
+
+    #[test]
+    fn expand_detection_round_trips() {
+        let n = c17();
+        let faults = universe(&n);
+        let col = collapse(&n, &faults);
+        let detected = vec![true; col.class_count()];
+        let full = col.expand_detection(&detected);
+        assert_eq!(full.len(), faults.len());
+        assert!(full.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn dominance_reduces_further() {
+        let n = c17();
+        let faults = universe(&n);
+        let eq = collapse(&n, &faults).class_count();
+        let dom = dominance_collapse(&n, &faults).len();
+        assert!(dom < eq, "dominance must drop some targets ({dom} vs {eq})");
+    }
+
+    #[test]
+    fn po_stems_are_not_collapsed_into_readers() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::Buf, &[a]).unwrap();
+        let g2 = n.add_gate(GateKind::Not, &[g1]).unwrap();
+        n.mark_output(g1, "tap").unwrap(); // g1 is both a stem and a PO
+        n.mark_output(g2, "y").unwrap();
+        let faults = universe(&n);
+        let col = collapse(&n, &faults);
+        // g1.out faults must stay distinct from g2.in faults.
+        let i_out = faults
+            .iter()
+            .position(|f| f.site == PortRef::output(g1) && !f.stuck)
+            .unwrap();
+        let i_in = faults
+            .iter()
+            .position(|f| f.site == PortRef::input(g2, 0) && !f.stuck)
+            .unwrap();
+        assert_ne!(col.representative(i_out), col.representative(i_in));
+    }
+}

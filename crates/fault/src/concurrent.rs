@@ -1,0 +1,225 @@
+//! Concurrent-style sequential fault simulation.
+//!
+//! The paper's simulation references include Ulrich & Baker's concurrent
+//! method (\[112\]-\[114\]): simulate the good machine once and evaluate a
+//! faulty machine only while it *diverges* from the good one. For a
+//! sequential circuit this pays off enormously — most faults are inert
+//! in most cycles (site not activated, no corrupted state), so their
+//! machines need no work at all.
+//!
+//! Results are bit-identical to the serial engine in
+//! [`crate::sequential`] (cross-checked by tests); only the work
+//! performed differs, which [`ConcurrentStats`] reports.
+
+use dft_netlist::{LevelizeError, Netlist, Pin};
+use dft_sim::Logic;
+
+use crate::{Fault, FaultyView, SequentialDetection};
+
+/// Work accounting for a concurrent run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConcurrentStats {
+    /// Faulty-machine frame evaluations actually performed.
+    pub faulty_evals: u64,
+    /// Frame evaluations a serial engine would have performed
+    /// (faults × cycles).
+    pub serial_evals: u64,
+}
+
+impl ConcurrentStats {
+    /// Fraction of serial work avoided.
+    #[must_use]
+    pub fn savings(&self) -> f64 {
+        if self.serial_evals == 0 {
+            0.0
+        } else {
+            1.0 - self.faulty_evals as f64 / self.serial_evals as f64
+        }
+    }
+}
+
+/// Runs `sequence` against every fault, skipping the faulty-machine
+/// evaluation in cycles where the machine provably tracks the good one
+/// (state equal and fault site not activated).
+///
+/// Same detection semantics as [`crate::sequential`].
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if a row's width disagrees with the input count.
+pub fn sequential_concurrent(
+    netlist: &Netlist,
+    sequence: &[Vec<Logic>],
+    faults: &[Fault],
+) -> Result<(SequentialDetection, ConcurrentStats), LevelizeError> {
+    let view = FaultyView::new(netlist)?;
+    let outputs: Vec<_> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
+    let n_state = view.storage().len();
+
+    // Good machine trace: per cycle, full values + next state.
+    let mut good_vals: Vec<Vec<Logic>> = Vec::with_capacity(sequence.len());
+    let mut good_state: Vec<Vec<Logic>> = Vec::with_capacity(sequence.len() + 1);
+    good_state.push(vec![Logic::X; n_state]);
+    for (c, row) in sequence.iter().enumerate() {
+        let vals = view.eval_logic(row, &good_state[c], None);
+        good_state.push(view.next_state_logic(&vals, None));
+        good_vals.push(vals);
+    }
+
+    let mut stats = ConcurrentStats {
+        serial_evals: (faults.len() * sequence.len()) as u64,
+        ..ConcurrentStats::default()
+    };
+    let mut first_detected = vec![None; faults.len()];
+
+    for (fi, &fault) in faults.iter().enumerate() {
+        // Diverged-state representation: None = faulty state equals the
+        // good state this cycle; Some(s) = the faulty machine's state.
+        let mut diverged: Option<Vec<Logic>> = None;
+        'cycles: for (cycle, row) in sequence.iter().enumerate() {
+            let active = match fault.site.pin {
+                Pin::Output => {
+                    let good_site = good_vals[cycle][fault.site.gate.index()];
+                    good_site != Logic::from(fault.stuck)
+                }
+                Pin::Input(p) => {
+                    let src = netlist.gate(fault.site.gate).inputs()[p as usize];
+                    good_vals[cycle][src.index()] != Logic::from(fault.stuck)
+                }
+            };
+            if diverged.is_none() && !active {
+                // Convergent and inert: the faulty machine is the good
+                // machine this cycle. Nothing to do.
+                continue;
+            }
+            let state = diverged
+                .clone()
+                .unwrap_or_else(|| good_state[cycle].clone());
+            let vals = view.eval_logic(row, &state, Some(fault));
+            stats.faulty_evals += 1;
+            for (oi, &g) in outputs.iter().enumerate() {
+                let gv = good_vals[cycle][g.index()];
+                let fv = vals[g.index()];
+                if let (Some(a), Some(b)) = (gv.to_bool(), fv.to_bool()) {
+                    if a != b {
+                        first_detected[fi] = Some((cycle, oi));
+                        break 'cycles;
+                    }
+                }
+            }
+            let next = view.next_state_logic(&vals, Some(fault));
+            diverged = if next == good_state[cycle + 1] {
+                None // reconverged
+            } else {
+                Some(next)
+            };
+        }
+    }
+
+    Ok((
+        SequentialDetection {
+            first_detected,
+            cycle_count: sequence.len(),
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sequential, universe};
+    use dft_netlist::circuits::{binary_counter, johnson_counter, random_sequential, shift_register};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sequence(width: usize, cycles: usize, seed: u64) -> Vec<Vec<Logic>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..cycles)
+            .map(|_| (0..width).map(|_| Logic::from(rng.gen_bool(0.5))).collect())
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial_engine_exactly() {
+        for (n, seed) in [
+            (shift_register(5), 1u64),
+            (binary_counter(4), 2),
+            (johnson_counter(4), 3),
+            (random_sequential(4, 6, 14, 3, 5), 4),
+        ] {
+            let faults = universe(&n);
+            let seq = random_sequence(n.primary_inputs().len(), 24, seed);
+            let serial = sequential(&n, &seq, &faults).unwrap();
+            let (conc, _) = sequential_concurrent(&n, &seq, &faults).unwrap();
+            assert_eq!(serial, conc, "engines disagree on {}", n.name());
+        }
+    }
+
+    #[test]
+    fn skips_inert_machines() {
+        // A shift register flushed with zeros: every net settles to 0, so
+        // all s-a-0 faults go inert and all s-a-1 faults are detected
+        // within a few cycles (and dropped). Almost no faulty-machine
+        // work remains.
+        let n = shift_register(8);
+        let faults = universe(&n);
+        let seq = vec![vec![Logic::Zero]; 50];
+        let (det, stats) = sequential_concurrent(&n, &seq, &faults).unwrap();
+        assert!(
+            stats.savings() > 0.8,
+            "expected serious savings, got {:.1}%",
+            stats.savings() * 100.0
+        );
+        // The s-a-1 half of the universe is detected by the flush.
+        assert!(det.detected_count() >= faults.len() / 2 - 2);
+    }
+
+    #[test]
+    fn uninitializable_state_limits_but_does_not_break_savings() {
+        // With all-X good state the activity test is conservative (X
+        // counts as "maybe active"), so savings shrink — but correctness
+        // holds and some work is still avoided.
+        let n = binary_counter(6);
+        let faults = universe(&n);
+        let seq = vec![vec![Logic::Zero]; 50];
+        let serial = sequential(&n, &seq, &faults).unwrap();
+        let (det, stats) = sequential_concurrent(&n, &seq, &faults).unwrap();
+        assert_eq!(serial, det);
+        assert!(stats.savings() > 0.05, "savings {:.3}", stats.savings());
+    }
+
+    #[test]
+    fn reconvergence_is_detected() {
+        // A fault that corrupts state but is then overwritten: the
+        // machine reconverges and evaluation stops again. Shift register
+        // with serial input stuck: once the stuck value matches the
+        // stream, machines reconverge.
+        let n = shift_register(3);
+        let faults = vec![Fault::stuck_at_0(dft_netlist::PortRef::output(
+            n.primary_inputs()[0],
+        ))];
+        // Drive zeros (fault inert), one 1 (diverges 3 cycles), zeros.
+        let mut seq = vec![vec![Logic::Zero]; 4];
+        seq.push(vec![Logic::One]);
+        seq.extend(vec![vec![Logic::Zero]; 10]);
+        let (det, stats) = sequential_concurrent(&n, &seq, &faults).unwrap();
+        // Detected when the corrupted bit reaches an output.
+        assert!(det.first_detected[0].is_some());
+        // Only a handful of evaluations despite 15 cycles.
+        assert!(stats.faulty_evals <= 4, "evals {}", stats.faulty_evals);
+    }
+
+    #[test]
+    fn empty_fault_list_does_no_faulty_work() {
+        let n = shift_register(2);
+        let seq = random_sequence(1, 10, 7);
+        let (det, stats) = sequential_concurrent(&n, &seq, &[]).unwrap();
+        assert_eq!(det.detected_count(), 0);
+        assert_eq!(stats.faulty_evals, 0);
+    }
+}

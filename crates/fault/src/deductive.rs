@@ -1,0 +1,252 @@
+//! Deductive fault simulation (fault-list propagation).
+//!
+//! One good-machine pass per pattern deduces, for every net, the set of
+//! faults that would complement it — Armstrong's method, the paper's
+//! reference \[100\]. Cost per pattern is one traversal with set algebra
+//! instead of thousands of re-simulations; the trade is memory for the
+//! lists.
+
+use std::collections::BTreeSet;
+
+use dft_netlist::{GateKind, LevelizeError, Netlist, Pin};
+use dft_sim::PatternSet;
+
+use crate::{DetectionResult, Fault};
+
+/// Fault-simulates by deduction.
+///
+/// Produces the same [`DetectionResult`] as [`crate::simulate`]; the
+/// engines are cross-checked in tests. Combinational circuits only
+/// (storage is held at 0 and capture effects are ignored), so prefer it
+/// for scan-extracted test views.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if the pattern width disagrees with the netlist.
+pub fn deductive(
+    netlist: &Netlist,
+    patterns: &PatternSet,
+    faults: &[Fault],
+) -> Result<DetectionResult, LevelizeError> {
+    let lv = netlist.levelize()?;
+    let storage = netlist.storage_elements();
+    let outputs: Vec<_> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
+
+    // Index faults by site for activation lookups.
+    let mut out_faults: Vec<Vec<usize>> = vec![Vec::new(); netlist.gate_count()];
+    let mut in_faults: Vec<Vec<(u8, usize)>> = vec![Vec::new(); netlist.gate_count()];
+    for (fi, f) in faults.iter().enumerate() {
+        match f.site.pin {
+            Pin::Output => out_faults[f.site.gate.index()].push(fi),
+            Pin::Input(p) => in_faults[f.site.gate.index()].push((p, fi)),
+        }
+    }
+
+    let mut first_detected: Vec<Option<usize>> = vec![None; faults.len()];
+
+    for p in 0..patterns.len() {
+        let row = patterns.get(p);
+        // Good values.
+        let mut val = vec![false; netlist.gate_count()];
+        for (i, &pi) in netlist.primary_inputs().iter().enumerate() {
+            val[pi.index()] = row[i];
+        }
+        for &s in &storage {
+            val[s.index()] = false;
+        }
+        for (id, gate) in netlist.iter() {
+            if gate.kind() == GateKind::Const1 {
+                val[id.index()] = true;
+            }
+        }
+        // Fault lists per net.
+        let mut list: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); netlist.gate_count()];
+
+        // Source-output faults activate where the good value differs.
+        for (gi, flist) in out_faults.iter().enumerate() {
+            let id = dft_netlist::GateId::from_index(gi);
+            if netlist.gate(id).kind().is_source() {
+                for &fi in flist {
+                    if faults[fi].stuck != val[gi] {
+                        list[gi].insert(fi);
+                    }
+                }
+            }
+        }
+
+        for &id in lv.order() {
+            let gate = netlist.gate(id);
+            if gate.kind().is_source() {
+                continue;
+            }
+            let gi = id.index();
+            let in_vals: Vec<bool> = gate.inputs().iter().map(|&s| val[s.index()]).collect();
+            let good = gate.kind().eval_bool(&in_vals);
+            val[gi] = good;
+
+            // Effective per-pin fault lists: the net list, plus/minus this
+            // gate's own input-pin faults (local to the pin).
+            // A pin's value complements under fault f iff
+            //   (f flips the driving net) XOR (f is a stuck fault on this pin…)
+            // but a stuck pin ignores the net entirely: if the pin is stuck
+            // at v, the pin differs from good iff good_pin != v, regardless
+            // of the net's list. Handle pin faults by post-adjustment.
+            let mut pin_lists: Vec<BTreeSet<usize>> = gate
+                .inputs()
+                .iter()
+                .map(|&s| list[s.index()].clone())
+                .collect();
+            for &(pin, fi) in &in_faults[gi] {
+                let pv = in_vals[pin as usize];
+                let stuck = faults[fi].stuck;
+                // Under its own single-fault machine, the pin is fixed.
+                if stuck != pv {
+                    pin_lists[pin as usize].insert(fi);
+                } else {
+                    pin_lists[pin as usize].remove(&fi);
+                }
+            }
+
+            // Propagate: which faults complement the output?
+            let out_list: BTreeSet<usize> = match gate.kind() {
+                GateKind::Buf => pin_lists.swap_remove(0),
+                GateKind::Not => pin_lists.swap_remove(0),
+                GateKind::Xor | GateKind::Xnor => {
+                    // A fault flips the output iff it flips an odd number
+                    // of input pins.
+                    let mut counts: std::collections::BTreeMap<usize, usize> =
+                        std::collections::BTreeMap::new();
+                    for pl in &pin_lists {
+                        for &fi in pl {
+                            *counts.entry(fi).or_insert(0) += 1;
+                        }
+                    }
+                    counts
+                        .into_iter()
+                        .filter_map(|(fi, c)| (c % 2 == 1).then_some(fi))
+                        .collect()
+                }
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let c = gate
+                        .kind()
+                        .controlling_value()
+                        .expect("AND/OR family has a controlling value");
+                    let controlling: Vec<usize> = (0..pin_lists.len())
+                        .filter(|&i| in_vals[i] == c)
+                        .collect();
+                    if controlling.is_empty() {
+                        // Output flips iff any input flips (to controlling).
+                        let mut u = BTreeSet::new();
+                        for pl in &pin_lists {
+                            u.extend(pl.iter().copied());
+                        }
+                        u
+                    } else {
+                        // Output flips iff every controlling input flips and
+                        // no non-controlling input flips.
+                        let mut inter: BTreeSet<usize> =
+                            pin_lists[controlling[0]].clone();
+                        for &ci in &controlling[1..] {
+                            inter = inter
+                                .intersection(&pin_lists[ci])
+                                .copied()
+                                .collect();
+                        }
+                        for (i, pl) in pin_lists.iter().enumerate() {
+                            if in_vals[i] != c {
+                                for fi in pl {
+                                    inter.remove(fi);
+                                }
+                            }
+                        }
+                        inter
+                    }
+                }
+                GateKind::Const0 | GateKind::Const1 => BTreeSet::new(),
+                GateKind::Input | GateKind::Dff => unreachable!("sources skipped"),
+            };
+
+            let mut out_list = out_list;
+            // This gate's own output stuck faults override propagation.
+            for &fi in &out_faults[gi] {
+                if faults[fi].stuck != good {
+                    out_list.insert(fi);
+                } else {
+                    out_list.remove(&fi);
+                }
+            }
+            list[gi] = out_list;
+        }
+
+        for &g in &outputs {
+            for &fi in &list[g.index()] {
+                if first_detected[fi].is_none() {
+                    first_detected[fi] = Some(p);
+                }
+            }
+        }
+    }
+
+    Ok(DetectionResult {
+        first_detected,
+        pattern_count: patterns.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, universe};
+    use dft_netlist::circuits::{c17, full_adder, majority, parity_tree, random_combinational};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exhaustive_patterns(n: usize) -> PatternSet {
+        let rows: Vec<Vec<bool>> = (0..1usize << n)
+            .map(|v| (0..n).map(|i| v >> i & 1 == 1).collect())
+            .collect();
+        PatternSet::from_rows(n, &rows)
+    }
+
+    #[test]
+    fn agrees_with_resimulation_on_textbook_circuits() {
+        for n in [c17(), full_adder(), majority(), parity_tree(4)] {
+            let faults = universe(&n);
+            let p = exhaustive_patterns(n.primary_inputs().len());
+            let a = simulate(&n, &p, &faults).unwrap();
+            let b = deductive(&n, &p, &faults).unwrap();
+            assert_eq!(a, b, "deductive disagrees on {}", n.name());
+        }
+    }
+
+    #[test]
+    fn agrees_on_reconvergent_random_logic() {
+        // Reconvergent fan-out is where naive deductive rules go wrong:
+        // a single fault can flip several inputs of one gate. Cross-check
+        // on random circuits with heavy reconvergence.
+        for seed in 0..4 {
+            let n = random_combinational(8, 60, seed);
+            let faults = universe(&n);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+            let p = PatternSet::random(8, 48, &mut rng);
+            let a = simulate(&n, &p, &faults).unwrap();
+            let b = deductive(&n, &p, &faults).unwrap();
+            assert_eq!(a, b, "deductive disagrees on seed {seed}");
+        }
+    }
+
+    #[test]
+    fn one_pass_counts_every_fault_per_pattern() {
+        // Unlike the dropping engine, deduction reports first detection
+        // for all faults even when they share patterns.
+        let n = c17();
+        let faults = universe(&n);
+        let p = exhaustive_patterns(5);
+        let r = deductive(&n, &p, &faults).unwrap();
+        assert_eq!(r.coverage(), 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! # dft-fault
+//!
+//! The single stuck-at fault model and fault simulation for the *tessera*
+//! DFT toolkit.
+//!
+//! §I-A of Williams & Parker defines the model this crate implements: a
+//! fault fixes one gate pin at logic 0 or 1; the industry assumption is a
+//! single fault at a time (a network of N nets has 3ᴺ joint states — far
+//! too many — so "all faults taken two at a time are not assumed").
+//!
+//! * [`universe`] — enumerates every pin fault (a 1000-gate two-input
+//!   network yields the paper's 6000 faults).
+//! * [`collapse`] — structural equivalence collapsing (the paper's
+//!   fault-equivalencing reference \[36\]-\[47\]) cutting the universe
+//!   roughly in half.
+//! * [`simulate`] / [`simulate_with_dropping`] — pattern-parallel single-
+//!   fault simulation (64 patterns per word).
+//! * [`parallel_fault`] — classic parallel-fault simulation (63 faulty
+//!   machines share each word with the good machine).
+//! * [`deductive`] — deductive fault simulation (the paper's reference
+//!   \[100\]): one pass per pattern propagating fault *lists*.
+//! * [`sequential`] — three-valued serial fault simulation across clock
+//!   cycles for un-scanned sequential machines.
+//!
+//! The engines are cross-checked against each other in this crate's tests
+//! (they must agree exactly on combinational circuits).
+//!
+//! ```
+//! use dft_netlist::circuits::c17;
+//! use dft_sim::PatternSet;
+//! use dft_fault::{universe, simulate};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let c17 = c17();
+//! let faults = universe(&c17);
+//! let all32 = PatternSet::from_rows(5, &(0..32u8)
+//!     .map(|v| (0..5).map(|i| v >> i & 1 == 1).collect())
+//!     .collect::<Vec<_>>());
+//! let result = simulate(&c17, &all32, &faults)?;
+//! assert_eq!(result.coverage(), 1.0); // c17 is fully testable
+//! # Ok(())
+//! # }
+//! ```
+
+mod collapse;
+mod concurrent;
+mod deductive;
+mod dictionary;
+#[allow(clippy::module_inception)]
+mod fault;
+mod inject;
+mod parallel;
+mod sequential;
+mod serial;
+mod stuck_open;
+
+pub use collapse::{collapse, dominance_collapse, Collapse};
+pub use concurrent::{sequential_concurrent, ConcurrentStats};
+pub use deductive::deductive;
+pub use dictionary::FaultDictionary;
+pub use fault::{universe, output_faults, Fault};
+pub use inject::FaultyView;
+pub use parallel::parallel_fault;
+pub use sequential::{sequential, SequentialDetection};
+pub use serial::{simulate, simulate_with_dropping, DetectionResult};
+pub use stuck_open::{
+    simulate_stuck_open, stuck_open_universe, OpenKind, StuckOpenDetection, StuckOpenFault,
+};

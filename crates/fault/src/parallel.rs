@@ -1,0 +1,194 @@
+//! Classic parallel-fault simulation: 63 faulty machines per word.
+//!
+//! §I-B of the paper describes fault simulation as "applying every given
+//! test pattern to a fault-free machine and to each of the 3000 copies of
+//! the good machine", i.e. 3001 good-machine simulations. Parallel-fault
+//! simulation packs the good machine in lane 0 and 63 faulty machines in
+//! the remaining lanes of each word, costing one pass per 63 faults per
+//! pattern.
+
+use dft_netlist::{GateKind, LevelizeError, Netlist, Pin};
+use dft_sim::PatternSet;
+
+use crate::{DetectionResult, Fault};
+
+/// Fault-simulates with the parallel-fault method.
+///
+/// Produces the same [`DetectionResult`] as [`crate::simulate`] (the two
+/// engines are cross-checked in tests); use whichever fits the workload —
+/// parallel-fault wins when patterns are few and faults are many.
+///
+/// Storage elements are held at 0 (combinational usage).
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if the pattern width disagrees with the netlist.
+pub fn parallel_fault(
+    netlist: &Netlist,
+    patterns: &PatternSet,
+    faults: &[Fault],
+) -> Result<DetectionResult, LevelizeError> {
+    let lv = netlist.levelize()?;
+    let storage = netlist.storage_elements();
+    let outputs: Vec<_> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
+    let mut first_detected: Vec<Option<usize>> = vec![None; faults.len()];
+    let mut live: Vec<usize> = (0..faults.len()).collect();
+
+    for p in 0..patterns.len() {
+        if live.is_empty() {
+            break;
+        }
+        let row = patterns.get(p);
+        // Chunk live faults into groups of 63 (lane 0 = good machine).
+        let mut remaining: Vec<usize> = Vec::with_capacity(live.len());
+        for group in live.chunks(63) {
+            let vals = eval_group(netlist, &lv, &storage, &row, faults, group);
+            // Good machine bit is lane 0; fault k of the group is lane k+1.
+            for (k, &fi) in group.iter().enumerate() {
+                let lane = k + 1;
+                let mut detected = false;
+                for &g in &outputs {
+                    let w = vals[g.index()];
+                    let good = w & 1;
+                    let faulty = w >> lane & 1;
+                    if good != faulty {
+                        detected = true;
+                        break;
+                    }
+                }
+                if detected {
+                    first_detected[fi] = Some(p);
+                } else {
+                    remaining.push(fi);
+                }
+            }
+        }
+        live = remaining;
+    }
+
+    Ok(DetectionResult {
+        first_detected,
+        pattern_count: patterns.len(),
+    })
+}
+
+/// Evaluates one pattern with the good machine in lane 0 and each group
+/// fault injected into its own lane.
+fn eval_group(
+    netlist: &Netlist,
+    lv: &dft_netlist::Levelization,
+    storage: &[dft_netlist::GateId],
+    row: &[bool],
+    faults: &[Fault],
+    group: &[usize],
+) -> Vec<u64> {
+    let mut vals = vec![0u64; netlist.gate_count()];
+    for (i, &pi) in netlist.primary_inputs().iter().enumerate() {
+        vals[pi.index()] = if row[i] { u64::MAX } else { 0 };
+    }
+    for &s in storage {
+        vals[s.index()] = 0;
+    }
+    for (id, gate) in netlist.iter() {
+        if gate.kind() == GateKind::Const1 {
+            vals[id.index()] = u64::MAX;
+        }
+    }
+    // Per-lane injection masks on source outputs.
+    for (k, &fi) in group.iter().enumerate() {
+        let f = faults[fi];
+        if f.site.pin == Pin::Output && netlist.gate(f.site.gate).kind().is_source() {
+            let mask = 1u64 << (k + 1);
+            let idx = f.site.gate.index();
+            vals[idx] = apply_mask(vals[idx], mask, f.stuck);
+        }
+    }
+    for &id in lv.order() {
+        let gate = netlist.gate(id);
+        if gate.kind().is_source() {
+            continue;
+        }
+        // Gather operands, applying any input-pin fault lanes.
+        let mut words: Vec<u64> = gate
+            .inputs()
+            .iter()
+            .map(|&s| vals[s.index()])
+            .collect();
+        for (k, &fi) in group.iter().enumerate() {
+            let f = faults[fi];
+            if f.site.gate == id {
+                if let Pin::Input(pin) = f.site.pin {
+                    let mask = 1u64 << (k + 1);
+                    words[pin as usize] = apply_mask(words[pin as usize], mask, f.stuck);
+                }
+            }
+        }
+        let mut out = gate.kind().eval_word(&words);
+        if matches!(gate.kind(), GateKind::Const0) {
+            out = 0;
+        }
+        if matches!(gate.kind(), GateKind::Const1) {
+            out = u64::MAX;
+        }
+        for (k, &fi) in group.iter().enumerate() {
+            let f = faults[fi];
+            if f.site.gate == id && f.site.pin == Pin::Output {
+                out = apply_mask(out, 1u64 << (k + 1), f.stuck);
+            }
+        }
+        vals[id.index()] = out;
+    }
+    vals
+}
+
+fn apply_mask(word: u64, mask: u64, stuck: bool) -> u64 {
+    if stuck {
+        word | mask
+    } else {
+        word & !mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, universe};
+    use dft_netlist::circuits::{c17, full_adder, majority, parity_tree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exhaustive_patterns(n: usize) -> PatternSet {
+        let rows: Vec<Vec<bool>> = (0..1usize << n)
+            .map(|v| (0..n).map(|i| v >> i & 1 == 1).collect())
+            .collect();
+        PatternSet::from_rows(n, &rows)
+    }
+
+    #[test]
+    fn agrees_with_pattern_parallel_engine() {
+        for n in [c17(), full_adder(), majority(), parity_tree(5)] {
+            let faults = universe(&n);
+            let k = n.primary_inputs().len();
+            let p = exhaustive_patterns(k);
+            let a = simulate(&n, &p, &faults).unwrap();
+            let b = parallel_fault(&n, &p, &faults).unwrap();
+            assert_eq!(a, b, "engines disagree on {}", n.name());
+        }
+    }
+
+    #[test]
+    fn agrees_on_random_patterns_with_many_faults() {
+        let n = dft_netlist::circuits::random_combinational(12, 150, 4);
+        let faults = universe(&n);
+        assert!(faults.len() > 63, "exercise multi-group path");
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = PatternSet::random(12, 30, &mut rng);
+        let a = simulate(&n, &p, &faults).unwrap();
+        let b = parallel_fault(&n, &p, &faults).unwrap();
+        assert_eq!(a, b);
+    }
+}

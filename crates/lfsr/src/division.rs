@@ -1,0 +1,235 @@
+//! Polynomial-division view of signature analysis.
+//!
+//! The paper: "the signature, or 'residue', is the remainder of the data
+//! stream after division by an irreducible polynomial." This module makes
+//! that statement executable — GF(2) polynomial division whose remainder
+//! provably equals the [`SignatureRegister`](crate::SignatureRegister)
+//! state (cross-checked by unit and property tests).
+
+use crate::Polynomial;
+
+/// A GF(2) polynomial of arbitrary degree, little-endian bit vector
+/// (`bits[i]` = coefficient of xⁱ).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Gf2Poly {
+    bits: Vec<bool>,
+}
+
+impl Gf2Poly {
+    /// Builds a polynomial from a bit stream, with the *first* stream bit
+    /// as the highest-order coefficient (division processes the stream
+    /// most-significant first, exactly like the shift register).
+    #[must_use]
+    pub fn from_stream(stream: &[bool]) -> Self {
+        let bits: Vec<bool> = stream.iter().rev().copied().collect();
+        Gf2Poly { bits }
+    }
+
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero() -> Self {
+        Gf2Poly::default()
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.bits.iter().rposition(|&b| b)
+    }
+
+    /// Coefficient of xⁱ.
+    #[must_use]
+    pub fn coeff(&self, i: usize) -> bool {
+        self.bits.get(i).copied().unwrap_or(false)
+    }
+
+    /// The characteristic polynomial of an LFSR as a `Gf2Poly`
+    /// (x^n + taps + 1).
+    #[must_use]
+    pub fn from_characteristic(poly: Polynomial) -> Self {
+        let n = poly.degree() as usize;
+        let mut bits = vec![false; n + 1];
+        bits[0] = true;
+        bits[n] = true;
+        #[allow(clippy::needless_range_loop)] // t is the exponent, not just an index
+        for t in 1..n {
+            if poly.feedback_mask() >> (t - 1) & 1 == 1 {
+                bits[t] = true;
+            }
+        }
+        Gf2Poly { bits }
+    }
+
+    /// Remainder of `self` divided by `divisor` (long division over
+    /// GF(2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn rem(&self, divisor: &Gf2Poly) -> Gf2Poly {
+        let d = divisor.degree().expect("division by zero polynomial");
+        let mut work = self.bits.clone();
+        let mut top = work.iter().rposition(|&b| b);
+        while let Some(t) = top {
+            if t < d {
+                break;
+            }
+            let shift = t - d;
+            for i in 0..=d {
+                if divisor.coeff(i) {
+                    work[i + shift] ^= true;
+                }
+            }
+            top = work.iter().rposition(|&b| b);
+        }
+        work.truncate(d);
+        Gf2Poly { bits: work }
+    }
+
+    /// The low `n` coefficients packed into a word (bit *i* = coeff of
+    /// xⁱ).
+    #[must_use]
+    pub fn low_word(&self, n: usize) -> u64 {
+        (0..n.min(64)).fold(0u64, |acc, i| acc | (u64::from(self.coeff(i)) << i))
+    }
+}
+
+/// The reciprocal (coefficient-reversed) polynomial `x^n·p(1/x)` of an
+/// LFSR characteristic polynomial.
+///
+/// An external-XOR (Fibonacci) signature register — the paper's drawing —
+/// divides the incoming stream by the *reciprocal* of its tap
+/// polynomial; the Galois form divides by the polynomial itself. Both
+/// are primitive together, so the 2⁻ⁿ aliasing analysis is identical.
+#[must_use]
+pub fn reciprocal(poly: Polynomial) -> Gf2Poly {
+    let p = Gf2Poly::from_characteristic(poly);
+    let n = poly.degree() as usize;
+    let bits: Vec<bool> = (0..=n).map(|i| p.coeff(n - i)).collect();
+    Gf2Poly { bits }
+}
+
+/// The remainder of a data stream after division by the polynomial the
+/// Fibonacci signature register effectively divides by (the reciprocal
+/// of its characteristic polynomial) — "the signature, or 'residue', is
+/// the remainder of the data stream after division by an irreducible
+/// polynomial".
+///
+/// Two streams produce the same [`SignatureRegister`](crate::SignatureRegister)
+/// signature **iff** they have the same `stream_remainder` (the register
+/// state is an invertible linear relabelling of this remainder; the
+/// kernel — what aliases — is exactly the multiples of the reciprocal
+/// polynomial). Verified by test.
+#[must_use]
+pub fn stream_remainder(stream: &[bool], poly: Polynomial) -> u64 {
+    let n = poly.degree() as usize;
+    let p = reciprocal(poly);
+    Gf2Poly::from_stream(stream).rem(&p).low_word(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignatureRegister;
+
+    #[test]
+    fn characteristic_polynomial_bits() {
+        // x^3 + x^2 + 1 -> bits [1, 0, 1, 1].
+        let p = Gf2Poly::from_characteristic(Polynomial::new(3, &[2]));
+        assert!(p.coeff(0) && !p.coeff(1) && p.coeff(2) && p.coeff(3));
+        assert_eq!(p.degree(), Some(3));
+    }
+
+    #[test]
+    fn division_basics() {
+        // (x^3 + x + 1) mod (x^2 + 1):
+        // x^3 + x + 1 = x·(x^2+1) + 1 → remainder 1.
+        let a = Gf2Poly {
+            bits: vec![true, true, false, true],
+        };
+        let d = Gf2Poly {
+            bits: vec![true, false, true],
+        };
+        let r = a.rem(&d);
+        assert_eq!(r.degree(), Some(0));
+        assert!(r.coeff(0));
+    }
+
+    #[test]
+    fn zero_dividend_has_zero_remainder() {
+        let d = Gf2Poly::from_characteristic(Polynomial::primitive(8).unwrap());
+        assert_eq!(Gf2Poly::zero().rem(&d), Gf2Poly { bits: vec![] });
+    }
+
+    /// The theorem the paper states, in kernel form: two streams share a
+    /// signature exactly when they share a remainder.
+    #[test]
+    fn signature_equality_is_remainder_equality() {
+        for degree in [3u32, 8] {
+            let poly = Polynomial::primitive(degree).unwrap();
+            let mut x = 0x9E37_79B9u64;
+            let mut streams: Vec<Vec<bool>> = Vec::new();
+            for _ in 0..24 {
+                let s: Vec<bool> = (0..40)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x & 1 == 1
+                    })
+                    .collect();
+                streams.push(s);
+            }
+            let sig = |s: &[bool]| {
+                let mut r = SignatureRegister::new(poly);
+                r.shift_in_stream(s.iter().copied());
+                r.signature()
+            };
+            for a in &streams {
+                for b in &streams {
+                    assert_eq!(
+                        sig(a) == sig(b),
+                        stream_remainder(a, poly) == stream_remainder(b, poly),
+                        "kernel mismatch at degree {degree}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_streams_with_same_remainder_alias() {
+        // Adding p*(x)·x^k (the reciprocal polynomial) to the stream
+        // leaves the register signature unchanged — an explicit aliasing
+        // pair. p = x³+x²+1 ⇒ p* = x³+x+1; p*·x² = x⁵+x³+x².
+        let poly = Polynomial::new(3, &[2]);
+        let base = vec![true, false, true, true, false, false, true];
+        let mut aliased = base.clone();
+        for &idx in &[1usize, 3, 4] {
+            // stream index = 6 − exponent for a 7-bit stream
+            aliased[idx] ^= true;
+        }
+        assert_ne!(base, aliased);
+        assert_eq!(
+            stream_remainder(&base, poly),
+            stream_remainder(&aliased, poly),
+            "streams differing by a multiple of p*(x) must alias"
+        );
+        let mut a = SignatureRegister::new(poly);
+        a.shift_in_stream(base);
+        let mut b = SignatureRegister::new(poly);
+        b.shift_in_stream(aliased);
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn reciprocal_reverses_coefficients() {
+        // p = x³+x²+1 → p* = x³+x+1.
+        let r = reciprocal(Polynomial::new(3, &[2]));
+        assert!(r.coeff(0) && r.coeff(1) && !r.coeff(2) && r.coeff(3));
+        // Palindromic degree-2 primitive: x²+x+1 is its own reciprocal.
+        let r = reciprocal(Polynomial::new(2, &[1]));
+        assert!(r.coeff(0) && r.coeff(1) && r.coeff(2));
+    }
+}

@@ -1,0 +1,253 @@
+//! Fibonacci and Galois LFSRs.
+
+use crate::Polynomial;
+
+/// Feedback topology of an [`Lfsr`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LfsrKind {
+    /// External-XOR: one parity gate over the tapped stages feeds stage 1
+    /// (the paper's Fig. 7 drawing).
+    #[default]
+    Fibonacci,
+    /// Internal-XOR: the output bit is XORed into the tapped stages —
+    /// same maximal-length property, shallower logic.
+    Galois,
+}
+
+/// A linear feedback shift register.
+///
+/// State bit *i−1* holds stage `Q_i`; a step shifts `Q_i → Q_{i+1}` with
+/// the feedback entering `Q_1`, matching the left-to-right drawing of the
+/// paper's Fig. 7.
+///
+/// ```
+/// use dft_lfsr::{Lfsr, Polynomial};
+///
+/// // Fig. 7: the register counts through all 7 nonzero states.
+/// let mut lfsr = Lfsr::fibonacci(Polynomial::new(3, &[2]), 0b111);
+/// let mut states = vec![lfsr.state()];
+/// for _ in 0..6 {
+///     lfsr.step();
+///     states.push(lfsr.state());
+/// }
+/// states.sort_unstable();
+/// assert_eq!(states, vec![1, 2, 3, 4, 5, 6, 7]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lfsr {
+    poly: Polynomial,
+    kind: LfsrKind,
+    state: u64,
+}
+
+impl Lfsr {
+    /// A Fibonacci (external-XOR) register seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` has bits above the polynomial degree.
+    #[must_use]
+    pub fn fibonacci(poly: Polynomial, seed: u64) -> Self {
+        Lfsr::with_kind(poly, seed, LfsrKind::Fibonacci)
+    }
+
+    /// A Galois (internal-XOR) register seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` has bits above the polynomial degree.
+    #[must_use]
+    pub fn galois(poly: Polynomial, seed: u64) -> Self {
+        Lfsr::with_kind(poly, seed, LfsrKind::Galois)
+    }
+
+    /// General constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` has bits above the polynomial degree.
+    #[must_use]
+    pub fn with_kind(poly: Polynomial, seed: u64, kind: LfsrKind) -> Self {
+        assert_eq!(
+            seed & !poly.state_mask(),
+            0,
+            "seed wider than the register"
+        );
+        Lfsr {
+            poly,
+            kind,
+            state: seed,
+        }
+    }
+
+    /// The characteristic polynomial.
+    #[must_use]
+    pub fn polynomial(&self) -> Polynomial {
+        self.poly
+    }
+
+    /// Current state (bit *i−1* = stage `Q_i`).
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Reseeds the register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` has bits above the polynomial degree.
+    pub fn set_state(&mut self, seed: u64) {
+        assert_eq!(seed & !self.poly.state_mask(), 0);
+        self.state = seed;
+    }
+
+    /// One stage's current value (1-based, `Q_1..Q_n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is 0 or exceeds the degree.
+    #[must_use]
+    pub fn stage(&self, stage: u32) -> bool {
+        assert!((1..=self.poly.degree()).contains(&stage));
+        self.state >> (stage - 1) & 1 == 1
+    }
+
+    /// Advances one clock; returns the serial output (old `Q_n`).
+    pub fn step(&mut self) -> bool {
+        let n = self.poly.degree();
+        let out = self.state >> (n - 1) & 1 == 1;
+        match self.kind {
+            LfsrKind::Fibonacci => {
+                let fb = (self.state & self.poly.feedback_mask()).count_ones() & 1;
+                self.state = ((self.state << 1) | u64::from(fb)) & self.poly.state_mask();
+            }
+            LfsrKind::Galois => {
+                self.state = (self.state << 1) & self.poly.state_mask();
+                if out {
+                    // XOR the low polynomial coefficients back in: x⁰ at
+                    // bit 0 and each x^t at bit t (x^n falls off the top).
+                    self.state ^=
+                        ((self.poly.feedback_mask() << 1) | 1) & self.poly.state_mask();
+                }
+            }
+        }
+        out
+    }
+
+    /// Collects the next `n` serial output bits.
+    pub fn bits(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.step()).collect()
+    }
+
+    /// Measures the period from the current state (number of steps until
+    /// the state recurs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is all-zero (period undefined: the zero
+    /// state is a fixed point) or the degree exceeds 24 (measurement
+    /// would walk ≥ 2²⁴ states).
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        assert!(self.state != 0, "zero state is a fixed point");
+        assert!(
+            self.poly.degree() <= 24,
+            "period measurement above degree 24 is too slow; trust the table"
+        );
+        let mut scratch = self.clone();
+        let start = scratch.state;
+        let mut n = 0u64;
+        loop {
+            scratch.step();
+            n += 1;
+            if scratch.state == start {
+                return n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 7 table: successive states of the 3-bit register.
+    #[test]
+    fn fig7_counting_sequence() {
+        // Feedback Q1 <- Q2 xor Q3; shift right. Starting at (Q1,Q2,Q3)
+        // = (1,1,1), the next states per the figure are:
+        // 111 -> 011 -> 001 -> 100 -> 010 -> 101 -> 110 -> 111.
+        let mut lfsr = Lfsr::fibonacci(Polynomial::new(3, &[2]), 0b111);
+        let seq: Vec<u64> = (0..7)
+            .map(|_| {
+                lfsr.step();
+                lfsr.state()
+            })
+            .collect();
+        let as_triples: Vec<(u64, u64, u64)> = seq
+            .iter()
+            .map(|s| (s & 1, s >> 1 & 1, s >> 2 & 1))
+            .collect();
+        assert_eq!(
+            as_triples,
+            vec![
+                (0, 1, 1),
+                (0, 0, 1),
+                (1, 0, 0),
+                (0, 1, 0),
+                (1, 0, 1),
+                (1, 1, 0),
+                (1, 1, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn primitive_polynomials_are_maximal_up_to_degree_16() {
+        for d in 2..=16 {
+            let p = Polynomial::primitive(d).unwrap();
+            let lfsr = Lfsr::fibonacci(p, 1);
+            assert_eq!(lfsr.period(), (1 << d) - 1, "degree {d} not maximal");
+        }
+    }
+
+    #[test]
+    fn galois_form_is_also_maximal() {
+        for d in [3, 8, 13, 16] {
+            let p = Polynomial::primitive(d).unwrap();
+            let lfsr = Lfsr::galois(p, 1);
+            assert_eq!(lfsr.period(), (1 << d) - 1, "galois degree {d}");
+        }
+    }
+
+    #[test]
+    fn non_primitive_polynomial_has_short_period() {
+        // x^4 + x^2 + 1 = (x^2+x+1)^2 is not primitive.
+        let p = Polynomial::new(4, &[2]);
+        let lfsr = Lfsr::fibonacci(p, 1);
+        assert!(lfsr.period() < 15, "period {}", lfsr.period());
+    }
+
+    #[test]
+    fn zero_state_is_fixed() {
+        let mut lfsr = Lfsr::fibonacci(Polynomial::primitive(5).unwrap(), 0);
+        lfsr.step();
+        assert_eq!(lfsr.state(), 0);
+    }
+
+    #[test]
+    fn period_is_seed_independent_for_primitive_polys() {
+        let p = Polynomial::primitive(7).unwrap();
+        for seed in [1, 0b1010101, 0x7F] {
+            assert_eq!(Lfsr::fibonacci(p, seed).period(), 127);
+        }
+    }
+
+    #[test]
+    fn serial_output_is_msb_before_shift() {
+        let mut lfsr = Lfsr::fibonacci(Polynomial::new(3, &[2]), 0b100);
+        assert!(lfsr.step()); // Q3 was 1
+        assert!(!lfsr.stage(3)); // shifted out
+    }
+}

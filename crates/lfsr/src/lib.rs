@@ -1,0 +1,49 @@
+//! # dft-lfsr
+//!
+//! Linear feedback shift registers, signature analysis and pseudo-random
+//! pattern generation for the *tessera* DFT toolkit.
+//!
+//! §III-D of Williams & Parker calls the LFSR "the integral part of the
+//! Signature Analysis approach" (Fig. 7 shows the 3-bit register whose
+//! counting sequence experiment E6 reproduces), and §V builds BILBO on
+//! the same machinery. This crate provides:
+//!
+//! * [`Polynomial`] — characteristic polynomials with the classic table
+//!   of maximal-length (primitive) polynomials for degrees 2–32 ("the
+//!   maximal length linear feedback configurations can be obtained by
+//!   consulting tables \[8\]").
+//! * [`Lfsr`] — Fibonacci and Galois registers with period measurement.
+//! * [`SignatureRegister`] — the serial signature analyzer: the signature
+//!   is "the remainder of the data stream after division by an
+//!   irreducible polynomial".
+//! * [`Misr`] — the multiple-input signature register BILBO mode
+//!   (Fig. 19(d)).
+//! * [`aliasing_rate`] — empirical verification of the paper's claim
+//!   that a 16-bit register misses an erroneous stream with probability
+//!   ≈ 2⁻¹⁶ (experiment E7).
+//! * [`Prpg`] — pseudo-random pattern generation (Fig. 19, "PN
+//!   patterns").
+//!
+//! ```
+//! use dft_lfsr::{Lfsr, Polynomial};
+//!
+//! // The paper's Fig. 7 register: Q1 <- Q2 xor Q3.
+//! let poly = Polynomial::new(3, &[2]);
+//! let mut lfsr = Lfsr::fibonacci(poly, 0b001);
+//! assert_eq!(lfsr.period(), 7); // maximal length
+//! ```
+
+mod aliasing;
+mod division;
+#[allow(clippy::module_inception)]
+mod lfsr;
+mod polynomial;
+mod prpg;
+mod signature;
+
+pub use aliasing::{aliasing_rate, AliasingEstimate};
+pub use division::{reciprocal, stream_remainder, Gf2Poly};
+pub use lfsr::{Lfsr, LfsrKind};
+pub use polynomial::Polynomial;
+pub use prpg::Prpg;
+pub use signature::{Misr, SignatureRegister};

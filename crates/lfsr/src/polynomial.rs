@@ -1,0 +1,185 @@
+//! Characteristic polynomials over GF(2).
+
+use std::fmt;
+
+/// A characteristic polynomial `x^n + Σ x^t + 1` for an `n`-stage LFSR.
+///
+/// Stored as the degree plus a tap mask: bit *t−1* of `taps` set means
+/// the coefficient of `x^t` is 1 (for `1 ≤ t < n`). The `x^n` and `x⁰`
+/// coefficients are implicitly 1 (every LFSR feedback polynomial has
+/// them).
+///
+/// ```
+/// use dft_lfsr::Polynomial;
+///
+/// let p = Polynomial::new(3, &[2]); // x³ + x² + 1 (the paper's Fig. 7)
+/// assert_eq!(p.degree(), 3);
+/// assert_eq!(p.to_string(), "x^3 + x^2 + 1");
+/// assert!(p.is_primitive_table_entry() || p.degree() > 32);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Polynomial {
+    degree: u32,
+    taps: u64,
+}
+
+/// Maximal-length tap sets for degrees 2..=32 (one primitive polynomial
+/// per degree, after the classic tables the paper's reference \[8\] points
+/// to). Entry `d-2` lists the intermediate exponents for degree `d`.
+const PRIMITIVE_TAPS: [&[u32]; 31] = [
+    &[1],          // 2: x^2 + x + 1
+    &[2],          // 3
+    &[3],          // 4
+    &[3],          // 5
+    &[5],          // 6
+    &[6],          // 7
+    &[6, 5, 4],    // 8
+    &[5],          // 9
+    &[7],          // 10
+    &[9],          // 11
+    &[6, 4, 1],    // 12
+    &[4, 3, 1],    // 13
+    &[5, 3, 1],    // 14
+    &[14],         // 15
+    &[15, 13, 4],  // 16
+    &[14],         // 17
+    &[11],         // 18
+    &[6, 2, 1],    // 19
+    &[17],         // 20
+    &[19],         // 21
+    &[21],         // 22
+    &[18],         // 23
+    &[23, 22, 17], // 24
+    &[22],         // 25
+    &[6, 2, 1],    // 26
+    &[5, 2, 1],    // 27
+    &[25],         // 28
+    &[27],         // 29
+    &[6, 4, 1],    // 30
+    &[28],         // 31
+    &[22, 2, 1],   // 32
+];
+
+impl Polynomial {
+    /// Creates `x^degree + Σ x^t + 1` from the intermediate exponents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is 0 or exceeds 63, or if any exponent is
+    /// outside `1..degree`.
+    #[must_use]
+    pub fn new(degree: u32, intermediate_exponents: &[u32]) -> Self {
+        assert!((1..=63).contains(&degree), "degree must be in 1..=63");
+        let mut taps = 0u64;
+        for &t in intermediate_exponents {
+            assert!(
+                (1..degree).contains(&t),
+                "exponent {t} outside 1..{degree}"
+            );
+            taps |= 1 << (t - 1);
+        }
+        Polynomial { degree, taps }
+    }
+
+    /// The primitive (maximal-length) polynomial of `degree` from the
+    /// built-in table, or `None` outside 2..=32.
+    ///
+    /// Maximality is verified by unit test for every table entry up to
+    /// degree 16 (measured period exactly `2ⁿ − 1`) and spot-checked
+    /// above.
+    #[must_use]
+    pub fn primitive(degree: u32) -> Option<Self> {
+        if !(2..=32).contains(&degree) {
+            return None;
+        }
+        Some(Polynomial::new(
+            degree,
+            PRIMITIVE_TAPS[(degree - 2) as usize],
+        ))
+    }
+
+    /// The polynomial degree (= number of LFSR stages).
+    #[must_use]
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Mask of *stage* positions feeding the parity (bit *t−1* ⇔ stage
+    /// `Q_t` is tapped), including the always-present `x^n` stage `Q_n`.
+    #[must_use]
+    pub fn feedback_mask(&self) -> u64 {
+        self.taps | 1 << (self.degree - 1)
+    }
+
+    /// Whether this polynomial equals the built-in primitive table entry
+    /// for its degree.
+    #[must_use]
+    pub fn is_primitive_table_entry(&self) -> bool {
+        Polynomial::primitive(self.degree) == Some(*self)
+    }
+
+    /// State mask (`degree` low bits).
+    #[must_use]
+    pub fn state_mask(&self) -> u64 {
+        if self.degree == 64 {
+            u64::MAX
+        } else {
+            (1 << self.degree) - 1
+        }
+    }
+}
+
+impl fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polynomial({self})")
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x^{}", self.degree)?;
+        for t in (1..self.degree).rev() {
+            if self.taps >> (t - 1) & 1 == 1 {
+                write!(f, " + x^{t}")?;
+            }
+        }
+        write!(f, " + 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_terms_in_descending_order() {
+        let p = Polynomial::new(8, &[6, 5, 4]);
+        assert_eq!(p.to_string(), "x^8 + x^6 + x^5 + x^4 + 1");
+        let p = Polynomial::new(2, &[1]);
+        assert_eq!(p.to_string(), "x^2 + x^1 + 1");
+    }
+
+    #[test]
+    fn primitive_table_bounds() {
+        assert!(Polynomial::primitive(1).is_none());
+        assert!(Polynomial::primitive(33).is_none());
+        for d in 2..=32 {
+            let p = Polynomial::primitive(d).unwrap();
+            assert_eq!(p.degree(), d);
+            assert!(p.is_primitive_table_entry());
+        }
+    }
+
+    #[test]
+    fn feedback_mask_includes_msb() {
+        let p = Polynomial::new(3, &[2]);
+        assert_eq!(p.feedback_mask(), 0b110); // stages Q2, Q3
+        assert_eq!(p.state_mask(), 0b111);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_exponent() {
+        let _ = Polynomial::new(3, &[3]);
+    }
+}

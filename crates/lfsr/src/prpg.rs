@@ -1,0 +1,112 @@
+//! Pseudo-random pattern generation from an LFSR.
+//!
+//! §V-A of the paper: a BILBO register in signature-analysis mode with
+//! its data inputs held fixed "will output a sequence of patterns which
+//! are very close to random patterns … called Pseudo Random Patterns
+//! (PN)." This module is that register viewed as a generator.
+
+use crate::{Lfsr, Polynomial};
+
+/// A pseudo-random pattern generator producing `width`-bit patterns from
+/// a maximal-length LFSR.
+///
+/// Each call to [`Prpg::next_pattern`] clocks the register once and
+/// exposes the first `width` stages — how a BILBO register drives the
+/// combinational network under test (Fig. 20).
+///
+/// ```
+/// use dft_lfsr::Prpg;
+///
+/// let mut prpg = Prpg::new(8, 0xA5).expect("degree available");
+/// let p1 = prpg.next_pattern();
+/// let p2 = prpg.next_pattern();
+/// assert_eq!(p1.len(), 8);
+/// assert_ne!(p1, p2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Prpg {
+    lfsr: Lfsr,
+    width: usize,
+}
+
+impl Prpg {
+    /// Creates a generator of `width`-bit patterns (2 ≤ width ≤ 32),
+    /// seeded with `seed` (forced nonzero).
+    ///
+    /// Returns `None` if no primitive polynomial of that degree is in the
+    /// table.
+    #[must_use]
+    pub fn new(width: usize, seed: u64) -> Option<Self> {
+        let poly = Polynomial::primitive(width as u32)?;
+        let seed = (seed & poly.state_mask()).max(1);
+        Some(Prpg {
+            lfsr: Lfsr::fibonacci(poly, seed),
+            width,
+        })
+    }
+
+    /// Pattern width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Clocks once and returns the next pattern.
+    pub fn next_pattern(&mut self) -> Vec<bool> {
+        self.lfsr.step();
+        let s = self.lfsr.state();
+        (0..self.width).map(|i| s >> i & 1 == 1).collect()
+    }
+
+    /// Generates `count` patterns as rows.
+    pub fn patterns(&mut self, count: usize) -> Vec<Vec<bool>> {
+        (0..count).map(|_| self.next_pattern()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_almost_all_patterns_within_a_period() {
+        let mut prpg = Prpg::new(6, 1).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..63 {
+            seen.insert(prpg.next_pattern());
+        }
+        // A maximal 6-bit LFSR walks all 63 nonzero states.
+        assert_eq!(seen.len(), 63);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = Prpg::new(8, 5).unwrap();
+        let mut b = Prpg::new(8, 5).unwrap();
+        assert_eq!(a.patterns(10), b.patterns(10));
+        let mut c = Prpg::new(8, 6).unwrap();
+        assert_ne!(a.patterns(10), c.patterns(10));
+    }
+
+    #[test]
+    fn zero_seed_is_coerced() {
+        let mut prpg = Prpg::new(4, 0).unwrap();
+        // Must not be stuck at zero.
+        assert!(prpg.patterns(5).iter().any(|p| p.iter().any(|&b| b)));
+    }
+
+    #[test]
+    fn ones_density_is_near_half() {
+        let mut prpg = Prpg::new(16, 77).unwrap();
+        let rows = prpg.patterns(1000);
+        let ones: usize = rows.iter().flatten().filter(|&&b| b).count();
+        let frac = ones as f64 / (1000.0 * 16.0);
+        assert!((0.45..=0.55).contains(&frac), "ones fraction {frac}");
+    }
+
+    #[test]
+    fn out_of_table_width_is_none() {
+        assert!(Prpg::new(1, 0).is_none());
+        assert!(Prpg::new(33, 0).is_none());
+    }
+}

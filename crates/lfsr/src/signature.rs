@@ -1,0 +1,253 @@
+//! Signature registers: serial (SISR) and multiple-input (MISR).
+
+use crate::{Lfsr, Polynomial};
+
+/// A serial-input signature register — the core of the Signature
+/// Analysis tool of the paper's Fig. 8.
+///
+/// Each observed bit is XORed into the feedback; after the (fixed-length)
+/// observation window, the residual state is the *signature*: "the
+/// remainder of the data stream after division by an irreducible
+/// polynomial", compressing an arbitrarily long stream to `n` bits.
+///
+/// ```
+/// use dft_lfsr::{Polynomial, SignatureRegister};
+///
+/// let poly = Polynomial::primitive(16).unwrap();
+/// let mut good = SignatureRegister::new(poly);
+/// let mut bad = SignatureRegister::new(poly);
+/// for i in 0..50 {
+///     good.shift_in(i % 3 == 0);
+///     bad.shift_in(i % 3 == 0 || i == 17); // one corrupted bit
+/// }
+/// assert_ne!(good.signature(), bad.signature());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignatureRegister {
+    poly: Polynomial,
+    state: u64,
+    bits_seen: u64,
+}
+
+impl SignatureRegister {
+    /// An all-zero-seeded signature register ("it is important that the
+    /// linear feedback shift register be initialized to the same starting
+    /// place every time").
+    #[must_use]
+    pub fn new(poly: Polynomial) -> Self {
+        SignatureRegister {
+            poly,
+            state: 0,
+            bits_seen: 0,
+        }
+    }
+
+    /// The characteristic polynomial.
+    #[must_use]
+    pub fn polynomial(&self) -> Polynomial {
+        self.poly
+    }
+
+    /// Absorbs one observed bit.
+    pub fn shift_in(&mut self, bit: bool) {
+        let fb = ((self.state & self.poly.feedback_mask()).count_ones() & 1) == 1;
+        let inject = fb ^ bit;
+        self.state = ((self.state << 1) | u64::from(inject)) & self.poly.state_mask();
+        self.bits_seen += 1;
+    }
+
+    /// Absorbs a whole stream.
+    pub fn shift_in_stream<I: IntoIterator<Item = bool>>(&mut self, bits: I) {
+        for b in bits {
+            self.shift_in(b);
+        }
+    }
+
+    /// The current signature (register state).
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        self.state
+    }
+
+    /// Number of bits absorbed.
+    #[must_use]
+    pub fn bits_seen(&self) -> u64 {
+        self.bits_seen
+    }
+
+    /// Resets to the all-zero seed.
+    pub fn reset(&mut self) {
+        self.state = 0;
+        self.bits_seen = 0;
+    }
+}
+
+/// A multiple-input signature register — the BILBO mode of Fig. 19(d):
+/// "a linear feedback shift register of maximal length with multiple
+/// linear inputs".
+///
+/// Each clock absorbs one parallel word (one bit per stage).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Misr {
+    lfsr: Lfsr,
+    clocks: u64,
+}
+
+impl Misr {
+    /// An all-zero-seeded MISR over `poly.degree()` parallel inputs.
+    #[must_use]
+    pub fn new(poly: Polynomial) -> Self {
+        Misr {
+            lfsr: Lfsr::fibonacci(poly, 0),
+            clocks: 0,
+        }
+    }
+
+    /// Number of parallel inputs (stages).
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.lfsr.polynomial().degree()
+    }
+
+    /// Clocks the register, absorbing one parallel input word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Misr::width`].
+    pub fn clock(&mut self, inputs: &[bool]) {
+        assert_eq!(inputs.len() as u32, self.width(), "input width mismatch");
+        self.lfsr.step();
+        let mut word = 0u64;
+        for (i, &b) in inputs.iter().enumerate() {
+            if b {
+                word |= 1 << i;
+            }
+        }
+        self.lfsr.set_state(self.lfsr.state() ^ word);
+        self.clocks += 1;
+    }
+
+    /// Clocks the register with a packed input word (bit *i* → stage
+    /// *i+1*).
+    pub fn clock_word(&mut self, word: u64) {
+        self.lfsr.step();
+        let masked = word & self.lfsr.polynomial().state_mask();
+        self.lfsr.set_state(self.lfsr.state() ^ masked);
+        self.clocks += 1;
+    }
+
+    /// The accumulated signature.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        self.lfsr.state()
+    }
+
+    /// Clocks absorbed so far.
+    #[must_use]
+    pub fn clocks(&self) -> u64 {
+        self.clocks
+    }
+
+    /// Resets to the all-zero seed.
+    pub fn reset(&mut self) {
+        self.lfsr.set_state(0);
+        self.clocks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_differs_from_plain_count() {
+        // The paper: after 50 clocks the value "is not necessarily the
+        // value that would have occurred if the LFSR was just counted 50
+        // times — Modulo 7" because the data stream perturbs it.
+        let poly = Polynomial::new(3, &[2]);
+        let mut plain = Lfsr::fibonacci(poly, 0);
+        // Inject a single 1 then zeros (nonzero stream).
+        let mut sig = SignatureRegister::new(poly);
+        sig.shift_in(true);
+        for _ in 0..49 {
+            plain.step();
+            sig.shift_in(false);
+        }
+        plain.step();
+        assert_eq!(plain.state(), 0, "zero-seeded pure LFSR stays zero");
+        assert_ne!(sig.signature(), 0, "data stream perturbs the register");
+    }
+
+    #[test]
+    fn identical_streams_give_identical_signatures() {
+        let poly = Polynomial::primitive(16).unwrap();
+        let stream: Vec<bool> = (0..500).map(|i| (i * 7) % 11 < 4).collect();
+        let mut a = SignatureRegister::new(poly);
+        let mut b = SignatureRegister::new(poly);
+        a.shift_in_stream(stream.clone());
+        b.shift_in_stream(stream);
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.bits_seen(), 500);
+    }
+
+    #[test]
+    fn single_bit_error_is_always_caught() {
+        // Linearity: the signature of (stream ⊕ e) differs from the
+        // signature of stream unless the error polynomial divides — a
+        // single-bit error never divides, so detection is certain.
+        let poly = Polynomial::primitive(8).unwrap();
+        let stream: Vec<bool> = (0..200).map(|i| i % 5 == 0).collect();
+        let mut good = SignatureRegister::new(poly);
+        good.shift_in_stream(stream.clone());
+        for flip in [0usize, 1, 50, 120, 199] {
+            let mut bad_stream = stream.clone();
+            bad_stream[flip] = !bad_stream[flip];
+            let mut bad = SignatureRegister::new(poly);
+            bad.shift_in_stream(bad_stream);
+            assert_ne!(good.signature(), bad.signature(), "flip at {flip}");
+        }
+    }
+
+    #[test]
+    fn misr_absorbs_parallel_words() {
+        let poly = Polynomial::primitive(8).unwrap();
+        let mut a = Misr::new(poly);
+        let mut b = Misr::new(poly);
+        for w in 0..32u64 {
+            a.clock_word(w * 37 % 251);
+            b.clock_word(w * 37 % 251);
+        }
+        assert_eq!(a.signature(), b.signature());
+        // One corrupted word changes the signature.
+        let mut c = Misr::new(poly);
+        for w in 0..32u64 {
+            let word = w * 37 % 251;
+            c.clock_word(if w == 13 { word ^ 0x10 } else { word });
+        }
+        assert_ne!(a.signature(), c.signature());
+        assert_eq!(c.clocks(), 32);
+    }
+
+    #[test]
+    fn misr_slice_and_word_interfaces_agree() {
+        let poly = Polynomial::primitive(4).unwrap();
+        let mut s = Misr::new(poly);
+        let mut w = Misr::new(poly);
+        for word in [0b1010u64, 0b0110, 0b1111, 0b0001] {
+            let bits: Vec<bool> = (0..4).map(|i| word >> i & 1 == 1).collect();
+            s.clock(&bits);
+            w.clock_word(word);
+        }
+        assert_eq!(s.signature(), w.signature());
+    }
+
+    #[test]
+    fn reset_restores_seed() {
+        let poly = Polynomial::primitive(8).unwrap();
+        let mut sig = SignatureRegister::new(poly);
+        sig.shift_in_stream([true, false, true]);
+        sig.reset();
+        assert_eq!(sig.signature(), 0);
+        assert_eq!(sig.bits_seen(), 0);
+    }
+}

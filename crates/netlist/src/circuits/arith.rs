@@ -1,0 +1,173 @@
+//! Additional arithmetic structures: a carry-lookahead adder (shallow,
+//! wide — the structural opposite of the ripple adder for testability
+//! studies) and a barrel shifter (layered multiplexers, heavy fan-out).
+
+use crate::{GateId, GateKind, Netlist};
+
+/// An `width`-bit carry-lookahead adder (`a0..`, `b0..`, `cin` → `s0..`,
+/// `cout`), flat two-level carry network.
+///
+/// Same function as [`ripple_carry_adder`](crate::circuits::ripple_carry_adder)
+/// but logarithmic-ish depth and wide AND/OR gates — the SCOAP profiles
+/// differ sharply, which experiment E15 exploits.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 16 (the flat carry terms grow
+/// quadratically).
+#[must_use]
+pub fn carry_lookahead_adder(width: usize) -> Netlist {
+    assert!((1..=16).contains(&width), "width must be in 1..=16");
+    let mut n = Netlist::new(format!("cla{width}"));
+    let a: Vec<GateId> = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..width).map(|i| n.add_input(format!("b{i}"))).collect();
+    let cin = n.add_input("cin");
+
+    let g: Vec<GateId> = (0..width)
+        .map(|i| n.add_gate(GateKind::And, &[a[i], b[i]]).expect("valid"))
+        .collect();
+    let p: Vec<GateId> = (0..width)
+        .map(|i| n.add_gate(GateKind::Xor, &[a[i], b[i]]).expect("valid"))
+        .collect();
+
+    // c_{k} = g_{k-1} + p_{k-1} g_{k-2} + … + p_{k-1}…p_0 cin
+    let mut carries: Vec<GateId> = vec![cin];
+    for k in 1..=width {
+        let mut terms: Vec<GateId> = Vec::new();
+        for j in (0..k).rev() {
+            let mut ins = vec![g[j]];
+            ins.extend((j + 1..k).map(|t| p[t]));
+            terms.push(if ins.len() == 1 {
+                ins[0]
+            } else {
+                n.add_gate(GateKind::And, &ins).expect("valid")
+            });
+        }
+        let mut cin_term: Vec<GateId> = (0..k).map(|t| p[t]).collect();
+        cin_term.push(cin);
+        terms.push(n.add_gate(GateKind::And, &cin_term).expect("valid"));
+        carries.push(n.add_gate(GateKind::Or, &terms).expect("valid"));
+    }
+
+    for i in 0..width {
+        let s = n.add_gate(GateKind::Xor, &[p[i], carries[i]]).expect("valid");
+        n.mark_output(s, format!("s{i}")).expect("fresh name");
+    }
+    n.mark_output(carries[width], "cout").expect("fresh name");
+    n
+}
+
+/// A `2^stages`-bit left-rotating barrel shifter (`d0..`, `s0..` →
+/// `y0..`): `stages` layers of 2-way multiplexers, each net fanning out
+/// to two muxes of the next layer.
+///
+/// # Panics
+///
+/// Panics if `stages` is 0 or exceeds 6.
+#[must_use]
+pub fn barrel_shifter(stages: usize) -> Netlist {
+    assert!((1..=6).contains(&stages), "stages must be in 1..=6");
+    let width = 1usize << stages;
+    let mut n = Netlist::new(format!("barrel{width}"));
+    let mut layer: Vec<GateId> = (0..width).map(|i| n.add_input(format!("d{i}"))).collect();
+    let sel: Vec<GateId> = (0..stages).map(|i| n.add_input(format!("s{i}"))).collect();
+    for (stage, &s) in sel.iter().enumerate() {
+        let shift = 1usize << stage;
+        let s_n = n.add_gate(GateKind::Not, &[s]).expect("valid");
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let keep = n.add_gate(GateKind::And, &[layer[i], s_n]).expect("valid");
+            let rot = n
+                .add_gate(GateKind::And, &[layer[(i + shift) % width], s])
+                .expect("valid");
+            next.push(n.add_gate(GateKind::Or, &[keep, rot]).expect("valid"));
+        }
+        layer = next;
+    }
+    for (i, &y) in layer.iter().enumerate() {
+        n.mark_output(y, format!("y{i}")).expect("fresh name");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::ripple_carry_adder;
+
+    /// Boolean evaluation helper.
+    fn eval_outputs(n: &Netlist, inputs: &[bool]) -> Vec<bool> {
+        let lv = n.levelize().unwrap();
+        let mut vals = vec![false; n.gate_count()];
+        for (i, &pi) in n.primary_inputs().iter().enumerate() {
+            vals[pi.index()] = inputs[i];
+        }
+        for &id in lv.order() {
+            let g = n.gate(id);
+            match g.kind() {
+                GateKind::Input => {}
+                GateKind::Const0 => vals[id.index()] = false,
+                GateKind::Const1 => vals[id.index()] = true,
+                kind => {
+                    let ins: Vec<bool> =
+                        g.inputs().iter().map(|&s| vals[s.index()]).collect();
+                    vals[id.index()] = kind.eval_bool(&ins);
+                }
+            }
+        }
+        n.primary_outputs()
+            .iter()
+            .map(|&(g, _)| vals[g.index()])
+            .collect()
+    }
+
+    #[test]
+    fn cla_matches_ripple_adder_exhaustively() {
+        let cla = carry_lookahead_adder(4);
+        let rca = ripple_carry_adder(4);
+        for v in 0..512u32 {
+            let inputs: Vec<bool> = (0..9).map(|i| v >> i & 1 == 1).collect();
+            assert_eq!(
+                eval_outputs(&cla, &inputs),
+                eval_outputs(&rca, &inputs),
+                "mismatch at {v:09b}"
+            );
+        }
+    }
+
+    #[test]
+    fn cla_is_shallower_than_ripple() {
+        let cla = carry_lookahead_adder(8);
+        let rca = ripple_carry_adder(8);
+        assert!(
+            cla.levelize().unwrap().depth() < rca.levelize().unwrap().depth(),
+            "lookahead must flatten the carry chain"
+        );
+    }
+
+    #[test]
+    fn barrel_shifter_rotates() {
+        let n = barrel_shifter(3); // 8-bit
+        for amount in 0..8usize {
+            // One-hot data vector: bit 0 set; after rotating left by
+            // `amount` the output y_i = d_{(i+amount) mod 8}, so the set
+            // bit appears at position (8 - amount) % 8.
+            let mut inputs = vec![false; 8 + 3];
+            inputs[0] = true;
+            for b in 0..3 {
+                inputs[8 + b] = amount >> b & 1 == 1;
+            }
+            let out = eval_outputs(&n, &inputs);
+            let expect = (8 - amount) % 8;
+            for (i, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, i == expect, "amount {amount} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_levelize() {
+        assert!(carry_lookahead_adder(16).levelize().is_ok());
+        assert!(barrel_shifter(5).levelize().is_ok());
+    }
+}

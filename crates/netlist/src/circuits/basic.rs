@@ -1,0 +1,328 @@
+//! Small combinational building blocks and textbook benchmarks.
+
+use crate::{GateId, GateKind, Netlist};
+
+/// The ISCAS-85 c17 benchmark: six NAND gates, five inputs, two outputs.
+///
+/// The smallest circuit in the classic test-generation benchmark suite;
+/// handy for exhaustively checkable unit tests.
+///
+/// ```
+/// let c17 = dft_netlist::circuits::c17();
+/// assert_eq!(c17.logic_gate_count(), 6);
+/// assert_eq!(c17.primary_inputs().len(), 5);
+/// ```
+#[must_use]
+pub fn c17() -> Netlist {
+    let mut n = Netlist::new("c17");
+    let g1 = n.add_input("1");
+    let g2 = n.add_input("2");
+    let g3 = n.add_input("3");
+    let g6 = n.add_input("6");
+    let g7 = n.add_input("7");
+    let g10 = n.add_gate(GateKind::Nand, &[g1, g3]).expect("valid");
+    let g11 = n.add_gate(GateKind::Nand, &[g3, g6]).expect("valid");
+    let g16 = n.add_gate(GateKind::Nand, &[g2, g11]).expect("valid");
+    let g19 = n.add_gate(GateKind::Nand, &[g11, g7]).expect("valid");
+    let g22 = n.add_gate(GateKind::Nand, &[g10, g16]).expect("valid");
+    let g23 = n.add_gate(GateKind::Nand, &[g16, g19]).expect("valid");
+    n.mark_output(g22, "22").expect("fresh name");
+    n.mark_output(g23, "23").expect("fresh name");
+    n
+}
+
+/// Adds a full adder over existing nets; returns `(sum, carry)`.
+pub(crate) fn full_adder_cell(
+    n: &mut Netlist,
+    a: GateId,
+    b: GateId,
+    cin: GateId,
+) -> (GateId, GateId) {
+    let t = n.add_gate(GateKind::Xor, &[a, b]).expect("valid");
+    let sum = n.add_gate(GateKind::Xor, &[t, cin]).expect("valid");
+    let c1 = n.add_gate(GateKind::And, &[a, b]).expect("valid");
+    let c2 = n.add_gate(GateKind::And, &[t, cin]).expect("valid");
+    let cout = n.add_gate(GateKind::Or, &[c1, c2]).expect("valid");
+    (sum, cout)
+}
+
+/// A single-bit full adder (`a`, `b`, `cin` → `sum`, `cout`).
+#[must_use]
+pub fn full_adder() -> Netlist {
+    let mut n = Netlist::new("full_adder");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let cin = n.add_input("cin");
+    let (sum, cout) = full_adder_cell(&mut n, a, b, cin);
+    n.mark_output(sum, "sum").expect("fresh name");
+    n.mark_output(cout, "cout").expect("fresh name");
+    n
+}
+
+/// An `width`-bit ripple-carry adder (`a0..`, `b0..`, `cin` → `s0..`,
+/// `cout`). Linear depth — good for deep-logic testability studies.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn ripple_carry_adder(width: usize) -> Netlist {
+    assert!(width > 0, "adder width must be positive");
+    let mut n = Netlist::new(format!("rca{width}"));
+    let a: Vec<GateId> = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..width).map(|i| n.add_input(format!("b{i}"))).collect();
+    let mut carry = n.add_input("cin");
+    for i in 0..width {
+        let (sum, cout) = full_adder_cell(&mut n, a[i], b[i], carry);
+        n.mark_output(sum, format!("s{i}")).expect("fresh name");
+        carry = cout;
+    }
+    n.mark_output(carry, "cout").expect("fresh name");
+    n
+}
+
+/// An `width`-bit XOR parity tree (`x0..` → `parity`).
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+#[must_use]
+pub fn parity_tree(width: usize) -> Netlist {
+    assert!(width >= 2, "parity tree needs at least 2 inputs");
+    let mut n = Netlist::new(format!("parity{width}"));
+    let mut layer: Vec<GateId> = (0..width).map(|i| n.add_input(format!("x{i}"))).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(n.add_gate(GateKind::Xor, &[pair[0], pair[1]]).expect("valid"));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    n.mark_output(layer[0], "parity").expect("fresh name");
+    n
+}
+
+/// An `width`-bit equality comparator (`a0..`, `b0..` → `eq`).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn comparator(width: usize) -> Netlist {
+    assert!(width > 0, "comparator width must be positive");
+    let mut n = Netlist::new(format!("cmp{width}"));
+    let a: Vec<GateId> = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..width).map(|i| n.add_input(format!("b{i}"))).collect();
+    let bits: Vec<GateId> = (0..width)
+        .map(|i| n.add_gate(GateKind::Xnor, &[a[i], b[i]]).expect("valid"))
+        .collect();
+    let eq = if bits.len() == 1 {
+        bits[0]
+    } else {
+        n.add_gate(GateKind::And, &bits).expect("valid")
+    };
+    n.mark_output(eq, "eq").expect("fresh name");
+    n
+}
+
+/// An `sel_bits`-level multiplexer tree selecting among `2^sel_bits` data
+/// inputs (`d0..`, `s0..` → `y`).
+///
+/// # Panics
+///
+/// Panics if `sel_bits == 0` or `sel_bits > 16`.
+#[must_use]
+pub fn mux_tree(sel_bits: usize) -> Netlist {
+    assert!((1..=16).contains(&sel_bits), "sel_bits must be in 1..=16");
+    let mut n = Netlist::new(format!("mux{sel_bits}"));
+    let data: Vec<GateId> = (0..1usize << sel_bits)
+        .map(|i| n.add_input(format!("d{i}")))
+        .collect();
+    let sel: Vec<GateId> = (0..sel_bits).map(|i| n.add_input(format!("s{i}"))).collect();
+    let sel_n: Vec<GateId> = sel
+        .iter()
+        .map(|&s| n.add_gate(GateKind::Not, &[s]).expect("valid"))
+        .collect();
+    let mut layer = data;
+    for bit in 0..sel_bits {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            let lo = n
+                .add_gate(GateKind::And, &[pair[0], sel_n[bit]])
+                .expect("valid");
+            let hi = n.add_gate(GateKind::And, &[pair[1], sel[bit]]).expect("valid");
+            next.push(n.add_gate(GateKind::Or, &[lo, hi]).expect("valid"));
+        }
+        layer = next;
+    }
+    n.mark_output(layer[0], "y").expect("fresh name");
+    n
+}
+
+/// An `width`-to-`2^width` decoder (`x0..` → `y0..`).
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > 16`.
+#[must_use]
+pub fn decoder(width: usize) -> Netlist {
+    assert!((1..=16).contains(&width), "decoder width must be in 1..=16");
+    let mut n = Netlist::new(format!("dec{width}"));
+    let x: Vec<GateId> = (0..width).map(|i| n.add_input(format!("x{i}"))).collect();
+    let xn: Vec<GateId> = x
+        .iter()
+        .map(|&s| n.add_gate(GateKind::Not, &[s]).expect("valid"))
+        .collect();
+    for code in 0..1usize << width {
+        let terms: Vec<GateId> = (0..width)
+            .map(|bit| if code >> bit & 1 == 1 { x[bit] } else { xn[bit] })
+            .collect();
+        let y = if terms.len() == 1 {
+            n.add_gate(GateKind::Buf, &[terms[0]]).expect("valid")
+        } else {
+            n.add_gate(GateKind::And, &terms).expect("valid")
+        };
+        n.mark_output(y, format!("y{code}")).expect("fresh name");
+    }
+    n
+}
+
+/// A 3-input majority voter (`a`, `b`, `c` → `maj`).
+#[must_use]
+pub fn majority() -> Netlist {
+    let mut n = Netlist::new("maj3");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let c = n.add_input("c");
+    let ab = n.add_gate(GateKind::And, &[a, b]).expect("valid");
+    let ac = n.add_gate(GateKind::And, &[a, c]).expect("valid");
+    let bc = n.add_gate(GateKind::And, &[b, c]).expect("valid");
+    let m = n.add_gate(GateKind::Or, &[ab, ac, bc]).expect("valid");
+    n.mark_output(m, "maj").expect("fresh name");
+    n
+}
+
+/// An `width`×`width` array multiplier built from AND partial products and
+/// full-adder cells (`a0..`, `b0..` → `p0..p(2*width-1)`).
+///
+/// Quadratic gate count — the workhorse of the Eq. (1) scaling experiment.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+#[must_use]
+pub fn wallace_multiplier(width: usize) -> Netlist {
+    assert!(width >= 2, "multiplier width must be at least 2");
+    let mut n = Netlist::new(format!("mul{width}"));
+    let a: Vec<GateId> = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..width).map(|i| n.add_input(format!("b{i}"))).collect();
+
+    // Column-wise dot accumulation with full/half adders (Wallace-style
+    // reduction without fancy grouping: reduce each column until <= 2, then
+    // ripple the final two rows).
+    let mut columns: Vec<Vec<GateId>> = vec![Vec::new(); 2 * width];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = n.add_gate(GateKind::And, &[ai, bj]).expect("valid");
+            columns[i + j].push(pp);
+        }
+    }
+    #[allow(clippy::needless_range_loop)] // carries spill into columns[col + 1]
+    for col in 0..2 * width {
+        while columns[col].len() > 2 {
+            if columns[col].len() >= 3 {
+                let x = columns[col].pop().expect("len >= 3");
+                let y = columns[col].pop().expect("len >= 2");
+                let z = columns[col].pop().expect("len >= 1");
+                let (s, c) = full_adder_cell(&mut n, x, y, z);
+                columns[col].push(s);
+                columns[col + 1].push(c);
+            }
+        }
+    }
+    // Final carry-propagate pass over the (≤2)-entry columns.
+    let mut carry: Option<GateId> = None;
+    for (col, column) in columns.iter().enumerate().take(2 * width) {
+        let mut operands = column.clone();
+        if let Some(c) = carry.take() {
+            operands.push(c);
+        }
+        let (sum, cout) = match operands.len() {
+            0 => (n.add_const(false), None),
+            1 => (operands[0], None),
+            2 => {
+                let s = n
+                    .add_gate(GateKind::Xor, &[operands[0], operands[1]])
+                    .expect("valid");
+                let c = n
+                    .add_gate(GateKind::And, &[operands[0], operands[1]])
+                    .expect("valid");
+                (s, Some(c))
+            }
+            _ => {
+                let (s, c) = full_adder_cell(&mut n, operands[0], operands[1], operands[2]);
+                (s, Some(c))
+            }
+        };
+        carry = cout;
+        n.mark_output(sum, format!("p{col}")).expect("fresh name");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_shape() {
+        let n = c17();
+        assert_eq!(n.logic_gate_count(), 6);
+        assert_eq!(n.primary_outputs().len(), 2);
+        assert_eq!(n.levelize().unwrap().depth(), 3);
+    }
+
+    #[test]
+    fn builders_levelize() {
+        for n in [
+            full_adder(),
+            ripple_carry_adder(8),
+            parity_tree(9),
+            comparator(4),
+            mux_tree(3),
+            decoder(3),
+            majority(),
+            wallace_multiplier(4),
+        ] {
+            assert!(n.levelize().is_ok(), "{} has a cycle", n.name());
+            assert!(n.is_combinational(), "{} has storage", n.name());
+        }
+    }
+
+    #[test]
+    fn adder_grows_linearly_and_multiplier_quadratically() {
+        let a8 = ripple_carry_adder(8).logic_gate_count();
+        let a16 = ripple_carry_adder(16).logic_gate_count();
+        assert_eq!(a16, 2 * a8);
+        let m4 = wallace_multiplier(4).logic_gate_count();
+        let m8 = wallace_multiplier(8).logic_gate_count();
+        assert!(m8 > 3 * m4, "multiplier should grow ~quadratically");
+    }
+
+    #[test]
+    fn decoder_has_one_output_per_code() {
+        let n = decoder(3);
+        assert_eq!(n.primary_outputs().len(), 8);
+    }
+
+    #[test]
+    fn mux_tree_port_counts() {
+        let n = mux_tree(2);
+        assert_eq!(n.primary_inputs().len(), 4 + 2);
+        assert_eq!(n.primary_outputs().len(), 1);
+    }
+}

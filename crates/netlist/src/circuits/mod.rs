@@ -1,0 +1,26 @@
+//! Benchmark circuit library.
+//!
+//! The experiments of the paper need concrete networks: small textbook
+//! circuits (Fig. 1's AND gate, the ISCAS c17), arithmetic structures
+//! (adders, multipliers, comparators) whose size can be swept for the
+//! Eq. (1) scaling study, PLAs (the random-pattern-resistant structure of
+//! Fig. 22), the SN74181-style ALU partitioned in Figs. 33–34, and seeded
+//! random circuit generators standing in for the paper's proprietary
+//! production designs (see DESIGN.md §1, substitutions).
+
+mod arith;
+mod basic;
+mod pla;
+mod random;
+mod sequential;
+mod sn74181;
+
+pub use arith::{barrel_shifter, carry_lookahead_adder};
+pub use basic::{
+    c17, comparator, decoder, full_adder, majority, mux_tree, parity_tree,
+    ripple_carry_adder, wallace_multiplier,
+};
+pub use pla::{Pla, PlaCube, random_pattern_resistant_pla};
+pub use random::{RandomCircuit, random_combinational};
+pub use sequential::{binary_counter, johnson_counter, random_sequential, shift_register};
+pub use sn74181::{sn74181, Sn74181Ports};

@@ -1,0 +1,248 @@
+//! Programmable Logic Array synthesis (paper Fig. 22).
+//!
+//! The paper singles PLAs out as the structure random patterns cannot test:
+//! a 20-input AND term has only a 1/2²⁰ chance of being activated by a
+//! random pattern. [`Pla`] synthesizes a two-level AND/OR structure to
+//! gates so the BILBO experiment (E11) can measure that resistance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{GateId, GateKind, Netlist};
+
+/// One product term (cube) of a PLA: per input, `Some(true)` = literal,
+/// `Some(false)` = complemented literal, `None` = don't care.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlaCube {
+    literals: Vec<Option<bool>>,
+}
+
+impl PlaCube {
+    /// Creates a cube over `n` inputs from `(input index, polarity)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input index is out of range.
+    #[must_use]
+    pub fn new(n: usize, literals: &[(usize, bool)]) -> Self {
+        let mut v = vec![None; n];
+        for &(i, pol) in literals {
+            assert!(i < n, "literal index {i} out of range for {n}-input PLA");
+            v[i] = Some(pol);
+        }
+        PlaCube { literals: v }
+    }
+
+    /// The per-input literal polarities.
+    #[must_use]
+    pub fn literals(&self) -> &[Option<bool>] {
+        &self.literals
+    }
+
+    /// Number of literals (the fan-in of the synthesized AND term).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.literals.iter().filter(|l| l.is_some()).count()
+    }
+}
+
+/// A two-level AND/OR PLA specification.
+///
+/// ```
+/// use dft_netlist::circuits::{Pla, PlaCube};
+///
+/// // f0 = a·b + ¬c over inputs (a, b, c)
+/// let pla = Pla::new(3, 1)
+///     .with_term(PlaCube::new(3, &[(0, true), (1, true)]), &[0])
+///     .with_term(PlaCube::new(3, &[(2, false)]), &[0]);
+/// let netlist = pla.synthesize("demo");
+/// assert_eq!(netlist.primary_inputs().len(), 3);
+/// assert_eq!(netlist.primary_outputs().len(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pla {
+    inputs: usize,
+    outputs: usize,
+    terms: Vec<(PlaCube, Vec<usize>)>,
+}
+
+impl Pla {
+    /// Creates an empty PLA with `inputs` input columns and `outputs`
+    /// output columns.
+    #[must_use]
+    pub fn new(inputs: usize, outputs: usize) -> Self {
+        Pla {
+            inputs,
+            outputs,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Adds a product term feeding the given output columns (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube width disagrees with the PLA's input count or an
+    /// output index is out of range.
+    #[must_use]
+    pub fn with_term(mut self, cube: PlaCube, outputs: &[usize]) -> Self {
+        assert_eq!(
+            cube.literals.len(),
+            self.inputs,
+            "cube width must match PLA input count"
+        );
+        for &o in outputs {
+            assert!(o < self.outputs, "output index {o} out of range");
+        }
+        self.terms.push((cube, outputs.to_vec()));
+        self
+    }
+
+    /// Number of product terms.
+    #[must_use]
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Largest AND-term fan-in — the quantity the paper blames for
+    /// random-pattern resistance.
+    #[must_use]
+    pub fn max_term_width(&self) -> usize {
+        self.terms.iter().map(|(c, _)| c.width()).max().unwrap_or(0)
+    }
+
+    /// Synthesizes the PLA to a gate-level [`Netlist`]: inverters for the
+    /// complemented literals, one AND per product term, one OR per output.
+    #[must_use]
+    pub fn synthesize(&self, name: impl Into<String>) -> Netlist {
+        let mut n = Netlist::new(name);
+        let ins: Vec<GateId> = (0..self.inputs)
+            .map(|i| n.add_input(format!("x{i}")))
+            .collect();
+        let mut inverted: Vec<Option<GateId>> = vec![None; self.inputs];
+        let mut or_inputs: Vec<Vec<GateId>> = vec![Vec::new(); self.outputs];
+
+        for (cube, outs) in &self.terms {
+            let mut and_ins = Vec::new();
+            for (i, lit) in cube.literals.iter().enumerate() {
+                match lit {
+                    Some(true) => and_ins.push(ins[i]),
+                    Some(false) => {
+                        let inv = *inverted[i].get_or_insert_with(|| {
+                            n.add_gate(GateKind::Not, &[ins[i]]).expect("valid")
+                        });
+                        and_ins.push(inv);
+                    }
+                    None => {}
+                }
+            }
+            let term = match and_ins.len() {
+                0 => n.add_const(true),
+                1 => and_ins[0],
+                _ => n.add_gate(GateKind::And, &and_ins).expect("valid"),
+            };
+            for &o in outs {
+                or_inputs[o].push(term);
+            }
+        }
+
+        for (o, terms) in or_inputs.into_iter().enumerate() {
+            let out = match terms.len() {
+                0 => n.add_const(false),
+                1 => n.add_gate(GateKind::Buf, &[terms[0]]).expect("valid"),
+                _ => n.add_gate(GateKind::Or, &terms).expect("valid"),
+            };
+            n.mark_output(out, format!("f{o}")).expect("fresh name");
+        }
+        n
+    }
+}
+
+/// Generates the paper's pathological case: a PLA whose product terms each
+/// have `term_width` literals (default experiment uses 20 over ~24 inputs),
+/// making each term's random activation probability `2^-term_width`.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `term_width > inputs` or `outputs == 0`.
+#[must_use]
+pub fn random_pattern_resistant_pla(
+    inputs: usize,
+    terms: usize,
+    term_width: usize,
+    outputs: usize,
+    seed: u64,
+) -> Pla {
+    assert!(term_width <= inputs, "term width cannot exceed input count");
+    assert!(outputs > 0, "PLA needs at least one output");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pla = Pla::new(inputs, outputs);
+    for _ in 0..terms {
+        // Choose `term_width` distinct inputs.
+        let mut idx: Vec<usize> = (0..inputs).collect();
+        for i in 0..term_width {
+            let j = rng.gen_range(i..inputs);
+            idx.swap(i, j);
+        }
+        let lits: Vec<(usize, bool)> = idx[..term_width]
+            .iter()
+            .map(|&i| (i, rng.gen_bool(0.5)))
+            .collect();
+        let out = rng.gen_range(0..outputs);
+        pla = pla.with_term(PlaCube::new(inputs, &lits), &[out]);
+    }
+    pla
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_width_counts_literals() {
+        let c = PlaCube::new(4, &[(0, true), (3, false)]);
+        assert_eq!(c.width(), 2);
+        assert_eq!(c.literals()[1], None);
+    }
+
+    #[test]
+    fn synthesize_produces_two_level_structure() {
+        let pla = Pla::new(3, 2)
+            .with_term(PlaCube::new(3, &[(0, true), (1, true)]), &[0])
+            .with_term(PlaCube::new(3, &[(2, false)]), &[0, 1]);
+        let n = pla.synthesize("p");
+        assert!(n.levelize().is_ok());
+        assert_eq!(n.primary_outputs().len(), 2);
+        // one inverter (for x2), one AND, OR for f0, BUF for f1
+        assert_eq!(n.stats().count(GateKind::Not), 1);
+        assert_eq!(n.stats().count(GateKind::And), 1);
+    }
+
+    #[test]
+    fn empty_output_becomes_constant() {
+        let pla = Pla::new(2, 1);
+        let n = pla.synthesize("p");
+        let f0 = n.find_output("f0").unwrap();
+        assert_eq!(n.gate(f0).kind(), GateKind::Const0);
+    }
+
+    #[test]
+    fn resistant_pla_has_requested_width() {
+        let pla = random_pattern_resistant_pla(24, 10, 20, 2, 7);
+        assert_eq!(pla.term_count(), 10);
+        assert_eq!(pla.max_term_width(), 20);
+        let n = pla.synthesize("hard");
+        assert!(n.levelize().is_ok());
+    }
+
+    #[test]
+    fn resistant_pla_is_deterministic_in_seed() {
+        let a = random_pattern_resistant_pla(16, 5, 12, 2, 3);
+        let b = random_pattern_resistant_pla(16, 5, 12, 2, 3);
+        assert_eq!(a, b);
+        let c = random_pattern_resistant_pla(16, 5, 12, 2, 4);
+        assert_ne!(a, c);
+    }
+}

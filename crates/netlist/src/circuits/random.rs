@@ -1,0 +1,228 @@
+//! Seeded random combinational circuit generation.
+//!
+//! Stands in for the paper's proprietary production designs: the scaling
+//! (E2), collapsing (E3) and coverage experiments sweep over random logic
+//! whose *shape* — gate count, bounded fan-in, reconvergence — matches the
+//! "random combinational logic networks with maximum fan-in of 4" the
+//! paper says respond well to random patterns (§V-A).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{GateId, GateKind, Netlist};
+
+/// Builder for random combinational circuits.
+///
+/// ```
+/// use dft_netlist::circuits::RandomCircuit;
+///
+/// let n = RandomCircuit::new(8, 100)
+///     .max_fanin(4)
+///     .outputs(4)
+///     .seed(42)
+///     .build();
+/// assert_eq!(n.primary_inputs().len(), 8);
+/// // at least the requested outputs; dangling signals are also exposed
+/// assert!(n.primary_outputs().len() >= 4);
+/// assert_eq!(n.logic_gate_count(), 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomCircuit {
+    inputs: usize,
+    gates: usize,
+    max_fanin: usize,
+    outputs: usize,
+    seed: u64,
+    locality: usize,
+}
+
+impl RandomCircuit {
+    /// Starts a builder for a circuit with `inputs` primary inputs and
+    /// `gates` logic gates.
+    ///
+    /// Defaults: fan-in ≤ 4, 8 outputs (or fewer if the circuit is tiny),
+    /// seed 0, locality window 64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs == 0` or `gates == 0`.
+    #[must_use]
+    pub fn new(inputs: usize, gates: usize) -> Self {
+        assert!(inputs > 0, "need at least one input");
+        assert!(gates > 0, "need at least one gate");
+        RandomCircuit {
+            inputs,
+            gates,
+            max_fanin: 4,
+            outputs: 8,
+            seed: 0,
+            locality: 64,
+        }
+    }
+
+    /// Sets the maximum gate fan-in (≥ 2).
+    #[must_use]
+    pub fn max_fanin(mut self, max_fanin: usize) -> Self {
+        assert!(max_fanin >= 2, "max fan-in must be at least 2");
+        self.max_fanin = max_fanin;
+        self
+    }
+
+    /// Sets how many primary outputs to expose.
+    #[must_use]
+    pub fn outputs(mut self, outputs: usize) -> Self {
+        assert!(outputs > 0, "need at least one output");
+        self.outputs = outputs;
+        self
+    }
+
+    /// Sets the RNG seed (generation is fully deterministic in the seed).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the locality window: each gate draws its inputs from the most
+    /// recent `window` signals, which controls depth and reconvergence.
+    #[must_use]
+    pub fn locality(mut self, window: usize) -> Self {
+        assert!(window >= 2, "locality window must be at least 2");
+        self.locality = window;
+        self
+    }
+
+    /// Builds the netlist.
+    #[must_use]
+    pub fn build(&self) -> Netlist {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut n = Netlist::new(format!(
+            "rand_i{}_g{}_f{}_s{}",
+            self.inputs, self.gates, self.max_fanin, self.seed
+        ));
+        let mut signals: Vec<GateId> = (0..self.inputs)
+            .map(|i| n.add_input(format!("x{i}")))
+            .collect();
+        // `used` tracks signals that have at least one reader, so we can
+        // expose the dangling ones as outputs.
+        let mut fanout_count = vec![0usize; self.inputs];
+
+        const KINDS: [GateKind; 8] = [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Buf,
+        ];
+
+        for _ in 0..self.gates {
+            // Inverters/buffers are rarer than 2+-input gates.
+            let kind = if rng.gen_bool(0.1) {
+                if rng.gen_bool(0.8) {
+                    GateKind::Not
+                } else {
+                    GateKind::Buf
+                }
+            } else {
+                KINDS[rng.gen_range(0..6)]
+            };
+            let (min, _) = kind.fanin_range();
+            let fanin = if min <= 1 {
+                1
+            } else {
+                rng.gen_range(2..=self.max_fanin.max(2))
+            };
+            let window_start = signals.len().saturating_sub(self.locality);
+            let mut ins = Vec::with_capacity(fanin);
+            for _ in 0..fanin {
+                let pick = rng.gen_range(window_start..signals.len());
+                ins.push(signals[pick]);
+                fanout_count[pick] += 1;
+            }
+            let g = n.add_gate(kind, &ins).expect("arity chosen to fit kind");
+            signals.push(g);
+            fanout_count.push(0);
+        }
+
+        // Outputs: prefer signals nobody reads (so no logic dangles), then
+        // fill with the most recent signals.
+        let mut out_ids: Vec<GateId> = signals
+            .iter()
+            .copied()
+            .zip(fanout_count.iter().copied())
+            .filter(|&(id, fo)| fo == 0 && !n.gate(id).kind().is_source())
+            .map(|(id, _)| id)
+            .collect();
+        let mut tail = signals.len();
+        while out_ids.len() < self.outputs && tail > 0 {
+            tail -= 1;
+            let cand = signals[tail];
+            if !out_ids.contains(&cand) {
+                out_ids.push(cand);
+            }
+        }
+        for (i, id) in out_ids.into_iter().enumerate() {
+            n.mark_output(id, format!("y{i}")).expect("fresh name");
+        }
+        n
+    }
+}
+
+/// Convenience wrapper: random combinational circuit with default knobs.
+///
+/// Equivalent to `RandomCircuit::new(inputs, gates).seed(seed).build()`.
+#[must_use]
+pub fn random_combinational(inputs: usize, gates: usize, seed: u64) -> Netlist {
+    RandomCircuit::new(inputs, gates).seed(seed).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_shape() {
+        let n = RandomCircuit::new(10, 200).outputs(5).seed(1).build();
+        assert_eq!(n.primary_inputs().len(), 10);
+        assert_eq!(n.logic_gate_count(), 200);
+        assert!(n.primary_outputs().len() >= 5);
+        assert!(n.levelize().is_ok());
+        assert!(n.is_combinational());
+    }
+
+    #[test]
+    fn respects_max_fanin() {
+        let n = RandomCircuit::new(6, 300).max_fanin(3).seed(2).build();
+        for (_, g) in n.iter() {
+            assert!(g.fanin() <= 3, "gate exceeds fan-in bound");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = random_combinational(8, 50, 9);
+        let b = random_combinational(8, 50, 9);
+        assert_eq!(a, b);
+        let c = random_combinational(8, 50, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_non_output_gate_has_a_reader() {
+        let n = RandomCircuit::new(8, 100).seed(3).build();
+        let fan = n.fanout_map();
+        let outs: Vec<_> = n.primary_outputs().iter().map(|&(g, _)| g).collect();
+        for (id, g) in n.iter() {
+            if g.kind().is_source() {
+                continue;
+            }
+            assert!(
+                !fan[id.index()].is_empty() || outs.contains(&id),
+                "gate {id} dangles"
+            );
+        }
+    }
+}

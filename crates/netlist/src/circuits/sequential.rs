@@ -1,0 +1,205 @@
+//! Sequential benchmark circuits and random sequential machines.
+//!
+//! Structured DFT (§IV of the paper) exists because sequential networks
+//! defeat combinational test generators. These builders provide the
+//! "before" picture: counters, shift registers, and random finite-state
+//! machines whose latches are *not* directly controllable or observable —
+//! exactly what scan insertion fixes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{GateId, GateKind, Netlist};
+
+/// An `width`-bit serial-in shift register (`sin` → `q0..`).
+///
+/// The degenerate scan chain: with its flip-flops already threaded, it
+/// also serves as a reference model for shift-path behaviour.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn shift_register(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut n = Netlist::new(format!("shift{width}"));
+    let sin = n.add_input("sin");
+    let mut prev = sin;
+    for i in 0..width {
+        let q = n.add_dff(prev).expect("valid");
+        n.mark_output(q, format!("q{i}")).expect("fresh name");
+        prev = q;
+    }
+    n
+}
+
+/// An `width`-bit synchronous binary counter with enable (`en` → `q0..`).
+///
+/// Bit *i* toggles when all lower bits are 1: deep carry logic between
+/// flip-flops makes high bits hard to control — a classic sequential-ATPG
+/// stressor (reaching the all-ones state takes 2^width − 1 clocks).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn binary_counter(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut n = Netlist::new(format!("ctr{width}"));
+    let en = n.add_input("en");
+
+    // Create DFFs first (with placeholder data), then wire next-state.
+    let placeholder = n.add_const(false);
+    let q: Vec<GateId> = (0..width)
+        .map(|_| n.add_dff(placeholder).expect("valid"))
+        .collect();
+
+    let mut carry = en; // toggle chain
+    for (i, &qi) in q.iter().enumerate() {
+        let next = n.add_gate(GateKind::Xor, &[qi, carry]).expect("valid");
+        n.reconnect_input(qi, 0, next).expect("valid pin");
+        if i + 1 < width {
+            carry = n.add_gate(GateKind::And, &[carry, qi]).expect("valid");
+        }
+        n.mark_output(qi, format!("q{i}")).expect("fresh name");
+    }
+    n
+}
+
+/// An `width`-stage Johnson (twisted-ring) counter with a `run` input.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+#[must_use]
+pub fn johnson_counter(width: usize) -> Netlist {
+    assert!(width >= 2, "Johnson counter needs at least 2 stages");
+    let mut n = Netlist::new(format!("johnson{width}"));
+    let run = n.add_input("run");
+    let placeholder = n.add_const(false);
+    let q: Vec<GateId> = (0..width)
+        .map(|_| n.add_dff(placeholder).expect("valid"))
+        .collect();
+    // Feedback: first stage receives the complement of the last, gated by run.
+    let last_n = n.add_gate(GateKind::Not, &[q[width - 1]]).expect("valid");
+    let fb = n.add_gate(GateKind::And, &[last_n, run]).expect("valid");
+    n.reconnect_input(q[0], 0, fb).expect("valid pin");
+    for i in 1..width {
+        // Each later stage shifts from its predecessor while running, holds
+        // otherwise: d = (run AND q[i-1]) OR (NOT run AND q[i]).
+        let not_run = n.add_gate(GateKind::Not, &[run]).expect("valid");
+        let shift = n.add_gate(GateKind::And, &[run, q[i - 1]]).expect("valid");
+        let hold = n.add_gate(GateKind::And, &[not_run, q[i]]).expect("valid");
+        let d = n.add_gate(GateKind::Or, &[shift, hold]).expect("valid");
+        n.reconnect_input(q[i], 0, d).expect("valid pin");
+    }
+    for (i, &qi) in q.iter().enumerate() {
+        n.mark_output(qi, format!("q{i}")).expect("fresh name");
+    }
+    n
+}
+
+/// A random synchronous finite-state machine.
+///
+/// `state_bits` flip-flops with random next-state logic over inputs and
+/// present state, plus random output logic — the synthetic stand-in for
+/// the paper's production sequential designs (see DESIGN.md). The
+/// next-state cones use bounded fan-in (≤ 4) and are deterministic in
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+#[must_use]
+pub fn random_sequential(
+    inputs: usize,
+    state_bits: usize,
+    gates_per_cone: usize,
+    outputs: usize,
+    seed: u64,
+) -> Netlist {
+    assert!(inputs > 0 && state_bits > 0 && gates_per_cone > 0 && outputs > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut n = Netlist::new(format!("fsm_i{inputs}_s{state_bits}_g{gates_per_cone}_x{seed}"));
+    let pis: Vec<GateId> = (0..inputs).map(|i| n.add_input(format!("x{i}"))).collect();
+    let placeholder = n.add_const(false);
+    let state: Vec<GateId> = (0..state_bits)
+        .map(|_| n.add_dff(placeholder).expect("valid"))
+        .collect();
+
+    const KINDS: [GateKind; 6] = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    let grow_cone = |n: &mut Netlist, rng: &mut StdRng| -> GateId {
+        let mut pool: Vec<GateId> = pis.iter().chain(state.iter()).copied().collect();
+        let mut last = pool[rng.gen_range(0..pool.len())];
+        for _ in 0..gates_per_cone {
+            let kind = KINDS[rng.gen_range(0..KINDS.len())];
+            let fanin = rng.gen_range(2..=4.min(pool.len()));
+            let mut ins = Vec::with_capacity(fanin);
+            // Bias toward recent signals so cones have depth.
+            for _ in 0..fanin {
+                let lo = pool.len().saturating_sub(12);
+                ins.push(pool[rng.gen_range(lo..pool.len())]);
+            }
+            last = n.add_gate(kind, &ins).expect("arity fits");
+            pool.push(last);
+        }
+        last
+    };
+
+    for (i, &s) in state.iter().enumerate() {
+        let cone = grow_cone(&mut n, &mut rng);
+        n.reconnect_input(s, 0, cone).expect("valid pin");
+        let _ = i;
+    }
+    for o in 0..outputs {
+        let cone = grow_cone(&mut n, &mut rng);
+        n.mark_output(cone, format!("y{o}")).expect("fresh name");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_register_shape() {
+        let n = shift_register(8);
+        assert_eq!(n.storage_elements().len(), 8);
+        assert!(n.levelize().is_ok());
+    }
+
+    #[test]
+    fn counter_has_feedback_but_levelizes() {
+        let n = binary_counter(4);
+        assert_eq!(n.storage_elements().len(), 4);
+        let lv = n.levelize().expect("storage breaks the loops");
+        assert!(lv.depth() >= 1);
+    }
+
+    #[test]
+    fn johnson_counter_shape() {
+        let n = johnson_counter(4);
+        assert_eq!(n.storage_elements().len(), 4);
+        assert!(n.levelize().is_ok());
+    }
+
+    #[test]
+    fn random_fsm_is_deterministic_and_well_formed() {
+        let a = random_sequential(4, 6, 20, 3, 11);
+        let b = random_sequential(4, 6, 20, 3, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.storage_elements().len(), 6);
+        assert_eq!(a.primary_outputs().len(), 3);
+        assert!(a.levelize().is_ok());
+        assert!(!a.is_combinational());
+    }
+}

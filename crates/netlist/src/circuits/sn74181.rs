@@ -1,0 +1,352 @@
+//! A structural SN74181-style 4-bit ALU / function generator.
+//!
+//! The paper's autonomous-testing section (§V-D, Figs. 33–34, after
+//! McCluskey & Bozorgui-Nesbat \[118\]) partitions "the 74181 ALU/Function
+//! Generator" into four identical input slices (N1) feeding a shared
+//! carry-lookahead network (N2), then tests each slice exhaustively
+//! through sensitized paths. This module provides that structure.
+//!
+//! The model follows the classic `x/y` (propagate/generate complement)
+//! formulation:
+//!
+//! ```text
+//! per bit i (the N1 slice):
+//!   xi = NOR( Ai, Bi·S0, ¬Bi·S1 )        — the paper's "Li" outputs
+//!   yi = NOR( ¬Bi·S2·Ai, Bi·S3·Ai )      — the paper's "Hi" outputs
+//!   hi = xi ⊕ yi
+//! carry lookahead (the N2 network), with M̄ gating arithmetic carries:
+//!   c0 = Cn,  c(i+1) = ¬yi ∨ (¬xi ∧ ci)  (expanded two-level)
+//!   Fi = hi ⊕ (M̄ ∧ ci)
+//! group outputs: Cn+4, P (propagate), G (generate), A=B = AND(F0..F3)
+//! ```
+//!
+//! With S = 1001 and M = 0 this computes A plus B plus Cn (verified by
+//! unit test); logic mode M = 1 yields sixteen bitwise functions of A and
+//! B. Polarity conventions relative to TI silicon may differ, but the
+//! *structure* — four N1 slices plus an N2 lookahead — is what the
+//! paper's experiment depends on. See DESIGN.md (substitutions).
+
+use crate::{GateId, GateKind, Netlist};
+
+/// Port map of the generated SN74181-style netlist, giving direct access
+/// to the gate ids the autonomous-testing experiment needs (slice
+/// boundaries, select lines, internal `x`/`y` nets).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sn74181Ports {
+    /// Operand A inputs, LSB first.
+    pub a: [GateId; 4],
+    /// Operand B inputs, LSB first.
+    pub b: [GateId; 4],
+    /// Function select inputs S0..S3.
+    pub s: [GateId; 4],
+    /// Mode input (0 = arithmetic, 1 = logic).
+    pub m: GateId,
+    /// Carry input.
+    pub cn: GateId,
+    /// Function outputs F0..F3.
+    pub f: [GateId; 4],
+    /// Ripple carry output Cn+4.
+    pub cn4: GateId,
+    /// Group propagate output.
+    pub p: GateId,
+    /// Group generate output.
+    pub g: GateId,
+    /// A=B comparator output.
+    pub a_eq_b: GateId,
+    /// Internal per-bit `x` nets (the paper's `Li` slice outputs).
+    pub x: [GateId; 4],
+    /// Internal per-bit `y` nets (the paper's `Hi` slice outputs).
+    pub y: [GateId; 4],
+}
+
+/// Builds the SN74181-style ALU; returns the netlist and its port map.
+///
+/// ```
+/// let (alu, ports) = dft_netlist::circuits::sn74181();
+/// assert_eq!(alu.primary_inputs().len(), 14);
+/// assert_eq!(alu.primary_outputs().len(), 8);
+/// assert_eq!(ports.f.len(), 4);
+/// ```
+#[must_use]
+pub fn sn74181() -> (Netlist, Sn74181Ports) {
+    let mut n = Netlist::new("sn74181");
+    let a: [GateId; 4] = core::array::from_fn(|i| n.add_input(format!("A{i}")));
+    let b: [GateId; 4] = core::array::from_fn(|i| n.add_input(format!("B{i}")));
+    let s: [GateId; 4] = core::array::from_fn(|i| n.add_input(format!("S{i}")));
+    let m = n.add_input("M");
+    let cn = n.add_input("Cn");
+
+    let bn: [GateId; 4] =
+        core::array::from_fn(|i| n.add_gate(GateKind::Not, &[b[i]]).expect("valid"));
+
+    // --- N1: four identical input slices ---------------------------------
+    let mut x = [a[0]; 4];
+    let mut y = [a[0]; 4];
+    let mut h = [a[0]; 4];
+    for i in 0..4 {
+        let t1 = n.add_gate(GateKind::And, &[b[i], s[0]]).expect("valid");
+        let t2 = n.add_gate(GateKind::And, &[bn[i], s[1]]).expect("valid");
+        x[i] = n.add_gate(GateKind::Nor, &[a[i], t1, t2]).expect("valid");
+        let t3 = n.add_gate(GateKind::And, &[bn[i], s[2], a[i]]).expect("valid");
+        let t4 = n.add_gate(GateKind::And, &[b[i], s[3], a[i]]).expect("valid");
+        y[i] = n.add_gate(GateKind::Nor, &[t3, t4]).expect("valid");
+        h[i] = n.add_gate(GateKind::Xor, &[x[i], y[i]]).expect("valid");
+    }
+
+    // --- N2: carry-lookahead network --------------------------------------
+    // With g_i = ¬y_i (generate) and p_i = ¬x_i (propagate):
+    //   c1 = g0 + p0·c0
+    //   c2 = g1 + p1·g0 + p1·p0·c0
+    //   c3 = g2 + p2·g1 + p2·p1·g0 + p2·p1·p0·c0
+    //   c4 = g3 + p3·g2 + p3·p2·g1 + p3·p2·p1·g0 + p3·p2·p1·p0·c0
+    let gen: [GateId; 4] =
+        core::array::from_fn(|i| n.add_gate(GateKind::Not, &[y[i]]).expect("valid"));
+    let prop: [GateId; 4] =
+        core::array::from_fn(|i| n.add_gate(GateKind::Not, &[x[i]]).expect("valid"));
+
+    let mut carries = [cn; 5]; // c0..c4
+    #[allow(clippy::needless_range_loop)] // k ranges over carry indices c1..c4
+    for k in 1..=4 {
+        let mut or_terms: Vec<GateId> = Vec::new();
+        // generate terms: g_{k-1}, p_{k-1}·g_{k-2}, …
+        for j in (0..k).rev() {
+            let mut term = vec![gen[j]];
+            term.extend((j + 1..k).map(|t| prop[t]));
+            let id = if term.len() == 1 {
+                term[0]
+            } else {
+                n.add_gate(GateKind::And, &term).expect("valid")
+            };
+            or_terms.push(id);
+        }
+        // carry-in term: p_{k-1}·…·p_0·c0
+        let mut cin_term: Vec<GateId> = (0..k).map(|t| prop[t]).collect();
+        cin_term.push(cn);
+        or_terms.push(n.add_gate(GateKind::And, &cin_term).expect("valid"));
+        carries[k] = n.add_gate(GateKind::Or, &or_terms).expect("valid");
+    }
+
+    // F_i = h_i ⊕ (M̄ ∧ c_i): logic mode suppresses carries.
+    let mbar = n.add_gate(GateKind::Not, &[m]).expect("valid");
+    let f: [GateId; 4] = core::array::from_fn(|i| {
+        let gated = n.add_gate(GateKind::And, &[mbar, carries[i]]).expect("valid");
+        n.add_gate(GateKind::Xor, &[h[i], gated]).expect("valid")
+    });
+
+    // Group outputs.
+    let cn4 = n.add_gate(GateKind::Buf, &[carries[4]]).expect("valid");
+    let p_out = n.add_gate(GateKind::And, &prop).expect("valid");
+    // G = g3 + p3 g2 + p3 p2 g1 + p3 p2 p1 g0 (carry-independent part of c4)
+    let g_terms: Vec<GateId> = (0..4)
+        .rev()
+        .map(|j| {
+            let mut term = vec![gen[j]];
+            term.extend((j + 1..4).map(|t| prop[t]));
+            if term.len() == 1 {
+                term[0]
+            } else {
+                n.add_gate(GateKind::And, &term).expect("valid")
+            }
+        })
+        .collect();
+    let g_out = n.add_gate(GateKind::Or, &g_terms).expect("valid");
+    let a_eq_b = n.add_gate(GateKind::And, &f).expect("valid");
+
+    for (i, fi) in f.iter().enumerate() {
+        n.mark_output(*fi, format!("F{i}")).expect("fresh name");
+    }
+    n.mark_output(cn4, "Cn4").expect("fresh name");
+    n.mark_output(p_out, "P").expect("fresh name");
+    n.mark_output(g_out, "G").expect("fresh name");
+    n.mark_output(a_eq_b, "AeqB").expect("fresh name");
+
+    let ports = Sn74181Ports {
+        a,
+        b,
+        s,
+        m,
+        cn,
+        f,
+        cn4,
+        p: p_out,
+        g: g_out,
+        a_eq_b,
+        x,
+        y,
+    };
+    (n, ports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference evaluation of the netlist on boolean inputs.
+    fn eval(netlist: &Netlist, assign: &[(GateId, bool)], watch: &[GateId]) -> Vec<bool> {
+        let lv = netlist.levelize().unwrap();
+        let mut vals = vec![false; netlist.gate_count()];
+        for &(id, v) in assign {
+            vals[id.index()] = v;
+        }
+        for &id in lv.order() {
+            let g = netlist.gate(id);
+            if g.kind().is_source() {
+                continue;
+            }
+            let ins: Vec<bool> = g.inputs().iter().map(|&s| vals[s.index()]).collect();
+            vals[id.index()] = g.kind().eval_bool(&ins);
+        }
+        watch.iter().map(|&w| vals[w.index()]).collect()
+    }
+
+    fn assign_vector(
+        ports: &Sn74181Ports,
+        a: u8,
+        b: u8,
+        s: u8,
+        m: bool,
+        cn: bool,
+    ) -> Vec<(GateId, bool)> {
+        let mut v = Vec::new();
+        for i in 0..4 {
+            v.push((ports.a[i], a >> i & 1 == 1));
+            v.push((ports.b[i], b >> i & 1 == 1));
+            v.push((ports.s[i], s >> i & 1 == 1));
+        }
+        v.push((ports.m, m));
+        v.push((ports.cn, cn));
+        v
+    }
+
+    #[test]
+    fn shape() {
+        let (n, _) = sn74181();
+        assert_eq!(n.primary_inputs().len(), 14);
+        assert_eq!(n.primary_outputs().len(), 8);
+        assert!(n.levelize().is_ok());
+        assert!(n.logic_gate_count() >= 50, "should be a real gate network");
+    }
+
+    #[test]
+    fn s1001_arithmetic_mode_adds() {
+        let (n, p) = sn74181();
+        // S = 1001 means S0 = 1, S3 = 1 (bit i of the constant is S_i).
+        let s_add = 0b1001;
+        for a in 0..16u8 {
+            for b in 0..16u8 {
+                for cn in [false, true] {
+                    let assign = assign_vector(&p, a, b, s_add, false, cn);
+                    let mut watch: Vec<GateId> = p.f.to_vec();
+                    watch.push(p.cn4);
+                    let out = eval(&n, &assign, &watch);
+                    let f = (0..4).fold(0u16, |acc, i| acc | (u16::from(out[i]) << i));
+                    let expect = u16::from(a) + u16::from(b) + u16::from(cn);
+                    assert_eq!(f, expect & 0xF, "sum bits a={a} b={b} cn={cn}");
+                    assert_eq!(out[4], expect > 0xF, "carry out a={a} b={b} cn={cn}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logic_mode_is_carry_independent_and_bitwise() {
+        let (n, p) = sn74181();
+        for s in 0..16u8 {
+            for a in 0..16u8 {
+                for b in 0..16u8 {
+                    let o0 = eval(&n, &assign_vector(&p, a, b, s, true, false), &p.f);
+                    let o1 = eval(&n, &assign_vector(&p, a, b, s, true, true), &p.f);
+                    assert_eq!(o0, o1, "logic mode must ignore Cn (s={s})");
+                }
+            }
+        }
+        // Some select code computes bitwise XNOR (checked at s=0110 in the
+        // module docs derivation); more robustly: every select code in
+        // logic mode is bitwise (bit i of F depends only on bit i of A, B).
+        for s in 0..16u8 {
+            for bit in 0..4usize {
+                for a_bit in [false, true] {
+                    for b_bit in [false, true] {
+                        let mut seen = std::collections::HashSet::new();
+                        for rest in 0..8u8 {
+                            // vary the other three bit positions arbitrarily
+                            let mut a = 0u8;
+                            let mut b = 0u8;
+                            let mut k = 0;
+                            for pos in 0..4 {
+                                if pos == bit {
+                                    a |= u8::from(a_bit) << pos;
+                                    b |= u8::from(b_bit) << pos;
+                                } else {
+                                    a |= (rest >> k & 1) << pos;
+                                    b |= (rest >> (k + 1) & 1) << pos;
+                                    k += 1;
+                                }
+                            }
+                            let out = eval(&n, &assign_vector(&p, a, b, s, true, false), &[p.f[bit]]);
+                            seen.insert(out[0]);
+                        }
+                        assert_eq!(seen.len(), 1, "F{bit} not bitwise at s={s}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_eq_b_is_and_of_function_outputs() {
+        let (n, p) = sn74181();
+        for a in 0..16u8 {
+            let assign = assign_vector(&p, a, a, 0b0110, true, false);
+            let mut watch = p.f.to_vec();
+            watch.push(p.a_eq_b);
+            let out = eval(&n, &assign, &watch);
+            assert_eq!(out[4], out[0] && out[1] && out[2] && out[3]);
+        }
+    }
+
+    #[test]
+    fn sensitizing_holds_behave_as_the_paper_expects() {
+        let (n, p) = sn74181();
+        // With S2 = S3 = 0 the y (Hi) slices are forced to 1 (their NOR
+        // inputs are all 0), so F_i in logic mode is ¬x_i — the x (Li)
+        // slices are observable.
+        for a in 0..16u8 {
+            for b in 0..16u8 {
+                for s01 in 0..4u8 {
+                    let s = s01; // S2 = S3 = 0
+                    let mut watch = p.y.to_vec();
+                    watch.extend_from_slice(&p.x);
+                    watch.extend_from_slice(&p.f);
+                    let out = eval(&n, &assign_vector(&p, a, b, s, true, false), &watch);
+                    for i in 0..4 {
+                        assert!(out[i], "y{i} must be forced to 1 when S2=S3=0");
+                        let xi = out[4 + i];
+                        let fi = out[8 + i];
+                        assert_eq!(fi, !xi, "F{i} must equal ¬x{i}");
+                    }
+                }
+            }
+        }
+        // With S0 = S1 = 1 the x (Li) slices are not forced, but the y
+        // slices see sensitized paths: F_i = x_i ⊕ y_i and x_i = ¬(A_i∨B_i∨¬B_i) = 0,
+        // so F_i = y_i directly.
+        for a in 0..16u8 {
+            for b in 0..16u8 {
+                for s23 in 0..4u8 {
+                    let s = 0b0011 | (s23 << 2); // S0 = S1 = 1
+                    let mut watch = p.x.to_vec();
+                    watch.extend_from_slice(&p.y);
+                    watch.extend_from_slice(&p.f);
+                    let out = eval(&n, &assign_vector(&p, a, b, s, true, false), &watch);
+                    for i in 0..4 {
+                        assert!(!out[i], "x{i} must be forced to 0 when S0=S1=1");
+                        let yi = out[4 + i];
+                        let fi = out[8 + i];
+                        assert_eq!(fi, yi, "F{i} must equal y{i}");
+                    }
+                }
+            }
+        }
+    }
+}

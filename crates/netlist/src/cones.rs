@@ -1,0 +1,137 @@
+//! Structural cone queries: fan-in and fan-out closures.
+//!
+//! Test reasoning constantly asks "what feeds this net" (justification,
+//! edge-connector diagnosis) and "what does this net reach" (X-paths,
+//! observation planning). These helpers compute both closures, with or
+//! without crossing storage boundaries.
+
+use std::collections::HashSet;
+
+use crate::{GateId, Netlist};
+
+/// The transitive fan-in cone of `roots` (including the roots).
+///
+/// With `through_storage = false` the walk stops at storage outputs (the
+/// combinational frame's cone); with `true` it continues through the
+/// data inputs (the multi-cycle cone).
+///
+/// ```
+/// use dft_netlist::{circuits::c17, cones::fanin_cone};
+///
+/// let c17 = c17();
+/// let out = c17.primary_outputs()[0].0;
+/// let cone = fanin_cone(&c17, &[out], false);
+/// assert!(cone.len() > 1 && cone.len() <= c17.gate_count());
+/// ```
+#[must_use]
+pub fn fanin_cone(
+    netlist: &Netlist,
+    roots: &[GateId],
+    through_storage: bool,
+) -> HashSet<GateId> {
+    let mut cone = HashSet::new();
+    let mut stack: Vec<GateId> = roots.to_vec();
+    while let Some(g) = stack.pop() {
+        if !cone.insert(g) {
+            continue;
+        }
+        let gate = netlist.gate(g);
+        if gate.kind().is_storage() && !through_storage {
+            continue;
+        }
+        stack.extend(gate.inputs().iter().copied());
+    }
+    cone
+}
+
+/// The transitive fan-out cone of `roots` (including the roots).
+///
+/// With `through_storage = false` the walk stops at storage data inputs.
+#[must_use]
+pub fn fanout_cone(
+    netlist: &Netlist,
+    roots: &[GateId],
+    through_storage: bool,
+) -> HashSet<GateId> {
+    let fanout = netlist.fanout_map();
+    let mut cone = HashSet::new();
+    let mut stack: Vec<GateId> = roots.to_vec();
+    while let Some(g) = stack.pop() {
+        if !cone.insert(g) {
+            continue;
+        }
+        for &(reader, _) in &fanout[g.index()] {
+            if netlist.gate(reader).kind().is_storage() && !through_storage {
+                continue;
+            }
+            stack.push(reader);
+        }
+    }
+    cone
+}
+
+/// Primary outputs structurally reachable from `net` within the
+/// combinational frame — the observation candidates a test for a fault
+/// on `net` can use.
+#[must_use]
+pub fn observing_outputs(netlist: &Netlist, net: GateId) -> Vec<GateId> {
+    let cone = fanout_cone(netlist, &[net], false);
+    netlist
+        .primary_outputs()
+        .iter()
+        .map(|&(g, _)| g)
+        .filter(|g| cone.contains(g))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::{binary_counter, c17};
+    use crate::{GateKind, Netlist as NL};
+
+    #[test]
+    fn c17_output_cone_is_its_support() {
+        let n = c17();
+        let g22 = n.find_output("22").unwrap();
+        let cone = fanin_cone(&n, &[g22], false);
+        // g22 = NAND(g10, g16); support = {1,2,3,6} ∪ internal = 8 gates.
+        assert_eq!(cone.len(), 8);
+        // Input "7" is not in g22's cone.
+        let in7 = n.find_input("7").unwrap();
+        assert!(!cone.contains(&in7));
+    }
+
+    #[test]
+    fn fanout_cone_reaches_outputs() {
+        let n = c17();
+        let in7 = n.find_input("7").unwrap();
+        let obs = observing_outputs(&n, in7);
+        let g23 = n.find_output("23").unwrap();
+        assert_eq!(obs, vec![g23], "input 7 only reaches g23");
+    }
+
+    #[test]
+    fn storage_boundary_is_respected() {
+        let n = binary_counter(4);
+        let en = n.find_input("en").unwrap();
+        let frame = fanout_cone(&n, &[en], false);
+        let multi = fanout_cone(&n, &[en], true);
+        assert!(frame.len() < multi.len());
+        // Through storage, enable reaches every counter bit.
+        for q in n.storage_elements() {
+            assert!(multi.contains(&q));
+        }
+    }
+
+    #[test]
+    fn roots_are_included_and_disjoint_roots_merge() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let y = n.add_gate(GateKind::Not, &[b]).unwrap();
+        let cone = fanin_cone(&n, &[x, y], false);
+        assert_eq!(cone.len(), 4);
+    }
+}

@@ -1,0 +1,511 @@
+//! The netlist arena and its construction/query API.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Gate, GateId, GateKind, Levelization, LevelizeError, NetlistError};
+
+/// A gate-level logic network.
+///
+/// Gates live in an append-only arena and are referenced by [`GateId`].
+/// Every net is identified with its (unique) driving gate. Primary inputs
+/// are `Input` gates; primary outputs are named references to arbitrary
+/// gates; storage elements are `Dff` gates clocked by an implicit single
+/// system clock (refined by the scan styles in `dft-scan`).
+///
+/// ```
+/// use dft_netlist::{Netlist, GateKind};
+///
+/// # fn main() -> Result<(), dft_netlist::NetlistError> {
+/// // Fig. 1 of the paper: a single AND gate.
+/// let mut n = Netlist::new("fig1");
+/// let a = n.add_input("A");
+/// let b = n.add_input("B");
+/// let c = n.add_gate(GateKind::And, &[a, b])?;
+/// n.mark_output(c, "C")?;
+/// assert!(n.is_combinational());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    inputs: Vec<GateId>,
+    outputs: Vec<(GateId, String)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    fn push(&mut self, gate: Gate) -> GateId {
+        let id = GateId::from_index(self.gates.len());
+        self.gates.push(gate);
+        id
+    }
+
+    /// Adds a primary input with the given name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input with the same name already exists; input names
+    /// come from the designer and a clash is a programming error. Use
+    /// [`Netlist::try_add_input`] to handle the clash as an error instead.
+    pub fn add_input(&mut self, name: impl Into<String>) -> GateId {
+        self.try_add_input(name).expect("duplicate input name")
+    }
+
+    /// Adds a primary input, failing on a duplicate name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateInputName`] if the name is taken.
+    pub fn try_add_input(&mut self, name: impl Into<String>) -> Result<GateId, NetlistError> {
+        let name = name.into();
+        if self
+            .inputs
+            .iter()
+            .any(|&id| self.gates[id.index()].name.as_deref() == Some(name.as_str()))
+        {
+            return Err(NetlistError::DuplicateInputName(name));
+        }
+        let id = self.push(Gate {
+            kind: GateKind::Input,
+            inputs: Vec::new(),
+            name: Some(name),
+        });
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a constant-0 or constant-1 source gate.
+    pub fn add_const(&mut self, value: bool) -> GateId {
+        self.push(Gate {
+            kind: if value { GateKind::Const1 } else { GateKind::Const0 },
+            inputs: Vec::new(),
+            name: None,
+        })
+    }
+
+    /// Adds a logic gate of `kind` driven by `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadFanin`] if the fan-in is outside the legal
+    /// range for `kind`, and [`NetlistError::UnknownGate`] if any input id
+    /// is not part of this netlist.
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[GateId]) -> Result<GateId, NetlistError> {
+        self.add_named_gate(kind, inputs, None::<&str>)
+    }
+
+    /// Adds a logic gate with an optional instance name.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Netlist::add_gate`].
+    pub fn add_named_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[GateId],
+        name: Option<impl Into<String>>,
+    ) -> Result<GateId, NetlistError> {
+        let (min, max) = kind.fanin_range();
+        if inputs.len() < min || inputs.len() > max {
+            return Err(NetlistError::BadFanin {
+                kind,
+                got: inputs.len(),
+            });
+        }
+        for &src in inputs {
+            if src.index() >= self.gates.len() {
+                return Err(NetlistError::UnknownGate(src));
+            }
+        }
+        Ok(self.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            name: name.map(Into::into),
+        }))
+    }
+
+    /// Adds a D flip-flop whose data input is `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownGate`] if `d` is not part of this
+    /// netlist.
+    pub fn add_dff(&mut self, d: GateId) -> Result<GateId, NetlistError> {
+        self.add_gate(GateKind::Dff, &[d])
+    }
+
+    /// Marks `gate`'s output net as a primary output called `name`.
+    ///
+    /// A single gate may drive several outputs (under different names), but
+    /// each output name is unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownGate`] for a foreign id and
+    /// [`NetlistError::DuplicateOutputName`] for a name clash.
+    pub fn mark_output(
+        &mut self,
+        gate: GateId,
+        name: impl Into<String>,
+    ) -> Result<(), NetlistError> {
+        if gate.index() >= self.gates.len() {
+            return Err(NetlistError::UnknownGate(gate));
+        }
+        let name = name.into();
+        if self.outputs.iter().any(|(_, n)| *n == name) {
+            return Err(NetlistError::DuplicateOutputName(name));
+        }
+        self.outputs.push((gate, name));
+        Ok(())
+    }
+
+    /// Access a gate by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Number of gates in the arena (including inputs and constants).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of *logic* gates (excluding primary inputs and constants, but
+    /// including storage elements) — the paper's "gate count" N in Eq. (1).
+    #[must_use]
+    pub fn logic_gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| {
+                !matches!(
+                    g.kind,
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1
+                )
+            })
+            .count()
+    }
+
+    /// Iterates over `(id, gate)` pairs in arena order.
+    pub fn iter(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId::from_index(i), g))
+    }
+
+    /// All gate ids in arena order.
+    pub fn ids(&self) -> impl Iterator<Item = GateId> {
+        (0..self.gates.len()).map(GateId::from_index)
+    }
+
+    /// The primary inputs, in declaration order.
+    #[must_use]
+    pub fn primary_inputs(&self) -> &[GateId] {
+        &self.inputs
+    }
+
+    /// The primary outputs as `(driving gate, name)` pairs, in declaration
+    /// order.
+    #[must_use]
+    pub fn primary_outputs(&self) -> &[(GateId, String)] {
+        &self.outputs
+    }
+
+    /// Ids of all storage elements, in arena order.
+    #[must_use]
+    pub fn storage_elements(&self) -> Vec<GateId> {
+        self.iter()
+            .filter(|(_, g)| g.kind.is_storage())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Whether the netlist contains no storage elements.
+    #[must_use]
+    pub fn is_combinational(&self) -> bool {
+        self.gates.iter().all(|g| !g.kind.is_storage())
+    }
+
+    /// Looks up a primary input by name.
+    #[must_use]
+    pub fn find_input(&self, name: &str) -> Option<GateId> {
+        self.inputs
+            .iter()
+            .copied()
+            .find(|&id| self.gates[id.index()].name.as_deref() == Some(name))
+    }
+
+    /// Looks up a primary output by name, returning its driving gate.
+    #[must_use]
+    pub fn find_output(&self, name: &str) -> Option<GateId> {
+        self.outputs
+            .iter()
+            .find(|(_, n)| n == name)
+            .map(|&(id, _)| id)
+    }
+
+    /// Redirects input pin `pin` of `gate` to a new source.
+    ///
+    /// This is the primitive used by netlist transforms (scan insertion,
+    /// test-point insertion, degating): splice a new driver into an
+    /// existing connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownGate`] if either id is foreign or
+    /// `pin` is out of range.
+    pub fn reconnect_input(
+        &mut self,
+        gate: GateId,
+        pin: usize,
+        new_src: GateId,
+    ) -> Result<(), NetlistError> {
+        if new_src.index() >= self.gates.len() || gate.index() >= self.gates.len() {
+            return Err(NetlistError::UnknownGate(gate));
+        }
+        let g = &mut self.gates[gate.index()];
+        if pin >= g.inputs.len() {
+            return Err(NetlistError::UnknownGate(gate));
+        }
+        g.inputs[pin] = new_src;
+        Ok(())
+    }
+
+    /// Computes, for every gate, the list of `(reader gate, input pin)`
+    /// pairs that consume its output.
+    #[must_use]
+    pub fn fanout_map(&self) -> Vec<Vec<(GateId, u8)>> {
+        let mut map = vec![Vec::new(); self.gates.len()];
+        for (id, gate) in self.iter() {
+            for (pin, &src) in gate.inputs.iter().enumerate() {
+                map[src.index()].push((id, pin as u8));
+            }
+        }
+        map
+    }
+
+    /// Levelizes the combinational frame of the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] if a combinational cycle exists.
+    pub fn levelize(&self) -> Result<Levelization, LevelizeError> {
+        Levelization::compute(self)
+    }
+
+    /// Structural statistics: gate counts by kind, pin totals, I/O counts.
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        let mut by_kind = HashMap::new();
+        let mut pin_count = 0usize;
+        for g in &self.gates {
+            *by_kind.entry(g.kind).or_insert(0usize) += 1;
+            pin_count += g.inputs.len() + 1; // input pins + output pin
+        }
+        NetlistStats {
+            gate_count: self.gates.len(),
+            logic_gate_count: self.logic_gate_count(),
+            by_kind,
+            pin_count,
+            primary_input_count: self.inputs.len(),
+            primary_output_count: self.outputs.len(),
+            storage_count: self.gates.iter().filter(|g| g.kind.is_storage()).count(),
+        }
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates ({} logic, {} storage), {} PIs, {} POs",
+            self.name,
+            self.gates.len(),
+            self.logic_gate_count(),
+            self.gates.iter().filter(|g| g.kind.is_storage()).count(),
+            self.inputs.len(),
+            self.outputs.len()
+        )
+    }
+}
+
+/// Structural statistics of a [`Netlist`], as reported by
+/// [`Netlist::stats`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Total arena size (all gates including inputs and constants).
+    pub gate_count: usize,
+    /// Logic gates only — the paper's N.
+    pub logic_gate_count: usize,
+    /// Gate counts broken down by kind.
+    pub by_kind: HashMap<GateKind, usize>,
+    /// Total pin count (every gate's fan-in plus one output pin).
+    pub pin_count: usize,
+    /// Number of primary inputs.
+    pub primary_input_count: usize,
+    /// Number of primary outputs.
+    pub primary_output_count: usize,
+    /// Number of storage elements.
+    pub storage_count: usize,
+}
+
+impl NetlistStats {
+    /// Count of gates of one kind.
+    #[must_use]
+    pub fn count(&self, kind: GateKind) -> usize {
+        self.by_kind.get(&kind).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_net() -> (Netlist, GateId) {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        (n, g)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (n, g) = and_net();
+        assert_eq!(n.gate_count(), 3);
+        assert_eq!(n.logic_gate_count(), 1);
+        assert_eq!(n.primary_inputs().len(), 2);
+        assert_eq!(n.primary_outputs().len(), 1);
+        assert_eq!(n.gate(g).kind(), GateKind::And);
+        assert_eq!(n.find_input("a"), Some(n.primary_inputs()[0]));
+        assert_eq!(n.find_output("y"), Some(g));
+        assert_eq!(n.find_input("zzz"), None);
+        assert!(n.is_combinational());
+    }
+
+    #[test]
+    fn fanin_rules_are_enforced() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        assert!(matches!(
+            n.add_gate(GateKind::And, &[a]),
+            Err(NetlistError::BadFanin { .. })
+        ));
+        assert!(matches!(
+            n.add_gate(GateKind::Not, &[a, a]),
+            Err(NetlistError::BadFanin { .. })
+        ));
+        assert!(n.add_gate(GateKind::Not, &[a]).is_ok());
+        // wide gates allowed
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        assert!(n.add_gate(GateKind::Nand, &[a, b, c]).is_ok());
+    }
+
+    #[test]
+    fn unknown_gate_rejected() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let bogus = GateId::from_index(99);
+        assert_eq!(
+            n.add_gate(GateKind::And, &[a, bogus]),
+            Err(NetlistError::UnknownGate(bogus))
+        );
+        assert_eq!(
+            n.mark_output(bogus, "y"),
+            Err(NetlistError::UnknownGate(bogus))
+        );
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        assert!(matches!(
+            n.try_add_input("a"),
+            Err(NetlistError::DuplicateInputName(_))
+        ));
+        n.mark_output(a, "y").unwrap();
+        assert!(matches!(
+            n.mark_output(a, "y"),
+            Err(NetlistError::DuplicateOutputName(_))
+        ));
+        // Same gate under a second name is fine.
+        assert!(n.mark_output(a, "y2").is_ok());
+    }
+
+    #[test]
+    fn fanout_map_tracks_pins() {
+        let (n, g) = and_net();
+        let fan = n.fanout_map();
+        let a = n.primary_inputs()[0];
+        let b = n.primary_inputs()[1];
+        assert_eq!(fan[a.index()], vec![(g, 0)]);
+        assert_eq!(fan[b.index()], vec![(g, 1)]);
+        assert!(fan[g.index()].is_empty());
+    }
+
+    #[test]
+    fn reconnect_input_splices() {
+        let (mut n, g) = and_net();
+        let c = n.add_input("c");
+        n.reconnect_input(g, 1, c).unwrap();
+        assert_eq!(n.gate(g).inputs()[1], c);
+        assert!(n.reconnect_input(g, 5, c).is_err());
+    }
+
+    #[test]
+    fn stats_counts_everything() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let d = n.add_dff(a).unwrap();
+        let g = n.add_gate(GateKind::Or, &[a, d]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        let s = n.stats();
+        assert_eq!(s.gate_count, 3);
+        assert_eq!(s.logic_gate_count, 2);
+        assert_eq!(s.storage_count, 1);
+        assert_eq!(s.count(GateKind::Or), 1);
+        assert_eq!(s.count(GateKind::Xor), 0);
+        // pins: input 1, dff 2, or 3
+        assert_eq!(s.pin_count, 6);
+        assert!(!n.is_combinational());
+        assert_eq!(n.storage_elements(), vec![d]);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let (n, _) = and_net();
+        assert_eq!(n.to_string(), "t: 3 gates (1 logic, 0 storage), 2 PIs, 1 POs");
+    }
+}

@@ -1,0 +1,240 @@
+//! Card-level Scan Path configuration (Fig. 14).
+//!
+//! "Modules on the logic card are all connected up into a serial scan
+//! path, such that for each card, there is one scan path. In addition,
+//! there are gates for selecting a particular card in a subsystem …
+//! when X and Y are both equal to 1 … Clock 2 will then be allowed to
+//! shift data through the scan path. Any other time, Clock 2 will be
+//! blocked, and its output will be blocked" — so many cards can share
+//! one test-output net, each driving it only when addressed.
+
+
+use crate::cells::RacelessDff;
+
+/// One card: a serial chain of raceless scan flip-flops plus the X/Y
+/// select gating of its shift clock and test output.
+#[derive(Clone, Debug)]
+pub struct ScanCard {
+    chain: Vec<RacelessDff>,
+    /// The (X, Y) address that selects this card.
+    address: (bool, bool),
+}
+
+impl ScanCard {
+    /// A card of `len` flip-flops answering to `address`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0.
+    #[must_use]
+    pub fn new(len: usize, address: (bool, bool)) -> Self {
+        assert!(len > 0, "a card needs at least one flip-flop");
+        ScanCard {
+            chain: vec![RacelessDff::new(); len],
+            address,
+        }
+    }
+
+    /// Chain length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Whether the chain is empty (never — length is validated).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chain.is_empty()
+    }
+
+    fn selected(&self, x: bool, y: bool) -> bool {
+        (x, y) == self.address
+    }
+
+    /// The card's contribution to the shared test-output net: its last
+    /// flip-flop when selected, the non-controlling 0 otherwise (the
+    /// paper: "the blocking function will put their output to
+    /// noncontrolling values").
+    #[must_use]
+    pub fn test_output(&self, x: bool, y: bool) -> bool {
+        if self.selected(x, y) {
+            self.chain.last().expect("nonempty").q()
+        } else {
+            false
+        }
+    }
+
+    /// One Clock-2 pulse: shifts the chain only when the card is
+    /// selected (the select gates block the clock otherwise).
+    pub fn clock2(&mut self, x: bool, y: bool, test_in: bool) {
+        if !self.selected(x, y) {
+            return;
+        }
+        let mut carry = test_in;
+        for ff in &mut self.chain {
+            let next_carry = ff.q();
+            ff.clock_scan(carry);
+            carry = next_carry;
+        }
+    }
+
+    /// System-clock capture of parallel data into the card's flip-flops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the chain length.
+    pub fn clock1(&mut self, data: &[bool]) {
+        assert_eq!(data.len(), self.chain.len());
+        for (ff, &d) in self.chain.iter_mut().zip(data) {
+            ff.clock_system(d);
+        }
+    }
+
+    /// The stored state (chain order).
+    #[must_use]
+    pub fn state(&self) -> Vec<bool> {
+        self.chain.iter().map(RacelessDff::q).collect()
+    }
+}
+
+/// A subsystem of cards sharing one test input/output pair plus the X/Y
+/// select lines — the full Fig. 14 arrangement.
+#[derive(Clone, Debug, Default)]
+pub struct CardSubsystem {
+    cards: Vec<ScanCard>,
+}
+
+impl CardSubsystem {
+    /// An empty subsystem.
+    #[must_use]
+    pub fn new() -> Self {
+        CardSubsystem::default()
+    }
+
+    /// Adds a card.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another card already answers to the same address.
+    pub fn add_card(&mut self, card: ScanCard) {
+        assert!(
+            !self.cards.iter().any(|c| c.address == card.address),
+            "address {:?} already in use",
+            card.address
+        );
+        self.cards.push(card);
+    }
+
+    /// Number of cards.
+    #[must_use]
+    pub fn card_count(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// The wired test-output net: OR of every card's (gated)
+    /// contribution.
+    #[must_use]
+    pub fn test_output(&self, x: bool, y: bool) -> bool {
+        self.cards.iter().any(|c| c.test_output(x, y))
+    }
+
+    /// One Clock-2 pulse distributed to every card; only the addressed
+    /// one shifts.
+    pub fn clock2(&mut self, x: bool, y: bool, test_in: bool) {
+        for c in &mut self.cards {
+            c.clock2(x, y, test_in);
+        }
+    }
+
+    /// Reads out the addressed card's full chain through the shared
+    /// test output (destructive: the chain shifts).
+    pub fn read_card(&mut self, x: bool, y: bool) -> Vec<bool> {
+        let len = self
+            .cards
+            .iter()
+            .find(|c| c.selected(x, y))
+            .map_or(0, ScanCard::len);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.test_output(x, y));
+            self.clock2(x, y, false);
+        }
+        out.reverse();
+        out
+    }
+
+    /// Mutable access to a card by index (for applying system clocks in
+    /// tests and sessions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn card_mut(&mut self, index: usize) -> &mut ScanCard {
+        &mut self.cards[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subsystem() -> CardSubsystem {
+        let mut s = CardSubsystem::new();
+        s.add_card(ScanCard::new(4, (false, false)));
+        s.add_card(ScanCard::new(3, (true, false)));
+        s.add_card(ScanCard::new(5, (true, true)));
+        s
+    }
+
+    #[test]
+    fn only_the_addressed_card_shifts() {
+        let mut s = subsystem();
+        // Capture distinct data into cards 0 and 1.
+        s.card_mut(0).clock1(&[true, false, true, true]);
+        s.card_mut(1).clock1(&[false, true, false]);
+        // Shift card 1 twice; card 0 must be untouched.
+        s.clock2(true, false, false);
+        s.clock2(true, false, false);
+        assert_eq!(s.card_mut(0).state(), vec![true, false, true, true]);
+        assert_ne!(s.card_mut(1).state(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn shared_test_output_reads_the_selected_card() {
+        let mut s = subsystem();
+        s.card_mut(2).clock1(&[true, true, false, true, false]);
+        let read = s.read_card(true, true);
+        assert_eq!(read, vec![true, true, false, true, false]);
+        // Unselected address reads nothing (non-controlling zeros).
+        assert!(!s.test_output(false, true));
+    }
+
+    #[test]
+    fn deselected_cards_put_noncontrolling_values_on_the_bus() {
+        let mut s = subsystem();
+        s.card_mut(0).clock1(&[true; 4]);
+        // Card 0 holds 1s but is not addressed: the shared net sees 0
+        // from it, so reading card 1 (all zeros) is clean.
+        let read = s.read_card(true, false);
+        assert_eq!(read, vec![false, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in use")]
+    fn duplicate_addresses_rejected() {
+        let mut s = CardSubsystem::new();
+        s.add_card(ScanCard::new(2, (true, true)));
+        s.add_card(ScanCard::new(2, (true, true)));
+    }
+
+    #[test]
+    fn shift_in_then_capture_round_trip() {
+        let mut s = CardSubsystem::new();
+        s.add_card(ScanCard::new(3, (true, true)));
+        // Shift a pattern in through the shared test input.
+        for &b in &[true, false, true] {
+            s.clock2(true, true, b);
+        }
+        assert_eq!(s.card_mut(0).state(), vec![true, false, true]);
+    }
+}

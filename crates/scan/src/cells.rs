@@ -1,0 +1,560 @@
+//! Behavioural models of the storage cells behind each scan style.
+//!
+//! These are latch-level models (below the `Dff` abstraction of
+//! `dft-netlist`): they demonstrate the clocking disciplines the paper
+//! describes — level-sensitive two-phase LSSD operation, the Scan Path
+//! race window, addressable-latch access — and back the per-style
+//! overhead numbers in [`crate::OverheadReport`].
+
+/// The LSSD shift-register latch of Fig. 10.
+///
+/// Two polarity-hold latches: L1 samples system data `D` under system
+/// clock `C` *or* scan data `I` under shift clock `A`; L2 samples L1
+/// under shift clock `B`. Level-sensitive: "immune to most anomalies in
+/// the ac characteristics of the clock, requiring only that it remain
+/// high (sample) at least long enough to stabilize the feedback loop".
+///
+/// ```
+/// use dft_scan::cells::ShiftRegisterLatch;
+///
+/// let mut srl = ShiftRegisterLatch::new();
+/// srl.system_clock(true);           // C pulse with D = 1
+/// assert!(srl.l1());
+/// srl.b_clock();                    // move into L2
+/// assert!(srl.l2());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShiftRegisterLatch {
+    l1: bool,
+    l2: bool,
+}
+
+impl ShiftRegisterLatch {
+    /// A cleared SRL.
+    #[must_use]
+    pub fn new() -> Self {
+        ShiftRegisterLatch::default()
+    }
+
+    /// L1 (master) output.
+    #[must_use]
+    pub fn l1(&self) -> bool {
+        self.l1
+    }
+
+    /// L2 (slave / scan) output.
+    #[must_use]
+    pub fn l2(&self) -> bool {
+        self.l2
+    }
+
+    /// Pulses the system clock `C`, sampling system data `d` into L1.
+    pub fn system_clock(&mut self, d: bool) {
+        self.l1 = d;
+    }
+
+    /// Pulses shift clock `A`, sampling scan-in `i` into L1.
+    pub fn a_clock(&mut self, i: bool) {
+        self.l1 = i;
+    }
+
+    /// Pulses shift clock `B`, sampling L1 into L2.
+    pub fn b_clock(&mut self) {
+        self.l2 = self.l1;
+    }
+}
+
+/// An LSSD scan chain of [`ShiftRegisterLatch`]es threaded `I ← L2`
+/// (Fig. 11), operated by non-overlapping A/B clocks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SrlChain {
+    cells: Vec<ShiftRegisterLatch>,
+}
+
+impl SrlChain {
+    /// A cleared chain of `len` SRLs.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        SrlChain {
+            cells: vec![ShiftRegisterLatch::new(); len],
+        }
+    }
+
+    /// Chain length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the chain is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The L2 outputs, scan-in end first.
+    #[must_use]
+    pub fn l2_values(&self) -> Vec<bool> {
+        self.cells.iter().map(ShiftRegisterLatch::l2).collect()
+    }
+
+    /// One A/B shift cycle: every L1 samples its predecessor's L2 (the
+    /// first samples `scan_in`), then every L2 samples its L1. Returns
+    /// the scan-out value the tester observes — the last L2 *before* the
+    /// clocks fire.
+    pub fn shift(&mut self, scan_in: bool) -> bool {
+        let out = self
+            .cells
+            .last()
+            .map(ShiftRegisterLatch::l2)
+            .unwrap_or(scan_in);
+        // A clock: L1 <- predecessor L2 (simultaneously; L2s are stable
+        // while A is high because B is low — the two-phase discipline).
+        let l2s: Vec<bool> = self.l2_values();
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            let input = if i == 0 { scan_in } else { l2s[i - 1] };
+            cell.a_clock(input);
+        }
+        // B clock: L2 <- L1.
+        for cell in &mut self.cells {
+            cell.b_clock();
+        }
+        out
+    }
+
+    /// One A/B cycle with *explicit* per-cell L1 inputs — the hook the
+    /// chain-integrity fault model uses to corrupt one boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the chain length.
+    pub fn shift_in_parallel(&mut self, inputs: &[bool]) {
+        assert_eq!(inputs.len(), self.len());
+        for (cell, &v) in self.cells.iter_mut().zip(inputs) {
+            cell.a_clock(v);
+        }
+        for cell in &mut self.cells {
+            cell.b_clock();
+        }
+    }
+
+    /// Loads a full state via `len` shift cycles (values given scan-in
+    /// end first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the chain length.
+    pub fn shift_in(&mut self, state: &[bool]) {
+        assert_eq!(state.len(), self.len());
+        for &b in state.iter().rev() {
+            self.shift(b);
+        }
+    }
+
+    /// Pulses the system clock on every SRL with the given per-cell data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the chain length.
+    pub fn capture(&mut self, data: &[bool]) {
+        assert_eq!(data.len(), self.len());
+        for (cell, &d) in self.cells.iter_mut().zip(data) {
+            cell.system_clock(d);
+        }
+        for cell in &mut self.cells {
+            cell.b_clock();
+        }
+    }
+
+    /// Unloads the chain via `len` shift cycles, returning the observed
+    /// scan-out stream (first cell's pre-shift L2 last).
+    pub fn shift_out(&mut self) -> Vec<bool> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.shift(false));
+        }
+        out.reverse(); // first-shifted bit was the last cell
+        out
+    }
+}
+
+/// A scan-chain integrity defect for [`flush_test`]: the shift path is
+/// broken between cells `position − 1` and `position` (position 0 means
+/// the scan-in pin itself), so the downstream cell keeps capturing the
+/// given stuck value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainBreak {
+    /// Index of the first cell downstream of the break.
+    pub position: usize,
+    /// What the broken net reads as.
+    pub stuck: bool,
+}
+
+/// The flush test every scan session starts with: shift a `0011`-style
+/// marker pattern through the whole chain and compare what emerges.
+/// A healthy chain echoes the stream after `len` cycles; any break,
+/// stuck cell or extra/missing stage corrupts it. Returns `Ok(())` or
+/// the first mismatching scan-out cycle.
+///
+/// `break_fault` optionally injects a [`ChainBreak`] (for validating the
+/// test itself, and for the coverage argument: chain integrity must be
+/// established *before* trusting shifted test data).
+///
+/// # Errors
+///
+/// Returns `Err(cycle)` with the first cycle whose scan-out disagrees.
+pub fn flush_test(len: usize, break_fault: Option<ChainBreak>) -> Result<(), usize> {
+    let mut chain = SrlChain::new(len);
+    // Marker: 0 0 1 1 repeated, long enough to traverse and emerge.
+    let stream: Vec<bool> = (0..len + 8).map(|i| i % 4 >= 2).collect();
+    let mut observed = Vec::with_capacity(stream.len());
+    for (cycle, &bit) in stream.iter().enumerate() {
+        // Model the break: the cell at `position` sees the stuck value
+        // instead of its predecessor (or scan-in).
+        let out = match break_fault {
+            None => chain.shift(bit),
+            Some(b) => {
+                // Shift manually with the corrupted boundary.
+                let l2s = chain.l2_values();
+                let out = *l2s.last().unwrap_or(&bit);
+                let mut inputs: Vec<bool> = Vec::with_capacity(len);
+                for i in 0..len {
+                    let healthy = if i == 0 { bit } else { l2s[i - 1] };
+                    inputs.push(if i == b.position { b.stuck } else { healthy });
+                }
+                chain.shift_in_parallel(&inputs);
+                out
+            }
+        };
+        observed.push(out);
+        // After the pipeline fills, scan-out must echo the stream.
+        if cycle >= len && out != stream[cycle - len] {
+            return Err(cycle);
+        }
+    }
+    Ok(())
+}
+
+/// The Scan Path "raceless D-type flip-flop" of Fig. 13.
+///
+/// Two latches sharing one system clock: while Clock 1 is low, Latch 1 is
+/// transparent to system data; when Clock 1 rises, Latch 2 samples
+/// Latch 1. The race window is the inverter delay on the clock — the
+/// paper contrasts this with LSSD's strictly race-free two-clock rule.
+/// Clock 2 plays the same role for the scan path (test input).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RacelessDff {
+    latch1: bool,
+    latch2: bool,
+}
+
+impl RacelessDff {
+    /// A cleared flip-flop.
+    #[must_use]
+    pub fn new() -> Self {
+        RacelessDff::default()
+    }
+
+    /// The flip-flop output (Latch 2).
+    #[must_use]
+    pub fn q(&self) -> bool {
+        self.latch2
+    }
+
+    /// A full system-clock cycle (Clock 1 low then high) with Clock 2
+    /// held at 1 (blocking the scan input, as in system operation).
+    pub fn clock_system(&mut self, d: bool) {
+        self.latch1 = d; // Clock 1 low: Latch 1 follows D
+        self.latch2 = self.latch1; // Clock 1 high: Latch 2 samples
+    }
+
+    /// A full scan-clock cycle (Clock 2) shifting `test_in`.
+    pub fn clock_scan(&mut self, test_in: bool) {
+        self.latch1 = test_in;
+        self.latch2 = self.latch1;
+    }
+}
+
+/// The polarity-hold addressable latch of Fig. 16 plus the Fig. 18
+/// X/Y-addressed array — Random-Access Scan's storage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AddressableLatchArray {
+    x_size: usize,
+    y_size: usize,
+    latches: Vec<bool>,
+}
+
+impl AddressableLatchArray {
+    /// A cleared `x_size × y_size` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is 0.
+    #[must_use]
+    pub fn new(x_size: usize, y_size: usize) -> Self {
+        assert!(x_size > 0 && y_size > 0);
+        AddressableLatchArray {
+            x_size,
+            y_size,
+            latches: vec![false; x_size * y_size],
+        }
+    }
+
+    /// Number of latches.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Whether the array is empty (never true — dimensions are nonzero).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.latches.is_empty()
+    }
+
+    fn idx(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.x_size && y < self.y_size, "address out of range");
+        y * self.x_size + x
+    }
+
+    /// Scan Data Out of the addressed latch (observability: "when the X
+    /// address and Y address are one, then the Scan Data Out point can be
+    /// observed").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    #[must_use]
+    pub fn read(&self, x: usize, y: usize) -> bool {
+        self.latches[self.idx(x, y)]
+    }
+
+    /// Applies the scan clock `SCK` to the addressed latch, loading SDI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn write(&mut self, x: usize, y: usize, sdi: bool) {
+        let i = self.idx(x, y);
+        self.latches[i] = sdi;
+    }
+
+    /// The CLEAR line of the set/reset-type latch (Fig. 17): zeroes every
+    /// latch.
+    pub fn clear(&mut self) {
+        self.latches.iter_mut().for_each(|l| *l = false);
+    }
+
+    /// The preset pulse `PR` on the addressed latch (sets it to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn preset(&mut self, x: usize, y: usize) {
+        let i = self.idx(x, y);
+        self.latches[i] = true;
+    }
+
+    /// System-clock capture into every latch (row-major data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the array size.
+    pub fn capture(&mut self, data: &[bool]) {
+        assert_eq!(data.len(), self.latches.len());
+        self.latches.copy_from_slice(data);
+    }
+}
+
+/// The Scan/Set bit-serial shadow register of Fig. 15.
+///
+/// Samples up to `width` arbitrary system points in one clock ("a
+/// snapshot of the sequential machine can be obtained and off-loaded
+/// without any degradation in system performance"), then shifts them out
+/// serially. Unlike LSSD/Scan Path it is *not* in the system data path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanSetRegister {
+    bits: Vec<bool>,
+}
+
+impl ScanSetRegister {
+    /// A cleared register of `width` bits (the paper's example uses 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0);
+        ScanSetRegister {
+            bits: vec![false; width],
+        }
+    }
+
+    /// Register width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Single-clock parallel sample of the observed points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len()` differs from the width.
+    pub fn sample(&mut self, points: &[bool]) {
+        assert_eq!(points.len(), self.bits.len());
+        self.bits.copy_from_slice(points);
+    }
+
+    /// Serially shifts the snapshot out (bit 0 first), refilling with
+    /// zeros.
+    pub fn shift_out(&mut self) -> Vec<bool> {
+        let out = self.bits.clone();
+        self.bits.iter_mut().for_each(|b| *b = false);
+        out
+    }
+
+    /// The *set* function: returns the stored word for funnelling into
+    /// system latches (the paper: "the 64 bits can be funneled into the
+    /// system logic").
+    #[must_use]
+    pub fn set_word(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Loads the register serially (for the set function), bit 0 first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.len()` differs from the width.
+    pub fn shift_in(&mut self, word: &[bool]) {
+        assert_eq!(word.len(), self.bits.len());
+        self.bits.copy_from_slice(word);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srl_two_phase_shift_is_racefree() {
+        // Three SRLs threaded; shifting 1,0,1 lands exactly (no
+        // shoot-through because A and B never overlap).
+        let mut chain = SrlChain::new(3);
+        chain.shift_in(&[true, false, true]);
+        assert_eq!(chain.l2_values(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn srl_capture_then_unload_observes_state() {
+        let mut chain = SrlChain::new(4);
+        chain.capture(&[true, true, false, true]);
+        let observed = chain.shift_out();
+        assert_eq!(observed, vec![true, true, false, true]);
+        // After unload the chain holds the flush zeros.
+        assert_eq!(chain.l2_values(), vec![false; 4]);
+    }
+
+    #[test]
+    fn srl_shift_preserves_order_through_long_chain() {
+        let mut chain = SrlChain::new(8);
+        let pattern: Vec<bool> = (0..8).map(|i| i % 3 == 0).collect();
+        chain.shift_in(&pattern);
+        assert_eq!(chain.l2_values(), pattern);
+        assert_eq!(chain.shift_out(), pattern);
+    }
+
+    #[test]
+    fn single_srl_clocks() {
+        let mut srl = ShiftRegisterLatch::new();
+        srl.a_clock(true);
+        assert!(srl.l1());
+        assert!(!srl.l2(), "B not pulsed yet");
+        srl.b_clock();
+        assert!(srl.l2());
+        srl.system_clock(false);
+        assert!(!srl.l1());
+        assert!(srl.l2(), "L2 keeps old value until B");
+    }
+
+    #[test]
+    fn flush_test_passes_on_healthy_chains() {
+        for len in [1usize, 4, 16, 63] {
+            assert_eq!(flush_test(len, None), Ok(()), "length {len}");
+        }
+    }
+
+    #[test]
+    fn flush_test_catches_breaks_anywhere() {
+        for position in [0usize, 1, 7, 15] {
+            for stuck in [false, true] {
+                let r = flush_test(16, Some(ChainBreak { position, stuck }));
+                assert!(
+                    r.is_err(),
+                    "break at {position} stuck-{stuck} escaped the flush"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flush_failure_cycle_localizes_the_break() {
+        // The first corrupted bit emerges after traversing the cells
+        // downstream of the break: later breaks fail earlier… both
+        // stuck polarities bound the break position.
+        let early = flush_test(16, Some(ChainBreak { position: 2, stuck: true }))
+            .unwrap_err();
+        let late = flush_test(16, Some(ChainBreak { position: 14, stuck: true }))
+            .unwrap_err();
+        assert!(late <= early, "late break must surface no later ({late} vs {early})");
+    }
+
+    #[test]
+    fn raceless_dff_system_and_scan_paths() {
+        let mut ff = RacelessDff::new();
+        ff.clock_system(true);
+        assert!(ff.q());
+        ff.clock_scan(false);
+        assert!(!ff.q());
+    }
+
+    #[test]
+    fn addressable_array_random_access() {
+        let mut arr = AddressableLatchArray::new(4, 4);
+        arr.write(2, 3, true);
+        assert!(arr.read(2, 3));
+        assert!(!arr.read(3, 2), "only the addressed latch changes");
+        arr.preset(0, 0);
+        assert!(arr.read(0, 0));
+        arr.clear();
+        assert_eq!((0..4).map(|x| arr.read(x, 0)).filter(|&b| b).count(), 0);
+        assert_eq!(arr.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "address out of range")]
+    fn addressable_array_bounds() {
+        let arr = AddressableLatchArray::new(2, 2);
+        let _ = arr.read(2, 0);
+    }
+
+    #[test]
+    fn scan_set_snapshot_and_shift() {
+        let mut reg = ScanSetRegister::new(8);
+        let snapshot: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        reg.sample(&snapshot);
+        assert_eq!(reg.shift_out(), snapshot);
+        // After shifting out, the register is clear.
+        assert_eq!(reg.shift_out(), vec![false; 8]);
+    }
+
+    #[test]
+    fn scan_set_set_function() {
+        let mut reg = ScanSetRegister::new(4);
+        reg.shift_in(&[true, false, true, true]);
+        assert_eq!(reg.set_word(), &[true, false, true, true]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Scan styles, configuration, and the scan-insertion transform.
+
+use dft_netlist::{GateId, LevelizeError, Netlist};
+use dft_sim::Logic;
+
+use crate::overhead::{overhead, OverheadReport};
+
+/// The four structured techniques of §IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanStyle {
+    /// IBM's Level-Sensitive Scan Design: SRLs threaded into a shift
+    /// register, two non-overlapping shift clocks (§IV-A).
+    Lssd,
+    /// NEC's Scan Path: raceless D-type flip-flops with a second clock
+    /// and card-level chain selection (§IV-B).
+    ScanPath,
+    /// Sperry-Univac's Scan/Set: a shadow register sampling up to
+    /// `width` system points, not in the system data path (§IV-C).
+    ScanSet {
+        /// Shadow register width (the paper's example uses 64).
+        width: usize,
+    },
+    /// Fujitsu's Random-Access Scan: individually addressable latches,
+    /// no shift register (§IV-D).
+    RandomAccessScan,
+}
+
+/// Configuration for [`insert_scan`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScanConfig {
+    /// Which technique to apply.
+    pub style: ScanStyle,
+    /// LSSD only: fraction of L2 latches reused for system function.
+    pub l2_reuse: f64,
+    /// Random-Access Scan only: use the 6-pin serial address counter.
+    pub serial_addressing: bool,
+    /// Serial styles only: number of parallel scan chains the storage is
+    /// split across (each chain costs a scan-in/scan-out pin pair but
+    /// divides shift time — the knob against the paper's serialization
+    /// cost).
+    pub chain_count: usize,
+}
+
+impl ScanConfig {
+    /// A configuration with the style's defaults (no L2 reuse, parallel
+    /// addressing).
+    #[must_use]
+    pub fn new(style: ScanStyle) -> Self {
+        ScanConfig {
+            style,
+            l2_reuse: 0.0,
+            serial_addressing: false,
+            chain_count: 1,
+        }
+    }
+
+    /// Splits the storage across `chains` parallel scan chains (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains` is 0.
+    #[must_use]
+    pub fn with_chains(mut self, chains: usize) -> Self {
+        assert!(chains > 0, "need at least one chain");
+        self.chain_count = chains;
+        self
+    }
+
+    /// Sets the LSSD L2-reuse fraction.
+    #[must_use]
+    pub fn with_l2_reuse(mut self, reuse: f64) -> Self {
+        self.l2_reuse = reuse;
+        self
+    }
+
+    /// Selects serial (6-pin) addressing for Random-Access Scan.
+    #[must_use]
+    pub fn with_serial_addressing(mut self) -> Self {
+        self.serial_addressing = true;
+        self
+    }
+}
+
+/// A scan-equipped design: the original logic plus chain metadata and
+/// the access mechanisms the style provides.
+///
+/// The functional netlist is unchanged (scan hardware is test-mode
+/// machinery: the shift path of Fig. 11, the address decoders of
+/// Fig. 18); what changes is *access*: every storage element is now
+/// controllable ([`ScanDesign::load_state`] models shift-in or
+/// addressed writes) and observable ([`ScanDesign::observe_state`]).
+#[derive(Clone, Debug)]
+pub struct ScanDesign {
+    netlist: Netlist,
+    chain: Vec<GateId>,
+    config: ScanConfig,
+    overhead: OverheadReport,
+}
+
+/// Threads every storage element of `netlist` into a scan structure.
+///
+/// Chain order is arena order (deterministic). For `ScanSet`, the design
+/// is *partial*: only the first `width` latches are accessible — the
+/// paper: "it is not required that the set function set all system
+/// latches", with the corresponding test-generation consequences.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] if the combinational frame has a cycle
+/// (scan cannot fix an asynchronous design — rule 1 of any scan
+/// discipline).
+pub fn insert_scan(netlist: &Netlist, config: &ScanConfig) -> Result<ScanDesign, LevelizeError> {
+    netlist.levelize()?; // reject asynchronous feedback
+    let chain = netlist.storage_elements();
+    let overhead = overhead(
+        netlist,
+        config.style,
+        config.l2_reuse,
+        config.serial_addressing,
+    );
+    Ok(ScanDesign {
+        netlist: netlist.clone(),
+        chain,
+        config: *config,
+        overhead,
+    })
+}
+
+impl ScanDesign {
+    /// The functional netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The scan chain (storage elements in shift order).
+    #[must_use]
+    pub fn chain(&self) -> &[GateId] {
+        &self.chain
+    }
+
+    /// The applied configuration.
+    #[must_use]
+    pub fn config(&self) -> &ScanConfig {
+        &self.config
+    }
+
+    /// The style's hardware cost.
+    #[must_use]
+    pub fn overhead(&self) -> &OverheadReport {
+        &self.overhead
+    }
+
+    /// How many of the design's latches this style can actually control
+    /// and observe (all of them, except for a narrow Scan/Set register).
+    #[must_use]
+    pub fn accessible_latches(&self) -> usize {
+        match self.config.style {
+            ScanStyle::ScanSet { width } => self.chain.len().min(width),
+            _ => self.chain.len(),
+        }
+    }
+
+    /// The storage split into the configured number of parallel chains
+    /// (balanced round-robin over arena order).
+    #[must_use]
+    pub fn chains(&self) -> Vec<Vec<GateId>> {
+        let k = self.config.chain_count.max(1).min(self.chain.len().max(1));
+        let mut chains = vec![Vec::new(); k];
+        for (i, &dff) in self.chain.iter().enumerate() {
+            chains[i % k].push(dff);
+        }
+        chains
+    }
+
+    /// Shift/addressing cycles needed to load or unload one full state.
+    /// Parallel chains shift concurrently, so serial styles cost the
+    /// *longest* chain's length.
+    #[must_use]
+    pub fn access_cycles(&self) -> usize {
+        match self.config.style {
+            // Serial styles: one cycle per position of the longest chain.
+            ScanStyle::Lssd | ScanStyle::ScanPath => self
+                .chains()
+                .iter()
+                .map(Vec::len)
+                .max()
+                .unwrap_or(0),
+            ScanStyle::ScanSet { width } => self.chain.len().min(width),
+            // RAS: one addressed access per latch (serial addressing
+            // additionally walks the address counter, same order).
+            ScanStyle::RandomAccessScan => self.chain.len(),
+        }
+    }
+
+    /// Extra scan pins the chain split costs (a scan-in/scan-out pair per
+    /// chain beyond the first).
+    #[must_use]
+    pub fn extra_chain_pins(&self) -> usize {
+        2 * (self.config.chain_count.saturating_sub(1))
+    }
+
+    /// Models the state-load operation (shift-in or addressed writes):
+    /// returns the state vector the machine holds afterwards.
+    /// Inaccessible latches (narrow Scan/Set) keep their `current` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths disagree with the chain length.
+    #[must_use]
+    pub fn load_state(&self, current: &[Logic], target: &[Logic]) -> Vec<Logic> {
+        assert_eq!(current.len(), self.chain.len());
+        assert_eq!(target.len(), self.chain.len());
+        let accessible = self.accessible_latches();
+        current
+            .iter()
+            .zip(target)
+            .enumerate()
+            .map(|(i, (&cur, &tgt))| if i < accessible { tgt } else { cur })
+            .collect()
+    }
+
+    /// Models the state-observe operation: which latch values the tester
+    /// can read (inaccessible ones come back as `X`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the chain length.
+    #[must_use]
+    pub fn observe_state(&self, state: &[Logic]) -> Vec<Logic> {
+        assert_eq!(state.len(), self.chain.len());
+        let accessible = self.accessible_latches();
+        state
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i < accessible { v } else { Logic::X })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::circuits::{binary_counter, random_sequential};
+
+    #[test]
+    fn full_scan_reaches_every_latch() {
+        let n = binary_counter(6);
+        for style in [
+            ScanStyle::Lssd,
+            ScanStyle::ScanPath,
+            ScanStyle::RandomAccessScan,
+        ] {
+            let d = insert_scan(&n, &ScanConfig::new(style)).unwrap();
+            assert_eq!(d.accessible_latches(), 6, "{style:?}");
+            let loaded = d.load_state(&[Logic::X; 6], &[Logic::One; 6]);
+            assert!(loaded.iter().all(|&v| v == Logic::One));
+        }
+    }
+
+    #[test]
+    fn narrow_scan_set_is_partial() {
+        let n = random_sequential(4, 10, 6, 2, 3);
+        let d = insert_scan(&n, &ScanConfig::new(ScanStyle::ScanSet { width: 4 })).unwrap();
+        assert_eq!(d.accessible_latches(), 4);
+        let loaded = d.load_state(&[Logic::X; 10], &[Logic::One; 10]);
+        assert_eq!(loaded.iter().filter(|&&v| v == Logic::One).count(), 4);
+        let seen = d.observe_state(&[Logic::Zero; 10]);
+        assert_eq!(seen.iter().filter(|&&v| v == Logic::X).count(), 6);
+    }
+
+    #[test]
+    fn access_cycles_match_style() {
+        let n = binary_counter(8);
+        let lssd = insert_scan(&n, &ScanConfig::new(ScanStyle::Lssd)).unwrap();
+        assert_eq!(lssd.access_cycles(), 8);
+        let ras = insert_scan(&n, &ScanConfig::new(ScanStyle::RandomAccessScan)).unwrap();
+        assert_eq!(ras.access_cycles(), 8);
+    }
+
+    #[test]
+    fn multiple_chains_divide_shift_time() {
+        let n = binary_counter(8);
+        let one = insert_scan(&n, &ScanConfig::new(ScanStyle::Lssd)).unwrap();
+        let four = insert_scan(
+            &n,
+            &ScanConfig::new(ScanStyle::Lssd).with_chains(4),
+        )
+        .unwrap();
+        assert_eq!(one.access_cycles(), 8);
+        assert_eq!(four.access_cycles(), 2);
+        assert_eq!(four.chains().len(), 4);
+        assert_eq!(four.extra_chain_pins(), 6);
+        // Every latch appears in exactly one chain.
+        let mut all: Vec<_> = four.chains().concat();
+        all.sort_unstable();
+        let mut expect = n.storage_elements();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn more_chains_than_latches_is_capped() {
+        let n = binary_counter(2);
+        let d = insert_scan(
+            &n,
+            &ScanConfig::new(ScanStyle::Lssd).with_chains(10),
+        )
+        .unwrap();
+        assert_eq!(d.access_cycles(), 1);
+        assert!(d.chains().iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = ScanConfig::new(ScanStyle::Lssd).with_l2_reuse(0.85);
+        assert!((c.l2_reuse - 0.85).abs() < 1e-12);
+        let c = ScanConfig::new(ScanStyle::RandomAccessScan).with_serial_addressing();
+        assert!(c.serial_addressing);
+    }
+}

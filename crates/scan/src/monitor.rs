@@ -1,0 +1,192 @@
+//! Scan/Set functional monitoring.
+//!
+//! §IV-C: "the scan function can occur during system operation — … a
+//! snapshot of the sequential machine can be obtained and off-loaded
+//! without any degradation in system performance." This module drives a
+//! [`ScanSetRegister`](crate::cells::ScanSetRegister) against a running
+//! machine: pick up to 64 observation points, run the machine, sample on
+//! chosen cycles, shift the snapshots out.
+
+use dft_netlist::{GateId, LevelizeError, Netlist};
+use dft_sim::{Logic, SequentialSim};
+
+use crate::cells::ScanSetRegister;
+
+/// A Scan/Set monitoring session over a sequential machine.
+#[derive(Debug)]
+pub struct ScanSetMonitor<'n> {
+    netlist: &'n Netlist,
+    points: Vec<GateId>,
+}
+
+/// One off-loaded snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The cycle (0-based) at which the sample clock fired.
+    pub cycle: usize,
+    /// Sampled values, in observation-point order (`None` = the machine
+    /// had an unknown value there — e.g. unreset state).
+    pub values: Vec<Option<bool>>,
+}
+
+impl<'n> ScanSetMonitor<'n> {
+    /// Creates a monitor observing `points` (arbitrary internal nets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, exceeds 64 (one shadow register), or
+    /// references a foreign gate.
+    #[must_use]
+    pub fn new(netlist: &'n Netlist, points: &[GateId]) -> Self {
+        assert!(
+            (1..=64).contains(&points.len()),
+            "a Scan/Set register samples 1..=64 points"
+        );
+        for &p in points {
+            assert!(p.index() < netlist.gate_count(), "point out of range");
+        }
+        ScanSetMonitor {
+            netlist,
+            points: points.to_vec(),
+        }
+    }
+
+    /// The observation points.
+    #[must_use]
+    pub fn points(&self) -> &[GateId] {
+        &self.points
+    }
+
+    /// Runs the machine over `stimulus` (one PI row per cycle) from reset
+    /// (all storage 0) and samples on every cycle listed in
+    /// `sample_cycles`. The machine's behaviour is untouched — the
+    /// shadow register only reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample cycle is out of range.
+    pub fn run(
+        &self,
+        stimulus: &[Vec<Logic>],
+        sample_cycles: &[usize],
+    ) -> Result<Vec<Snapshot>, LevelizeError> {
+        for &c in sample_cycles {
+            assert!(c < stimulus.len(), "sample cycle {c} out of range");
+        }
+        let mut sim = SequentialSim::new(self.netlist)?;
+        sim.reset_to(Logic::Zero);
+        let three = dft_sim::ThreeValueSim::new(self.netlist)?;
+        let mut snapshots = Vec::new();
+        let mut register = ScanSetRegister::new(self.points.len());
+        for (cycle, row) in stimulus.iter().enumerate() {
+            if sample_cycles.contains(&cycle) {
+                // One sample clock: capture the observation points from
+                // the settled frame, then off-load serially. System
+                // clocks keep running; nothing in the data path changes.
+                let vals = three.eval(row, sim.state());
+                let sampled: Vec<bool> = self
+                    .points
+                    .iter()
+                    .map(|&p| vals[p.index()].to_bool().unwrap_or(false))
+                    .collect();
+                register.sample(&sampled);
+                let shifted = register.shift_out();
+                snapshots.push(Snapshot {
+                    cycle,
+                    values: self
+                        .points
+                        .iter()
+                        .zip(shifted)
+                        .map(|(&p, bit)| vals[p.index()].to_bool().map(|_| bit))
+                        .collect(),
+                });
+            }
+            sim.step(row);
+        }
+        Ok(snapshots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::circuits::binary_counter;
+
+    #[test]
+    fn snapshots_track_the_running_machine() {
+        let n = binary_counter(4);
+        let q: Vec<GateId> = (0..4)
+            .map(|i| n.find_output(&format!("q{i}")).expect("named"))
+            .collect();
+        let monitor = ScanSetMonitor::new(&n, &q);
+        // Count for 10 cycles, sampling at 3 and 7: the counter (reset,
+        // then incremented each cycle) shows 3 and 7 at those frames.
+        let stimulus = vec![vec![Logic::One]; 10];
+        let snaps = monitor.run(&stimulus, &[3, 7]).expect("levelizes");
+        assert_eq!(snaps.len(), 2);
+        let decode = |s: &Snapshot| -> u32 {
+            s.values
+                .iter()
+                .enumerate()
+                .fold(0, |acc, (i, v)| acc | (u32::from(v.unwrap()) << i))
+        };
+        assert_eq!(snaps[0].cycle, 3);
+        assert_eq!(decode(&snaps[0]), 3);
+        assert_eq!(decode(&snaps[1]), 7);
+    }
+
+    #[test]
+    fn monitoring_does_not_perturb_the_machine() {
+        let n = binary_counter(3);
+        let q: Vec<GateId> = (0..3)
+            .map(|i| n.find_output(&format!("q{i}")).expect("named"))
+            .collect();
+        let stimulus = vec![vec![Logic::One]; 6];
+        // Reference run without monitoring.
+        let mut sim = SequentialSim::new(&n).unwrap();
+        sim.reset_to(Logic::Zero);
+        for row in &stimulus {
+            sim.step(row);
+        }
+        let reference = sim.state().to_vec();
+        // Monitored run: final machine state must be identical.
+        let monitor = ScanSetMonitor::new(&n, &q);
+        let _ = monitor.run(&stimulus, &[0, 1, 2, 3, 4, 5]).unwrap();
+        let mut sim2 = SequentialSim::new(&n).unwrap();
+        sim2.reset_to(Logic::Zero);
+        for row in &stimulus {
+            sim2.step(row);
+        }
+        assert_eq!(sim2.state(), &reference[..]);
+    }
+
+    #[test]
+    fn internal_nets_are_observable() {
+        // Observe the carry chain, not just the counter bits.
+        let n = binary_counter(3);
+        let lv = n.levelize().unwrap();
+        let internal: Vec<GateId> = n
+            .ids()
+            .filter(|&id| !n.gate(id).kind().is_source() && lv.level(id) >= 1)
+            .take(4)
+            .collect();
+        let monitor = ScanSetMonitor::new(&n, &internal);
+        let snaps = monitor
+            .run(&vec![vec![Logic::One]; 4], &[2])
+            .expect("levelizes");
+        assert_eq!(snaps[0].values.len(), 4);
+        assert!(snaps[0].values.iter().all(Option::is_some));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn rejects_oversized_point_lists() {
+        let n = binary_counter(2);
+        let pts = vec![n.primary_inputs()[0]; 65];
+        let _ = ScanSetMonitor::new(&n, &pts);
+    }
+}

@@ -1,0 +1,190 @@
+//! Gate and pin overhead accounting per scan style.
+
+use dft_netlist::Netlist;
+
+use crate::ScanStyle;
+
+/// The hardware cost of applying a scan style to a design — the numbers
+/// the paper quotes qualitatively: LSSD "in the range of 4 to 20 percent"
+/// depending on L2 reuse; Random-Access Scan "about three to four gates
+/// per storage element" and "between 10 and 20" pins (6 with serial
+/// addressing).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverheadReport {
+    /// Extra gates added by the style.
+    pub extra_gates: usize,
+    /// Extra package pins required.
+    pub extra_pins: usize,
+    /// Logic gate count of the unmodified design.
+    pub base_gates: usize,
+}
+
+impl OverheadReport {
+    /// Gate overhead as a fraction of the base design.
+    #[must_use]
+    pub fn gate_overhead(&self) -> f64 {
+        if self.base_gates == 0 {
+            0.0
+        } else {
+            self.extra_gates as f64 / self.base_gates as f64
+        }
+    }
+
+    /// Gate overhead in percent.
+    #[must_use]
+    pub fn gate_overhead_percent(&self) -> f64 {
+        self.gate_overhead() * 100.0
+    }
+}
+
+/// Gate-equivalents in a plain polarity-hold latch.
+const BASE_LATCH_GATES: usize = 4;
+/// Gate-equivalents in an LSSD L1 latch with the extra scan port
+/// (I, A-clock gating; cf. Fig. 10(b)).
+const LSSD_L1_GATES: usize = 6;
+/// Gate-equivalents in the L2 latch.
+const LSSD_L2_GATES: usize = 4;
+/// Extra gate-equivalents a raceless scan-path flip-flop needs over a
+/// plain D-type (the Fig. 13 cell's test-input gating and second clock).
+const SCAN_PATH_EXTRA_GATES: usize = 3;
+/// Gate-equivalents per Random-Access Scan addressable latch over a
+/// plain latch (address gating + SDO dot; the paper: "about three to
+/// four gates per storage element").
+const RAS_LATCH_EXTRA_GATES: usize = 4;
+/// Gate-equivalents per Scan/Set shadow register bit (register latch +
+/// sample multiplexing; not in the system path).
+const SCAN_SET_GATES_PER_BIT: usize = 5;
+
+/// Computes the overhead of `style` applied to `netlist`.
+///
+/// `l2_reuse` (0..=1) is the fraction of L2 latches also doing system
+/// work — the knob the paper says moves LSSD overhead between 20 % and
+/// 4 % ("85 percent of the L2 latches were used for system function" in
+/// the System 38). It is ignored by the other styles.
+///
+/// `serial_ras_addressing` selects the 6-pin serial address counter for
+/// Random-Access Scan instead of parallel X/Y address pins.
+#[must_use]
+pub fn overhead(
+    netlist: &Netlist,
+    style: ScanStyle,
+    l2_reuse: f64,
+    serial_ras_addressing: bool,
+) -> OverheadReport {
+    let dffs = netlist.storage_elements().len();
+    // Gate-equivalent size of the base design: logic gates plus plain
+    // latches (each Dff node is one plain latch pair in the base design;
+    // count it at BASE_LATCH_GATES).
+    let base_gates =
+        netlist.logic_gate_count() - dffs + dffs * BASE_LATCH_GATES;
+    let l2_reuse = l2_reuse.clamp(0.0, 1.0);
+
+    let (extra_gates, extra_pins) = match style {
+        ScanStyle::Lssd => {
+            // L1 upgrade + an L2 per latch; reused L2s do system work,
+            // so they displace base latches instead of adding cost.
+            let l1_extra = LSSD_L1_GATES - BASE_LATCH_GATES;
+            let l2_cost = (LSSD_L2_GATES as f64 * (1.0 - l2_reuse)).round() as usize;
+            (
+                dffs * l1_extra + dffs * l2_cost,
+                4, // scan-in, scan-out, A clock, B clock
+            )
+        }
+        ScanStyle::ScanPath => (
+            dffs * SCAN_PATH_EXTRA_GATES,
+            4, // test input, test output, clock 2, select (X/Y gating)
+        ),
+        ScanStyle::ScanSet { width } => (
+            width * SCAN_SET_GATES_PER_BIT,
+            3, // scan-in, scan-out, shadow clock
+        ),
+        ScanStyle::RandomAccessScan => {
+            // Per-latch gating plus the X/Y decoders (≈ 2·√n gates each
+            // side) and the SDO gate tree.
+            let side = (dffs as f64).sqrt().ceil() as usize;
+            let decoders = 2 * 2 * side;
+            let pins = if serial_ras_addressing {
+                6 // the paper: serial X/Y counters reduce it to 6
+            } else {
+                // X + Y address pins plus SDI/SDO/SCK/CL/PR.
+                2 * (side.max(1).ilog2() as usize + 1) + 5
+            };
+            (dffs * RAS_LATCH_EXTRA_GATES + decoders, pins)
+        }
+    };
+
+    OverheadReport {
+        extra_gates,
+        extra_pins,
+        base_gates,
+    }
+}
+
+/// [`overhead`] with the default knobs (no L2 reuse, parallel RAS
+/// addressing) — the conservative cost estimate planners quote.
+#[must_use]
+pub fn overhead_for(netlist: &Netlist, style: ScanStyle) -> OverheadReport {
+    overhead(netlist, style, 0.0, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::circuits::{random_sequential, shift_register};
+
+    #[test]
+    fn lssd_overhead_band_matches_paper() {
+        // A state-heavy design with no L2 reuse sits near the top of the
+        // 4–20 % band; 85 % reuse (the System 38 number) pulls it down.
+        let n = random_sequential(8, 32, 25, 8, 1);
+        let no_reuse = overhead(&n, ScanStyle::Lssd, 0.0, false);
+        let high_reuse = overhead(&n, ScanStyle::Lssd, 0.85, false);
+        assert!(
+            no_reuse.gate_overhead_percent() > high_reuse.gate_overhead_percent()
+        );
+        assert!(
+            (4.0..=20.0).contains(&no_reuse.gate_overhead_percent()),
+            "no-reuse overhead {:.1}%",
+            no_reuse.gate_overhead_percent()
+        );
+        assert!(
+            high_reuse.gate_overhead_percent() < 10.0,
+            "85% reuse overhead {:.1}%",
+            high_reuse.gate_overhead_percent()
+        );
+        assert_eq!(no_reuse.extra_pins, 4);
+    }
+
+    #[test]
+    fn ras_gate_and_pin_numbers() {
+        let n = random_sequential(8, 64, 10, 8, 2);
+        let parallel = overhead(&n, ScanStyle::RandomAccessScan, 0.0, false);
+        let serial = overhead(&n, ScanStyle::RandomAccessScan, 0.0, true);
+        // "about three to four gates per storage element" plus decoders.
+        let per_latch = parallel.extra_gates as f64 / 64.0;
+        assert!((3.0..=6.0).contains(&per_latch), "per latch {per_latch}");
+        assert!(
+            (10..=20).contains(&parallel.extra_pins),
+            "pins {}",
+            parallel.extra_pins
+        );
+        assert_eq!(serial.extra_pins, 6);
+    }
+
+    #[test]
+    fn scan_set_cost_is_independent_of_latch_count() {
+        let small = shift_register(4);
+        let large = shift_register(64);
+        let a = overhead(&small, ScanStyle::ScanSet { width: 64 }, 0.0, false);
+        let b = overhead(&large, ScanStyle::ScanSet { width: 64 }, 0.0, false);
+        assert_eq!(a.extra_gates, b.extra_gates);
+        assert_eq!(a.extra_pins, 3);
+    }
+
+    #[test]
+    fn scan_path_scales_with_storage() {
+        let a = overhead(&shift_register(8), ScanStyle::ScanPath, 0.0, false);
+        let b = overhead(&shift_register(16), ScanStyle::ScanPath, 0.0, false);
+        assert_eq!(b.extra_gates, 2 * a.extra_gates);
+    }
+}

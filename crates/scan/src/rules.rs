@@ -1,0 +1,185 @@
+//! Scan design-rule checking.
+//!
+//! LSSD is "a discipline": the paper points to the Williams/Eichelberger
+//! rules on clocking, race freedom and structure, and to automatic
+//! checkers ("automatic checking of logic design structure for
+//! compliance with testability groundrules", \[22\]). This checker
+//! enforces the structural rules expressible in this toolkit's model.
+
+use std::fmt;
+
+use dft_netlist::GateId;
+
+use crate::ScanDesign;
+
+/// The individual rules [`check_rules`] enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanRule {
+    /// No combinational feedback loops (level-sensitive operation is
+    /// impossible around an asynchronous loop).
+    NoCombinationalFeedback,
+    /// Every storage element is on the scan chain (full-scan
+    /// discipline; partial access defeats the combinational reduction).
+    AllStorageScanned,
+    /// Combinational depth between storage stages is bounded (the
+    /// level-sensitive timing rule: data must settle within the clock
+    /// phase).
+    BoundedLogicDepth,
+    /// A storage element must not directly feed another storage element
+    /// without intervening logic *unless* the style provides a two-phase
+    /// (master/slave) cell — the race the Scan Path flip-flop narrows
+    /// and LSSD eliminates.
+    NoDirectStorageToStorage,
+}
+
+impl fmt::Display for ScanRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScanRule::NoCombinationalFeedback => "no combinational feedback",
+            ScanRule::AllStorageScanned => "all storage elements scanned",
+            ScanRule::BoundedLogicDepth => "bounded logic depth between latches",
+            ScanRule::NoDirectStorageToStorage => "no direct latch-to-latch path",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleViolation {
+    /// The violated rule.
+    pub rule: ScanRule,
+    /// The offending gate.
+    pub gate: GateId,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for RuleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated at {}: {}", self.rule, self.gate, self.detail)
+    }
+}
+
+/// Checks `design` against the scan rules; returns all violations.
+///
+/// `max_depth` bounds combinational depth (rule
+/// [`ScanRule::BoundedLogicDepth`]); pass a generous value (e.g. 50) if
+/// timing is not a concern. The latch-to-latch rule is waived for LSSD
+/// (its L1/L2 pair is the two-phase cell that makes direct connection
+/// safe) and enforced for Scan Path's single-clock raceless flip-flop,
+/// which the paper notes is "the exposure to the use of only one system
+/// clock".
+#[must_use]
+pub fn check_rules(design: &ScanDesign, max_depth: u32) -> Vec<RuleViolation> {
+    let netlist = design.netlist();
+    let mut violations = Vec::new();
+
+    // Rule 1: combinational cycles.
+    let lv = match netlist.levelize() {
+        Ok(lv) => lv,
+        Err(e) => {
+            violations.push(RuleViolation {
+                rule: ScanRule::NoCombinationalFeedback,
+                gate: e.on_cycle,
+                detail: "combinational cycle".into(),
+            });
+            return violations; // depth checks are meaningless with cycles
+        }
+    };
+
+    // Rule 2: full scan.
+    let scanned: std::collections::HashSet<GateId> =
+        design.chain().iter().copied().collect();
+    let accessible = design.accessible_latches();
+    for (k, dff) in netlist.storage_elements().into_iter().enumerate() {
+        if !scanned.contains(&dff) || k >= accessible {
+            violations.push(RuleViolation {
+                rule: ScanRule::AllStorageScanned,
+                gate: dff,
+                detail: "storage element not accessible through the scan structure".into(),
+            });
+        }
+    }
+
+    // Rule 3: bounded depth.
+    for (id, gate) in netlist.iter() {
+        if !gate.kind().is_source() && lv.level(id) > max_depth {
+            violations.push(RuleViolation {
+                rule: ScanRule::BoundedLogicDepth,
+                gate: id,
+                detail: format!("level {} exceeds bound {max_depth}", lv.level(id)),
+            });
+        }
+    }
+
+    // Rule 4: direct latch-to-latch (waived for LSSD).
+    let waived = matches!(design.config().style, crate::ScanStyle::Lssd);
+    if !waived {
+        for &dff in design.chain() {
+            let d = netlist.gate(dff).inputs()[0];
+            if netlist.gate(d).kind().is_storage() {
+                violations.push(RuleViolation {
+                    rule: ScanRule::NoDirectStorageToStorage,
+                    gate: dff,
+                    detail: format!("data input driven directly by latch {d}"),
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{insert_scan, ScanConfig, ScanStyle};
+    use dft_netlist::circuits::{binary_counter, shift_register};
+
+    #[test]
+    fn clean_counter_passes_under_lssd() {
+        let n = binary_counter(4);
+        let d = insert_scan(&n, &ScanConfig::new(ScanStyle::Lssd)).unwrap();
+        assert!(check_rules(&d, 50).is_empty());
+    }
+
+    #[test]
+    fn shift_register_trips_race_rule_under_scan_path() {
+        // Direct FF→FF connections: fine for LSSD's two-phase SRLs,
+        // flagged for the single-clock raceless cell.
+        let n = shift_register(4);
+        let lssd = insert_scan(&n, &ScanConfig::new(ScanStyle::Lssd)).unwrap();
+        assert!(check_rules(&lssd, 50).is_empty());
+        let sp = insert_scan(&n, &ScanConfig::new(ScanStyle::ScanPath)).unwrap();
+        let v = check_rules(&sp, 50);
+        assert_eq!(v.len(), 3, "three of four stages chain directly");
+        assert!(v
+            .iter()
+            .all(|x| x.rule == ScanRule::NoDirectStorageToStorage));
+    }
+
+    #[test]
+    fn partial_scan_set_flags_unscanned_latches() {
+        let n = binary_counter(8);
+        let d = insert_scan(&n, &ScanConfig::new(ScanStyle::ScanSet { width: 3 })).unwrap();
+        let v = check_rules(&d, 50);
+        let missing = v
+            .iter()
+            .filter(|x| x.rule == ScanRule::AllStorageScanned)
+            .count();
+        assert_eq!(missing, 5);
+    }
+
+    #[test]
+    fn depth_bound_is_enforced() {
+        let n = dft_netlist::circuits::ripple_carry_adder(16);
+        let d = insert_scan(&n, &ScanConfig::new(ScanStyle::Lssd)).unwrap();
+        let deep = check_rules(&d, 5);
+        assert!(!deep.is_empty());
+        assert!(deep.iter().all(|x| x.rule == ScanRule::BoundedLogicDepth));
+        assert!(check_rules(&d, 100).is_empty());
+        // Violations render readably.
+        assert!(deep[0].to_string().contains("exceeds bound"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Compiled-code simulation.
+//!
+//! §IV-A of the paper lists "compiled code Boolean simulation" among the
+//! techniques scan design makes viable again. A compiled simulator
+//! flattens the levelized netlist into a straight-line program of
+//! operations over a value array — no per-gate graph traversal, no
+//! fan-in vector rebuilding — trading compile time for per-pattern
+//! speed. This is the same 64-lane semantics as
+//! [`ParallelSim`](crate::ParallelSim), cross-checked by test; the bench
+//! suite measures the speedup.
+
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
+
+use crate::{PatternSet, Response};
+
+/// One straight-line instruction: `slots[dst] = op(slots[args])`.
+#[derive(Clone, Debug)]
+struct Op {
+    kind: GateKind,
+    dst: u32,
+    /// Offsets into the shared argument pool.
+    args: (u32, u32),
+}
+
+/// A netlist compiled to a linear op program (64 patterns per word).
+///
+/// ```
+/// use dft_netlist::circuits::c17;
+/// use dft_sim::{CompiledSim, PatternSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c17 = c17();
+/// let sim = CompiledSim::new(&c17)?;
+/// let p = PatternSet::all_inputs_low(5, 1);
+/// let r = sim.run(&p);
+/// assert!(!r.output_bit(0, 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CompiledSim<'n> {
+    netlist: &'n Netlist,
+    ops: Vec<Op>,
+    arg_pool: Vec<u32>,
+    storage: Vec<GateId>,
+}
+
+impl<'n> CompiledSim<'n> {
+    /// Compiles `netlist` into a straight-line program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    pub fn new(netlist: &'n Netlist) -> Result<Self, LevelizeError> {
+        let lv = netlist.levelize()?;
+        let mut ops = Vec::new();
+        let mut arg_pool = Vec::new();
+        for &id in lv.order() {
+            let gate = netlist.gate(id);
+            if gate.kind().is_source() {
+                continue;
+            }
+            let start = arg_pool.len() as u32;
+            arg_pool.extend(gate.inputs().iter().map(|s| s.index() as u32));
+            ops.push(Op {
+                kind: gate.kind(),
+                dst: id.index() as u32,
+                args: (start, arg_pool.len() as u32),
+            });
+        }
+        Ok(CompiledSim {
+            netlist,
+            ops,
+            arg_pool,
+            storage: netlist.storage_elements(),
+        })
+    }
+
+    /// Number of compiled instructions.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Runs all patterns (storage held at 0), producing the same
+    /// [`Response`] as [`ParallelSim::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width disagrees with the netlist.
+    #[must_use]
+    pub fn run(&self, patterns: &PatternSet) -> Response {
+        assert_eq!(
+            patterns.input_count(),
+            self.netlist.primary_inputs().len(),
+            "pattern width must match primary input count"
+        );
+        let mut values = Vec::with_capacity(patterns.block_count());
+        for b in 0..patterns.block_count() {
+            values.push(self.eval_block(patterns.block(b)));
+        }
+        Response::assemble(self.netlist, patterns.len(), values)
+    }
+
+    /// Evaluates one packed 64-lane block.
+    #[must_use]
+    pub fn eval_block(&self, pi_words: &[u64]) -> Vec<u64> {
+        let mut v = vec![0u64; self.netlist.gate_count()];
+        for (i, &pi) in self.netlist.primary_inputs().iter().enumerate() {
+            v[pi.index()] = pi_words[i];
+        }
+        for (id, gate) in self.netlist.iter() {
+            if gate.kind() == GateKind::Const1 {
+                v[id.index()] = u64::MAX;
+            }
+        }
+        for &s in &self.storage {
+            v[s.index()] = 0;
+        }
+        for op in &self.ops {
+            let args = &self.arg_pool[op.args.0 as usize..op.args.1 as usize];
+            let first = v[args[0] as usize];
+            let rest = &args[1..];
+            let word = match op.kind {
+                GateKind::Buf => first,
+                GateKind::Not => !first,
+                GateKind::And => rest.iter().fold(first, |a, &s| a & v[s as usize]),
+                GateKind::Nand => !rest.iter().fold(first, |a, &s| a & v[s as usize]),
+                GateKind::Or => rest.iter().fold(first, |a, &s| a | v[s as usize]),
+                GateKind::Nor => !rest.iter().fold(first, |a, &s| a | v[s as usize]),
+                GateKind::Xor => rest.iter().fold(first, |a, &s| a ^ v[s as usize]),
+                GateKind::Xnor => !rest.iter().fold(first, |a, &s| a ^ v[s as usize]),
+                GateKind::Const0 => 0,
+                GateKind::Const1 => u64::MAX,
+                GateKind::Input | GateKind::Dff => unreachable!("sources not compiled"),
+            };
+            v[op.dst as usize] = word;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParallelSim;
+    use dft_netlist::circuits::{c17, random_combinational, wallace_multiplier};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn agree(n: &Netlist, patterns: &PatternSet) {
+        let a = ParallelSim::new(n).unwrap().run(patterns);
+        let b = CompiledSim::new(n).unwrap().run(patterns);
+        for p in 0..patterns.len() {
+            assert_eq!(a.output_row(p), b.output_row(p), "pattern {p} on {}", n.name());
+        }
+    }
+
+    #[test]
+    fn matches_parallel_sim_on_c17() {
+        let n = c17();
+        let rows: Vec<Vec<bool>> = (0..32u8)
+            .map(|v| (0..5).map(|i| v >> i & 1 == 1).collect())
+            .collect();
+        agree(&n, &PatternSet::from_rows(5, &rows));
+    }
+
+    #[test]
+    fn matches_parallel_sim_on_random_logic() {
+        for seed in 0..4 {
+            let n = random_combinational(12, 200, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 99);
+            let p = PatternSet::random(12, 100, &mut rng);
+            agree(&n, &p);
+        }
+    }
+
+    #[test]
+    fn matches_on_multiplier_with_constants() {
+        // The multiplier's final pass emits Const0 sums — exercises the
+        // constant-initialization path.
+        let n = wallace_multiplier(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = PatternSet::random(8, 64, &mut rng);
+        agree(&n, &p);
+    }
+
+    #[test]
+    fn op_count_matches_non_source_gates() {
+        let n = c17();
+        let sim = CompiledSim::new(&n).unwrap();
+        assert_eq!(sim.op_count(), 6);
+    }
+}

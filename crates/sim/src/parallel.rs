@@ -1,0 +1,359 @@
+//! 64-way bit-parallel levelized simulation.
+
+use dft_netlist::{GateId, GateKind, Levelization, LevelizeError, Netlist};
+
+use crate::PatternSet;
+
+/// A compiled, levelized 64-pattern-parallel simulator for one netlist.
+///
+/// Construction levelizes once; each [`ParallelSim::run`] evaluates all
+/// blocks of a [`PatternSet`], treating storage elements as frame sources
+/// (value = provided present state, default all-0). The complete value
+/// matrix is retained so fault simulators and testability tools can
+/// observe internal nets, not just primary outputs.
+///
+/// ```
+/// use dft_netlist::circuits::full_adder;
+/// use dft_sim::{ParallelSim, PatternSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fa = full_adder();
+/// let sim = ParallelSim::new(&fa)?;
+/// // a=1 b=1 cin=0 -> sum=0 cout=1
+/// let p = PatternSet::from_rows(3, &[vec![true, true, false]]);
+/// let r = sim.run(&p);
+/// assert!(!r.output_bit(0, 0)); // sum
+/// assert!(r.output_bit(1, 0));  // cout
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ParallelSim<'n> {
+    netlist: &'n Netlist,
+    lv: Levelization,
+    storage: Vec<GateId>,
+}
+
+/// The response of a parallel simulation run: per-gate packed values for
+/// every 64-pattern block.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pattern_count: usize,
+    gate_count: usize,
+    outputs: Vec<GateId>,
+    storage: Vec<GateId>,
+    /// `values[block][gate]`
+    values: Vec<Vec<u64>>,
+}
+
+impl<'n> ParallelSim<'n> {
+    /// Compiles a simulator for `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] if the netlist has a combinational cycle.
+    pub fn new(netlist: &'n Netlist) -> Result<Self, LevelizeError> {
+        Ok(ParallelSim {
+            netlist,
+            lv: netlist.levelize()?,
+            storage: netlist.storage_elements(),
+        })
+    }
+
+    /// The netlist this simulator was compiled for.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The levelization used for evaluation.
+    #[must_use]
+    pub fn levelization(&self) -> &Levelization {
+        &self.lv
+    }
+
+    /// Runs all patterns with every storage element's present state at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern set width disagrees with the netlist's
+    /// primary input count.
+    #[must_use]
+    pub fn run(&self, patterns: &PatternSet) -> Response {
+        let zeros = vec![vec![0u64; self.storage.len()]; patterns.block_count()];
+        self.run_with_state(patterns, &zeros)
+    }
+
+    /// Runs all patterns with explicit present-state words per block
+    /// (`state[block][storage_index]`, storage order as returned by
+    /// [`Netlist::storage_elements`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches between the pattern set, state matrix
+    /// and netlist.
+    #[must_use]
+    pub fn run_with_state(&self, patterns: &PatternSet, state: &[Vec<u64>]) -> Response {
+        assert_eq!(
+            patterns.input_count(),
+            self.netlist.primary_inputs().len(),
+            "pattern width must match primary input count"
+        );
+        assert_eq!(
+            state.len(),
+            patterns.block_count(),
+            "one state vector per pattern block required"
+        );
+        let mut values = Vec::with_capacity(patterns.block_count());
+        #[allow(clippy::needless_range_loop)] // block indexes patterns and state in lockstep
+        for block in 0..patterns.block_count() {
+            assert_eq!(state[block].len(), self.storage.len());
+            values.push(self.eval_block(patterns.block(block), &state[block]));
+        }
+        Response {
+            pattern_count: patterns.len(),
+            gate_count: self.netlist.gate_count(),
+            outputs: self
+                .netlist
+                .primary_outputs()
+                .iter()
+                .map(|&(g, _)| g)
+                .collect(),
+            storage: self.storage.clone(),
+            values,
+        }
+    }
+
+    /// Evaluates one block of packed input words (and packed present
+    /// state), returning packed values for every gate.
+    #[must_use]
+    pub fn eval_block(&self, pi_words: &[u64], state_words: &[u64]) -> Vec<u64> {
+        let mut vals = vec![0u64; self.netlist.gate_count()];
+        for (i, &pi) in self.netlist.primary_inputs().iter().enumerate() {
+            vals[pi.index()] = pi_words[i];
+        }
+        for (i, &s) in self.storage.iter().enumerate() {
+            vals[s.index()] = state_words[i];
+        }
+        self.eval_block_into(&mut vals);
+        vals
+    }
+
+    /// Evaluates the combinational frame in place: `vals` must already
+    /// contain source values (primary inputs and storage outputs) and is
+    /// filled with every gate's packed value.
+    ///
+    /// Storage gates are **not** overwritten — their slot keeps the
+    /// present-state value; the next state is available at their data
+    /// driver's slot (see [`Response::next_state_word`]).
+    pub fn eval_block_into(&self, vals: &mut [u64]) {
+        for &id in self.lv.order() {
+            let gate = self.netlist.gate(id);
+            match gate.kind() {
+                GateKind::Input | GateKind::Dff => {}
+                GateKind::Const0 => vals[id.index()] = 0,
+                GateKind::Const1 => vals[id.index()] = u64::MAX,
+                kind => {
+                    // Fold without allocating.
+                    let mut it = gate.inputs().iter().map(|&s| vals[s.index()]);
+                    let first = it.next().expect("non-source gates have fan-in");
+                    let folded = match kind {
+                        GateKind::Buf => first,
+                        GateKind::Not => !first,
+                        GateKind::And => it.fold(first, |a, b| a & b),
+                        GateKind::Nand => !it.fold(first, |a, b| a & b),
+                        GateKind::Or => it.fold(first, |a, b| a | b),
+                        GateKind::Nor => !it.fold(first, |a, b| a | b),
+                        GateKind::Xor => it.fold(first, |a, b| a ^ b),
+                        GateKind::Xnor => !it.fold(first, |a, b| a ^ b),
+                        _ => unreachable!("sources handled above"),
+                    };
+                    vals[id.index()] = folded;
+                }
+            }
+        }
+    }
+}
+
+impl Response {
+    /// Builds a response from per-block value matrices (used by the
+    /// other simulators in this crate that share the layout).
+    pub(crate) fn assemble(
+        netlist: &Netlist,
+        pattern_count: usize,
+        values: Vec<Vec<u64>>,
+    ) -> Response {
+        Response {
+            pattern_count,
+            gate_count: netlist.gate_count(),
+            outputs: netlist
+                .primary_outputs()
+                .iter()
+                .map(|&(g, _)| g)
+                .collect(),
+            storage: netlist.storage_elements(),
+            values,
+        }
+    }
+
+    /// Number of patterns simulated.
+    #[must_use]
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Packed values of one gate in one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    #[must_use]
+    pub fn word(&self, gate: GateId, block: usize) -> u64 {
+        self.values[block][gate.index()]
+    }
+
+    /// The value of `gate` under pattern `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn gate_bit(&self, gate: GateId, pattern: usize) -> bool {
+        assert!(pattern < self.pattern_count, "pattern out of range");
+        self.values[pattern / 64][gate.index()] >> (pattern % 64) & 1 == 1
+    }
+
+    /// The value of primary output `output` (by position) under `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn output_bit(&self, output: usize, pattern: usize) -> bool {
+        self.gate_bit(self.outputs[output], pattern)
+    }
+
+    /// Extracts the primary output row for one pattern.
+    #[must_use]
+    pub fn output_row(&self, pattern: usize) -> Vec<bool> {
+        (0..self.outputs.len())
+            .map(|o| self.output_bit(o, pattern))
+            .collect()
+    }
+
+    /// Packed next-state word for storage element `i` in `block` — the
+    /// value captured from the element's data input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn next_state_word(&self, netlist: &Netlist, i: usize, block: usize) -> u64 {
+        let dff = self.storage[i];
+        let d = netlist.gate(dff).inputs()[0];
+        self.values[block][d.index()]
+    }
+
+    /// Number of gates in the simulated netlist.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gate_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::circuits::{c17, full_adder, parity_tree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_adder_truth_table() {
+        let fa = full_adder();
+        let sim = ParallelSim::new(&fa).unwrap();
+        let mut rows = Vec::new();
+        for bits in 0..8u8 {
+            rows.push(vec![bits & 1 == 1, bits & 2 == 2, bits & 4 == 4]);
+        }
+        let p = PatternSet::from_rows(3, &rows);
+        let r = sim.run(&p);
+        for bits in 0..8usize {
+            let ones = (bits & 1) + (bits >> 1 & 1) + (bits >> 2 & 1);
+            assert_eq!(r.output_bit(0, bits), ones % 2 == 1, "sum {bits}");
+            assert_eq!(r.output_bit(1, bits), ones >= 2, "cout {bits}");
+        }
+    }
+
+    #[test]
+    fn parity_tree_matches_popcount() {
+        let n = parity_tree(8);
+        let sim = ParallelSim::new(&n).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = PatternSet::random(8, 200, &mut rng);
+        let r = sim.run(&p);
+        for i in 0..p.len() {
+            let ones = p.get(i).iter().filter(|&&b| b).count();
+            assert_eq!(r.output_bit(0, i), ones % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn c17_all_32_patterns() {
+        let n = c17();
+        let sim = ParallelSim::new(&n).unwrap();
+        let mut rows = Vec::new();
+        for v in 0..32u8 {
+            rows.push((0..5).map(|i| v >> i & 1 == 1).collect());
+        }
+        let p = PatternSet::from_rows(5, &rows);
+        let r = sim.run(&p);
+        // Reference: direct formula. c17 outputs:
+        // g22 = NAND(NAND(x1,x3), NAND(x2, NAND(x3,x6)))
+        // g23 = NAND(NAND(x2, NAND(x3,x6)), NAND(NAND(x3,x6), x7))
+        for v in 0..32usize {
+            let x = |i: usize| v >> i & 1 == 1;
+            let n11 = !(x(2) && x(3));
+            let n10 = !(x(0) && x(2));
+            let n16 = !(x(1) && n11);
+            let n19 = !(n11 && x(4));
+            let g22 = !(n10 && n16);
+            let g23 = !(n16 && n19);
+            assert_eq!(r.output_bit(0, v), g22, "g22 at {v:05b}");
+            assert_eq!(r.output_bit(1, v), g23, "g23 at {v:05b}");
+        }
+    }
+
+    #[test]
+    fn state_words_feed_dff_consumers() {
+        use dft_netlist::{GateKind, Netlist};
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let q = n.add_dff(a).unwrap();
+        let y = n.add_gate(GateKind::Xor, &[a, q]).unwrap();
+        n.mark_output(y, "y").unwrap();
+        let sim = ParallelSim::new(&n).unwrap();
+        let p = PatternSet::from_rows(1, &[vec![true], vec![true]]);
+        // pattern 0 with state 0, pattern 1 with state 1
+        let state = vec![vec![0b10u64]];
+        let r = sim.run_with_state(&p, &state);
+        assert!(r.output_bit(0, 0)); // 1 ^ 0
+        assert!(!r.output_bit(0, 1)); // 1 ^ 1
+        // next state = a = 1 for both lanes
+        assert_eq!(r.next_state_word(&n, 0, 0) & 0b11, 0b11);
+    }
+
+    #[test]
+    fn multi_block_runs() {
+        let n = parity_tree(4);
+        let sim = ParallelSim::new(&n).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = PatternSet::random(4, 130, &mut rng); // 3 blocks
+        let r = sim.run(&p);
+        assert_eq!(r.pattern_count(), 130);
+        for i in [0, 63, 64, 127, 128, 129] {
+            let ones = p.get(i).iter().filter(|&&b| b).count();
+            assert_eq!(r.output_bit(0, i), ones % 2 == 1, "pattern {i}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Cycle-accurate sequential simulation.
+
+use dft_netlist::{LevelizeError, Netlist};
+
+use crate::{Logic, ThreeValueSim};
+
+/// A clocked simulator holding the machine's state across cycles.
+///
+/// Each [`SequentialSim::step`] evaluates the combinational frame with the
+/// current state and the supplied primary inputs, returns the primary
+/// outputs, and then clocks every storage element (state ← data input).
+/// State starts all-X, modelling an unreset power-up — exactly the
+/// predictability problem the paper's CLEAR/PRESET discussion addresses.
+///
+/// ```
+/// use dft_netlist::circuits::shift_register;
+/// use dft_sim::{Logic, SequentialSim};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sr = shift_register(3);
+/// let mut sim = SequentialSim::new(&sr)?;
+/// sim.reset_to(Logic::Zero);
+/// sim.step(&[Logic::One]);
+/// sim.step(&[Logic::Zero]);
+/// // After two shifts of (1, 0), q0=0 q1=1 q2=0.
+/// assert_eq!(sim.state(), &[Logic::Zero, Logic::One, Logic::Zero]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SequentialSim<'n> {
+    sim: ThreeValueSim<'n>,
+    state: Vec<Logic>,
+    cycles: u64,
+}
+
+impl<'n> SequentialSim<'n> {
+    /// Creates a simulator with all storage at X.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    pub fn new(netlist: &'n Netlist) -> Result<Self, LevelizeError> {
+        let sim = ThreeValueSim::new(netlist)?;
+        let state = vec![Logic::X; sim.storage().len()];
+        Ok(SequentialSim {
+            sim,
+            state,
+            cycles: 0,
+        })
+    }
+
+    /// Forces every storage element to `value` (a global CLEAR/PRESET).
+    pub fn reset_to(&mut self, value: Logic) {
+        for s in &mut self.state {
+            *s = value;
+        }
+    }
+
+    /// Overwrites the state vector (storage order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length disagrees with the storage count.
+    pub fn load_state(&mut self, state: &[Logic]) {
+        assert_eq!(state.len(), self.state.len(), "state width mismatch");
+        self.state.copy_from_slice(state);
+    }
+
+    /// The current state vector (storage order).
+    #[must_use]
+    pub fn state(&self) -> &[Logic] {
+        &self.state
+    }
+
+    /// Number of clock cycles applied so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Applies one clock cycle: evaluate, sample outputs, capture next
+    /// state. Returns the primary-output row observed *before* the clock
+    /// edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pis` has the wrong length.
+    pub fn step(&mut self, pis: &[Logic]) -> Vec<Logic> {
+        let vals = self.sim.eval(pis, &self.state);
+        let outs = self.sim.outputs(&vals);
+        self.state = self.sim.next_state(&vals);
+        self.cycles += 1;
+        outs
+    }
+
+    /// Evaluates the current frame *without* clocking (combinational
+    /// settle only) — how a level-sensitive tester examines outputs
+    /// between clock pulses.
+    #[must_use]
+    pub fn peek(&self, pis: &[Logic]) -> Vec<Logic> {
+        let vals = self.sim.eval(pis, &self.state);
+        self.sim.outputs(&vals)
+    }
+
+    /// Runs a whole input sequence, collecting each cycle's outputs.
+    pub fn run(&mut self, sequence: &[Vec<Logic>]) -> Vec<Vec<Logic>> {
+        sequence.iter().map(|pis| self.step(pis)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::circuits::{binary_counter, johnson_counter, shift_register};
+
+    fn bits(state: &[Logic]) -> Option<u32> {
+        state.iter().enumerate().try_fold(0u32, |acc, (i, &v)| {
+            v.to_bool().map(|b| acc | (u32::from(b) << i))
+        })
+    }
+
+    #[test]
+    fn counter_counts_after_reset() {
+        let n = binary_counter(4);
+        let mut sim = SequentialSim::new(&n).unwrap();
+        sim.reset_to(Logic::Zero);
+        for expect in 1..=20u32 {
+            sim.step(&[Logic::One]);
+            assert_eq!(bits(sim.state()), Some(expect % 16));
+        }
+    }
+
+    #[test]
+    fn counter_holds_when_disabled() {
+        let n = binary_counter(3);
+        let mut sim = SequentialSim::new(&n).unwrap();
+        sim.reset_to(Logic::Zero);
+        sim.step(&[Logic::One]);
+        let before = bits(sim.state());
+        sim.step(&[Logic::Zero]);
+        assert_eq!(bits(sim.state()), before);
+    }
+
+    #[test]
+    fn unreset_machine_is_unpredictable() {
+        let n = binary_counter(3);
+        let mut sim = SequentialSim::new(&n).unwrap();
+        let outs = sim.step(&[Logic::One]);
+        assert!(outs.contains(&Logic::X));
+    }
+
+    #[test]
+    fn johnson_counter_cycles_with_period_2n() {
+        let n = johnson_counter(3);
+        let mut sim = SequentialSim::new(&n).unwrap();
+        sim.reset_to(Logic::Zero);
+        let start = sim.state().to_vec();
+        for _ in 0..6 {
+            sim.step(&[Logic::One]);
+        }
+        assert_eq!(sim.state(), &start[..], "period must be 2n = 6");
+        assert_eq!(sim.cycles(), 6);
+    }
+
+    #[test]
+    fn peek_does_not_clock() {
+        let n = shift_register(2);
+        let mut sim = SequentialSim::new(&n).unwrap();
+        sim.reset_to(Logic::Zero);
+        let _ = sim.peek(&[Logic::One]);
+        assert_eq!(sim.state(), &[Logic::Zero, Logic::Zero]);
+        assert_eq!(sim.cycles(), 0);
+    }
+
+    #[test]
+    fn run_collects_output_trace() {
+        let n = shift_register(1);
+        let mut sim = SequentialSim::new(&n).unwrap();
+        sim.reset_to(Logic::Zero);
+        let seq = vec![vec![Logic::One], vec![Logic::Zero], vec![Logic::One]];
+        let trace = sim.run(&seq);
+        // Output is the DFF value *before* each edge: 0, then 1, then 0.
+        assert_eq!(
+            trace,
+            vec![vec![Logic::Zero], vec![Logic::One], vec![Logic::Zero]]
+        );
+    }
+}

@@ -1,0 +1,434 @@
+//! SCOAP-style controllability/observability computation.
+
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
+
+/// Sentinel for "cannot be controlled/observed at all" (for example the
+/// 1-controllability of a constant 0). Saturating arithmetic keeps sums
+/// below it.
+pub const INFINITE: u32 = u32::MAX / 4;
+
+fn sat(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(INFINITE)
+}
+
+/// A testability measure triple for one net.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Measure {
+    /// Cost of driving the net to 0 (SCOAP CC0).
+    pub cc0: u32,
+    /// Cost of driving the net to 1 (SCOAP CC1).
+    pub cc1: u32,
+    /// Cost of observing the net at a primary output (SCOAP CO).
+    pub co: u32,
+}
+
+impl Measure {
+    /// Cost of controlling the net to `value`.
+    #[must_use]
+    pub fn control(&self, value: bool) -> u32 {
+        if value {
+            self.cc1
+        } else {
+            self.cc0
+        }
+    }
+
+    /// Combined difficulty of *testing* at this net: the cheaper
+    /// controllability plus the observability (a stuck-at fault needs the
+    /// complement value driven and the effect observed).
+    #[must_use]
+    pub fn difficulty(&self) -> u32 {
+        sat(self.cc0.min(self.cc1), self.co)
+    }
+}
+
+/// The full testability report for a netlist.
+///
+/// Nets are identified by their driving gate. Storage elements add one
+/// unit of cost per crossing (a simplified sequential SCOAP: each clock
+/// cycle needed to steer or observe state costs like a gate level), and
+/// the relaxation iterates to a fixpoint so feedback loops are priced
+/// correctly.
+#[derive(Clone, Debug)]
+pub struct TestabilityReport {
+    measures: Vec<Measure>,
+    iterations: u32,
+}
+
+impl TestabilityReport {
+    /// The measure triple of a net.
+    #[must_use]
+    pub fn measure(&self, net: GateId) -> Measure {
+        self.measures[net.index()]
+    }
+
+    /// CC0 of a net.
+    #[must_use]
+    pub fn cc0(&self, net: GateId) -> u32 {
+        self.measures[net.index()].cc0
+    }
+
+    /// CC1 of a net.
+    #[must_use]
+    pub fn cc1(&self, net: GateId) -> u32 {
+        self.measures[net.index()].cc1
+    }
+
+    /// Observability of a net.
+    #[must_use]
+    pub fn observability(&self, net: GateId) -> u32 {
+        self.measures[net.index()].co
+    }
+
+    /// Relaxation iterations used to reach the fixpoint.
+    #[must_use]
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    fn ranked_by<F: Fn(&Measure) -> u32>(&self, key: F) -> Vec<GateId> {
+        let mut ids: Vec<GateId> = (0..self.measures.len()).map(GateId::from_index).collect();
+        ids.sort_by_key(|id| std::cmp::Reverse(key(&self.measures[id.index()])));
+        ids
+    }
+
+    /// The `k` hardest-to-control nets (by the cheaper of CC0/CC1),
+    /// hardest first.
+    #[must_use]
+    pub fn hardest_to_control(&self, k: usize) -> Vec<GateId> {
+        let mut v = self.ranked_by(|m| m.cc0.min(m.cc1));
+        v.truncate(k);
+        v
+    }
+
+    /// The `k` hardest-to-observe nets, hardest first.
+    #[must_use]
+    pub fn hardest_to_observe(&self, k: usize) -> Vec<GateId> {
+        let mut v = self.ranked_by(|m| m.co);
+        v.truncate(k);
+        v
+    }
+
+    /// The `k` hardest-to-test nets by [`Measure::difficulty`],
+    /// hardest first — the candidates the test-point inserter targets.
+    #[must_use]
+    pub fn hardest_to_test(&self, k: usize) -> Vec<GateId> {
+        let mut v = self.ranked_by(Measure::difficulty);
+        v.truncate(k);
+        v
+    }
+
+    /// Sum of every net's difficulty — a single scalar to compare a
+    /// design before and after a DFT transform (experiment E15).
+    #[must_use]
+    pub fn total_difficulty(&self) -> u64 {
+        self.measures.iter().map(|m| u64::from(m.difficulty())).sum()
+    }
+}
+
+/// Computes SCOAP-style measures for `netlist`.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] if the combinational frame has a cycle.
+pub fn analyze(netlist: &Netlist) -> Result<TestabilityReport, LevelizeError> {
+    let lv = netlist.levelize()?;
+    let n = netlist.gate_count();
+    let mut cc0 = vec![INFINITE; n];
+    let mut cc1 = vec![INFINITE; n];
+
+    // --- Controllability: relax to fixpoint (storage feedback). ---------
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for &id in lv.order() {
+            let g = netlist.gate(id);
+            let i = id.index();
+            let (n0, n1) = match g.kind() {
+                GateKind::Input => (1, 1),
+                GateKind::Const0 => (0, INFINITE),
+                GateKind::Const1 => (INFINITE, 0),
+                GateKind::Buf => {
+                    let s = g.inputs()[0].index();
+                    (sat(cc0[s], 1), sat(cc1[s], 1))
+                }
+                GateKind::Not => {
+                    let s = g.inputs()[0].index();
+                    (sat(cc1[s], 1), sat(cc0[s], 1))
+                }
+                GateKind::Dff => {
+                    // One clock of "distance" on top of steering the input.
+                    let s = g.inputs()[0].index();
+                    (sat(cc0[s], 1), sat(cc1[s], 1))
+                }
+                GateKind::And | GateKind::Nand => {
+                    let all1 = g
+                        .inputs()
+                        .iter()
+                        .fold(0u32, |a, &s| sat(a, cc1[s.index()]));
+                    let any0 = g
+                        .inputs()
+                        .iter()
+                        .map(|&s| cc0[s.index()])
+                        .min()
+                        .unwrap_or(INFINITE);
+                    let (z0, z1) = (sat(any0, 1), sat(all1, 1));
+                    if g.kind() == GateKind::And {
+                        (z0, z1)
+                    } else {
+                        (z1, z0)
+                    }
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let all0 = g
+                        .inputs()
+                        .iter()
+                        .fold(0u32, |a, &s| sat(a, cc0[s.index()]));
+                    let any1 = g
+                        .inputs()
+                        .iter()
+                        .map(|&s| cc1[s.index()])
+                        .min()
+                        .unwrap_or(INFINITE);
+                    let (z1, z0) = (sat(any1, 1), sat(all0, 1));
+                    if g.kind() == GateKind::Or {
+                        (z0, z1)
+                    } else {
+                        (z1, z0)
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // DP over parity: cheapest way to reach even/odd parity.
+                    let (mut even, mut odd) = (0u32, INFINITE);
+                    for &s in g.inputs() {
+                        let (e, o) = (even, odd);
+                        even = sat(e, cc0[s.index()]).min(sat(o, cc1[s.index()]));
+                        odd = sat(e, cc1[s.index()]).min(sat(o, cc0[s.index()]));
+                    }
+                    let (z0, z1) = (sat(even, 1), sat(odd, 1));
+                    if g.kind() == GateKind::Xor {
+                        (z0, z1)
+                    } else {
+                        (z1, z0)
+                    }
+                }
+            };
+            if n0 != cc0[i] || n1 != cc1[i] {
+                cc0[i] = n0;
+                cc1[i] = n1;
+                changed = true;
+            }
+        }
+        if !changed || iterations > 64 {
+            break;
+        }
+    }
+
+    // --- Observability: relax backwards. ---------------------------------
+    let mut co = vec![INFINITE; n];
+    for &(g, _) in netlist.primary_outputs() {
+        co[g.index()] = 0;
+    }
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for &id in lv.order().iter().rev() {
+            let g = netlist.gate(id);
+            let out_co = co[id.index()];
+            // Keep PO nets at 0 but still propagate to their drivers below.
+            for (pin, &src) in g.inputs().iter().enumerate() {
+                let pin_cost = match g.kind() {
+                    GateKind::Buf | GateKind::Not => sat(out_co, 1),
+                    GateKind::Dff => sat(out_co, 1),
+                    GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                        // Other inputs must hold non-controlling values.
+                        let noncontrolling = !g
+                            .kind()
+                            .controlling_value()
+                            .expect("AND/OR family");
+                        let side: u32 = g
+                            .inputs()
+                            .iter()
+                            .enumerate()
+                            .filter(|&(q, _)| q != pin)
+                            .fold(0u32, |a, (_, &s)| {
+                                let c = if noncontrolling {
+                                    cc1[s.index()]
+                                } else {
+                                    cc0[s.index()]
+                                };
+                                sat(a, c)
+                            });
+                        sat(sat(out_co, side), 1)
+                    }
+                    GateKind::Xor | GateKind::Xnor => {
+                        // Other inputs just need *known* cheap values.
+                        let side: u32 = g
+                            .inputs()
+                            .iter()
+                            .enumerate()
+                            .filter(|&(q, _)| q != pin)
+                            .fold(0u32, |a, (_, &s)| {
+                                sat(a, cc0[s.index()].min(cc1[s.index()]))
+                            });
+                        sat(sat(out_co, side), 1)
+                    }
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1 => continue,
+                };
+                let si = src.index();
+                if pin_cost < co[si] {
+                    co[si] = pin_cost;
+                    changed = true;
+                }
+            }
+        }
+        if !changed || iterations > 160 {
+            break;
+        }
+    }
+
+    let measures = (0..n)
+        .map(|i| Measure {
+            cc0: cc0[i],
+            cc1: cc1[i],
+            co: co[i],
+        })
+        .collect();
+    Ok(TestabilityReport {
+        measures,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::circuits::{binary_counter, c17, parity_tree, ripple_carry_adder};
+    use dft_netlist::{GateKind, Netlist};
+
+    #[test]
+    fn primary_inputs_are_trivially_controllable() {
+        let n = c17();
+        let r = analyze(&n).unwrap();
+        for &pi in n.primary_inputs() {
+            assert_eq!(r.cc0(pi), 1);
+            assert_eq!(r.cc1(pi), 1);
+        }
+    }
+
+    #[test]
+    fn primary_outputs_are_trivially_observable() {
+        let n = c17();
+        let r = analyze(&n).unwrap();
+        for &(g, _) in n.primary_outputs() {
+            assert_eq!(r.observability(g), 0);
+        }
+    }
+
+    #[test]
+    fn and_gate_costs() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        let r = analyze(&n).unwrap();
+        assert_eq!(r.cc1(g), 3); // both inputs to 1: 1+1, +1
+        assert_eq!(r.cc0(g), 2); // either input to 0: 1, +1
+        // Observing `a` needs b=1 (cost 1) plus a level: 0+1+1 = 2.
+        assert_eq!(r.observability(a), 2);
+    }
+
+    #[test]
+    fn xor_parity_dp() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g = n.add_gate(GateKind::Xor, &[a, b, c]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        let r = analyze(&n).unwrap();
+        // Any parity is reachable at cost 3 (+1).
+        assert_eq!(r.cc0(g), 4);
+        assert_eq!(r.cc1(g), 4);
+    }
+
+    #[test]
+    fn constants_are_uncontrollable_to_the_other_value() {
+        let mut n = Netlist::new("t");
+        let c = n.add_const(false);
+        let a = n.add_input("a");
+        let g = n.add_gate(GateKind::Or, &[a, c]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        let r = analyze(&n).unwrap();
+        assert_eq!(r.cc0(c), 0);
+        assert_eq!(r.cc1(c), INFINITE);
+    }
+
+    #[test]
+    fn deeper_nets_cost_more() {
+        let n = ripple_carry_adder(8);
+        let r = analyze(&n).unwrap();
+        // Observing a late operand bit means sensitizing through the deep
+        // end of the carry structure; the first bit exits at s0 directly.
+        let a0 = n.find_input("a0").unwrap();
+        let a7 = n.find_input("a7").unwrap();
+        assert!(
+            r.observability(a7) > r.observability(a0),
+            "a7 (CO {}) should be harder to observe than a0 (CO {})",
+            r.observability(a7),
+            r.observability(a0)
+        );
+        let worst = r.hardest_to_test(3);
+        let lv = n.levelize().unwrap();
+        assert!(
+            worst.iter().any(|&w| lv.level(w) > 3),
+            "hard nets should be deep"
+        );
+    }
+
+    #[test]
+    fn storage_adds_sequential_cost() {
+        use dft_netlist::circuits::shift_register;
+        let n = shift_register(6);
+        let r = analyze(&n).unwrap();
+        // Each stage adds a cycle of steering cost.
+        let q0 = n.find_output("q0").unwrap();
+        let q5 = n.find_output("q5").unwrap();
+        assert!(r.cc1(q5) > r.cc1(q0));
+        assert_eq!(r.cc1(q0), 2); // sin (1) + one capture
+    }
+
+    #[test]
+    fn unresettable_counter_state_is_uncontrollable() {
+        // A counter with no reset can never be steered from X — SCOAP's
+        // fixpoint agrees with the 3-valued simulator: state stays at
+        // INFINITE cost. This is the paper's predictability argument for
+        // CLEAR/PRESET test points.
+        let n = binary_counter(6);
+        let r = analyze(&n).unwrap();
+        assert!(r.iterations() < 200);
+        let q0 = n.find_output("q0").unwrap();
+        assert_eq!(r.cc1(q0), INFINITE);
+        assert_eq!(r.cc0(q0), INFINITE);
+    }
+
+    #[test]
+    fn parity_tree_is_uniformly_testable() {
+        let n = parity_tree(8);
+        let r = analyze(&n).unwrap();
+        let pis = n.primary_inputs();
+        let cos: Vec<u32> = pis.iter().map(|&p| r.observability(p)).collect();
+        let min = cos.iter().min().unwrap();
+        let max = cos.iter().max().unwrap();
+        assert!(max - min <= 2, "balanced tree: near-uniform observability");
+    }
+
+    #[test]
+    fn total_difficulty_is_finite_for_testable_logic() {
+        let n = c17();
+        let r = analyze(&n).unwrap();
+        assert!(r.total_difficulty() < u64::from(INFINITE));
+    }
+}

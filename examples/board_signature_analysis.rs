@@ -1,0 +1,84 @@
+//! Field service with a Signature Analysis probe (paper §III-D,
+//! Figs. 7–8): golden signatures, kernel-first probing, loop breaking.
+//!
+//! ```text
+//! cargo run --release --example board_signature_analysis
+//! ```
+
+use design_for_testability::adhoc::{break_loop, SignatureSession};
+use design_for_testability::fault::{universe, Fault};
+use design_for_testability::netlist::{GateKind, Netlist};
+
+/// A self-stimulating board: free-running counter kernel + decode logic
+/// + an accumulator feedback loop.
+fn microcomputer_board() -> Netlist {
+    let mut n = Netlist::new("field_unit_7");
+    let one = n.add_const(true);
+    let ph = n.add_const(false);
+    let q: Vec<_> = (0..4).map(|_| n.add_dff(ph).expect("valid")).collect();
+    let mut carry = one;
+    for &qi in &q {
+        let d = n.add_gate(GateKind::Xor, &[qi, carry]).expect("valid");
+        n.reconnect_input(qi, 0, d).expect("valid");
+        carry = n.add_gate(GateKind::And, &[carry, qi]).expect("valid");
+    }
+    let dec0 = n.add_gate(GateKind::Nand, &[q[0], q[2]]).expect("valid");
+    let dec1 = n.add_gate(GateKind::Nor, &[q[1], q[3]]).expect("valid");
+    let strobe = n.add_gate(GateKind::Xor, &[dec0, dec1]).expect("valid");
+    n.mark_output(strobe, "strobe").expect("fresh");
+    let accp = n.add_const(false);
+    let acc = n.add_dff(accp).expect("valid");
+    let nacc = n.add_gate(GateKind::Xor, &[acc, strobe]).expect("valid");
+    n.reconnect_input(acc, 0, nacc).expect("valid");
+    n.mark_output(acc, "acc").expect("fresh");
+    n
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = microcomputer_board();
+    let session = SignatureSession::new(&board, 200);
+
+    // Record the service manual's golden signatures.
+    let golden = session.golden_signatures()?;
+    println!("golden signatures (16-bit register, 200 clocks):");
+    for (g, name) in board.primary_outputs() {
+        println!("  {name}: {:04X}", golden[g.index()]);
+    }
+
+    // A unit comes back from the field with a stuck NAND.
+    let strobe = board.find_output("strobe").expect("named output");
+    let nand = board.gate(strobe).inputs()[0];
+    let field_fault = Fault::stuck_at_0(dft_netlist::PortRef::output(nand));
+    let diag = session.diagnose(field_fault)?;
+    println!(
+        "\nfield unit, fault {field_fault}: {} nets disagree with the manual",
+        diag.bad_nets.len()
+    );
+    println!("  suspects after kernel-first probing: {:?}", diag.suspects);
+    assert_eq!(diag.suspects, vec![nand]);
+
+    // A second unit fails inside the accumulator loop.
+    let acc = board.find_output("acc").expect("named output");
+    let nacc = board.gate(acc).inputs()[0];
+    let loop_fault = Fault::stuck_at_1(dft_netlist::PortRef::input(nacc, 0));
+    let diag = session.diagnose(loop_fault)?;
+    println!(
+        "\nsecond unit, fault {loop_fault}: loop ambiguity = {}",
+        diag.loop_ambiguity
+    );
+
+    // Apply the paper's rule: break the loop with a jumper, re-probe.
+    let jumpered = break_loop(&board, acc)?;
+    let session2 = SignatureSession::new(&jumpered, 200);
+    let diag2 = session2.diagnose(loop_fault)?;
+    println!(
+        "after jumpering the feedback: suspects {:?} (ambiguity resolved: {})",
+        diag2.suspects,
+        !diag2.loop_ambiguity
+    );
+
+    // Total faults this probe strategy could distinguish.
+    let all = universe(&board);
+    println!("\n(universe: {} candidate stuck-at faults on this board)", all.len());
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Sequential test generation the hard way — time-frame expansion — and
+//! why scan makes it unnecessary (paper §I-B's Eq. (1) footnote vs §IV).
+//!
+//! ```text
+//! cargo run --release --example sequential_atpg
+//! ```
+
+use design_for_testability::atpg::{
+    sequential_podem, AtpgConfig, GenOutcome, PodemConfig, Unrolled,
+};
+use design_for_testability::core::full_scan_flow;
+use design_for_testability::fault::{universe, Fault};
+use design_for_testability::netlist::circuits::shift_register;
+use design_for_testability::netlist::PortRef;
+use design_for_testability::scan::{ScanConfig, ScanStyle};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = shift_register(4);
+    println!("machine: {machine}");
+
+    // A fault on the serial input's stem: its effect must march through
+    // the whole register before any output sees it.
+    let sin = machine.primary_inputs()[0];
+    let fault = Fault::stuck_at_0(PortRef::output(sin));
+    let cfg = PodemConfig::default();
+
+    println!("\nbounded sequential ATPG for {fault}:");
+    for frames in 1..=6 {
+        let unrolled = Unrolled::build(&machine, frames)?;
+        let (outcome, seq) = sequential_podem(&machine, fault, frames, &cfg)?;
+        let verdict = match (&outcome, &seq) {
+            (GenOutcome::Test(_), Some(seq)) => {
+                format!("TEST found ({} cycles)", seq.len())
+            }
+            (GenOutcome::Untestable, _) => "no test within this window".to_owned(),
+            _ => "aborted".to_owned(),
+        };
+        println!(
+            "  {frames} frame(s): unrolled to {:3} gates — {verdict}",
+            unrolled.netlist().gate_count()
+        );
+    }
+
+    // Whole-universe coverage vs window depth.
+    let faults = universe(&machine);
+    println!("\ncoverage of all {} faults vs window:", faults.len());
+    for frames in [1usize, 2, 4, 6] {
+        let found = faults
+            .iter()
+            .filter(|&&f| {
+                matches!(
+                    sequential_podem(&machine, f, frames, &cfg)
+                        .expect("levelizes")
+                        .0,
+                    GenOutcome::Test(_)
+                )
+            })
+            .count();
+        println!(
+            "  {frames} frame(s): {:5.1} %",
+            found as f64 / faults.len() as f64 * 100.0
+        );
+    }
+
+    // The §IV answer: with scan, one frame is always enough.
+    let scan = full_scan_flow(
+        &machine,
+        &ScanConfig::new(ScanStyle::Lssd),
+        &AtpgConfig::default(),
+    )?;
+    println!(
+        "\nwith LSSD scan: {:.1} % coverage from purely combinational ATPG \
+         ({} patterns, {} shift cycles)",
+        scan.view_coverage * 100.0,
+        scan.pattern_count,
+        scan.test_cycles
+    );
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the `tessera` Design-for-Testability toolkit.
+//!
+//! Re-exports every sub-crate under one roof so the examples and
+//! integration tests in this repository can write `use design_for_testability::…`.
+//! Library users will normally depend on the individual crates
+//! ([`dft_core`], [`dft_netlist`], …) directly.
+
+pub use dft_adhoc as adhoc;
+pub use dft_atpg as atpg;
+pub use dft_bist as bist;
+pub use dft_core as core;
+pub use dft_fault as fault;
+pub use dft_lfsr as lfsr;
+pub use dft_netlist as netlist;
+pub use dft_scan as scan;
+pub use dft_sim as sim;
+pub use dft_testability as testability;

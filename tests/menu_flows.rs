@@ -1,0 +1,68 @@
+//! The survey's return-on-investment ordering, as an invariant: more
+//! DFT hardware must never buy *less* coverage on the same machine.
+
+use design_for_testability::atpg::AtpgConfig;
+use design_for_testability::core::{adhoc_flow, compare_scan_payoff};
+use design_for_testability::netlist::circuits::{binary_counter, random_sequential};
+use design_for_testability::scan::{ScanConfig, ScanStyle};
+
+#[test]
+fn menu_tiers_are_ordered_raw_adhoc_scan() {
+    for (name, n) in [
+        ("counter6", binary_counter(6)),
+        ("fsm", random_sequential(5, 8, 15, 3, 77)),
+    ] {
+        let payoff = compare_scan_payoff(
+            &n,
+            128,
+            9,
+            &ScanConfig::new(ScanStyle::Lssd),
+            &AtpgConfig::default(),
+        )
+        .expect("flow runs");
+        let adhoc = adhoc_flow(&n, 2, 128, 9).expect("flow runs");
+
+        assert!(
+            adhoc.after_coverage >= adhoc.before_coverage - 1e-9,
+            "{name}: ad-hoc must not lose coverage"
+        );
+        assert!(
+            payoff.scan.view_coverage >= adhoc.after_coverage - 0.05,
+            "{name}: scan ({:.2}) must not fall below ad-hoc ({:.2})",
+            payoff.scan.view_coverage,
+            adhoc.after_coverage
+        );
+        assert!(
+            payoff.scan.view_coverage > 0.95,
+            "{name}: full scan must approach completeness"
+        );
+    }
+}
+
+#[test]
+fn multiple_chains_trade_pins_for_cycles() {
+    let n = binary_counter(12);
+    let one = compare_scan_payoff(
+        &n,
+        16,
+        1,
+        &ScanConfig::new(ScanStyle::Lssd),
+        &AtpgConfig::default(),
+    )
+    .expect("flow runs");
+    let quad = compare_scan_payoff(
+        &n,
+        16,
+        1,
+        &ScanConfig::new(ScanStyle::Lssd).with_chains(4),
+        &AtpgConfig::default(),
+    )
+    .expect("flow runs");
+    assert_eq!(one.scan.view_coverage, quad.scan.view_coverage);
+    assert!(
+        quad.scan.test_cycles < one.scan.test_cycles,
+        "4 chains must cut shift time ({} vs {})",
+        quad.scan.test_cycles,
+        one.scan.test_cycles
+    );
+}
