@@ -10,8 +10,8 @@
 
 use std::collections::HashSet;
 
-use dft_netlist::{GateId, LevelizeError, Netlist};
 use dft_fault::{Fault, FaultyView};
+use dft_netlist::{GateId, LevelizeError, Netlist};
 use dft_sim::PatternSet;
 
 /// The outcome of in-circuit-testing one group ("chip") of gates.
@@ -83,7 +83,9 @@ pub fn in_circuit_test(
             .iter()
             .copied()
             .filter(|&g| {
-                fanout[g.index()].iter().any(|&(r, _)| !members.contains(&r))
+                fanout[g.index()]
+                    .iter()
+                    .any(|&(r, _)| !members.contains(&r))
                     || board.primary_outputs().iter().any(|&(o, _)| o == g)
                     || fanout[g.index()].is_empty()
             })
@@ -164,7 +166,11 @@ pub fn edge_connector_candidates(
     let mut failing: HashSet<GateId> = HashSet::new();
     for b in 0..patterns.block_count() {
         let lanes = patterns.lanes_in_block(b);
-        let mask = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        let mask = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
         let good = view.eval_block(patterns.block(b), &state, None);
         let bad = view.eval_block(patterns.block(b), &state, Some(fault));
         for &o in &outs {

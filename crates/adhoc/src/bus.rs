@@ -5,8 +5,8 @@
 //! used to drive the fourth module, as if it were a primary input … to
 //! that particular module."
 
-use dft_netlist::{LevelizeError, Netlist};
 use dft_fault::{simulate, universe, DetectionResult};
+use dft_netlist::{LevelizeError, Netlist};
 use dft_sim::PatternSet;
 
 /// One module on the bus: a netlist whose primary inputs are fed from
@@ -112,8 +112,7 @@ impl BusBoard {
             .modules
             .iter()
             .filter(|m| {
-                m.netlist.primary_outputs().len() > line
-                    || m.netlist.primary_inputs().len() > line
+                m.netlist.primary_outputs().len() > line || m.netlist.primary_inputs().len() > line
             })
             .map(|m| m.name.clone())
             .collect();

@@ -66,7 +66,9 @@ pub fn insert_degating(netlist: &Netlist, nets: &[GateId]) -> Result<Degated, Le
         assert!(net.index() < before, "degated net out of range");
         let ctl = out.add_input(format!("control{k}"));
         controls.push(ctl);
-        let blocked = out.add_gate(GateKind::And, &[net, degate_n]).expect("valid");
+        let blocked = out
+            .add_gate(GateKind::And, &[net, degate_n])
+            .expect("valid");
         let merged = out.add_gate(GateKind::Or, &[blocked, ctl]).expect("valid");
         for &(reader, pin) in &fanout[net.index()] {
             out.reconnect_input(reader, pin as usize, merged)
@@ -159,12 +161,7 @@ mod tests {
             Fault::stuck_at_1(dft_netlist::PortRef::input(m2, 1))
         };
         // x s-a-1 at module 2's pin: needs q = 1 to propagate.
-        let seq = dft_fault::sequential(
-            &n,
-            &vec![vec![Logic::Zero]; 6],
-            &[m2_pin_fault],
-        )
-        .unwrap();
+        let seq = dft_fault::sequential(&n, &vec![vec![Logic::Zero]; 6], &[m2_pin_fault]).unwrap();
         assert_eq!(seq.detected_count(), 0, "uncontrollable without DFT");
 
         let d = insert_degating(&n, &[q]).unwrap();

@@ -29,10 +29,7 @@ pub enum ResetKind {
 /// # Errors
 ///
 /// Returns [`LevelizeError`] on combinational cycles.
-pub fn add_reset(
-    netlist: &Netlist,
-    kind: ResetKind,
-) -> Result<(Netlist, GateId), LevelizeError> {
+pub fn add_reset(netlist: &Netlist, kind: ResetKind) -> Result<(Netlist, GateId), LevelizeError> {
     netlist.levelize()?;
     let mut out = netlist.clone();
     out.set_name(format!("{}_rst", netlist.name()));
@@ -147,10 +144,7 @@ mod tests {
     fn cost_is_one_gate_per_latch_plus_inverter() {
         let n = binary_counter(5);
         let (with_rst, _) = add_reset(&n, ResetKind::Clear).unwrap();
-        assert_eq!(
-            with_rst.logic_gate_count(),
-            n.logic_gate_count() + 5 + 1
-        );
+        assert_eq!(with_rst.logic_gate_count(), n.logic_gate_count() + 5 + 1);
         let (with_pre, _) = add_reset(&n, ResetKind::Preset).unwrap();
         assert_eq!(with_pre.logic_gate_count(), n.logic_gate_count() + 5);
     }

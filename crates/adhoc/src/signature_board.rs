@@ -9,9 +9,9 @@
 
 use std::collections::HashSet;
 
-use dft_netlist::{GateId, LevelizeError, Netlist};
 use dft_fault::{Fault, FaultyView};
 use dft_lfsr::{Polynomial, SignatureRegister};
+use dft_netlist::{GateId, LevelizeError, Netlist};
 
 /// A probing session over a self-stimulating board.
 ///
@@ -197,7 +197,11 @@ mod tests {
         let fault = Fault::stuck_at_0(PortRef::output(xor_a));
         let diag = s.diagnose(fault).unwrap();
         assert!(!diag.loop_ambiguity);
-        assert_eq!(diag.suspects, vec![xor_a], "kernel-first probing pinpoints it");
+        assert_eq!(
+            diag.suspects,
+            vec![xor_a],
+            "kernel-first probing pinpoints it"
+        );
         assert!(diag.bad_nets.contains(&pa));
     }
 

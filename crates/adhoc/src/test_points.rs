@@ -281,8 +281,8 @@ mod tests {
         // Deep PLA-ish circuit with buried logic: control+observe points
         // must not reduce coverage and usually raise the detected count
         // under a fixed small random budget.
-        let pla = dft_netlist::circuits::random_pattern_resistant_pla(16, 8, 12, 2, 3)
-            .synthesize("hard");
+        let pla =
+            dft_netlist::circuits::random_pattern_resistant_pla(16, 8, 12, 2, 3).synthesize("hard");
         let faults = universe(&pla);
         let cfg = AtpgConfig {
             random_budget: 128,

@@ -6,8 +6,8 @@
 //! it). Compaction fights back: merge compatible cubes statically, then
 //! drop patterns that detect nothing new in a reverse-order pass.
 
-use dft_netlist::{LevelizeError, Netlist};
 use dft_fault::{simulate, Fault};
+use dft_netlist::{LevelizeError, Netlist};
 use dft_sim::PatternSet;
 
 use crate::podem::TestCube;
@@ -162,7 +162,11 @@ mod tests {
         rows.extend(rows.clone());
         let set = PatternSet::from_rows(5, &rows);
         let dropped = reverse_order_drop(&n, &set, &faults).unwrap();
-        assert!(dropped.len() <= 10, "64 patterns → few: got {}", dropped.len());
+        assert!(
+            dropped.len() <= 10,
+            "64 patterns → few: got {}",
+            dropped.len()
+        );
         let r = simulate(&n, &dropped, &faults).unwrap();
         assert_eq!(r.coverage(), 1.0);
     }

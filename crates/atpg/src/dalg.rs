@@ -13,8 +13,8 @@
 //! forward (with the fault injected). Every test it returns is verified
 //! by forward simulation before being reported.
 
-use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin, PortRef};
 use dft_fault::Fault;
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin, PortRef};
 use dft_sim::Logic;
 
 use crate::podem::{GenOutcome, PodemConfig, SolveStats, TestCube};
@@ -142,8 +142,7 @@ impl DalgSolver<'_> {
                     }
                     continue;
                 }
-                let ins: Vec<Logic> =
-                    gate.inputs().iter().map(|&s| good[s.index()]).collect();
+                let ins: Vec<Logic> = gate.inputs().iter().map(|&s| good[s.index()]).collect();
                 let computed = Logic::eval_gate(gate.kind(), &ins);
                 let cur = good[id.index()];
                 match (computed.to_bool(), cur.to_bool()) {
@@ -235,7 +234,9 @@ impl DalgSolver<'_> {
         // Justify pending line values first (consistency).
         if let Some(&g) = unjust.first() {
             let gate = self.netlist.gate(g);
-            let out = good[g.index()].to_bool().expect("unjustified lines are known");
+            let out = good[g.index()]
+                .to_bool()
+                .expect("unjustified lines are known");
             for choice in justification_choices(gate.kind(), gate.fanin(), out) {
                 let mut trial = good.to_vec();
                 let mut ok = true;
@@ -288,12 +289,28 @@ impl DalgSolver<'_> {
             .map(|(id, _)| id)
             .collect();
         if frontier.is_empty() {
+            // No solid D anywhere — but with X values in the faulty
+            // machine the effect may merely be *latent* (reconvergent
+            // fault cones keep side values unknown until more inputs are
+            // assigned). Only a fully known, difference-free state
+            // refutes this assignment outright.
+            let latent = self.netlist.ids().any(|id| {
+                let i = id.index();
+                match (good[i].to_bool(), faulty[i].to_bool()) {
+                    (Some(a), Some(b)) => a != b,
+                    _ => true,
+                }
+            });
+            if latent {
+                return self.branch_on_free_pi(good);
+            }
             return None;
         }
         for g in frontier {
             let gate = self.netlist.gate(g);
             let mut base = good.to_vec();
             let mut ok = true;
+            let mut assigned_any = false;
             // X side pins of an XOR-family gate: either polarity lets the
             // effect through (it merely inverts it), but downstream
             // consistency may require a specific one — branch over them.
@@ -322,18 +339,27 @@ impl DalgSolver<'_> {
                             break;
                         }
                         Some(_) => {}
-                        None => base[s.index()] = Logic::from(!c),
+                        None => {
+                            base[s.index()] = Logic::from(!c);
+                            assigned_any = true;
+                        }
                     },
                     None => {
-                        if base[s.index()].to_bool().is_none()
-                            && !xor_free.contains(&s)
-                        {
+                        if base[s.index()].to_bool().is_none() && !xor_free.contains(&s) {
                             xor_free.push(s);
                         }
                     }
                 }
             }
             if !ok {
+                continue;
+            }
+            // A decision that assigns nothing recurses on an identical
+            // state (the faulty side of this gate is X through a side
+            // path): it can never make progress and previously descended
+            // until the stack overflowed. Skip it — other frontier gates
+            // or choices may still propagate the effect.
+            if !assigned_any && xor_free.is_empty() {
                 continue;
             }
             // Enumerate the XOR side-pin polarities (capped: beyond 6
@@ -353,6 +379,38 @@ impl DalgSolver<'_> {
                 }
                 self.stats.backtracks += 1;
             }
+        }
+        // Internal-line decisions are exhausted without success. That
+        // refutes this prefix only when the faulty machine is fully
+        // known: with X values on reconvergent side paths, the frontier
+        // (and the controlling-value blocks above) under-approximates
+        // what further input assignments could enable — a gate whose
+        // good-side pin is controlling can still pass the effect as a
+        // good-known / faulty-different pair once its faulty X side
+        // resolves. Fall back to branching a free primary input; with
+        // none left the refutation is exact.
+        self.branch_on_free_pi(good)
+    }
+
+    /// Last-resort decision: assign a free primary input both ways. The
+    /// internal-line decision space is exhausted (or vacuous) but X
+    /// values on faulty-machine side paths can only be resolved from the
+    /// inputs; this keeps the engine as complete as PODEM's input-space
+    /// search. Depth is bounded by the primary-input count.
+    fn branch_on_free_pi(&mut self, good: &[Logic]) -> Option<TestCube> {
+        let free = self
+            .netlist
+            .primary_inputs()
+            .iter()
+            .copied()
+            .find(|&pi| !good[pi.index()].is_known())?;
+        for v in [false, true] {
+            let mut trial = good.to_vec();
+            trial[free.index()] = Logic::from(v);
+            if let Some(t) = self.search(&mut trial) {
+                return Some(t);
+            }
+            self.stats.backtracks += 1;
         }
         None
     }
@@ -541,6 +599,9 @@ mod tests {
         let ch = justification_choices(GateKind::Xor, 2, true);
         assert_eq!(ch.len(), 2);
         // NOT inverts.
-        assert_eq!(justification_choices(GateKind::Not, 1, true), vec![vec![(0, false)]]);
+        assert_eq!(
+            justification_choices(GateKind::Not, 1, true),
+            vec![vec![(0, false)]]
+        );
     }
 }

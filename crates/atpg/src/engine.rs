@@ -1,8 +1,8 @@
 //! The production ATPG flow: random phase, deterministic top-off,
 //! compaction.
 
-use dft_netlist::{LevelizeError, Netlist};
 use dft_fault::{simulate, Fault};
+use dft_netlist::{LevelizeError, Netlist};
 use dft_sim::PatternSet;
 
 use crate::compact::compact;

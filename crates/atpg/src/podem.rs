@@ -2,8 +2,8 @@
 
 use std::collections::HashMap;
 
-use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin};
 use dft_fault::Fault;
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin};
 use dft_sim::Logic;
 use dft_testability::{analyze, TestabilityReport};
 
@@ -186,12 +186,7 @@ impl<'n> Podem<'n> {
             stats.forward_evals += 1;
 
             if self.detected(&vals) {
-                return (
-                    GenOutcome::Test(TestCube {
-                        assignment: assign,
-                    }),
-                    stats,
-                );
+                return (GenOutcome::Test(TestCube { assignment: assign }), stats);
             }
 
             let next = self
@@ -337,8 +332,7 @@ impl<'n> Podem<'n> {
             let co = self.report.observability(g);
             // Pick an X input pin to set to the noncontrolling value.
             let gate = self.netlist.gate(g);
-            let pin = (0..gate.fanin())
-                .find(|&p| self.pin_val(vals, sites, g, p).good == Logic::X);
+            let pin = (0..gate.fanin()).find(|&p| self.pin_val(vals, sites, g, p).good == Logic::X);
             if let Some(pin) = pin {
                 if best.is_none_or(|(c, _, _)| co < c) {
                     best = Some((co, g, pin));
@@ -369,8 +363,7 @@ impl<'n> Podem<'n> {
             if gate.kind().is_source() || !vals[id.index()].has_x() {
                 continue;
             }
-            let has_d = (0..gate.fanin())
-                .any(|p| self.pin_val(vals, sites, id, p).is_d());
+            let has_d = (0..gate.fanin()).any(|p| self.pin_val(vals, sites, id, p).is_d());
             if has_d {
                 out.push(id);
             }
@@ -419,10 +412,7 @@ impl<'n> Podem<'n> {
                     net = gate.inputs()[0];
                 }
                 GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
-                    let c = gate
-                        .kind()
-                        .controlling_value()
-                        .expect("AND/OR family");
+                    let c = gate.kind().controlling_value().expect("AND/OR family");
                     let v_target = v != gate.kind().inverts();
                     let x_inputs: Vec<GateId> = gate
                         .inputs()
@@ -523,7 +513,8 @@ mod tests {
                     let p = PatternSet::from_rows(k, &rows);
                     let r = simulate(netlist, &p, &[f]).unwrap();
                     assert_eq!(
-                        r.first_detected[0], None,
+                        r.first_detected[0],
+                        None,
                         "{f} declared untestable but a test exists on {}",
                         netlist.name()
                     );

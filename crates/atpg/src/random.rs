@@ -5,8 +5,8 @@
 //! that "combinational logic is highly susceptible to random patterns" —
 //! with the PLA exception quantified in experiment E11.
 
-use dft_netlist::{LevelizeError, Netlist};
 use dft_fault::{simulate_with_dropping, DetectionResult, Fault};
+use dft_netlist::{LevelizeError, Netlist};
 use dft_sim::PatternSet;
 use dft_testability::analyze;
 use rand::rngs::StdRng;
@@ -88,8 +88,7 @@ pub fn weighted_random_atpg(
         }
         live = still;
         applied.extend_from(&batch);
-        let covered =
-            (faults.len() - live.len()) as f64 / faults.len().max(1) as f64;
+        let covered = (faults.len() - live.len()) as f64 / faults.len().max(1) as f64;
         if covered >= target_coverage {
             break;
         }
@@ -176,8 +175,7 @@ pub fn exhaustive_atpg(
                 diff |= (vals[g.index()] ^ good[g.index()]) & lane_mask;
             }
             if diff != 0 {
-                first_detected[fi] =
-                    Some(b as usize * 64 + diff.trailing_zeros() as usize);
+                first_detected[fi] = Some(b as usize * 64 + diff.trailing_zeros() as usize);
                 false
             } else {
                 true
@@ -194,8 +192,8 @@ pub fn exhaustive_atpg(
 mod tests {
     use super::*;
     use dft_fault::universe;
-    use dft_netlist::circuits::{c17, majority, random_combinational};
     use dft_netlist::circuits::random_pattern_resistant_pla;
+    use dft_netlist::circuits::{c17, majority, random_combinational};
 
     #[test]
     fn random_covers_easy_logic_quickly() {
@@ -220,8 +218,7 @@ mod tests {
     fn pla_resists_random_patterns() {
         // The paper's §V-A: a 20-input AND term activates with
         // probability 2⁻²⁰ — random patterns all but never test it.
-        let pla = random_pattern_resistant_pla(22, 6, 20, 2, 4)
-            .synthesize("hard_pla");
+        let pla = random_pattern_resistant_pla(22, 6, 20, 2, 4).synthesize("hard_pla");
         let faults = universe(&pla);
         let r = random_atpg(&pla, &faults, 2_000, 1.0, 5).unwrap();
         assert!(
@@ -259,8 +256,7 @@ mod tests {
         n.mark_output(g, "y").unwrap();
         let faults = universe(&n);
         let uniform = random_atpg(&n, &faults, 1_000, 1.0, 7).unwrap();
-        let weighted =
-            weighted_random_atpg(&n, &faults, &[0.9; 12], 1_000, 1.0, 7).unwrap();
+        let weighted = weighted_random_atpg(&n, &faults, &[0.9; 12], 1_000, 1.0, 7).unwrap();
         assert!(weighted.coverage() >= uniform.coverage());
         assert!(weighted.coverage() > 0.9);
     }

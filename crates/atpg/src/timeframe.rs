@@ -12,8 +12,8 @@
 
 use std::collections::HashMap;
 
-use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin, PortRef};
 use dft_fault::Fault;
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin, PortRef};
 use dft_sim::Logic;
 
 use crate::podem::{GenOutcome, Podem, PodemConfig, TestCube};
@@ -132,9 +132,7 @@ impl Unrolled {
             // original-pin semantics never observable in frame 0 (the
             // capture would land in frame `frames`, outside the window).
             let pin = match fault.site.pin {
-                Pin::Input(p)
-                    if self.is_storage_original(fault.site.gate) && p == 0 =>
-                {
+                Pin::Input(p) if self.is_storage_original(fault.site.gate) && p == 0 => {
                     // Translate below via the *next* frame's state net.
                     if f + 1 < self.frames {
                         let next_state = self.map[f + 1][&fault.site.gate];
@@ -161,10 +159,7 @@ impl Unrolled {
         // The map only contains originals; storage is identified through
         // the per-frame aliasing structure: frame 0 maps storage to a
         // fresh Dff gate in the unrolled netlist.
-        matches!(
-            self.netlist.gate(self.map[0][&_gate]).kind(),
-            GateKind::Dff
-        )
+        matches!(self.netlist.gate(self.map[0][&_gate]).kind(), GateKind::Dff)
     }
 
     /// Splits a cube over the unrolled inputs into a per-cycle input
@@ -216,9 +211,7 @@ pub fn sequential_podem(
     }
     let solver = Podem::new(unrolled.netlist(), *config)?;
     let (outcome, _) = solver.solve_any_of(&sites);
-    let seq = outcome
-        .cube()
-        .map(|cube| unrolled.decode_sequence(cube));
+    let seq = outcome.cube().map(|cube| unrolled.decode_sequence(cube));
     Ok((outcome, seq))
 }
 
@@ -326,9 +319,8 @@ mod tests {
         // The sequential-complexity falloff of Eq. (1): the circuit the
         // combinational engine faces grows linearly with the window.
         let n = binary_counter(4);
-        let comb = |u: &Unrolled| {
-            u.netlist().logic_gate_count() - u.netlist().storage_elements().len()
-        };
+        let comb =
+            |u: &Unrolled| u.netlist().logic_gate_count() - u.netlist().storage_elements().len();
         let u1 = Unrolled::build(&n, 1).unwrap();
         let u8 = Unrolled::build(&n, 8).unwrap();
         assert_eq!(comb(&u8), 8 * comb(&u1), "combinational frames replicate");

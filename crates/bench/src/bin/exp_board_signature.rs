@@ -43,7 +43,11 @@ fn main() {
         .iter()
         .map(|&(g, ref name)| vec![name.clone(), format!("{:04X}", golden[g.index()])])
         .collect();
-    print_table("Golden signatures (16-bit SISR, 100 clocks)", &["net", "signature"], &rows);
+    print_table(
+        "Golden signatures (16-bit SISR, 100 clocks)",
+        &["net", "signature"],
+        &rows,
+    );
 
     // Fault outside any loop: localizes.
     let decode = b.find_output("decode").unwrap();

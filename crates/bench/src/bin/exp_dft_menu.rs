@@ -50,7 +50,13 @@ fn main() {
     }
     print_table(
         "The DFT menu: coverage vs hardware price (192 test cycles / full ATPG)",
-        &["design", "technique", "extra gates", "extra pins", "coverage %"],
+        &[
+            "design",
+            "technique",
+            "extra gates",
+            "extra pins",
+            "coverage %",
+        ],
         &rows,
     );
     println!(

@@ -14,8 +14,7 @@ fn thousand_two_input_gates() -> Netlist {
     let mut rng = StdRng::seed_from_u64(1982);
     let mut n = Netlist::new("g1000");
     let mut pool: Vec<_> = (0..24).map(|i| n.add_input(format!("x{i}"))).collect();
-    const KINDS: [GateKind; 4] =
-        [GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor];
+    const KINDS: [GateKind; 4] = [GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor];
     for _ in 0..1000 {
         let lo = pool.len().saturating_sub(64);
         let a = pool[rng.gen_range(lo..pool.len())];
@@ -69,10 +68,7 @@ fn main() {
                 "after equivalence collapsing".into(),
                 col.class_count().to_string(),
             ],
-            vec![
-                "collapse ratio".into(),
-                format!("{:.2}", col.ratio()),
-            ],
+            vec!["collapse ratio".into(), format!("{:.2}", col.ratio())],
             vec![
                 "after dominance reduction (ATPG targets)".into(),
                 dom.len().to_string(),

@@ -26,7 +26,11 @@ fn main() {
             format!("{}{}", u8::from(av), u8::from(bv)),
             good.to_string(),
             bad.to_string(),
-            if good != bad { "TEST".into() } else { "-".into() },
+            if good != bad {
+                "TEST".into()
+            } else {
+                "-".into()
+            },
         ]);
     }
     print_table(

@@ -23,7 +23,10 @@ fn main() {
         measured_rate = patterns / dt;
         println!(
             "measured: 2^{n_in} = {} patterns on 500 gates in {:.3}s ({} patterns/s), K={}",
-            patterns, dt, eng(measured_rate), counts[0]
+            patterns,
+            dt,
+            eng(measured_rate),
+            counts[0]
         );
     }
 

@@ -27,7 +27,13 @@ fn main() {
     }
     print_table(
         "LSSD gate overhead vs L2 reuse",
-        &["design", "latches", "L2 reuse %", "extra gates", "overhead %"],
+        &[
+            "design",
+            "latches",
+            "L2 reuse %",
+            "extra gates",
+            "overhead %",
+        ],
         &rows,
     );
     println!(

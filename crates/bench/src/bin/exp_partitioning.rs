@@ -90,7 +90,10 @@ fn main() {
         &[
             vec!["initial settle".into(), before.to_string()],
             vec!["toggle one control line".into(), delta.to_string()],
-            vec!["toggle every input (reference)".into(), total_after_full_toggle.to_string()],
+            vec![
+                "toggle every input (reference)".into(),
+                total_after_full_toggle.to_string(),
+            ],
         ],
     );
     println!(

@@ -17,7 +17,11 @@ fn main() {
     let styles: [(&str, ScanStyle, bool); 5] = [
         ("LSSD (no L2 reuse)", ScanStyle::Lssd, false),
         ("Scan Path", ScanStyle::ScanPath, false),
-        ("Scan/Set (64b shadow)", ScanStyle::ScanSet { width: 64 }, false),
+        (
+            "Scan/Set (64b shadow)",
+            ScanStyle::ScanSet { width: 64 },
+            false,
+        ),
         ("Random-Access Scan", ScanStyle::RandomAccessScan, false),
         ("RAS, serial addressing", ScanStyle::RandomAccessScan, true),
     ];

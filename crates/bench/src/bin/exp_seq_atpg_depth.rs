@@ -26,9 +26,7 @@ fn main() {
                 .iter()
                 .filter(|&&f| {
                     matches!(
-                        sequential_podem(&n, f, frames, &cfg)
-                            .expect("levelizes")
-                            .0,
+                        sequential_podem(&n, f, frames, &cfg).expect("levelizes").0,
                         GenOutcome::Test(_)
                     )
                 })
@@ -45,7 +43,13 @@ fn main() {
     }
     print_table(
         "Bounded sequential ATPG: coverage and effort vs frame window",
-        &["machine", "frames", "unrolled gates", "coverage %", "time (s)"],
+        &[
+            "machine",
+            "frames",
+            "unrolled gates",
+            "coverage %",
+            "time (s)",
+        ],
         &rows,
     );
     println!(

@@ -15,9 +15,7 @@ fn main() {
         .primary_outputs()
         .iter()
         .zip(&syn)
-        .map(|((_, name), s)| {
-            vec![name.clone(), s.k.to_string(), format!("{:.4}", s.value())]
-        })
+        .map(|((_, name), s)| vec![name.clone(), s.k.to_string(), format!("{:.4}", s.value())])
         .collect();
     print_table(
         "SN74181 output syndromes (n = 14, 2^14 = 16384 patterns)",
@@ -32,12 +30,8 @@ fn main() {
         let testable = syndrome_testable(&n, &faults).expect("combinational");
         let plain = testable.iter().filter(|&&t| t).count();
         // Segmented: split on the first input.
-        let seg = segmented_syndrome_coverage(
-            &n,
-            &faults,
-            &[vec![(0, false)], vec![(0, true)]],
-        )
-        .expect("combinational");
+        let seg = segmented_syndrome_coverage(&n, &faults, &[vec![(0, false)], vec![(0, true)]])
+            .expect("combinational");
         rows.push(vec![
             name.to_owned(),
             faults.len().to_string(),

@@ -30,7 +30,9 @@ fn main() {
         .collect();
     print_table(
         "Table I — Walsh functions for the Fig. 24 function",
-        &["x1x2x3", "W2", "W1,3", "F", "W2·F", "W1,3·F", "Wall", "Wall·F"],
+        &[
+            "x1x2x3", "W2", "W1,3", "F", "W2·F", "W1,3·F", "Wall", "Wall·F",
+        ],
         &rows,
     );
     println!(
@@ -54,11 +56,19 @@ fn main() {
             let det = walsh_detectable(&n, &[f]).expect("combinational")[0];
             rows.push(vec![
                 format!("{f}"),
-                if det { "detected".into() } else { "MISSED".into() },
+                if det {
+                    "detected".into()
+                } else {
+                    "MISSED".into()
+                },
             ]);
         }
     }
-    print_table("Primary-input stuck faults via (C0, C_all)", &["fault", "verdict"], &rows);
+    print_table(
+        "Primary-input stuck faults via (C0, C_all)",
+        &["fault", "verdict"],
+        &rows,
+    );
 
     let faults = universe(&n);
     let det = walsh_detectable(&n, &faults).expect("combinational");

@@ -67,7 +67,11 @@ fn main() {
                 format!("{:.1}", before.coverage() * 100.0),
                 format!("{:.1}", after.coverage() * 100.0),
             ],
-            vec!["extra pins".into(), "0".into(), obs_plan.pin_cost().to_string()],
+            vec![
+                "extra pins".into(),
+                "0".into(),
+                obs_plan.pin_cost().to_string(),
+            ],
         ],
     );
     println!(

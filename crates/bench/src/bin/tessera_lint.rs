@@ -1,0 +1,244 @@
+//! `tessera-lint` — run the DFT design-rule checker over the built-in
+//! circuit library.
+//!
+//! ```text
+//! cargo run --release -p dft-bench --bin tessera-lint -- sn74181 --format json
+//! ```
+//!
+//! Exit code 1 only when some design has an error-severity finding;
+//! warnings and notes report but do not fail the run (exit 2 is a usage
+//! error).
+
+use std::process::ExitCode;
+
+use dft_lint::{lint_with, LintConfig, LintReport, Registry};
+use dft_netlist::{circuits, Netlist};
+use dft_scan::{insert_scan, lint_scan_design, RuleConfig, ScanConfig, ScanStyle};
+
+const USAGE: &str = "\
+tessera-lint: netlist-wide DFT design-rule checker
+
+USAGE:
+    tessera-lint [OPTIONS] [CIRCUIT]...
+
+Circuits default to the full built-in set (see --list-circuits).
+
+OPTIONS:
+    --format <text|json>   output format (default text)
+    --list-rules           print the rule set and exit
+    --list-circuits        print the built-in circuit names and exit
+    --max-depth <N>        deep-logic bound (default 50)
+    --max-fanout <N>       excessive-fanout bound (default 24)
+    --cc-limit <N>         hard-to-control threshold (default 250)
+    --co-limit <N>         hard-to-observe threshold (default 250)
+    --scan <STYLE>         insert scan (lssd|scan-path|scan-set|ras) and
+                           also check the scan groundrules
+    --scan-width <N>       Scan/Set shadow-register width (default 64)
+    -h, --help             print this help
+
+EXIT CODES: 0 clean or warnings only, 1 error-severity findings,
+2 usage error.";
+
+/// A named entry in the built-in circuit menu.
+type CircuitEntry = (&'static str, fn() -> Netlist);
+
+/// The built-in circuit menu (name → constructor).
+fn circuit_menu() -> Vec<CircuitEntry> {
+    vec![
+        ("c17", circuits::c17 as fn() -> Netlist),
+        ("full-adder", circuits::full_adder),
+        ("majority", circuits::majority),
+        ("parity8", || circuits::parity_tree(8)),
+        ("ripple8", || circuits::ripple_carry_adder(8)),
+        ("cla8", || circuits::carry_lookahead_adder(8)),
+        ("comparator8", || circuits::comparator(8)),
+        ("mux3", || circuits::mux_tree(3)),
+        ("decoder4", || circuits::decoder(4)),
+        ("wallace4", || circuits::wallace_multiplier(4)),
+        ("barrel3", || circuits::barrel_shifter(3)),
+        ("shift8", || circuits::shift_register(8)),
+        ("counter8", || circuits::binary_counter(8)),
+        ("johnson8", || circuits::johnson_counter(8)),
+        ("sn74181", || circuits::sn74181().0),
+    ]
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Cli {
+    format: Format,
+    config: LintConfig,
+    scan: Option<ScanStyle>,
+    scan_width: usize,
+    names: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        format: Format::Text,
+        config: LintConfig::default(),
+        scan: None,
+        scan_width: 64,
+        names: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--list-rules" => {
+                for rule in Registry::with_default_rules().rules() {
+                    println!(
+                        "{:<24} {:<8} {:<12} {}",
+                        rule.id(),
+                        rule.severity().to_string(),
+                        rule.category().to_string(),
+                        rule.description()
+                    );
+                }
+                return Ok(None);
+            }
+            "--list-circuits" => {
+                for (name, _) in circuit_menu() {
+                    println!("{name}");
+                }
+                return Ok(None);
+            }
+            "--format" => {
+                cli.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format '{other}'")),
+                };
+            }
+            "--max-depth" => {
+                cli.config.max_depth = parse_num(&value("--max-depth")?, "--max-depth")?;
+            }
+            "--max-fanout" => {
+                cli.config.max_fanout =
+                    parse_num::<usize>(&value("--max-fanout")?, "--max-fanout")?;
+            }
+            "--cc-limit" => {
+                cli.config.controllability_limit = parse_num(&value("--cc-limit")?, "--cc-limit")?;
+            }
+            "--co-limit" => {
+                cli.config.observability_limit = parse_num(&value("--co-limit")?, "--co-limit")?;
+            }
+            "--scan" => {
+                cli.scan = Some(match value("--scan")?.as_str() {
+                    "lssd" => ScanStyle::Lssd,
+                    "scan-path" => ScanStyle::ScanPath,
+                    "scan-set" => ScanStyle::ScanSet { width: 0 }, // width patched below
+                    "ras" => ScanStyle::RandomAccessScan,
+                    other => return Err(format!("unknown scan style '{other}'")),
+                });
+            }
+            "--scan-width" => {
+                cli.scan_width = parse_num::<usize>(&value("--scan-width")?, "--scan-width")?;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
+            name => cli.names.push(name.to_owned()),
+        }
+    }
+    if let Some(ScanStyle::ScanSet { width }) = &mut cli.scan {
+        *width = cli.scan_width;
+    }
+    Ok(Some(cli))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: '{s}' is not a valid number"))
+}
+
+/// Lints one circuit; with `--scan`, the scan groundrule findings are
+/// merged into the same report.
+fn lint_one(build: fn() -> Netlist, cli: &Cli) -> Result<LintReport, String> {
+    let netlist = build();
+    let mut report = lint_with(&netlist, cli.config.clone());
+    if let Some(style) = cli.scan {
+        let design = insert_scan(&netlist, &ScanConfig::new(style))
+            .map_err(|e| format!("{}: scan insertion failed: {e}", netlist.name()))?;
+        let scan_report = lint_scan_design(
+            &design,
+            &RuleConfig {
+                max_depth: cli.config.max_depth,
+            },
+        );
+        for diag in scan_report.diagnostics() {
+            report.push(diag.clone());
+        }
+        report.sort();
+    }
+    Ok(report)
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cli) = parse_args(args)? else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let menu = circuit_menu();
+    let targets: Vec<CircuitEntry> = if cli.names.is_empty() {
+        menu
+    } else {
+        cli.names
+            .iter()
+            .map(|name| {
+                menu.iter()
+                    .find(|(n, _)| n == name)
+                    .copied()
+                    .ok_or_else(|| format!("unknown circuit '{name}' (try --list-circuits)"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let reports = targets
+        .iter()
+        .map(|&(_, build)| lint_one(build, &cli))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    match cli.format {
+        Format::Text => {
+            for report in &reports {
+                print!("{}", report.to_text());
+            }
+        }
+        Format::Json if reports.len() == 1 => print!("{}", reports[0].to_json()),
+        Format::Json => {
+            let bodies: Vec<String> = reports
+                .iter()
+                .map(|r| r.to_json().trim_end().to_owned())
+                .collect();
+            println!("[\n{}\n]", bodies.join(",\n"));
+        }
+    }
+
+    if reports.iter().any(LintReport::has_errors) {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("tessera-lint: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

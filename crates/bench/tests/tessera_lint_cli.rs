@@ -1,0 +1,106 @@
+//! End-to-end tests of the `tessera-lint` binary: output formats and
+//! the severity-driven exit-code contract.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tessera-lint"))
+}
+
+#[test]
+fn sn74181_json_is_machine_readable() {
+    let out = bin()
+        .args(["--format", "json", "sn74181"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "warnings must not fail the run");
+    let s = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        s.trim_start().starts_with('{'),
+        "single circuit → bare object"
+    );
+    assert!(s.contains("\"design\": \"sn74181\""));
+    assert!(s.contains("\"summary\""));
+    assert!(s.contains("\"diagnostics\""));
+    // Our renderer never nests quotes, so brace balance is a fair
+    // well-formedness probe.
+    assert_eq!(s.matches('{').count(), s.matches('}').count());
+    assert_eq!(s.matches('[').count(), s.matches(']').count());
+}
+
+#[test]
+fn multiple_circuits_render_as_a_json_array() {
+    let out = bin()
+        .args(["--format", "json", "c17", "majority"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let s = String::from_utf8(out.stdout).unwrap();
+    assert!(s.trim_start().starts_with('['));
+    assert!(s.contains("\"design\": \"c17\""));
+    assert!(s.contains("\"design\": \"maj3\""));
+}
+
+#[test]
+fn default_run_covers_the_library_without_errors() {
+    // Sequential circuits carry warnings (uninitializable state, latch
+    // races) but nothing at error severity: exit 0.
+    let out = bin().output().expect("binary runs");
+    assert!(out.status.success());
+    let s = String::from_utf8(out.stdout).unwrap();
+    assert!(s.contains("c17: "));
+    assert!(s.contains("sn74181: "));
+}
+
+#[test]
+fn unknown_circuit_is_a_usage_error() {
+    let out = bin().arg("no-such-circuit").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown circuit"));
+}
+
+#[test]
+fn error_severity_findings_drive_exit_code_one() {
+    // A 3-wide Scan/Set shadow over an 8-bit counter leaves 5 latches
+    // unscanned: scan-coverage reports at error severity.
+    let out = bin()
+        .args(["--scan", "scan-set", "--scan-width", "3", "counter8"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let s = String::from_utf8(out.stdout).unwrap();
+    assert!(s.contains("scan-coverage"));
+}
+
+#[test]
+fn list_rules_names_the_documented_set() {
+    let out = bin().arg("--list-rules").output().expect("binary runs");
+    assert!(out.status.success());
+    let s = String::from_utf8(out.stdout).unwrap();
+    for id in [
+        "comb-feedback",
+        "dead-logic",
+        "constant-output",
+        "reconvergent-fanout",
+        "uninitializable-storage",
+        "hard-to-control",
+        "hard-to-observe",
+        "latch-race",
+    ] {
+        assert!(s.contains(id), "--list-rules misses {id}");
+    }
+}
+
+#[test]
+fn thresholds_are_adjustable_from_the_command_line() {
+    let out = bin()
+        .args(["--max-depth", "5", "ripple8"])
+        .output()
+        .expect("binary runs");
+    // Deep-logic findings are warnings: reported, exit 0.
+    assert!(out.status.success());
+    let s = String::from_utf8(out.stdout).unwrap();
+    assert!(s.contains("deep-logic"));
+    assert!(s.contains("exceeds bound 5"));
+}

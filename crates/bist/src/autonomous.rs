@@ -11,9 +11,9 @@
 //! * sensitized partitioning (Figs. 33–34) — demonstrated on the SN74181
 //!   by [`sensitized_partition_74181`].
 
-use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
 use dft_fault::{simulate, universe, Fault};
 use dft_lfsr::{Misr, Polynomial};
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
 use dft_sim::{exhaustive, PatternSet};
 
 /// The reconfigurable LFSR module of Figs. 26–29: one register that the
@@ -359,7 +359,9 @@ mod tests {
         // A second output so the MISR has ≥ 2 stages.
         bad.mark_output(ab, "t").unwrap();
         let mut good_netlist = majority();
-        let tap = good_netlist.gate(good_netlist.find_output("maj").unwrap()).inputs()[0];
+        let tap = good_netlist
+            .gate(good_netlist.find_output("maj").unwrap())
+            .inputs()[0];
         good_netlist.mark_output(tap, "t").unwrap();
         let good2 = autonomous_signature(&good_netlist).unwrap();
         let bad_sig = autonomous_signature(&bad).unwrap();
@@ -431,10 +433,7 @@ mod tests {
             let mut row_new = row5.clone();
             row_new.push(false); // sel = 0
             row_new.extend(std::iter::repeat_n(false, cuts.len()));
-            let r_new = sim_new.run(&PatternSet::from_rows(
-                5 + 1 + cuts.len(),
-                &[row_new],
-            ));
+            let r_new = sim_new.run(&PatternSet::from_rows(5 + 1 + cuts.len(), &[row_new]));
             for o in 0..2 {
                 assert_eq!(
                     r_old.output_bit(o, 0),

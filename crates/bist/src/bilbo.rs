@@ -1,9 +1,9 @@
 //! BILBO: Built-In Logic Block Observation (Koenemann/Mucha/Zwiehoff,
 //! the paper's reference \[25\], §V-A).
 
-use dft_netlist::{LevelizeError, Netlist};
 use dft_fault::{Fault, FaultyView};
 use dft_lfsr::{Misr, Polynomial, Prpg};
+use dft_netlist::{LevelizeError, Netlist};
 
 /// The four operating modes selected by the B₁B₂ control lines
 /// (Fig. 19).
@@ -99,13 +99,11 @@ impl BilboRegister {
                 self.state = pack(z);
             }
             BilboMode::Shift => {
-                self.state = ((self.state << 1) | u64::from(scan_in))
-                    & self.poly.state_mask();
+                self.state = ((self.state << 1) | u64::from(scan_in)) & self.poly.state_mask();
             }
             BilboMode::Signature => {
                 let fb = (self.state & self.poly.feedback_mask()).count_ones() & 1;
-                let shifted = ((self.state << 1) | u64::from(fb))
-                    & self.poly.state_mask();
+                let shifted = ((self.state << 1) | u64::from(fb)) & self.poly.state_mask();
                 self.state = shifted ^ pack(z);
             }
             BilboMode::Reset => {
@@ -232,18 +230,24 @@ impl<'n> SelfTestSession<'n> {
         let n_out = self.cln1.primary_outputs().len();
         let misr_width = n_out.min(32) as u32;
         let view = FaultyView::new(self.cln1)?;
-        let outputs: Vec<_> = self.cln1.primary_outputs().iter().map(|&(g, _)| g).collect();
+        let outputs: Vec<_> = self
+            .cln1
+            .primary_outputs()
+            .iter()
+            .map(|&(g, _)| g)
+            .collect();
 
         let run = |fault: Option<Fault>| -> (u64, bool) {
             // Returns (final signature, any-output-differed-from-good).
             let mut prpg = Prpg::new(n_in, seed).expect("width validated");
-            let mut misr =
-                Misr::new(Polynomial::primitive(misr_width).expect("width validated"));
+            let mut misr = Misr::new(Polynomial::primitive(misr_width).expect("width validated"));
             let mut any_diff = false;
             for _ in 0..patterns {
                 let pattern = prpg.next_pattern();
-                let pi_words: Vec<u64> =
-                    pattern.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+                let pi_words: Vec<u64> = pattern
+                    .iter()
+                    .map(|&b| if b { u64::MAX } else { 0 })
+                    .collect();
                 let vals = view.eval_block(&pi_words, &[], fault);
                 // Fold wide output buses into the MISR stages.
                 let mut word = 0u64;
@@ -363,11 +367,21 @@ mod tests {
             let w: Vec<bool> = (0..8).map(|k| (i * 13 + k) % 5 == 0).collect();
             a.clock(&w, false);
             let w2: Vec<bool> = (0..8)
-                .map(|k| if i == 20 && k == 3 { (i * 13 + k) % 5 != 0 } else { (i * 13 + k) % 5 == 0 })
+                .map(|k| {
+                    if i == 20 && k == 3 {
+                        (i * 13 + k) % 5 != 0
+                    } else {
+                        (i * 13 + k) % 5 == 0
+                    }
+                })
                 .collect();
             b.clock(&w2, false);
         }
-        assert_ne!(a.state(), b.state(), "one corrupted response changes the signature");
+        assert_ne!(
+            a.state(),
+            b.state(),
+            "one corrupted response changes the signature"
+        );
     }
 
     #[test]

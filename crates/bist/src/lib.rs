@@ -34,6 +34,5 @@ pub use syndrome::{
     fault_syndromes, segmented_syndrome_coverage, syndrome, syndrome_testable, Syndrome,
 };
 pub use walsh::{
-    c0_coefficient, c_all_coefficient, table1, walsh_coefficient, walsh_detectable,
-    Table1Row,
+    c0_coefficient, c_all_coefficient, table1, walsh_coefficient, walsh_detectable, Table1Row,
 };

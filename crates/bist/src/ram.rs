@@ -163,7 +163,12 @@ impl Ram {
         assert!(addr < self.depth(), "address out of range");
         let phys = self.physical(addr);
         let mut w = self.words[phys];
-        if let Some(RamFault::StuckCell { addr: fa, bit, value }) = self.fault {
+        if let Some(RamFault::StuckCell {
+            addr: fa,
+            bit,
+            value,
+        }) = self.fault
+        {
             if phys == fa {
                 if value {
                     w |= 1 << bit;
@@ -262,13 +267,7 @@ impl Ram {
 
 /// Measures a march algorithm's coverage of a random fault sample:
 /// fraction of injected faults that make the march fail.
-pub fn march_coverage<F>(
-    depth: usize,
-    width: usize,
-    march: F,
-    trials: u32,
-    seed: u64,
-) -> f64
+pub fn march_coverage<F>(depth: usize, width: usize, march: F, trials: u32, seed: u64) -> f64
 where
     F: Fn(&mut Ram) -> MarchResult,
 {

@@ -136,10 +136,7 @@ mod tests {
     #[test]
     fn fig20_21_pair_needs_two_sessions() {
         // CLN1: reg1 → reg2; CLN2: reg2 → reg1 (the paper's loop).
-        let blocks = [
-            BistBlock { from: 1, to: 2 },
-            BistBlock { from: 2, to: 1 },
-        ];
+        let blocks = [BistBlock { from: 1, to: 2 }, BistBlock { from: 2, to: 1 }];
         let plan = schedule(&blocks);
         assert_eq!(plan.session_count(), 2, "roles must reverse, as in Fig. 21");
         assert_valid(&blocks, &plan);
@@ -148,10 +145,7 @@ mod tests {
     #[test]
     fn independent_blocks_share_a_session() {
         // Two disjoint pipelines test concurrently.
-        let blocks = [
-            BistBlock { from: 1, to: 2 },
-            BistBlock { from: 3, to: 4 },
-        ];
+        let blocks = [BistBlock { from: 1, to: 2 }, BistBlock { from: 3, to: 4 }];
         let plan = schedule(&blocks);
         assert_eq!(plan.session_count(), 1);
         assert_valid(&blocks, &plan);
@@ -160,15 +154,9 @@ mod tests {
     #[test]
     fn shared_generator_is_fine_shared_accumulator_is_not() {
         // One PRPG can drive two blocks; one MISR cannot sign two.
-        let fan_out = [
-            BistBlock { from: 1, to: 2 },
-            BistBlock { from: 1, to: 3 },
-        ];
+        let fan_out = [BistBlock { from: 1, to: 2 }, BistBlock { from: 1, to: 3 }];
         assert_eq!(schedule(&fan_out).session_count(), 1);
-        let fan_in = [
-            BistBlock { from: 1, to: 3 },
-            BistBlock { from: 2, to: 3 },
-        ];
+        let fan_in = [BistBlock { from: 1, to: 3 }, BistBlock { from: 2, to: 3 }];
         let plan = schedule(&fan_in);
         assert_eq!(plan.session_count(), 2);
         assert_valid(&fan_in, &plan);

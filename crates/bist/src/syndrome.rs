@@ -6,8 +6,8 @@
 //! test equipment is just "a pattern generator … a counter to count the
 //! 1's, and a compare network" (Fig. 23).
 
-use dft_netlist::{GateId, LevelizeError, Netlist};
 use dft_fault::{Fault, FaultyView};
+use dft_netlist::{GateId, LevelizeError, Netlist};
 use dft_sim::exhaustive;
 
 /// A syndrome: minterm count over an input space.
@@ -97,10 +97,7 @@ pub fn fault_syndromes(
 ///
 /// Panics if the input count exceeds
 /// [`exhaustive::MAX_EXHAUSTIVE_INPUTS`].
-pub fn syndrome_testable(
-    netlist: &Netlist,
-    faults: &[Fault],
-) -> Result<Vec<bool>, LevelizeError> {
+pub fn syndrome_testable(netlist: &Netlist, faults: &[Fault]) -> Result<Vec<bool>, LevelizeError> {
     let good = syndrome(netlist)?;
     let faulty = fault_syndromes(netlist, faults)?;
     Ok(faulty
@@ -227,10 +224,7 @@ mod tests {
         let testable = syndrome_testable(&n, &[f]).unwrap();
         assert_eq!(testable, vec![false], "K stays 2: not syndrome testable");
         // …but the fault is real and ordinary testing catches it.
-        let p = dft_sim::PatternSet::from_rows(
-            2,
-            &[vec![true, false], vec![true, true]],
-        );
+        let p = dft_sim::PatternSet::from_rows(2, &[vec![true, false], vec![true, true]]);
         let r = dft_fault::simulate(&n, &p, &[f]).unwrap();
         assert!(r.first_detected[0].is_some());
     }
@@ -249,8 +243,7 @@ mod tests {
         let plain = segmented_syndrome_coverage(&n, &[f], &[vec![]]).unwrap();
         assert_eq!(plain, 0.0);
         let segmented =
-            segmented_syndrome_coverage(&n, &[f], &[vec![(1, false)], vec![(1, true)]])
-                .unwrap();
+            segmented_syndrome_coverage(&n, &[f], &[vec![(1, false)], vec![(1, true)]]).unwrap();
         assert_eq!(segmented, 1.0);
     }
 
@@ -261,12 +254,8 @@ mod tests {
         let n = c17();
         let faults = universe(&n);
         let plain = segmented_syndrome_coverage(&n, &faults, &[vec![]]).unwrap();
-        let segmented = segmented_syndrome_coverage(
-            &n,
-            &faults,
-            &[vec![(2, false)], vec![(2, true)]],
-        )
-        .unwrap();
+        let segmented =
+            segmented_syndrome_coverage(&n, &faults, &[vec![(2, false)], vec![(2, true)]]).unwrap();
         assert!(segmented >= plain);
     }
 }

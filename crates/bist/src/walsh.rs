@@ -12,8 +12,8 @@
 //!   function no longer depends on that input, so the two half-spaces
 //!   cancel), which makes every input stuck fault detectable.
 
-use dft_netlist::{GateId, LevelizeError, Netlist};
 use dft_fault::{Fault, FaultyView};
+use dft_netlist::{GateId, LevelizeError, Netlist};
 use dft_sim::exhaustive;
 
 /// One row of the paper's Table I.
@@ -179,10 +179,7 @@ fn walsh_with_fault(
 ///
 /// Panics if the input count exceeds
 /// [`exhaustive::MAX_EXHAUSTIVE_INPUTS`].
-pub fn walsh_detectable(
-    netlist: &Netlist,
-    faults: &[Fault],
-) -> Result<Vec<bool>, LevelizeError> {
+pub fn walsh_detectable(netlist: &Netlist, faults: &[Fault]) -> Result<Vec<bool>, LevelizeError> {
     let n = netlist.primary_inputs().len();
     let all = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     let n_out = netlist.primary_outputs().len();
@@ -222,10 +219,7 @@ mod tests {
         let t = table1();
         // F column: 0,0,0,1,0,1,1,1 over x1x2x3 = 000..111.
         let f: Vec<bool> = t.iter().map(|r| r.f).collect();
-        assert_eq!(
-            f,
-            vec![false, false, false, true, false, true, true, true]
-        );
+        assert_eq!(f, vec![false, false, false, true, false, true, true, true]);
         // W2 column: -1,-1,+1,+1,-1,-1,+1,+1.
         let w2: Vec<i8> = t.iter().map(|r| r.w2).collect();
         assert_eq!(w2, vec![-1, -1, 1, 1, -1, -1, 1, 1]);

@@ -92,7 +92,10 @@ impl CostModel {
 #[must_use]
 pub fn defect_level(yield_: f64, coverage: f64) -> f64 {
     assert!(yield_ > 0.0 && yield_ <= 1.0, "yield must be in (0, 1]");
-    assert!((0.0..=1.0).contains(&coverage), "coverage must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&coverage),
+        "coverage must be in [0, 1]"
+    );
     1.0 - yield_.powf(1.0 - coverage)
 }
 

@@ -6,12 +6,12 @@
 //! patterns as shift/capture programs, and report coverage, cycles, data
 //! volume and hardware overhead.
 
-use dft_netlist::{LevelizeError, Netlist};
 use dft_atpg::{generate_tests, AtpgConfig};
 use dft_fault::{sequential, universe, Fault};
+use dft_netlist::{LevelizeError, Netlist};
 use dft_scan::{
-    check_rules, extract_test_view, insert_scan, OverheadReport, RuleViolation, ScanConfig,
-    ScanSchedule, ScanTestProgram,
+    check_rules, extract_test_view, insert_scan, OverheadReport, RuleConfig, RuleViolation,
+    ScanConfig, ScanSchedule, ScanTestProgram,
 };
 use dft_sim::Logic;
 
@@ -51,7 +51,7 @@ pub fn full_scan_flow(
     atpg_config: &AtpgConfig,
 ) -> Result<ScanFlowReport, LevelizeError> {
     let design = insert_scan(netlist, scan_config)?;
-    let rule_violations = check_rules(&design, 64);
+    let rule_violations = check_rules(&design, RuleConfig { max_depth: 64 });
     let view = extract_test_view(netlist)?;
 
     let faults: Vec<Fault> = universe(netlist)
@@ -182,8 +182,7 @@ pub fn adhoc_flow(
     reset_row[rst_pos] = Logic::One;
     seq.push(reset_row);
     for _ in 0..seq_cycles {
-        let mut row: Vec<Logic> =
-            (0..width).map(|_| Logic::from(rng.gen_bool(0.5))).collect();
+        let mut row: Vec<Logic> = (0..width).map(|_| Logic::from(rng.gen_bool(0.5))).collect();
         row[rst_pos] = Logic::Zero;
         seq.push(row);
     }

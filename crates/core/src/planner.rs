@@ -1,5 +1,6 @@
 //! The DFT planner: analyze a design, recommend techniques off the menu.
 
+use dft_lint::{LintReport, Severity};
 use dft_netlist::{LevelizeError, Netlist};
 use dft_scan::{overhead_for, ScanStyle};
 use dft_testability::{analyze, INFINITE};
@@ -68,6 +69,10 @@ pub struct DftAssessment {
     /// Whether exhaustive application of all 2^(N+M) patterns is
     /// feasible within ~2³⁰ patterns.
     pub exhaustively_testable: bool,
+    /// Netlist-wide design-rule findings (`dft-lint`) — a
+    /// testability-risk input alongside the SCOAP numbers; individual
+    /// findings sharpen the recommendation rationales below.
+    pub lint: LintReport,
     /// Ordered recommendations (strongest first).
     pub recommendations: Vec<Recommendation>,
 }
@@ -112,6 +117,13 @@ impl std::fmt::Display for DftAssessment {
             self.worst_observability,
             self.exhaustively_testable
         )?;
+        writeln!(
+            f,
+            "lint: {} error(s), {} warning(s), {} note(s)",
+            self.lint.count(Severity::Error),
+            self.lint.count(Severity::Warning),
+            self.lint.count(Severity::Info)
+        )?;
         for r in &self.recommendations {
             writeln!(f, "  - {r}")?;
         }
@@ -132,6 +144,7 @@ impl DftPlanner {
     /// asynchronous loop first — no technique on the menu survives one).
     pub fn assess(netlist: &Netlist) -> Result<DftAssessment, LevelizeError> {
         let report = analyze(netlist)?;
+        let lint = dft_lint::lint(netlist);
         let stats = netlist.stats();
         let mut uncontrollable = 0usize;
         let mut worst_cc = 0u32;
@@ -153,13 +166,22 @@ impl DftPlanner {
 
         let mut recs: Vec<Recommendation> = Vec::new();
 
+        let uninit_latches = lint.by_rule("uninitializable-storage").count();
+        let latch_races = lint.by_rule("latch-race").count();
+
         if uncontrollable > 0 && stats.storage_count > 0 {
+            let mut rationale = format!(
+                "{uncontrollable} nets can never be steered from power-up X: \
+                 a CLEAR/PRESET line initializes the machine in one clock"
+            );
+            if uninit_latches > 0 {
+                rationale.push_str(&format!(
+                    " (lint: {uninit_latches} uninitializable latch(es))"
+                ));
+            }
             recs.push(Recommendation {
                 technique: Technique::ClearPreset,
-                rationale: format!(
-                    "{uncontrollable} nets can never be steered from power-up X: \
-                     a CLEAR/PRESET line initializes the machine in one clock"
-                ),
+                rationale,
                 extra_gates: stats.storage_count + 1,
                 extra_pins: 1,
             });
@@ -190,12 +212,25 @@ impl DftPlanner {
                 ),
             ] {
                 let oh = overhead_for(netlist, style);
+                let mut rationale = format!(
+                    "{} storage elements ({} unreachable by ad-hoc means): {note}",
+                    stats.storage_count, uncontrollable
+                );
+                // The race the lint's latch-race rule flags is exactly
+                // the one LSSD's two-phase L1/L2 cell is immune to.
+                if latch_races > 0 && matches!(tech, Technique::Lssd | Technique::ScanPath) {
+                    rationale.push_str(&format!(
+                        "; lint: {latch_races} direct latch-to-latch path(s){}",
+                        if tech == Technique::Lssd {
+                            " — harmless under two-phase clocking"
+                        } else {
+                            " — watch the single-clock race"
+                        }
+                    ));
+                }
                 recs.push(Recommendation {
                     technique: tech,
-                    rationale: format!(
-                        "{} storage elements ({} unreachable by ad-hoc means): {note}",
-                        stats.storage_count, uncontrollable
-                    ),
+                    rationale,
                     extra_gates: oh.extra_gates,
                     extra_pins: oh.extra_pins,
                 });
@@ -215,8 +250,9 @@ impl DftPlanner {
                 });
                 recs.push(Recommendation {
                     technique: Technique::SyndromeTesting,
-                    rationale: "combinational and exhaustible: count output 1s, near-zero data volume"
-                        .into(),
+                    rationale:
+                        "combinational and exhaustible: count output 1s, near-zero data volume"
+                            .into(),
                     extra_gates: 2,
                     extra_pins: 1,
                 });
@@ -296,6 +332,7 @@ impl DftPlanner {
             worst_controllability: worst_cc,
             worst_observability: worst_co,
             exhaustively_testable,
+            lint,
             recommendations: recs,
         })
     }
@@ -304,9 +341,7 @@ impl DftPlanner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dft_netlist::circuits::{
-        binary_counter, c17, random_combinational, random_sequential,
-    };
+    use dft_netlist::circuits::{binary_counter, c17, random_combinational, random_sequential};
 
     #[test]
     fn counter_gets_scan_first() {
@@ -316,7 +351,10 @@ mod tests {
         let first = a.first_choice().unwrap();
         assert!(matches!(
             first.technique,
-            Technique::Lssd | Technique::ScanPath | Technique::ScanSet | Technique::RandomAccessScan
+            Technique::Lssd
+                | Technique::ScanPath
+                | Technique::ScanSet
+                | Technique::RandomAccessScan
         ));
     }
 
@@ -325,8 +363,7 @@ mod tests {
         let a = DftPlanner::assess(&c17()).unwrap();
         assert!(!a.needs_structured_dft());
         assert!(a.exhaustively_testable);
-        let techniques: Vec<Technique> =
-            a.recommendations.iter().map(|r| r.technique).collect();
+        let techniques: Vec<Technique> = a.recommendations.iter().map(|r| r.technique).collect();
         assert!(techniques.contains(&Technique::AutonomousTesting));
         assert!(techniques.contains(&Technique::SyndromeTesting));
         assert!(techniques.contains(&Technique::Bilbo));
@@ -336,8 +373,7 @@ mod tests {
     fn wide_combinational_is_not_exhaustible() {
         let a = DftPlanner::assess(&random_combinational(40, 300, 1)).unwrap();
         assert!(!a.exhaustively_testable);
-        let techniques: Vec<Technique> =
-            a.recommendations.iter().map(|r| r.technique).collect();
+        let techniques: Vec<Technique> = a.recommendations.iter().map(|r| r.technique).collect();
         assert!(!techniques.contains(&Technique::SyndromeTesting));
         assert!(techniques.contains(&Technique::Bilbo));
     }
@@ -353,6 +389,40 @@ mod tests {
         let text = a.to_string();
         assert!(text.contains("uncontrollable"));
         assert!(text.contains("ClearPreset"));
+    }
+
+    #[test]
+    fn assessment_carries_the_lint_report() {
+        let a = DftPlanner::assess(&binary_counter(8)).unwrap();
+        // The counter's 8 unresettable latches show up both as SCOAP
+        // infinities and as structured lint findings.
+        assert_eq!(a.lint.by_rule("uninitializable-storage").count(), 8);
+        let cp = a
+            .recommendations
+            .iter()
+            .find(|r| r.technique == Technique::ClearPreset)
+            .unwrap();
+        assert!(cp.rationale.contains("8 uninitializable latch(es)"));
+        assert!(a.to_string().contains("lint:"));
+    }
+
+    #[test]
+    fn latch_races_sharpen_the_scan_rationales() {
+        let a = DftPlanner::assess(&dft_netlist::circuits::shift_register(8)).unwrap();
+        assert_eq!(a.lint.by_rule("latch-race").count(), 7);
+        let lssd = a
+            .recommendations
+            .iter()
+            .find(|r| r.technique == Technique::Lssd)
+            .unwrap();
+        assert!(lssd.rationale.contains("7 direct latch-to-latch path(s)"));
+        assert!(lssd.rationale.contains("two-phase"));
+        let sp = a
+            .recommendations
+            .iter()
+            .find(|r| r.technique == Technique::ScanPath)
+            .unwrap();
+        assert!(sp.rationale.contains("single-clock race"));
     }
 
     #[test]

@@ -78,8 +78,9 @@ mod tests {
 
     #[test]
     fn recovers_exact_cubic() {
-        let samples: Vec<(f64, f64)> =
-            (1..=10).map(|n| (n as f64 * 100.0, 2.5 * (n as f64 * 100.0).powi(3))).collect();
+        let samples: Vec<(f64, f64)> = (1..=10)
+            .map(|n| (n as f64 * 100.0, 2.5 * (n as f64 * 100.0).powi(3)))
+            .collect();
         let fit = fit_power_law(&samples).unwrap();
         assert!((fit.exponent - 3.0).abs() < 1e-9);
         assert!((fit.k - 2.5).abs() < 1e-6);
@@ -97,7 +98,11 @@ mod tests {
             })
             .collect();
         let fit = fit_power_law(&samples).unwrap();
-        assert!((fit.exponent - 2.0).abs() < 0.1, "exponent {}", fit.exponent);
+        assert!(
+            (fit.exponent - 2.0).abs() < 0.1,
+            "exponent {}",
+            fit.exponent
+        );
         assert!(fit.r_squared > 0.99);
     }
 

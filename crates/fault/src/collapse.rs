@@ -125,11 +125,7 @@ impl UnionFind {
 /// universe index per class).
 #[must_use]
 pub fn collapse(netlist: &Netlist, faults: &[Fault]) -> Collapse {
-    let index: HashMap<Fault, usize> = faults
-        .iter()
-        .enumerate()
-        .map(|(i, &f)| (f, i))
-        .collect();
+    let index: HashMap<Fault, usize> = faults.iter().enumerate().map(|(i, &f)| (f, i)).collect();
     let mut uf = UnionFind::new(faults.len());
     let merge = |uf: &mut UnionFind, a: Fault, b: Fault| {
         if let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) {

@@ -133,7 +133,9 @@ pub fn sequential_concurrent(
 mod tests {
     use super::*;
     use crate::{sequential, universe};
-    use dft_netlist::circuits::{binary_counter, johnson_counter, random_sequential, shift_register};
+    use dft_netlist::circuits::{
+        binary_counter, johnson_counter, random_sequential, shift_register,
+    };
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -135,9 +135,8 @@ pub fn deductive(
                         .kind()
                         .controlling_value()
                         .expect("AND/OR family has a controlling value");
-                    let controlling: Vec<usize> = (0..pin_lists.len())
-                        .filter(|&i| in_vals[i] == c)
-                        .collect();
+                    let controlling: Vec<usize> =
+                        (0..pin_lists.len()).filter(|&i| in_vals[i] == c).collect();
                     if controlling.is_empty() {
                         // Output flips iff any input flips (to controlling).
                         let mut u = BTreeSet::new();
@@ -148,13 +147,9 @@ pub fn deductive(
                     } else {
                         // Output flips iff every controlling input flips and
                         // no non-controlling input flips.
-                        let mut inter: BTreeSet<usize> =
-                            pin_lists[controlling[0]].clone();
+                        let mut inter: BTreeSet<usize> = pin_lists[controlling[0]].clone();
                         for &ci in &controlling[1..] {
-                            inter = inter
-                                .intersection(&pin_lists[ci])
-                                .copied()
-                                .collect();
+                            inter = inter.intersection(&pin_lists[ci]).copied().collect();
                         }
                         for (i, pl) in pin_lists.iter().enumerate() {
                             if in_vals[i] != c {

@@ -41,8 +41,7 @@ impl FaultDictionary {
     ) -> Result<Self, LevelizeError> {
         let view = FaultyView::new(netlist)?;
         let state = vec![0u64; view.storage().len()];
-        let outputs: Vec<GateId> =
-            netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
+        let outputs: Vec<GateId> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
 
         let mut good: Vec<Vec<u64>> = Vec::with_capacity(patterns.block_count());
         for b in 0..patterns.block_count() {
@@ -116,7 +115,11 @@ impl FaultDictionary {
     /// symmetric-difference distance to the observed set (best first,
     /// capped at `k`).
     #[must_use]
-    pub fn diagnose_nearest(&self, observed: &BTreeSet<(u32, u16)>, k: usize) -> Vec<(Fault, usize)> {
+    pub fn diagnose_nearest(
+        &self,
+        observed: &BTreeSet<(u32, u16)>,
+        k: usize,
+    ) -> Vec<(Fault, usize)> {
         let mut scored: Vec<(Fault, usize)> = self
             .syndromes
             .iter()
@@ -136,11 +139,8 @@ impl FaultDictionary {
     /// uniquely identifiable).
     #[must_use]
     pub fn resolution(&self) -> f64 {
-        let detected: Vec<&BTreeSet<(u32, u16)>> = self
-            .syndromes
-            .iter()
-            .filter(|s| !s.is_empty())
-            .collect();
+        let detected: Vec<&BTreeSet<(u32, u16)>> =
+            self.syndromes.iter().filter(|s| !s.is_empty()).collect();
         if detected.is_empty() {
             return 1.0;
         }

@@ -152,12 +152,7 @@ impl<'n> FaultyView<'n> {
     ///
     /// Panics if `pis`/`state` have the wrong length.
     #[must_use]
-    pub fn eval_logic(
-        &self,
-        pis: &[Logic],
-        state: &[Logic],
-        fault: Option<Fault>,
-    ) -> Vec<Logic> {
+    pub fn eval_logic(&self, pis: &[Logic], state: &[Logic], fault: Option<Fault>) -> Vec<Logic> {
         assert_eq!(pis.len(), self.netlist.primary_inputs().len());
         assert_eq!(state.len(), self.storage.len());
         let mut vals = vec![Logic::X; self.netlist.gate_count()];
@@ -269,11 +264,7 @@ mod tests {
         let view = FaultyView::new(&n).unwrap();
         let pi = [0u64, 1u64]; // lane 0: A=0, B=1
         let good = view.eval_block(&pi, &[], None);
-        let faulty = view.eval_block(
-            &pi,
-            &[],
-            Some(Fault::stuck_at_1(PortRef::input(c, 0))),
-        );
+        let faulty = view.eval_block(&pi, &[], Some(Fault::stuck_at_1(PortRef::input(c, 0))));
         assert_eq!(good[c.index()] & 1, 0, "good machine outputs 0");
         assert_eq!(faulty[c.index()] & 1, 1, "faulty machine outputs 1");
     }
@@ -300,7 +291,11 @@ mod tests {
         let view = FaultyView::new(&n).unwrap();
         let f = Fault::stuck_at_1(PortRef::output(a));
         let vals = view.eval_block(&[0], &[], Some(f));
-        assert_eq!(vals[g1.index()], u64::MAX, "both readers see the stem fault");
+        assert_eq!(
+            vals[g1.index()],
+            u64::MAX,
+            "both readers see the stem fault"
+        );
         assert_eq!(vals[g2.index()], 0);
     }
 
@@ -323,7 +318,9 @@ mod tests {
         let view = FaultyView::new(&n).unwrap();
         let faults = crate::universe(&n);
         for v in 0..32u64 {
-            let pi_words: Vec<u64> = (0..5).map(|i| if v >> i & 1 == 1 { u64::MAX } else { 0 }).collect();
+            let pi_words: Vec<u64> = (0..5)
+                .map(|i| if v >> i & 1 == 1 { u64::MAX } else { 0 })
+                .collect();
             let pis: Vec<Logic> = (0..5).map(|i| Logic::from(v >> i & 1 == 1)).collect();
             for &f in faults.iter().take(12) {
                 let w = view.eval_block(&pi_words, &[], Some(f));

@@ -58,7 +58,7 @@ pub use collapse::{collapse, dominance_collapse, Collapse};
 pub use concurrent::{sequential_concurrent, ConcurrentStats};
 pub use deductive::deductive;
 pub use dictionary::FaultDictionary;
-pub use fault::{universe, output_faults, Fault};
+pub use fault::{output_faults, universe, Fault};
 pub use inject::FaultyView;
 pub use parallel::parallel_fault;
 pub use sequential::{sequential, SequentialDetection};

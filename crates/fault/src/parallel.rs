@@ -113,11 +113,7 @@ fn eval_group(
             continue;
         }
         // Gather operands, applying any input-pin fault lanes.
-        let mut words: Vec<u64> = gate
-            .inputs()
-            .iter()
-            .map(|&s| vals[s.index()])
-            .collect();
+        let mut words: Vec<u64> = gate.inputs().iter().map(|&s| vals[s.index()]).collect();
         for (k, &fi) in group.iter().enumerate() {
             let f = faults[fi];
             if f.site.gate == id {

@@ -85,11 +85,7 @@ pub fn stuck_open_universe(netlist: &Netlist) -> Vec<StuckOpenFault> {
 
 /// Whether the faulted gate floats under the given input values (and
 /// what it would have driven if healthy).
-fn gate_response(
-    kind: GateKind,
-    inputs: &[Logic],
-    fault: Option<&StuckOpenFault>,
-) -> GateResponse {
+fn gate_response(kind: GateKind, inputs: &[Logic], fault: Option<&StuckOpenFault>) -> GateResponse {
     // Healthy output.
     let good = Logic::eval_gate(kind, inputs);
     let Some(f) = fault else {
@@ -438,8 +434,7 @@ mod tests {
             pin: 0,
             kind: OpenKind::PullUp,
         };
-        let r =
-            simulate_stuck_open(&n, &[vec![true], vec![false]], &[fault]).unwrap();
+        let r = simulate_stuck_open(&n, &[vec![true], vec![false]], &[fault]).unwrap();
         assert_eq!(r.first_detected, vec![Some(0)]);
     }
 }

@@ -109,7 +109,11 @@ mod tests {
         // Degree 4: theory says 1/16 = 6.25 %. With 4000 trials the
         // estimate should land well inside [2 %, 12 %].
         let est = aliasing_rate(Polynomial::primitive(4).unwrap(), 100, 4000, 0.5, 1);
-        assert!(est.rate() > 0.02 && est.rate() < 0.12, "rate {}", est.rate());
+        assert!(
+            est.rate() > 0.02 && est.rate() < 0.12,
+            "rate {}",
+            est.rate()
+        );
         assert!((est.theoretical() - 0.0625).abs() < 1e-12);
     }
 
@@ -135,6 +139,10 @@ mod tests {
         // tests); denser bursts alias at the 2^-n rate too.
         let est = aliasing_rate(Polynomial::primitive(3).unwrap(), 50, 4000, 0.2, 4);
         // Theory 1/8 = 12.5 %.
-        assert!(est.rate() > 0.06 && est.rate() < 0.20, "rate {}", est.rate());
+        assert!(
+            est.rate() > 0.06 && est.rate() < 0.20,
+            "rate {}",
+            est.rate()
+        );
     }
 }

@@ -68,11 +68,7 @@ impl Lfsr {
     /// Panics if `seed` has bits above the polynomial degree.
     #[must_use]
     pub fn with_kind(poly: Polynomial, seed: u64, kind: LfsrKind) -> Self {
-        assert_eq!(
-            seed & !poly.state_mask(),
-            0,
-            "seed wider than the register"
-        );
+        assert_eq!(seed & !poly.state_mask(), 0, "seed wider than the register");
         Lfsr {
             poly,
             kind,
@@ -127,8 +123,7 @@ impl Lfsr {
                 if out {
                     // XOR the low polynomial coefficients back in: x⁰ at
                     // bit 0 and each x^t at bit t (x^n falls off the top).
-                    self.state ^=
-                        ((self.poly.feedback_mask() << 1) | 1) & self.poly.state_mask();
+                    self.state ^= ((self.poly.feedback_mask() << 1) | 1) & self.poly.state_mask();
                 }
             }
         }

@@ -72,10 +72,7 @@ impl Polynomial {
         assert!((1..=63).contains(&degree), "degree must be in 1..=63");
         let mut taps = 0u64;
         for &t in intermediate_exponents {
-            assert!(
-                (1..degree).contains(&t),
-                "exponent {t} outside 1..{degree}"
-            );
+            assert!((1..degree).contains(&t), "exponent {t} outside 1..{degree}");
             taps |= 1 << (t - 1);
         }
         Polynomial { degree, taps }

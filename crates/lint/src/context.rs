@@ -1,0 +1,184 @@
+//! Shared analysis state handed to every rule.
+
+use dft_netlist::{GateId, GateKind, Levelization, LevelizeError, Netlist};
+use dft_sim::Logic;
+use dft_testability::TestabilityReport;
+
+/// Thresholds the built-in rules check against.
+///
+/// The defaults are deliberately permissive — they flag outliers, not
+/// ordinary structure. Every library benchmark circuit lints clean under
+/// them (a property test enforces this).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Maximum combinational logic depth (`deep-logic`). Default 50 —
+    /// the same generous settle bound `dft-scan`'s rule checker uses.
+    pub max_depth: u32,
+    /// Maximum input pins one net may drive (`excessive-fanout`).
+    /// Default 24 — above the carry-lookahead generate/propagate nets
+    /// (fanout 21), the heaviest load in the benchmark library.
+    pub max_fanout: usize,
+    /// Highest acceptable finite SCOAP controllability cost
+    /// (`hard-to-control`). Default 250.
+    pub controllability_limit: u32,
+    /// Highest acceptable finite SCOAP observability cost
+    /// (`hard-to-observe`). Default 250.
+    pub observability_limit: u32,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            max_depth: 50,
+            max_fanout: 24,
+            controllability_limit: 250,
+            observability_limit: 250,
+        }
+    }
+}
+
+/// Precomputed analyses shared by all rules in one run.
+///
+/// Rules read, never compute: levelization, the fanout map, SCOAP
+/// measures and a constant-propagation pass are done once here. On a
+/// cyclic netlist only the fanout map is available — rules other than
+/// the feedback check bail out gracefully.
+pub struct LintContext<'n> {
+    netlist: &'n Netlist,
+    config: LintConfig,
+    levelization: Result<Levelization, LevelizeError>,
+    fanout: Vec<Vec<(GateId, u8)>>,
+    scoap: Option<TestabilityReport>,
+    constants: Option<Vec<Logic>>,
+}
+
+impl<'n> LintContext<'n> {
+    /// Runs the shared analyses over `netlist`.
+    #[must_use]
+    pub fn new(netlist: &'n Netlist, config: LintConfig) -> Self {
+        let levelization = netlist.levelize();
+        let fanout = netlist.fanout_map();
+        let scoap = levelization
+            .is_ok()
+            .then(|| dft_testability::analyze(netlist).expect("levelization succeeded"));
+        let constants = levelization
+            .as_ref()
+            .ok()
+            .map(|lv| propagate_constants(netlist, lv));
+        LintContext {
+            netlist,
+            config,
+            levelization,
+            fanout,
+            scoap,
+            constants,
+        }
+    }
+
+    /// The netlist under analysis.
+    #[must_use]
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// The thresholds for this run.
+    #[must_use]
+    pub fn config(&self) -> &LintConfig {
+        &self.config
+    }
+
+    /// Levelization of the combinational frame, or the cycle error.
+    pub fn levelization(&self) -> Result<&Levelization, LevelizeError> {
+        self.levelization.as_ref().map_err(|&e| e)
+    }
+
+    /// `(reader, pin)` pairs per driving gate.
+    #[must_use]
+    pub fn fanout(&self) -> &[Vec<(GateId, u8)>] {
+        &self.fanout
+    }
+
+    /// SCOAP measures (`None` on cyclic netlists).
+    #[must_use]
+    pub fn scoap(&self) -> Option<&TestabilityReport> {
+        self.scoap.as_ref()
+    }
+
+    /// Per-net constant-propagation values with every primary input and
+    /// storage output at X (`None` on cyclic netlists). A known value
+    /// here is a value the net holds under *every* input assignment.
+    #[must_use]
+    pub fn constants(&self) -> Option<&[Logic]> {
+        self.constants.as_deref()
+    }
+}
+
+/// Three-valued forward evaluation with all inputs and state unknown:
+/// whatever comes out known is structurally constant.
+fn propagate_constants(netlist: &Netlist, lv: &Levelization) -> Vec<Logic> {
+    let mut value = vec![Logic::X; netlist.gate_count()];
+    for &id in lv.order() {
+        let gate = netlist.gate(id);
+        value[id.index()] = match gate.kind() {
+            GateKind::Input | GateKind::Dff => Logic::X,
+            GateKind::Const0 => Logic::Zero,
+            GateKind::Const1 => Logic::One,
+            kind => {
+                let ins: Vec<Logic> = gate.inputs().iter().map(|&s| value[s.index()]).collect();
+                Logic::eval_gate(kind, &ins)
+            }
+        };
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::circuits::c17;
+    use dft_netlist::Netlist as NL;
+
+    #[test]
+    fn context_precomputes_everything_on_acyclic_designs() {
+        let n = c17();
+        let ctx = LintContext::new(&n, LintConfig::default());
+        assert!(ctx.levelization().is_ok());
+        assert!(ctx.scoap().is_some());
+        assert!(ctx.constants().is_some());
+        assert_eq!(ctx.fanout().len(), n.gate_count());
+        assert_eq!(ctx.config().max_depth, 50);
+    }
+
+    #[test]
+    fn cyclic_designs_only_get_the_fanout_map() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::And, &[a, a]).unwrap();
+        let g2 = n.add_gate(GateKind::Or, &[g1, a]).unwrap();
+        n.reconnect_input(g1, 1, g2).unwrap();
+        let ctx = LintContext::new(&n, LintConfig::default());
+        assert!(ctx.levelization().is_err());
+        assert!(ctx.scoap().is_none());
+        assert!(ctx.constants().is_none());
+        assert_eq!(ctx.fanout().len(), 3);
+    }
+
+    #[test]
+    fn constant_propagation_finds_structural_constants() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let zero = n.add_const(false);
+        let dead = n.add_gate(GateKind::And, &[a, zero]).unwrap();
+        let live = n.add_gate(GateKind::Or, &[a, zero]).unwrap();
+        let inv = n.add_gate(GateKind::Not, &[dead]).unwrap();
+        n.mark_output(live, "y").unwrap();
+        n.mark_output(inv, "z").unwrap();
+        let ctx = LintContext::new(&n, LintConfig::default());
+        let c = ctx.constants().unwrap();
+        assert_eq!(c[a.index()], Logic::X);
+        assert_eq!(c[zero.index()], Logic::Zero);
+        assert_eq!(c[dead.index()], Logic::Zero, "AND with constant 0");
+        assert_eq!(c[live.index()], Logic::X, "OR with noncontrolling 0");
+        assert_eq!(c[inv.index()], Logic::One, "NOT of a constant");
+    }
+}

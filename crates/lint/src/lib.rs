@@ -1,0 +1,61 @@
+//! `dft-lint` — a netlist-wide DFT design-rule checker.
+//!
+//! Williams & Parker's survey argues that testability is a *structural*
+//! property: most of the cost of testing is designed in long before a
+//! test program exists, and most of it is visible by inspecting the
+//! netlist. This crate turns that observation into a linter.
+//!
+//! # Architecture
+//!
+//! * [`Rule`] — one stateless design-rule check, identified by a stable
+//!   kebab-case id with a fixed [`Severity`] and [`Category`].
+//! * [`Registry`] — an ordered rule collection; [`Registry::run`] lints
+//!   a netlist and returns a [`LintReport`].
+//! * [`LintContext`] — analyses shared by all rules (levelization,
+//!   fanout map, SCOAP measures, constant propagation), computed once
+//!   per run.
+//! * [`Diagnostic`] — one finding, anchored to a
+//!   [`GateId`](dft_netlist::GateId) with optional related gates and a
+//!   fix-it hint. Reports render as text ([`LintReport::to_text`]) or
+//!   JSON ([`LintReport::to_json`]).
+//!
+//! The built-in rules live in [`rules`]; thresholds in [`LintConfig`].
+//!
+//! # Example
+//!
+//! ```
+//! use dft_lint::{lint, Severity};
+//! use dft_netlist::circuits::c17;
+//!
+//! let report = lint(&c17());
+//! assert!(report.is_clean()); // nothing at Warning or above
+//! for diag in report.diagnostics() {
+//!     assert_eq!(diag.severity, Severity::Info); // reconvergence notes
+//! }
+//! ```
+
+mod context;
+mod diag;
+mod registry;
+pub mod rules;
+
+pub use context::{LintConfig, LintContext};
+pub use diag::{Category, Diagnostic, LintReport, Severity};
+pub use registry::{Registry, Rule};
+
+use dft_netlist::Netlist;
+
+/// Lints `netlist` with the full built-in rule set and default
+/// thresholds. Shorthand for
+/// `Registry::with_default_rules().run(netlist)`.
+#[must_use]
+pub fn lint(netlist: &Netlist) -> LintReport {
+    Registry::with_default_rules().run(netlist)
+}
+
+/// Lints `netlist` with the full built-in rule set and explicit
+/// thresholds.
+#[must_use]
+pub fn lint_with(netlist: &Netlist, config: LintConfig) -> LintReport {
+    Registry::with_default_rules().run_with(netlist, config)
+}

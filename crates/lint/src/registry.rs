@@ -1,0 +1,146 @@
+//! The rule trait and the registry that runs rules over a netlist.
+
+use dft_netlist::Netlist;
+
+use crate::context::{LintConfig, LintContext};
+use crate::diag::{Category, LintReport, Severity};
+use crate::rules;
+
+/// One design-rule check.
+///
+/// Rules are stateless: all shared analysis lives in [`LintContext`],
+/// and thresholds come from [`LintConfig`]. A rule appends zero or more
+/// [`crate::Diagnostic`]s to the report; it must tag them with its own
+/// [`Rule::id`] so report filtering and tooling stay consistent.
+pub trait Rule {
+    /// Stable kebab-case identifier (used in reports and CLI filters).
+    fn id(&self) -> &'static str;
+    /// One-line description for `tessera-lint --list-rules`.
+    fn description(&self) -> &'static str;
+    /// The aspect of the design this rule examines.
+    fn category(&self) -> Category;
+    /// Severity of this rule's findings.
+    fn severity(&self) -> Severity;
+    /// Runs the check, appending findings to `report`.
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport);
+}
+
+/// An ordered collection of rules that lints netlists.
+#[derive(Default)]
+pub struct Registry {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl Registry {
+    /// A registry with no rules (build your own set with
+    /// [`Registry::register`]).
+    #[must_use]
+    pub fn empty() -> Self {
+        Registry::default()
+    }
+
+    /// The full built-in rule set — see [`rules`] for the list.
+    #[must_use]
+    pub fn with_default_rules() -> Self {
+        let mut r = Registry::empty();
+        for rule in rules::default_rules() {
+            r.register(rule);
+        }
+        r
+    }
+
+    /// Appends a rule. Rules run in registration order.
+    pub fn register(&mut self, rule: Box<dyn Rule>) {
+        self.rules.push(rule);
+    }
+
+    /// Removes the rule with the given id (no-op if absent).
+    pub fn disable(&mut self, id: &str) {
+        self.rules.retain(|r| r.id() != id);
+    }
+
+    /// The registered rules, in run order.
+    pub fn rules(&self) -> impl Iterator<Item = &dyn Rule> {
+        self.rules.iter().map(AsRef::as_ref)
+    }
+
+    /// Number of registered rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the registry has no rules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Lints `netlist` with default thresholds.
+    #[must_use]
+    pub fn run(&self, netlist: &Netlist) -> LintReport {
+        self.run_with(netlist, LintConfig::default())
+    }
+
+    /// Lints `netlist` with explicit thresholds. The report is sorted
+    /// most-severe first.
+    #[must_use]
+    pub fn run_with(&self, netlist: &Netlist, config: LintConfig) -> LintReport {
+        let ctx = LintContext::new(netlist, config);
+        let mut report = LintReport::new(netlist.name());
+        for rule in &self.rules {
+            rule.check(&ctx, &mut report);
+        }
+        report.sort();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::circuits::c17;
+
+    #[test]
+    fn default_registry_carries_the_documented_rule_set() {
+        let r = Registry::with_default_rules();
+        assert!(r.len() >= 8, "the checker promises at least 8 rules");
+        let ids: Vec<&str> = r.rules().map(Rule::id).collect();
+        // Ids are unique and kebab-case.
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "duplicate rule id");
+        for id in &ids {
+            assert!(
+                id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{id} is not kebab-case"
+            );
+        }
+        for rule in r.rules() {
+            assert!(
+                !rule.description().is_empty(),
+                "{} lacks a description",
+                rule.id()
+            );
+        }
+    }
+
+    #[test]
+    fn disable_removes_a_rule() {
+        let mut r = Registry::with_default_rules();
+        let before = r.len();
+        r.disable("deep-logic");
+        assert_eq!(r.len(), before - 1);
+        r.disable("no-such-rule");
+        assert_eq!(r.len(), before - 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn empty_registry_reports_nothing() {
+        let report = Registry::empty().run(&c17());
+        assert!(report.diagnostics().is_empty());
+        assert_eq!(report.design(), "c17");
+    }
+}

@@ -1,0 +1,918 @@
+//! The built-in rule set.
+//!
+//! Every rule here enforces (or measures) a condition the paper ties to
+//! testability:
+//!
+//! | rule id | checks | paper |
+//! |---------|--------|-------|
+//! | `comb-feedback` | no asynchronous feedback loops | §IV groundrules |
+//! | `unused-input` | every primary input drives logic | §I (modelling) |
+//! | `dead-logic` | every gate can reach a primary output | §III-B observability |
+//! | `constant-output` | no structurally-constant nets / tied pins | §I-A (untestable faults) |
+//! | `excessive-fanout` | fanout below a load bound | §III structure |
+//! | `deep-logic` | combinational depth below a settle bound | §IV-A timing rule |
+//! | `latch-race` | no direct latch-to-latch paths | §IV-B race rule |
+//! | `uninitializable-storage` | state reachable from power-up X | §III-B CLEAR/PRESET |
+//! | `hard-to-control` | SCOAP controllability below threshold | §II measures |
+//! | `hard-to-observe` | SCOAP observability below threshold | §II measures |
+//! | `reconvergent-fanout` | (info) reconvergent paths exist | §I-B sensitization |
+
+use dft_netlist::cones::{fanin_cone, reconvergent_fanouts};
+use dft_netlist::{GateId, GateKind, Netlist};
+use dft_testability::INFINITE;
+
+use crate::context::LintContext;
+use crate::diag::{Category, Diagnostic, LintReport, Severity};
+use crate::registry::Rule;
+
+/// The full built-in rule set, in run order.
+#[must_use]
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(CombFeedback),
+        Box::new(UnusedInput),
+        Box::new(DeadLogic),
+        Box::new(ConstantOutput),
+        Box::new(ExcessiveFanout),
+        Box::new(DeepLogic),
+        Box::new(LatchRace),
+        Box::new(UninitializableStorage),
+        Box::new(HardToControl),
+        Box::new(HardToObserve),
+        Box::new(ReconvergentFanout),
+    ]
+}
+
+/// Flags every combinational feedback loop (one diagnostic per strongly
+/// connected component).
+pub struct CombFeedback;
+
+impl Rule for CombFeedback {
+    fn id(&self) -> &'static str {
+        "comb-feedback"
+    }
+    fn description(&self) -> &'static str {
+        "combinational feedback loops (asynchronous behaviour the gate model cannot express)"
+    }
+    fn category(&self) -> Category {
+        Category::Structure
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        if ctx.levelization().is_ok() {
+            return;
+        }
+        for scc in combinational_sccs(ctx.netlist()) {
+            let gate = scc[0];
+            let related = scc[1..].to_vec();
+            report.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.severity(),
+                    self.category(),
+                    gate,
+                    format!("combinational feedback loop through {} gate(s)", scc.len()),
+                )
+                .with_related(related)
+                .with_hint(
+                    "break the loop with a storage element or redesign the asynchronous latch",
+                ),
+            );
+        }
+    }
+}
+
+/// Strongly connected components of the combinational dependency graph
+/// (edges driver → reader, both non-source). Only real cycles are
+/// returned: components of two or more gates, or a gate feeding itself.
+fn combinational_sccs(netlist: &Netlist) -> Vec<Vec<GateId>> {
+    let n = netlist.gate_count();
+    let fanout = netlist.fanout_map();
+    let is_comb: Vec<bool> = netlist
+        .ids()
+        .map(|id| !netlist.gate(id).kind().is_source())
+        .collect();
+
+    // Iterative Tarjan.
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<GateId>> = Vec::new();
+
+    for root in 0..n {
+        if !is_comb[root] || index[root] != UNVISITED {
+            continue;
+        }
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(frame) = call.last_mut() {
+            let v = frame.0;
+            if frame.1 < fanout[v].len() {
+                let w = fanout[v][frame.1].0.index();
+                frame.1 += 1;
+                if !is_comb[w] {
+                    continue;
+                }
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(parent) = call.last() {
+                    low[parent.0] = low[parent.0].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack holds the component");
+                        on_stack[w] = false;
+                        comp.push(GateId::from_index(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let self_loop =
+                        comp.len() == 1 && netlist.gate(comp[0]).inputs().contains(&comp[0]);
+                    if comp.len() > 1 || self_loop {
+                        comp.sort();
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+    }
+    sccs.sort_by_key(|c| c[0]);
+    sccs
+}
+
+/// Flags primary inputs that drive nothing.
+pub struct UnusedInput;
+
+impl Rule for UnusedInput {
+    fn id(&self) -> &'static str {
+        "unused-input"
+    }
+    fn description(&self) -> &'static str {
+        "primary inputs with no readers (dead pins)"
+    }
+    fn category(&self) -> Category {
+        Category::Structure
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let netlist = ctx.netlist();
+        for &pi in netlist.primary_inputs() {
+            let feeds_logic = !ctx.fanout()[pi.index()].is_empty();
+            let is_output = netlist.primary_outputs().iter().any(|&(g, _)| g == pi);
+            if !feeds_logic && !is_output {
+                let name = netlist.gate(pi).name().unwrap_or("?");
+                report.push(
+                    Diagnostic::new(
+                        self.id(),
+                        self.severity(),
+                        self.category(),
+                        pi,
+                        format!("primary input '{name}' drives nothing"),
+                    )
+                    .with_hint("connect the input or drop the pin"),
+                );
+            }
+        }
+    }
+}
+
+/// Flags gates from which no primary output is structurally reachable:
+/// their entire fanout cone — and every fault in it — is unobservable.
+pub struct DeadLogic;
+
+impl Rule for DeadLogic {
+    fn id(&self) -> &'static str {
+        "dead-logic"
+    }
+    fn description(&self) -> &'static str {
+        "gates whose output can never reach a primary output (unobservable cones)"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let netlist = ctx.netlist();
+        let roots: Vec<GateId> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
+        let observable = fanin_cone(netlist, &roots, true);
+        for (id, gate) in netlist.iter() {
+            // Inputs have their own rule; stray constants are harmless
+            // construction artifacts (placeholder ties).
+            if matches!(
+                gate.kind(),
+                GateKind::Input | GateKind::Const0 | GateKind::Const1
+            ) || observable.contains(&id)
+            {
+                continue;
+            }
+            report.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.severity(),
+                    self.category(),
+                    id,
+                    "no primary output is structurally reachable from this gate",
+                )
+                .with_hint("mark an output or add an observation test point (§III-B)"),
+            );
+        }
+    }
+}
+
+/// Flags structurally-constant nets and tied noncontrolling pins — both
+/// make stuck-at faults provably untestable.
+pub struct ConstantOutput;
+
+impl Rule for ConstantOutput {
+    fn id(&self) -> &'static str {
+        "constant-output"
+    }
+    fn description(&self) -> &'static str {
+        "nets constant under every input assignment, and pins tied to noncontrolling values"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let Some(constants) = ctx.constants() else {
+            return;
+        };
+        let netlist = ctx.netlist();
+        for (id, gate) in netlist.iter() {
+            if gate.kind().is_source() {
+                continue;
+            }
+            if let Some(v) = constants[id.index()].to_bool() {
+                let v = u8::from(v);
+                report.push(
+                    Diagnostic::new(
+                        self.id(),
+                        self.severity(),
+                        self.category(),
+                        id,
+                        format!(
+                            "output is constant {v} for every input assignment; \
+                             stuck-at-{v} here is untestable"
+                        ),
+                    )
+                    .with_hint("fold the constant into the fanout or remove the redundant logic"),
+                );
+                continue;
+            }
+            // Output not constant: a tied *noncontrolling* pin is still
+            // redundant (the pin never decides the output).
+            let Some(c) = gate.kind().controlling_value() else {
+                continue;
+            };
+            for (pin, &src) in gate.inputs().iter().enumerate() {
+                if let Some(v) = constants[src.index()].to_bool() {
+                    if v != c {
+                        let v = u8::from(v);
+                        report.push(
+                            Diagnostic::new(
+                                self.id(),
+                                self.severity(),
+                                self.category(),
+                                id,
+                                format!(
+                                    "input pin {pin} is always {v} (the noncontrolling value \
+                                     for {}): its stuck-at-{v} fault is untestable",
+                                    gate.kind()
+                                ),
+                            )
+                            .with_related(vec![src])
+                            .with_hint("drop the pin or the constant driver"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Flags nets driving more input pins than the configured load bound.
+pub struct ExcessiveFanout;
+
+impl Rule for ExcessiveFanout {
+    fn id(&self) -> &'static str {
+        "excessive-fanout"
+    }
+    fn description(&self) -> &'static str {
+        "nets driving more input pins than the configured bound"
+    }
+    fn category(&self) -> Category {
+        Category::Structure
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let limit = ctx.config().max_fanout;
+        for id in ctx.netlist().ids() {
+            let pins = ctx.fanout()[id.index()].len();
+            if pins > limit {
+                report.push(
+                    Diagnostic::new(
+                        self.id(),
+                        self.severity(),
+                        self.category(),
+                        id,
+                        format!("net drives {pins} input pins (limit {limit})"),
+                    )
+                    .with_hint("buffer the net or split the load tree"),
+                );
+            }
+        }
+    }
+}
+
+/// Flags gates deeper than the configured logic-depth bound.
+pub struct DeepLogic;
+
+impl Rule for DeepLogic {
+    fn id(&self) -> &'static str {
+        "deep-logic"
+    }
+    fn description(&self) -> &'static str {
+        "combinational depth beyond the configured settle bound"
+    }
+    fn category(&self) -> Category {
+        Category::Timing
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let Ok(lv) = ctx.levelization() else {
+            return;
+        };
+        let bound = ctx.config().max_depth;
+        for (id, gate) in ctx.netlist().iter() {
+            if !gate.kind().is_source() && lv.level(id) > bound {
+                report.push(
+                    Diagnostic::new(
+                        self.id(),
+                        self.severity(),
+                        self.category(),
+                        id,
+                        format!("logic level {} exceeds bound {bound}", lv.level(id)),
+                    )
+                    .with_hint("deep cones defeat the settle-time discipline; pipeline or retime"),
+                );
+            }
+        }
+    }
+}
+
+/// Flags storage elements fed directly by other storage elements — the
+/// race the Scan Path flip-flop narrows and LSSD's two-phase SRL
+/// eliminates.
+pub struct LatchRace;
+
+impl Rule for LatchRace {
+    fn id(&self) -> &'static str {
+        "latch-race"
+    }
+    fn description(&self) -> &'static str {
+        "storage data inputs driven directly by other storage (race without two-phase cells)"
+    }
+    fn category(&self) -> Category {
+        Category::Timing
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let netlist = ctx.netlist();
+        for dff in netlist.storage_elements() {
+            let d = netlist.gate(dff).inputs()[0];
+            if netlist.gate(d).kind().is_storage() {
+                report.push(
+                    Diagnostic::new(
+                        self.id(),
+                        self.severity(),
+                        self.category(),
+                        dff,
+                        format!(
+                            "data input is driven directly by latch {d}: \
+                             a race unless the cell is two-phase"
+                        ),
+                    )
+                    .with_related(vec![d])
+                    .with_hint(
+                        "insert logic between the latches or use a master/slave (LSSD SRL) cell",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Flags storage that can never be steered out of its power-up X state.
+pub struct UninitializableStorage;
+
+impl Rule for UninitializableStorage {
+    fn id(&self) -> &'static str {
+        "uninitializable-storage"
+    }
+    fn description(&self) -> &'static str {
+        "storage elements that no input sequence can initialize (infinite SCOAP cost)"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let Some(scoap) = ctx.scoap() else {
+            return;
+        };
+        for dff in ctx.netlist().storage_elements() {
+            let m = scoap.measure(dff);
+            if m.cc0 >= INFINITE && m.cc1 >= INFINITE {
+                report.push(
+                    Diagnostic::new(
+                        self.id(),
+                        self.severity(),
+                        self.category(),
+                        dff,
+                        "storage element can never be initialized from the primary inputs",
+                    )
+                    .with_hint(
+                        "add a CLEAR/PRESET line (§III-B) or place the latch on a scan chain (§IV)",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Flags nets whose (finite) SCOAP controllability exceeds the
+/// configured threshold.
+pub struct HardToControl;
+
+impl Rule for HardToControl {
+    fn id(&self) -> &'static str {
+        "hard-to-control"
+    }
+    fn description(&self) -> &'static str {
+        "nets with finite but excessive SCOAP controllability cost"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let Some(scoap) = ctx.scoap() else {
+            return;
+        };
+        let limit = ctx.config().controllability_limit;
+        for id in ctx.netlist().ids() {
+            let m = scoap.measure(id);
+            let cc = m.cc0.min(m.cc1);
+            if cc < INFINITE && cc > limit {
+                report.push(
+                    Diagnostic::new(
+                        self.id(),
+                        self.severity(),
+                        self.category(),
+                        id,
+                        format!("controllability cost {cc} exceeds the limit {limit}"),
+                    )
+                    .with_hint("insert a control test point near this net (§III-B)"),
+                );
+            }
+        }
+    }
+}
+
+/// Flags nets whose (finite) SCOAP observability exceeds the configured
+/// threshold.
+pub struct HardToObserve;
+
+impl Rule for HardToObserve {
+    fn id(&self) -> &'static str {
+        "hard-to-observe"
+    }
+    fn description(&self) -> &'static str {
+        "nets with finite but excessive SCOAP observability cost"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let Some(scoap) = ctx.scoap() else {
+            return;
+        };
+        let limit = ctx.config().observability_limit;
+        for id in ctx.netlist().ids() {
+            let co = scoap.observability(id);
+            if co < INFINITE && co > limit {
+                report.push(
+                    Diagnostic::new(
+                        self.id(),
+                        self.severity(),
+                        self.category(),
+                        id,
+                        format!("observability cost {co} exceeds the limit {limit}"),
+                    )
+                    .with_hint("route the net to an observation test point or spare output pin"),
+                );
+            }
+        }
+    }
+}
+
+/// Notes every reconvergent fanout stem (informational).
+pub struct ReconvergentFanout;
+
+impl Rule for ReconvergentFanout {
+    fn id(&self) -> &'static str {
+        "reconvergent-fanout"
+    }
+    fn description(&self) -> &'static str {
+        "fanout branches that meet again (correlated paths; informational)"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Info
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        for rec in reconvergent_fanouts(ctx.netlist()) {
+            report.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.severity(),
+                    self.category(),
+                    rec.stem,
+                    format!("fanout branches reconverge at {}", rec.meet),
+                )
+                .with_related(vec![rec.meet])
+                .with_hint(
+                    "correlated paths can mask faults; single-path sensitization \
+                     arguments do not hold at the meet gate",
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::LintConfig;
+    use crate::registry::Registry;
+    use dft_netlist::circuits::{
+        binary_counter, c17, parity_tree, ripple_carry_adder, shift_register,
+    };
+    use dft_netlist::Netlist as NL;
+
+    fn lint(netlist: &NL) -> LintReport {
+        Registry::with_default_rules().run(netlist)
+    }
+
+    fn lint_with(netlist: &NL, config: LintConfig) -> LintReport {
+        Registry::with_default_rules().run_with(netlist, config)
+    }
+
+    fn count(report: &LintReport, rule: &str) -> usize {
+        report.by_rule(rule).count()
+    }
+
+    // --- comb-feedback ---------------------------------------------------
+
+    #[test]
+    fn comb_feedback_triggers_on_a_cycle() {
+        let mut n = NL::new("loop");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::And, &[a, a]).unwrap();
+        let g2 = n.add_gate(GateKind::Or, &[g1, a]).unwrap();
+        n.reconnect_input(g1, 1, g2).unwrap();
+        n.mark_output(g2, "y").unwrap();
+        let r = lint(&n);
+        assert_eq!(count(&r, "comb-feedback"), 1);
+        let d = r.by_rule("comb-feedback").next().unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.related.len(), 1, "both loop gates are reported");
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn comb_feedback_reports_each_loop_and_self_loops() {
+        let mut n = NL::new("loops");
+        let a = n.add_input("a");
+        // Loop 1: g1 <-> g2. Loop 2: g3 -> g3 (self).
+        let g1 = n.add_gate(GateKind::And, &[a, a]).unwrap();
+        let g2 = n.add_gate(GateKind::Or, &[g1, a]).unwrap();
+        n.reconnect_input(g1, 1, g2).unwrap();
+        let g3 = n.add_gate(GateKind::Nand, &[a, a]).unwrap();
+        n.reconnect_input(g3, 1, g3).unwrap();
+        let r = lint(&n);
+        assert_eq!(count(&r, "comb-feedback"), 2);
+    }
+
+    #[test]
+    fn comb_feedback_clean_on_storage_feedback() {
+        // binary_counter feeds state back through DFFs: legal.
+        let r = lint(&binary_counter(4));
+        assert_eq!(count(&r, "comb-feedback"), 0);
+    }
+
+    // --- unused-input ----------------------------------------------------
+
+    #[test]
+    fn unused_input_triggers() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let _dangling = n.add_input("nc");
+        let g = n.add_gate(GateKind::Not, &[a]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        let r = lint(&n);
+        assert_eq!(count(&r, "unused-input"), 1);
+        assert!(r
+            .by_rule("unused-input")
+            .next()
+            .unwrap()
+            .message
+            .contains("'nc'"));
+    }
+
+    #[test]
+    fn unused_input_clean_when_input_is_an_output() {
+        // A feed-through pin: read by nothing but observed directly.
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        n.mark_output(a, "y").unwrap();
+        assert_eq!(count(&lint(&n), "unused-input"), 0);
+    }
+
+    // --- dead-logic ------------------------------------------------------
+
+    #[test]
+    fn dead_logic_triggers_on_unobservable_cone() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let live = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        let dead = n.add_gate(GateKind::Or, &[a, b]).unwrap();
+        let deader = n.add_gate(GateKind::Not, &[dead]).unwrap();
+        n.mark_output(live, "y").unwrap();
+        let r = lint(&n);
+        assert_eq!(count(&r, "dead-logic"), 2);
+        let flagged: Vec<GateId> = r.by_rule("dead-logic").map(|d| d.gate).collect();
+        assert!(flagged.contains(&dead) && flagged.contains(&deader));
+    }
+
+    #[test]
+    fn dead_logic_sees_through_storage() {
+        // gate -> DFF -> output: observable across the clock boundary.
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let g = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let d = n.add_dff(g).unwrap();
+        n.mark_output(d, "q").unwrap();
+        assert_eq!(count(&lint(&n), "dead-logic"), 0);
+    }
+
+    #[test]
+    fn dead_logic_clean_on_c17() {
+        assert_eq!(count(&lint(&c17()), "dead-logic"), 0);
+    }
+
+    // --- constant-output -------------------------------------------------
+
+    #[test]
+    fn constant_output_triggers_on_controlled_gate() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let zero = n.add_const(false);
+        let g = n.add_gate(GateKind::And, &[a, zero]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        let r = lint(&n);
+        assert_eq!(count(&r, "constant-output"), 1);
+        let d = r.by_rule("constant-output").next().unwrap();
+        assert_eq!(d.gate, g);
+        assert!(d.message.contains("constant 0"));
+        assert!(d.message.contains("stuck-at-0"));
+    }
+
+    #[test]
+    fn constant_output_flags_tied_noncontrolling_pin() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let zero = n.add_const(false);
+        let g = n.add_gate(GateKind::Or, &[a, zero]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        let r = lint(&n);
+        assert_eq!(count(&r, "constant-output"), 1);
+        let d = r.by_rule("constant-output").next().unwrap();
+        assert!(d.message.contains("pin 1"));
+        assert!(d.message.contains("noncontrolling"));
+        assert_eq!(d.related, vec![zero]);
+    }
+
+    #[test]
+    fn constant_output_clean_on_c17() {
+        assert_eq!(count(&lint(&c17()), "constant-output"), 0);
+    }
+
+    // --- excessive-fanout ------------------------------------------------
+
+    #[test]
+    fn excessive_fanout_triggers_beyond_the_bound() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        for i in 0..3 {
+            let g = n.add_gate(GateKind::And, &[a, b]).unwrap();
+            n.mark_output(g, format!("y{i}")).unwrap();
+        }
+        let tight = LintConfig {
+            max_fanout: 2,
+            ..LintConfig::default()
+        };
+        let r = lint_with(&n, tight);
+        // a and b each drive 3 pins.
+        assert_eq!(count(&r, "excessive-fanout"), 2);
+        assert!(r
+            .by_rule("excessive-fanout")
+            .next()
+            .unwrap()
+            .message
+            .contains("drives 3 input pins (limit 2)"));
+    }
+
+    #[test]
+    fn excessive_fanout_clean_at_default_on_library_circuits() {
+        assert_eq!(count(&lint(&c17()), "excessive-fanout"), 0);
+        assert_eq!(count(&lint(&ripple_carry_adder(8)), "excessive-fanout"), 0);
+    }
+
+    // --- deep-logic ------------------------------------------------------
+
+    #[test]
+    fn deep_logic_triggers_with_a_tight_bound() {
+        let tight = LintConfig {
+            max_depth: 5,
+            ..LintConfig::default()
+        };
+        let r = lint_with(&ripple_carry_adder(16), tight);
+        assert!(count(&r, "deep-logic") > 0);
+        assert!(r
+            .by_rule("deep-logic")
+            .next()
+            .unwrap()
+            .message
+            .contains("exceeds bound 5"));
+    }
+
+    #[test]
+    fn deep_logic_clean_at_default() {
+        assert_eq!(count(&lint(&ripple_carry_adder(16)), "deep-logic"), 0);
+    }
+
+    // --- latch-race ------------------------------------------------------
+
+    #[test]
+    fn latch_race_triggers_on_shift_register() {
+        let r = lint(&shift_register(4));
+        // Stages 1..3 are fed directly by the previous stage.
+        assert_eq!(count(&r, "latch-race"), 3);
+        let d = r.by_rule("latch-race").next().unwrap();
+        assert_eq!(d.related.len(), 1);
+        assert!(d.message.contains("race"));
+    }
+
+    #[test]
+    fn latch_race_clean_on_counter() {
+        // Counter state feeds back through XOR/AND logic, never directly.
+        assert_eq!(count(&lint(&binary_counter(4)), "latch-race"), 0);
+    }
+
+    // --- uninitializable-storage ----------------------------------------
+
+    #[test]
+    fn uninitializable_storage_triggers_on_counter() {
+        // No reset: state can never be steered from power-up X.
+        let r = lint(&binary_counter(4));
+        assert_eq!(count(&r, "uninitializable-storage"), 4);
+    }
+
+    #[test]
+    fn uninitializable_storage_clean_on_shift_register() {
+        // Serial input reaches every stage.
+        assert_eq!(
+            count(&lint(&shift_register(4)), "uninitializable-storage"),
+            0
+        );
+    }
+
+    // --- hard-to-control / hard-to-observe -------------------------------
+
+    #[test]
+    fn hard_to_control_triggers_with_a_tight_limit() {
+        let tight = LintConfig {
+            controllability_limit: 5,
+            ..LintConfig::default()
+        };
+        let r = lint_with(&ripple_carry_adder(16), tight);
+        assert!(count(&r, "hard-to-control") > 0);
+        assert!(r
+            .by_rule("hard-to-control")
+            .next()
+            .unwrap()
+            .message
+            .contains("exceeds the limit 5"));
+    }
+
+    #[test]
+    fn hard_to_observe_triggers_with_a_tight_limit() {
+        let tight = LintConfig {
+            observability_limit: 5,
+            ..LintConfig::default()
+        };
+        let r = lint_with(&ripple_carry_adder(16), tight);
+        assert!(count(&r, "hard-to-observe") > 0);
+    }
+
+    #[test]
+    fn scoap_rules_clean_at_default_limits() {
+        for n in [c17(), ripple_carry_adder(16), parity_tree(16)] {
+            let r = lint(&n);
+            assert_eq!(count(&r, "hard-to-control"), 0, "{}", n.name());
+            assert_eq!(count(&r, "hard-to-observe"), 0, "{}", n.name());
+        }
+    }
+
+    #[test]
+    fn infinite_costs_are_not_reported_as_hard() {
+        // The counter's uncontrollable state is the uninitializable-storage
+        // rule's finding, not a "hard but finite" one.
+        let r = lint(&binary_counter(4));
+        assert_eq!(count(&r, "hard-to-control"), 0);
+    }
+
+    // --- reconvergent-fanout ---------------------------------------------
+
+    #[test]
+    fn reconvergent_fanout_notes_c17() {
+        let r = lint(&c17());
+        assert!(count(&r, "reconvergent-fanout") > 0);
+        for d in r.by_rule("reconvergent-fanout") {
+            assert_eq!(d.severity, Severity::Info);
+            assert_eq!(d.related.len(), 1);
+        }
+        // Info only: c17 still counts as clean.
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn reconvergent_fanout_clean_on_fanout_free_tree() {
+        assert_eq!(count(&lint(&parity_tree(8)), "reconvergent-fanout"), 0);
+    }
+
+    // --- whole-registry smoke --------------------------------------------
+
+    #[test]
+    fn c17_is_clean_overall() {
+        let r = lint(&c17());
+        assert!(r.is_clean(), "unexpected findings:\n{}", r.to_text());
+        assert!(!r.has_errors());
+    }
+}

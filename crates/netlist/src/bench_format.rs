@@ -78,15 +78,17 @@ pub fn parse(text: &str, name: impl Into<String>) -> Result<Netlist, ParseBenchE
             let target = line[..eq].trim();
             let rhs = line[eq + 1..].trim();
             let open = rhs.find('(').ok_or_else(|| {
-                ParseBenchError::new(lineno, format!("expected KIND(args) after '=', got {rhs:?}"))
+                ParseBenchError::new(
+                    lineno,
+                    format!("expected KIND(args) after '=', got {rhs:?}"),
+                )
             })?;
             if !rhs.ends_with(')') {
                 return Err(ParseBenchError::new(lineno, "missing closing parenthesis"));
             }
             let kw = rhs[..open].trim();
-            let kind = GateKind::from_keyword(kw).ok_or_else(|| {
-                ParseBenchError::new(lineno, format!("unknown gate kind {kw}"))
-            })?;
+            let kind = GateKind::from_keyword(kw)
+                .ok_or_else(|| ParseBenchError::new(lineno, format!("unknown gate kind {kw}")))?;
             if matches!(kind, GateKind::Input) {
                 return Err(ParseBenchError::new(
                     lineno,
@@ -117,9 +119,9 @@ pub fn parse(text: &str, name: impl Into<String>) -> Result<Netlist, ParseBenchE
     for (lineno, decl) in &decls {
         let (signal, id) = match decl {
             Decl::Input(n) => {
-                let id = netlist.try_add_input(*n).map_err(|e| {
-                    ParseBenchError::new(*lineno, e.to_string())
-                })?;
+                let id = netlist
+                    .try_add_input(*n)
+                    .map_err(|e| ParseBenchError::new(*lineno, e.to_string()))?;
                 (*n, id)
             }
             Decl::Gate { target, kind, args } => {
@@ -162,9 +164,9 @@ pub fn parse(text: &str, name: impl Into<String>) -> Result<Netlist, ParseBenchE
     }
 
     for (lineno, out) in output_decls {
-        let id = *by_name
-            .get(out)
-            .ok_or_else(|| ParseBenchError::new(lineno, format!("undefined output signal {out}")))?;
+        let id = *by_name.get(out).ok_or_else(|| {
+            ParseBenchError::new(lineno, format!("undefined output signal {out}"))
+        })?;
         netlist
             .mark_output(id, out)
             .map_err(|e| ParseBenchError::new(lineno, e.to_string()))?;
@@ -206,9 +208,14 @@ pub fn write(netlist: &Netlist) -> String {
         match gate.kind() {
             GateKind::Input => {}
             kind => {
-                let args: Vec<String> =
-                    gate.inputs().iter().map(|&src| name_of(src)).collect();
-                let _ = writeln!(out, "{} = {}({})", name_of(id), kind.keyword(), args.join(", "));
+                let args: Vec<String> = gate.inputs().iter().map(|&src| name_of(src)).collect();
+                let _ = writeln!(
+                    out,
+                    "{} = {}({})",
+                    name_of(id),
+                    kind.keyword(),
+                    args.join(", ")
+                );
             }
         }
     }

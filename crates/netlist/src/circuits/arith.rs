@@ -50,7 +50,9 @@ pub fn carry_lookahead_adder(width: usize) -> Netlist {
     }
 
     for i in 0..width {
-        let s = n.add_gate(GateKind::Xor, &[p[i], carries[i]]).expect("valid");
+        let s = n
+            .add_gate(GateKind::Xor, &[p[i], carries[i]])
+            .expect("valid");
         n.mark_output(s, format!("s{i}")).expect("fresh name");
     }
     n.mark_output(carries[width], "cout").expect("fresh name");
@@ -109,8 +111,7 @@ mod tests {
                 GateKind::Const0 => vals[id.index()] = false,
                 GateKind::Const1 => vals[id.index()] = true,
                 kind => {
-                    let ins: Vec<bool> =
-                        g.inputs().iter().map(|&s| vals[s.index()]).collect();
+                    let ins: Vec<bool> = g.inputs().iter().map(|&s| vals[s.index()]).collect();
                     vals[id.index()] = kind.eval_bool(&ins);
                 }
             }

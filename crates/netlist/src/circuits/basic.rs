@@ -95,7 +95,10 @@ pub fn parity_tree(width: usize) -> Netlist {
         let mut next = Vec::with_capacity(layer.len().div_ceil(2));
         for pair in layer.chunks(2) {
             if pair.len() == 2 {
-                next.push(n.add_gate(GateKind::Xor, &[pair[0], pair[1]]).expect("valid"));
+                next.push(
+                    n.add_gate(GateKind::Xor, &[pair[0], pair[1]])
+                        .expect("valid"),
+                );
             } else {
                 next.push(pair[0]);
             }
@@ -142,7 +145,9 @@ pub fn mux_tree(sel_bits: usize) -> Netlist {
     let data: Vec<GateId> = (0..1usize << sel_bits)
         .map(|i| n.add_input(format!("d{i}")))
         .collect();
-    let sel: Vec<GateId> = (0..sel_bits).map(|i| n.add_input(format!("s{i}"))).collect();
+    let sel: Vec<GateId> = (0..sel_bits)
+        .map(|i| n.add_input(format!("s{i}")))
+        .collect();
     let sel_n: Vec<GateId> = sel
         .iter()
         .map(|&s| n.add_gate(GateKind::Not, &[s]).expect("valid"))
@@ -154,7 +159,9 @@ pub fn mux_tree(sel_bits: usize) -> Netlist {
             let lo = n
                 .add_gate(GateKind::And, &[pair[0], sel_n[bit]])
                 .expect("valid");
-            let hi = n.add_gate(GateKind::And, &[pair[1], sel[bit]]).expect("valid");
+            let hi = n
+                .add_gate(GateKind::And, &[pair[1], sel[bit]])
+                .expect("valid");
             next.push(n.add_gate(GateKind::Or, &[lo, hi]).expect("valid"));
         }
         layer = next;
@@ -179,7 +186,13 @@ pub fn decoder(width: usize) -> Netlist {
         .collect();
     for code in 0..1usize << width {
         let terms: Vec<GateId> = (0..width)
-            .map(|bit| if code >> bit & 1 == 1 { x[bit] } else { xn[bit] })
+            .map(|bit| {
+                if code >> bit & 1 == 1 {
+                    x[bit]
+                } else {
+                    xn[bit]
+                }
+            })
             .collect();
         let y = if terms.len() == 1 {
             n.add_gate(GateKind::Buf, &[terms[0]]).expect("valid")

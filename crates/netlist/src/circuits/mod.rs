@@ -17,10 +17,10 @@ mod sn74181;
 
 pub use arith::{barrel_shifter, carry_lookahead_adder};
 pub use basic::{
-    c17, comparator, decoder, full_adder, majority, mux_tree, parity_tree,
-    ripple_carry_adder, wallace_multiplier,
+    c17, comparator, decoder, full_adder, majority, mux_tree, parity_tree, ripple_carry_adder,
+    wallace_multiplier,
 };
-pub use pla::{Pla, PlaCube, random_pattern_resistant_pla};
-pub use random::{RandomCircuit, random_combinational};
+pub use pla::{random_pattern_resistant_pla, Pla, PlaCube};
+pub use random::{random_combinational, RandomCircuit};
 pub use sequential::{binary_counter, johnson_counter, random_sequential, shift_register};
 pub use sn74181::{sn74181, Sn74181Ports};

@@ -120,7 +120,9 @@ pub fn random_sequential(
 ) -> Netlist {
     assert!(inputs > 0 && state_bits > 0 && gates_per_cone > 0 && outputs > 0);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut n = Netlist::new(format!("fsm_i{inputs}_s{state_bits}_g{gates_per_cone}_x{seed}"));
+    let mut n = Netlist::new(format!(
+        "fsm_i{inputs}_s{state_bits}_g{gates_per_cone}_x{seed}"
+    ));
     let pis: Vec<GateId> = (0..inputs).map(|i| n.add_input(format!("x{i}"))).collect();
     let placeholder = n.add_const(false);
     let state: Vec<GateId> = (0..state_bits)

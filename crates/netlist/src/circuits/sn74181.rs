@@ -87,8 +87,12 @@ pub fn sn74181() -> (Netlist, Sn74181Ports) {
         let t1 = n.add_gate(GateKind::And, &[b[i], s[0]]).expect("valid");
         let t2 = n.add_gate(GateKind::And, &[bn[i], s[1]]).expect("valid");
         x[i] = n.add_gate(GateKind::Nor, &[a[i], t1, t2]).expect("valid");
-        let t3 = n.add_gate(GateKind::And, &[bn[i], s[2], a[i]]).expect("valid");
-        let t4 = n.add_gate(GateKind::And, &[b[i], s[3], a[i]]).expect("valid");
+        let t3 = n
+            .add_gate(GateKind::And, &[bn[i], s[2], a[i]])
+            .expect("valid");
+        let t4 = n
+            .add_gate(GateKind::And, &[b[i], s[3], a[i]])
+            .expect("valid");
         y[i] = n.add_gate(GateKind::Nor, &[t3, t4]).expect("valid");
         h[i] = n.add_gate(GateKind::Xor, &[x[i], y[i]]).expect("valid");
     }
@@ -129,7 +133,9 @@ pub fn sn74181() -> (Netlist, Sn74181Ports) {
     // F_i = h_i ⊕ (M̄ ∧ c_i): logic mode suppresses carries.
     let mbar = n.add_gate(GateKind::Not, &[m]).expect("valid");
     let f: [GateId; 4] = core::array::from_fn(|i| {
-        let gated = n.add_gate(GateKind::And, &[mbar, carries[i]]).expect("valid");
+        let gated = n
+            .add_gate(GateKind::And, &[mbar, carries[i]])
+            .expect("valid");
         n.add_gate(GateKind::Xor, &[h[i], gated]).expect("valid")
     });
 
@@ -283,7 +289,8 @@ mod tests {
                                     k += 1;
                                 }
                             }
-                            let out = eval(&n, &assign_vector(&p, a, b, s, true, false), &[p.f[bit]]);
+                            let out =
+                                eval(&n, &assign_vector(&p, a, b, s, true, false), &[p.f[bit]]);
                             seen.insert(out[0]);
                         }
                         assert_eq!(seen.len(), 1, "F{bit} not bitwise at s={s}");

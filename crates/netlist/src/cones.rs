@@ -24,11 +24,7 @@ use crate::{GateId, Netlist};
 /// assert!(cone.len() > 1 && cone.len() <= c17.gate_count());
 /// ```
 #[must_use]
-pub fn fanin_cone(
-    netlist: &Netlist,
-    roots: &[GateId],
-    through_storage: bool,
-) -> HashSet<GateId> {
+pub fn fanin_cone(netlist: &Netlist, roots: &[GateId], through_storage: bool) -> HashSet<GateId> {
     let mut cone = HashSet::new();
     let mut stack: Vec<GateId> = roots.to_vec();
     while let Some(g) = stack.pop() {
@@ -48,11 +44,7 @@ pub fn fanin_cone(
 ///
 /// With `through_storage = false` the walk stops at storage data inputs.
 #[must_use]
-pub fn fanout_cone(
-    netlist: &Netlist,
-    roots: &[GateId],
-    through_storage: bool,
-) -> HashSet<GateId> {
+pub fn fanout_cone(netlist: &Netlist, roots: &[GateId], through_storage: bool) -> HashSet<GateId> {
     let fanout = netlist.fanout_map();
     let mut cone = HashSet::new();
     let mut stack: Vec<GateId> = roots.to_vec();
@@ -68,6 +60,98 @@ pub fn fanout_cone(
         }
     }
     cone
+}
+
+/// A reconvergent-fanout pair: two (or more) fanout branches of `stem`
+/// meet again at `meet`.
+///
+/// Reconvergence is the structural condition behind correlated path
+/// sensitization — the reason single-path reasoning (and the simplest
+/// testability heuristics) under- or over-estimate what a fault on the
+/// stem can do at the meet point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reconvergence {
+    /// The multi-fanout net whose branches reconverge.
+    pub stem: GateId,
+    /// The shallowest gate where two distinct branches meet again.
+    pub meet: GateId,
+}
+
+/// Finds every stem whose fanout branches reconverge within the
+/// combinational frame.
+///
+/// One [`Reconvergence`] is reported per stem, with the shallowest meet
+/// gate (ties broken by arena order). Branch walks stop at storage
+/// elements — reconvergence across clock cycles is a different (timing)
+/// phenomenon. Stems with more than 32 fanout branches are analyzed
+/// through their first 32. Returns an empty list for netlists whose
+/// combinational frame is cyclic (run [`Netlist::levelize`] first to
+/// diagnose the cycle itself).
+///
+/// ```
+/// use dft_netlist::{circuits::c17, cones::reconvergent_fanouts};
+///
+/// // c17's branching NAND structure reconverges; a fanout-free tree
+/// // would yield an empty list.
+/// assert!(!reconvergent_fanouts(&c17()).is_empty());
+/// ```
+#[must_use]
+pub fn reconvergent_fanouts(netlist: &Netlist) -> Vec<Reconvergence> {
+    let Ok(lv) = netlist.levelize() else {
+        return Vec::new();
+    };
+    let fanout = netlist.fanout_map();
+    let mut seen = vec![0u32; netlist.gate_count()];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut out = Vec::new();
+
+    for stem in netlist.ids() {
+        let branches = &fanout[stem.index()];
+        if branches.len() < 2 {
+            continue;
+        }
+        for &i in &touched {
+            seen[i] = 0;
+        }
+        touched.clear();
+        let mut meet: Option<GateId> = None;
+        let better = |cand: GateId, best: Option<GateId>| match best {
+            None => Some(cand),
+            Some(b) if (lv.level(cand), cand) < (lv.level(b), b) => Some(cand),
+            keep => keep,
+        };
+        for (b, &(reader, _)) in branches.iter().take(32).enumerate() {
+            if netlist.gate(reader).kind().is_storage() {
+                continue;
+            }
+            let bit = 1u32 << b;
+            let mut stack = vec![reader];
+            while let Some(g) = stack.pop() {
+                let gi = g.index();
+                if seen[gi] & bit != 0 {
+                    continue;
+                }
+                if seen[gi] != 0 {
+                    // Already reached from an earlier branch: a meet.
+                    // Everything past it was explored by that branch, so
+                    // this branch need not walk on.
+                    meet = better(g, meet);
+                    continue;
+                }
+                touched.push(gi);
+                seen[gi] |= bit;
+                for &(r, _) in &fanout[gi] {
+                    if !netlist.gate(r).kind().is_storage() {
+                        stack.push(r);
+                    }
+                }
+            }
+        }
+        if let Some(meet) = meet {
+            out.push(Reconvergence { stem, meet });
+        }
+    }
+    out
 }
 
 /// Primary outputs structurally reachable from `net` within the
@@ -122,6 +206,76 @@ mod tests {
         for q in n.storage_elements() {
             assert!(multi.contains(&q));
         }
+    }
+
+    #[test]
+    fn fanout_free_tree_has_no_reconvergence() {
+        // A balanced XOR tree: every net has exactly one reader.
+        let n = crate::circuits::parity_tree(8);
+        assert!(reconvergent_fanouts(&n).is_empty());
+    }
+
+    #[test]
+    fn diamond_reconverges_at_the_join() {
+        let mut n = NL::new("diamond");
+        let a = n.add_input("a");
+        let p = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let q = n.add_gate(GateKind::Buf, &[a]).unwrap();
+        let j = n.add_gate(GateKind::And, &[p, q]).unwrap();
+        n.mark_output(j, "y").unwrap();
+        let rec = reconvergent_fanouts(&n);
+        assert_eq!(rec, vec![Reconvergence { stem: a, meet: j }]);
+    }
+
+    #[test]
+    fn same_reader_on_two_pins_is_immediate_reconvergence() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let g = n.add_gate(GateKind::Xor, &[a, a]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        let rec = reconvergent_fanouts(&n);
+        assert_eq!(rec, vec![Reconvergence { stem: a, meet: g }]);
+    }
+
+    #[test]
+    fn shallowest_meet_is_reported() {
+        // a fans out to b and c; b,c meet at m1 (level 2), and again at
+        // m2 (level 3). Only m1 is reported.
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let b = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let c = n.add_gate(GateKind::Buf, &[a]).unwrap();
+        let m1 = n.add_gate(GateKind::And, &[b, c]).unwrap();
+        let m2 = n.add_gate(GateKind::Or, &[m1, c]).unwrap();
+        n.mark_output(m2, "y").unwrap();
+        let rec = reconvergent_fanouts(&n);
+        let of_a: Vec<_> = rec.iter().filter(|r| r.stem == a).collect();
+        assert_eq!(of_a.len(), 1);
+        assert_eq!(of_a[0].meet, m1);
+    }
+
+    #[test]
+    fn storage_bounds_the_branch_walk() {
+        // Branches reconverge only through a DFF: not reported.
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let p = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let d = n.add_dff(p).unwrap();
+        let j = n.add_gate(GateKind::And, &[d, a]).unwrap();
+        n.mark_output(j, "y").unwrap();
+        // a's branches: p (→ DFF, stops) and j directly — no comb meet.
+        assert!(reconvergent_fanouts(&n).iter().all(|r| r.stem != a));
+    }
+
+    #[test]
+    fn cyclic_netlists_yield_nothing() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::And, &[a, a]).unwrap();
+        let g2 = n.add_gate(GateKind::Or, &[g1, a]).unwrap();
+        n.reconnect_input(g1, 1, g2).unwrap();
+        assert!(n.levelize().is_err());
+        assert!(reconvergent_fanouts(&n).is_empty());
     }
 
     #[test]

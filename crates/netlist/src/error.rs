@@ -36,7 +36,10 @@ impl fmt::Display for NetlistError {
                 if max == usize::MAX {
                     write!(f, "gate kind {kind} requires fan-in >= {min}, got {got}")
                 } else {
-                    write!(f, "gate kind {kind} requires fan-in {min}..={max}, got {got}")
+                    write!(
+                        f,
+                        "gate kind {kind} requires fan-in {min}..={max}, got {got}"
+                    )
                 }
             }
             NetlistError::UnknownGate(id) => write!(f, "gate {id} does not exist"),

@@ -260,8 +260,7 @@ mod tests {
             for a in [false, true] {
                 for b in [false, true] {
                     let via_bool = kind.eval_bool(&[a, b]);
-                    let via_word =
-                        kind.eval_word(&[u64::from(a), u64::from(b)]) & 1 == 1;
+                    let via_word = kind.eval_word(&[u64::from(a), u64::from(b)]) & 1 == 1;
                     assert_eq!(via_bool, via_word, "{kind} {a} {b}");
                 }
             }

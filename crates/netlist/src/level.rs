@@ -139,7 +139,11 @@ impl Levelization {
             depth = depth.max(lvl);
         }
 
-        Ok(Levelization { order, level, depth })
+        Ok(Levelization {
+            order,
+            level,
+            depth,
+        })
     }
 
     /// Gates in dependency order (every gate after all its combinational

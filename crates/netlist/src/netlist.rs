@@ -101,7 +101,11 @@ impl Netlist {
     /// Adds a constant-0 or constant-1 source gate.
     pub fn add_const(&mut self, value: bool) -> GateId {
         self.push(Gate {
-            kind: if value { GateKind::Const1 } else { GateKind::Const0 },
+            kind: if value {
+                GateKind::Const1
+            } else {
+                GateKind::Const0
+            },
             inputs: Vec::new(),
             name: None,
         })
@@ -300,6 +304,20 @@ impl Netlist {
         Ok(())
     }
 
+    /// Number of input pins reading `id`'s output net.
+    ///
+    /// A pin count, not a reader count: a gate consuming the net on two
+    /// pins contributes two. Each call scans every pin in the netlist;
+    /// for bulk queries build [`Netlist::fanout_map`] once instead.
+    #[must_use]
+    pub fn fanout_count(&self, id: GateId) -> usize {
+        self.gates
+            .iter()
+            .flat_map(|g| g.inputs.iter())
+            .filter(|&&src| src == id)
+            .count()
+    }
+
     /// Computes, for every gate, the list of `(reader gate, input pin)`
     /// pairs that consume its output.
     #[must_use]
@@ -476,6 +494,24 @@ mod tests {
     }
 
     #[test]
+    fn fanout_count_counts_pins_not_readers() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, &[a, a]).unwrap();
+        let h = n.add_gate(GateKind::Or, &[a, b]).unwrap();
+        assert_eq!(n.fanout_count(a), 3, "two pins of g plus one of h");
+        assert_eq!(n.fanout_count(b), 1);
+        assert_eq!(n.fanout_count(g), 0);
+        assert_eq!(n.fanout_count(h), 0);
+        // Agrees with the bulk map.
+        let fan = n.fanout_map();
+        for id in n.ids() {
+            assert_eq!(n.fanout_count(id), fan[id.index()].len());
+        }
+    }
+
+    #[test]
     fn reconnect_input_splices() {
         let (mut n, g) = and_net();
         let c = n.add_input("c");
@@ -506,6 +542,9 @@ mod tests {
     #[test]
     fn display_summarizes() {
         let (n, _) = and_net();
-        assert_eq!(n.to_string(), "t: 3 gates (1 logic, 0 storage), 2 PIs, 1 POs");
+        assert_eq!(
+            n.to_string(),
+            "t: 3 gates (1 logic, 0 storage), 2 PIs, 1 POs"
+        );
     }
 }

@@ -8,7 +8,6 @@
 //! blocked, and its output will be blocked" — so many cards can share
 //! one test-output net, each driving it only when addressed.
 
-
 use crate::cells::RacelessDff;
 
 /// One card: a serial chain of raceless scan flip-flops plus the X/Y

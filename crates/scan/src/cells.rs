@@ -505,11 +505,26 @@ mod tests {
         // The first corrupted bit emerges after traversing the cells
         // downstream of the break: later breaks fail earlier… both
         // stuck polarities bound the break position.
-        let early = flush_test(16, Some(ChainBreak { position: 2, stuck: true }))
-            .unwrap_err();
-        let late = flush_test(16, Some(ChainBreak { position: 14, stuck: true }))
-            .unwrap_err();
-        assert!(late <= early, "late break must surface no later ({late} vs {early})");
+        let early = flush_test(
+            16,
+            Some(ChainBreak {
+                position: 2,
+                stuck: true,
+            }),
+        )
+        .unwrap_err();
+        let late = flush_test(
+            16,
+            Some(ChainBreak {
+                position: 14,
+                stuck: true,
+            }),
+        )
+        .unwrap_err();
+        assert!(
+            late <= early,
+            "late break must surface no later ({late} vs {early})"
+        );
     }
 
     #[test]

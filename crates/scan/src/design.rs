@@ -180,12 +180,9 @@ impl ScanDesign {
     pub fn access_cycles(&self) -> usize {
         match self.config.style {
             // Serial styles: one cycle per position of the longest chain.
-            ScanStyle::Lssd | ScanStyle::ScanPath => self
-                .chains()
-                .iter()
-                .map(Vec::len)
-                .max()
-                .unwrap_or(0),
+            ScanStyle::Lssd | ScanStyle::ScanPath => {
+                self.chains().iter().map(Vec::len).max().unwrap_or(0)
+            }
             ScanStyle::ScanSet { width } => self.chain.len().min(width),
             // RAS: one addressed access per latch (serial addressing
             // additionally walks the address counter, same order).
@@ -282,11 +279,7 @@ mod tests {
     fn multiple_chains_divide_shift_time() {
         let n = binary_counter(8);
         let one = insert_scan(&n, &ScanConfig::new(ScanStyle::Lssd)).unwrap();
-        let four = insert_scan(
-            &n,
-            &ScanConfig::new(ScanStyle::Lssd).with_chains(4),
-        )
-        .unwrap();
+        let four = insert_scan(&n, &ScanConfig::new(ScanStyle::Lssd).with_chains(4)).unwrap();
         assert_eq!(one.access_cycles(), 8);
         assert_eq!(four.access_cycles(), 2);
         assert_eq!(four.chains().len(), 4);
@@ -302,11 +295,7 @@ mod tests {
     #[test]
     fn more_chains_than_latches_is_capped() {
         let n = binary_counter(2);
-        let d = insert_scan(
-            &n,
-            &ScanConfig::new(ScanStyle::Lssd).with_chains(10),
-        )
-        .unwrap();
+        let d = insert_scan(&n, &ScanConfig::new(ScanStyle::Lssd).with_chains(10)).unwrap();
         assert_eq!(d.access_cycles(), 1);
         assert!(d.chains().iter().all(|c| c.len() == 1));
     }

@@ -9,8 +9,8 @@
 
 use std::collections::HashMap;
 
-use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin, PortRef};
 use dft_fault::Fault;
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin, PortRef};
 
 /// A combinational test view of a sequential netlist.
 ///
@@ -87,8 +87,11 @@ pub fn extract_test_view(netlist: &Netlist) -> Result<TestView, LevelizeError> {
             }
             GateKind::Const0 | GateKind::Const1 => view.add_const(gate.kind() == GateKind::Const1),
             kind => {
-                let placeholder: Vec<GateId> =
-                    gate.inputs().iter().map(|_| GateId::from_index(0)).collect();
+                let placeholder: Vec<GateId> = gate
+                    .inputs()
+                    .iter()
+                    .map(|_| GateId::from_index(0))
+                    .collect();
                 view.add_named_gate(kind, &placeholder, gate.name())
                     .expect("arity preserved")
             }
@@ -176,11 +179,7 @@ impl TestView {
         let gate = fault.site.gate;
         let vid = self.to_view[gate.index()];
         // Is this a storage element?
-        if let Some(k) = self
-            .pseudo
-            .iter()
-            .position(|&(ppi, _)| ppi == vid)
-        {
+        if let Some(k) = self.pseudo.iter().position(|&(ppi, _)| ppi == vid) {
             let (ppi, ppo_buf) = self.pseudo[k];
             return match fault.site.pin {
                 Pin::Output => Fault {

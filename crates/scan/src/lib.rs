@@ -21,7 +21,9 @@
 //!   fault mapping.
 //! * [`ScanSchedule`] — shift/capture cycle accounting ("an apparent
 //!   disadvantage is the serialization of the test").
-//! * [`check_rules`] — an LSSD-flavoured design-rule check.
+//! * [`check_rules`] / [`lint_scan_design`] — an LSSD-flavoured
+//!   design-rule check, reported as plain violations or as structured
+//!   `dft-lint` diagnostics.
 //!
 //! ```
 //! use dft_netlist::circuits::binary_counter;
@@ -36,8 +38,8 @@
 //! # }
 //! ```
 
-pub mod cells;
 mod card;
+pub mod cells;
 mod design;
 mod extract;
 mod monitor;
@@ -51,5 +53,5 @@ pub use design::{insert_scan, ScanConfig, ScanDesign, ScanStyle};
 pub use extract::{extract_test_view, TestView};
 pub use monitor::{ScanSetMonitor, Snapshot};
 pub use overhead::{overhead, overhead_for, OverheadReport};
-pub use rules::{check_rules, RuleViolation, ScanRule};
+pub use rules::{check_rules, lint_scan_design, RuleConfig, RuleViolation, ScanRule};
 pub use schedule::{ScanSchedule, ScanTestProgram};

@@ -75,8 +75,7 @@ pub fn overhead(
     // Gate-equivalent size of the base design: logic gates plus plain
     // latches (each Dff node is one plain latch pair in the base design;
     // count it at BASE_LATCH_GATES).
-    let base_gates =
-        netlist.logic_gate_count() - dffs + dffs * BASE_LATCH_GATES;
+    let base_gates = netlist.logic_gate_count() - dffs + dffs * BASE_LATCH_GATES;
     let l2_reuse = l2_reuse.clamp(0.0, 1.0);
 
     let (extra_gates, extra_pins) = match style {
@@ -139,9 +138,7 @@ mod tests {
         let n = random_sequential(8, 32, 25, 8, 1);
         let no_reuse = overhead(&n, ScanStyle::Lssd, 0.0, false);
         let high_reuse = overhead(&n, ScanStyle::Lssd, 0.85, false);
-        assert!(
-            no_reuse.gate_overhead_percent() > high_reuse.gate_overhead_percent()
-        );
+        assert!(no_reuse.gate_overhead_percent() > high_reuse.gate_overhead_percent());
         assert!(
             (4.0..=20.0).contains(&no_reuse.gate_overhead_percent()),
             "no-reuse overhead {:.1}%",

@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use dft_lint::{Category, Diagnostic, LintReport, Severity};
 use dft_netlist::GateId;
 
 use crate::ScanDesign;
@@ -57,59 +58,102 @@ pub struct RuleViolation {
 
 impl fmt::Display for RuleViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} violated at {}: {}", self.rule, self.gate, self.detail)
+        write!(
+            f,
+            "{} violated at {}: {}",
+            self.rule, self.gate, self.detail
+        )
     }
 }
 
-/// Checks `design` against the scan rules; returns all violations.
+/// Thresholds for the scan rule checker.
 ///
-/// `max_depth` bounds combinational depth (rule
-/// [`ScanRule::BoundedLogicDepth`]); pass a generous value (e.g. 50) if
-/// timing is not a concern. The latch-to-latch rule is waived for LSSD
-/// (its L1/L2 pair is the two-phase cell that makes direct connection
-/// safe) and enforced for Scan Path's single-clock raceless flip-flop,
-/// which the paper notes is "the exposure to the use of only one system
-/// clock".
+/// Replaces the old bare `max_depth: u32` parameter; construct with
+/// struct syntax or convert from a `u32` depth bound (`From<u32>`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Bound on combinational depth between storage stages
+    /// ([`ScanRule::BoundedLogicDepth`]). Default 50 — generous enough
+    /// that depth only flags designs where the level-sensitive settle
+    /// discipline is in real doubt; tighten it when modelling a specific
+    /// clock budget.
+    pub max_depth: u32,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        RuleConfig { max_depth: 50 }
+    }
+}
+
+impl From<u32> for RuleConfig {
+    fn from(max_depth: u32) -> Self {
+        RuleConfig { max_depth }
+    }
+}
+
+/// Checks `design` against the scan groundrules, reporting through the
+/// `dft-lint` diagnostic framework (`scan-*` rule ids, [`Category::Scan`]).
+///
+/// Diagnostics appear in checking order: feedback, coverage, depth,
+/// race. The latch-to-latch race rule is waived for LSSD (its L1/L2
+/// pair is the two-phase cell that makes direct connection safe) and
+/// enforced for Scan Path's single-clock raceless flip-flop, which the
+/// paper notes is "the exposure to the use of only one system clock".
 #[must_use]
-pub fn check_rules(design: &ScanDesign, max_depth: u32) -> Vec<RuleViolation> {
+pub fn lint_scan_design(design: &ScanDesign, config: &RuleConfig) -> LintReport {
     let netlist = design.netlist();
-    let mut violations = Vec::new();
+    let mut report = LintReport::new(netlist.name());
 
     // Rule 1: combinational cycles.
     let lv = match netlist.levelize() {
         Ok(lv) => lv,
         Err(e) => {
-            violations.push(RuleViolation {
-                rule: ScanRule::NoCombinationalFeedback,
-                gate: e.on_cycle,
-                detail: "combinational cycle".into(),
-            });
-            return violations; // depth checks are meaningless with cycles
+            report.push(
+                Diagnostic::new(
+                    "scan-comb-feedback",
+                    Severity::Error,
+                    Category::Scan,
+                    e.on_cycle,
+                    "combinational cycle",
+                )
+                .with_hint("level-sensitive operation is impossible around an asynchronous loop"),
+            );
+            return report; // depth checks are meaningless with cycles
         }
     };
 
     // Rule 2: full scan.
-    let scanned: std::collections::HashSet<GateId> =
-        design.chain().iter().copied().collect();
+    let scanned: std::collections::HashSet<GateId> = design.chain().iter().copied().collect();
     let accessible = design.accessible_latches();
     for (k, dff) in netlist.storage_elements().into_iter().enumerate() {
         if !scanned.contains(&dff) || k >= accessible {
-            violations.push(RuleViolation {
-                rule: ScanRule::AllStorageScanned,
-                gate: dff,
-                detail: "storage element not accessible through the scan structure".into(),
-            });
+            report.push(
+                Diagnostic::new(
+                    "scan-coverage",
+                    Severity::Error,
+                    Category::Scan,
+                    dff,
+                    "storage element not accessible through the scan structure",
+                )
+                .with_hint("partial access defeats the combinational reduction; extend the chain"),
+            );
         }
     }
 
     // Rule 3: bounded depth.
     for (id, gate) in netlist.iter() {
-        if !gate.kind().is_source() && lv.level(id) > max_depth {
-            violations.push(RuleViolation {
-                rule: ScanRule::BoundedLogicDepth,
-                gate: id,
-                detail: format!("level {} exceeds bound {max_depth}", lv.level(id)),
-            });
+        if !gate.kind().is_source() && lv.level(id) > config.max_depth {
+            report.push(
+                Diagnostic::new(
+                    "scan-depth",
+                    Severity::Warning,
+                    Category::Scan,
+                    id,
+                    format!("level {} exceeds bound {}", lv.level(id), config.max_depth),
+                )
+                .with_hint("data must settle within the clock phase; pipeline the cone"),
+            );
         }
     }
 
@@ -119,16 +163,46 @@ pub fn check_rules(design: &ScanDesign, max_depth: u32) -> Vec<RuleViolation> {
         for &dff in design.chain() {
             let d = netlist.gate(dff).inputs()[0];
             if netlist.gate(d).kind().is_storage() {
-                violations.push(RuleViolation {
-                    rule: ScanRule::NoDirectStorageToStorage,
-                    gate: dff,
-                    detail: format!("data input driven directly by latch {d}"),
-                });
+                report.push(
+                    Diagnostic::new(
+                        "scan-latch-race",
+                        Severity::Warning,
+                        Category::Scan,
+                        dff,
+                        format!("data input driven directly by latch {d}"),
+                    )
+                    .with_related(vec![d])
+                    .with_hint("use a two-phase (master/slave) cell or insert logic between"),
+                );
             }
         }
     }
 
-    violations
+    report
+}
+
+/// Checks `design` against the scan rules; returns all violations.
+///
+/// Compatibility shim over [`lint_scan_design`]: same checks, same
+/// order, same detail strings — only the carrier type differs. Accepts
+/// either a [`RuleConfig`] or a bare `u32` depth bound.
+#[must_use]
+pub fn check_rules(design: &ScanDesign, config: impl Into<RuleConfig>) -> Vec<RuleViolation> {
+    let config = config.into();
+    lint_scan_design(design, &config)
+        .diagnostics()
+        .iter()
+        .map(|d| RuleViolation {
+            rule: match d.rule {
+                "scan-comb-feedback" => ScanRule::NoCombinationalFeedback,
+                "scan-coverage" => ScanRule::AllStorageScanned,
+                "scan-depth" => ScanRule::BoundedLogicDepth,
+                _ => ScanRule::NoDirectStorageToStorage,
+            },
+            gate: d.gate,
+            detail: d.message.clone(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -141,7 +215,8 @@ mod tests {
     fn clean_counter_passes_under_lssd() {
         let n = binary_counter(4);
         let d = insert_scan(&n, &ScanConfig::new(ScanStyle::Lssd)).unwrap();
-        assert!(check_rules(&d, 50).is_empty());
+        assert!(check_rules(&d, RuleConfig::default()).is_empty());
+        assert!(lint_scan_design(&d, &RuleConfig::default()).is_clean());
     }
 
     #[test]
@@ -150,9 +225,9 @@ mod tests {
         // flagged for the single-clock raceless cell.
         let n = shift_register(4);
         let lssd = insert_scan(&n, &ScanConfig::new(ScanStyle::Lssd)).unwrap();
-        assert!(check_rules(&lssd, 50).is_empty());
+        assert!(check_rules(&lssd, RuleConfig::default()).is_empty());
         let sp = insert_scan(&n, &ScanConfig::new(ScanStyle::ScanPath)).unwrap();
-        let v = check_rules(&sp, 50);
+        let v = check_rules(&sp, RuleConfig::default());
         assert_eq!(v.len(), 3, "three of four stages chain directly");
         assert!(v
             .iter()
@@ -163,7 +238,7 @@ mod tests {
     fn partial_scan_set_flags_unscanned_latches() {
         let n = binary_counter(8);
         let d = insert_scan(&n, &ScanConfig::new(ScanStyle::ScanSet { width: 3 })).unwrap();
-        let v = check_rules(&d, 50);
+        let v = check_rules(&d, RuleConfig::default());
         let missing = v
             .iter()
             .filter(|x| x.rule == ScanRule::AllStorageScanned)
@@ -175,11 +250,31 @@ mod tests {
     fn depth_bound_is_enforced() {
         let n = dft_netlist::circuits::ripple_carry_adder(16);
         let d = insert_scan(&n, &ScanConfig::new(ScanStyle::Lssd)).unwrap();
-        let deep = check_rules(&d, 5);
+        // `From<u32>` keeps the old call shape working.
+        let deep = check_rules(&d, 5u32);
         assert!(!deep.is_empty());
         assert!(deep.iter().all(|x| x.rule == ScanRule::BoundedLogicDepth));
-        assert!(check_rules(&d, 100).is_empty());
+        assert!(check_rules(&d, 100u32).is_empty());
         // Violations render readably.
         assert!(deep[0].to_string().contains("exceeds bound"));
+    }
+
+    #[test]
+    fn shim_mirrors_the_lint_report_exactly() {
+        let n = binary_counter(8);
+        let d = insert_scan(&n, &ScanConfig::new(ScanStyle::ScanSet { width: 3 })).unwrap();
+        let config = RuleConfig { max_depth: 5 };
+        let report = lint_scan_design(&d, &config);
+        let shim = check_rules(&d, config);
+        assert_eq!(report.diagnostics().len(), shim.len());
+        for (diag, violation) in report.diagnostics().iter().zip(&shim) {
+            assert_eq!(diag.gate, violation.gate);
+            assert_eq!(diag.message, violation.detail);
+        }
+        // The report side carries the extra structure: every finding is
+        // a scan-category diagnostic with a scan-* rule id.
+        for diag in report.diagnostics() {
+            assert!(diag.rule.starts_with("scan-"), "{}", diag.rule);
+        }
     }
 }

@@ -203,11 +203,7 @@ mod tests {
         let d = insert_scan(&n, &ScanConfig::new(ScanStyle::Lssd)).unwrap();
         let view = extract_test_view(&n).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let patterns = PatternSet::random(
-            view.netlist().primary_inputs().len(),
-            40,
-            &mut rng,
-        );
+        let patterns = PatternSet::random(view.netlist().primary_inputs().len(), 40, &mut rng);
         let prog = ScanTestProgram::assemble(&d, &view, &patterns).unwrap();
         assert_eq!(prog.steps.len(), 40);
         let mismatches = prog.run_good_machine(&d).unwrap();

@@ -152,7 +152,12 @@ mod tests {
         let a = ParallelSim::new(n).unwrap().run(patterns);
         let b = CompiledSim::new(n).unwrap().run(patterns);
         for p in 0..patterns.len() {
-            assert_eq!(a.output_row(p), b.output_row(p), "pattern {p} on {}", n.name());
+            assert_eq!(
+                a.output_row(p),
+                b.output_row(p),
+                "pattern {p} on {}",
+                n.name()
+            );
         }
     }
 

@@ -259,11 +259,7 @@ mod tests {
         sim.set_inputs(&[Logic::One]);
         sim.settle();
         sim.clock();
-        let q: Vec<Logic> = n
-            .storage_elements()
-            .iter()
-            .map(|&d| sim.value(d))
-            .collect();
+        let q: Vec<Logic> = n.storage_elements().iter().map(|&d| sim.value(d)).collect();
         assert_eq!(q, vec![Logic::One, Logic::Zero, Logic::Zero]);
     }
 

@@ -186,11 +186,7 @@ impl Response {
         Response {
             pattern_count,
             gate_count: netlist.gate_count(),
-            outputs: netlist
-                .primary_outputs()
-                .iter()
-                .map(|&(g, _)| g)
-                .collect(),
+            outputs: netlist.primary_outputs().iter().map(|&(g, _)| g).collect(),
             storage: netlist.storage_elements(),
             values,
         }
@@ -339,7 +335,7 @@ mod tests {
         let r = sim.run_with_state(&p, &state);
         assert!(r.output_bit(0, 0)); // 1 ^ 0
         assert!(!r.output_bit(0, 1)); // 1 ^ 1
-        // next state = a = 1 for both lanes
+                                      // next state = a = 1 for both lanes
         assert_eq!(r.next_state_word(&n, 0, 0) & 0b11, 0b11);
     }
 

@@ -209,7 +209,9 @@ impl PatternSet {
     /// Panics if `pattern` is out of range.
     #[must_use]
     pub fn get(&self, pattern: usize) -> Vec<bool> {
-        (0..self.input_count).map(|i| self.bit(i, pattern)).collect()
+        (0..self.input_count)
+            .map(|i| self.bit(i, pattern))
+            .collect()
     }
 
     /// Iterates over patterns as rows.

@@ -122,7 +122,10 @@ impl TestabilityReport {
     /// design before and after a DFT transform (experiment E15).
     #[must_use]
     pub fn total_difficulty(&self) -> u64 {
-        self.measures.iter().map(|m| u64::from(m.difficulty())).sum()
+        self.measures
+            .iter()
+            .map(|m| u64::from(m.difficulty()))
+            .sum()
     }
 }
 
@@ -163,10 +166,7 @@ pub fn analyze(netlist: &Netlist) -> Result<TestabilityReport, LevelizeError> {
                     (sat(cc0[s], 1), sat(cc1[s], 1))
                 }
                 GateKind::And | GateKind::Nand => {
-                    let all1 = g
-                        .inputs()
-                        .iter()
-                        .fold(0u32, |a, &s| sat(a, cc1[s.index()]));
+                    let all1 = g.inputs().iter().fold(0u32, |a, &s| sat(a, cc1[s.index()]));
                     let any0 = g
                         .inputs()
                         .iter()
@@ -181,10 +181,7 @@ pub fn analyze(netlist: &Netlist) -> Result<TestabilityReport, LevelizeError> {
                     }
                 }
                 GateKind::Or | GateKind::Nor => {
-                    let all0 = g
-                        .inputs()
-                        .iter()
-                        .fold(0u32, |a, &s| sat(a, cc0[s.index()]));
+                    let all0 = g.inputs().iter().fold(0u32, |a, &s| sat(a, cc0[s.index()]));
                     let any1 = g
                         .inputs()
                         .iter()
@@ -243,10 +240,7 @@ pub fn analyze(netlist: &Netlist) -> Result<TestabilityReport, LevelizeError> {
                     GateKind::Dff => sat(out_co, 1),
                     GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
                         // Other inputs must hold non-controlling values.
-                        let noncontrolling = !g
-                            .kind()
-                            .controlling_value()
-                            .expect("AND/OR family");
+                        let noncontrolling = !g.kind().controlling_value().expect("AND/OR family");
                         let side: u32 = g
                             .inputs()
                             .iter()
@@ -336,7 +330,7 @@ mod tests {
         let r = analyze(&n).unwrap();
         assert_eq!(r.cc1(g), 3); // both inputs to 1: 1+1, +1
         assert_eq!(r.cc0(g), 2); // either input to 0: 1, +1
-        // Observing `a` needs b=1 (cost 1) plus a level: 0+1+1 = 2.
+                                 // Observing `a` needs b=1 (cost 1) plus a level: 0+1+1 = 2.
         assert_eq!(r.observability(a), 2);
     }
 

@@ -73,12 +73,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let diag2 = session2.diagnose(loop_fault)?;
     println!(
         "after jumpering the feedback: suspects {:?} (ambiguity resolved: {})",
-        diag2.suspects,
-        !diag2.loop_ambiguity
+        diag2.suspects, !diag2.loop_ambiguity
     );
 
     // Total faults this probe strategy could distinguish.
     let all = universe(&board);
-    println!("\n(universe: {} candidate stuck-at faults on this board)", all.len());
+    println!(
+        "\n(universe: {} candidate stuck-at faults on this board)",
+        all.len()
+    );
     Ok(())
 }

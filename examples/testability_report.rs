@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("design: {design}");
 
     let report = analyze(&design)?;
-    println!("\nSCOAP report ({} relaxation iterations):", report.iterations());
+    println!(
+        "\nSCOAP report ({} relaxation iterations):",
+        report.iterations()
+    );
     println!("  total difficulty: {}", report.total_difficulty());
     println!("  hardest nets to test:");
     let lv = design.levelize()?;

@@ -5,9 +5,7 @@ use design_for_testability::atpg::{generate_tests, AtpgConfig};
 use design_for_testability::core::planner::{DftPlanner, Technique};
 use design_for_testability::core::{compare_scan_payoff, full_scan_flow};
 use design_for_testability::fault::{collapse, simulate, universe};
-use design_for_testability::netlist::circuits::{
-    binary_counter, random_sequential, sn74181,
-};
+use design_for_testability::netlist::circuits::{binary_counter, random_sequential, sn74181};
 use design_for_testability::scan::{extract_test_view, ScanConfig, ScanStyle};
 use design_for_testability::sim::PatternSet;
 
@@ -39,10 +37,7 @@ fn view_faults_round_trip_through_atpg() {
     let design = random_sequential(4, 6, 12, 3, 9);
     let view = extract_test_view(&design).expect("levelizes");
     let orig_faults = universe(&design);
-    let view_faults: Vec<_> = orig_faults
-        .iter()
-        .map(|&f| view.fault_to_view(f))
-        .collect();
+    let view_faults: Vec<_> = orig_faults.iter().map(|&f| view.fault_to_view(f)).collect();
     let run = generate_tests(view.netlist(), &view_faults, &AtpgConfig::default())
         .expect("combinational");
     let sim = simulate(view.netlist(), &run.patterns, &view_faults).expect("combinational");
@@ -116,8 +111,7 @@ fn planner_advice_is_actionable() {
 /// exhaustive fault simulation (fault), sensitized partitioning (bist).
 #[test]
 fn alu_sensitized_partitioning_holds() {
-    let report = design_for_testability::bist::sensitized_partition_74181()
-        .expect("alu levelizes");
+    let report = design_for_testability::bist::sensitized_partition_74181().expect("alu levelizes");
     assert!(report.patterns_applied * 2 == report.exhaustive_patterns);
     assert!(report.n1_coverage >= 0.999);
     assert!(report.total_coverage > 0.9);

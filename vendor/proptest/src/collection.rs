@@ -1,0 +1,26 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRunner};
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        let len = runner.pick(self.len.clone());
+        (0..len).map(|_| self.element.generate(runner)).collect()
+    }
+}
+
+/// Vectors of `element` values with a length in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

@@ -1,0 +1,282 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no network access to a
+//! crates registry, so the workspace vendors the *deterministic subset* of
+//! the `rand` 0.8 API that its crates actually call:
+//!
+//! * [`SeedableRng::seed_from_u64`] — every RNG in the workspace is
+//!   explicitly seeded (experiments must be reproducible),
+//! * [`Rng::gen_range`] over integer `Range` / `RangeInclusive`,
+//! * [`Rng::gen_bool`],
+//! * [`rngs::StdRng`] and [`rngs::SmallRng`].
+//!
+//! The generator behind both rng types is xoshiro256** seeded through
+//! SplitMix64 — a high-quality, well-studied PRNG. Statistical quality
+//! matches the needs of the workspace (random circuit generation, random
+//! pattern sets); it is **not** the cryptographically secure ChaCha core
+//! the real `StdRng` uses, which no code here relies on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A type that can be created from a 64-bit seed.
+///
+/// The real trait also supports byte-array seeds; the workspace only ever
+/// seeds from `u64`, so that is the whole surface here.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Maps a raw 64-bit random word into `[low, high)`.
+    fn from_u64_in(word: u64, low: Self, high: Self) -> Self;
+    /// The half-open range check used to validate bounds.
+    fn valid_range(low: Self, high: Self) -> bool;
+    /// `high + 1` for inclusive ranges (saturating).
+    fn successor(v: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_u64_in(word: u64, low: Self, high: Self) -> Self {
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); the tiny
+                // modulo bias of the plain `%` alternative would also be
+                // acceptable for circuit generation, but this is as cheap.
+                let hi = ((u128::from(word) * u128::from(span)) >> 64) as u64;
+                low.wrapping_add(hi as $t)
+            }
+            fn valid_range(low: Self, high: Self) -> bool { low < high }
+            fn successor(v: Self) -> Self { v + 1 }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range using `word`.
+    fn sample_from(self, word: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, word: u64) -> T {
+        assert!(
+            T::valid_range(self.start, self.end),
+            "gen_range called with an empty range"
+        );
+        T::from_u64_in(word, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, word: u64) -> T {
+        let (low, high) = self.into_inner();
+        T::from_u64_in(word, low, T::successor(high))
+    }
+}
+
+/// The user-facing random-value interface.
+pub trait Rng {
+    /// Returns the next raw 64-bit word from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniform value from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0,1]"
+        );
+        // 53 uniform mantissa bits, exactly like the real crate's
+        // `standard` float distribution.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Sequence-related extension traits (`SliceRandom`).
+pub mod seq {
+    use super::Rng;
+
+    /// Slice extensions: the workspace only uses [`shuffle`].
+    ///
+    /// [`shuffle`]: SliceRandom::shuffle
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256** core shared by [`StdRng`] and [`SmallRng`].
+    #[derive(Clone, Debug)]
+    pub struct Xoshiro256 {
+        s: [u64; 4],
+    }
+
+    impl Xoshiro256 {
+        fn from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Xoshiro256 {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// The workspace's standard seeded generator (xoshiro256** here; the
+    /// real crate uses ChaCha12 — nothing in this workspace needs a CSPRNG).
+    #[derive(Clone, Debug)]
+    pub struct StdRng(Xoshiro256);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(Xoshiro256::from_u64(seed))
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    /// A small, fast generator; identical core to [`StdRng`] in this stub.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng(Xoshiro256);
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng(Xoshiro256::from_u64(seed))
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u8 = rng.gen_range(0..3u8);
+            assert!(w < 3);
+            let x: usize = rng.gen_range(2..=4);
+            assert!((2..=4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn shuffle_permutes_in_place() {
+        use super::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        assert_ne!(
+            v,
+            (0..32).collect::<Vec<u32>>(),
+            "identity is astronomically unlikely"
+        );
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "≈2500 expected, got {hits}");
+    }
+}
