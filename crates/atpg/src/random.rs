@@ -5,7 +5,7 @@
 //! that "combinational logic is highly susceptible to random patterns" —
 //! with the PLA exception quantified in experiment E11.
 
-use dft_fault::{simulate_with_dropping, DetectionResult, Fault};
+use dft_fault::{DetectionResult, Fault, Ppsfp};
 use dft_netlist::{LevelizeError, Netlist};
 use dft_sim::PatternSet;
 use dft_testability::analyze;
@@ -72,13 +72,16 @@ pub fn weighted_random_atpg(
     let mut applied = PatternSet::new(weights.len());
     let mut first_detected: Vec<Option<usize>> = vec![None; faults.len()];
     let mut live: Vec<usize> = (0..faults.len()).collect();
+    // Compile the PPSFP engine once for the whole campaign; each
+    // 64-pattern batch is then a single `run` with no recompilation.
+    let engine = Ppsfp::new(netlist)?;
 
     while applied.len() < budget && !live.is_empty() {
         let chunk = 64.min(budget - applied.len());
         let base = applied.len();
         let batch = PatternSet::weighted_random(weights, chunk, &mut rng);
         let live_faults: Vec<Fault> = live.iter().map(|&i| faults[i]).collect();
-        let r = simulate_with_dropping(netlist, &batch, &live_faults)?;
+        let r = engine.run(&batch, &live_faults);
         let mut still = Vec::with_capacity(live.len());
         for (k, &fi) in live.iter().enumerate() {
             match r.first_detected[k] {

@@ -1,9 +1,10 @@
-//! Criterion bench: the three fault-simulation engines on one workload
-//! (supports experiment E2's cost discussion — §I-B calls fault
-//! simulation "a very time-consuming, and hence, expensive task").
+//! Criterion bench: the combinational fault-simulation engines on one
+//! workload (supports experiment E2's cost discussion — §I-B calls fault
+//! simulation "a very time-consuming, and hence, expensive task"). For
+//! the multi-circuit throughput matrix use the `tessera-bench` binary.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dft_fault::{deductive, parallel_fault, simulate, universe};
+use dft_fault::{deductive, parallel_fault, ppsfp, simulate, universe};
 use dft_netlist::circuits::random_combinational;
 use dft_sim::PatternSet;
 use rand::rngs::StdRng;
@@ -25,6 +26,9 @@ fn bench_engines(c: &mut Criterion) {
     });
     group.bench_function("deductive", |b| {
         b.iter(|| deductive(black_box(&n), black_box(&patterns), black_box(&faults)))
+    });
+    group.bench_function("ppsfp", |b| {
+        b.iter(|| ppsfp(black_box(&n), black_box(&patterns), black_box(&faults)))
     });
     group.finish();
 }

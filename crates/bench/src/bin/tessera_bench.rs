@@ -1,0 +1,334 @@
+//! `tessera-bench` — fault-simulation engine throughput benchmark.
+//!
+//! Times every combinational fault-simulation engine on a roster of
+//! built-in circuits, checks that the engines detect identical fault
+//! sets, and writes a machine-readable `BENCH_fault_sim.json` with
+//! patterns/sec and faults×patterns/sec per engine per circuit plus the
+//! PPSFP-vs-serial speedup (the headline number of the PPSFP work).
+//!
+//! ```text
+//! tessera-bench [--quick] [--out PATH] [--threads N]
+//! ```
+//!
+//! `--quick` restricts the roster to the small circuits (the CI smoke
+//! configuration); `--threads` pins the PPSFP worker count (0 = auto).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dft_bench::{eng, exhaustive_patterns, print_table};
+use dft_fault::{
+    universe, DeductiveEngine, DetectionResult, FaultSimEngine, ParallelFaultEngine, PpsfpEngine,
+    PpsfpOptions, SerialEngine, SerialOptions,
+};
+use dft_netlist::circuits::{c17, random_combinational};
+use dft_netlist::Netlist;
+use dft_sim::PatternSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Config {
+    quick: bool,
+    out: String,
+    threads: usize,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        quick: false,
+        out: "BENCH_fault_sim.json".to_owned(),
+        threads: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cfg.quick = true,
+            "--out" => cfg.out = args.next().expect("--out requires a path"),
+            "--threads" => {
+                cfg.threads = args
+                    .next()
+                    .expect("--threads requires a count")
+                    .parse()
+                    .expect("--threads requires an integer")
+            }
+            other => panic!("unknown flag {other} (expected --quick, --out PATH, --threads N)"),
+        }
+    }
+    cfg
+}
+
+/// One benchmark workload: a circuit plus the pattern set applied to it.
+struct Workload {
+    name: &'static str,
+    netlist: Netlist,
+    patterns: PatternSet,
+    /// Deductive simulation is O(patterns × gates × fanin × list size)
+    /// with no dropping; it is skipped where it would dominate runtime.
+    run_deductive: bool,
+}
+
+fn roster(quick: bool) -> Vec<Workload> {
+    let mut r = vec![
+        Workload {
+            name: "c17",
+            netlist: c17(),
+            patterns: exhaustive_patterns(5),
+            run_deductive: true,
+        },
+        Workload {
+            name: "rand_16x300",
+            netlist: random_combinational(16, 300, 5),
+            patterns: random_patterns(16, 256, 3),
+            run_deductive: true,
+        },
+    ];
+    if !quick {
+        r.push(Workload {
+            name: "rand_20x800",
+            netlist: random_combinational(20, 800, 6),
+            patterns: random_patterns(20, 512, 4),
+            run_deductive: false,
+        });
+        r.push(Workload {
+            name: "rand_24x2000",
+            netlist: random_combinational(24, 2000, 7),
+            patterns: random_patterns(24, 1024, 5),
+            run_deductive: false,
+        });
+    }
+    r
+}
+
+fn random_patterns(width: usize, count: usize, seed: u64) -> PatternSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PatternSet::random(width, count, &mut rng)
+}
+
+struct Record {
+    circuit: &'static str,
+    engine: &'static str,
+    gates: usize,
+    faults: usize,
+    patterns: usize,
+    seconds: f64,
+    detected: usize,
+}
+
+impl Record {
+    fn patterns_per_sec(&self) -> f64 {
+        self.patterns as f64 / self.seconds
+    }
+
+    fn fault_patterns_per_sec(&self) -> f64 {
+        (self.faults as f64 * self.patterns as f64) / self.seconds
+    }
+}
+
+fn time_engine(
+    engine: &dyn FaultSimEngine,
+    w: &Workload,
+    faults: &[dft_fault::Fault],
+) -> (f64, DetectionResult) {
+    // One timed run after a tiny warmup on the small circuits; the large
+    // workloads are long enough that a single measurement is stable.
+    if w.netlist.gate_count() < 1000 {
+        let _ = engine.run(&w.netlist, &w.patterns, faults);
+    }
+    let t = Instant::now();
+    let r = engine
+        .run(&w.netlist, &w.patterns, faults)
+        .expect("roster circuits levelize");
+    (t.elapsed().as_secs_f64().max(1e-9), r)
+}
+
+fn main() {
+    let cfg = parse_args();
+    let ppsfp = PpsfpEngine {
+        options: PpsfpOptions {
+            threads: cfg.threads,
+            fault_dropping: true,
+        },
+    };
+    let serial = SerialEngine::default();
+    let serial_nodrop = SerialEngine {
+        options: SerialOptions {
+            fault_dropping: false,
+        },
+    };
+
+    let mut records: Vec<Record> = Vec::new();
+    let mut speedups: Vec<(&'static str, f64)> = Vec::new();
+    let mut all_agree = true;
+
+    for w in roster(cfg.quick) {
+        let faults = universe(&w.netlist);
+        let mut engines: Vec<&dyn FaultSimEngine> =
+            vec![&serial, &serial_nodrop, &ParallelFaultEngine];
+        if w.run_deductive {
+            engines.push(&DeductiveEngine);
+        }
+        engines.push(&ppsfp);
+
+        let mut reference: Option<DetectionResult> = None;
+        let mut serial_secs = 0.0;
+        for engine in engines {
+            let (secs, result) = time_engine(engine, &w, &faults);
+            match &reference {
+                None => reference = Some(result.clone()),
+                Some(r) => {
+                    if *r != result {
+                        all_agree = false;
+                        eprintln!(
+                            "WARNING: {} disagrees with serial on {}",
+                            engine.name(),
+                            w.name
+                        );
+                    }
+                }
+            }
+            if engine.name() == "serial" {
+                serial_secs = secs;
+            }
+            if engine.name() == "ppsfp" {
+                speedups.push((w.name, serial_secs / secs));
+            }
+            records.push(Record {
+                circuit: w.name,
+                engine: engine.name(),
+                gates: w.netlist.gate_count(),
+                faults: faults.len(),
+                patterns: w.patterns.len(),
+                seconds: secs,
+                detected: result.detected_count(),
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.circuit.to_owned(),
+                r.engine.to_owned(),
+                r.gates.to_string(),
+                r.faults.to_string(),
+                r.patterns.to_string(),
+                format!("{:.4}", r.seconds),
+                eng(r.patterns_per_sec()),
+                eng(r.fault_patterns_per_sec()),
+                r.detected.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "fault-simulation engine throughput",
+        &[
+            "circuit", "engine", "gates", "faults", "patterns", "seconds", "pat/s", "f*pat/s",
+            "detected",
+        ],
+        &rows,
+    );
+
+    let curve = coverage_curve(cfg.quick, &ppsfp);
+    let speedup_rows: Vec<Vec<String>> = speedups
+        .iter()
+        .map(|(c, s)| vec![(*c).to_owned(), format!("{s:.1}x")])
+        .collect();
+    print_table(
+        "ppsfp speedup vs serial (dropping on in both)",
+        &["circuit", "speedup"],
+        &speedup_rows,
+    );
+    let curve_rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|&(k, c)| vec![k.to_string(), format!("{:.1}%", c * 100.0)])
+        .collect();
+    print_table(
+        "random-pattern coverage vs pattern count (ppsfp, rand_16x300)",
+        &["patterns", "coverage"],
+        &curve_rows,
+    );
+    println!(
+        "\ndetected fault sets agree across engines: {all_agree}\nwriting {}",
+        cfg.out
+    );
+
+    std::fs::write(
+        &cfg.out,
+        to_json(&records, &speedups, &curve, all_agree, &cfg),
+    )
+    .expect("write bench JSON");
+}
+
+/// The experiment-E11-style random-pattern coverage curve, regenerated
+/// with the fast engine: one PPSFP pass with dropping gives the full
+/// first-detection profile, from which coverage at every prefix length
+/// falls out of [`DetectionResult::coverage_curve`].
+fn coverage_curve(quick: bool, ppsfp: &PpsfpEngine) -> Vec<(usize, f64)> {
+    let n = random_combinational(16, 300, 5);
+    let faults = universe(&n);
+    let total = if quick { 512 } else { 4096 };
+    let patterns = random_patterns(16, total, 11);
+    let r = ppsfp
+        .run(&n, &patterns, &faults)
+        .expect("roster circuit levelizes");
+    let curve = r.coverage_curve();
+    (6..)
+        .map(|e| 1usize << e)
+        .take_while(|&k| k <= total)
+        .map(|k| (k, curve[k - 1]))
+        .collect()
+}
+
+fn to_json(
+    records: &[Record],
+    speedups: &[(&'static str, f64)],
+    curve: &[(usize, f64)],
+    all_agree: bool,
+    cfg: &Config,
+) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"fault_sim\",");
+    let _ = writeln!(s, "  \"quick\": {},", cfg.quick);
+    let _ = writeln!(s, "  \"threads\": {},", cfg.threads);
+    let _ = writeln!(s, "  \"detected_sets_agree\": {all_agree},");
+    s.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"circuit\": \"{}\", \"engine\": \"{}\", \"gates\": {}, \"faults\": {}, \
+             \"patterns\": {}, \"seconds\": {:.6}, \"patterns_per_sec\": {:.1}, \
+             \"fault_patterns_per_sec\": {:.1}, \"detected\": {}}}{}",
+            r.circuit,
+            r.engine,
+            r.gates,
+            r.faults,
+            r.patterns,
+            r.seconds,
+            r.patterns_per_sec(),
+            r.fault_patterns_per_sec(),
+            r.detected,
+            if i + 1 == records.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"speedup_ppsfp_vs_serial\": {\n");
+    for (i, (c, sp)) in speedups.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    \"{c}\": {sp:.2}{}",
+            if i + 1 == speedups.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"coverage_curve_rand_16x300\": [\n");
+    for (i, (k, c)) in curve.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"patterns\": {k}, \"coverage\": {c:.4}}}{}",
+            if i + 1 == curve.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -9,10 +9,10 @@
 
 use std::collections::BTreeSet;
 
-use dft_netlist::{GateId, LevelizeError, Netlist};
+use dft_netlist::{LevelizeError, Netlist};
 use dft_sim::PatternSet;
 
-use crate::{Fault, FaultyView};
+use crate::{Fault, Ppsfp};
 
 /// A fault dictionary over a fixed pattern set.
 #[derive(Clone, Debug)]
@@ -25,7 +25,9 @@ pub struct FaultDictionary {
 
 impl FaultDictionary {
     /// Builds the dictionary by fault-simulating every fault against
-    /// `patterns` (no dropping — the full syndrome is recorded).
+    /// `patterns` (no dropping — the full syndrome is recorded). Built on
+    /// [`Ppsfp::run_syndromes`], so large dictionaries get the fast
+    /// engine's cone restriction and threading for free.
     ///
     /// # Errors
     ///
@@ -39,40 +41,10 @@ impl FaultDictionary {
         patterns: &PatternSet,
         faults: &[Fault],
     ) -> Result<Self, LevelizeError> {
-        let view = FaultyView::new(netlist)?;
-        let state = vec![0u64; view.storage().len()];
-        let outputs: Vec<GateId> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
-
-        let mut good: Vec<Vec<u64>> = Vec::with_capacity(patterns.block_count());
-        for b in 0..patterns.block_count() {
-            let vals = view.eval_block(patterns.block(b), &state, None);
-            good.push(outputs.iter().map(|&g| vals[g.index()]).collect());
-        }
-
-        let mut syndromes = Vec::with_capacity(faults.len());
-        for &f in faults {
-            let mut syn = BTreeSet::new();
-            #[allow(clippy::needless_range_loop)] // b indexes patterns and good in lockstep
-            for b in 0..patterns.block_count() {
-                let lanes = patterns.lanes_in_block(b);
-                let vals = view.eval_block(patterns.block(b), &state, Some(f));
-                for (oi, &g) in outputs.iter().enumerate() {
-                    let mut diff = vals[g.index()] ^ good[b][oi];
-                    if lanes < 64 {
-                        diff &= (1u64 << lanes) - 1;
-                    }
-                    while diff != 0 {
-                        let lane = diff.trailing_zeros();
-                        syn.insert(((b * 64) as u32 + lane, oi as u16));
-                        diff &= diff - 1;
-                    }
-                }
-            }
-            syndromes.push(syn);
-        }
+        let engine = Ppsfp::new(netlist)?;
         Ok(FaultDictionary {
             faults: faults.to_vec(),
-            syndromes,
+            syndromes: engine.run_syndromes(patterns, faults),
             pattern_count: patterns.len(),
         })
     }

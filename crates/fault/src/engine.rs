@@ -1,0 +1,275 @@
+//! A unified interface over every fault-simulation engine.
+//!
+//! Six independently implemented engines compute fault detection in this
+//! crate; [`FaultSimEngine`] puts them behind one call signature so
+//! benches, equivalence tests and fault-grading consumers can iterate
+//! over the whole roster (see [`engines`]). The engines and their
+//! trade-offs:
+//!
+//! | engine | algorithm | word packing | dropping | threads |
+//! |---|---|---|---|---|
+//! | [`SerialEngine`] | fault-serial, pattern-parallel full re-evaluation | 64 patterns/word | optional | 1 |
+//! | [`ParallelFaultEngine`] | good machine + 63 faulty machines per word | 63 faults/word | yes | 1 |
+//! | [`DeductiveEngine`] | fault-list propagation (Armstrong) | none (set algebra) | n/a | 1 |
+//! | [`SequentialEngine`] | 3-valued cycle-serial, fault-serial | none | yes | 1 |
+//! | [`ConcurrentEngine`] | diverged-machine-only re-simulation | none | yes | 1 |
+//! | [`PpsfpEngine`] | cone-restricted event diff vs. compiled baseline | 64 patterns/word | optional | N |
+//!
+//! The two sequential engines interpret the pattern set as a cycle
+//! *sequence* from an all-X start; on purely combinational netlists (no
+//! storage) this coincides exactly with the combinational engines —
+//! which is the common ground the cross-engine equivalence tests stand
+//! on. On sequential netlists their detections are a conservative subset
+//! (an X-masked output never counts as detected).
+
+use dft_netlist::{LevelizeError, Netlist};
+use dft_sim::{Logic, PatternSet};
+
+use crate::serial::SerialOptions;
+use crate::{
+    deductive, parallel_fault, ppsfp_with_options, sequential, sequential_concurrent,
+    simulate_with_options, DetectionResult, Fault, PpsfpOptions,
+};
+
+/// A fault-simulation engine: patterns × faults → per-fault first
+/// detection.
+///
+/// All implementations agree exactly on combinational netlists; see the
+/// module docs for the sequential caveat.
+pub trait FaultSimEngine {
+    /// Short stable identifier (used in bench output and JSON records).
+    fn name(&self) -> &'static str;
+
+    /// Fault-simulates `faults` against `patterns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    fn run(
+        &self,
+        netlist: &Netlist,
+        patterns: &PatternSet,
+        faults: &[Fault],
+    ) -> Result<DetectionResult, LevelizeError>;
+
+    /// Indices of the faults `patterns` detects — the invariant quantity
+    /// every engine must agree on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    fn detected_set(
+        &self,
+        netlist: &Netlist,
+        patterns: &PatternSet,
+        faults: &[Fault],
+    ) -> Result<Vec<usize>, LevelizeError> {
+        Ok(self
+            .run(netlist, patterns, faults)?
+            .first_detected
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.is_some().then_some(i))
+            .collect())
+    }
+}
+
+/// The pattern-parallel fault-serial reference engine ([`crate::simulate`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialEngine {
+    /// Engine options (dropping on by default).
+    pub options: SerialOptions,
+}
+
+impl FaultSimEngine for SerialEngine {
+    fn name(&self) -> &'static str {
+        if self.options.fault_dropping {
+            "serial"
+        } else {
+            "serial_nodrop"
+        }
+    }
+
+    fn run(
+        &self,
+        netlist: &Netlist,
+        patterns: &PatternSet,
+        faults: &[Fault],
+    ) -> Result<DetectionResult, LevelizeError> {
+        simulate_with_options(netlist, patterns, faults, self.options)
+    }
+}
+
+/// Classic 63-faulty-machines-per-word simulation ([`crate::parallel_fault`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelFaultEngine;
+
+impl FaultSimEngine for ParallelFaultEngine {
+    fn name(&self) -> &'static str {
+        "parallel_fault"
+    }
+
+    fn run(
+        &self,
+        netlist: &Netlist,
+        patterns: &PatternSet,
+        faults: &[Fault],
+    ) -> Result<DetectionResult, LevelizeError> {
+        parallel_fault(netlist, patterns, faults)
+    }
+}
+
+/// Deductive fault-list propagation ([`crate::deductive`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeductiveEngine;
+
+impl FaultSimEngine for DeductiveEngine {
+    fn name(&self) -> &'static str {
+        "deductive"
+    }
+
+    fn run(
+        &self,
+        netlist: &Netlist,
+        patterns: &PatternSet,
+        faults: &[Fault],
+    ) -> Result<DetectionResult, LevelizeError> {
+        deductive(netlist, patterns, faults)
+    }
+}
+
+/// Three-valued cycle-serial simulation ([`crate::sequential`]) applied to
+/// the pattern set as a cycle sequence. Exact on combinational netlists.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequentialEngine;
+
+fn as_sequence(patterns: &PatternSet) -> Vec<Vec<Logic>> {
+    patterns
+        .iter()
+        .map(|row| row.into_iter().map(Logic::from).collect())
+        .collect()
+}
+
+impl FaultSimEngine for SequentialEngine {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn run(
+        &self,
+        netlist: &Netlist,
+        patterns: &PatternSet,
+        faults: &[Fault],
+    ) -> Result<DetectionResult, LevelizeError> {
+        let d = sequential(netlist, &as_sequence(patterns), faults)?;
+        Ok(DetectionResult {
+            first_detected: d
+                .first_detected
+                .iter()
+                .map(|o| o.map(|(cycle, _)| cycle))
+                .collect(),
+            pattern_count: patterns.len(),
+        })
+    }
+}
+
+/// Concurrent-style diverged-machine simulation
+/// ([`crate::sequential_concurrent`]) applied to the pattern set as a
+/// cycle sequence. Exact on combinational netlists.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConcurrentEngine;
+
+impl FaultSimEngine for ConcurrentEngine {
+    fn name(&self) -> &'static str {
+        "concurrent"
+    }
+
+    fn run(
+        &self,
+        netlist: &Netlist,
+        patterns: &PatternSet,
+        faults: &[Fault],
+    ) -> Result<DetectionResult, LevelizeError> {
+        let (d, _stats) = sequential_concurrent(netlist, &as_sequence(patterns), faults)?;
+        Ok(DetectionResult {
+            first_detected: d
+                .first_detected
+                .iter()
+                .map(|o| o.map(|(cycle, _)| cycle))
+                .collect(),
+            pattern_count: patterns.len(),
+        })
+    }
+}
+
+/// The PPSFP engine ([`crate::ppsfp`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PpsfpEngine {
+    /// Engine options (auto threads + dropping by default).
+    pub options: PpsfpOptions,
+}
+
+impl FaultSimEngine for PpsfpEngine {
+    fn name(&self) -> &'static str {
+        "ppsfp"
+    }
+
+    fn run(
+        &self,
+        netlist: &Netlist,
+        patterns: &PatternSet,
+        faults: &[Fault],
+    ) -> Result<DetectionResult, LevelizeError> {
+        ppsfp_with_options(netlist, patterns, faults, self.options)
+    }
+}
+
+/// The full engine roster, one instance of each of the six engines with
+/// default options.
+#[must_use]
+pub fn engines() -> Vec<Box<dyn FaultSimEngine>> {
+    vec![
+        Box::new(SerialEngine::default()),
+        Box::new(ParallelFaultEngine),
+        Box::new(DeductiveEngine),
+        Box::new(SequentialEngine),
+        Box::new(ConcurrentEngine),
+        Box::new(PpsfpEngine::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe;
+    use dft_netlist::circuits::c17;
+
+    #[test]
+    fn all_six_engines_agree_on_c17() {
+        let n = c17();
+        let faults = universe(&n);
+        let rows: Vec<Vec<bool>> = (0..32u8)
+            .map(|v| (0..5).map(|i| v >> i & 1 == 1).collect())
+            .collect();
+        let p = PatternSet::from_rows(5, &rows);
+        let reference = SerialEngine::default()
+            .detected_set(&n, &p, &faults)
+            .unwrap();
+        for eng in engines() {
+            assert_eq!(
+                eng.detected_set(&n, &p, &faults).unwrap(),
+                reference,
+                "{} disagrees",
+                eng.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = engines().iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -85,57 +85,18 @@ impl<'n> FaultyView<'n> {
                 continue;
             }
             let word = {
-                let operand = |pin: usize| -> u64 {
-                    let good = vals[gate.inputs()[pin].index()];
+                // Operand gather with the one faulted pin substituted;
+                // the per-gate fold itself is the shared
+                // `dft_sim::word::fold_word`.
+                let operand = |(pin, src): (usize, &dft_netlist::GateId)| -> u64 {
                     match fault {
                         Some(f) if f.site.gate == id && f.site.pin == Pin::Input(pin as u8) => {
                             Self::force(f.stuck)
                         }
-                        _ => good,
+                        _ => vals[src.index()],
                     }
                 };
-                let mut folded = operand(0);
-                match gate.kind() {
-                    GateKind::Buf => {}
-                    GateKind::Not => folded = !folded,
-                    GateKind::And => {
-                        for p in 1..gate.fanin() {
-                            folded &= operand(p);
-                        }
-                    }
-                    GateKind::Nand => {
-                        for p in 1..gate.fanin() {
-                            folded &= operand(p);
-                        }
-                        folded = !folded;
-                    }
-                    GateKind::Or => {
-                        for p in 1..gate.fanin() {
-                            folded |= operand(p);
-                        }
-                    }
-                    GateKind::Nor => {
-                        for p in 1..gate.fanin() {
-                            folded |= operand(p);
-                        }
-                        folded = !folded;
-                    }
-                    GateKind::Xor => {
-                        for p in 1..gate.fanin() {
-                            folded ^= operand(p);
-                        }
-                    }
-                    GateKind::Xnor => {
-                        for p in 1..gate.fanin() {
-                            folded ^= operand(p);
-                        }
-                        folded = !folded;
-                    }
-                    GateKind::Const0 => folded = 0,
-                    GateKind::Const1 => folded = u64::MAX,
-                    GateKind::Input | GateKind::Dff => unreachable!("sources skipped"),
-                }
-                folded
+                dft_sim::word::fold_word(gate.kind(), gate.inputs().iter().enumerate().map(operand))
             };
             vals[id.index()] = match fault {
                 Some(f) if f.site.gate == id && f.site.pin == Pin::Output => Self::force(f.stuck),

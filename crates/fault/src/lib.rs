@@ -21,9 +21,15 @@
 //!   \[100\]): one pass per pattern propagating fault *lists*.
 //! * [`sequential`] — three-valued serial fault simulation across clock
 //!   cycles for un-scanned sequential machines.
+//! * [`ppsfp`] — parallel-pattern single-fault propagation: 64 patterns
+//!   per word per fault over a compiled kernel, with cone-restricted
+//!   event propagation, fault dropping, and multi-threaded fault
+//!   partitioning. The fast engine for large fault-grading workloads.
 //!
-//! The engines are cross-checked against each other in this crate's tests
-//! (they must agree exactly on combinational circuits).
+//! The [`FaultSimEngine`] trait ([`engines`] returns the full roster)
+//! puts all of them behind one interface; the engines are cross-checked
+//! against each other in this crate's tests (they must agree exactly on
+//! combinational circuits).
 //!
 //! ```
 //! use dft_netlist::circuits::c17;
@@ -46,10 +52,12 @@ mod collapse;
 mod concurrent;
 mod deductive;
 mod dictionary;
+mod engine;
 #[allow(clippy::module_inception)]
 mod fault;
 mod inject;
 mod parallel;
+mod ppsfp;
 mod sequential;
 mod serial;
 mod stuck_open;
@@ -58,11 +66,18 @@ pub use collapse::{collapse, dominance_collapse, Collapse};
 pub use concurrent::{sequential_concurrent, ConcurrentStats};
 pub use deductive::deductive;
 pub use dictionary::FaultDictionary;
+pub use engine::{
+    engines, ConcurrentEngine, DeductiveEngine, FaultSimEngine, ParallelFaultEngine, PpsfpEngine,
+    SequentialEngine, SerialEngine,
+};
 pub use fault::{output_faults, universe, Fault};
 pub use inject::FaultyView;
 pub use parallel::parallel_fault;
+pub use ppsfp::{ppsfp, ppsfp_with_options, Ppsfp, PpsfpOptions};
 pub use sequential::{sequential, SequentialDetection};
-pub use serial::{simulate, simulate_with_dropping, DetectionResult};
+pub use serial::{
+    simulate, simulate_with_dropping, simulate_with_options, DetectionResult, SerialOptions,
+};
 pub use stuck_open::{
     simulate_stuck_open, stuck_open_universe, OpenKind, StuckOpenDetection, StuckOpenFault,
 };

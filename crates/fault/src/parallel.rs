@@ -8,6 +8,7 @@
 //! pattern.
 
 use dft_netlist::{GateKind, LevelizeError, Netlist, Pin};
+use dft_sim::word::{apply_stuck_mask, fold_word};
 use dft_sim::PatternSet;
 
 use crate::{DetectionResult, Fault};
@@ -104,7 +105,7 @@ fn eval_group(
         if f.site.pin == Pin::Output && netlist.gate(f.site.gate).kind().is_source() {
             let mask = 1u64 << (k + 1);
             let idx = f.site.gate.index();
-            vals[idx] = apply_mask(vals[idx], mask, f.stuck);
+            vals[idx] = apply_stuck_mask(vals[idx], mask, f.stuck);
         }
     }
     for &id in lv.order() {
@@ -119,34 +120,20 @@ fn eval_group(
             if f.site.gate == id {
                 if let Pin::Input(pin) = f.site.pin {
                     let mask = 1u64 << (k + 1);
-                    words[pin as usize] = apply_mask(words[pin as usize], mask, f.stuck);
+                    words[pin as usize] = apply_stuck_mask(words[pin as usize], mask, f.stuck);
                 }
             }
         }
-        let mut out = gate.kind().eval_word(&words);
-        if matches!(gate.kind(), GateKind::Const0) {
-            out = 0;
-        }
-        if matches!(gate.kind(), GateKind::Const1) {
-            out = u64::MAX;
-        }
+        let mut out = fold_word(gate.kind(), words.iter().copied());
         for (k, &fi) in group.iter().enumerate() {
             let f = faults[fi];
             if f.site.gate == id && f.site.pin == Pin::Output {
-                out = apply_mask(out, 1u64 << (k + 1), f.stuck);
+                out = apply_stuck_mask(out, 1u64 << (k + 1), f.stuck);
             }
         }
         vals[id.index()] = out;
     }
     vals
-}
-
-fn apply_mask(word: u64, mask: u64, stuck: bool) -> u64 {
-    if stuck {
-        word | mask
-    } else {
-        word & !mask
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,664 @@
+//! PPSFP: parallel-pattern single-fault propagation.
+//!
+//! The high-throughput fault-grading engine. Where the classic parallel
+//! method ([`crate::parallel_fault`]) packs 63 faulty *machines* per word
+//! under one pattern, PPSFP packs **64 patterns per word under one
+//! fault** — the dual layout — and then refuses to do almost all of the
+//! work a naive engine would:
+//!
+//! * **Compiled kernel.** Good-machine responses come from the flat
+//!   SoA/CSR [`Kernel`](dft_sim::Kernel) shared with
+//!   [`CompiledSim`](dft_sim::CompiledSim), evaluated once per 64-pattern
+//!   block and cached for every gate (not just the outputs).
+//! * **Cone-restricted event propagation.** A fault can only disturb its
+//!   structural fanout cone. Per fault site the engine walks the cone's
+//!   ops in levelized order, evaluating a gate only when an operand
+//!   actually differs from the cached baseline — inert faults cost one
+//!   word compare per block.
+//! * **Fault dropping.** A fault detected in any lane leaves the active
+//!   list; remaining blocks are never simulated for it.
+//! * **Multi-threaded fault partitioning.** The collapsed fault list is
+//!   grouped by fault site (groups share one cone computation) and the
+//!   groups are pulled from a shared atomic work queue by
+//!   `std::thread::scope` workers, each with private scratch state;
+//!   per-fault results are merged at the end. Results are deterministic
+//!   regardless of scheduling because faults are independent.
+//!
+//! Detection semantics are identical to [`crate::simulate`] (first
+//! detecting pattern per fault; cross-checked by tests and proptests).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dft_netlist::{GateId, LevelizeError, Netlist, Pin};
+use dft_sim::word::{fold_word, stuck_word};
+use dft_sim::{Kernel, PatternSet};
+
+use crate::{DetectionResult, Fault};
+
+/// Tuning knobs for a PPSFP run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PpsfpOptions {
+    /// Worker threads. `0` (the default) uses the machine's available
+    /// parallelism, capped by the number of fault-site groups.
+    pub threads: usize,
+    /// Stop simulating a fault once one pattern detects it (default
+    /// `true`). Turning it off does not change the result — first
+    /// detection is recorded either way — only the work performed, which
+    /// makes it the honest baseline for work-avoidance measurements.
+    pub fault_dropping: bool,
+}
+
+impl Default for PpsfpOptions {
+    fn default() -> Self {
+        PpsfpOptions {
+            threads: 0,
+            fault_dropping: true,
+        }
+    }
+}
+
+/// A PPSFP engine compiled for one netlist, reusable across pattern
+/// batches (the random-ATPG grading loop calls [`Ppsfp::run`] once per
+/// 64-pattern chunk without recompiling).
+#[derive(Debug)]
+pub struct Ppsfp<'n> {
+    netlist: &'n Netlist,
+    kernel: Kernel,
+    /// Deduped combinational fanout adjacency: `fanout[g]` lists the
+    /// distinct non-storage readers of gate `g`.
+    fanout: Vec<Vec<u32>>,
+    /// Gate index → primary-output position, `u16::MAX` if not a PO.
+    output_of: Vec<u16>,
+    options: PpsfpOptions,
+}
+
+/// Cached good-machine state for one pattern set.
+struct Baseline {
+    /// `blocks[b][slot]`: packed good value of every gate in block `b`.
+    blocks: Vec<Vec<u64>>,
+    /// Valid-lane mask per block (low lanes of the final block).
+    lane_masks: Vec<u64>,
+}
+
+impl<'n> Ppsfp<'n> {
+    /// Compiles the engine for `netlist` with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    pub fn new(netlist: &'n Netlist) -> Result<Self, LevelizeError> {
+        Ppsfp::with_options(netlist, PpsfpOptions::default())
+    }
+
+    /// Compiles the engine for `netlist` with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    pub fn with_options(
+        netlist: &'n Netlist,
+        options: PpsfpOptions,
+    ) -> Result<Self, LevelizeError> {
+        let kernel = Kernel::new(netlist)?;
+        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); netlist.gate_count()];
+        for (src, readers) in netlist.fanout_map().into_iter().enumerate() {
+            let list = &mut fanout[src];
+            for (reader, _pin) in readers {
+                // A storage reader captures into next state only; within
+                // the combinational frame its output cannot change.
+                if netlist.gate(reader).kind().is_storage() {
+                    continue;
+                }
+                let r = reader.index() as u32;
+                if !list.contains(&r) {
+                    list.push(r);
+                }
+            }
+        }
+        let mut output_of = vec![u16::MAX; netlist.gate_count()];
+        assert!(
+            netlist.primary_outputs().len() < usize::from(u16::MAX),
+            "more than 65534 primary outputs"
+        );
+        for (oi, &(g, _)) in netlist.primary_outputs().iter().enumerate() {
+            output_of[g.index()] = oi as u16;
+        }
+        Ok(Ppsfp {
+            netlist,
+            kernel,
+            fanout,
+            output_of,
+            options,
+        })
+    }
+
+    /// The compiled netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The options this engine was built with.
+    #[must_use]
+    pub fn options(&self) -> PpsfpOptions {
+        self.options
+    }
+
+    /// Fault-simulates `faults` against `patterns`, producing the same
+    /// [`DetectionResult`] as [`crate::simulate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width disagrees with the netlist.
+    #[must_use]
+    pub fn run(&self, patterns: &PatternSet, faults: &[Fault]) -> DetectionResult {
+        let baseline = self.baseline(patterns);
+        let dropping = self.options.fault_dropping;
+        let first_detected = self.run_partitioned(faults, |worker, fault| {
+            worker.detect(fault, &baseline, dropping)
+        });
+        DetectionResult {
+            first_detected,
+            pattern_count: patterns.len(),
+        }
+    }
+
+    /// Full-syndrome fault simulation: for every fault, the complete set
+    /// of `(pattern, output)` observations it corrupts (no dropping) —
+    /// the payload a [`crate::FaultDictionary`] needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width disagrees with the netlist.
+    #[must_use]
+    pub fn run_syndromes(
+        &self,
+        patterns: &PatternSet,
+        faults: &[Fault],
+    ) -> Vec<BTreeSet<(u32, u16)>> {
+        let baseline = self.baseline(patterns);
+        self.run_partitioned(faults, |worker, fault| worker.syndromes(fault, &baseline))
+    }
+
+    fn baseline(&self, patterns: &PatternSet) -> Baseline {
+        assert_eq!(
+            patterns.input_count(),
+            self.netlist.primary_inputs().len(),
+            "pattern width must match primary input count"
+        );
+        let mut blocks = Vec::with_capacity(patterns.block_count());
+        let mut lane_masks = Vec::with_capacity(patterns.block_count());
+        for b in 0..patterns.block_count() {
+            blocks.push(self.kernel.eval_block(patterns.block(b)));
+            let lanes = patterns.lanes_in_block(b);
+            lane_masks.push(if lanes == 64 {
+                u64::MAX
+            } else {
+                (1u64 << lanes) - 1
+            });
+        }
+        Baseline { blocks, lane_masks }
+    }
+
+    /// Runs `per_fault` over every fault, partitioned by fault-site group
+    /// across the configured worker threads, returning results in fault
+    /// order.
+    fn run_partitioned<R, F>(&self, faults: &[Fault], per_fault: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Worker<'_>, Fault) -> R + Sync,
+    {
+        // Group faults sharing a site gate so each group computes its
+        // fanout cone exactly once.
+        let mut group_of: Vec<Option<usize>> = vec![None; self.netlist.gate_count()];
+        let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (fi, f) in faults.iter().enumerate() {
+            let root = f.site.gate.index();
+            let gi = *group_of[root].get_or_insert_with(|| {
+                groups.push((root as u32, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push(fi as u32);
+        }
+
+        let threads = self.resolve_threads(groups.len());
+        let mut merged: Vec<Option<R>> = (0..faults.len()).map(|_| None).collect();
+        if threads <= 1 {
+            let mut worker = Worker::new(self);
+            for (root, fids) in &groups {
+                worker.load_group(*root);
+                for &fi in fids {
+                    merged[fi as usize] = Some(per_fault(&mut worker, faults[fi as usize]));
+                }
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let chunks = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut worker = Worker::new(self);
+                            let mut out: Vec<(u32, R)> = Vec::new();
+                            loop {
+                                let g = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some((root, fids)) = groups.get(g) else {
+                                    break;
+                                };
+                                worker.load_group(*root);
+                                for &fi in fids {
+                                    out.push((fi, per_fault(&mut worker, faults[fi as usize])));
+                                }
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("ppsfp worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for chunk in chunks {
+                for (fi, r) in chunk {
+                    merged[fi as usize] = Some(r);
+                }
+            }
+        }
+        merged
+            .into_iter()
+            .map(|r| r.expect("every fault visited exactly once"))
+            .collect()
+    }
+
+    fn resolve_threads(&self, group_count: usize) -> usize {
+        let t = if self.options.threads > 0 {
+            self.options.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        };
+        t.clamp(1, group_count.max(1))
+    }
+}
+
+/// Per-thread scratch state: the current fault group's cone schedule plus
+/// epoch-stamped overlay arrays (no clearing between faults or blocks).
+struct Worker<'a> {
+    eng: &'a Ppsfp<'a>,
+    /// Cone ops in ascending (= levelized) order, excluding the root's op.
+    cone_ops: Vec<u32>,
+    /// `(slot, output position)` of primary outputs inside the cone.
+    cone_outputs: Vec<(u32, u16)>,
+    root: u32,
+    /// The root gate's own op, if it has one (None for sources/storage).
+    root_op: Option<u32>,
+    /// Cone-membership stamps for cone DFS reuse.
+    visited: Vec<u32>,
+    cone_epoch: u32,
+    /// Faulty-value overlay: `faulty[slot]` is valid iff `stamp[slot] == epoch`.
+    faulty: Vec<u64>,
+    stamp: Vec<u64>,
+    epoch: u64,
+    dfs: Vec<u32>,
+}
+
+impl<'a> Worker<'a> {
+    fn new(eng: &'a Ppsfp<'a>) -> Self {
+        let n = eng.kernel.gate_count();
+        Worker {
+            eng,
+            cone_ops: Vec::new(),
+            cone_outputs: Vec::new(),
+            root: 0,
+            root_op: None,
+            visited: vec![0; n],
+            cone_epoch: 0,
+            faulty: vec![0; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            dfs: Vec::new(),
+        }
+    }
+
+    /// Computes the fanout-cone schedule for a fault-site gate.
+    fn load_group(&mut self, root: u32) {
+        self.root = root;
+        self.root_op = self
+            .eng
+            .kernel
+            .op_of_gate(GateId::from_index(root as usize))
+            .map(|op| op as u32);
+        self.cone_ops.clear();
+        self.cone_outputs.clear();
+        self.cone_epoch += 1;
+        let e = self.cone_epoch;
+        self.visited[root as usize] = e;
+        self.dfs.clear();
+        self.dfs.push(root);
+        while let Some(g) = self.dfs.pop() {
+            let gi = g as usize;
+            if self.eng.output_of[gi] != u16::MAX {
+                self.cone_outputs.push((g, self.eng.output_of[gi]));
+            }
+            if g != root {
+                if let Some(op) = self.eng.kernel.op_of_gate(GateId::from_index(gi)) {
+                    self.cone_ops.push(op as u32);
+                }
+            }
+            for &r in &self.eng.fanout[gi] {
+                if self.visited[r as usize] != e {
+                    self.visited[r as usize] = e;
+                    self.dfs.push(r);
+                }
+            }
+        }
+        // Op index order is levelized order: ascending replay evaluates
+        // every cone gate after all of its in-cone drivers.
+        self.cone_ops.sort_unstable();
+    }
+
+    /// Injects `fault` into block `b` and event-propagates through the
+    /// cone. Returns `true` if the fault was excited (some gate differs
+    /// from baseline this block).
+    fn propagate(&mut self, fault: Fault, good: &[u64]) -> bool {
+        self.epoch += 1;
+        let e = self.epoch;
+        let root = self.root as usize;
+        let kernel = &self.eng.kernel;
+        let excited = match fault.site.pin {
+            Pin::Output => {
+                // Forced output word (source or logic gate alike).
+                let fw = stuck_word(fault.stuck);
+                if fw != good[root] {
+                    self.faulty[root] = fw;
+                    self.stamp[root] = e;
+                    true
+                } else {
+                    false
+                }
+            }
+            Pin::Input(p) => match self.root_op {
+                // A stuck data pin on a storage element corrupts the
+                // *captured* state only; the combinational frame (and so a
+                // single-frame test) never sees it.
+                None => false,
+                Some(op) => {
+                    let op = op as usize;
+                    let forced = usize::from(p);
+                    let out = fold_word(
+                        kernel.op_kind(op),
+                        kernel.op_args(op).iter().enumerate().map(|(i, &a)| {
+                            if i == forced {
+                                stuck_word(fault.stuck)
+                            } else {
+                                good[a as usize]
+                            }
+                        }),
+                    );
+                    if out != good[root] {
+                        self.faulty[root] = out;
+                        self.stamp[root] = e;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            },
+        };
+        if !excited {
+            return false;
+        }
+        for &op in &self.cone_ops {
+            let op = op as usize;
+            let args = kernel.op_args(op);
+            if !args.iter().any(|&a| self.stamp[a as usize] == e) {
+                continue; // no disturbed operand: gate tracks the baseline
+            }
+            let out = fold_word(
+                kernel.op_kind(op),
+                args.iter().map(|&a| {
+                    if self.stamp[a as usize] == e {
+                        self.faulty[a as usize]
+                    } else {
+                        good[a as usize]
+                    }
+                }),
+            );
+            let dst = kernel.op_dst(op) as usize;
+            if out != good[dst] {
+                self.faulty[dst] = out;
+                self.stamp[dst] = e;
+            }
+        }
+        true
+    }
+
+    /// First detecting pattern of `fault`, or `None`.
+    fn detect(&mut self, fault: Fault, baseline: &Baseline, dropping: bool) -> Option<usize> {
+        if self.cone_outputs.is_empty() {
+            return None; // no structural path to any output
+        }
+        let mut first = None;
+        for (b, good) in baseline.blocks.iter().enumerate() {
+            if !self.propagate(fault, good) {
+                continue;
+            }
+            let e = self.epoch;
+            let mut diff = 0u64;
+            for &(slot, _) in &self.cone_outputs {
+                let slot = slot as usize;
+                if self.stamp[slot] == e {
+                    diff |= self.faulty[slot] ^ good[slot];
+                }
+            }
+            diff &= baseline.lane_masks[b];
+            if diff != 0 && first.is_none() {
+                first = Some(b * 64 + diff.trailing_zeros() as usize);
+                if dropping {
+                    break;
+                }
+            }
+        }
+        first
+    }
+
+    /// Every `(pattern, output)` observation `fault` corrupts.
+    fn syndromes(&mut self, fault: Fault, baseline: &Baseline) -> BTreeSet<(u32, u16)> {
+        let mut syn = BTreeSet::new();
+        if self.cone_outputs.is_empty() {
+            return syn;
+        }
+        for (b, good) in baseline.blocks.iter().enumerate() {
+            if !self.propagate(fault, good) {
+                continue;
+            }
+            let e = self.epoch;
+            for &(slot, oi) in &self.cone_outputs {
+                let slot = slot as usize;
+                if self.stamp[slot] != e {
+                    continue;
+                }
+                let mut diff = (self.faulty[slot] ^ good[slot]) & baseline.lane_masks[b];
+                while diff != 0 {
+                    let lane = diff.trailing_zeros();
+                    syn.insert(((b * 64) as u32 + lane, oi));
+                    diff &= diff - 1;
+                }
+            }
+        }
+        syn
+    }
+}
+
+/// Fault-simulates with the PPSFP engine (64 patterns per word per fault,
+/// cone-restricted, fault-dropping, threaded).
+///
+/// Produces the same [`DetectionResult`] as [`crate::simulate`]; prefer
+/// this engine whenever the workload is large.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if the pattern width disagrees with the netlist.
+pub fn ppsfp(
+    netlist: &Netlist,
+    patterns: &PatternSet,
+    faults: &[Fault],
+) -> Result<DetectionResult, LevelizeError> {
+    ppsfp_with_options(netlist, patterns, faults, PpsfpOptions::default())
+}
+
+/// [`ppsfp`] with explicit [`PpsfpOptions`].
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if the pattern width disagrees with the netlist.
+pub fn ppsfp_with_options(
+    netlist: &Netlist,
+    patterns: &PatternSet,
+    faults: &[Fault],
+    options: PpsfpOptions,
+) -> Result<DetectionResult, LevelizeError> {
+    Ok(Ppsfp::with_options(netlist, options)?.run(patterns, faults))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, universe};
+    use dft_netlist::circuits::{c17, full_adder, majority, parity_tree, random_combinational};
+    use dft_netlist::{GateKind, PortRef};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exhaustive_patterns(n: usize) -> PatternSet {
+        let rows: Vec<Vec<bool>> = (0..1usize << n)
+            .map(|v| (0..n).map(|i| v >> i & 1 == 1).collect())
+            .collect();
+        PatternSet::from_rows(n, &rows)
+    }
+
+    #[test]
+    fn agrees_with_serial_on_small_circuits() {
+        for n in [c17(), full_adder(), majority(), parity_tree(5)] {
+            let faults = universe(&n);
+            let p = exhaustive_patterns(n.primary_inputs().len());
+            let a = simulate(&n, &p, &faults).unwrap();
+            let b = ppsfp(&n, &p, &faults).unwrap();
+            assert_eq!(a, b, "ppsfp disagrees on {}", n.name());
+        }
+    }
+
+    #[test]
+    fn agrees_with_serial_on_random_logic_all_thread_counts() {
+        for seed in 0..3 {
+            let n = random_combinational(12, 180, seed);
+            let faults = universe(&n);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+            let p = PatternSet::random(12, 150, &mut rng); // 3 blocks, ragged tail
+            let reference = simulate(&n, &p, &faults).unwrap();
+            for threads in [1, 2, 5] {
+                for fault_dropping in [true, false] {
+                    let opts = PpsfpOptions {
+                        threads,
+                        fault_dropping,
+                    };
+                    let r = ppsfp_with_options(&n, &p, &faults, opts).unwrap();
+                    assert_eq!(
+                        r, reference,
+                        "seed {seed} threads {threads} dropping {fault_dropping}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn redundant_fault_stays_undetected() {
+        let mut n = dft_netlist::Netlist::new("redundant");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        let y = n.add_gate(GateKind::Or, &[a, g]).unwrap();
+        n.mark_output(y, "y").unwrap();
+        let fault = Fault::stuck_at_0(PortRef::output(g));
+        let r = ppsfp(&n, &exhaustive_patterns(2), &[fault]).unwrap();
+        assert_eq!(r.first_detected, vec![None]);
+    }
+
+    #[test]
+    fn fault_off_every_output_cone_is_undetected() {
+        // A dangling gate drives nothing: its faults cannot be observed.
+        let mut n = dft_netlist::Netlist::new("t");
+        let a = n.add_input("a");
+        let dead = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let y = n.add_gate(GateKind::Buf, &[a]).unwrap();
+        n.mark_output(y, "y").unwrap();
+        let faults = [
+            Fault::stuck_at_1(PortRef::output(dead)),
+            Fault::stuck_at_0(PortRef::input(dead, 0)),
+        ];
+        let r = ppsfp(&n, &exhaustive_patterns(1), &faults).unwrap();
+        assert_eq!(r.first_detected, vec![None, None]);
+    }
+
+    #[test]
+    fn dff_data_pin_fault_is_frame_invisible() {
+        // Matches the serial engine: a stuck DFF data pin corrupts capture
+        // only, which single-frame grading does not observe.
+        let mut n = dft_netlist::Netlist::new("t");
+        let a = n.add_input("a");
+        let q = n.add_dff(a).unwrap();
+        let y = n.add_gate(GateKind::Xor, &[a, q]).unwrap();
+        n.mark_output(y, "y").unwrap();
+        let faults = universe(&n);
+        let p = exhaustive_patterns(1);
+        let a_r = simulate(&n, &p, &faults).unwrap();
+        let b_r = ppsfp(&n, &p, &faults).unwrap();
+        assert_eq!(a_r, b_r);
+    }
+
+    #[test]
+    fn syndromes_match_brute_force() {
+        let n = c17();
+        let faults = universe(&n);
+        let p = exhaustive_patterns(5);
+        let eng = Ppsfp::new(&n).unwrap();
+        let syn = eng.run_syndromes(&p, &faults);
+        let view = crate::FaultyView::new(&n).unwrap();
+        let outputs: Vec<_> = n.primary_outputs().iter().map(|&(g, _)| g).collect();
+        for (fi, &f) in faults.iter().enumerate() {
+            let mut expect = BTreeSet::new();
+            for (pi, row) in p.iter().enumerate() {
+                let words: Vec<u64> = row.iter().map(|&b| u64::from(b)).collect();
+                let good = view.eval_block(&words, &[], None);
+                let bad = view.eval_block(&words, &[], Some(f));
+                for (oi, &g) in outputs.iter().enumerate() {
+                    if (good[g.index()] ^ bad[g.index()]) & 1 != 0 {
+                        expect.insert((pi as u32, oi as u16));
+                    }
+                }
+            }
+            assert_eq!(syn[fi], expect, "fault {f}");
+        }
+    }
+
+    #[test]
+    fn reusable_engine_matches_one_shot() {
+        let n = random_combinational(10, 100, 9);
+        let faults = universe(&n);
+        let eng = Ppsfp::new(&n).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..3 {
+            let p = PatternSet::random(10, 70, &mut rng);
+            assert_eq!(eng.run(&p, &faults), ppsfp(&n, &p, &faults).unwrap());
+        }
+    }
+}

@@ -1,9 +1,48 @@
-//! Pattern-parallel single-fault simulation (the workhorse engine).
+//! Pattern-parallel single-fault simulation (the reference engine).
+//!
+//! # Detection semantics: first detection vs. all detections
+//!
+//! Every combinational engine in this crate reports **first detection**:
+//! `first_detected[f]` is the earliest pattern whose response differs at
+//! any primary output. The engines differ only in how much work they do
+//! to get there:
+//!
+//! * this serial engine and [`crate::ppsfp`] *drop* a detected fault and
+//!   never look at later patterns (dropping is optional here, see
+//!   [`SerialOptions`] — the result is identical either way, only the
+//!   work changes);
+//! * [`crate::deductive`] computes the *complete* per-pattern detection
+//!   relation as a by-product of its fault-list algebra and then reduces
+//!   it to first detection (see the note in `deductive.rs`);
+//! * [`crate::FaultDictionary`] is the consumer that genuinely needs
+//!   **all** detections — every `(pattern, output)` mismatch — so it is
+//!   built from [`crate::Ppsfp::run_syndromes`], which never drops.
 
 use dft_netlist::{LevelizeError, Netlist};
 use dft_sim::PatternSet;
 
 use crate::{Fault, FaultyView};
+
+/// Tuning knobs for the serial engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SerialOptions {
+    /// Stop simulating a fault once one pattern detects it (default
+    /// `true`). The [`DetectionResult`] is identical either way — first
+    /// detection is recorded regardless — but with dropping off the
+    /// engine performs the full faults × blocks work, which makes it the
+    /// honest baseline when measuring what dropping and cone restriction
+    /// save (the same knob PPSFP exposes in
+    /// [`crate::PpsfpOptions::fault_dropping`]).
+    pub fault_dropping: bool,
+}
+
+impl Default for SerialOptions {
+    fn default() -> Self {
+        SerialOptions {
+            fault_dropping: true,
+        }
+    }
+}
 
 /// Per-fault detection outcome of a fault-simulation run.
 ///
@@ -108,6 +147,25 @@ pub fn simulate_with_dropping(
     patterns: &PatternSet,
     faults: &[Fault],
 ) -> Result<DetectionResult, LevelizeError> {
+    simulate_with_options(netlist, patterns, faults, SerialOptions::default())
+}
+
+/// [`simulate`] with explicit [`SerialOptions`] (see the module docs for
+/// when turning dropping off is useful).
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if the pattern width disagrees with the netlist.
+pub fn simulate_with_options(
+    netlist: &Netlist,
+    patterns: &PatternSet,
+    faults: &[Fault],
+    options: SerialOptions,
+) -> Result<DetectionResult, LevelizeError> {
     let view = FaultyView::new(netlist)?;
     let state = vec![0u64; view.storage().len()];
     let outputs: Vec<_> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
@@ -139,9 +197,11 @@ pub fn simulate_with_dropping(
                 diff_word |= (vals[g.index()] ^ good[b][oi]) & lane_mask;
             }
             if diff_word != 0 {
-                let lane = diff_word.trailing_zeros() as usize;
-                first_detected[fi] = Some(b * 64 + lane);
-                false
+                if first_detected[fi].is_none() {
+                    let lane = diff_word.trailing_zeros() as usize;
+                    first_detected[fi] = Some(b * 64 + lane);
+                }
+                !options.fault_dropping
             } else {
                 true
             }
@@ -198,6 +258,24 @@ mod tests {
         let faults = universe(&n);
         let r = simulate(&n, &exhaustive_patterns(3), &faults).unwrap();
         assert_eq!(r.coverage(), 1.0);
+    }
+
+    #[test]
+    fn dropping_does_not_change_the_result() {
+        let n = c17();
+        let faults = universe(&n);
+        let p = exhaustive_patterns(5);
+        let a = simulate(&n, &p, &faults).unwrap();
+        let b = simulate_with_options(
+            &n,
+            &p,
+            &faults,
+            SerialOptions {
+                fault_dropping: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(a, b, "dropping is a work optimization, not a semantic");
     }
 
     #[test]

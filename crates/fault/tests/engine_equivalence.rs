@@ -1,0 +1,88 @@
+//! Cross-engine equivalence properties.
+//!
+//! Every fault-simulation engine in `dft-fault` implements the same
+//! specification — fault *f* is detected by pattern *p* iff some primary
+//! output differs between the good machine and the machine with *f*
+//! injected — so on random levelizable netlists they must produce
+//! identical answers. The combinational engines (serial, parallel-fault,
+//! deductive, PPSFP) must agree on the full [`DetectionResult`]
+//! (first-detecting pattern per fault); the two cycle-based engines
+//! (sequential, concurrent) are run on the pattern set as a cycle
+//! sequence and must agree on the *detected set* (their per-cycle
+//! first-detection coincides on combinational netlists too, which the
+//! property also checks).
+
+use dft_fault::{
+    engines, ppsfp_with_options, universe, FaultSimEngine, PpsfpOptions, SerialEngine,
+};
+use dft_netlist::circuits::random_combinational;
+use dft_sim::PatternSet;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All six engines agree on random combinational netlists.
+    #[test]
+    fn all_engines_agree_on_random_netlists(
+        inputs in 4usize..10,
+        gates in 20usize..120,
+        netlist_seed in 0u64..1000,
+        pattern_seed: u64,
+        pattern_count in 1usize..130,
+    ) {
+        let n = random_combinational(inputs, gates, netlist_seed);
+        let faults = universe(&n);
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        let p = PatternSet::random(inputs, pattern_count, &mut rng);
+        let reference = SerialEngine::default().run(&n, &p, &faults).unwrap();
+        let reference_set = SerialEngine::default()
+            .detected_set(&n, &p, &faults)
+            .unwrap();
+        for eng in engines() {
+            let r = eng.run(&n, &p, &faults).unwrap();
+            prop_assert_eq!(
+                &r,
+                &reference,
+                "{} first-detection disagrees (netlist seed {}, pattern seed {})",
+                eng.name(),
+                netlist_seed,
+                pattern_seed
+            );
+            prop_assert_eq!(
+                &eng.detected_set(&n, &p, &faults).unwrap(),
+                &reference_set,
+                "{} detected set disagrees",
+                eng.name()
+            );
+        }
+    }
+
+    /// PPSFP is invariant under its tuning knobs: any thread count and
+    /// either dropping setting must reproduce the serial result exactly.
+    #[test]
+    fn ppsfp_options_do_not_change_the_result(
+        netlist_seed in 0u64..1000,
+        pattern_seed: u64,
+        threads in 1usize..6,
+        fault_dropping: bool,
+    ) {
+        let n = random_combinational(8, 80, netlist_seed);
+        let faults = universe(&n);
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        let p = PatternSet::random(8, 100, &mut rng);
+        let reference = SerialEngine::default().run(&n, &p, &faults).unwrap();
+        let opts = PpsfpOptions { threads, fault_dropping };
+        let r = ppsfp_with_options(&n, &p, &faults, opts).unwrap();
+        prop_assert_eq!(
+            r,
+            reference,
+            "threads {} dropping {} (netlist seed {})",
+            threads,
+            fault_dropping,
+            netlist_seed
+        );
+    }
+}

@@ -5,22 +5,14 @@
 //! flattens the levelized netlist into a straight-line program of
 //! operations over a value array — no per-gate graph traversal, no
 //! fan-in vector rebuilding — trading compile time for per-pattern
-//! speed. This is the same 64-lane semantics as
-//! [`ParallelSim`](crate::ParallelSim), cross-checked by test; the bench
-//! suite measures the speedup.
+//! speed. The flattening itself lives in [`Kernel`]; this type pairs a
+//! kernel with its netlist for whole-pattern-set runs. Same 64-lane
+//! semantics as [`ParallelSim`](crate::ParallelSim), cross-checked by
+//! test; the bench suite measures the speedup.
 
-use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
+use dft_netlist::{LevelizeError, Netlist};
 
-use crate::{PatternSet, Response};
-
-/// One straight-line instruction: `slots[dst] = op(slots[args])`.
-#[derive(Clone, Debug)]
-struct Op {
-    kind: GateKind,
-    dst: u32,
-    /// Offsets into the shared argument pool.
-    args: (u32, u32),
-}
+use crate::{Kernel, PatternSet, Response};
 
 /// A netlist compiled to a linear op program (64 patterns per word).
 ///
@@ -40,9 +32,7 @@ struct Op {
 #[derive(Debug)]
 pub struct CompiledSim<'n> {
     netlist: &'n Netlist,
-    ops: Vec<Op>,
-    arg_pool: Vec<u32>,
-    storage: Vec<GateId>,
+    kernel: Kernel,
 }
 
 impl<'n> CompiledSim<'n> {
@@ -52,34 +42,22 @@ impl<'n> CompiledSim<'n> {
     ///
     /// Returns [`LevelizeError`] on combinational cycles.
     pub fn new(netlist: &'n Netlist) -> Result<Self, LevelizeError> {
-        let lv = netlist.levelize()?;
-        let mut ops = Vec::new();
-        let mut arg_pool = Vec::new();
-        for &id in lv.order() {
-            let gate = netlist.gate(id);
-            if gate.kind().is_source() {
-                continue;
-            }
-            let start = arg_pool.len() as u32;
-            arg_pool.extend(gate.inputs().iter().map(|s| s.index() as u32));
-            ops.push(Op {
-                kind: gate.kind(),
-                dst: id.index() as u32,
-                args: (start, arg_pool.len() as u32),
-            });
-        }
         Ok(CompiledSim {
             netlist,
-            ops,
-            arg_pool,
-            storage: netlist.storage_elements(),
+            kernel: Kernel::new(netlist)?,
         })
     }
 
     /// Number of compiled instructions.
     #[must_use]
     pub fn op_count(&self) -> usize {
-        self.ops.len()
+        self.kernel.op_count()
+    }
+
+    /// The underlying flat op program.
+    #[must_use]
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
     }
 
     /// Runs all patterns (storage held at 0), producing the same
@@ -105,38 +83,7 @@ impl<'n> CompiledSim<'n> {
     /// Evaluates one packed 64-lane block.
     #[must_use]
     pub fn eval_block(&self, pi_words: &[u64]) -> Vec<u64> {
-        let mut v = vec![0u64; self.netlist.gate_count()];
-        for (i, &pi) in self.netlist.primary_inputs().iter().enumerate() {
-            v[pi.index()] = pi_words[i];
-        }
-        for (id, gate) in self.netlist.iter() {
-            if gate.kind() == GateKind::Const1 {
-                v[id.index()] = u64::MAX;
-            }
-        }
-        for &s in &self.storage {
-            v[s.index()] = 0;
-        }
-        for op in &self.ops {
-            let args = &self.arg_pool[op.args.0 as usize..op.args.1 as usize];
-            let first = v[args[0] as usize];
-            let rest = &args[1..];
-            let word = match op.kind {
-                GateKind::Buf => first,
-                GateKind::Not => !first,
-                GateKind::And => rest.iter().fold(first, |a, &s| a & v[s as usize]),
-                GateKind::Nand => !rest.iter().fold(first, |a, &s| a & v[s as usize]),
-                GateKind::Or => rest.iter().fold(first, |a, &s| a | v[s as usize]),
-                GateKind::Nor => !rest.iter().fold(first, |a, &s| a | v[s as usize]),
-                GateKind::Xor => rest.iter().fold(first, |a, &s| a ^ v[s as usize]),
-                GateKind::Xnor => !rest.iter().fold(first, |a, &s| a ^ v[s as usize]),
-                GateKind::Const0 => 0,
-                GateKind::Const1 => u64::MAX,
-                GateKind::Input | GateKind::Dff => unreachable!("sources not compiled"),
-            };
-            v[op.dst as usize] = word;
-        }
-        v
+        self.kernel.eval_block(pi_words)
     }
 }
 

@@ -1,0 +1,276 @@
+//! The compiled simulation kernel: a flattened, cache-friendly program.
+//!
+//! [`Kernel`] lowers a levelized netlist into structure-of-arrays form:
+//! one straight-line op stream in evaluation order, with every gate's
+//! operand slots stored contiguously in a CSR-style index pool. No graph
+//! traversal, no per-gate `Vec` rebuilding, no pointer chasing — the hot
+//! loop touches four flat arrays. It is the shared execution core behind
+//! [`CompiledSim`](crate::CompiledSim) (whole-netlist runs) and the PPSFP
+//! fault simulator in `dft-fault` (cone-restricted incremental runs).
+//!
+//! Because ops are emitted in levelization order, an op's index is also a
+//! topological timestamp: any subset of ops replayed in ascending index
+//! order evaluates each gate after all of its in-subset drivers. The
+//! cone-restricted fault engines rely on exactly this property.
+
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
+
+use crate::word;
+
+/// A netlist compiled into a flat SoA op program over 64-lane words.
+///
+/// Value state lives outside the kernel in a caller-owned slot array of
+/// `gate_count` words (indexed by [`GateId::index`]), so one kernel can
+/// serve many concurrent evaluation contexts (one per thread) without
+/// aliasing.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    gate_count: usize,
+    /// Per-op gate kind, in levelized evaluation order.
+    kinds: Vec<GateKind>,
+    /// Per-op destination slot.
+    dst: Vec<u32>,
+    /// CSR offsets into `args`: op `i` reads `args[arg_start[i]..arg_start[i+1]]`.
+    arg_start: Vec<u32>,
+    /// Flattened operand slot indices for every op.
+    args: Vec<u32>,
+    /// Gate index → op index (`u32::MAX` for sources, which have no op).
+    op_of_gate: Vec<u32>,
+    /// Primary-input slots, in `Netlist::primary_inputs` order.
+    pi_slots: Vec<u32>,
+    /// Storage-element slots, in `Netlist::storage_elements` order.
+    storage_slots: Vec<u32>,
+    /// Slots of `Const1` gates (sources whose word is all-ones).
+    const1_slots: Vec<u32>,
+}
+
+impl Kernel {
+    /// Compiles `netlist` into a flat op program over its levelization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    pub fn new(netlist: &Netlist) -> Result<Self, LevelizeError> {
+        let lv = netlist.levelize()?;
+        let n = netlist.gate_count();
+        let mut kinds = Vec::new();
+        let mut dst = Vec::new();
+        let mut arg_start = vec![0u32];
+        let mut args = Vec::new();
+        let mut op_of_gate = vec![u32::MAX; n];
+        for &id in lv.order() {
+            let gate = netlist.gate(id);
+            if gate.kind().is_source() {
+                continue;
+            }
+            op_of_gate[id.index()] = kinds.len() as u32;
+            kinds.push(gate.kind());
+            dst.push(id.index() as u32);
+            args.extend(gate.inputs().iter().map(|s| s.index() as u32));
+            arg_start.push(args.len() as u32);
+        }
+        Ok(Kernel {
+            gate_count: n,
+            kinds,
+            dst,
+            arg_start,
+            args,
+            op_of_gate,
+            pi_slots: netlist
+                .primary_inputs()
+                .iter()
+                .map(|g| g.index() as u32)
+                .collect(),
+            storage_slots: netlist
+                .storage_elements()
+                .iter()
+                .map(|g| g.index() as u32)
+                .collect(),
+            const1_slots: netlist
+                .iter()
+                .filter(|(_, g)| g.kind() == GateKind::Const1)
+                .map(|(id, _)| id.index() as u32)
+                .collect(),
+        })
+    }
+
+    /// Number of value slots (= gate count of the compiled netlist).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gate_count
+    }
+
+    /// Number of compiled ops (non-source gates).
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The op that computes `gate`, or `None` if it is a source (primary
+    /// input or storage output — its slot is written by the caller).
+    #[must_use]
+    pub fn op_of_gate(&self, gate: GateId) -> Option<usize> {
+        match self.op_of_gate[gate.index()] {
+            u32::MAX => None,
+            op => Some(op as usize),
+        }
+    }
+
+    /// Kind of op `i`.
+    #[must_use]
+    pub fn op_kind(&self, i: usize) -> GateKind {
+        self.kinds[i]
+    }
+
+    /// Destination slot of op `i`.
+    #[must_use]
+    pub fn op_dst(&self, i: usize) -> u32 {
+        self.dst[i]
+    }
+
+    /// Operand slots of op `i`.
+    #[must_use]
+    pub fn op_args(&self, i: usize) -> &[u32] {
+        &self.args[self.arg_start[i] as usize..self.arg_start[i + 1] as usize]
+    }
+
+    /// Primary-input slots, in `Netlist::primary_inputs` order.
+    #[must_use]
+    pub fn pi_slots(&self) -> &[u32] {
+        &self.pi_slots
+    }
+
+    /// Storage-element slots, in `Netlist::storage_elements` order.
+    #[must_use]
+    pub fn storage_slots(&self) -> &[u32] {
+        &self.storage_slots
+    }
+
+    /// Evaluates op `i` with operands supplied by `read` (slot → word).
+    ///
+    /// This is the cone-restricted entry point: a fault simulator reads
+    /// changed slots from its own overlay and unchanged slots from a
+    /// cached baseline.
+    #[inline]
+    #[must_use]
+    pub fn eval_op_with(&self, i: usize, mut read: impl FnMut(u32) -> u64) -> u64 {
+        word::fold_word(self.kinds[i], self.op_args(i).iter().map(|&a| read(a)))
+    }
+
+    /// Writes the constant-source words into `vals` (`Const1` slots become
+    /// all-ones; `Const0` slots are left for the caller's zero-fill).
+    /// Constants are sources in this netlist model, so they are not ops —
+    /// call this (or zero-init plus it) before [`Kernel::eval_into`].
+    pub fn init_constants(&self, vals: &mut [u64]) {
+        for &slot in &self.const1_slots {
+            vals[slot as usize] = u64::MAX;
+        }
+    }
+
+    /// Runs the whole program over `vals` in place. Source slots (primary
+    /// inputs, storage, constants — see [`Kernel::init_constants`]) must
+    /// already hold their words; every other slot is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals.len() != gate_count`.
+    pub fn eval_into(&self, vals: &mut [u64]) {
+        assert_eq!(vals.len(), self.gate_count, "value array width mismatch");
+        for i in 0..self.kinds.len() {
+            let word = self.eval_op_with(i, |a| vals[a as usize]);
+            vals[self.dst[i] as usize] = word;
+        }
+    }
+
+    /// Evaluates one packed 64-lane block with storage held at 0,
+    /// returning a freshly allocated value array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words.len()` disagrees with the primary input count.
+    #[must_use]
+    pub fn eval_block(&self, pi_words: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            pi_words.len(),
+            self.pi_slots.len(),
+            "pattern width must match primary input count"
+        );
+        let mut vals = vec![0u64; self.gate_count];
+        self.init_constants(&mut vals);
+        for (&slot, &w) in self.pi_slots.iter().zip(pi_words) {
+            vals[slot as usize] = w;
+        }
+        self.eval_into(&mut vals);
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::circuits::{c17, random_combinational};
+    use dft_netlist::GateKind;
+
+    #[test]
+    fn ops_are_in_ascending_topological_order() {
+        let n = random_combinational(10, 150, 11);
+        let k = Kernel::new(&n).unwrap();
+        for i in 0..k.op_count() {
+            for &a in k.op_args(i) {
+                let src = GateId::from_index(a as usize);
+                if let Some(src_op) = k.op_of_gate(src) {
+                    assert!(src_op < i, "op {i} reads slot written by later op");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_levelized_eval() {
+        let n = c17();
+        let k = Kernel::new(&n).unwrap();
+        for v in 0..32u64 {
+            let pi: Vec<u64> = (0..5)
+                .map(|i| if v >> i & 1 == 1 { u64::MAX } else { 0 })
+                .collect();
+            let vals = k.eval_block(&pi);
+            let lv = n.levelize().unwrap();
+            let mut direct = vec![0u64; n.gate_count()];
+            for (i, &g) in n.primary_inputs().iter().enumerate() {
+                direct[g.index()] = pi[i];
+            }
+            for &id in lv.order() {
+                let gate = n.gate(id);
+                if gate.kind().is_source() {
+                    continue;
+                }
+                let words: Vec<u64> = gate.inputs().iter().map(|&s| direct[s.index()]).collect();
+                direct[id.index()] = gate.kind().eval_word(&words);
+            }
+            assert_eq!(vals, direct, "input {v:05b}");
+        }
+    }
+
+    #[test]
+    fn sources_have_no_op() {
+        let n = c17();
+        let k = Kernel::new(&n).unwrap();
+        for &pi in n.primary_inputs() {
+            assert_eq!(k.op_of_gate(pi), None);
+        }
+        assert_eq!(k.op_count(), 6);
+    }
+
+    #[test]
+    fn constants_are_compiled_as_ops() {
+        let mut n = dft_netlist::Netlist::new("t");
+        let one = n.add_const(true);
+        let a = n.add_input("a");
+        let y = n.add_gate(GateKind::And, &[one, a]).unwrap();
+        n.mark_output(y, "y").unwrap();
+        let k = Kernel::new(&n).unwrap();
+        let vals = k.eval_block(&[u64::MAX]);
+        assert_eq!(vals[one.index()], u64::MAX);
+        assert_eq!(vals[y.index()], u64::MAX);
+    }
+}

@@ -9,6 +9,10 @@
 //! * [`ParallelSim`] — 64 patterns per machine word, levelized evaluation.
 //!   The workhorse behind parallel fault simulation (`dft-fault`) and
 //!   random-pattern coverage measurement (`dft-bist`).
+//! * [`CompiledSim`] / [`Kernel`] — the same 64-lane semantics lowered to
+//!   a flat structure-of-arrays op program ("compiled code Boolean
+//!   simulation", §IV-A). The kernel is the shared execution core of the
+//!   PPSFP fault simulator in `dft-fault`.
 //! * [`ThreeValueSim`] — 0/1/X simulation for initialization reasoning
 //!   (the paper's "predictability" concern: a machine whose latches power
 //!   up unknown).
@@ -38,14 +42,17 @@
 mod compiled;
 mod event;
 pub mod exhaustive;
+mod kernel;
 mod parallel;
 mod pattern;
 mod sequential;
 mod threeval;
 mod value;
+pub mod word;
 
 pub use compiled::CompiledSim;
 pub use event::EventSim;
+pub use kernel::Kernel;
 pub use parallel::{ParallelSim, Response};
 pub use pattern::PatternSet;
 pub use sequential::SequentialSim;

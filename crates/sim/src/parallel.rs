@@ -151,24 +151,13 @@ impl<'n> ParallelSim<'n> {
             let gate = self.netlist.gate(id);
             match gate.kind() {
                 GateKind::Input | GateKind::Dff => {}
-                GateKind::Const0 => vals[id.index()] = 0,
-                GateKind::Const1 => vals[id.index()] = u64::MAX,
                 kind => {
-                    // Fold without allocating.
-                    let mut it = gate.inputs().iter().map(|&s| vals[s.index()]);
-                    let first = it.next().expect("non-source gates have fan-in");
-                    let folded = match kind {
-                        GateKind::Buf => first,
-                        GateKind::Not => !first,
-                        GateKind::And => it.fold(first, |a, b| a & b),
-                        GateKind::Nand => !it.fold(first, |a, b| a & b),
-                        GateKind::Or => it.fold(first, |a, b| a | b),
-                        GateKind::Nor => !it.fold(first, |a, b| a | b),
-                        GateKind::Xor => it.fold(first, |a, b| a ^ b),
-                        GateKind::Xnor => !it.fold(first, |a, b| a ^ b),
-                        _ => unreachable!("sources handled above"),
-                    };
-                    vals[id.index()] = folded;
+                    // Fold without allocating (shared with every packed
+                    // engine via `word::fold_word`).
+                    vals[id.index()] = crate::word::fold_word(
+                        kind,
+                        gate.inputs().iter().map(|&s| vals[s.index()]),
+                    );
                 }
             }
         }

@@ -1,0 +1,104 @@
+//! Shared 64-lane word-evaluation primitives.
+//!
+//! Every packed simulator in the workspace — [`ParallelSim`](crate::ParallelSim),
+//! the compiled [`Kernel`](crate::Kernel), and the fault simulators in
+//! `dft-fault` — evaluates gates over `u64` words where each bit lane is an
+//! independent pattern (or machine). This module is the single home for
+//! that per-gate fold and for the stuck-value masking the fault engines
+//! layer on top, so the word semantics cannot drift between engines.
+
+use dft_netlist::GateKind;
+
+/// The packed word a stuck-at value forces: all-ones for s-a-1, all-zeros
+/// for s-a-0.
+#[must_use]
+pub fn stuck_word(stuck: bool) -> u64 {
+    if stuck {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Forces `stuck` onto the lanes selected by `mask`, leaving the other
+/// lanes of `word` untouched — the per-lane injection primitive of
+/// parallel-fault simulation (one faulty machine per lane).
+#[must_use]
+pub fn apply_stuck_mask(word: u64, mask: u64, stuck: bool) -> u64 {
+    if stuck {
+        word | mask
+    } else {
+        word & !mask
+    }
+}
+
+/// Folds a gate over packed operand words without allocating.
+///
+/// Constants need no operands; every other kind consumes the iterator
+/// left-to-right. `Input`/`Dff` are pass-throughs of their single operand
+/// (matching [`GateKind::eval_word`], which this is the allocation-free
+/// dual of).
+///
+/// # Panics
+///
+/// Panics if `operands` is empty for a kind that requires fan-in.
+#[must_use]
+pub fn fold_word<I: Iterator<Item = u64>>(kind: GateKind, mut operands: I) -> u64 {
+    match kind {
+        GateKind::Const0 => 0,
+        GateKind::Const1 => u64::MAX,
+        _ => {
+            let first = operands
+                .next()
+                .expect("non-constant gates have at least one operand");
+            match kind {
+                GateKind::Buf | GateKind::Input | GateKind::Dff => first,
+                GateKind::Not => !first,
+                GateKind::And => operands.fold(first, |a, b| a & b),
+                GateKind::Nand => !operands.fold(first, |a, b| a & b),
+                GateKind::Or => operands.fold(first, |a, b| a | b),
+                GateKind::Nor => !operands.fold(first, |a, b| a | b),
+                GateKind::Xor => operands.fold(first, |a, b| a ^ b),
+                GateKind::Xnor => !operands.fold(first, |a, b| a ^ b),
+                GateKind::Const0 | GateKind::Const1 => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_matches_eval_word_on_all_kinds() {
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            assert_eq!(
+                fold_word(kind, [a, b].into_iter()),
+                kind.eval_word(&[a, b]),
+                "{kind:?}"
+            );
+        }
+        assert_eq!(fold_word(GateKind::Buf, [a].into_iter()), a);
+        assert_eq!(fold_word(GateKind::Not, [a].into_iter()), !a);
+        assert_eq!(fold_word(GateKind::Const0, std::iter::empty()), 0);
+        assert_eq!(fold_word(GateKind::Const1, std::iter::empty()), u64::MAX);
+    }
+
+    #[test]
+    fn stuck_masking() {
+        assert_eq!(apply_stuck_mask(0b0000, 0b0110, true), 0b0110);
+        assert_eq!(apply_stuck_mask(0b1111, 0b0110, false), 0b1001);
+        assert_eq!(stuck_word(true), u64::MAX);
+        assert_eq!(stuck_word(false), 0);
+    }
+}
