@@ -14,7 +14,9 @@
 //! by forward simulation before being reported.
 
 use dft_fault::Fault;
+use dft_implic::ImplicationEngine;
 use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin, PortRef};
+use dft_sim::justify::forced_inputs;
 use dft_sim::Logic;
 
 use crate::podem::{GenOutcome, PodemConfig, SolveStats, TestCube};
@@ -25,6 +27,10 @@ use crate::podem::{GenOutcome, PodemConfig, SolveStats, TestCube};
 /// two engines are cross-checked in tests (same testable/untestable
 /// verdicts on exhaustively-checkable circuits).
 ///
+/// When `config.use_implications` is set, a static implication engine
+/// is built for the call; to amortize that over many faults, build one
+/// [`ImplicationEngine`] and use [`dalg_with`].
+///
 /// # Errors
 ///
 /// Returns [`LevelizeError`] on combinational cycles.
@@ -33,16 +39,31 @@ pub fn dalg(
     fault: Fault,
     config: &PodemConfig,
 ) -> Result<GenOutcome, LevelizeError> {
+    let engine = config
+        .use_implications
+        .then(|| ImplicationEngine::new(netlist));
+    dalg_with(netlist, fault, config, engine.as_ref()).map(|(outcome, _)| outcome)
+}
+
+/// [`dalg`] with a caller-supplied implication engine (or `None` for a
+/// pure search) and the search-effort counters surfaced.
+///
+/// The engine contributes two prunes: faults it proves untestable
+/// return immediately with zero search, and every implication fixpoint
+/// cross-checks the assigned line values against the learned store and
+/// the static necessities of detection, failing branches early.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+pub fn dalg_with<'n>(
+    netlist: &'n Netlist,
+    fault: Fault,
+    config: &PodemConfig,
+    implic: Option<&ImplicationEngine<'n>>,
+) -> Result<(GenOutcome, SolveStats), LevelizeError> {
     let lv = netlist.levelize()?;
-    let mut solver = DalgSolver {
-        netlist,
-        order: lv.order().to_vec(),
-        fault,
-        budget: i64::from(config.backtrack_limit) * 8,
-        stats: SolveStats::default(),
-    };
-    let n = netlist.gate_count();
-    let mut good = vec![Logic::X; n];
+    let stats = SolveStats::default();
 
     // Excite: the activation net's good value must be the complement of
     // the stuck value.
@@ -50,27 +71,59 @@ pub fn dalg(
         Pin::Output => fault.site.gate,
         Pin::Input(p) => netlist.gate(fault.site.gate).inputs()[p as usize],
     };
+
+    let mut necessity: Vec<(usize, bool)> = Vec::new();
+    if let Some(engine) = implic {
+        if engine
+            .fault_untestable(fault.site.gate, fault.site.pin, fault.stuck)
+            .is_some()
+        {
+            return Ok((GenOutcome::Untestable, stats));
+        }
+        necessity = engine
+            .query(activation, !fault.stuck)
+            .implied
+            .iter()
+            .map(|l| (l.net.index(), l.value))
+            .collect();
+    }
+
+    let mut solver = DalgSolver {
+        netlist,
+        order: lv.order().to_vec(),
+        fault,
+        budget: i64::from(config.backtrack_limit) * 8,
+        stats,
+        implic,
+        necessity,
+    };
+    let n = netlist.gate_count();
+    let mut good = vec![Logic::X; n];
     good[activation.index()] = Logic::from(!fault.stuck);
 
     let found = solver.search(&mut good);
     if solver.budget <= 0 {
-        return Ok(GenOutcome::Aborted);
+        return Ok((GenOutcome::Aborted, solver.stats));
     }
     match found {
-        Some(cube) => Ok(GenOutcome::Test(cube)),
-        None => Ok(GenOutcome::Untestable),
+        Some(cube) => Ok((GenOutcome::Test(cube), solver.stats)),
+        None => Ok((GenOutcome::Untestable, solver.stats)),
     }
 }
 
-struct DalgSolver<'n> {
+struct DalgSolver<'a, 'n> {
     netlist: &'n Netlist,
     order: Vec<GateId>,
     fault: Fault,
     budget: i64,
     stats: SolveStats,
+    implic: Option<&'a ImplicationEngine<'n>>,
+    /// `(net index, good value)` pairs every detecting assignment must
+    /// satisfy (the excitation literal's static implication closure).
+    necessity: Vec<(usize, bool)>,
 }
 
-impl DalgSolver<'_> {
+impl DalgSolver<'_, '_> {
     /// Forward-computes faulty-machine values from good-machine values
     /// (X where good is X and the fault effect hasn't fixed them).
     fn faulty_values(&self, good: &[Logic]) -> Vec<Logic> {
@@ -178,9 +231,35 @@ impl DalgSolver<'_> {
                 }
             }
             if !changed {
-                return true;
+                return self.implication_consistent(good);
             }
         }
+    }
+
+    /// Cross-checks a converged implication state against the static
+    /// store: a known line value contradicting a learned implication of
+    /// another known value (or a necessary condition of detection)
+    /// means no completion of this state detects the fault.
+    fn implication_consistent(&mut self, good: &[Logic]) -> bool {
+        for &(i, v) in &self.necessity {
+            if good[i].to_bool().is_some_and(|b| b != v) {
+                self.stats.implication_conflicts += 1;
+                return false;
+            }
+        }
+        let Some(engine) = self.implic else {
+            return true;
+        };
+        for (i, g) in good.iter().enumerate() {
+            let Some(b) = g.to_bool() else { continue };
+            for l in engine.learned_edges(GateId::from_index(i), b) {
+                if good[l.net.index()].to_bool().is_some_and(|x| x != l.value) {
+                    self.stats.implication_conflicts += 1;
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Nets whose assigned good value is not yet implied by their inputs.
@@ -445,8 +524,10 @@ impl DalgSolver<'_> {
 }
 
 /// Input assignments *forced* by a known gate output (backward
-/// implication): e.g. AND output 1 forces every input to 1; AND output 0
-/// with all-but-one input at 1 forces the last input to 0.
+/// implication), mapped from the shared pin-level tables in
+/// [`dft_sim::justify`] — the same rules the static implication engine
+/// in `dft-implic` propagates, so search and static analysis cannot
+/// drift apart.
 fn backward_forced(
     netlist: &Netlist,
     id: GateId,
@@ -454,56 +535,11 @@ fn backward_forced(
     good: &[Logic],
 ) -> Vec<(GateId, Logic)> {
     let gate = netlist.gate(id);
-    let mut forced = Vec::new();
-    match gate.kind() {
-        GateKind::Buf => forced.push((gate.inputs()[0], Logic::from(out))),
-        GateKind::Not => forced.push((gate.inputs()[0], Logic::from(!out))),
-        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
-            let c = gate.kind().controlling_value().expect("AND/OR family");
-            let inv = gate.kind().inverts();
-            let controlled_out = c != inv;
-            if out != controlled_out {
-                // Only the all-noncontrolling row produces this output.
-                for &s in gate.inputs() {
-                    forced.push((s, Logic::from(!c)));
-                }
-            } else {
-                // Some input must be controlling; forced only when all
-                // other inputs are already known noncontrolling and one
-                // input remains unknown.
-                let has_c = gate
-                    .inputs()
-                    .iter()
-                    .any(|&s| good[s.index()] == Logic::from(c));
-                if !has_c {
-                    let unknown: Vec<GateId> = gate
-                        .inputs()
-                        .iter()
-                        .copied()
-                        .filter(|&s| !good[s.index()].is_known())
-                        .collect();
-                    if unknown.len() == 1 {
-                        forced.push((unknown[0], Logic::from(c)));
-                    }
-                }
-            }
-        }
-        GateKind::Xor | GateKind::Xnor => {
-            let mut parity = out != (gate.kind() == GateKind::Xnor);
-            let mut unknown = Vec::new();
-            for &s in gate.inputs() {
-                match good[s.index()].to_bool() {
-                    Some(b) => parity ^= b,
-                    None => unknown.push(s),
-                }
-            }
-            if unknown.len() == 1 {
-                forced.push((unknown[0], Logic::from(parity)));
-            }
-        }
-        _ => {}
-    }
-    forced
+    let ins: Vec<Logic> = gate.inputs().iter().map(|&s| good[s.index()]).collect();
+    forced_inputs(gate.kind(), out, &ins)
+        .into_iter()
+        .map(|(pin, v)| (gate.inputs()[pin], v))
+        .collect()
 }
 
 /// Enumerates the input assignments that justify `out` at a gate of

@@ -2,11 +2,12 @@
 //! compaction.
 
 use dft_fault::{simulate, Fault};
+use dft_implic::ImplicationEngine;
 use dft_netlist::{LevelizeError, Netlist};
 use dft_sim::PatternSet;
 
 use crate::compact::compact;
-use crate::dalg::dalg;
+use crate::dalg::dalg_with;
 use crate::podem::{GenOutcome, Podem, PodemConfig, TestCube};
 use crate::random::random_atpg;
 
@@ -34,6 +35,10 @@ pub struct AtpgConfig {
     pub backtrack_limit: u32,
     /// Run compaction on the final set.
     pub compact: bool,
+    /// Build a static implication engine (`dft-implic`) for the
+    /// deterministic phase: statically-untestable faults skip search
+    /// and learned implications prune dead branches early.
+    pub use_implications: bool,
 }
 
 impl Default for AtpgConfig {
@@ -44,6 +49,7 @@ impl Default for AtpgConfig {
             engine: DeterministicEngine::Podem,
             backtrack_limit: 10_000,
             compact: true,
+            use_implications: true,
         }
     }
 }
@@ -181,11 +187,16 @@ pub fn generate_tests(
         }
     }
 
-    // Phase 2: deterministic top-off.
+    // Phase 2: deterministic top-off. One implication engine is shared
+    // across every D-algorithm call; the PODEM solver builds its own.
     let podem_cfg = PodemConfig {
         backtrack_limit: config.backtrack_limit,
+        use_implications: config.use_implications,
     };
     let solver = Podem::new(netlist, podem_cfg)?;
+    let implic_engine = (config.use_implications
+        && config.engine == DeterministicEngine::DAlgorithm)
+        .then(|| ImplicationEngine::new(netlist));
     for &fi in &remaining {
         let outcome = match config.engine {
             DeterministicEngine::Podem => {
@@ -194,7 +205,13 @@ pub fn generate_tests(
                 forward_evals += stats.forward_evals;
                 o
             }
-            DeterministicEngine::DAlgorithm => dalg(netlist, faults[fi], &podem_cfg)?,
+            DeterministicEngine::DAlgorithm => {
+                let (o, stats) =
+                    dalg_with(netlist, faults[fi], &podem_cfg, implic_engine.as_ref())?;
+                backtracks += u64::from(stats.backtracks);
+                forward_evals += stats.forward_evals;
+                o
+            }
         };
         status[fi] = match outcome {
             GenOutcome::Test(cube) => {

@@ -47,7 +47,7 @@ mod timeframe;
 mod v5;
 
 pub use compact::{compact, merge_cubes, reverse_order_drop};
-pub use dalg::dalg;
+pub use dalg::{dalg, dalg_with};
 pub use engine::{generate_tests, AtpgConfig, AtpgRun, DeterministicEngine, FaultStatus};
 pub use podem::{podem, GenOutcome, Podem, PodemConfig, SolveStats, TestCube};
 pub use random::{

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use dft_fault::Fault;
+use dft_implic::ImplicationEngine;
 use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin};
 use dft_sim::Logic;
 use dft_testability::{analyze, TestabilityReport};
@@ -93,12 +94,18 @@ impl GenOutcome {
 pub struct PodemConfig {
     /// Abort the search after this many backtracks.
     pub backtrack_limit: u32,
+    /// Consult a static implication engine (`dft-implic`): faults it
+    /// proves untestable return `Untestable` with zero search, and its
+    /// implication store prunes assignments that contradict a necessary
+    /// condition of detection (see `SolveStats::implication_conflicts`).
+    pub use_implications: bool,
 }
 
 impl Default for PodemConfig {
     fn default() -> Self {
         PodemConfig {
             backtrack_limit: 10_000,
+            use_implications: true,
         }
     }
 }
@@ -111,6 +118,9 @@ pub struct SolveStats {
     pub backtracks: u32,
     /// Full forward implications performed.
     pub forward_evals: u64,
+    /// Dead ends called by the static implication store before the
+    /// search had to discover them (each one prunes a whole subtree).
+    pub implication_conflicts: u32,
 }
 
 /// A reusable PODEM solver for one netlist (levelization and testability
@@ -124,6 +134,7 @@ pub struct Podem<'n> {
     pi_index: HashMap<GateId, usize>,
     is_po: Vec<bool>,
     config: PodemConfig,
+    implic: Option<ImplicationEngine<'n>>,
 }
 
 impl<'n> Podem<'n> {
@@ -152,7 +163,36 @@ impl<'n> Podem<'n> {
                 .collect(),
             is_po,
             config,
+            implic: config
+                .use_implications
+                .then(|| ImplicationEngine::new(netlist)),
         })
+    }
+
+    /// Necessary conditions of detection for a single-site fault, as
+    /// `(net index, good value)` pairs: the excitation literal's static
+    /// implication closure. Any partial assignment whose good-machine
+    /// value contradicts one of them cannot be completed into a test.
+    /// Returns `None` (empty) when the fault is multi-site or the
+    /// engine is disabled, and `Err(())` when the engine statically
+    /// proves the fault untestable outright.
+    #[allow(clippy::result_unit_err)]
+    fn necessity(&self, sites: &[Fault]) -> Result<Vec<(usize, bool)>, ()> {
+        let (Some(engine), [f]) = (&self.implic, sites) else {
+            return Ok(Vec::new());
+        };
+        if engine
+            .fault_untestable(f.site.gate, f.site.pin, f.stuck)
+            .is_some()
+        {
+            return Err(());
+        }
+        let activation = match f.site.pin {
+            Pin::Output => f.site.gate,
+            Pin::Input(p) => self.netlist.gate(f.site.gate).inputs()[p as usize],
+        };
+        let q = engine.query(activation, !f.stuck);
+        Ok(q.implied.iter().map(|l| (l.net.index(), l.value)).collect())
     }
 
     /// Attempts to generate a test for `fault`.
@@ -175,6 +215,10 @@ impl<'n> Podem<'n> {
     pub fn solve_any_of(&self, sites: &[Fault]) -> (GenOutcome, SolveStats) {
         assert!(!sites.is_empty(), "need at least one fault site");
         let mut stats = SolveStats::default();
+        let Ok(necessity) = self.necessity(sites) else {
+            // Statically proven untestable: no search at all.
+            return (GenOutcome::Untestable, stats);
+        };
         let n_pi = self.netlist.primary_inputs().len();
         let mut assign: Vec<Logic> = vec![Logic::X; n_pi];
         let mut vals = vec![DVal::X; self.netlist.gate_count()];
@@ -189,9 +233,22 @@ impl<'n> Podem<'n> {
                 return (GenOutcome::Test(TestCube { assignment: assign }), stats);
             }
 
-            let next = self
-                .objective(&vals, sites)
-                .and_then(|(net, v)| self.backtrace(&vals, net, v));
+            // A good-machine value contradicting a static necessity of
+            // detection dooms every completion of this assignment: call
+            // the dead end now instead of searching into the subtree.
+            let implication_conflict = necessity
+                .iter()
+                .any(|&(i, v)| vals[i].good.to_bool().is_some_and(|b| b != v));
+            if implication_conflict {
+                stats.implication_conflicts += 1;
+            }
+
+            let next = if implication_conflict {
+                None
+            } else {
+                self.objective(&vals, sites)
+                    .and_then(|(net, v)| self.backtrace(&vals, net, v))
+            };
 
             match next {
                 Some((pi, v)) => {

@@ -292,6 +292,7 @@ mod tests {
         let faults = universe(&n);
         let cfg = PodemConfig {
             backtrack_limit: 2_000,
+            ..PodemConfig::default()
         };
         let mut prev = 0usize;
         for frames in [1usize, 3, 6] {

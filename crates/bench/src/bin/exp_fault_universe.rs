@@ -3,7 +3,7 @@
 //! ~3000 by equivalence collapsing.
 
 use dft_bench::print_table;
-use dft_fault::{collapse, dominance_collapse, universe};
+use dft_fault::{collapse, dominance_collapse, prefilter_untestable, universe};
 use dft_netlist::{GateKind, Netlist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +45,7 @@ fn main() {
         .count();
     let col = collapse(&n, &faults);
     let dom = dominance_collapse(&n, &faults);
+    let pf = prefilter_untestable(&n, &faults);
 
     let nets = n.gate_count() as f64;
     print_table(
@@ -71,7 +72,11 @@ fn main() {
             vec!["collapse ratio".into(), format!("{:.2}", col.ratio())],
             vec![
                 "after dominance reduction (ATPG targets)".into(),
-                dom.len().to_string(),
+                dom.target_count().to_string(),
+            ],
+            vec![
+                "statically proven untestable (dft-implic)".into(),
+                pf.untestable_count().to_string(),
             ],
         ],
     );

@@ -14,6 +14,7 @@ use dft_netlist::circuits::shift_register;
 fn main() {
     let cfg = PodemConfig {
         backtrack_limit: 2_000,
+        ..PodemConfig::default()
     };
     let mut rows = Vec::new();
     for depth in [2usize, 4, 8] {

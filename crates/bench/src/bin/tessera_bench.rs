@@ -6,22 +6,30 @@
 //! patterns/sec and faults×patterns/sec per engine per circuit plus the
 //! PPSFP-vs-serial speedup (the headline number of the PPSFP work).
 //!
+//! Also benchmarks deterministic ATPG with and without the static
+//! implication engine (`dft-implic`): per roster circuit, PODEM runs over
+//! the dominance-collapsed target list twice, and `BENCH_atpg.json`
+//! records the backtrack totals, statically-proven-untestable counts and
+//! implication-conflict prunes — the pruning win of the
+//! analyze-before-you-search pass.
+//!
 //! ```text
-//! tessera-bench [--quick] [--out PATH] [--threads N]
+//! tessera-bench [--quick] [--out PATH] [--atpg-out PATH] [--threads N]
 //! ```
 //!
-//! `--quick` restricts the roster to the small circuits (the CI smoke
+//! `--quick` restricts the rosters to the small circuits (the CI smoke
 //! configuration); `--threads` pins the PPSFP worker count (0 = auto).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use dft_atpg::{Podem, PodemConfig};
 use dft_bench::{eng, exhaustive_patterns, print_table};
 use dft_fault::{
-    universe, DeductiveEngine, DetectionResult, FaultSimEngine, ParallelFaultEngine, PpsfpEngine,
-    PpsfpOptions, SerialEngine, SerialOptions,
+    dominance_collapse, prefilter_untestable, universe, DeductiveEngine, DetectionResult,
+    FaultSimEngine, ParallelFaultEngine, PpsfpEngine, PpsfpOptions, SerialEngine, SerialOptions,
 };
-use dft_netlist::circuits::{c17, random_combinational};
+use dft_netlist::circuits::{c17, random_combinational, redundant_fixture};
 use dft_netlist::Netlist;
 use dft_sim::PatternSet;
 use rand::rngs::StdRng;
@@ -30,6 +38,7 @@ use rand::SeedableRng;
 struct Config {
     quick: bool,
     out: String,
+    atpg_out: String,
     threads: usize,
 }
 
@@ -37,6 +46,7 @@ fn parse_args() -> Config {
     let mut cfg = Config {
         quick: false,
         out: "BENCH_fault_sim.json".to_owned(),
+        atpg_out: "BENCH_atpg.json".to_owned(),
         threads: 0,
     };
     let mut args = std::env::args().skip(1);
@@ -44,6 +54,7 @@ fn parse_args() -> Config {
         match a.as_str() {
             "--quick" => cfg.quick = true,
             "--out" => cfg.out = args.next().expect("--out requires a path"),
+            "--atpg-out" => cfg.atpg_out = args.next().expect("--atpg-out requires a path"),
             "--threads" => {
                 cfg.threads = args
                     .next()
@@ -51,7 +62,9 @@ fn parse_args() -> Config {
                     .parse()
                     .expect("--threads requires an integer")
             }
-            other => panic!("unknown flag {other} (expected --quick, --out PATH, --threads N)"),
+            other => panic!(
+                "unknown flag {other} (expected --quick, --out PATH, --atpg-out PATH, --threads N)"
+            ),
         }
     }
     cfg
@@ -258,6 +271,181 @@ fn main() {
         to_json(&records, &speedups, &curve, all_agree, &cfg),
     )
     .expect("write bench JSON");
+
+    let atpg = atpg_bench(cfg.quick);
+    let atpg_rows: Vec<Vec<String>> = atpg
+        .iter()
+        .flat_map(|r| {
+            [("off", &r.without), ("on", &r.with)].map(|(mode, run)| {
+                vec![
+                    r.circuit.to_owned(),
+                    mode.to_owned(),
+                    r.targets.to_string(),
+                    r.static_untestable.to_string(),
+                    run.tested.to_string(),
+                    run.untestable.to_string(),
+                    run.aborted.to_string(),
+                    run.backtracks.to_string(),
+                    run.implication_conflicts.to_string(),
+                    format!("{:.4}", run.seconds),
+                ]
+            })
+        })
+        .collect();
+    print_table(
+        "podem over dominance-collapsed targets, implication pruning off/on",
+        &[
+            "circuit",
+            "implic",
+            "targets",
+            "static_unt",
+            "tested",
+            "untestable",
+            "aborted",
+            "backtracks",
+            "impl_confl",
+            "seconds",
+        ],
+        &atpg_rows,
+    );
+    let total_without: u64 = atpg.iter().map(|r| r.without.backtracks).sum();
+    let total_with: u64 = atpg.iter().map(|r| r.with.backtracks).sum();
+    println!(
+        "\ntotal backtracks without implications: {total_without}\n\
+         total backtracks with implications:    {total_with}\n\
+         strictly fewer with pruning: {}\nwriting {}",
+        total_with < total_without,
+        cfg.atpg_out
+    );
+    std::fs::write(&cfg.atpg_out, atpg_to_json(&atpg, &cfg)).expect("write ATPG bench JSON");
+}
+
+/// One circuit's ATPG measurements: the shared target list plus one
+/// [`AtpgRun`] per implication-pruning setting.
+struct AtpgRecord {
+    circuit: &'static str,
+    gates: usize,
+    /// Universe size before any collapsing.
+    faults: usize,
+    /// Dominance-collapsed target count (what PODEM actually attacks).
+    targets: usize,
+    /// Targets `dft-implic` proves untestable with zero search.
+    static_untestable: usize,
+    without: AtpgRun,
+    with: AtpgRun,
+}
+
+/// Accumulated effort of one full-roster PODEM pass.
+#[derive(Default)]
+struct AtpgRun {
+    tested: usize,
+    untestable: usize,
+    aborted: usize,
+    backtracks: u64,
+    implication_conflicts: u64,
+    seconds: f64,
+}
+
+fn atpg_roster(quick: bool) -> Vec<(&'static str, Netlist)> {
+    let mut r = vec![
+        ("redundant_fixture", redundant_fixture()),
+        ("c17", c17()),
+        ("rand_12x80", random_combinational(12, 80, 9)),
+    ];
+    if !quick {
+        r.push(("rand_16x300", random_combinational(16, 300, 5)));
+    }
+    r
+}
+
+fn atpg_bench(quick: bool) -> Vec<AtpgRecord> {
+    atpg_roster(quick)
+        .into_iter()
+        .map(|(name, n)| {
+            let faults = universe(&n);
+            let dom = dominance_collapse(&n, &faults);
+            let static_untestable = prefilter_untestable(&n, dom.targets()).untestable_count();
+            let run = |use_implications: bool| {
+                let podem = Podem::new(
+                    &n,
+                    PodemConfig {
+                        use_implications,
+                        ..PodemConfig::default()
+                    },
+                )
+                .expect("roster circuits levelize");
+                let mut acc = AtpgRun::default();
+                let t = Instant::now();
+                for &fault in dom.targets() {
+                    let (outcome, stats) = podem.solve(fault);
+                    match outcome {
+                        dft_atpg::GenOutcome::Test(_) => acc.tested += 1,
+                        dft_atpg::GenOutcome::Untestable => acc.untestable += 1,
+                        dft_atpg::GenOutcome::Aborted => acc.aborted += 1,
+                    }
+                    acc.backtracks += u64::from(stats.backtracks);
+                    acc.implication_conflicts += u64::from(stats.implication_conflicts);
+                }
+                acc.seconds = t.elapsed().as_secs_f64();
+                acc
+            };
+            AtpgRecord {
+                circuit: name,
+                gates: n.gate_count(),
+                faults: faults.len(),
+                targets: dom.target_count(),
+                static_untestable,
+                without: run(false),
+                with: run(true),
+            }
+        })
+        .collect()
+}
+
+fn atpg_to_json(records: &[AtpgRecord], cfg: &Config) -> String {
+    fn run_json(run: &AtpgRun) -> String {
+        format!(
+            "{{\"tested\": {}, \"untestable\": {}, \"aborted\": {}, \"backtracks\": {}, \
+             \"implication_conflicts\": {}, \"seconds\": {:.6}}}",
+            run.tested,
+            run.untestable,
+            run.aborted,
+            run.backtracks,
+            run.implication_conflicts,
+            run.seconds
+        )
+    }
+    let total_without: u64 = records.iter().map(|r| r.without.backtracks).sum();
+    let total_with: u64 = records.iter().map(|r| r.with.backtracks).sum();
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"atpg_implication_pruning\",");
+    let _ = writeln!(s, "  \"quick\": {},", cfg.quick);
+    s.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"circuit\": \"{}\", \"gates\": {}, \"faults\": {}, \"targets\": {}, \
+             \"static_untestable\": {},",
+            r.circuit, r.gates, r.faults, r.targets, r.static_untestable
+        );
+        let _ = writeln!(
+            s,
+            "     \"without_implications\": {},",
+            run_json(&r.without)
+        );
+        let _ = writeln!(
+            s,
+            "     \"with_implications\": {}}}{}",
+            run_json(&r.with),
+            if i + 1 == records.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(s, "  \"total_backtracks_without\": {total_without},");
+    let _ = writeln!(s, "  \"total_backtracks_with\": {total_with},");
+    let _ = writeln!(s, "  \"strictly_fewer\": {}", total_with < total_without);
+    s.push_str("}\n");
+    s
 }
 
 /// The experiment-E11-style random-pattern coverage curve, regenerated

@@ -60,6 +60,7 @@ fn circuit_menu() -> Vec<CircuitEntry> {
         ("counter8", || circuits::binary_counter(8)),
         ("johnson8", || circuits::johnson_counter(8)),
         ("sn74181", || circuits::sn74181().0),
+        ("redundant-fixture", circuits::redundant_fixture),
     ]
 }
 

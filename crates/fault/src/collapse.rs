@@ -219,38 +219,201 @@ pub fn collapse(netlist: &Netlist, faults: &[Fault]) -> Collapse {
     }
 }
 
-/// Dominance-based reduction on top of equivalence: for an AND/NAND
-/// (resp. OR/NOR) gate, the output s-a-noncontrolled-response fault
-/// dominates every input s-a-noncontrolling fault, so it can be dropped
-/// from test-generation target lists (any test for the dominated input
-/// fault also detects it). Returns the reduced target list.
+/// The result of dominance reduction on top of equivalence collapsing,
+/// mirroring [`Collapse`]: the reduced target list plus a per-fault
+/// mapping back onto it.
 ///
-/// Note: dominance is safe for test *generation* but, unlike equivalence,
-/// does not preserve per-fault detection equality — dominated faults may
-/// be detected by patterns that miss their dominator.
+/// For an AND/NAND (resp. OR/NOR) gate, the output
+/// s-a-noncontrolled-response fault dominates every input
+/// s-a-noncontrolling fault — any test for the input fault also detects
+/// it — so it is dropped from the target list. Unlike equivalence,
+/// dominance is one-directional: the dominator can also be detected by
+/// patterns that miss every dominated *witness* (e.g. two controlling
+/// inputs at once), so per-fault detection equality is not preserved.
+#[derive(Clone, Debug)]
+pub struct DominanceCollapse {
+    eq: Collapse,
+    targets: Vec<Fault>,
+    /// Universe index → target index, resolved through equivalence and
+    /// then (for dropped dominators) recursively through a dominated
+    /// witness; `None` when no witness exists in the universe.
+    target_of: Vec<Option<usize>>,
+}
+
+impl DominanceCollapse {
+    /// The original universe the reduction was computed over.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        self.eq.faults()
+    }
+
+    /// The reduced test-generation target list, in universe order.
+    #[must_use]
+    pub fn targets(&self) -> &[Fault] {
+        &self.targets
+    }
+
+    /// Number of targets after equivalence + dominance.
+    #[must_use]
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// `targets / universe` (compare [`Collapse::ratio`]).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.eq.faults().is_empty() {
+            1.0
+        } else {
+            self.targets.len() as f64 / self.eq.faults().len() as f64
+        }
+    }
+
+    /// The target standing in for `fault_index`: its equivalence
+    /// representative if that survived, otherwise a dominated witness
+    /// whose detection implies the dominator's (resolved recursively).
+    /// `None` when the dropped dominator has no witness in the universe —
+    /// such a fault is *not* accounted for by this reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault_index` is out of range.
+    #[must_use]
+    pub fn target_of(&self, fault_index: usize) -> Option<Fault> {
+        self.target_of[fault_index].map(|t| self.targets[t])
+    }
+
+    /// Expands per-target detection flags over the whole universe.
+    ///
+    /// Crediting through a witness is sound — dominance guarantees any
+    /// pattern detecting the witness also detects its dominator — so
+    /// every fault this marks `true` really is detected. It is still not
+    /// the exact universe coverage, and the error runs both ways:
+    ///
+    /// * **Overestimate caveat (the classic one):** dropped dominators
+    ///   are *not* covered "by construction". A dominator whose
+    ///   witnesses are all redundant maps to no target (`None` → `false`
+    ///   here); accounting that instead assumes every dropped fault is
+    ///   covered by its witness's test overstates coverage exactly in
+    ///   that case, as does quoting `detected / target_count` as a
+    ///   universe figure.
+    /// * **Underestimate:** a dominator detected only by patterns that
+    ///   miss every witness (two controlling inputs at once) is reported
+    ///   `false` here even though the pattern set detects it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detected.len()` differs from
+    /// [`DominanceCollapse::target_count`].
+    #[must_use]
+    pub fn expand_detection(&self, detected: &[bool]) -> Vec<bool> {
+        assert_eq!(detected.len(), self.targets.len());
+        self.target_of
+            .iter()
+            .map(|t| t.is_some_and(|k| detected[k]))
+            .collect()
+    }
+}
+
+/// Dominance-based reduction on top of equivalence; see
+/// [`DominanceCollapse`].
 #[must_use]
-pub fn dominance_collapse(netlist: &Netlist, faults: &[Fault]) -> Vec<Fault> {
+pub fn dominance_collapse(netlist: &Netlist, faults: &[Fault]) -> DominanceCollapse {
     let eq = collapse(netlist, faults);
-    let mut keep: Vec<Fault> = Vec::new();
-    for f in eq.representatives() {
-        // Drop gate-output faults that dominate their input faults: for an
-        // AND gate, output s-a-1 is detected whenever any input s-a-1 is.
+    let dropped = |f: Fault| -> bool {
+        // Drop gate-output faults that dominate their input faults: for
+        // an AND gate, output s-a-1 is detected whenever any input
+        // s-a-1 is.
         let gate = netlist.gate(f.site.gate);
-        if f.site.pin == Pin::Output {
-            if let Some(c) = gate.kind().controlling_value() {
-                let dominated_by_inputs = f.stuck == (c == gate.kind().inverts());
-                let is_po = netlist
-                    .primary_outputs()
-                    .iter()
-                    .any(|&(g, _)| g == f.site.gate);
-                if dominated_by_inputs && !is_po && gate.fanin() > 0 {
-                    continue;
-                }
+        if f.site.pin != Pin::Output {
+            return false;
+        }
+        let Some(c) = gate.kind().controlling_value() else {
+            return false;
+        };
+        let dominated_by_inputs = f.stuck == (c == gate.kind().inverts());
+        let is_po = netlist
+            .primary_outputs()
+            .iter()
+            .any(|&(g, _)| g == f.site.gate);
+        dominated_by_inputs && !is_po && gate.fanin() > 0
+    };
+
+    let mut targets: Vec<Fault> = Vec::new();
+    let mut target_index: HashMap<Fault, usize> = HashMap::new();
+    for f in eq.representatives() {
+        if !dropped(f) {
+            target_index.insert(f, targets.len());
+            targets.push(f);
+        }
+    }
+
+    // Witness resolution for dropped dominators: an input-pin fault at
+    // the non-controlling stuck value whose detection implies the
+    // dominator's. The witness's own representative may itself be a
+    // dropped dominator of an earlier gate (fanout-free stems merge a
+    // driver's output fault into the reader's input fault), so resolve
+    // recursively — strictly toward the primary inputs, hence finite.
+    let universe_index: HashMap<Fault, usize> =
+        faults.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+    let mut memo: HashMap<Fault, Option<usize>> = HashMap::new();
+    fn resolve(
+        rep: Fault,
+        netlist: &Netlist,
+        eq: &Collapse,
+        universe_index: &HashMap<Fault, usize>,
+        target_index: &HashMap<Fault, usize>,
+        memo: &mut HashMap<Fault, Option<usize>>,
+    ) -> Option<usize> {
+        if let Some(&t) = target_index.get(&rep) {
+            return Some(t);
+        }
+        if let Some(&t) = memo.get(&rep) {
+            return t;
+        }
+        memo.insert(rep, None); // cycle guard; overwritten on success
+        let gate = netlist.gate(rep.site.gate);
+        let c = gate
+            .kind()
+            .controlling_value()
+            .expect("only controlled-gate output faults are dropped");
+        let mut found = None;
+        for pin in 0..gate.fanin() {
+            let witness = Fault {
+                site: PortRef::input(rep.site.gate, pin as u8),
+                stuck: !c,
+            };
+            let Some(&wi) = universe_index.get(&witness) else {
+                continue;
+            };
+            let wrep = eq.representative(wi);
+            if let Some(t) = resolve(wrep, netlist, eq, universe_index, target_index, memo) {
+                found = Some(t);
+                break;
             }
         }
-        keep.push(f);
+        memo.insert(rep, found);
+        found
     }
-    keep
+
+    let target_of: Vec<Option<usize>> = (0..faults.len())
+        .map(|i| {
+            resolve(
+                eq.representative(i),
+                netlist,
+                &eq,
+                &universe_index,
+                &target_index,
+                &mut memo,
+            )
+        })
+        .collect();
+
+    DominanceCollapse {
+        eq,
+        targets,
+        target_of,
+    }
 }
 
 #[cfg(test)]
@@ -349,8 +512,129 @@ mod tests {
         let n = c17();
         let faults = universe(&n);
         let eq = collapse(&n, &faults).class_count();
-        let dom = dominance_collapse(&n, &faults).len();
+        let dom = dominance_collapse(&n, &faults).target_count();
         assert!(dom < eq, "dominance must drop some targets ({dom} vs {eq})");
+    }
+
+    #[test]
+    fn dominance_maps_every_fault_on_c17() {
+        // c17 has no redundancy: every fault resolves to some target, and
+        // a dropped dominator's target is a genuine universe fault.
+        let n = c17();
+        let faults = universe(&n);
+        let dom = dominance_collapse(&n, &faults);
+        for i in 0..faults.len() {
+            let t = dom.target_of(i).expect("every c17 fault has a target");
+            assert!(dom.targets().contains(&t));
+        }
+        let all = dom.expand_detection(&vec![true; dom.target_count()]);
+        assert!(
+            all.iter().all(|&d| d),
+            "all targets detected ⇒ all credited"
+        );
+    }
+
+    #[test]
+    fn dominance_expansion_never_overestimates() {
+        // Sound direction of the expand_detection contract: every fault
+        // credited through a witness really is detected — checked against
+        // exhaustive simulation of the full universe.
+        let n = c17();
+        let faults = universe(&n);
+        let dom = dominance_collapse(&n, &faults);
+        let rows: Vec<Vec<bool>> = (0..32u8)
+            .map(|v| (0..5).map(|i| v >> i & 1 == 1).collect())
+            .collect();
+        let patterns = dft_sim::PatternSet::from_rows(5, &rows);
+        let on_targets = crate::simulate(&n, &patterns, dom.targets()).unwrap();
+        let detected: Vec<bool> = on_targets
+            .first_detected
+            .iter()
+            .map(Option::is_some)
+            .collect();
+        let expanded = dom.expand_detection(&detected);
+        let truth = crate::simulate(&n, &patterns, &faults).unwrap();
+        for (i, &credited) in expanded.iter().enumerate() {
+            if credited {
+                assert!(
+                    truth.first_detected[i].is_some(),
+                    "fault {i} credited but not actually detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_output_sa1_is_dropped_but_credited_through_its_inputs() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        let inv = n.add_gate(GateKind::Not, &[g]).unwrap();
+        n.mark_output(inv, "y").unwrap();
+        let faults = universe(&n);
+        let dom = dominance_collapse(&n, &faults);
+        let out_sa1 = faults
+            .iter()
+            .position(|f| f.site == PortRef::output(g) && f.stuck)
+            .unwrap();
+        let target = dom.target_of(out_sa1).expect("witness exists");
+        assert_ne!(
+            target.site,
+            PortRef::output(g),
+            "the dominator itself must not be a target"
+        );
+        assert!(target.stuck, "witness is an input s-a-1 class member");
+    }
+
+    #[test]
+    fn expand_detection_empty_universe() {
+        let n = c17();
+        let col = collapse(&n, &[]);
+        assert_eq!(col.class_count(), 0);
+        assert!(col.expand_detection(&[]).is_empty());
+        let dom = dominance_collapse(&n, &[]);
+        assert_eq!(dom.target_count(), 0);
+        assert!(dom.expand_detection(&[]).is_empty());
+        assert!((dom.ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expand_detection_none_detected() {
+        let n = c17();
+        let faults = universe(&n);
+        let col = collapse(&n, &faults);
+        let full = col.expand_detection(&vec![false; col.class_count()]);
+        assert_eq!(full.len(), faults.len());
+        assert!(full.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn expand_detection_over_a_sub_universe() {
+        // Collapsing a sub-universe: merges with absent faults are
+        // ignored, and expansion stays aligned with the sublist.
+        let n = c17();
+        let all = universe(&n);
+        let sub: Vec<Fault> = all.iter().step_by(3).copied().collect();
+        let col = collapse(&n, &sub);
+        let mut detected = vec![false; col.class_count()];
+        detected[0] = true;
+        let full = col.expand_detection(&detected);
+        assert_eq!(full.len(), sub.len());
+        for i in 0..sub.len() {
+            let rep = col.representative(i);
+            let rep_idx = sub.iter().position(|&f| f == rep).unwrap();
+            assert_eq!(full[i], full[rep_idx], "flag must follow the class rep");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn expand_detection_rejects_misaligned_flags() {
+        let n = c17();
+        let faults = universe(&n);
+        let col = collapse(&n, &faults);
+        let _ = col.expand_detection(&vec![true; col.class_count() + 1]);
     }
 
     #[test]

@@ -29,6 +29,12 @@ impl FaultDictionary {
     /// [`Ppsfp::run_syndromes`], so large dictionaries get the fast
     /// engine's cone restriction and threading for free.
     ///
+    /// Before any simulation runs, the static implication engine
+    /// ([`crate::prefilter_untestable`]) drops faults it can prove
+    /// untestable: their syndrome is empty by construction, so skipping
+    /// them changes no entry of the dictionary — only the work done
+    /// building it.
+    ///
     /// # Errors
     ///
     /// Returns [`LevelizeError`] on combinational cycles.
@@ -42,9 +48,27 @@ impl FaultDictionary {
         faults: &[Fault],
     ) -> Result<Self, LevelizeError> {
         let engine = Ppsfp::new(netlist)?;
+        let pf = crate::prefilter_untestable(netlist, faults);
+        let syndromes = if pf.untestable_count() == 0 {
+            engine.run_syndromes(patterns, faults)
+        } else {
+            // Simulate the survivors only; proven-untestable faults keep
+            // the empty syndrome they provably have.
+            let survivors = pf.testable_faults();
+            let mut computed = engine.run_syndromes(patterns, &survivors).into_iter();
+            (0..faults.len())
+                .map(|i| {
+                    if pf.is_untestable(i) {
+                        BTreeSet::new()
+                    } else {
+                        computed.next().expect("one syndrome per survivor")
+                    }
+                })
+                .collect()
+        };
         Ok(FaultDictionary {
             faults: faults.to_vec(),
-            syndromes: engine.run_syndromes(patterns, faults),
+            syndromes,
             pattern_count: patterns.len(),
         })
     }
@@ -198,6 +222,30 @@ mod tests {
         );
         // …and exhaustive patterns distinguish a healthy fraction.
         assert!(res > 0.4, "resolution {res}");
+    }
+
+    #[test]
+    fn prefiltered_build_matches_brute_force_on_redundant_logic() {
+        // The fixture has statically-provable untestable faults; the
+        // prefiltered build path must produce exactly the syndromes a
+        // full simulation would (empty for the filtered faults).
+        let n = dft_netlist::circuits::redundant_fixture();
+        let faults = universe(&n);
+        let rows: Vec<Vec<bool>> = (0..4u8)
+            .map(|v| vec![v & 1 == 1, v >> 1 & 1 == 1])
+            .collect();
+        let patterns = PatternSet::from_rows(2, &rows);
+        let dict = FaultDictionary::build(&n, &patterns, &faults).unwrap();
+        let engine = crate::Ppsfp::new(&n).unwrap();
+        let brute = engine.run_syndromes(&patterns, &faults);
+        let pf = crate::prefilter_untestable(&n, &faults);
+        assert!(
+            pf.untestable_count() > 0,
+            "fixture must exercise the skip path"
+        );
+        for (i, expected) in brute.iter().enumerate() {
+            assert_eq!(dict.syndrome(i), expected, "fault {i} syndrome differs");
+        }
     }
 
     #[test]

@@ -58,11 +58,12 @@ mod fault;
 mod inject;
 mod parallel;
 mod ppsfp;
+mod prefilter;
 mod sequential;
 mod serial;
 mod stuck_open;
 
-pub use collapse::{collapse, dominance_collapse, Collapse};
+pub use collapse::{collapse, dominance_collapse, Collapse, DominanceCollapse};
 pub use concurrent::{sequential_concurrent, ConcurrentStats};
 pub use deductive::deductive;
 pub use dictionary::FaultDictionary;
@@ -74,6 +75,7 @@ pub use fault::{output_faults, universe, Fault};
 pub use inject::FaultyView;
 pub use parallel::parallel_fault;
 pub use ppsfp::{ppsfp, ppsfp_with_options, Ppsfp, PpsfpOptions};
+pub use prefilter::{prefilter_untestable, prefilter_with, Prefilter};
 pub use sequential::{sequential, SequentialDetection};
 pub use serial::{
     simulate, simulate_with_dropping, simulate_with_options, DetectionResult, SerialOptions,

@@ -1,0 +1,151 @@
+//! Cross-crate soundness suite for the static implication engine.
+//!
+//! Two obligations, both checked on small random combinational netlists
+//! where ground truth is cheap:
+//!
+//! 1. **Implication soundness** — every fact the engine derives (implied
+//!    literal, unsettable literal, implied constant) holds under
+//!    exhaustive 2-valued simulation of every complete primary-input
+//!    assignment.
+//! 2. **Untestability soundness** — every fault the engine statically
+//!    proves untestable is also declared `Untestable` by PODEM running
+//!    *without* implication support (an independent exhaustive search).
+//!    The converse need not hold: static learning is deliberately
+//!    incomplete, and the gap is measured, not asserted.
+
+use dft_atpg::{GenOutcome, Podem, PodemConfig};
+use dft_fault::universe;
+use dft_implic::ImplicationEngine;
+use dft_netlist::circuits::{random_combinational, redundant_fixture};
+use dft_netlist::Netlist;
+use dft_sim::{Logic, ThreeValueSim};
+use proptest::prelude::*;
+
+/// All-gate values under every complete primary-input assignment.
+fn exhaustive_values(n: &Netlist) -> Vec<Vec<Logic>> {
+    let sim = ThreeValueSim::new(n).expect("random combinational netlists are acyclic");
+    let pis = n.primary_inputs().len();
+    (0u32..1 << pis)
+        .map(|bits| {
+            let assign: Vec<Logic> = (0..pis).map(|i| Logic::from(bits >> i & 1 == 1)).collect();
+            sim.eval(&assign, &[])
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_implication_holds_under_exhaustive_simulation(
+        seed in any::<u64>(),
+        inputs in 3usize..=6,
+        gates in 5usize..=40,
+    ) {
+        let n = random_combinational(inputs, gates, seed);
+        let engine = ImplicationEngine::new(&n);
+        let table = exhaustive_values(&n);
+        for net in n.ids() {
+            for value in [false, true] {
+                let q = engine.query(net, value);
+                let want = Logic::from(value);
+                let rows: Vec<&Vec<Logic>> = table
+                    .iter()
+                    .filter(|row| row[net.index()] == want)
+                    .collect();
+                if let Some(conflict) = q.conflict {
+                    prop_assert!(
+                        rows.is_empty(),
+                        "g{}={} proven unsettable (conflict at g{}) yet {} assignments produce it",
+                        net.index(), u8::from(value), conflict.index(), rows.len()
+                    );
+                    continue;
+                }
+                for lit in &q.implied {
+                    let implied = Logic::from(lit.value);
+                    for row in &rows {
+                        prop_assert_eq!(
+                            row[lit.net.index()], implied,
+                            "g{}={} implies g{}={} but a witness assignment disagrees",
+                            net.index(), u8::from(value), lit.net.index(), u8::from(lit.value)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn statically_untestable_faults_are_confirmed_by_podem(
+        seed in any::<u64>(),
+        inputs in 3usize..=7,
+        gates in 10usize..=60,
+    ) {
+        let n = random_combinational(inputs, gates, seed);
+        let engine = ImplicationEngine::new(&n);
+        let podem = Podem::new(
+            &n,
+            PodemConfig { use_implications: false, ..PodemConfig::default() },
+        )
+        .expect("random combinational netlists levelize");
+        for fault in universe(&n) {
+            let Some(reason) = engine.fault_untestable(fault.site.gate, fault.site.pin, fault.stuck)
+            else {
+                continue;
+            };
+            let (outcome, _) = podem.solve(fault);
+            prop_assert!(
+                matches!(outcome, GenOutcome::Untestable),
+                "{fault:?} statically proven untestable ({reason}) but PODEM says {outcome:?}"
+            );
+        }
+    }
+}
+
+/// The incompleteness gap, measured on fixed circuits: search refutes at
+/// least as many faults as static analysis proves, and on the
+/// purpose-built fixture the engine finds every redundancy search does.
+#[test]
+fn incompleteness_gap_is_one_sided() {
+    for (name, n, expect_gap_zero) in [
+        ("redundant_fixture", redundant_fixture(), true),
+        ("rand_12x80", random_combinational(12, 80, 9), false),
+    ] {
+        let engine = ImplicationEngine::new(&n);
+        let podem = Podem::new(
+            &n,
+            PodemConfig {
+                use_implications: false,
+                ..PodemConfig::default()
+            },
+        )
+        .expect("fixed circuits levelize");
+        let mut static_untestable = 0usize;
+        let mut search_untestable = 0usize;
+        for fault in universe(&n) {
+            let proven = engine
+                .fault_untestable(fault.site.gate, fault.site.pin, fault.stuck)
+                .is_some();
+            let (outcome, _) = podem.solve(fault);
+            let refuted = matches!(outcome, GenOutcome::Untestable);
+            assert!(!proven || refuted, "{name}: unsound verdict on {fault:?}");
+            static_untestable += usize::from(proven);
+            search_untestable += usize::from(refuted);
+        }
+        println!(
+            "{name}: search-untestable {search_untestable}, statically proven \
+             {static_untestable}, incompleteness gap {}",
+            search_untestable - static_untestable
+        );
+        if expect_gap_zero {
+            assert_eq!(
+                static_untestable, search_untestable,
+                "{name}: the fixture's redundancies are all within reach of static learning"
+            );
+        }
+    }
+}

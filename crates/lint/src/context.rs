@@ -1,5 +1,6 @@
 //! Shared analysis state handed to every rule.
 
+use dft_implic::ImplicationEngine;
 use dft_netlist::{GateId, GateKind, Levelization, LevelizeError, Netlist};
 use dft_sim::Logic;
 use dft_testability::TestabilityReport;
@@ -50,6 +51,7 @@ pub struct LintContext<'n> {
     fanout: Vec<Vec<(GateId, u8)>>,
     scoap: Option<TestabilityReport>,
     constants: Option<Vec<Logic>>,
+    implications: Option<ImplicationEngine<'n>>,
 }
 
 impl<'n> LintContext<'n> {
@@ -65,6 +67,9 @@ impl<'n> LintContext<'n> {
             .as_ref()
             .ok()
             .map(|lv| propagate_constants(netlist, lv));
+        let implications = levelization
+            .is_ok()
+            .then(|| ImplicationEngine::new(netlist));
         LintContext {
             netlist,
             config,
@@ -72,6 +77,7 @@ impl<'n> LintContext<'n> {
             fanout,
             scoap,
             constants,
+            implications,
         }
     }
 
@@ -110,6 +116,15 @@ impl<'n> LintContext<'n> {
     #[must_use]
     pub fn constants(&self) -> Option<&[Logic]> {
         self.constants.as_deref()
+    }
+
+    /// The static implication engine with SOCRATES-style learned
+    /// implications (`None` on cyclic netlists): implied constants that
+    /// plain constant propagation misses, unsettable literals, and the
+    /// statically-untestable-fault oracle.
+    #[must_use]
+    pub fn implications(&self) -> Option<&ImplicationEngine<'n>> {
+        self.implications.as_ref()
     }
 }
 

@@ -16,9 +16,16 @@
 //! | `hard-to-control` | SCOAP controllability below threshold | §II measures |
 //! | `hard-to-observe` | SCOAP observability below threshold | §II measures |
 //! | `reconvergent-fanout` | (info) reconvergent paths exist | §I-B sensitization |
+//! | `redundant-logic` | no gate has all its faults statically untestable | §I-B redundancy |
+//! | `constant-implied-net` | no net is constant only via implication learning | §I-B redundancy |
+//!
+//! The last two are powered by `dft-implic`'s static implication engine:
+//! they catch redundancy that needs reasoning across reconvergent paths
+//! (`x AND NOT x`), which simple constant propagation and structural
+//! reachability cannot see.
 
 use dft_netlist::cones::{fanin_cone, reconvergent_fanouts};
-use dft_netlist::{GateId, GateKind, Netlist};
+use dft_netlist::{GateId, GateKind, Netlist, Pin};
 use dft_testability::INFINITE;
 
 use crate::context::LintContext;
@@ -40,6 +47,8 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(HardToControl),
         Box::new(HardToObserve),
         Box::new(ReconvergentFanout),
+        Box::new(RedundantLogic),
+        Box::new(ConstantImpliedNet),
     ]
 }
 
@@ -593,13 +602,139 @@ impl Rule for ReconvergentFanout {
     }
 }
 
+/// Flags gates all of whose stuck-at faults are statically provably
+/// untestable: the gate contributes nothing a test could ever see, which
+/// is the paper's definition of redundant logic. Detection uses
+/// `dft-implic`'s FIRE-style identifier, so it also catches redundancy
+/// that needs implication reasoning (a gate masked because a side input
+/// is *implied* to its controlling value), not just structural
+/// unreachability.
+pub struct RedundantLogic;
+
+impl Rule for RedundantLogic {
+    fn id(&self) -> &'static str {
+        "redundant-logic"
+    }
+    fn description(&self) -> &'static str {
+        "gates all of whose stuck-at faults are statically untestable (provably redundant)"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let Some(engine) = ctx.implications() else {
+            return;
+        };
+        for (id, gate) in ctx.netlist().iter() {
+            if gate.kind().is_source() {
+                continue;
+            }
+            let mut pins: Vec<Pin> = vec![Pin::Output];
+            pins.extend((0..gate.fanin()).map(|p| Pin::Input(p as u8)));
+            let mut witness = None;
+            let all_untestable = pins.iter().all(|&pin| {
+                [false, true]
+                    .iter()
+                    .all(|&stuck| match engine.fault_untestable(id, pin, stuck) {
+                        Some(reason) => {
+                            witness = Some(reason);
+                            true
+                        }
+                        None => false,
+                    })
+            });
+            if !all_untestable {
+                continue;
+            }
+            let reason = witness.expect("a gate has at least the two output faults");
+            report.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.severity(),
+                    self.category(),
+                    id,
+                    format!(
+                        "every stuck-at fault on this {} gate is statically untestable \
+                         (e.g. {reason})",
+                        gate.kind()
+                    ),
+                )
+                .with_hint(
+                    "the gate is provably redundant: remove it, or add a control/observation \
+                     test point if it exists for a reason (§I-B, §III-B)",
+                ),
+            );
+        }
+    }
+}
+
+/// Flags nets the implication closure proves constant even though simple
+/// constant propagation cannot: the constant comes from reconvergent
+/// structure (`x AND NOT x`), not from a tied source, so the
+/// `constant-output` rule misses it. Stuck-at-the-constant faults on such
+/// nets are untestable.
+pub struct ConstantImpliedNet;
+
+impl Rule for ConstantImpliedNet {
+    fn id(&self) -> &'static str {
+        "constant-implied-net"
+    }
+    fn description(&self) -> &'static str {
+        "nets fixed by the implication closure but invisible to plain constant propagation"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let (Some(engine), Some(constants)) = (ctx.implications(), ctx.constants()) else {
+            return;
+        };
+        for (id, gate) in ctx.netlist().iter() {
+            if gate.kind().is_source() || constants[id.index()].is_known() {
+                continue;
+            }
+            let Some(v) = engine.implied_constant(id) else {
+                continue;
+            };
+            // The implication witness: driving the net to the opposite
+            // value contradicts itself somewhere — name that somewhere.
+            let conflict = engine.query(id, !v).conflict;
+            let v = u8::from(v);
+            let mut diag = Diagnostic::new(
+                self.id(),
+                self.severity(),
+                self.category(),
+                id,
+                format!(
+                    "implication closure proves this net constant {v} (plain constant \
+                     propagation cannot); stuck-at-{v} here is untestable"
+                ),
+            )
+            .with_hint(
+                "the constant comes from reconvergent structure; simplify the logic or \
+                 accept the redundant faults (§I-B)",
+            );
+            if let Some(at) = conflict {
+                diag = diag.with_related(vec![at]);
+            }
+            report.push(diag);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::context::LintConfig;
     use crate::registry::Registry;
     use dft_netlist::circuits::{
-        binary_counter, c17, parity_tree, ripple_carry_adder, shift_register,
+        binary_counter, c17, parity_tree, redundant_fixture, ripple_carry_adder, shift_register,
     };
     use dft_netlist::Netlist as NL;
 
@@ -905,6 +1040,57 @@ mod tests {
     #[test]
     fn reconvergent_fanout_clean_on_fanout_free_tree() {
         assert_eq!(count(&lint(&parity_tree(8)), "reconvergent-fanout"), 0);
+    }
+
+    // --- redundant-logic / constant-implied-net --------------------------
+
+    #[test]
+    fn redundant_logic_fires_on_the_fixture() {
+        // `live = OR(a,b)` is fully masked: its only reader ANDs it with
+        // a net the implication closure proves constant 0.
+        let n = redundant_fixture();
+        let r = lint(&n);
+        assert!(count(&r, "redundant-logic") > 0, "{}", r.to_text());
+        let d = r.by_rule("redundant-logic").next().unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("statically untestable"));
+    }
+
+    #[test]
+    fn redundant_logic_silent_on_c17() {
+        assert_eq!(count(&lint(&c17()), "redundant-logic"), 0);
+    }
+
+    #[test]
+    fn constant_implied_net_fires_on_the_fixture() {
+        // `z = AND(a, NOT a)` is constant 0 only through implication —
+        // no constant source feeds it, so `constant-output` stays silent
+        // while this rule reports it with the conflict witness.
+        let n = redundant_fixture();
+        let r = lint(&n);
+        assert_eq!(count(&r, "constant-output"), 0, "{}", r.to_text());
+        assert!(count(&r, "constant-implied-net") > 0, "{}", r.to_text());
+        let d = r.by_rule("constant-implied-net").next().unwrap();
+        assert!(d.message.contains("constant 0"));
+    }
+
+    #[test]
+    fn constant_implied_net_silent_on_c17() {
+        assert_eq!(count(&lint(&c17()), "constant-implied-net"), 0);
+    }
+
+    #[test]
+    fn implication_rules_silent_on_plainly_tied_constants() {
+        // A net constant by simple propagation belongs to constant-output,
+        // not to constant-implied-net.
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let zero = n.add_const(false);
+        let g = n.add_gate(GateKind::And, &[a, zero]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        let r = lint(&n);
+        assert_eq!(count(&r, "constant-output"), 1);
+        assert_eq!(count(&r, "constant-implied-net"), 0);
     }
 
     // --- whole-registry smoke --------------------------------------------

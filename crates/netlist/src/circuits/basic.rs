@@ -204,6 +204,37 @@ pub fn decoder(width: usize) -> Netlist {
     n
 }
 
+/// A deliberately redundant circuit for untestability analyses: the kind
+/// of logic §I-B's redundant-fault discussion warns about, small enough
+/// to verify exhaustively.
+///
+/// * `z = AND(a, NOT a)` is constant 0 — but only *implied* constant
+///   (no constant source feeds it), so plain constant propagation cannot
+///   see it.
+/// * `y = AND(live, z)` is therefore also implied-constant 0, and its
+///   side input masks `live = OR(a, b)` completely: every fault on
+///   `live` is undetectable, making that gate provably redundant logic.
+/// * `x = XOR(a, b)` is honest, fully testable logic so the circuit is
+///   not wholly degenerate.
+///
+/// Exercises `dft-implic`'s untestable-fault identifier, `dft-fault`'s
+/// prefilter, and the `redundant-logic` / `constant-implied-net` lint
+/// rules.
+#[must_use]
+pub fn redundant_fixture() -> Netlist {
+    let mut n = Netlist::new("redundant_fixture");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let na = n.add_gate(GateKind::Not, &[a]).expect("valid");
+    let z = n.add_gate(GateKind::And, &[a, na]).expect("valid");
+    let live = n.add_gate(GateKind::Or, &[a, b]).expect("valid");
+    let y = n.add_gate(GateKind::And, &[live, z]).expect("valid");
+    let x = n.add_gate(GateKind::Xor, &[a, b]).expect("valid");
+    n.mark_output(y, "y").expect("fresh name");
+    n.mark_output(x, "x").expect("fresh name");
+    n
+}
+
 /// A 3-input majority voter (`a`, `b`, `c` → `maj`).
 #[must_use]
 pub fn majority() -> Netlist {
@@ -309,6 +340,7 @@ mod tests {
             mux_tree(3),
             decoder(3),
             majority(),
+            redundant_fixture(),
             wallace_multiplier(4),
         ] {
             assert!(n.levelize().is_ok(), "{} has a cycle", n.name());

@@ -17,8 +17,8 @@ mod sn74181;
 
 pub use arith::{barrel_shifter, carry_lookahead_adder};
 pub use basic::{
-    c17, comparator, decoder, full_adder, majority, mux_tree, parity_tree, ripple_carry_adder,
-    wallace_multiplier,
+    c17, comparator, decoder, full_adder, majority, mux_tree, parity_tree, redundant_fixture,
+    ripple_carry_adder, wallace_multiplier,
 };
 pub use pla::{random_pattern_resistant_pla, Pla, PlaCube};
 pub use random::{random_combinational, RandomCircuit};

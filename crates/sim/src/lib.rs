@@ -42,6 +42,7 @@
 mod compiled;
 mod event;
 pub mod exhaustive;
+pub mod justify;
 mod kernel;
 mod parallel;
 mod pattern;

@@ -10,6 +10,7 @@ pub use dft_atpg as atpg;
 pub use dft_bist as bist;
 pub use dft_core as core;
 pub use dft_fault as fault;
+pub use dft_implic as implic;
 pub use dft_lfsr as lfsr;
 pub use dft_lint as lint;
 pub use dft_netlist as netlist;
