@@ -284,12 +284,10 @@ mod tests {
         let pla =
             dft_netlist::circuits::random_pattern_resistant_pla(16, 8, 12, 2, 3).synthesize("hard");
         let faults = universe(&pla);
-        let cfg = AtpgConfig {
-            random_budget: 128,
-            backtrack_limit: 50,
-            compact: false,
-            ..AtpgConfig::default()
-        };
+        let cfg = AtpgConfig::new()
+            .with_random_budget(128)
+            .with_backtrack_limit(50)
+            .with_compact(false);
         let before = generate_tests(&pla, &faults, &cfg).unwrap();
         let plan = select_test_points(&pla, 4, 4).unwrap();
         let improved = apply_test_points(&pla, &plan).unwrap();

@@ -16,10 +16,70 @@
 use dft_fault::Fault;
 use dft_implic::ImplicationEngine;
 use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin, PortRef};
+use dft_obs::{Collector, Obs};
 use dft_sim::justify::forced_inputs;
 use dft_sim::Logic;
 
 use crate::podem::{GenOutcome, PodemConfig, SolveStats, TestCube};
+
+/// Tuning knobs for [`dalg`]/[`dalg_with`].
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and the `with_*`
+/// builders so new knobs can be added without breaking downstream
+/// crates. A [`PodemConfig`] converts losslessly (`From`) so flows that
+/// drive both engines can share one knob set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct DalgConfig {
+    /// Abort the search after this many backtracks (the D-Algorithm's
+    /// internal decision budget is derived from this, scaled ×8 because
+    /// its decisions are finer-grained than PODEM's PI flips).
+    pub backtrack_limit: u32,
+    /// Consult a static implication engine (`dft-implic`): faults it
+    /// proves untestable return `Untestable` with zero search, and every
+    /// implication fixpoint cross-checks line values against the learned
+    /// store, failing branches early.
+    pub use_implications: bool,
+}
+
+impl Default for DalgConfig {
+    fn default() -> Self {
+        DalgConfig {
+            backtrack_limit: 10_000,
+            use_implications: true,
+        }
+    }
+}
+
+impl DalgConfig {
+    /// Defaults (same as [`Default`], spelled for builder chains).
+    #[must_use]
+    pub fn new() -> Self {
+        DalgConfig::default()
+    }
+
+    /// Sets [`DalgConfig::backtrack_limit`].
+    #[must_use]
+    pub fn with_backtrack_limit(mut self, backtrack_limit: u32) -> Self {
+        self.backtrack_limit = backtrack_limit;
+        self
+    }
+
+    /// Sets [`DalgConfig::use_implications`].
+    #[must_use]
+    pub fn with_use_implications(mut self, use_implications: bool) -> Self {
+        self.use_implications = use_implications;
+        self
+    }
+}
+
+impl From<PodemConfig> for DalgConfig {
+    fn from(c: PodemConfig) -> Self {
+        DalgConfig::new()
+            .with_backtrack_limit(c.backtrack_limit)
+            .with_use_implications(c.use_implications)
+    }
+}
 
 /// Runs the D-Algorithm for `fault` on a combinational netlist.
 ///
@@ -37,7 +97,7 @@ use crate::podem::{GenOutcome, PodemConfig, SolveStats, TestCube};
 pub fn dalg(
     netlist: &Netlist,
     fault: Fault,
-    config: &PodemConfig,
+    config: &DalgConfig,
 ) -> Result<GenOutcome, LevelizeError> {
     let engine = config
         .use_implications
@@ -59,7 +119,56 @@ pub fn dalg(
 pub fn dalg_with<'n>(
     netlist: &'n Netlist,
     fault: Fault,
-    config: &PodemConfig,
+    config: &DalgConfig,
+    implic: Option<&ImplicationEngine<'n>>,
+) -> Result<(GenOutcome, SolveStats), LevelizeError> {
+    dalg_observed(netlist, fault, config, implic, None)
+}
+
+/// [`dalg_with`] feeding telemetry to an optional collector.
+///
+/// Opens an `atpg.dalg` span per attempt and flushes the [`SolveStats`]
+/// counters (`backtracks`, `forward_evals`, `implication_conflicts`)
+/// plus one of `tests`/`untestable`/`aborted` for the outcome; the
+/// returned stats are unchanged, so the legacy view and the collector
+/// always agree.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+pub fn dalg_observed<'n>(
+    netlist: &'n Netlist,
+    fault: Fault,
+    config: &DalgConfig,
+    implic: Option<&ImplicationEngine<'n>>,
+    obs: Option<&mut dyn Collector>,
+) -> Result<(GenOutcome, SolveStats), LevelizeError> {
+    let mut obs = Obs::new(obs);
+    obs.enter("atpg.dalg");
+    let (outcome, stats) = dalg_search(netlist, fault, config, implic)?;
+    obs.count("attempts", 1);
+    obs.count("backtracks", u64::from(stats.backtracks));
+    obs.count("forward_evals", stats.forward_evals);
+    obs.count(
+        "implication_conflicts",
+        u64::from(stats.implication_conflicts),
+    );
+    obs.count(
+        match outcome {
+            GenOutcome::Test(_) => "tests",
+            GenOutcome::Untestable => "untestable",
+            GenOutcome::Aborted => "aborted",
+        },
+        1,
+    );
+    obs.exit();
+    Ok((outcome, stats))
+}
+
+fn dalg_search<'n>(
+    netlist: &'n Netlist,
+    fault: Fault,
+    config: &DalgConfig,
     implic: Option<&ImplicationEngine<'n>>,
 ) -> Result<(GenOutcome, SolveStats), LevelizeError> {
     let lv = netlist.levelize()?;
@@ -588,7 +697,7 @@ mod tests {
     fn cross_check(netlist: &Netlist) {
         let cfg = PodemConfig::default();
         for f in universe(netlist) {
-            let d = dalg(netlist, f, &cfg).unwrap();
+            let d = dalg(netlist, f, &DalgConfig::from(cfg)).unwrap();
             let p = podem(netlist, f, &cfg).unwrap();
             match (&d, &p) {
                 (GenOutcome::Test(cube), GenOutcome::Test(_)) => {

@@ -2,12 +2,13 @@
 //! compaction.
 
 use dft_fault::{simulate, Fault};
-use dft_implic::ImplicationEngine;
+use dft_implic::{ImplicOptions, ImplicationEngine};
 use dft_netlist::{LevelizeError, Netlist};
+use dft_obs::{Collector, Obs};
 use dft_sim::PatternSet;
 
 use crate::compact::compact;
-use crate::dalg::dalg_with;
+use crate::dalg::{dalg_with, DalgConfig};
 use crate::podem::{GenOutcome, Podem, PodemConfig, TestCube};
 use crate::random::random_atpg;
 
@@ -22,7 +23,12 @@ pub enum DeterministicEngine {
 }
 
 /// Configuration for [`generate_tests`].
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and the `with_*`
+/// builders so new knobs can be added without breaking downstream
+/// crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct AtpgConfig {
     /// Random patterns to try before deterministic generation
     /// (0 disables the random phase).
@@ -51,6 +57,56 @@ impl Default for AtpgConfig {
             compact: true,
             use_implications: true,
         }
+    }
+}
+
+impl AtpgConfig {
+    /// Defaults (same as [`Default`], spelled for builder chains).
+    #[must_use]
+    pub fn new() -> Self {
+        AtpgConfig::default()
+    }
+
+    /// Sets [`AtpgConfig::random_budget`].
+    #[must_use]
+    pub fn with_random_budget(mut self, random_budget: usize) -> Self {
+        self.random_budget = random_budget;
+        self
+    }
+
+    /// Sets [`AtpgConfig::seed`].
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets [`AtpgConfig::engine`].
+    #[must_use]
+    pub fn with_engine(mut self, engine: DeterministicEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets [`AtpgConfig::backtrack_limit`].
+    #[must_use]
+    pub fn with_backtrack_limit(mut self, backtrack_limit: u32) -> Self {
+        self.backtrack_limit = backtrack_limit;
+        self
+    }
+
+    /// Sets [`AtpgConfig::compact`].
+    #[must_use]
+    pub fn with_compact(mut self, compact: bool) -> Self {
+        self.compact = compact;
+        self
+    }
+
+    /// Sets [`AtpgConfig::use_implications`].
+    #[must_use]
+    pub fn with_use_implications(mut self, use_implications: bool) -> Self {
+        self.use_implications = use_implications;
+        self
     }
 }
 
@@ -149,6 +205,34 @@ pub fn generate_tests(
     faults: &[Fault],
     config: &AtpgConfig,
 ) -> Result<AtpgRun, LevelizeError> {
+    generate_tests_observed(netlist, faults, config, None)
+}
+
+/// [`generate_tests`] feeding telemetry to an optional collector.
+///
+/// Opens an `atpg.generate` span with one child span per flow phase —
+/// `atpg.random`, `atpg.deterministic` (which also nests the solver's
+/// `implic.learn` build when implications are on), `atpg.compact` —
+/// flushing each phase's effort counters once. The deterministic phase
+/// aggregates its per-fault [`crate::SolveStats`] into phase totals
+/// (`attempts`, `backtracks`, `forward_evals`, `implication_conflicts`,
+/// `tests`, `untestable`, `aborted`) rather than emitting one span per
+/// fault, keeping reports bounded on large fault lists. The returned
+/// [`AtpgRun`] counters are unchanged, so the legacy view and the
+/// collector always agree.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+pub fn generate_tests_observed(
+    netlist: &Netlist,
+    faults: &[Fault],
+    config: &AtpgConfig,
+    obs: Option<&mut dyn Collector>,
+) -> Result<AtpgRun, LevelizeError> {
+    let mut obs = Obs::new(obs);
+    obs.enter("atpg.generate");
+    obs.count("faults", faults.len() as u64);
     let mut status = vec![FaultStatus::Aborted; faults.len()];
     let mut cubes: Vec<TestCube> = Vec::new();
     let mut random_rows: Vec<Vec<bool>> = Vec::new();
@@ -158,6 +242,7 @@ pub fn generate_tests(
     // Phase 1: random with dropping.
     let mut remaining: Vec<usize> = (0..faults.len()).collect();
     if config.random_budget > 0 {
+        obs.enter("atpg.random");
         let r = random_atpg(netlist, faults, config.random_budget, 1.0, config.seed)?;
         // Keep only the useful prefix patterns (those that detected
         // something first).
@@ -185,45 +270,67 @@ pub fn generate_tests(
                 status[i] = FaultStatus::DetectedRandom;
             }
         }
+        obs.count("patterns", r.patterns.len() as u64);
+        obs.count("kept_patterns", random_rows.len() as u64);
+        obs.count("detected", (faults.len() - remaining.len()) as u64);
+        obs.exit();
     }
 
     // Phase 2: deterministic top-off. One implication engine is shared
     // across every D-algorithm call; the PODEM solver builds its own.
-    let podem_cfg = PodemConfig {
-        backtrack_limit: config.backtrack_limit,
-        use_implications: config.use_implications,
-    };
-    let solver = Podem::new(netlist, podem_cfg)?;
-    let implic_engine = (config.use_implications
-        && config.engine == DeterministicEngine::DAlgorithm)
-        .then(|| ImplicationEngine::new(netlist));
+    obs.enter("atpg.deterministic");
+    let podem_cfg = PodemConfig::new()
+        .with_backtrack_limit(config.backtrack_limit)
+        .with_use_implications(config.use_implications);
+    let solver = Podem::new_observed(netlist, podem_cfg, obs.as_option())?;
+    let dalg_cfg = DalgConfig::from(podem_cfg);
+    let implic_engine =
+        (config.use_implications && config.engine == DeterministicEngine::DAlgorithm).then(|| {
+            ImplicationEngine::with_options_observed(
+                netlist,
+                ImplicOptions::default(),
+                obs.as_option(),
+            )
+        });
+    let mut implication_conflicts = 0u64;
+    let (mut n_tests, mut n_untestable, mut n_aborted) = (0u64, 0u64, 0u64);
     for &fi in &remaining {
-        let outcome = match config.engine {
-            DeterministicEngine::Podem => {
-                let (o, stats) = solver.solve(faults[fi]);
-                backtracks += u64::from(stats.backtracks);
-                forward_evals += stats.forward_evals;
-                o
-            }
+        let (outcome, stats) = match config.engine {
+            DeterministicEngine::Podem => solver.solve(faults[fi]),
             DeterministicEngine::DAlgorithm => {
-                let (o, stats) =
-                    dalg_with(netlist, faults[fi], &podem_cfg, implic_engine.as_ref())?;
-                backtracks += u64::from(stats.backtracks);
-                forward_evals += stats.forward_evals;
-                o
+                dalg_with(netlist, faults[fi], &dalg_cfg, implic_engine.as_ref())?
             }
         };
+        backtracks += u64::from(stats.backtracks);
+        forward_evals += stats.forward_evals;
+        implication_conflicts += u64::from(stats.implication_conflicts);
         status[fi] = match outcome {
             GenOutcome::Test(cube) => {
                 cubes.push(cube);
+                n_tests += 1;
                 FaultStatus::DetectedDeterministic
             }
-            GenOutcome::Untestable => FaultStatus::Untestable,
-            GenOutcome::Aborted => FaultStatus::Aborted,
+            GenOutcome::Untestable => {
+                n_untestable += 1;
+                FaultStatus::Untestable
+            }
+            GenOutcome::Aborted => {
+                n_aborted += 1;
+                FaultStatus::Aborted
+            }
         };
     }
+    obs.count("attempts", remaining.len() as u64);
+    obs.count("backtracks", backtracks);
+    obs.count("forward_evals", forward_evals);
+    obs.count("implication_conflicts", implication_conflicts);
+    obs.count("tests", n_tests);
+    obs.count("untestable", n_untestable);
+    obs.count("aborted", n_aborted);
+    obs.exit();
 
     // Phase 3: assemble + compact.
+    obs.enter("atpg.compact");
     let n_pi = netlist.primary_inputs().len();
     let patterns = if config.compact {
         let mut set = compact(netlist, &cubes, faults)?;
@@ -238,6 +345,9 @@ pub fn generate_tests(
         rows.extend(cubes.iter().map(|c| c.filled(false)));
         PatternSet::from_rows(n_pi, &rows)
     };
+    obs.count("cubes", cubes.len() as u64);
+    obs.count("patterns", patterns.len() as u64);
+    obs.exit();
 
     // Final verification pass: statuses must be consistent with the
     // actual pattern set (detected faults stay detected).
@@ -251,12 +361,15 @@ pub fn generate_tests(
         })
     });
 
-    Ok(AtpgRun {
+    let run = AtpgRun {
         patterns,
         status,
         backtracks,
         forward_evals,
-    })
+    };
+    obs.gauge("coverage", run.coverage());
+    obs.exit();
+    Ok(run)
 }
 
 #[cfg(test)]

@@ -47,9 +47,11 @@ mod timeframe;
 mod v5;
 
 pub use compact::{compact, merge_cubes, reverse_order_drop};
-pub use dalg::{dalg, dalg_with};
-pub use engine::{generate_tests, AtpgConfig, AtpgRun, DeterministicEngine, FaultStatus};
-pub use podem::{podem, GenOutcome, Podem, PodemConfig, SolveStats, TestCube};
+pub use dalg::{dalg, dalg_observed, dalg_with, DalgConfig};
+pub use engine::{
+    generate_tests, generate_tests_observed, AtpgConfig, AtpgRun, DeterministicEngine, FaultStatus,
+};
+pub use podem::{podem, podem_observed, GenOutcome, Podem, PodemConfig, SolveStats, TestCube};
 pub use random::{
     exhaustive_atpg, random_atpg, scoap_weights, weighted_random_atpg, RandomAtpgOutcome,
 };

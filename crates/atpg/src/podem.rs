@@ -3,8 +3,9 @@
 use std::collections::HashMap;
 
 use dft_fault::Fault;
-use dft_implic::ImplicationEngine;
+use dft_implic::{ImplicOptions, ImplicationEngine};
 use dft_netlist::{GateId, GateKind, LevelizeError, Netlist, Pin};
+use dft_obs::{Collector, Obs};
 use dft_sim::Logic;
 use dft_testability::{analyze, TestabilityReport};
 
@@ -90,7 +91,12 @@ impl GenOutcome {
 }
 
 /// Tuning knobs for [`podem`]/[`Podem`].
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and the `with_*`
+/// builders so new knobs can be added without breaking downstream
+/// crates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct PodemConfig {
     /// Abort the search after this many backtracks.
     pub backtrack_limit: u32,
@@ -107,6 +113,28 @@ impl Default for PodemConfig {
             backtrack_limit: 10_000,
             use_implications: true,
         }
+    }
+}
+
+impl PodemConfig {
+    /// Defaults (same as [`Default`], spelled for builder chains).
+    #[must_use]
+    pub fn new() -> Self {
+        PodemConfig::default()
+    }
+
+    /// Sets [`PodemConfig::backtrack_limit`].
+    #[must_use]
+    pub fn with_backtrack_limit(mut self, backtrack_limit: u32) -> Self {
+        self.backtrack_limit = backtrack_limit;
+        self
+    }
+
+    /// Sets [`PodemConfig::use_implications`].
+    #[must_use]
+    pub fn with_use_implications(mut self, use_implications: bool) -> Self {
+        self.use_implications = use_implications;
+        self
     }
 }
 
@@ -144,12 +172,35 @@ impl<'n> Podem<'n> {
     ///
     /// Returns [`LevelizeError`] on combinational cycles.
     pub fn new(netlist: &'n Netlist, config: PodemConfig) -> Result<Self, LevelizeError> {
+        Podem::new_observed(netlist, config, None)
+    }
+
+    /// [`Podem::new`] feeding telemetry to an optional collector: when
+    /// implications are enabled, the embedded [`ImplicationEngine`]
+    /// build reports its `implic.learn` span through `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    pub fn new_observed(
+        netlist: &'n Netlist,
+        config: PodemConfig,
+        obs: Option<&mut dyn Collector>,
+    ) -> Result<Self, LevelizeError> {
+        let mut obs = Obs::new(obs);
         let lv = netlist.levelize()?;
         let report = analyze(netlist)?;
         let mut is_po = vec![false; netlist.gate_count()];
         for &(g, _) in netlist.primary_outputs() {
             is_po[g.index()] = true;
         }
+        let implic = config.use_implications.then(|| {
+            ImplicationEngine::with_options_observed(
+                netlist,
+                ImplicOptions::default(),
+                obs.as_option(),
+            )
+        });
         Ok(Podem {
             netlist,
             order: lv.order().to_vec(),
@@ -163,9 +214,7 @@ impl<'n> Podem<'n> {
                 .collect(),
             is_po,
             config,
-            implic: config
-                .use_implications
-                .then(|| ImplicationEngine::new(netlist)),
+            implic,
         })
     }
 
@@ -201,6 +250,16 @@ impl<'n> Podem<'n> {
         self.solve_any_of(&[fault])
     }
 
+    /// [`Podem::solve`] feeding telemetry to an optional collector.
+    #[must_use]
+    pub fn solve_with(
+        &self,
+        fault: Fault,
+        obs: Option<&mut dyn Collector>,
+    ) -> (GenOutcome, SolveStats) {
+        self.solve_any_of_with(&[fault], obs)
+    }
+
     /// Attempts to generate a test for a fault present at *several* sites
     /// simultaneously (one logical defect with multiple copies — the
     /// time-frame-expansion case, where the same physical fault appears
@@ -213,6 +272,50 @@ impl<'n> Podem<'n> {
     /// Panics if `sites` is empty.
     #[must_use]
     pub fn solve_any_of(&self, sites: &[Fault]) -> (GenOutcome, SolveStats) {
+        self.solve_any_of_with(sites, None)
+    }
+
+    /// [`Podem::solve_any_of`] feeding telemetry to an optional
+    /// collector.
+    ///
+    /// Opens an `atpg.podem` span per attempt and flushes the
+    /// [`SolveStats`] counters (`backtracks`, `forward_evals`,
+    /// `implication_conflicts`) plus one of `tests`/`untestable`/
+    /// `aborted` for the outcome; the returned stats are unchanged, so
+    /// the legacy view and the collector always agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty.
+    #[must_use]
+    pub fn solve_any_of_with(
+        &self,
+        sites: &[Fault],
+        obs: Option<&mut dyn Collector>,
+    ) -> (GenOutcome, SolveStats) {
+        let mut obs = Obs::new(obs);
+        obs.enter("atpg.podem");
+        let (outcome, stats) = self.search(sites);
+        obs.count("attempts", 1);
+        obs.count("backtracks", u64::from(stats.backtracks));
+        obs.count("forward_evals", stats.forward_evals);
+        obs.count(
+            "implication_conflicts",
+            u64::from(stats.implication_conflicts),
+        );
+        obs.count(
+            match outcome {
+                GenOutcome::Test(_) => "tests",
+                GenOutcome::Untestable => "untestable",
+                GenOutcome::Aborted => "aborted",
+            },
+            1,
+        );
+        obs.exit();
+        (outcome, stats)
+    }
+
+    fn search(&self, sites: &[Fault]) -> (GenOutcome, SolveStats) {
         assert!(!sites.is_empty(), "need at least one fault site");
         let mut stats = SolveStats::default();
         let Ok(necessity) = self.necessity(sites) else {
@@ -529,8 +632,25 @@ pub fn podem(
     fault: Fault,
     config: &PodemConfig,
 ) -> Result<GenOutcome, LevelizeError> {
-    let solver = Podem::new(netlist, *config)?;
-    Ok(solver.solve(fault).0)
+    podem_observed(netlist, fault, config, None)
+}
+
+/// [`podem`] feeding telemetry to an optional collector (both the
+/// solver build — `implic.learn` when implications are on — and the
+/// `atpg.podem` search span).
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+pub fn podem_observed(
+    netlist: &Netlist,
+    fault: Fault,
+    config: &PodemConfig,
+    obs: Option<&mut dyn Collector>,
+) -> Result<GenOutcome, LevelizeError> {
+    let mut obs = Obs::new(obs);
+    let solver = Podem::new_observed(netlist, *config, obs.as_option())?;
+    Ok(solver.solve_with(fault, obs.as_option()).0)
 }
 
 #[cfg(test)]

@@ -12,12 +12,10 @@ fn bench_atpg(c: &mut Criterion) {
     for gates in [100usize, 200, 400] {
         let n = RandomCircuit::new(16, gates).seed(gates as u64).build();
         let faults = universe(&n);
-        let cfg = AtpgConfig {
-            random_budget: 64,
-            compact: false,
-            backtrack_limit: 100,
-            ..AtpgConfig::default()
-        };
+        let cfg = AtpgConfig::new()
+            .with_random_budget(64)
+            .with_compact(false)
+            .with_backtrack_limit(100);
         group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
             b.iter(|| generate_tests(black_box(&n), black_box(&faults), black_box(&cfg)))
         });

@@ -11,11 +11,9 @@ use std::hint::black_box;
 fn bench_flow(c: &mut Criterion) {
     let n = random_sequential(6, 12, 18, 4, 21);
     let scan = ScanConfig::new(ScanStyle::Lssd);
-    let atpg = AtpgConfig {
-        random_budget: 128,
-        backtrack_limit: 200,
-        ..AtpgConfig::default()
-    };
+    let atpg = AtpgConfig::new()
+        .with_random_budget(128)
+        .with_backtrack_limit(200);
     c.bench_function("full_scan_flow_12latch", |b| {
         b.iter(|| full_scan_flow(black_box(&n), black_box(&scan), black_box(&atpg)))
     });

@@ -30,12 +30,10 @@ fn main() {
 
         // Test generation (random phase + PODEM top-off, no compaction to
         // keep the measurement about generation).
-        let cfg = AtpgConfig {
-            random_budget: 64,
-            compact: false,
-            backtrack_limit: 200,
-            ..AtpgConfig::default()
-        };
+        let cfg = AtpgConfig::new()
+            .with_random_budget(64)
+            .with_compact(false)
+            .with_backtrack_limit(200);
         let t0 = Instant::now();
         let run = generate_tests(&n, &faults, &cfg).expect("combinational");
         let atpg_time = t0.elapsed().as_secs_f64();

@@ -12,10 +12,7 @@ use dft_fault::universe;
 use dft_netlist::circuits::shift_register;
 
 fn main() {
-    let cfg = PodemConfig {
-        backtrack_limit: 2_000,
-        ..PodemConfig::default()
-    };
+    let cfg = PodemConfig::new().with_backtrack_limit(2_000);
     let mut rows = Vec::new();
     for depth in [2usize, 4, 8] {
         let n = shift_register(depth);

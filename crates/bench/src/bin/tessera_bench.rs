@@ -14,16 +14,21 @@
 //! analyze-before-you-search pass.
 //!
 //! ```text
-//! tessera-bench [--quick] [--out PATH] [--atpg-out PATH] [--threads N]
+//! tessera-bench [--quick] [--out PATH] [--atpg-out PATH] [--threads N] [--report PATH]
 //! ```
 //!
 //! `--quick` restricts the rosters to the small circuits (the CI smoke
 //! configuration); `--threads` pins the PPSFP worker count (0 = auto).
+//! `--report PATH` additionally performs one fully *observed* pass —
+//! fault simulation, the full ATPG flow, and the implication-engine
+//! build all feeding a `dft-obs` recorder — and writes the resulting
+//! span/counter tree as `tessera-obs/1` JSON, cross-checked against the
+//! engines' legacy stats before it is written.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dft_atpg::{Podem, PodemConfig};
+use dft_atpg::{generate_tests_observed, AtpgConfig, Podem, PodemConfig};
 use dft_bench::{eng, exhaustive_patterns, print_table};
 use dft_fault::{
     dominance_collapse, prefilter_untestable, universe, DeductiveEngine, DetectionResult,
@@ -31,6 +36,7 @@ use dft_fault::{
 };
 use dft_netlist::circuits::{c17, random_combinational, redundant_fixture};
 use dft_netlist::Netlist;
+use dft_obs::{Recorder, RunReport};
 use dft_sim::PatternSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,6 +46,7 @@ struct Config {
     out: String,
     atpg_out: String,
     threads: usize,
+    report: Option<String>,
 }
 
 fn parse_args() -> Config {
@@ -48,6 +55,7 @@ fn parse_args() -> Config {
         out: "BENCH_fault_sim.json".to_owned(),
         atpg_out: "BENCH_atpg.json".to_owned(),
         threads: 0,
+        report: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -62,8 +70,10 @@ fn parse_args() -> Config {
                     .parse()
                     .expect("--threads requires an integer")
             }
+            "--report" => cfg.report = Some(args.next().expect("--report requires a path")),
             other => panic!(
-                "unknown flag {other} (expected --quick, --out PATH, --atpg-out PATH, --threads N)"
+                "unknown flag {other} (expected --quick, --out PATH, --atpg-out PATH, \
+                 --threads N, --report PATH)"
             ),
         }
     }
@@ -157,16 +167,13 @@ fn time_engine(
 fn main() {
     let cfg = parse_args();
     let ppsfp = PpsfpEngine {
-        options: PpsfpOptions {
-            threads: cfg.threads,
-            fault_dropping: true,
-        },
+        options: PpsfpOptions::new()
+            .with_threads(cfg.threads)
+            .with_fault_dropping(true),
     };
     let serial = SerialEngine::default();
     let serial_nodrop = SerialEngine {
-        options: SerialOptions {
-            fault_dropping: false,
-        },
+        options: SerialOptions::new().with_fault_dropping(false),
     };
 
     let mut records: Vec<Record> = Vec::new();
@@ -318,6 +325,79 @@ fn main() {
         cfg.atpg_out
     );
     std::fs::write(&cfg.atpg_out, atpg_to_json(&atpg, &cfg)).expect("write ATPG bench JSON");
+
+    if let Some(path) = &cfg.report {
+        let report = observed_run(&cfg);
+        std::fs::write(path, report.to_json()).expect("write run report");
+        println!("writing {path}");
+    }
+}
+
+/// One fully observed pass: the reference serial engine, the PPSFP
+/// engine, and the complete ATPG flow (whose deterministic phase nests
+/// the implication-engine build) all feed a single recorder, so the
+/// resulting tree covers the `fault_sim.*`, `atpg.*` and `implic.learn`
+/// phases in one report. Runs on c17 — the report documents the flow's
+/// shape, not its throughput, and the timed benches above already cover
+/// the large circuits. Every recorded counter is asserted against the
+/// legacy stats the engines returned for the same runs, so a written
+/// report is a cross-checked one.
+fn observed_run(cfg: &Config) -> RunReport {
+    let n = c17();
+    let faults = universe(&n);
+    let patterns = exhaustive_patterns(5);
+    let serial = SerialEngine::default();
+    let ppsfp = PpsfpEngine {
+        options: PpsfpOptions::new()
+            .with_threads(cfg.threads)
+            .with_fault_dropping(true),
+    };
+
+    let mut rec = Recorder::new();
+    let serial_result = serial
+        .run_with(&n, &patterns, &faults, Some(&mut rec))
+        .expect("c17 levelizes");
+    let ppsfp_result = ppsfp
+        .run_with(&n, &patterns, &faults, Some(&mut rec))
+        .expect("c17 levelizes");
+    let atpg_run = generate_tests_observed(&n, &faults, &AtpgConfig::default(), Some(&mut rec))
+        .expect("c17 levelizes");
+    let report = rec.finish(if cfg.quick {
+        "tessera-bench --quick"
+    } else {
+        "tessera-bench"
+    });
+
+    let serial_span = report.find("fault_sim.serial").expect("serial span");
+    assert_eq!(
+        serial_span.counter("detected"),
+        serial_result.detected_count() as u64,
+        "serial telemetry disagrees with DetectionResult"
+    );
+    let ppsfp_span = report.find("fault_sim.ppsfp").expect("ppsfp span");
+    assert_eq!(
+        ppsfp_span.counter("detected"),
+        ppsfp_result.detected_count() as u64,
+        "ppsfp telemetry disagrees with DetectionResult"
+    );
+    let det = report
+        .find("atpg.deterministic")
+        .expect("deterministic ATPG span");
+    assert_eq!(
+        det.counter("backtracks"),
+        atpg_run.backtracks,
+        "ATPG telemetry disagrees with AtpgRun"
+    );
+    assert_eq!(
+        det.counter("forward_evals"),
+        atpg_run.forward_evals,
+        "ATPG telemetry disagrees with AtpgRun"
+    );
+    assert!(
+        report.find("implic.learn").is_some(),
+        "implication-engine build missing from the report"
+    );
+    report
 }
 
 /// One circuit's ATPG measurements: the shared target list plus one
@@ -368,10 +448,7 @@ fn atpg_bench(quick: bool) -> Vec<AtpgRecord> {
             let run = |use_implications: bool| {
                 let podem = Podem::new(
                     &n,
-                    PodemConfig {
-                        use_implications,
-                        ..PodemConfig::default()
-                    },
+                    PodemConfig::new().with_use_implications(use_implications),
                 )
                 .expect("roster circuits levelize");
                 let mut acc = AtpgRun::default();

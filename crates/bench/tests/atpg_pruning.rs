@@ -27,10 +27,7 @@ fn implication_pruning_strictly_reduces_backtracks_without_changing_verdicts() {
             .map(|&use_implications| {
                 Podem::new(
                     &n,
-                    PodemConfig {
-                        use_implications,
-                        ..PodemConfig::default()
-                    },
+                    PodemConfig::new().with_use_implications(use_implications),
                 )
                 .expect("roster circuits levelize")
             })

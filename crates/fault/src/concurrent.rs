@@ -12,6 +12,7 @@
 //! performed differs, which [`ConcurrentStats`] reports.
 
 use dft_netlist::{LevelizeError, Netlist, Pin};
+use dft_obs::{Collector, Obs};
 use dft_sim::Logic;
 
 use crate::{Fault, FaultyView, SequentialDetection};
@@ -56,6 +57,31 @@ pub fn sequential_concurrent(
     sequence: &[Vec<Logic>],
     faults: &[Fault],
 ) -> Result<(SequentialDetection, ConcurrentStats), LevelizeError> {
+    sequential_concurrent_observed(netlist, sequence, faults, None)
+}
+
+/// [`sequential_concurrent`] feeding telemetry to an optional collector.
+///
+/// Opens a `fault_sim.concurrent` span with counters `faults`, `cycles`,
+/// `faulty_evals` and `serial_evals` (the two [`ConcurrentStats`]
+/// fields, so the span is a superset of the legacy stats view),
+/// `detected`.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if a row's width disagrees with the input count.
+pub fn sequential_concurrent_observed(
+    netlist: &Netlist,
+    sequence: &[Vec<Logic>],
+    faults: &[Fault],
+    obs: Option<&mut dyn Collector>,
+) -> Result<(SequentialDetection, ConcurrentStats), LevelizeError> {
+    let mut obs = Obs::new(obs);
+    obs.enter("fault_sim.concurrent");
     let view = FaultyView::new(netlist)?;
     let outputs: Vec<_> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
     let n_state = view.storage().len();
@@ -120,13 +146,17 @@ pub fn sequential_concurrent(
         }
     }
 
-    Ok((
-        SequentialDetection {
-            first_detected,
-            cycle_count: sequence.len(),
-        },
-        stats,
-    ))
+    let detection = SequentialDetection {
+        first_detected,
+        cycle_count: sequence.len(),
+    };
+    obs.count("faults", faults.len() as u64);
+    obs.count("cycles", sequence.len() as u64);
+    obs.count("faulty_evals", stats.faulty_evals);
+    obs.count("serial_evals", stats.serial_evals);
+    obs.count("detected", detection.detected_count() as u64);
+    obs.exit();
+    Ok((detection, stats))
 }
 
 #[cfg(test)]

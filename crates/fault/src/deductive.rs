@@ -9,6 +9,7 @@
 use std::collections::BTreeSet;
 
 use dft_netlist::{GateKind, LevelizeError, Netlist, Pin};
+use dft_obs::{Collector, Obs};
 use dft_sim::PatternSet;
 
 use crate::{DetectionResult, Fault};
@@ -32,6 +33,33 @@ pub fn deductive(
     patterns: &PatternSet,
     faults: &[Fault],
 ) -> Result<DetectionResult, LevelizeError> {
+    deductive_observed(netlist, patterns, faults, None)
+}
+
+/// [`deductive`] feeding telemetry to an optional collector.
+///
+/// Opens a `fault_sim.deductive` span with counters `faults`,
+/// `patterns`, `gate_evals` (levelized gate visits across all patterns),
+/// `list_events` (fault-list entries written to nets — the method's set
+/// algebra effort), `detected`.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if the pattern width disagrees with the netlist.
+pub fn deductive_observed(
+    netlist: &Netlist,
+    patterns: &PatternSet,
+    faults: &[Fault],
+    obs: Option<&mut dyn Collector>,
+) -> Result<DetectionResult, LevelizeError> {
+    let mut obs = Obs::new(obs);
+    obs.enter("fault_sim.deductive");
+    let mut gate_evals = 0u64;
+    let mut list_events = 0u64;
     let lv = netlist.levelize()?;
     let storage = netlist.storage_elements();
     let outputs: Vec<_> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
@@ -174,6 +202,8 @@ pub fn deductive(
                     out_list.remove(&fi);
                 }
             }
+            gate_evals += 1;
+            list_events += out_list.len() as u64;
             list[gi] = out_list;
         }
 
@@ -186,10 +216,17 @@ pub fn deductive(
         }
     }
 
-    Ok(DetectionResult {
+    let result = DetectionResult {
         first_detected,
         pattern_count: patterns.len(),
-    })
+    };
+    obs.count("faults", faults.len() as u64);
+    obs.count("patterns", patterns.len() as u64);
+    obs.count("gate_evals", gate_evals);
+    obs.count("list_events", list_events);
+    obs.count("detected", result.detected_count() as u64);
+    obs.exit();
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -23,12 +23,13 @@
 //! (an X-masked output never counts as detected).
 
 use dft_netlist::{LevelizeError, Netlist};
+use dft_obs::Collector;
 use dft_sim::{Logic, PatternSet};
 
 use crate::serial::SerialOptions;
 use crate::{
-    deductive, parallel_fault, ppsfp_with_options, sequential, sequential_concurrent,
-    simulate_with_options, DetectionResult, Fault, PpsfpOptions,
+    deductive_observed, parallel_fault_observed, ppsfp_observed, sequential_concurrent_observed,
+    sequential_observed, simulate_observed, DetectionResult, Fault, PpsfpOptions,
 };
 
 /// A fault-simulation engine: patterns × faults → per-fault first
@@ -36,11 +37,31 @@ use crate::{
 ///
 /// All implementations agree exactly on combinational netlists; see the
 /// module docs for the sequential caveat.
+///
+/// [`FaultSimEngine::run_with`] is the one required method — the uniform
+/// observed signature every engine in the workspace exposes. Each engine
+/// opens a `fault_sim.<name>` span on the collector and flushes its
+/// effort counters (`faults`, `patterns`, `detected`, plus per-engine
+/// work counters) once per run; passing `None` costs nothing measurable.
 pub trait FaultSimEngine {
     /// Short stable identifier (used in bench output and JSON records).
     fn name(&self) -> &'static str;
 
-    /// Fault-simulates `faults` against `patterns`.
+    /// Fault-simulates `faults` against `patterns`, feeding telemetry to
+    /// an optional collector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    fn run_with(
+        &self,
+        netlist: &Netlist,
+        patterns: &PatternSet,
+        faults: &[Fault],
+        obs: Option<&mut dyn Collector>,
+    ) -> Result<DetectionResult, LevelizeError>;
+
+    /// Fault-simulates `faults` against `patterns` (no telemetry).
     ///
     /// # Errors
     ///
@@ -50,7 +71,9 @@ pub trait FaultSimEngine {
         netlist: &Netlist,
         patterns: &PatternSet,
         faults: &[Fault],
-    ) -> Result<DetectionResult, LevelizeError>;
+    ) -> Result<DetectionResult, LevelizeError> {
+        self.run_with(netlist, patterns, faults, None)
+    }
 
     /// Indices of the faults `patterns` detects — the invariant quantity
     /// every engine must agree on.
@@ -90,13 +113,14 @@ impl FaultSimEngine for SerialEngine {
         }
     }
 
-    fn run(
+    fn run_with(
         &self,
         netlist: &Netlist,
         patterns: &PatternSet,
         faults: &[Fault],
+        obs: Option<&mut dyn Collector>,
     ) -> Result<DetectionResult, LevelizeError> {
-        simulate_with_options(netlist, patterns, faults, self.options)
+        simulate_observed(netlist, patterns, faults, self.options, obs)
     }
 }
 
@@ -109,13 +133,14 @@ impl FaultSimEngine for ParallelFaultEngine {
         "parallel_fault"
     }
 
-    fn run(
+    fn run_with(
         &self,
         netlist: &Netlist,
         patterns: &PatternSet,
         faults: &[Fault],
+        obs: Option<&mut dyn Collector>,
     ) -> Result<DetectionResult, LevelizeError> {
-        parallel_fault(netlist, patterns, faults)
+        parallel_fault_observed(netlist, patterns, faults, obs)
     }
 }
 
@@ -128,13 +153,14 @@ impl FaultSimEngine for DeductiveEngine {
         "deductive"
     }
 
-    fn run(
+    fn run_with(
         &self,
         netlist: &Netlist,
         patterns: &PatternSet,
         faults: &[Fault],
+        obs: Option<&mut dyn Collector>,
     ) -> Result<DetectionResult, LevelizeError> {
-        deductive(netlist, patterns, faults)
+        deductive_observed(netlist, patterns, faults, obs)
     }
 }
 
@@ -155,13 +181,14 @@ impl FaultSimEngine for SequentialEngine {
         "sequential"
     }
 
-    fn run(
+    fn run_with(
         &self,
         netlist: &Netlist,
         patterns: &PatternSet,
         faults: &[Fault],
+        obs: Option<&mut dyn Collector>,
     ) -> Result<DetectionResult, LevelizeError> {
-        let d = sequential(netlist, &as_sequence(patterns), faults)?;
+        let d = sequential_observed(netlist, &as_sequence(patterns), faults, obs)?;
         Ok(DetectionResult {
             first_detected: d
                 .first_detected
@@ -184,13 +211,15 @@ impl FaultSimEngine for ConcurrentEngine {
         "concurrent"
     }
 
-    fn run(
+    fn run_with(
         &self,
         netlist: &Netlist,
         patterns: &PatternSet,
         faults: &[Fault],
+        obs: Option<&mut dyn Collector>,
     ) -> Result<DetectionResult, LevelizeError> {
-        let (d, _stats) = sequential_concurrent(netlist, &as_sequence(patterns), faults)?;
+        let (d, _stats) =
+            sequential_concurrent_observed(netlist, &as_sequence(patterns), faults, obs)?;
         Ok(DetectionResult {
             first_detected: d
                 .first_detected
@@ -214,13 +243,14 @@ impl FaultSimEngine for PpsfpEngine {
         "ppsfp"
     }
 
-    fn run(
+    fn run_with(
         &self,
         netlist: &Netlist,
         patterns: &PatternSet,
         faults: &[Fault],
+        obs: Option<&mut dyn Collector>,
     ) -> Result<DetectionResult, LevelizeError> {
-        ppsfp_with_options(netlist, patterns, faults, self.options)
+        ppsfp_observed(netlist, patterns, faults, self.options, obs)
     }
 }
 

@@ -64,8 +64,8 @@ mod serial;
 mod stuck_open;
 
 pub use collapse::{collapse, dominance_collapse, Collapse, DominanceCollapse};
-pub use concurrent::{sequential_concurrent, ConcurrentStats};
-pub use deductive::deductive;
+pub use concurrent::{sequential_concurrent, sequential_concurrent_observed, ConcurrentStats};
+pub use deductive::{deductive, deductive_observed};
 pub use dictionary::FaultDictionary;
 pub use engine::{
     engines, ConcurrentEngine, DeductiveEngine, FaultSimEngine, ParallelFaultEngine, PpsfpEngine,
@@ -73,12 +73,13 @@ pub use engine::{
 };
 pub use fault::{output_faults, universe, Fault};
 pub use inject::FaultyView;
-pub use parallel::parallel_fault;
-pub use ppsfp::{ppsfp, ppsfp_with_options, Ppsfp, PpsfpOptions};
+pub use parallel::{parallel_fault, parallel_fault_observed};
+pub use ppsfp::{ppsfp, ppsfp_observed, ppsfp_with_options, Ppsfp, PpsfpOptions};
 pub use prefilter::{prefilter_untestable, prefilter_with, Prefilter};
-pub use sequential::{sequential, SequentialDetection};
+pub use sequential::{sequential, sequential_observed, SequentialDetection};
 pub use serial::{
-    simulate, simulate_with_dropping, simulate_with_options, DetectionResult, SerialOptions,
+    simulate, simulate_observed, simulate_with_dropping, simulate_with_options, DetectionResult,
+    SerialOptions,
 };
 pub use stuck_open::{
     simulate_stuck_open, stuck_open_universe, OpenKind, StuckOpenDetection, StuckOpenFault,

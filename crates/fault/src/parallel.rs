@@ -8,6 +8,7 @@
 //! pattern.
 
 use dft_netlist::{GateKind, LevelizeError, Netlist, Pin};
+use dft_obs::{Collector, Obs};
 use dft_sim::word::{apply_stuck_mask, fold_word};
 use dft_sim::PatternSet;
 
@@ -33,11 +34,41 @@ pub fn parallel_fault(
     patterns: &PatternSet,
     faults: &[Fault],
 ) -> Result<DetectionResult, LevelizeError> {
+    parallel_fault_observed(netlist, patterns, faults, None)
+}
+
+/// [`parallel_fault`] feeding telemetry to an optional collector.
+///
+/// Opens a `fault_sim.parallel_fault` span with counters `faults`,
+/// `patterns`, `group_evals` (63-fault machine-group passes),
+/// `words_folded` (one per gate per group pass), `detected`, `dropped`.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if the pattern width disagrees with the netlist.
+pub fn parallel_fault_observed(
+    netlist: &Netlist,
+    patterns: &PatternSet,
+    faults: &[Fault],
+    obs: Option<&mut dyn Collector>,
+) -> Result<DetectionResult, LevelizeError> {
+    let mut obs = Obs::new(obs);
+    obs.enter("fault_sim.parallel_fault");
     let lv = netlist.levelize()?;
     let storage = netlist.storage_elements();
     let outputs: Vec<_> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
+    let folds_per_group: u64 = lv
+        .order()
+        .iter()
+        .filter(|&&id| !netlist.gate(id).kind().is_source())
+        .count() as u64;
     let mut first_detected: Vec<Option<usize>> = vec![None; faults.len()];
     let mut live: Vec<usize> = (0..faults.len()).collect();
+    let mut group_evals = 0u64;
 
     for p in 0..patterns.len() {
         if live.is_empty() {
@@ -48,6 +79,7 @@ pub fn parallel_fault(
         let mut remaining: Vec<usize> = Vec::with_capacity(live.len());
         for group in live.chunks(63) {
             let vals = eval_group(netlist, &lv, &storage, &row, faults, group);
+            group_evals += 1;
             // Good machine bit is lane 0; fault k of the group is lane k+1.
             for (k, &fi) in group.iter().enumerate() {
                 let lane = k + 1;
@@ -71,10 +103,19 @@ pub fn parallel_fault(
         live = remaining;
     }
 
-    Ok(DetectionResult {
+    let result = DetectionResult {
         first_detected,
         pattern_count: patterns.len(),
-    })
+    };
+    let detected = result.detected_count() as u64;
+    obs.count("faults", faults.len() as u64);
+    obs.count("patterns", patterns.len() as u64);
+    obs.count("group_evals", group_evals);
+    obs.count("words_folded", group_evals * folds_per_group);
+    obs.count("detected", detected);
+    obs.count("dropped", detected); // this engine always drops on detection
+    obs.exit();
+    Ok(result)
 }
 
 /// Evaluates one pattern with the good machine in lane 0 and each group

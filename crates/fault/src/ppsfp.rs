@@ -31,13 +31,19 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dft_netlist::{GateId, LevelizeError, Netlist, Pin};
+use dft_obs::{Collector, Obs};
 use dft_sim::word::{fold_word, stuck_word};
 use dft_sim::{Kernel, PatternSet};
 
 use crate::{DetectionResult, Fault};
 
 /// Tuning knobs for a PPSFP run.
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and the `with_*`
+/// builders so new knobs can be added without breaking downstream
+/// crates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct PpsfpOptions {
     /// Worker threads. `0` (the default) uses the machine's available
     /// parallelism, capped by the number of fault-site groups.
@@ -55,6 +61,53 @@ impl Default for PpsfpOptions {
             threads: 0,
             fault_dropping: true,
         }
+    }
+}
+
+impl PpsfpOptions {
+    /// Defaults (same as [`Default`], spelled for builder chains).
+    #[must_use]
+    pub fn new() -> Self {
+        PpsfpOptions::default()
+    }
+
+    /// Sets [`PpsfpOptions::threads`].
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets [`PpsfpOptions::fault_dropping`].
+    #[must_use]
+    pub fn with_fault_dropping(mut self, fault_dropping: bool) -> Self {
+        self.fault_dropping = fault_dropping;
+        self
+    }
+}
+
+/// Worker-local effort counters, merged across threads after the
+/// partitioned run (plain integer bumps in the hot loop; never shared
+/// while the workers are live, so there is no synchronization cost).
+#[derive(Clone, Copy, Debug, Default)]
+struct WorkCounters {
+    /// Fanout-cone schedules computed (one per fault-site group load).
+    cones_loaded: u64,
+    /// Fault × block injection attempts (`propagate` calls).
+    block_scans: u64,
+    /// Injection attempts that actually disturbed the cone.
+    excited_blocks: u64,
+    /// `fold_word` evaluations of disturbed cone gates (the hot loop's
+    /// unit of work).
+    words_folded: u64,
+}
+
+impl WorkCounters {
+    fn merge(&mut self, other: WorkCounters) {
+        self.cones_loaded += other.cones_loaded;
+        self.block_scans += other.block_scans;
+        self.excited_blocks += other.excited_blocks;
+        self.words_folded += other.words_folded;
     }
 }
 
@@ -153,15 +206,47 @@ impl<'n> Ppsfp<'n> {
     /// Panics if the pattern width disagrees with the netlist.
     #[must_use]
     pub fn run(&self, patterns: &PatternSet, faults: &[Fault]) -> DetectionResult {
+        self.run_with(patterns, faults, None)
+    }
+
+    /// [`Ppsfp::run`] feeding telemetry to an optional collector.
+    ///
+    /// Opens a `fault_sim.ppsfp` span with counters `faults`,
+    /// `patterns`, `good_evals` (baseline kernel blocks), `cones_loaded`,
+    /// `block_scans`, `excited_blocks`, `words_folded` (disturbed-gate
+    /// evaluations — the engine's unit of hot-loop work), `detected`,
+    /// `dropped`, plus a `coverage` gauge. Workers count into private
+    /// integers merged after the join, so the hot loop never crosses a
+    /// `dyn` boundary and `None` costs nothing measurable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width disagrees with the netlist.
+    #[must_use]
+    pub fn run_with(
+        &self,
+        patterns: &PatternSet,
+        faults: &[Fault],
+        obs: Option<&mut dyn Collector>,
+    ) -> DetectionResult {
+        let mut obs = Obs::new(obs);
+        obs.enter("fault_sim.ppsfp");
         let baseline = self.baseline(patterns);
         let dropping = self.options.fault_dropping;
-        let first_detected = self.run_partitioned(faults, |worker, fault| {
+        let (first_detected, work) = self.run_partitioned(faults, |worker, fault| {
             worker.detect(fault, &baseline, dropping)
         });
-        DetectionResult {
+        let result = DetectionResult {
             first_detected,
             pattern_count: patterns.len(),
-        }
+        };
+        let detected = result.detected_count() as u64;
+        self.flush(&mut obs, faults.len(), patterns, &work);
+        obs.count("detected", detected);
+        obs.count("dropped", if dropping { detected } else { 0 });
+        obs.gauge("coverage", result.coverage());
+        obs.exit();
+        result
     }
 
     /// Full-syndrome fault simulation: for every fault, the complete set
@@ -177,8 +262,54 @@ impl<'n> Ppsfp<'n> {
         patterns: &PatternSet,
         faults: &[Fault],
     ) -> Vec<BTreeSet<(u32, u16)>> {
+        self.run_syndromes_with(patterns, faults, None)
+    }
+
+    /// [`Ppsfp::run_syndromes`] feeding telemetry to an optional
+    /// collector (same `fault_sim.ppsfp` span and counters as
+    /// [`Ppsfp::run_with`], plus `syndrome_bits` for the total
+    /// observations collected; no `detected`/`dropped` since syndromes
+    /// never drop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width disagrees with the netlist.
+    #[must_use]
+    pub fn run_syndromes_with(
+        &self,
+        patterns: &PatternSet,
+        faults: &[Fault],
+        obs: Option<&mut dyn Collector>,
+    ) -> Vec<BTreeSet<(u32, u16)>> {
+        let mut obs = Obs::new(obs);
+        obs.enter("fault_sim.ppsfp");
         let baseline = self.baseline(patterns);
-        self.run_partitioned(faults, |worker, fault| worker.syndromes(fault, &baseline))
+        let (syndromes, work) =
+            self.run_partitioned(faults, |worker, fault| worker.syndromes(fault, &baseline));
+        self.flush(&mut obs, faults.len(), patterns, &work);
+        obs.count(
+            "syndrome_bits",
+            syndromes.iter().map(|s| s.len() as u64).sum(),
+        );
+        obs.exit();
+        syndromes
+    }
+
+    /// Flushes the merged worker counters into a collector.
+    fn flush(
+        &self,
+        obs: &mut Obs<'_>,
+        fault_count: usize,
+        patterns: &PatternSet,
+        w: &WorkCounters,
+    ) {
+        obs.count("faults", fault_count as u64);
+        obs.count("patterns", patterns.len() as u64);
+        obs.count("good_evals", patterns.block_count() as u64);
+        obs.count("cones_loaded", w.cones_loaded);
+        obs.count("block_scans", w.block_scans);
+        obs.count("excited_blocks", w.excited_blocks);
+        obs.count("words_folded", w.words_folded);
     }
 
     fn baseline(&self, patterns: &PatternSet) -> Baseline {
@@ -203,8 +334,8 @@ impl<'n> Ppsfp<'n> {
 
     /// Runs `per_fault` over every fault, partitioned by fault-site group
     /// across the configured worker threads, returning results in fault
-    /// order.
-    fn run_partitioned<R, F>(&self, faults: &[Fault], per_fault: F) -> Vec<R>
+    /// order plus the merged per-worker effort counters.
+    fn run_partitioned<R, F>(&self, faults: &[Fault], per_fault: F) -> (Vec<R>, WorkCounters)
     where
         R: Send,
         F: Fn(&mut Worker<'_>, Fault) -> R + Sync,
@@ -224,6 +355,7 @@ impl<'n> Ppsfp<'n> {
 
         let threads = self.resolve_threads(groups.len());
         let mut merged: Vec<Option<R>> = (0..faults.len()).map(|_| None).collect();
+        let mut work = WorkCounters::default();
         if threads <= 1 {
             let mut worker = Worker::new(self);
             for (root, fids) in &groups {
@@ -232,6 +364,7 @@ impl<'n> Ppsfp<'n> {
                     merged[fi as usize] = Some(per_fault(&mut worker, faults[fi as usize]));
                 }
             }
+            work = worker.counters;
         } else {
             let cursor = AtomicUsize::new(0);
             let chunks = std::thread::scope(|s| {
@@ -250,7 +383,7 @@ impl<'n> Ppsfp<'n> {
                                     out.push((fi, per_fault(&mut worker, faults[fi as usize])));
                                 }
                             }
-                            out
+                            (out, worker.counters)
                         })
                     })
                     .collect();
@@ -259,16 +392,20 @@ impl<'n> Ppsfp<'n> {
                     .map(|h| h.join().expect("ppsfp worker panicked"))
                     .collect::<Vec<_>>()
             });
-            for chunk in chunks {
+            for (chunk, counters) in chunks {
+                work.merge(counters);
                 for (fi, r) in chunk {
                     merged[fi as usize] = Some(r);
                 }
             }
         }
-        merged
-            .into_iter()
-            .map(|r| r.expect("every fault visited exactly once"))
-            .collect()
+        (
+            merged
+                .into_iter()
+                .map(|r| r.expect("every fault visited exactly once"))
+                .collect(),
+            work,
+        )
     }
 
     fn resolve_threads(&self, group_count: usize) -> usize {
@@ -300,6 +437,8 @@ struct Worker<'a> {
     stamp: Vec<u64>,
     epoch: u64,
     dfs: Vec<u32>,
+    /// Thread-private effort counters (merged by `run_partitioned`).
+    counters: WorkCounters,
 }
 
 impl<'a> Worker<'a> {
@@ -317,11 +456,13 @@ impl<'a> Worker<'a> {
             stamp: vec![0; n],
             epoch: 0,
             dfs: Vec::new(),
+            counters: WorkCounters::default(),
         }
     }
 
     /// Computes the fanout-cone schedule for a fault-site gate.
     fn load_group(&mut self, root: u32) {
+        self.counters.cones_loaded += 1;
         self.root = root;
         self.root_op = self
             .eng
@@ -361,6 +502,7 @@ impl<'a> Worker<'a> {
     /// cone. Returns `true` if the fault was excited (some gate differs
     /// from baseline this block).
     fn propagate(&mut self, fault: Fault, good: &[u64]) -> bool {
+        self.counters.block_scans += 1;
         self.epoch += 1;
         let e = self.epoch;
         let root = self.root as usize;
@@ -408,6 +550,9 @@ impl<'a> Worker<'a> {
         if !excited {
             return false;
         }
+        // Hot loop: telemetry stays in a register-resident local, folded
+        // into the worker counter once per block.
+        let mut folded = 0u64;
         for &op in &self.cone_ops {
             let op = op as usize;
             let args = kernel.op_args(op);
@@ -424,12 +569,15 @@ impl<'a> Worker<'a> {
                     }
                 }),
             );
+            folded += 1;
             let dst = kernel.op_dst(op) as usize;
             if out != good[dst] {
                 self.faulty[dst] = out;
                 self.stamp[dst] = e;
             }
         }
+        self.counters.excited_blocks += 1;
+        self.counters.words_folded += folded;
         true
     }
 
@@ -526,7 +674,27 @@ pub fn ppsfp_with_options(
     faults: &[Fault],
     options: PpsfpOptions,
 ) -> Result<DetectionResult, LevelizeError> {
-    Ok(Ppsfp::with_options(netlist, options)?.run(patterns, faults))
+    ppsfp_observed(netlist, patterns, faults, options, None)
+}
+
+/// [`ppsfp_with_options`] feeding telemetry to an optional collector
+/// (see [`Ppsfp::run_with`] for the span and counter set).
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if the pattern width disagrees with the netlist.
+pub fn ppsfp_observed(
+    netlist: &Netlist,
+    patterns: &PatternSet,
+    faults: &[Fault],
+    options: PpsfpOptions,
+    obs: Option<&mut dyn Collector>,
+) -> Result<DetectionResult, LevelizeError> {
+    Ok(Ppsfp::with_options(netlist, options)?.run_with(patterns, faults, obs))
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //! burden §IV of the paper says scan design removes.
 
 use dft_netlist::{LevelizeError, Netlist};
+use dft_obs::{Collector, Obs};
 use dft_sim::Logic;
 
 use crate::{Fault, FaultyView};
@@ -60,6 +61,32 @@ pub fn sequential(
     sequence: &[Vec<Logic>],
     faults: &[Fault],
 ) -> Result<SequentialDetection, LevelizeError> {
+    sequential_observed(netlist, sequence, faults, None)
+}
+
+/// [`sequential`] feeding telemetry to an optional collector.
+///
+/// Opens a `fault_sim.sequential` span with counters `faults`, `cycles`,
+/// `good_evals` (good-machine frames), `faulty_evals` (faulty-machine
+/// frames — faults × cycles minus the tail each early detection skips),
+/// `detected`.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if any row's width disagrees with the netlist's input count.
+pub fn sequential_observed(
+    netlist: &Netlist,
+    sequence: &[Vec<Logic>],
+    faults: &[Fault],
+    obs: Option<&mut dyn Collector>,
+) -> Result<SequentialDetection, LevelizeError> {
+    let mut obs = Obs::new(obs);
+    obs.enter("fault_sim.sequential");
+    let mut faulty_evals = 0u64;
     let view = FaultyView::new(netlist)?;
     let outputs: Vec<_> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
 
@@ -79,6 +106,7 @@ pub fn sequential(
         let mut state = vec![Logic::X; view.storage().len()];
         'cycles: for (cycle, row) in sequence.iter().enumerate() {
             let vals = view.eval_logic(row, &state, Some(fault));
+            faulty_evals += 1;
             for (oi, &g) in outputs.iter().enumerate() {
                 let fv = vals[g.index()];
                 let gv = good_outputs[cycle][oi];
@@ -93,10 +121,17 @@ pub fn sequential(
         }
     }
 
-    Ok(SequentialDetection {
+    let result = SequentialDetection {
         first_detected,
         cycle_count: sequence.len(),
-    })
+    };
+    obs.count("faults", faults.len() as u64);
+    obs.count("cycles", sequence.len() as u64);
+    obs.count("good_evals", sequence.len() as u64);
+    obs.count("faulty_evals", faulty_evals);
+    obs.count("detected", result.detected_count() as u64);
+    obs.exit();
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -19,12 +19,18 @@
 //!   built from [`crate::Ppsfp::run_syndromes`], which never drops.
 
 use dft_netlist::{LevelizeError, Netlist};
+use dft_obs::{Collector, Obs};
 use dft_sim::PatternSet;
 
 use crate::{Fault, FaultyView};
 
 /// Tuning knobs for the serial engine.
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and the `with_*`
+/// builders so new knobs can be added without breaking downstream
+/// crates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SerialOptions {
     /// Stop simulating a fault once one pattern detects it (default
     /// `true`). The [`DetectionResult`] is identical either way — first
@@ -41,6 +47,21 @@ impl Default for SerialOptions {
         SerialOptions {
             fault_dropping: true,
         }
+    }
+}
+
+impl SerialOptions {
+    /// Defaults (same as [`Default`], spelled for builder chains).
+    #[must_use]
+    pub fn new() -> Self {
+        SerialOptions::default()
+    }
+
+    /// Sets [`SerialOptions::fault_dropping`].
+    #[must_use]
+    pub fn with_fault_dropping(mut self, fault_dropping: bool) -> Self {
+        self.fault_dropping = fault_dropping;
+        self
     }
 }
 
@@ -166,6 +187,33 @@ pub fn simulate_with_options(
     faults: &[Fault],
     options: SerialOptions,
 ) -> Result<DetectionResult, LevelizeError> {
+    simulate_observed(netlist, patterns, faults, options, None)
+}
+
+/// [`simulate_with_options`] feeding telemetry to an optional collector —
+/// the uniform observed entry point every engine in this crate exposes.
+///
+/// Opens a `fault_sim.serial` span and flushes effort counters once per
+/// run (`faults`, `patterns`, `good_evals`, `faulty_evals`, `detected`,
+/// `dropped`); the hot loop itself only bumps local integers, so passing
+/// `None` costs nothing measurable.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if the pattern width disagrees with the netlist.
+pub fn simulate_observed(
+    netlist: &Netlist,
+    patterns: &PatternSet,
+    faults: &[Fault],
+    options: SerialOptions,
+    obs: Option<&mut dyn Collector>,
+) -> Result<DetectionResult, LevelizeError> {
+    let mut obs = Obs::new(obs);
+    obs.enter("fault_sim.serial");
     let view = FaultyView::new(netlist)?;
     let state = vec![0u64; view.storage().len()];
     let outputs: Vec<_> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
@@ -177,6 +225,8 @@ pub fn simulate_with_options(
         good.push(outputs.iter().map(|&g| vals[g.index()]).collect());
     }
 
+    let mut faulty_evals = 0u64;
+    let mut dropped = 0u64;
     let mut first_detected = vec![None; faults.len()];
     let mut live: Vec<usize> = (0..faults.len()).collect();
     #[allow(clippy::needless_range_loop)] // b indexes patterns and good in lockstep
@@ -192,6 +242,7 @@ pub fn simulate_with_options(
         };
         live.retain(|&fi| {
             let vals = view.eval_block(patterns.block(b), &state, Some(faults[fi]));
+            faulty_evals += 1;
             let mut diff_word = 0u64;
             for (oi, &g) in outputs.iter().enumerate() {
                 diff_word |= (vals[g.index()] ^ good[b][oi]) & lane_mask;
@@ -201,17 +252,31 @@ pub fn simulate_with_options(
                     let lane = diff_word.trailing_zeros() as usize;
                     first_detected[fi] = Some(b * 64 + lane);
                 }
-                !options.fault_dropping
+                if options.fault_dropping {
+                    dropped += 1;
+                    false
+                } else {
+                    true
+                }
             } else {
                 true
             }
         });
     }
 
-    Ok(DetectionResult {
+    let result = DetectionResult {
         first_detected,
         pattern_count: patterns.len(),
-    })
+    };
+    obs.count("faults", faults.len() as u64);
+    obs.count("patterns", patterns.len() as u64);
+    obs.count("good_evals", good.len() as u64);
+    obs.count("faulty_evals", faulty_evals);
+    obs.count("detected", result.detected_count() as u64);
+    obs.count("dropped", dropped);
+    obs.gauge("coverage", result.coverage());
+    obs.exit();
+    Ok(result)
 }
 
 #[cfg(test)]

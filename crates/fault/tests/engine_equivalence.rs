@@ -74,7 +74,9 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(pattern_seed);
         let p = PatternSet::random(8, 100, &mut rng);
         let reference = SerialEngine::default().run(&n, &p, &faults).unwrap();
-        let opts = PpsfpOptions { threads, fault_dropping };
+        let opts = PpsfpOptions::new()
+            .with_threads(threads)
+            .with_fault_dropping(fault_dropping);
         let r = ppsfp_with_options(&n, &p, &faults, opts).unwrap();
         prop_assert_eq!(
             r,

@@ -28,6 +28,7 @@
 //! untestability verdict in [`crate::UntestableReason`].
 
 use dft_netlist::{GateId, GateKind, Netlist};
+use dft_obs::{Collector, Obs};
 use dft_sim::justify::forced_inputs;
 use dft_sim::Logic;
 
@@ -56,7 +57,12 @@ impl std::fmt::Display for Literal {
 }
 
 /// Tuning knobs for [`ImplicationEngine::with_options`].
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and the `with_*`
+/// builders so new knobs can be added without breaking downstream
+/// crates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ImplicOptions {
     /// Maximum assign–propagate–contrapose rounds. Learning stops early
     /// once a round adds no edge; 0 disables learning entirely (direct
@@ -74,6 +80,28 @@ impl Default for ImplicOptions {
             learning_rounds: 4,
             learn_gate_limit: 4096,
         }
+    }
+}
+
+impl ImplicOptions {
+    /// Defaults (same as [`Default`], spelled for builder chains).
+    #[must_use]
+    pub fn new() -> Self {
+        ImplicOptions::default()
+    }
+
+    /// Sets [`ImplicOptions::learning_rounds`].
+    #[must_use]
+    pub fn with_learning_rounds(mut self, learning_rounds: usize) -> Self {
+        self.learning_rounds = learning_rounds;
+        self
+    }
+
+    /// Sets [`ImplicOptions::learn_gate_limit`].
+    #[must_use]
+    pub fn with_learn_gate_limit(mut self, learn_gate_limit: usize) -> Self {
+        self.learn_gate_limit = learn_gate_limit;
+        self
     }
 }
 
@@ -278,6 +306,39 @@ impl<'n> ImplicationEngine<'n> {
     /// an edge (or `options.learning_rounds` is exhausted).
     #[must_use]
     pub fn with_options(netlist: &'n Netlist, options: ImplicOptions) -> Self {
+        Self::with_options_observed(netlist, options, None)
+    }
+
+    /// [`ImplicationEngine::with_options`] feeding telemetry to an
+    /// optional collector — the uniform observed entry point.
+    ///
+    /// Opens an `implic.learn` span and flushes the [`LearnStats`]
+    /// counters once the build completes (`rounds`, `learned_edges`,
+    /// `unsettable_literals`, `implied_constants`, plus `gates` for
+    /// scale); the legacy [`ImplicationEngine::stats`] view is
+    /// unchanged.
+    #[must_use]
+    pub fn with_options_observed(
+        netlist: &'n Netlist,
+        options: ImplicOptions,
+        obs: Option<&mut dyn Collector>,
+    ) -> Self {
+        let mut obs = Obs::new(obs);
+        obs.enter("implic.learn");
+        let engine = Self::build(netlist, options);
+        obs.count("gates", netlist.gate_count() as u64);
+        obs.count("rounds", engine.stats.rounds as u64);
+        obs.count("learned_edges", engine.stats.learned_edges as u64);
+        obs.count(
+            "unsettable_literals",
+            engine.stats.unsettable_literals as u64,
+        );
+        obs.count("implied_constants", engine.stats.implied_constants as u64);
+        obs.exit();
+        engine
+    }
+
+    fn build(netlist: &'n Netlist, options: ImplicOptions) -> Self {
         let n = netlist.gate_count();
         let fanout = netlist.fanout_map();
         let mut is_po = vec![false; n];

@@ -89,7 +89,7 @@ proptest! {
         let engine = ImplicationEngine::new(&n);
         let podem = Podem::new(
             &n,
-            PodemConfig { use_implications: false, ..PodemConfig::default() },
+            PodemConfig::new().with_use_implications(false),
         )
         .expect("random combinational netlists levelize");
         for fault in universe(&n) {
@@ -116,14 +116,8 @@ fn incompleteness_gap_is_one_sided() {
         ("rand_12x80", random_combinational(12, 80, 9), false),
     ] {
         let engine = ImplicationEngine::new(&n);
-        let podem = Podem::new(
-            &n,
-            PodemConfig {
-                use_implications: false,
-                ..PodemConfig::default()
-            },
-        )
-        .expect("fixed circuits levelize");
+        let podem = Podem::new(&n, PodemConfig::new().with_use_implications(false))
+            .expect("fixed circuits levelize");
         let mut static_untestable = 0usize;
         let mut search_untestable = 0usize;
         for fault in universe(&n) {

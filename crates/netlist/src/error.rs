@@ -22,6 +22,15 @@ pub enum NetlistError {
     DuplicateOutputName(String),
     /// A primary input was added with a name that is already in use.
     DuplicateInputName(String),
+    /// An input pin index is out of range for the referenced gate.
+    InvalidPin {
+        /// The gate whose pin was addressed.
+        gate: GateId,
+        /// The out-of-range pin index.
+        pin: usize,
+        /// The gate's actual fan-in.
+        fanin: usize,
+    },
     /// The combinational part of the netlist contains a cycle through the
     /// given gate (storage elements legally break cycles; plain gates may
     /// not).
@@ -43,6 +52,9 @@ impl fmt::Display for NetlistError {
                 }
             }
             NetlistError::UnknownGate(id) => write!(f, "gate {id} does not exist"),
+            NetlistError::InvalidPin { gate, pin, fanin } => {
+                write!(f, "gate {gate} has no input pin {pin} (fan-in {fanin})")
+            }
             NetlistError::DuplicateOutputName(n) => {
                 write!(f, "output name {n:?} is already in use")
             }
@@ -100,6 +112,12 @@ mod tests {
             got: 1,
         };
         assert_eq!(e.to_string(), "gate kind AND requires fan-in >= 2, got 1");
+        let e = NetlistError::InvalidPin {
+            gate: GateId::from_index(4),
+            pin: 3,
+            fanin: 2,
+        };
+        assert_eq!(e.to_string(), "gate g4 has no input pin 3 (fan-in 2)");
         let e = ParseBenchError::new(7, "unknown gate kind FROB");
         assert_eq!(e.to_string(), "line 7: unknown gate kind FROB");
     }

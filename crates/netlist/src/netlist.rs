@@ -189,12 +189,30 @@ impl Netlist {
 
     /// Access a gate by id.
     ///
+    /// Convenience wrapper over [`Netlist::try_gate`] for callers holding
+    /// an id obtained from this netlist (construction returns, iteration,
+    /// levelization) — for such ids the lookup cannot fail. Use
+    /// [`Netlist::try_gate`] when the id's provenance is uncertain (e.g.
+    /// it crossed a serialization boundary or came from another netlist).
+    ///
     /// # Panics
     ///
     /// Panics if `id` is out of range for this netlist.
     #[must_use]
     pub fn gate(&self, id: GateId) -> &Gate {
-        &self.gates[id.index()]
+        self.try_gate(id).expect("gate id out of range")
+    }
+
+    /// Access a gate by id, failing on a foreign id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownGate`] if `id` is out of range for
+    /// this netlist.
+    pub fn try_gate(&self, id: GateId) -> Result<&Gate, NetlistError> {
+        self.gates
+            .get(id.index())
+            .ok_or(NetlistError::UnknownGate(id))
     }
 
     /// Number of gates in the arena (including inputs and constants).
@@ -285,20 +303,28 @@ impl Netlist {
     ///
     /// # Errors
     ///
-    /// Returns [`NetlistError::UnknownGate`] if either id is foreign or
-    /// `pin` is out of range.
+    /// Returns [`NetlistError::UnknownGate`] naming whichever id is
+    /// foreign, and [`NetlistError::InvalidPin`] if `pin` is out of range
+    /// for `gate`.
     pub fn reconnect_input(
         &mut self,
         gate: GateId,
         pin: usize,
         new_src: GateId,
     ) -> Result<(), NetlistError> {
-        if new_src.index() >= self.gates.len() || gate.index() >= self.gates.len() {
+        if new_src.index() >= self.gates.len() {
+            return Err(NetlistError::UnknownGate(new_src));
+        }
+        if gate.index() >= self.gates.len() {
             return Err(NetlistError::UnknownGate(gate));
         }
         let g = &mut self.gates[gate.index()];
         if pin >= g.inputs.len() {
-            return Err(NetlistError::UnknownGate(gate));
+            return Err(NetlistError::InvalidPin {
+                gate,
+                pin,
+                fanin: g.inputs.len(),
+            });
         }
         g.inputs[pin] = new_src;
         Ok(())
@@ -517,7 +543,31 @@ mod tests {
         let c = n.add_input("c");
         n.reconnect_input(g, 1, c).unwrap();
         assert_eq!(n.gate(g).inputs()[1], c);
-        assert!(n.reconnect_input(g, 5, c).is_err());
+        assert_eq!(
+            n.reconnect_input(g, 5, c),
+            Err(NetlistError::InvalidPin {
+                gate: g,
+                pin: 5,
+                fanin: 2
+            })
+        );
+        let bogus = GateId::from_index(99);
+        assert_eq!(
+            n.reconnect_input(g, 0, bogus),
+            Err(NetlistError::UnknownGate(bogus))
+        );
+        assert_eq!(
+            n.reconnect_input(bogus, 0, c),
+            Err(NetlistError::UnknownGate(bogus))
+        );
+    }
+
+    #[test]
+    fn try_gate_rejects_foreign_ids() {
+        let (n, g) = and_net();
+        assert_eq!(n.try_gate(g).unwrap().kind(), GateKind::And);
+        let bogus = GateId::from_index(99);
+        assert_eq!(n.try_gate(bogus), Err(NetlistError::UnknownGate(bogus)));
     }
 
     #[test]

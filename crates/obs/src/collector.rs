@@ -1,0 +1,229 @@
+//! The collector trait, the zero-cost null collector, and the [`Obs`]
+//! cursor engines thread through their phases.
+
+/// A sink for engine telemetry: hierarchical spans plus named counters
+/// and gauges.
+///
+/// The trait is object-safe on purpose — every engine entry point in the
+/// workspace accepts `Option<&mut dyn Collector>`, so one recorder can
+/// follow a whole multi-engine run without generics leaking into public
+/// signatures. Names are `&'static str` because every span and counter
+/// in the toolkit is a compile-time constant; this keeps the disabled
+/// path allocation-free.
+///
+/// Counter semantics: [`Collector::count`] *adds* `delta` to the counter
+/// of that name on the innermost open span. Gauge semantics:
+/// [`Collector::gauge`] *replaces* the value (last write wins). Span
+/// nesting is the caller's bracket discipline: one `span_exit` per
+/// `span_enter`, innermost first.
+pub trait Collector {
+    /// Opens a child span under the innermost open span.
+    fn span_enter(&mut self, name: &'static str);
+
+    /// Closes the innermost open span.
+    fn span_exit(&mut self);
+
+    /// Adds `delta` to counter `name` on the innermost open span.
+    fn count(&mut self, name: &'static str, delta: u64);
+
+    /// Sets gauge `name` on the innermost open span (last write wins).
+    fn gauge(&mut self, name: &'static str, value: f64);
+}
+
+/// The do-nothing collector: every method body is empty and `#[inline]`,
+/// so instrumented code monomorphized against it (or routed through an
+/// [`Obs`] holding `None`) costs nothing after optimization.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    #[inline]
+    fn span_enter(&mut self, _name: &'static str) {}
+
+    #[inline]
+    fn span_exit(&mut self) {}
+
+    #[inline]
+    fn count(&mut self, _name: &'static str, _delta: u64) {}
+
+    #[inline]
+    fn gauge(&mut self, _name: &'static str, _value: f64) {}
+}
+
+/// A cursor over an optional collector — the shape every instrumented
+/// engine uses internally.
+///
+/// `Obs::new(None)` makes every method a no-op behind one branch on a
+/// `None` discriminant; engines keep their hot-loop counting in local
+/// integers regardless and flush through this cursor at batch
+/// boundaries, so the disabled cost is unmeasurable and the enabled
+/// cost is one virtual call per flushed batch.
+pub struct Obs<'a> {
+    inner: Option<&'a mut dyn Collector>,
+    /// Spans opened through this cursor and not yet closed — lets
+    /// [`Obs::close_all`] restore balance on early returns.
+    depth: usize,
+}
+
+impl<'a> Obs<'a> {
+    /// Wraps an optional collector.
+    #[must_use]
+    pub fn new(inner: Option<&'a mut dyn Collector>) -> Self {
+        Obs { inner, depth: 0 }
+    }
+
+    /// A disabled cursor (same as `Obs::new(None)`).
+    #[must_use]
+    pub fn none() -> Self {
+        Obs {
+            inner: None,
+            depth: 0,
+        }
+    }
+
+    /// Whether a collector is attached. Lets engines skip building
+    /// telemetry payloads that would be dropped anyway.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span.
+    #[inline]
+    pub fn enter(&mut self, name: &'static str) {
+        if let Some(c) = self.inner.as_deref_mut() {
+            c.span_enter(name);
+            self.depth += 1;
+        }
+    }
+
+    /// Closes the innermost span opened through this cursor.
+    #[inline]
+    pub fn exit(&mut self) {
+        if let Some(c) = self.inner.as_deref_mut() {
+            if self.depth > 0 {
+                c.span_exit();
+                self.depth -= 1;
+            }
+        }
+    }
+
+    /// Closes every span still open through this cursor (early-return
+    /// cleanup).
+    pub fn close_all(&mut self) {
+        while self.depth > 0 {
+            self.exit();
+        }
+    }
+
+    /// Adds `delta` to counter `name` (no-op when `delta == 0` so
+    /// engines can flush unconditionally).
+    #[inline]
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        if delta != 0 {
+            if let Some(c) = self.inner.as_deref_mut() {
+                c.count(name, delta);
+            }
+        }
+    }
+
+    /// Sets gauge `name`.
+    #[inline]
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        if let Some(c) = self.inner.as_deref_mut() {
+            c.gauge(name, value);
+        }
+    }
+
+    /// A sub-cursor borrowing the same collector — hand this to helpers
+    /// that take their own `Obs` while the caller keeps the original.
+    #[must_use]
+    pub fn reborrow(&mut self) -> Obs<'_> {
+        Obs {
+            inner: match self.inner.as_deref_mut() {
+                Some(c) => Some(c),
+                None => None,
+            },
+            depth: 0,
+        }
+    }
+
+    /// The raw optional collector, reborrowed — for forwarding to an
+    /// entry point that takes `Option<&mut dyn Collector>`.
+    #[must_use]
+    pub fn as_option(&mut self) -> Option<&mut dyn Collector> {
+        match self.inner.as_deref_mut() {
+            Some(c) => Some(c),
+            None => None,
+        }
+    }
+}
+
+impl Drop for Obs<'_> {
+    fn drop(&mut self) {
+        self.close_all();
+    }
+}
+
+impl<'a> From<Option<&'a mut dyn Collector>> for Obs<'a> {
+    fn from(inner: Option<&'a mut dyn Collector>) -> Self {
+        Obs::new(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn null_collector_accepts_everything() {
+        let mut c = NullCollector;
+        c.span_enter("a");
+        c.count("x", 3);
+        c.gauge("g", 1.5);
+        c.span_exit();
+    }
+
+    #[test]
+    fn disabled_obs_is_inert() {
+        let mut obs = Obs::none();
+        assert!(!obs.enabled());
+        obs.enter("a");
+        obs.count("x", 1);
+        obs.exit();
+    }
+
+    #[test]
+    fn obs_drop_closes_open_spans() {
+        let mut rec = Recorder::new();
+        {
+            let mut obs = Obs::new(Some(&mut rec));
+            obs.enter("outer");
+            obs.enter("inner");
+            // dropped with both spans open
+        }
+        let report = rec.finish("run");
+        assert!(report.root.find("outer").is_some());
+        assert!(report.root.find("inner").is_some());
+    }
+
+    #[test]
+    fn reborrow_shares_the_collector() {
+        let mut rec = Recorder::new();
+        let mut obs = Obs::new(Some(&mut rec));
+        obs.enter("outer");
+        {
+            let mut sub = obs.reborrow();
+            sub.enter("child");
+            sub.count("k", 2);
+        }
+        obs.count("k", 1);
+        obs.exit();
+        drop(obs);
+        let report = rec.finish("run");
+        let outer = report.root.find("outer").unwrap();
+        assert_eq!(outer.counter("k"), 1);
+        assert_eq!(outer.find("child").unwrap().counter("k"), 2);
+    }
+}

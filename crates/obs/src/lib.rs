@@ -1,0 +1,58 @@
+//! # dft-obs
+//!
+//! The observability layer of the *tessera* DFT toolkit: hierarchical
+//! spans with monotonic timing, named counters and gauges, and a
+//! JSON-serializable [`RunReport`] tree.
+//!
+//! Williams & Parker justify every technique in the survey by *measured
+//! cost* — test-generation effort, pattern counts, coverage curves. The
+//! engines in this workspace (fault simulation, ATPG, implication
+//! learning, compiled simulation) therefore expose the same telemetry
+//! through one mechanism: every entry point accepts an optional
+//! `&mut dyn Collector`, and feeds it phase spans plus effort counters
+//! (events simulated, words folded, faults dropped, backtracks,
+//! implication conflicts, learning rounds).
+//!
+//! Three collector implementations cover the use cases:
+//!
+//! * [`NullCollector`] — every method is an empty `#[inline]` body, so
+//!   instrumentation in a monomorphized (or `None`-routed) hot path
+//!   compiles away. Engines additionally batch their counting in local
+//!   integers and flush once per run, so even through `dyn` dispatch the
+//!   per-event cost is a plain register increment.
+//! * [`Recorder`] — builds a [`RunReport`] span tree with wall-clock
+//!   durations from [`std::time::Instant`] (monotonic by construction).
+//! * Anything downstream: the trait is object-safe and four methods.
+//!
+//! Engines do not take a collector directly in their hot loops; they
+//! wrap the optional reference in the [`Obs`] cursor, which no-ops when
+//! absent and forwards when present:
+//!
+//! ```
+//! use dft_obs::{Collector, Obs, Recorder};
+//!
+//! fn engine(obs: Option<&mut dyn Collector>) {
+//!     let mut obs = Obs::new(obs);
+//!     obs.enter("engine.phase");
+//!     let mut local_events = 0u64;
+//!     for _ in 0..1000 {
+//!         local_events += 1; // hot loop: plain integer, no dispatch
+//!     }
+//!     obs.count("engine.events", local_events);
+//!     obs.exit();
+//! }
+//!
+//! engine(None); // free
+//! let mut rec = Recorder::new();
+//! engine(Some(&mut rec));
+//! let report = rec.finish("run");
+//! assert_eq!(report.root.find("engine.phase").unwrap().counter("engine.events"), 1000);
+//! ```
+
+mod collector;
+mod recorder;
+mod report;
+
+pub use collector::{Collector, NullCollector, Obs};
+pub use recorder::Recorder;
+pub use report::{RunReport, SpanNode};

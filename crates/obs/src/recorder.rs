@@ -1,0 +1,171 @@
+//! A collector that builds a [`RunReport`] span tree with wall-clock
+//! durations.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::collector::Collector;
+use crate::report::{RunReport, SpanNode};
+
+struct Frame {
+    node: SpanNode,
+    started: Instant,
+}
+
+/// Records spans, counters, and gauges into a [`RunReport`].
+///
+/// Counts and gauges land on the innermost open span; before any span
+/// is opened (or after all are closed) they land on the root. Durations
+/// come from [`Instant`], so they are monotonic even across system
+/// clock adjustments. [`Recorder::finish`] closes any spans left open
+/// (an engine that aborted mid-phase still yields a well-formed tree).
+pub struct Recorder {
+    /// `stack[0]` is the root frame; it is never popped by `span_exit`.
+    stack: Vec<Frame>,
+}
+
+impl Recorder {
+    /// Starts recording; the root span's duration runs from this call
+    /// to [`Recorder::finish`].
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder {
+            stack: vec![Frame {
+                node: SpanNode::new(String::new()),
+                started: Instant::now(),
+            }],
+        }
+    }
+
+    /// Closes any still-open spans, names the root, and returns the
+    /// report.
+    #[must_use]
+    pub fn finish(mut self, run_name: &str) -> RunReport {
+        while self.stack.len() > 1 {
+            self.span_exit();
+        }
+        let mut root_frame = self.stack.pop().expect("root frame");
+        root_frame.node.duration_ns = elapsed_ns(root_frame.started);
+        root_frame.node.name = run_name.to_string();
+        RunReport {
+            root: root_frame.node,
+        }
+    }
+
+    fn top(&mut self) -> &mut SpanNode {
+        &mut self.stack.last_mut().expect("root frame").node
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Collector for Recorder {
+    fn span_enter(&mut self, name: &'static str) {
+        self.stack.push(Frame {
+            node: SpanNode::new(name),
+            started: Instant::now(),
+        });
+    }
+
+    fn span_exit(&mut self) {
+        // The root frame only closes in `finish`; a stray extra exit is
+        // ignored rather than corrupting the tree.
+        if self.stack.len() <= 1 {
+            return;
+        }
+        let mut frame = self.stack.pop().expect("checked non-root");
+        frame.node.duration_ns = elapsed_ns(frame.started);
+        self.top().children.push(frame.node);
+    }
+
+    fn count(&mut self, name: &'static str, delta: u64) {
+        let counters: &mut BTreeMap<String, u64> = &mut self.top().counters;
+        let slot = counters.entry(name.to_string()).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        self.top().gauges.insert(name.to_string(), value);
+    }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_nested_tree() {
+        let mut rec = Recorder::new();
+        rec.span_enter("sim");
+        rec.count("events", 10);
+        rec.span_enter("phase");
+        rec.count("events", 5);
+        rec.gauge("coverage", 0.25);
+        rec.span_exit();
+        rec.count("events", 1);
+        rec.span_exit();
+        rec.count("toplevel", 2);
+        let report = rec.finish("run");
+
+        assert_eq!(report.root.name, "run");
+        assert_eq!(report.root.counter("toplevel"), 2);
+        let sim = report.find("sim").unwrap();
+        assert_eq!(sim.counter("events"), 11);
+        let phase = sim.find("phase").unwrap();
+        assert_eq!(phase.counter("events"), 5);
+        assert_eq!(phase.gauge("coverage"), Some(0.25));
+        assert_eq!(report.root.counter_total("events"), 16);
+    }
+
+    #[test]
+    fn finish_closes_dangling_spans() {
+        let mut rec = Recorder::new();
+        rec.span_enter("a");
+        rec.span_enter("b");
+        let report = rec.finish("run");
+        let a = report.find("a").unwrap();
+        assert_eq!(a.children.len(), 1);
+        assert_eq!(a.children[0].name, "b");
+    }
+
+    #[test]
+    fn extra_exit_is_ignored() {
+        let mut rec = Recorder::new();
+        rec.span_exit();
+        rec.span_enter("a");
+        rec.span_exit();
+        rec.span_exit();
+        rec.count("k", 1);
+        let report = rec.finish("run");
+        assert_eq!(report.root.counter("k"), 1);
+        assert_eq!(report.root.children.len(), 1);
+    }
+
+    #[test]
+    fn counts_saturate() {
+        let mut rec = Recorder::new();
+        rec.count("k", u64::MAX);
+        rec.count("k", 5);
+        let report = rec.finish("run");
+        assert_eq!(report.root.counter("k"), u64::MAX);
+    }
+
+    #[test]
+    fn durations_are_recorded() {
+        let mut rec = Recorder::new();
+        rec.span_enter("a");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        rec.span_exit();
+        let report = rec.finish("run");
+        assert!(report.find("a").unwrap().duration_ns > 0);
+        assert!(report.root.duration_ns >= report.find("a").unwrap().duration_ns);
+    }
+}

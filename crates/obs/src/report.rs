@@ -1,0 +1,209 @@
+//! The serializable result of a recorded run: a tree of spans with
+//! durations, counters, and gauges.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One span in a recorded run: a named phase with a wall-clock duration,
+/// the counters and gauges flushed while it was the innermost open span,
+/// and its child spans in open order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanNode {
+    /// Span name as passed to `Collector::span_enter` (or the run name
+    /// for the root).
+    pub name: String,
+    /// Wall-clock time between enter and exit, in nanoseconds.
+    pub duration_ns: u64,
+    /// Counters accumulated on this span (additive across flushes).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges set on this span (last write wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Child spans, in the order they were opened.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    pub(crate) fn new(name: impl Into<String>) -> Self {
+        SpanNode {
+            name: name.into(),
+            duration_ns: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Depth-first search for the first span named `name`, including
+    /// this node itself.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Value of counter `name` on this span (0 when never counted).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of gauge `name` on this span, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Sum of counter `name` over this span and every descendant —
+    /// the roll-up view a report consumer usually wants.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.children.iter().fold(self.counter(name), |acc, c| {
+            acc.saturating_add(c.counter_total(name))
+        })
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        out.push_str("\"name\":");
+        write_json_string(out, &self.name);
+        let _ = write!(out, ",\"duration_ns\":{}", self.duration_ns);
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, k);
+            out.push(':');
+            write_json_f64(out, *v);
+        }
+        out.push_str("},\"children\":[");
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            c.write_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// A complete recorded run: the root span tree plus the schema version
+/// of the serialized form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Root span covering the whole recorded window; its children are
+    /// the top-level phases.
+    pub root: SpanNode,
+}
+
+impl RunReport {
+    /// Serializes the report to a single-line JSON object. Hand-rolled
+    /// — the workspace has no serde and the schema is small and stable:
+    /// `{"schema":"tessera-obs/1","root":{span...}}` where each span is
+    /// `{"name","duration_ns","counters","gauges","children"}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"schema\":\"tessera-obs/1\",\"root\":");
+        self.root.write_json(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Shorthand for `self.root.find(name)`.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        self.root.find(name)
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        // JSON has no NaN/Infinity; null is the conventional stand-in.
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut root = SpanNode::new("run");
+        root.duration_ns = 10;
+        let mut child = SpanNode::new("phase");
+        child.duration_ns = 7;
+        child.counters.insert("events".into(), 42);
+        child.gauges.insert("coverage".into(), 0.5);
+        root.children.push(child);
+        root.counters.insert("events".into(), 1);
+        RunReport { root }
+    }
+
+    #[test]
+    fn find_and_counter() {
+        let r = sample();
+        assert_eq!(r.find("phase").unwrap().counter("events"), 42);
+        assert_eq!(r.root.counter_total("events"), 43);
+        assert_eq!(r.find("phase").unwrap().gauge("coverage"), Some(0.5));
+        assert!(r.find("missing").is_none());
+        assert_eq!(r.root.counter("missing"), 0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\"schema\":\"tessera-obs/1\",\"root\":{"));
+        assert!(json.contains("\"name\":\"phase\""));
+        assert!(json.contains("\"events\":42"));
+        assert!(json.contains("\"coverage\":0.5"));
+        assert!(json.ends_with("}"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut root = SpanNode::new("a\"b\\c\nd");
+        root.counters.insert("k\t".into(), 1);
+        let json = RunReport { root }.to_json();
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+        assert!(json.contains("k\\t"));
+    }
+
+    #[test]
+    fn json_nonfinite_gauge_is_null() {
+        let mut root = SpanNode::new("r");
+        root.gauges.insert("g".into(), f64::NAN);
+        let json = RunReport { root }.to_json();
+        assert!(json.contains("\"g\":null"));
+    }
+}

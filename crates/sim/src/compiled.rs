@@ -11,6 +11,7 @@
 //! test; the bench suite measures the speedup.
 
 use dft_netlist::{LevelizeError, Netlist};
+use dft_obs::{Collector, Obs};
 
 use crate::{Kernel, PatternSet, Response};
 
@@ -61,22 +62,46 @@ impl<'n> CompiledSim<'n> {
     }
 
     /// Runs all patterns (storage held at 0), producing the same
-    /// [`Response`] as [`ParallelSim::run`].
+    /// [`Response`] as [`ParallelSim::run`](crate::ParallelSim::run).
     ///
     /// # Panics
     ///
     /// Panics if the pattern width disagrees with the netlist.
     #[must_use]
     pub fn run(&self, patterns: &PatternSet) -> Response {
+        self.run_with(patterns, None)
+    }
+
+    /// [`CompiledSim::run`] feeding telemetry to an optional collector.
+    ///
+    /// Opens a `sim.compiled` span and flushes `patterns`, `blocks` and
+    /// `ops_executed` (instruction count × blocks — the straight-line
+    /// program executes every op exactly once per block) after the run;
+    /// nothing is counted inside the block loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width disagrees with the netlist.
+    #[must_use]
+    pub fn run_with(&self, patterns: &PatternSet, obs: Option<&mut dyn Collector>) -> Response {
         assert_eq!(
             patterns.input_count(),
             self.netlist.primary_inputs().len(),
             "pattern width must match primary input count"
         );
+        let mut obs = Obs::new(obs);
+        obs.enter("sim.compiled");
         let mut values = Vec::with_capacity(patterns.block_count());
         for b in 0..patterns.block_count() {
             values.push(self.eval_block(patterns.block(b)));
         }
+        obs.count("patterns", patterns.len() as u64);
+        obs.count("blocks", patterns.block_count() as u64);
+        obs.count(
+            "ops_executed",
+            self.kernel.op_count() as u64 * patterns.block_count() as u64,
+        );
+        obs.exit();
         Response::assemble(self.netlist, patterns.len(), values)
     }
 

@@ -14,6 +14,7 @@ pub use dft_implic as implic;
 pub use dft_lfsr as lfsr;
 pub use dft_lint as lint;
 pub use dft_netlist as netlist;
+pub use dft_obs as obs;
 pub use dft_scan as scan;
 pub use dft_sim as sim;
 pub use dft_testability as testability;

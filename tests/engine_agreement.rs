@@ -3,7 +3,7 @@
 //! correctness checks in the repository — any systematic modelling error
 //! would have to be made identically in two unrelated code paths.
 
-use design_for_testability::atpg::{dalg, podem, GenOutcome, PodemConfig};
+use design_for_testability::atpg::{dalg, podem, DalgConfig, GenOutcome, PodemConfig};
 use design_for_testability::fault::{deductive, parallel_fault, simulate, universe};
 use design_for_testability::netlist::circuits::{random_combinational, sn74181};
 use design_for_testability::sim::{EventSim, Logic, ParallelSim, PatternSet};
@@ -57,7 +57,7 @@ fn deterministic_generators_agree_and_are_sound() {
     let cfg = PodemConfig::default();
     for f in universe(&n) {
         let p = podem(&n, f, &cfg).expect("combinational");
-        let d = dalg(&n, f, &cfg).expect("combinational");
+        let d = dalg(&n, f, &DalgConfig::from(cfg)).expect("combinational");
         match (&p, &d) {
             (GenOutcome::Test(cube), GenOutcome::Test(_)) => {
                 let row = cube.filled(false);
