@@ -6,7 +6,7 @@
 //! it). Compaction fights back: merge compatible cubes statically, then
 //! drop patterns that detect nothing new in a reverse-order pass.
 
-use dft_fault::{simulate, Fault};
+use dft_fault::{Fault, Ppsfp};
 use dft_netlist::{LevelizeError, Netlist};
 use dft_sim::PatternSet;
 
@@ -38,39 +38,63 @@ pub fn merge_cubes(cubes: &[TestCube]) -> Vec<TestCube> {
 /// faults and incidentally cover the easy ones, so reversing maximizes
 /// the drop count.
 ///
+/// Implementation: the set is walked in reverse 64-pattern *windows*,
+/// each packed (newest pattern in lane 0) and graded in one
+/// [`Ppsfp`] pass over the still-undetected faults. A fault's
+/// first-detecting lane is exactly the latest pattern in the window that
+/// detects it, and the greedy reverse pass keeps a pattern iff some
+/// surviving fault has its latest detection there — so one dropping
+/// fault-sim pass per window reproduces the pattern-at-a-time greedy
+/// result exactly, turning the old O(patterns × full-set sims) loop into
+/// O(patterns / 64) cone-restricted passes with cross-window fault
+/// dropping.
+///
 /// # Errors
 ///
 /// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if the pattern width disagrees with the netlist.
 pub fn reverse_order_drop(
     netlist: &Netlist,
     patterns: &PatternSet,
     faults: &[Fault],
 ) -> Result<PatternSet, LevelizeError> {
-    let mut kept_rows: Vec<Vec<bool>> = Vec::new();
-    let mut undetected: Vec<Fault> = faults.to_vec();
-    for p in (0..patterns.len()).rev() {
-        if undetected.is_empty() {
-            break;
-        }
-        let row = patterns.get(p);
-        let single = PatternSet::from_rows(patterns.input_count(), std::slice::from_ref(&row));
-        let r = simulate(netlist, &single, &undetected)?;
-        let mut caught_any = false;
-        let mut still = Vec::with_capacity(undetected.len());
-        for (i, f) in undetected.iter().enumerate() {
-            if r.first_detected[i].is_some() {
-                caught_any = true;
-            } else {
-                still.push(*f);
+    let n_pi = patterns.input_count();
+    if patterns.is_empty() || faults.is_empty() {
+        return Ok(PatternSet::new(n_pi));
+    }
+    let engine = Ppsfp::new(netlist)?;
+    let mut live: Vec<Fault> = faults.to_vec();
+    let mut kept: Vec<usize> = Vec::new();
+    let mut end = patterns.len();
+    while end > 0 && !live.is_empty() {
+        let start = end.saturating_sub(64);
+        // Lane l of the window is pattern end-1-l: reverse order, so a
+        // fault's first-detecting lane is its latest detecting pattern.
+        let window: Vec<Vec<bool>> = (start..end).rev().map(|p| patterns.get(p)).collect();
+        let set = PatternSet::from_rows(n_pi, &window);
+        let r = engine.run(&set, &live);
+        let mut kept_lanes = 0u64;
+        let mut still = Vec::with_capacity(live.len());
+        for (i, d) in r.first_detected.iter().enumerate() {
+            match d {
+                Some(lane) => kept_lanes |= 1u64 << lane,
+                None => still.push(live[i]),
             }
         }
-        if caught_any {
-            kept_rows.push(row);
-            undetected = still;
+        while kept_lanes != 0 {
+            let lane = kept_lanes.trailing_zeros() as usize;
+            kept.push(end - 1 - lane);
+            kept_lanes &= kept_lanes - 1;
         }
+        live = still;
+        end = start;
     }
-    kept_rows.reverse();
-    Ok(PatternSet::from_rows(patterns.input_count(), &kept_rows))
+    kept.sort_unstable();
+    let rows: Vec<Vec<bool>> = kept.iter().map(|&p| patterns.get(p)).collect();
+    Ok(PatternSet::from_rows(n_pi, &rows))
 }
 
 /// Full compaction pipeline for deterministic cubes: merge, fill
@@ -94,7 +118,7 @@ pub fn compact(
 mod tests {
     use super::*;
     use crate::podem::{GenOutcome, Podem, PodemConfig};
-    use dft_fault::universe;
+    use dft_fault::{simulate, universe};
     use dft_netlist::circuits::c17;
     use dft_sim::Logic;
 
@@ -149,6 +173,72 @@ mod tests {
         );
         let r = simulate(&n, &compacted, &faults).unwrap();
         assert_eq!(r.coverage(), 1.0, "compaction must not lose coverage");
+    }
+
+    /// The pattern-at-a-time greedy the windowed engine must reproduce
+    /// byte for byte.
+    fn naive_reverse_order_drop(
+        netlist: &dft_netlist::Netlist,
+        patterns: &PatternSet,
+        faults: &[dft_fault::Fault],
+    ) -> PatternSet {
+        let mut kept_rows: Vec<Vec<bool>> = Vec::new();
+        let mut undetected: Vec<dft_fault::Fault> = faults.to_vec();
+        for p in (0..patterns.len()).rev() {
+            if undetected.is_empty() {
+                break;
+            }
+            let row = patterns.get(p);
+            let single = PatternSet::from_rows(patterns.input_count(), std::slice::from_ref(&row));
+            let r = dft_fault::simulate(netlist, &single, &undetected).unwrap();
+            let mut caught_any = false;
+            let mut still = Vec::with_capacity(undetected.len());
+            for (i, f) in undetected.iter().enumerate() {
+                if r.first_detected[i].is_some() {
+                    caught_any = true;
+                } else {
+                    still.push(*f);
+                }
+            }
+            if caught_any {
+                kept_rows.push(row);
+                undetected = still;
+            }
+        }
+        kept_rows.reverse();
+        PatternSet::from_rows(patterns.input_count(), &kept_rows)
+    }
+
+    #[test]
+    fn windowed_drop_is_byte_identical_to_naive_greedy() {
+        use dft_netlist::circuits::{random_combinational, redundant_fixture};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut cases: Vec<(dft_netlist::Netlist, PatternSet)> = Vec::new();
+        // c17 exhaustive plus a duplicated set (heavy dropping).
+        let mut rows: Vec<Vec<bool>> = (0..32u8)
+            .map(|v| (0..5).map(|i| v >> i & 1 == 1).collect())
+            .collect();
+        rows.extend(rows.clone());
+        cases.push((c17(), PatternSet::from_rows(5, &rows)));
+        // Multi-window random rosters, including a ragged final window.
+        for (seed, count) in [(9u64, 150usize), (5, 200)] {
+            let n = random_combinational(12, 80, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+            let p = PatternSet::random(12, count, &mut rng);
+            cases.push((n, p));
+        }
+        let fixture = redundant_fixture();
+        let width = fixture.primary_inputs().len();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = PatternSet::random(width, 70, &mut rng);
+        cases.push((fixture, p));
+        for (n, p) in cases {
+            let faults = universe(&n);
+            let fast = reverse_order_drop(&n, &p, &faults).unwrap();
+            let naive = naive_reverse_order_drop(&n, &p, &faults);
+            assert_eq!(fast, naive, "kept sets differ on {}", n.name());
+        }
     }
 
     #[test]

@@ -2,14 +2,12 @@
 //! compaction.
 
 use dft_fault::{simulate, Fault};
-use dft_implic::{ImplicOptions, ImplicationEngine};
 use dft_netlist::{LevelizeError, Netlist};
 use dft_obs::{Collector, Obs};
 use dft_sim::PatternSet;
 
-use crate::compact::compact;
-use crate::dalg::{dalg_with, DalgConfig};
-use crate::podem::{GenOutcome, Podem, PodemConfig, TestCube};
+use crate::compact::reverse_order_drop;
+use crate::parallel::{deterministic_phase, DetVerdict};
 use crate::random::random_atpg;
 
 /// Which deterministic engine tops off the random phase.
@@ -45,6 +43,13 @@ pub struct AtpgConfig {
     /// deterministic phase: statically-untestable faults skip search
     /// and learned implications prune dead branches early.
     pub use_implications: bool,
+    /// Worker threads for the deterministic phase (0 = all cores). The
+    /// result is identical for every value — see [`crate::parallel`].
+    pub threads: usize,
+    /// Fault-simulate each batch's fresh cubes over the unattempted
+    /// queue tail and drop the faults they already detect, so no solver
+    /// runs on an already-covered fault.
+    pub collateral_dropping: bool,
 }
 
 impl Default for AtpgConfig {
@@ -56,6 +61,8 @@ impl Default for AtpgConfig {
             backtrack_limit: 10_000,
             compact: true,
             use_implications: true,
+            threads: 0,
+            collateral_dropping: true,
         }
     }
 }
@@ -106,6 +113,20 @@ impl AtpgConfig {
     #[must_use]
     pub fn with_use_implications(mut self, use_implications: bool) -> Self {
         self.use_implications = use_implications;
+        self
+    }
+
+    /// Sets [`AtpgConfig::threads`].
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets [`AtpgConfig::collateral_dropping`].
+    #[must_use]
+    pub fn with_collateral_dropping(mut self, collateral_dropping: bool) -> Self {
+        self.collateral_dropping = collateral_dropping;
         self
     }
 }
@@ -234,7 +255,6 @@ pub fn generate_tests_observed(
     obs.enter("atpg.generate");
     obs.count("faults", faults.len() as u64);
     let mut status = vec![FaultStatus::Aborted; faults.len()];
-    let mut cubes: Vec<TestCube> = Vec::new();
     let mut random_rows: Vec<Vec<bool>> = Vec::new();
     let mut backtracks = 0u64;
     let mut forward_evals = 0u64;
@@ -276,76 +296,44 @@ pub fn generate_tests_observed(
         obs.exit();
     }
 
-    // Phase 2: deterministic top-off. One implication engine is shared
-    // across every D-algorithm call; the PODEM solver builds its own.
+    // Phase 2: deterministic top-off via the threaded batch driver
+    // (crate::parallel) — identical output for any thread count.
     obs.enter("atpg.deterministic");
-    let podem_cfg = PodemConfig::new()
-        .with_backtrack_limit(config.backtrack_limit)
-        .with_use_implications(config.use_implications);
-    let solver = Podem::new_observed(netlist, podem_cfg, obs.as_option())?;
-    let dalg_cfg = DalgConfig::from(podem_cfg);
-    let implic_engine =
-        (config.use_implications && config.engine == DeterministicEngine::DAlgorithm).then(|| {
-            ImplicationEngine::with_options_observed(
-                netlist,
-                ImplicOptions::default(),
-                obs.as_option(),
-            )
-        });
-    let mut implication_conflicts = 0u64;
-    let (mut n_tests, mut n_untestable, mut n_aborted) = (0u64, 0u64, 0u64);
-    for &fi in &remaining {
-        let (outcome, stats) = match config.engine {
-            DeterministicEngine::Podem => solver.solve(faults[fi]),
-            DeterministicEngine::DAlgorithm => {
-                dalg_with(netlist, faults[fi], &dalg_cfg, implic_engine.as_ref())?
-            }
-        };
-        backtracks += u64::from(stats.backtracks);
-        forward_evals += stats.forward_evals;
-        implication_conflicts += u64::from(stats.implication_conflicts);
-        status[fi] = match outcome {
-            GenOutcome::Test(cube) => {
-                cubes.push(cube);
-                n_tests += 1;
-                FaultStatus::DetectedDeterministic
-            }
-            GenOutcome::Untestable => {
-                n_untestable += 1;
-                FaultStatus::Untestable
-            }
-            GenOutcome::Aborted => {
-                n_aborted += 1;
-                FaultStatus::Aborted
-            }
+    let det = deterministic_phase(netlist, faults, &remaining, config, obs.as_option())?;
+    for (qp, &fi) in remaining.iter().enumerate() {
+        status[fi] = match det.verdicts[qp] {
+            DetVerdict::Test | DetVerdict::Collateral => FaultStatus::DetectedDeterministic,
+            DetVerdict::Untestable => FaultStatus::Untestable,
+            DetVerdict::Aborted => FaultStatus::Aborted,
         };
     }
-    obs.count("attempts", remaining.len() as u64);
-    obs.count("backtracks", backtracks);
-    obs.count("forward_evals", forward_evals);
-    obs.count("implication_conflicts", implication_conflicts);
-    obs.count("tests", n_tests);
-    obs.count("untestable", n_untestable);
-    obs.count("aborted", n_aborted);
+    backtracks += det.backtracks;
+    forward_evals += det.forward_evals;
+    obs.count("attempts", det.attempts);
+    obs.count("backtracks", det.backtracks);
+    obs.count("forward_evals", det.forward_evals);
+    obs.count("implication_conflicts", det.implication_conflicts);
+    obs.count("tests", det.tests);
+    obs.count("untestable", det.untestable);
+    obs.count("aborted", det.aborted);
+    obs.count("collateral_drops", det.collateral);
     obs.exit();
 
-    // Phase 3: assemble + compact.
+    // Phase 3: assemble + compact. The deterministic rows are already
+    // merged per batch and back the collateral credits, so the whole
+    // assembly needs only one reverse-order drop (which preserves every
+    // detection of the assembled set).
     obs.enter("atpg.compact");
     let n_pi = netlist.primary_inputs().len();
+    let mut all_rows = random_rows;
+    all_rows.extend(det.rows);
+    let set = PatternSet::from_rows(n_pi, &all_rows);
     let patterns = if config.compact {
-        let mut set = compact(netlist, &cubes, faults)?;
-        // Compaction covers deterministic targets; re-add the random rows
-        // and drop again to be sure nothing regressed.
-        let mut all_rows: Vec<Vec<bool>> = random_rows;
-        all_rows.extend((0..set.len()).map(|p| set.get(p)));
-        set = PatternSet::from_rows(n_pi, &all_rows);
-        crate::compact::reverse_order_drop(netlist, &set, faults)?
+        reverse_order_drop(netlist, &set, faults)?
     } else {
-        let mut rows = random_rows;
-        rows.extend(cubes.iter().map(|c| c.filled(false)));
-        PatternSet::from_rows(n_pi, &rows)
+        set
     };
-    obs.count("cubes", cubes.len() as u64);
+    obs.count("cubes", det.cubes);
     obs.count("patterns", patterns.len() as u64);
     obs.exit();
 

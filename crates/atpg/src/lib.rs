@@ -41,6 +41,7 @@
 mod compact;
 mod dalg;
 mod engine;
+pub mod parallel;
 mod podem;
 mod random;
 mod timeframe;
@@ -51,6 +52,7 @@ pub use dalg::{dalg, dalg_observed, dalg_with, DalgConfig};
 pub use engine::{
     generate_tests, generate_tests_observed, AtpgConfig, AtpgRun, DeterministicEngine, FaultStatus,
 };
+pub use parallel::{deterministic_phase, DetDriver, DetPhase, DetVerdict, WorkerStats};
 pub use podem::{podem, podem_observed, GenOutcome, Podem, PodemConfig, SolveStats, TestCube};
 pub use random::{
     exhaustive_atpg, random_atpg, scoap_weights, weighted_random_atpg, RandomAtpgOutcome,

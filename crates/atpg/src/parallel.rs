@@ -1,0 +1,480 @@
+//! Threaded deterministic-ATPG driver with inter-batch collateral
+//! dropping.
+//!
+//! §I-B of the paper prices deterministic test generation as the cost
+//! that explodes with gate count; this driver attacks it on two axes at
+//! once. *Parallelism*: the surviving fault queue is solved in fixed
+//! 64-fault batches whose slots are strided across scoped worker
+//! threads, each running PODEM (or the D-Algorithm) against shared
+//! read-only solver state. *Work avoidance*: after every batch the
+//! freshly generated cubes are merged, zero-filled, and fault-simulated
+//! with [`Ppsfp`] over the not-yet-attempted tail of the queue, so
+//! faults the new tests already cover are dropped before any worker
+//! wastes a search on them.
+//!
+//! The merge is deterministic by construction. Batch boundaries depend
+//! only on the queue (`BATCH` is fixed, not derived from the thread
+//! count), each slot's solver call is a pure function of its fault, and
+//! results are reduced in slot order after the batch joins — so the
+//! thread count changes *who* computes a slot, never *what* is
+//! computed, and the final [`DetPhase`] is byte-identical for any
+//! `threads` setting.
+
+use dft_fault::{Fault, Ppsfp};
+use dft_implic::{ImplicOptions, ImplicationEngine};
+use dft_netlist::{LevelizeError, Netlist};
+use dft_obs::{Collector, Obs};
+use dft_sim::PatternSet;
+
+use crate::compact::merge_cubes;
+use crate::dalg::{dalg_with, DalgConfig};
+use crate::engine::{AtpgConfig, DeterministicEngine};
+use crate::podem::{GenOutcome, Podem, PodemConfig, SolveStats, TestCube};
+
+/// Faults per batch. Fixed (and equal to the [`Ppsfp`] word width) so
+/// batch boundaries — and therefore the drop cadence and the final test
+/// set — never depend on the thread count.
+const BATCH: usize = 64;
+
+/// How one queued fault was disposed of by [`deterministic_phase`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetVerdict {
+    /// A solver produced a test cube for it.
+    Test,
+    /// Dropped before its turn: a cube generated for an earlier batch
+    /// already detects it (found by the inter-batch [`Ppsfp`] pass).
+    Collateral,
+    /// Proven redundant by the solver.
+    Untestable,
+    /// Search hit the backtrack limit.
+    Aborted,
+}
+
+/// Effort accumulated by one worker across every batch it served in.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// Faults this worker ran a solver on.
+    pub solved: u64,
+    /// Backtracks across those solves.
+    pub backtracks: u64,
+    /// Forward implications across those solves.
+    pub forward_evals: u64,
+    /// Conflicts caught by the static implication store.
+    pub implication_conflicts: u64,
+}
+
+/// The result of the threaded deterministic phase.
+#[derive(Clone, Debug)]
+pub struct DetPhase {
+    /// Per-queued-fault disposition, aligned with the input queue.
+    pub verdicts: Vec<DetVerdict>,
+    /// Concrete test rows, in batch order: each batch's cubes merged
+    /// ([`merge_cubes`]) and zero-filled. These exact rows back the
+    /// [`DetVerdict::Collateral`] credits, so they must reach the final
+    /// pattern set (a greedy reverse-order drop keeps every detection).
+    pub rows: Vec<Vec<bool>>,
+    /// Cubes generated before merging (one per [`DetVerdict::Test`]).
+    pub cubes: u64,
+    /// Resolved worker count.
+    pub workers: usize,
+    /// Per-worker effort, indexed by worker id.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Solver attempts (queue length minus collateral drops).
+    pub attempts: u64,
+    /// Total backtracks (sum over workers).
+    pub backtracks: u64,
+    /// Total forward implications.
+    pub forward_evals: u64,
+    /// Total implication-store conflicts.
+    pub implication_conflicts: u64,
+    /// [`DetVerdict::Test`] count.
+    pub tests: u64,
+    /// [`DetVerdict::Untestable`] count.
+    pub untestable: u64,
+    /// [`DetVerdict::Aborted`] count.
+    pub aborted: u64,
+    /// [`DetVerdict::Collateral`] count.
+    pub collateral: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Inter-batch [`Ppsfp`] passes run (skipped when a batch yields no
+    /// cubes or the queue is exhausted).
+    pub drop_sims: u64,
+}
+
+/// Resolves a `threads` knob: 0 means all available cores, and more
+/// workers than batch slots would sit idle.
+fn resolve_workers(threads: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    t.clamp(1, BATCH)
+}
+
+/// Compiled, shareable state for the threaded deterministic phase: the
+/// solver (with its implication store), the inter-batch [`Ppsfp`]
+/// dropper, and the resolved worker count. Build once with
+/// [`DetDriver::new`], then [`DetDriver::run`] any number of queues —
+/// the split lets callers (and the bench) separate the one-time compile
+/// cost from the phase itself.
+pub struct DetDriver<'n> {
+    netlist: &'n Netlist,
+    engine: DeterministicEngine,
+    solver: Option<Podem<'n>>,
+    dalg_cfg: DalgConfig,
+    implic: Option<ImplicationEngine<'n>>,
+    dropper: Option<Ppsfp<'n>>,
+    workers: usize,
+}
+
+impl<'n> DetDriver<'n> {
+    /// Compiles the driver per `config` (see [`DetDriver::new_observed`]
+    /// for the collector-fed variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    pub fn new(netlist: &'n Netlist, config: &AtpgConfig) -> Result<Self, LevelizeError> {
+        DetDriver::new_observed(netlist, config, None)
+    }
+
+    /// [`DetDriver::new`] with the solver build feeding `obs` (the
+    /// `implic.learn` span nests under the caller's current span when
+    /// implications are on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    pub fn new_observed(
+        netlist: &'n Netlist,
+        config: &AtpgConfig,
+        obs: Option<&mut dyn Collector>,
+    ) -> Result<Self, LevelizeError> {
+        let mut obs = Obs::new(obs);
+        let podem_cfg = PodemConfig::new()
+            .with_backtrack_limit(config.backtrack_limit)
+            .with_use_implications(config.use_implications);
+        let dalg_cfg = DalgConfig::from(podem_cfg);
+        // Shared read-only solver state: PODEM compiles once (including
+        // its implication store), the D-Algorithm gets a separate shared
+        // store.
+        let solver = match config.engine {
+            DeterministicEngine::Podem => {
+                Some(Podem::new_observed(netlist, podem_cfg, obs.as_option())?)
+            }
+            DeterministicEngine::DAlgorithm => None,
+        };
+        let implic = (config.use_implications && config.engine == DeterministicEngine::DAlgorithm)
+            .then(|| {
+                ImplicationEngine::with_options_observed(
+                    netlist,
+                    ImplicOptions::default(),
+                    obs.as_option(),
+                )
+            });
+        let dropper = if config.collateral_dropping {
+            Some(Ppsfp::new(netlist)?)
+        } else {
+            None
+        };
+        Ok(DetDriver {
+            netlist,
+            engine: config.engine,
+            solver,
+            dalg_cfg,
+            implic,
+            dropper,
+            workers: resolve_workers(config.threads),
+        })
+    }
+
+    /// Runs the deterministic phase over `queue` (indices into
+    /// `faults`), dropping collaterally detected faults between batches
+    /// when the driver was built with collateral dropping on.
+    ///
+    /// Emits one `atpg.worker` span per worker (counters `solved`,
+    /// `backtracks`, `forward_evals`, `implication_conflicts`; gauge
+    /// `index`) and an `atpg.drop` span (counters `batches`,
+    /// `drop_sims`, `dropped`, `rows`) under the caller's current span.
+    ///
+    /// The output is identical for every `threads` value; see the
+    /// module docs for the argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles (D-Algorithm
+    /// engine only; PODEM levelizes at build time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a queue index is out of range for `faults`.
+    pub fn run(
+        &self,
+        faults: &[Fault],
+        queue: &[usize],
+        obs: Option<&mut dyn Collector>,
+    ) -> Result<DetPhase, LevelizeError> {
+        self.run_inner(faults, queue, Obs::new(obs))
+    }
+}
+
+/// Builds a [`DetDriver`] from `config` and runs it over `queue`
+/// (indices into `faults`) in one call — the flow entry point used by
+/// [`crate::generate_tests`].
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] on combinational cycles.
+///
+/// # Panics
+///
+/// Panics if a queue index is out of range for `faults`.
+pub fn deterministic_phase(
+    netlist: &Netlist,
+    faults: &[Fault],
+    queue: &[usize],
+    config: &AtpgConfig,
+    obs: Option<&mut dyn Collector>,
+) -> Result<DetPhase, LevelizeError> {
+    let mut obs = Obs::new(obs);
+    let driver = DetDriver::new_observed(netlist, config, obs.as_option())?;
+    driver.run_inner(faults, queue, obs)
+}
+
+impl DetDriver<'_> {
+    fn run_inner(
+        &self,
+        faults: &[Fault],
+        queue: &[usize],
+        mut obs: Obs<'_>,
+    ) -> Result<DetPhase, LevelizeError> {
+        let n_pi = self.netlist.primary_inputs().len();
+        let mut phase = DetPhase {
+            verdicts: vec![DetVerdict::Aborted; queue.len()],
+            rows: Vec::new(),
+            cubes: 0,
+            workers: self.workers,
+            worker_stats: vec![WorkerStats::default(); self.workers],
+            attempts: 0,
+            backtracks: 0,
+            forward_evals: 0,
+            implication_conflicts: 0,
+            tests: 0,
+            untestable: 0,
+            aborted: 0,
+            collateral: 0,
+            batches: 0,
+            drop_sims: 0,
+        };
+        // Queue positions still awaiting a solver, in queue order.
+        let mut pending: Vec<usize> = (0..queue.len()).collect();
+        while !pending.is_empty() {
+            let take = pending.len().min(BATCH);
+            let batch: Vec<usize> = pending.drain(..take).collect();
+            let results = self.solve_batch(faults, queue, &batch, &mut phase.worker_stats)?;
+            // Deterministic reduction: slot order, regardless of which
+            // worker finished when.
+            let mut batch_cubes: Vec<TestCube> = Vec::new();
+            for (slot, (outcome, stats)) in results.into_iter().enumerate() {
+                phase.attempts += 1;
+                phase.backtracks += u64::from(stats.backtracks);
+                phase.forward_evals += stats.forward_evals;
+                phase.implication_conflicts += u64::from(stats.implication_conflicts);
+                phase.verdicts[batch[slot]] = match outcome {
+                    GenOutcome::Test(cube) => {
+                        batch_cubes.push(cube);
+                        phase.tests += 1;
+                        DetVerdict::Test
+                    }
+                    GenOutcome::Untestable => {
+                        phase.untestable += 1;
+                        DetVerdict::Untestable
+                    }
+                    GenOutcome::Aborted => {
+                        phase.aborted += 1;
+                        DetVerdict::Aborted
+                    }
+                };
+            }
+            phase.batches += 1;
+            phase.cubes += batch_cubes.len() as u64;
+            let merged = merge_cubes(&batch_cubes);
+            let batch_rows: Vec<Vec<bool>> = merged.iter().map(|c| c.filled(false)).collect();
+            if let Some(engine) = &self.dropper {
+                if !batch_rows.is_empty() && !pending.is_empty() {
+                    let set = PatternSet::from_rows(n_pi, &batch_rows);
+                    let tail: Vec<Fault> = pending.iter().map(|&qp| faults[queue[qp]]).collect();
+                    let r = engine.run(&set, &tail);
+                    phase.drop_sims += 1;
+                    let mut j = 0;
+                    pending.retain(|&qp| {
+                        let detected = r.first_detected[j].is_some();
+                        j += 1;
+                        if detected {
+                            phase.verdicts[qp] = DetVerdict::Collateral;
+                            phase.collateral += 1;
+                        }
+                        !detected
+                    });
+                }
+            }
+            phase.rows.extend(batch_rows);
+        }
+
+        for (w, ws) in phase.worker_stats.iter().enumerate() {
+            obs.enter("atpg.worker");
+            obs.gauge("index", w as f64);
+            obs.count("solved", ws.solved);
+            obs.count("backtracks", ws.backtracks);
+            obs.count("forward_evals", ws.forward_evals);
+            obs.count("implication_conflicts", ws.implication_conflicts);
+            obs.exit();
+        }
+        obs.enter("atpg.drop");
+        obs.count("batches", phase.batches);
+        obs.count("drop_sims", phase.drop_sims);
+        obs.count("dropped", phase.collateral);
+        obs.count("rows", phase.rows.len() as u64);
+        obs.exit();
+        Ok(phase)
+    }
+
+    /// Solves one batch: slot `s` goes to worker `s % workers`, every
+    /// worker walks its strided slots in order, and the per-slot results
+    /// come back indexed by slot. With one worker the batch is solved
+    /// inline (no spawn).
+    fn solve_batch(
+        &self,
+        faults: &[Fault],
+        queue: &[usize],
+        batch: &[usize],
+        worker_stats: &mut [WorkerStats],
+    ) -> Result<Vec<(GenOutcome, SolveStats)>, LevelizeError> {
+        let solve = |slot: usize| -> Result<(GenOutcome, SolveStats), LevelizeError> {
+            let fault = faults[queue[batch[slot]]];
+            match self.engine {
+                DeterministicEngine::Podem => Ok(self
+                    .solver
+                    .as_ref()
+                    .expect("PODEM solver built for this engine")
+                    .solve(fault)),
+                DeterministicEngine::DAlgorithm => {
+                    dalg_with(self.netlist, fault, &self.dalg_cfg, self.implic.as_ref())
+                }
+            }
+        };
+        let active = self.workers.min(batch.len());
+        let mut results: Vec<Option<(GenOutcome, SolveStats)>> = vec![None; batch.len()];
+        if active <= 1 {
+            for (slot, out) in results.iter_mut().enumerate() {
+                let (outcome, stats) = solve(slot)?;
+                tally(&mut worker_stats[0], &stats);
+                *out = Some((outcome, stats));
+            }
+        } else {
+            let shards = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..active)
+                    .map(|w| {
+                        let solve = &solve;
+                        s.spawn(move || {
+                            let mut out: Vec<(usize, GenOutcome, SolveStats)> = Vec::new();
+                            let mut slot = w;
+                            while slot < batch.len() {
+                                let (outcome, stats) = solve(slot)?;
+                                out.push((slot, outcome, stats));
+                                slot += active;
+                            }
+                            Ok::<_, LevelizeError>(out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("ATPG worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (w, shard) in shards.into_iter().enumerate() {
+                for (slot, outcome, stats) in shard? {
+                    tally(&mut worker_stats[w], &stats);
+                    results[slot] = Some((outcome, stats));
+                }
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every slot solved"))
+            .collect())
+    }
+}
+
+fn tally(ws: &mut WorkerStats, stats: &SolveStats) {
+    ws.solved += 1;
+    ws.backtracks += u64::from(stats.backtracks);
+    ws.forward_evals += stats.forward_evals;
+    ws.implication_conflicts += u64::from(stats.implication_conflicts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_fault::{simulate, universe};
+    use dft_netlist::circuits::{c17, random_combinational};
+
+    fn run(n: &Netlist, config: &AtpgConfig) -> DetPhase {
+        let faults = universe(n);
+        let queue: Vec<usize> = (0..faults.len()).collect();
+        deterministic_phase(n, &faults, &queue, config, None).unwrap()
+    }
+
+    #[test]
+    fn phase_is_identical_across_thread_counts() {
+        let n = random_combinational(10, 60, 7);
+        let base = run(&n, &AtpgConfig::new().with_threads(1));
+        for t in [2, 3, 8] {
+            let other = run(&n, &AtpgConfig::new().with_threads(t));
+            assert_eq!(base.verdicts, other.verdicts, "verdicts differ at {t}");
+            assert_eq!(base.rows, other.rows, "rows differ at {t}");
+            assert_eq!(base.backtracks, other.backtracks);
+            assert_eq!(base.forward_evals, other.forward_evals);
+        }
+    }
+
+    #[test]
+    fn collateral_credits_are_backed_by_the_rows() {
+        // Multi-batch universe: later batches must see collateral drops.
+        let n = random_combinational(10, 60, 7);
+        let faults = universe(&n);
+        assert!(faults.len() > super::BATCH, "need a multi-batch queue");
+        let queue: Vec<usize> = (0..faults.len()).collect();
+        let phase = deterministic_phase(
+            &n,
+            &faults,
+            &queue,
+            &AtpgConfig::new().with_threads(2),
+            None,
+        )
+        .unwrap();
+        assert!(phase.collateral > 0, "batches must drop collaterally");
+        let set = PatternSet::from_rows(n.primary_inputs().len(), &phase.rows);
+        let r = simulate(&n, &set, &faults).unwrap();
+        for (qp, v) in phase.verdicts.iter().enumerate() {
+            if matches!(v, DetVerdict::Test | DetVerdict::Collateral) {
+                assert!(
+                    r.first_detected[queue[qp]].is_some(),
+                    "verdict {v:?} for fault {qp} not backed by the rows"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_off_attempts_every_fault() {
+        let n = c17();
+        let cfg = AtpgConfig::new().with_collateral_dropping(false);
+        let phase = run(&n, &cfg);
+        assert_eq!(phase.collateral, 0);
+        assert_eq!(phase.attempts as usize, phase.verdicts.len());
+    }
+}

@@ -1,0 +1,96 @@
+//! The threaded deterministic driver's contract: the thread count is a
+//! throughput knob, never a result knob. `generate_tests` must hand back
+//! an identical run — patterns, order, statuses, effort counters — for
+//! every `threads` setting, and full compaction must never cost patterns
+//! or coverage.
+
+use dft_atpg::{generate_tests, AtpgConfig, DeterministicEngine};
+use dft_fault::{simulate, universe};
+use dft_netlist::circuits::{c17, random_combinational, redundant_fixture};
+use dft_netlist::Netlist;
+
+fn roster() -> Vec<Netlist> {
+    vec![
+        c17(),
+        redundant_fixture(),
+        // Multi-batch queue so inter-batch dropping is exercised.
+        random_combinational(12, 80, 9),
+    ]
+}
+
+#[test]
+fn test_set_is_identical_for_any_thread_count() {
+    for n in roster() {
+        let faults = universe(&n);
+        for engine in [DeterministicEngine::Podem, DeterministicEngine::DAlgorithm] {
+            // The D-Algorithm is orders slower per fault; its determinism
+            // is engine-independent (the driver is the same code path),
+            // so exercise it on the small circuits only.
+            if engine == DeterministicEngine::DAlgorithm && n.gate_count() > 20 {
+                continue;
+            }
+            // random_budget 0: every fault reaches the threaded phase.
+            let cfg = AtpgConfig::new()
+                .with_random_budget(0)
+                .with_engine(engine)
+                .with_threads(1);
+            let base = generate_tests(&n, &faults, &cfg).unwrap();
+            for t in [2, 8] {
+                let run = generate_tests(&n, &faults, &cfg.clone().with_threads(t)).unwrap();
+                assert_eq!(
+                    base.patterns,
+                    run.patterns,
+                    "patterns differ at {t} threads on {} ({engine:?})",
+                    n.name()
+                );
+                assert_eq!(base.status, run.status, "statuses differ at {t} threads");
+                assert_eq!(base.backtracks, run.backtracks);
+                assert_eq!(base.forward_evals, run.forward_evals);
+                assert!((base.coverage() - run.coverage()).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+#[test]
+fn test_set_is_identical_with_a_random_phase_too() {
+    for n in roster() {
+        let faults = universe(&n);
+        let cfg = AtpgConfig::new().with_threads(1);
+        let base = generate_tests(&n, &faults, &cfg).unwrap();
+        for t in [2, 8] {
+            let run = generate_tests(&n, &faults, &cfg.clone().with_threads(t)).unwrap();
+            assert_eq!(base.patterns, run.patterns, "on {}", n.name());
+            assert_eq!(base.status, run.status);
+        }
+    }
+}
+
+#[test]
+fn compaction_never_costs_patterns_or_coverage() {
+    for n in roster() {
+        let faults = universe(&n);
+        for threads in [1, 4] {
+            let cfg = AtpgConfig::new().with_threads(threads);
+            let compacted = generate_tests(&n, &faults, &cfg).unwrap();
+            let raw = generate_tests(&n, &faults, &cfg.clone().with_compact(false)).unwrap();
+            assert!(
+                compacted.patterns.len() <= raw.patterns.len(),
+                "compaction grew the set on {} ({} vs {})",
+                n.name(),
+                compacted.patterns.len(),
+                raw.patterns.len()
+            );
+            let with = simulate(&n, &compacted.patterns, &faults).unwrap();
+            let without = simulate(&n, &raw.patterns, &faults).unwrap();
+            assert!(
+                with.coverage() >= without.coverage(),
+                "compaction lost coverage on {}",
+                n.name()
+            );
+            // Statuses stay truthful either way: every fault marked
+            // detected is detected by the final set.
+            assert!((with.coverage() - compacted.detected_coverage()).abs() < 1e-12);
+        }
+    }
+}

@@ -13,8 +13,16 @@
 //! implication-conflict prunes — the pruning win of the
 //! analyze-before-you-search pass.
 //!
+//! The ATPG section also benchmarks the threaded deterministic driver:
+//! the full `generate_tests` flow (random budget 0, so the deterministic
+//! phase dominates) runs once per thread count, the resulting pattern
+//! sets are hashed to prove the thread count never changes the output,
+//! and the wall-clock scaling versus the no-collateral-dropping baseline
+//! lands in `BENCH_atpg.json`.
+//!
 //! ```text
-//! tessera-bench [--quick] [--out PATH] [--atpg-out PATH] [--threads N] [--report PATH]
+//! tessera-bench [--quick] [--out PATH] [--atpg-out PATH] [--threads N]
+//!               [--report PATH] [--atpg-baseline PATH]
 //! ```
 //!
 //! `--quick` restricts the rosters to the small circuits (the CI smoke
@@ -23,12 +31,17 @@
 //! fault simulation, the full ATPG flow, and the implication-engine
 //! build all feeding a `dft-obs` recorder — and writes the resulting
 //! span/counter tree as `tessera-obs/1` JSON, cross-checked against the
-//! engines' legacy stats before it is written.
+//! engines' legacy stats before it is written. `--atpg-baseline PATH`
+//! compares this run's per-circuit ATPG flow results against a committed
+//! `BENCH_atpg.json` and exits nonzero if any circuit's pattern count
+//! rose or coverage dropped beyond a small tolerance.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dft_atpg::{generate_tests_observed, AtpgConfig, Podem, PodemConfig};
+use dft_atpg::{
+    generate_tests, generate_tests_observed, AtpgConfig, DetDriver, Podem, PodemConfig,
+};
 use dft_bench::{eng, exhaustive_patterns, print_table};
 use dft_fault::{
     dominance_collapse, prefilter_untestable, universe, DeductiveEngine, DetectionResult,
@@ -47,6 +60,7 @@ struct Config {
     atpg_out: String,
     threads: usize,
     report: Option<String>,
+    atpg_baseline: Option<String>,
 }
 
 fn parse_args() -> Config {
@@ -56,6 +70,7 @@ fn parse_args() -> Config {
         atpg_out: "BENCH_atpg.json".to_owned(),
         threads: 0,
         report: None,
+        atpg_baseline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -71,9 +86,12 @@ fn parse_args() -> Config {
                     .expect("--threads requires an integer")
             }
             "--report" => cfg.report = Some(args.next().expect("--report requires a path")),
+            "--atpg-baseline" => {
+                cfg.atpg_baseline = Some(args.next().expect("--atpg-baseline requires a path"))
+            }
             other => panic!(
                 "unknown flag {other} (expected --quick, --out PATH, --atpg-out PATH, \
-                 --threads N, --report PATH)"
+                 --threads N, --report PATH, --atpg-baseline PATH)"
             ),
         }
     }
@@ -320,17 +338,246 @@ fn main() {
     println!(
         "\ntotal backtracks without implications: {total_without}\n\
          total backtracks with implications:    {total_with}\n\
-         strictly fewer with pruning: {}\nwriting {}",
+         strictly fewer with pruning: {}",
         total_with < total_without,
-        cfg.atpg_out
     );
-    std::fs::write(&cfg.atpg_out, atpg_to_json(&atpg, &cfg)).expect("write ATPG bench JSON");
+
+    let scaling = flow_scaling_bench(cfg.quick);
+    let scaling_rows: Vec<Vec<String>> = scaling
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_owned(),
+                r.threads.to_string(),
+                r.dropping.to_string(),
+                format!("{:.4}", r.seconds),
+                r.patterns.to_string(),
+                r.attempts.to_string(),
+                format!("{:#018x}", r.hash),
+            ]
+        })
+        .collect();
+    print_table(
+        "deterministic ATPG flow wall-clock vs threads (random budget 0)",
+        &[
+            "config",
+            "threads",
+            "drop",
+            "seconds",
+            "patterns",
+            "attempts",
+            "pattern_hash",
+        ],
+        &scaling_rows,
+    );
+    println!(
+        "\npattern sets identical across thread counts: {}\n\
+         speedup t8 (dropping) vs serial_nodrop: {:.2}x\nwriting {}",
+        scaling.identical, scaling.speedup, cfg.atpg_out
+    );
+    std::fs::write(&cfg.atpg_out, atpg_to_json(&atpg, &scaling, &cfg))
+        .expect("write ATPG bench JSON");
 
     if let Some(path) = &cfg.report {
         let report = observed_run(&cfg);
         std::fs::write(path, report.to_json()).expect("write run report");
         println!("writing {path}");
     }
+
+    if let Some(path) = &cfg.atpg_baseline {
+        check_atpg_baseline(path, &scaling);
+    }
+}
+
+/// One roster circuit's full-flow result under the threaded driver
+/// (identical for every thread count — asserted via the hash).
+struct FlowRecord {
+    circuit: &'static str,
+    patterns: usize,
+    coverage: f64,
+    detected_coverage: f64,
+}
+
+/// One thread-scaling configuration's whole-roster measurement.
+struct ScalingRow {
+    config: &'static str,
+    threads: usize,
+    dropping: bool,
+    seconds: f64,
+    /// Final pattern count summed over the roster.
+    patterns: usize,
+    /// Deterministic solver attempts summed over the roster (the work
+    /// collateral dropping avoids).
+    attempts: u64,
+    /// FNV-1a over every final pattern bit, roster order.
+    hash: u64,
+}
+
+struct FlowScaling {
+    records: Vec<FlowRecord>,
+    rows: Vec<ScalingRow>,
+    /// All dropping rows produced bit-identical pattern sets.
+    identical: bool,
+    /// serial_nodrop seconds / t8 seconds. On a single-core host this is
+    /// pure work avoidance (fewer solver calls via collateral dropping);
+    /// with real cores the thread scaling stacks on top.
+    speedup: f64,
+}
+
+fn fnv1a(hash: &mut u64, byte: u8) {
+    *hash = (*hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+}
+
+fn hash_patterns(hash: &mut u64, set: &PatternSet) {
+    for p in 0..set.len() {
+        for bit in set.get(p) {
+            fnv1a(hash, u8::from(bit));
+        }
+        fnv1a(hash, 0xFF); // row separator
+    }
+    fnv1a(hash, 0xFE); // set separator
+}
+
+/// The thread-scaling roster: the ATPG roster plus two deeper circuits
+/// so per-fault solver work dominates the flow's fixed costs (solver
+/// compile, final compaction) even in the `--quick` configuration.
+fn flow_roster(quick: bool) -> Vec<(&'static str, Netlist)> {
+    let mut r = atpg_roster(quick);
+    if quick {
+        r.push(("rand_14x120", random_combinational(14, 120, 2)));
+        r.push(("rand_15x140", random_combinational(15, 140, 6)));
+    }
+    r
+}
+
+/// Times the full `generate_tests` flow (random budget 0: the
+/// deterministic phase dominates) over the ATPG roster, once per
+/// configuration: the no-dropping single-thread baseline (the old serial
+/// loop), then collateral dropping at 1/2/4/8 threads.
+fn flow_scaling_bench(quick: bool) -> FlowScaling {
+    let roster = flow_roster(quick);
+    let configs: [(&'static str, usize, bool); 5] = [
+        ("serial_nodrop", 1, false),
+        ("t1", 1, true),
+        ("t2", 2, true),
+        ("t4", 4, true),
+        ("t8", 8, true),
+    ];
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    let mut records: Vec<FlowRecord> = Vec::new();
+    for (config, threads, dropping) in configs {
+        let atpg_cfg = AtpgConfig::new()
+            .with_random_budget(0)
+            .with_threads(threads)
+            .with_collateral_dropping(dropping);
+        let mut seconds = 0.0;
+        let mut patterns = 0usize;
+        let mut attempts = 0u64;
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut recs: Vec<FlowRecord> = Vec::new();
+        for (name, n) in &roster {
+            let faults = universe(n);
+            let queue: Vec<usize> = (0..faults.len()).collect();
+            // Compile outside the timer (solver + implication store are
+            // one-time costs shared by every configuration); time the
+            // deterministic phase itself — the thing that scales.
+            let driver = DetDriver::new(n, &atpg_cfg).expect("roster circuits levelize");
+            let t = Instant::now();
+            let det = driver
+                .run(&faults, &queue, None)
+                .expect("roster circuits levelize");
+            seconds += t.elapsed().as_secs_f64();
+            attempts += det.attempts;
+            // The user-facing artifacts come from the full flow (untimed).
+            let run = generate_tests(n, &faults, &atpg_cfg).expect("roster circuits levelize");
+            patterns += run.patterns.len();
+            hash_patterns(&mut hash, &run.patterns);
+            recs.push(FlowRecord {
+                circuit: name,
+                patterns: run.patterns.len(),
+                coverage: run.coverage(),
+                detected_coverage: run.detected_coverage(),
+            });
+        }
+        rows.push(ScalingRow {
+            config,
+            threads,
+            dropping,
+            seconds,
+            patterns,
+            attempts,
+            hash,
+        });
+        records = recs; // keep the last (t8) per-circuit view
+    }
+    let dropping_rows: Vec<&ScalingRow> = rows.iter().filter(|r| r.dropping).collect();
+    let identical = dropping_rows.windows(2).all(|w| w[0].hash == w[1].hash);
+    let speedup = rows[0].seconds / dropping_rows.last().expect("t8 row").seconds;
+    FlowScaling {
+        records,
+        rows,
+        identical,
+        speedup,
+    }
+}
+
+/// Extracts the number following `key` in `text`, searching from
+/// `from`. Returns the value slice trimmed of JSON punctuation.
+fn extract_after<'t>(text: &'t str, from: usize, key: &str) -> Option<&'t str> {
+    let at = text[from..].find(key)? + from + key.len();
+    let rest = &text[at..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Fails the run (exit 1) if any roster circuit's ATPG flow needs more
+/// patterns or reaches lower coverage than the committed baseline, with
+/// a small tolerance (+2 patterns, -0.001 coverage) so timing-neutral
+/// churn does not trip it. Circuits absent from the baseline (e.g. a
+/// full-roster circuit vs a `--quick` baseline) are skipped.
+fn check_atpg_baseline(path: &str, scaling: &FlowScaling) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read ATPG baseline {path}: {e}"));
+    let flow_at = text
+        .find("\"flow_records\"")
+        .expect("baseline has no flow_records section");
+    let mut failed = false;
+    for r in &scaling.records {
+        let needle = format!("\"circuit\": \"{}\"", r.circuit);
+        let Some(at) = text[flow_at..].find(&needle).map(|i| i + flow_at) else {
+            println!("baseline gate: {} not in baseline, skipped", r.circuit);
+            continue;
+        };
+        let base_patterns: usize = extract_after(&text, at, "\"patterns\":")
+            .and_then(|v| v.parse().ok())
+            .expect("baseline flow record has patterns");
+        let base_coverage: f64 = extract_after(&text, at, "\"coverage\":")
+            .and_then(|v| v.parse().ok())
+            .expect("baseline flow record has coverage");
+        if r.patterns > base_patterns + 2 {
+            eprintln!(
+                "BASELINE REGRESSION: {} pattern count {} > baseline {} (+2 tolerance)",
+                r.circuit, r.patterns, base_patterns
+            );
+            failed = true;
+        }
+        if r.coverage < base_coverage - 1e-3 {
+            eprintln!(
+                "BASELINE REGRESSION: {} coverage {:.4} < baseline {:.4} (-0.001 tolerance)",
+                r.circuit, r.coverage, base_coverage
+            );
+            failed = true;
+        }
+    }
+    if !scaling.identical {
+        eprintln!("BASELINE REGRESSION: pattern sets differ across thread counts");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("baseline gate passed against {path}");
 }
 
 /// One fully observed pass: the reference serial engine, the PPSFP
@@ -479,7 +726,7 @@ fn atpg_bench(quick: bool) -> Vec<AtpgRecord> {
         .collect()
 }
 
-fn atpg_to_json(records: &[AtpgRecord], cfg: &Config) -> String {
+fn atpg_to_json(records: &[AtpgRecord], scaling: &FlowScaling, cfg: &Config) -> String {
     fn run_json(run: &AtpgRun) -> String {
         format!(
             "{{\"tested\": {}, \"untestable\": {}, \"aborted\": {}, \"backtracks\": {}, \
@@ -520,7 +767,49 @@ fn atpg_to_json(records: &[AtpgRecord], cfg: &Config) -> String {
     s.push_str("  ],\n");
     let _ = writeln!(s, "  \"total_backtracks_without\": {total_without},");
     let _ = writeln!(s, "  \"total_backtracks_with\": {total_with},");
-    let _ = writeln!(s, "  \"strictly_fewer\": {}", total_with < total_without);
+    let _ = writeln!(s, "  \"strictly_fewer\": {},", total_with < total_without);
+    s.push_str("  \"flow_records\": [\n");
+    for (i, r) in scaling.records.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"circuit\": \"{}\", \"patterns\": {}, \"coverage\": {:.4}, \
+             \"detected_coverage\": {:.4}}}{}",
+            r.circuit,
+            r.patterns,
+            r.coverage,
+            r.detected_coverage,
+            if i + 1 == scaling.records.len() {
+                ""
+            } else {
+                ","
+            }
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"flow_scaling\": [\n");
+    for (i, r) in scaling.rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"config\": \"{}\", \"threads\": {}, \"collateral_dropping\": {}, \
+             \"seconds\": {:.6}, \"patterns\": {}, \"attempts\": {}, \
+             \"pattern_hash\": \"{:#018x}\"}}{}",
+            r.config,
+            r.threads,
+            r.dropping,
+            r.seconds,
+            r.patterns,
+            r.attempts,
+            r.hash,
+            if i + 1 == scaling.rows.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(s, "  \"identical_across_threads\": {},", scaling.identical);
+    let _ = writeln!(
+        s,
+        "  \"speedup_t8_vs_serial_nodrop\": {:.2}",
+        scaling.speedup
+    );
     s.push_str("}\n");
     s
 }

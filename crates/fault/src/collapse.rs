@@ -14,7 +14,8 @@
 
 use std::collections::HashMap;
 
-use dft_netlist::{GateKind, Netlist, Pin, PortRef};
+use dft_netlist::{GateKind, LevelizeError, Netlist, Pin, PortRef};
+use dft_sim::PatternSet;
 
 use crate::Fault;
 
@@ -287,19 +288,15 @@ impl DominanceCollapse {
     ///
     /// Crediting through a witness is sound — dominance guarantees any
     /// pattern detecting the witness also detects its dominator — so
-    /// every fault this marks `true` really is detected. It is still not
-    /// the exact universe coverage, and the error runs both ways:
-    ///
-    /// * **Overestimate caveat (the classic one):** dropped dominators
-    ///   are *not* covered "by construction". A dominator whose
-    ///   witnesses are all redundant maps to no target (`None` → `false`
-    ///   here); accounting that instead assumes every dropped fault is
-    ///   covered by its witness's test overstates coverage exactly in
-    ///   that case, as does quoting `detected / target_count` as a
-    ///   universe figure.
-    /// * **Underestimate:** a dominator detected only by patterns that
-    ///   miss every witness (two controlling inputs at once) is reported
-    ///   `false` here even though the pattern set detects it.
+    /// every fault this marks `true` really is detected. The `false`
+    /// verdicts on dominator classes, however, are *approximate*: a
+    /// dominator detected only by patterns that miss every witness (two
+    /// controlling inputs at once), or one whose witnesses are all
+    /// redundant (`None` mapping), is reported `false` here even when
+    /// the pattern set detects it. Use
+    /// [`DominanceCollapse::expand_detection_exact`] when the exact
+    /// universe figure matters — it rechecks exactly those uncertain
+    /// verdicts with targeted single-fault simulations.
     ///
     /// # Panics
     ///
@@ -312,6 +309,75 @@ impl DominanceCollapse {
             .iter()
             .map(|t| t.is_some_and(|k| detected[k]))
             .collect()
+    }
+
+    /// [`DominanceCollapse::expand_detection`] with every uncertain
+    /// verdict resolved by a targeted recheck: the *exact* per-fault
+    /// detection of `patterns` over the whole universe.
+    ///
+    /// `detected` must be the per-target detection of
+    /// [`DominanceCollapse::targets`] under the same `patterns`
+    /// (`first_detected[k].is_some()` from any engine — the engines are
+    /// cross-checked to agree).
+    ///
+    /// Three kinds of verdicts come out of the witness expansion:
+    ///
+    /// * the fault's equivalence representative survived as a target —
+    ///   exact either way (equivalent faults are detected by exactly the
+    ///   same patterns);
+    /// * witness-credited `true` — sound by the dominance theorem, so
+    ///   exact;
+    /// * a dominator class reported `false` (witness undetected, or no
+    ///   witness in the universe) — *uncertain*: the dominator can be
+    ///   detected by patterns that miss every witness.
+    ///
+    /// Only the third kind is rechecked, one fault simulation per
+    /// uncertain equivalence class, so the cost is proportional to the
+    /// coverage gap rather than the universe size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] on combinational cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detected.len()` differs from
+    /// [`DominanceCollapse::target_count`] or the pattern width
+    /// disagrees with the netlist.
+    pub fn expand_detection_exact(
+        &self,
+        netlist: &Netlist,
+        patterns: &PatternSet,
+        detected: &[bool],
+    ) -> Result<Vec<bool>, LevelizeError> {
+        let mut out = self.expand_detection(detected);
+        let target_set: std::collections::HashSet<Fault> = self.targets.iter().copied().collect();
+        // One recheck per uncertain equivalence class, keyed by its
+        // representative.
+        let mut recheck_of: HashMap<Fault, usize> = HashMap::new();
+        let mut recheck: Vec<Fault> = Vec::new();
+        let mut members: Vec<(usize, usize)> = Vec::new(); // (universe idx, recheck idx)
+        for (i, credited) in out.iter().enumerate() {
+            if *credited {
+                continue; // sound by dominance (or exact via the target)
+            }
+            let rep = self.eq.representative(i);
+            if target_set.contains(&rep) {
+                continue; // exact: the class was simulated directly
+            }
+            let k = *recheck_of.entry(rep).or_insert_with(|| {
+                recheck.push(rep);
+                recheck.len() - 1
+            });
+            members.push((i, k));
+        }
+        if !recheck.is_empty() {
+            let r = crate::ppsfp(netlist, patterns, &recheck)?;
+            for (i, k) in members {
+                out[i] = r.first_detected[k].is_some();
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -536,32 +602,65 @@ mod tests {
 
     #[test]
     fn dominance_expansion_never_overestimates() {
-        // Sound direction of the expand_detection contract: every fault
-        // credited through a witness really is detected — checked against
-        // exhaustive simulation of the full universe.
-        let n = c17();
-        let faults = universe(&n);
-        let dom = dominance_collapse(&n, &faults);
+        // expand_detection contract, both directions. The cheap witness
+        // expansion must never credit an undetected fault (soundness),
+        // and expand_detection_exact must agree with full-universe
+        // simulation bit for bit — including on truncated pattern sets
+        // where a dominator is detected by patterns that miss every
+        // witness, and on a redundant circuit where witnesses can be
+        // missing entirely (`None` mapping).
+        use dft_netlist::circuits::redundant_fixture;
+        let mut cases: Vec<(Netlist, dft_sim::PatternSet)> = Vec::new();
         let rows: Vec<Vec<bool>> = (0..32u8)
             .map(|v| (0..5).map(|i| v >> i & 1 == 1).collect())
             .collect();
-        let patterns = dft_sim::PatternSet::from_rows(5, &rows);
-        let on_targets = crate::simulate(&n, &patterns, dom.targets()).unwrap();
-        let detected: Vec<bool> = on_targets
-            .first_detected
-            .iter()
-            .map(Option::is_some)
+        // Exhaustive c17 plus short prefixes: small sets are where the
+        // witness expansion underestimates.
+        for take in [32usize, 11, 5, 2, 1] {
+            cases.push((c17(), dft_sim::PatternSet::from_rows(5, &rows[..take])));
+        }
+        let fixture = redundant_fixture();
+        let width = fixture.primary_inputs().len();
+        let fix_rows: Vec<Vec<bool>> = (0..1u32 << width)
+            .step_by(3)
+            .map(|v| (0..width).map(|i| v >> i & 1 == 1).collect())
             .collect();
-        let expanded = dom.expand_detection(&detected);
-        let truth = crate::simulate(&n, &patterns, &faults).unwrap();
-        for (i, &credited) in expanded.iter().enumerate() {
-            if credited {
+        cases.push((fixture, dft_sim::PatternSet::from_rows(width, &fix_rows)));
+        let mut underestimates = 0usize;
+        for (n, patterns) in &cases {
+            let faults = universe(n);
+            let dom = dominance_collapse(n, &faults);
+            let on_targets = crate::simulate(n, patterns, dom.targets()).unwrap();
+            let detected: Vec<bool> = on_targets
+                .first_detected
+                .iter()
+                .map(Option::is_some)
+                .collect();
+            let truth = crate::simulate(n, patterns, &faults).unwrap();
+            let expanded = dom.expand_detection(&detected);
+            let exact = dom.expand_detection_exact(n, patterns, &detected).unwrap();
+            for (i, &credited) in expanded.iter().enumerate() {
+                let really = truth.first_detected[i].is_some();
                 assert!(
-                    truth.first_detected[i].is_some(),
-                    "fault {i} credited but not actually detected"
+                    !credited || really,
+                    "fault {i} credited but not actually detected on {}",
+                    n.name()
                 );
+                assert_eq!(
+                    exact[i],
+                    really,
+                    "exact expansion wrong for fault {i} on {}",
+                    n.name()
+                );
+                if really && !credited {
+                    underestimates += 1;
+                }
             }
         }
+        assert!(
+            underestimates > 0,
+            "cases must exercise the witness-expansion gap the exact path closes"
+        );
     }
 
     #[test]

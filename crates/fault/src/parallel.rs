@@ -61,11 +61,22 @@ pub fn parallel_fault_observed(
     let lv = netlist.levelize()?;
     let storage = netlist.storage_elements();
     let outputs: Vec<_> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
-    let folds_per_group: u64 = lv
+    // Hoisted out of the pattern × group loops: the combinational
+    // evaluation order, the constant-one sources, and the scratch arrays
+    // every group evaluation reuses.
+    let comb_order: Vec<dft_netlist::GateId> = lv
         .order()
         .iter()
-        .filter(|&&id| !netlist.gate(id).kind().is_source())
-        .count() as u64;
+        .copied()
+        .filter(|&id| !netlist.gate(id).kind().is_source())
+        .collect();
+    let const_ones: Vec<usize> = netlist
+        .iter()
+        .filter(|(_, g)| g.kind() == GateKind::Const1)
+        .map(|(id, _)| id.index())
+        .collect();
+    let folds_per_group = comb_order.len() as u64;
+    let mut scratch = GroupScratch::new(netlist.gate_count());
     let mut first_detected: Vec<Option<usize>> = vec![None; faults.len()];
     let mut live: Vec<usize> = (0..faults.len()).collect();
     let mut group_evals = 0u64;
@@ -78,22 +89,27 @@ pub fn parallel_fault_observed(
         // Chunk live faults into groups of 63 (lane 0 = good machine).
         let mut remaining: Vec<usize> = Vec::with_capacity(live.len());
         for group in live.chunks(63) {
-            let vals = eval_group(netlist, &lv, &storage, &row, faults, group);
+            eval_group(
+                netlist,
+                &comb_order,
+                &const_ones,
+                &storage,
+                &row,
+                faults,
+                group,
+                &mut scratch,
+            );
             group_evals += 1;
-            // Good machine bit is lane 0; fault k of the group is lane k+1.
+            // Good machine bit is lane 0; fault k of the group is lane
+            // k+1. One XOR against the broadcast good bit per output word
+            // yields every disagreeing lane at once.
+            let mut diff_lanes = 0u64;
+            for &g in &outputs {
+                let w = scratch.vals[g.index()];
+                diff_lanes |= w ^ 0u64.wrapping_sub(w & 1);
+            }
             for (k, &fi) in group.iter().enumerate() {
-                let lane = k + 1;
-                let mut detected = false;
-                for &g in &outputs {
-                    let w = vals[g.index()];
-                    let good = w & 1;
-                    let faulty = w >> lane & 1;
-                    if good != faulty {
-                        detected = true;
-                        break;
-                    }
-                }
-                if detected {
+                if diff_lanes >> (k + 1) & 1 == 1 {
                     first_detected[fi] = Some(p);
                 } else {
                     remaining.push(fi);
@@ -118,63 +134,115 @@ pub fn parallel_fault_observed(
     Ok(result)
 }
 
+/// Reusable scratch state for [`eval_group`]: the packed value array plus
+/// an epoch-stamped map of gates carrying an injected fault, so the hot
+/// gate loop costs one stamp compare instead of rescanning the group.
+struct GroupScratch {
+    vals: Vec<u64>,
+    /// `faulted[g] == epoch` iff gate `g` hosts an injected fault of the
+    /// current group (never cleared; the epoch bump invalidates it).
+    faulted: Vec<u32>,
+    epoch: u32,
+    /// Operand buffer for the rare faulted-gate path.
+    operands: Vec<u64>,
+}
+
+impl GroupScratch {
+    fn new(gate_count: usize) -> Self {
+        GroupScratch {
+            vals: vec![0; gate_count],
+            faulted: vec![0; gate_count],
+            epoch: 0,
+            operands: Vec::new(),
+        }
+    }
+}
+
 /// Evaluates one pattern with the good machine in lane 0 and each group
-/// fault injected into its own lane.
+/// fault injected into its own lane, into `scratch.vals`.
+///
+/// The fault-lane map is computed once per group (63 stamp writes); the
+/// per-gate loop then folds operand words straight from the value array
+/// — no allocation, no group rescan — and only gates whose stamp matches
+/// the epoch pay for per-lane mask application.
+#[allow(clippy::too_many_arguments)]
 fn eval_group(
     netlist: &Netlist,
-    lv: &dft_netlist::Levelization,
+    comb_order: &[dft_netlist::GateId],
+    const_ones: &[usize],
     storage: &[dft_netlist::GateId],
     row: &[bool],
     faults: &[Fault],
     group: &[usize],
-) -> Vec<u64> {
-    let mut vals = vec![0u64; netlist.gate_count()];
+    scratch: &mut GroupScratch,
+) {
+    scratch.epoch += 1;
+    let e = scratch.epoch;
+    let vals = &mut scratch.vals;
     for (i, &pi) in netlist.primary_inputs().iter().enumerate() {
         vals[pi.index()] = if row[i] { u64::MAX } else { 0 };
     }
     for &s in storage {
         vals[s.index()] = 0;
     }
-    for (id, gate) in netlist.iter() {
-        if gate.kind() == GateKind::Const1 {
-            vals[id.index()] = u64::MAX;
-        }
+    for &c in const_ones {
+        vals[c] = u64::MAX;
     }
-    // Per-lane injection masks on source outputs.
+    // Per-lane injection masks on source outputs; non-source sites are
+    // stamped for the gate loop below.
     for (k, &fi) in group.iter().enumerate() {
         let f = faults[fi];
         if f.site.pin == Pin::Output && netlist.gate(f.site.gate).kind().is_source() {
             let mask = 1u64 << (k + 1);
             let idx = f.site.gate.index();
             vals[idx] = apply_stuck_mask(vals[idx], mask, f.stuck);
+        } else {
+            scratch.faulted[f.site.gate.index()] = e;
         }
     }
-    for &id in lv.order() {
+    for &id in comb_order {
         let gate = netlist.gate(id);
-        if gate.kind().is_source() {
-            continue;
-        }
-        // Gather operands, applying any input-pin fault lanes.
-        let mut words: Vec<u64> = gate.inputs().iter().map(|&s| vals[s.index()]).collect();
-        for (k, &fi) in group.iter().enumerate() {
-            let f = faults[fi];
-            if f.site.gate == id {
-                if let Pin::Input(pin) = f.site.pin {
-                    let mask = 1u64 << (k + 1);
-                    words[pin as usize] = apply_stuck_mask(words[pin as usize], mask, f.stuck);
+        let out = if scratch.faulted[id.index()] != e {
+            // Fault-free gate (the overwhelmingly common case): fold the
+            // operand words straight out of the value array.
+            fold_word(gate.kind(), gate.inputs().iter().map(|&s| vals[s.index()]))
+        } else {
+            // Gate hosts at least one injected fault: copy the operands
+            // into the reusable buffer, apply the input-pin lanes, fold,
+            // then apply the output-pin lanes.
+            scratch.operands.clear();
+            scratch
+                .operands
+                .extend(gate.inputs().iter().map(|&s| vals[s.index()]));
+            let mut out = 0u64;
+            let mut deferred_output_masks = 0u64; // (mask, stuck) pairs are rare; see below
+            let mut deferred_stuck_one = 0u64;
+            for (k, &fi) in group.iter().enumerate() {
+                let f = faults[fi];
+                if f.site.gate != id {
+                    continue;
+                }
+                let mask = 1u64 << (k + 1);
+                match f.site.pin {
+                    Pin::Input(pin) => {
+                        scratch.operands[pin as usize] =
+                            apply_stuck_mask(scratch.operands[pin as usize], mask, f.stuck);
+                    }
+                    Pin::Output => {
+                        deferred_output_masks |= mask;
+                        if f.stuck {
+                            deferred_stuck_one |= mask;
+                        }
+                    }
                 }
             }
-        }
-        let mut out = fold_word(gate.kind(), words.iter().copied());
-        for (k, &fi) in group.iter().enumerate() {
-            let f = faults[fi];
-            if f.site.gate == id && f.site.pin == Pin::Output {
-                out = apply_stuck_mask(out, 1u64 << (k + 1), f.stuck);
-            }
-        }
+            out |= fold_word(gate.kind(), scratch.operands.iter().copied());
+            // Output-pin lanes override whatever the fold produced.
+            out = (out & !deferred_output_masks) | deferred_stuck_one;
+            out
+        };
         vals[id.index()] = out;
     }
-    vals
 }
 
 #[cfg(test)]
