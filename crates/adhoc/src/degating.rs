@@ -2,6 +2,8 @@
 
 use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
 
+use crate::names::{fresh_indexed_input, fresh_input};
+
 /// A netlist with degating hardware inserted on selected nets.
 ///
 /// Per the paper's Fig. 2: each degated net feeds an AND with the
@@ -59,12 +61,13 @@ pub fn insert_degating(netlist: &Netlist, nets: &[GateId]) -> Result<Degated, Le
     out.set_name(format!("{}_degated", netlist.name()));
     let before = out.gate_count();
     let fanout = out.fanout_map();
-    let degate = out.add_input("degate");
+    let degate = fresh_input(&mut out, "degate");
     let degate_n = out.add_gate(GateKind::Not, &[degate]).expect("valid");
     let mut controls = Vec::with_capacity(nets.len());
-    for (k, &net) in nets.iter().enumerate() {
+    let mut ctl_index = 0usize;
+    for &net in nets {
         assert!(net.index() < before, "degated net out of range");
-        let ctl = out.add_input(format!("control{k}"));
+        let ctl = fresh_indexed_input(&mut out, "control", &mut ctl_index);
         controls.push(ctl);
         let blocked = out
             .add_gate(GateKind::And, &[net, degate_n])

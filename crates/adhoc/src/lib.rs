@@ -20,6 +20,7 @@
 pub mod bed_of_nails;
 pub mod bus;
 pub mod degating;
+mod names;
 pub mod reset;
 pub mod signature_board;
 pub mod test_points;

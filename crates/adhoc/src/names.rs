@@ -1,0 +1,46 @@
+//! Fresh-name selection for generated test pins and taps.
+//!
+//! Every transform in this crate adds named inputs (`tp_en`, `degate`,
+//! `rst`, …) or outputs (`tp_obs<i>`). Applied once, the bare names are
+//! free; applied repeatedly — the repair autopilot applies transforms
+//! round after round to the same netlist — they collide. These helpers
+//! pick the first free name so transforms compose.
+
+use dft_netlist::{GateId, Netlist};
+
+/// Adds an input named `base`, or `base1`, `base2`, … if taken.
+pub(crate) fn fresh_input(out: &mut Netlist, base: &str) -> GateId {
+    if let Ok(id) = out.try_add_input(base) {
+        return id;
+    }
+    let mut k = 1usize;
+    loop {
+        if let Ok(id) = out.try_add_input(format!("{base}{k}")) {
+            return id;
+        }
+        k += 1;
+    }
+}
+
+/// Adds an input named `base<n>` for the first free `n >= *next`,
+/// advancing `next` past it — for numbered families like `tp_val<i>`.
+pub(crate) fn fresh_indexed_input(out: &mut Netlist, base: &str, next: &mut usize) -> GateId {
+    loop {
+        let name = format!("{base}{}", *next);
+        *next += 1;
+        if let Ok(id) = out.try_add_input(name) {
+            return id;
+        }
+    }
+}
+
+/// First free output name `base<n>` with `n >= *next`; advances `next`.
+pub(crate) fn fresh_indexed_output(out: &Netlist, base: &str, next: &mut usize) -> String {
+    loop {
+        let name = format!("{base}{}", *next);
+        *next += 1;
+        if out.find_output(&name).is_none() {
+            return name;
+        }
+    }
+}

@@ -9,6 +9,8 @@
 
 use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
 
+use crate::names::fresh_input;
+
 /// Which known state the line forces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ResetKind {
@@ -33,7 +35,7 @@ pub fn add_reset(netlist: &Netlist, kind: ResetKind) -> Result<(Netlist, GateId)
     netlist.levelize()?;
     let mut out = netlist.clone();
     out.set_name(format!("{}_rst", netlist.name()));
-    let rst = out.add_input("rst");
+    let rst = fresh_input(&mut out, "rst");
     match kind {
         ResetKind::Clear => {
             let rst_n = out.add_gate(GateKind::Not, &[rst]).expect("valid");

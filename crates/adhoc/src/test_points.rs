@@ -4,6 +4,8 @@
 use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
 use dft_testability::analyze;
 
+use crate::names::{fresh_indexed_input, fresh_indexed_output, fresh_input};
+
 /// A plan of observation and control points.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TestPointPlan {
@@ -80,16 +82,18 @@ pub fn apply_test_points(
     netlist.levelize()?;
     let mut out = netlist.clone();
     out.set_name(format!("{}_tp", netlist.name()));
-    for (i, &net) in plan.observe.iter().enumerate() {
-        out.mark_output(net, format!("tp_obs{i}"))
-            .expect("fresh test-point names");
+    let mut obs_index = 0usize;
+    for &net in &plan.observe {
+        let name = fresh_indexed_output(&out, "tp_obs", &mut obs_index);
+        out.mark_output(net, name).expect("fresh test-point names");
     }
     if !plan.control.is_empty() {
         let fanout = out.fanout_map();
-        let en = out.add_input("tp_en");
+        let en = fresh_input(&mut out, "tp_en");
         let en_n = out.add_gate(GateKind::Not, &[en]).expect("valid");
-        for (i, &net) in plan.control.iter().enumerate() {
-            let val = out.add_input(format!("tp_val{i}"));
+        let mut val_index = 0usize;
+        for &net in &plan.control {
+            let val = fresh_indexed_input(&mut out, "tp_val", &mut val_index);
             let keep = out.add_gate(GateKind::And, &[net, en_n]).expect("valid");
             let force = out.add_gate(GateKind::And, &[val, en]).expect("valid");
             let mux = out.add_gate(GateKind::Or, &[keep, force]).expect("valid");
@@ -137,9 +141,10 @@ pub fn apply_decoder_control(
         assert!(net.index() < netlist.gate_count(), "net out of range");
     }
     let fanout = out.fanout_map();
-    let mode = out.add_input("tp_mode");
+    let mode = fresh_input(&mut out, "tp_mode");
+    let mut addr_index = 0usize;
     let addr: Vec<GateId> = (0..address_bits)
-        .map(|i| out.add_input(format!("tp_addr{i}")))
+        .map(|_| fresh_indexed_input(&mut out, "tp_addr", &mut addr_index))
         .collect();
     let addr_n: Vec<GateId> = addr
         .iter()

@@ -1,0 +1,198 @@
+//! Functional-equivalence suite for the ad-hoc DFT transforms.
+//!
+//! §III-B's whole premise is that test points, degating and reset lines
+//! are *transparent in system mode*: with every test pin held at its
+//! inactive value, the instrumented circuit computes exactly what the
+//! original did. These properties check that on random netlists under
+//! exhaustive (combinational) or multi-cycle random (sequential)
+//! stimulus — the machine-checked form of the claim the repair autopilot
+//! relies on when it splices these transforms into working designs.
+
+use dft_adhoc::{
+    add_reset, apply_decoder_control, apply_test_points, insert_degating, ResetKind, TestPointPlan,
+};
+use dft_netlist::circuits::{random_combinational, random_sequential};
+use dft_netlist::{GateId, GateKind, Netlist};
+use dft_sim::{Logic, SequentialSim, ThreeValueSim};
+use proptest::prelude::*;
+
+/// Primary-output values by name for one full input assignment.
+fn outputs_by_name(n: &Netlist, vals: &[Logic]) -> Vec<(String, Logic)> {
+    n.primary_outputs()
+        .iter()
+        .map(|(g, name)| (name.clone(), vals[g.index()]))
+        .collect()
+}
+
+/// Checks that `after` computes the same value as `before` on every
+/// output name `before` has, for every complete assignment of `before`'s
+/// inputs, with all of `after`'s extra (test) inputs held at 0.
+///
+/// Relies on the transforms appending new inputs after the originals —
+/// true for every transform in this crate (they clone and extend).
+fn assert_transparent(before: &Netlist, after: &Netlist) {
+    let pis = before.primary_inputs().len();
+    let extra = after.primary_inputs().len() - pis;
+    assert!(pis <= 12, "exhaustive check needs few inputs");
+    let sim_b = ThreeValueSim::new(before).expect("acyclic");
+    let sim_a = ThreeValueSim::new(after).expect("transform kept the netlist acyclic");
+    for bits in 0u32..1 << pis {
+        let assign: Vec<Logic> = (0..pis).map(|i| Logic::from(bits >> i & 1 == 1)).collect();
+        let mut assign_after = assign.clone();
+        assign_after.extend(std::iter::repeat_n(Logic::Zero, extra));
+        let vals_b = sim_b.eval(&assign, &[]);
+        let vals_a = sim_a.eval(&assign_after, &[]);
+        let want = outputs_by_name(before, &vals_b);
+        let got = outputs_by_name(after, &vals_a);
+        for (name, value) in &want {
+            let found = got
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("output '{name}' vanished"));
+            assert_eq!(
+                found.1, *value,
+                "output '{name}' diverged on input bits {bits:#b}"
+            );
+        }
+    }
+}
+
+/// Deterministically picks `k` non-source target nets from `n`.
+fn pick_targets(n: &Netlist, k: usize, salt: u64) -> Vec<GateId> {
+    let logic: Vec<GateId> = n
+        .ids()
+        .filter(|&id| !n.gate(id).kind().is_source())
+        .collect();
+    (0..k.min(logic.len()))
+        .map(|i| logic[(salt as usize + i * 7) % logic.len()])
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn test_points_are_transparent_in_system_mode(
+        seed in any::<u64>(),
+        inputs in 2usize..=6,
+        gates in 3usize..=30,
+        observe in 0usize..=2,
+        control in 0usize..=2,
+    ) {
+        let n = random_combinational(inputs, gates, seed);
+        let plan = TestPointPlan {
+            observe: pick_targets(&n, observe, seed),
+            control: pick_targets(&n, control, seed ^ 0x9e37_79b9),
+        };
+        let tp = apply_test_points(&n, &plan).expect("acyclic");
+        assert_transparent(&n, &tp);
+    }
+
+    #[test]
+    fn decoder_control_is_transparent_in_system_mode(
+        seed in any::<u64>(),
+        inputs in 2usize..=6,
+        gates in 3usize..=30,
+        nets in 1usize..=3,
+    ) {
+        let n = random_combinational(inputs, gates, seed);
+        let targets = pick_targets(&n, nets, seed);
+        if targets.is_empty() { return; }
+        let (dec, _mode, _addr) = apply_decoder_control(&n, &targets).expect("acyclic");
+        assert_transparent(&n, &dec);
+    }
+
+    #[test]
+    fn degating_is_transparent_with_the_degate_line_low(
+        seed in any::<u64>(),
+        inputs in 2usize..=6,
+        gates in 3usize..=30,
+        nets in 1usize..=3,
+    ) {
+        let n = random_combinational(inputs, gates, seed);
+        let targets = pick_targets(&n, nets, seed);
+        if targets.is_empty() { return; }
+        let degated = insert_degating(&n, &targets).expect("acyclic");
+        assert_transparent(&n, degated.netlist());
+    }
+
+    #[test]
+    fn reset_line_is_transparent_when_held_low(
+        seed in any::<u64>(),
+        inputs in 1usize..=3,
+        state_bits in 1usize..=4,
+        gates in 1usize..=6,
+        preset in any::<bool>(),
+    ) {
+        let kind = if preset { ResetKind::Preset } else { ResetKind::Clear };
+        let n = random_sequential(inputs, state_bits, gates, 2, seed);
+        let (with_reset, _rst) = add_reset(&n, kind).expect("acyclic");
+        // Multi-cycle equivalence from a known state: same input
+        // sequence, reset pin held at its inactive (low) level.
+        let mut sim_b = SequentialSim::new(&n).expect("acyclic");
+        let mut sim_a = SequentialSim::new(&with_reset).expect("acyclic");
+        sim_b.reset_to(Logic::Zero);
+        sim_a.reset_to(Logic::Zero);
+        let pis = n.primary_inputs().len();
+        let extra = with_reset.primary_inputs().len() - pis;
+        prop_assert_eq!(extra, 1, "add_reset adds exactly the reset pin");
+        let mut stim = seed | 1;
+        for cycle in 0..16u32 {
+            let vector: Vec<Logic> = (0..pis)
+                .map(|i| {
+                    stim = stim.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    Logic::from(stim >> (i + 13) & 1 == 1)
+                })
+                .collect();
+            let mut vector_after = vector.clone();
+            vector_after.push(Logic::Zero);
+            let out_b = sim_b.step(&vector);
+            let out_a = sim_a.step(&vector_after);
+            prop_assert_eq!(out_b, out_a, "outputs diverged at cycle {}", cycle);
+        }
+    }
+
+    /// The composability the autopilot depends on: transforms applied on
+    /// top of already-instrumented netlists pick fresh pin names and
+    /// stay transparent.
+    #[test]
+    fn stacked_transforms_stay_transparent(
+        seed in any::<u64>(),
+        inputs in 2usize..=5,
+        gates in 5usize..=20,
+    ) {
+        let n = random_combinational(inputs, gates, seed);
+        let plan = TestPointPlan {
+            observe: pick_targets(&n, 1, seed),
+            control: pick_targets(&n, 1, seed ^ 0xdead_beef),
+        };
+        let once = apply_test_points(&n, &plan).expect("acyclic");
+        // Re-target the same plan against the instrumented netlist.
+        let twice = apply_test_points(&once, &plan).expect("fresh names");
+        let targets = pick_targets(&n, 1, seed ^ 0x5a5a);
+        if targets.is_empty() { return; }
+        let thrice = insert_degating(&twice, &targets).expect("acyclic");
+        assert_transparent(&n, thrice.netlist());
+    }
+}
+
+/// A non-property regression: the gate kinds the transforms insert are
+/// plain logic, so downstream fault models see ordinary gates.
+#[test]
+fn transforms_insert_only_plain_logic() {
+    let n = random_combinational(4, 20, 7);
+    let targets = pick_targets(&n, 2, 3);
+    let degated = insert_degating(&n, &targets).expect("acyclic");
+    for id in degated.netlist().ids().skip(n.gate_count()) {
+        let kind = degated.netlist().gate(id).kind();
+        assert!(
+            matches!(
+                kind,
+                GateKind::Input | GateKind::And | GateKind::Or | GateKind::Not
+            ),
+            "unexpected inserted gate kind {kind:?}"
+        );
+    }
+}

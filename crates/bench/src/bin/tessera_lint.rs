@@ -11,8 +11,9 @@
 
 use std::process::ExitCode;
 
-use dft_lint::{lint_with, LintConfig, LintReport, Registry};
-use dft_netlist::{circuits, Netlist};
+use dft_bench::{circuit_menu, CircuitEntry};
+use dft_lint::{lint_with, LintConfig, LintReport, Registry, SeverityOverrides};
+use dft_netlist::Netlist;
 use dft_scan::{insert_scan, lint_scan_design, RuleConfig, ScanConfig, ScanStyle};
 
 const USAGE: &str = "\
@@ -31,6 +32,9 @@ OPTIONS:
     --max-fanout <N>       excessive-fanout bound (default 24)
     --cc-limit <N>         hard-to-control threshold (default 250)
     --co-limit <N>         hard-to-observe threshold (default 250)
+    --rule-config <FILE>   per-rule severity overrides (TOML [rules]
+                           table; keys are rule names or DFT-NNN codes,
+                           values \"off\"|\"info\"|\"warning\"|\"error\")
     --scan <STYLE>         insert scan (lssd|scan-path|scan-set|ras) and
                            also check the scan groundrules
     --scan-width <N>       Scan/Set shadow-register width (default 64)
@@ -38,31 +42,6 @@ OPTIONS:
 
 EXIT CODES: 0 clean or warnings only, 1 error-severity findings,
 2 usage error.";
-
-/// A named entry in the built-in circuit menu.
-type CircuitEntry = (&'static str, fn() -> Netlist);
-
-/// The built-in circuit menu (name → constructor).
-fn circuit_menu() -> Vec<CircuitEntry> {
-    vec![
-        ("c17", circuits::c17 as fn() -> Netlist),
-        ("full-adder", circuits::full_adder),
-        ("majority", circuits::majority),
-        ("parity8", || circuits::parity_tree(8)),
-        ("ripple8", || circuits::ripple_carry_adder(8)),
-        ("cla8", || circuits::carry_lookahead_adder(8)),
-        ("comparator8", || circuits::comparator(8)),
-        ("mux3", || circuits::mux_tree(3)),
-        ("decoder4", || circuits::decoder(4)),
-        ("wallace4", || circuits::wallace_multiplier(4)),
-        ("barrel3", || circuits::barrel_shifter(3)),
-        ("shift8", || circuits::shift_register(8)),
-        ("counter8", || circuits::binary_counter(8)),
-        ("johnson8", || circuits::johnson_counter(8)),
-        ("sn74181", || circuits::sn74181().0),
-        ("redundant-fixture", circuits::redundant_fixture),
-    ]
-}
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -73,6 +52,7 @@ enum Format {
 struct Cli {
     format: Format,
     config: LintConfig,
+    overrides: SeverityOverrides,
     scan: Option<ScanStyle>,
     scan_width: usize,
     names: Vec<String>,
@@ -82,6 +62,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     let mut cli = Cli {
         format: Format::Text,
         config: LintConfig::default(),
+        overrides: SeverityOverrides::default(),
         scan: None,
         scan_width: 64,
         names: Vec::new(),
@@ -136,6 +117,13 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--co-limit" => {
                 cli.config.observability_limit = parse_num(&value("--co-limit")?, "--co-limit")?;
             }
+            "--rule-config" => {
+                let path = value("--rule-config")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("--rule-config: cannot read '{path}': {e}"))?;
+                cli.overrides = SeverityOverrides::parse(&text)
+                    .map_err(|e| format!("--rule-config: {path}: {e}"))?;
+            }
             "--scan" => {
                 cli.scan = Some(match value("--scan")?.as_str() {
                     "lssd" => ScanStyle::Lssd,
@@ -182,6 +170,7 @@ fn lint_one(build: fn() -> Netlist, cli: &Cli) -> Result<LintReport, String> {
         }
         report.sort();
     }
+    cli.overrides.apply(&mut report);
     Ok(report)
 }
 

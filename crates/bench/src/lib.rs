@@ -10,7 +10,35 @@
 //! cargo run --release -p dft-bench --bin exp_eq1_scaling
 //! ```
 
+use dft_netlist::{circuits, Netlist};
 use dft_sim::PatternSet;
+
+/// A named entry in the built-in circuit menu.
+pub type CircuitEntry = (&'static str, fn() -> Netlist);
+
+/// The built-in circuit menu (name → constructor) shared by the
+/// `tessera-*` CLIs.
+#[must_use]
+pub fn circuit_menu() -> Vec<CircuitEntry> {
+    vec![
+        ("c17", circuits::c17 as fn() -> Netlist),
+        ("full-adder", circuits::full_adder),
+        ("majority", circuits::majority),
+        ("parity8", || circuits::parity_tree(8)),
+        ("ripple8", || circuits::ripple_carry_adder(8)),
+        ("cla8", || circuits::carry_lookahead_adder(8)),
+        ("comparator8", || circuits::comparator(8)),
+        ("mux3", || circuits::mux_tree(3)),
+        ("decoder4", || circuits::decoder(4)),
+        ("wallace4", || circuits::wallace_multiplier(4)),
+        ("barrel3", || circuits::barrel_shifter(3)),
+        ("shift8", || circuits::shift_register(8)),
+        ("counter8", || circuits::binary_counter(8)),
+        ("johnson8", || circuits::johnson_counter(8)),
+        ("sn74181", || circuits::sn74181().0),
+        ("redundant-fixture", circuits::redundant_fixture),
+    ]
+}
 
 /// Prints an aligned text table (the format every experiment binary
 /// reports in).

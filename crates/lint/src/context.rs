@@ -25,6 +25,16 @@ pub struct LintConfig {
     /// Highest acceptable finite SCOAP observability cost
     /// (`hard-to-observe`). Default 250.
     pub observability_limit: u32,
+    /// Observability cost above which a net is a candidate root for
+    /// `deep-unobservable-cone`. Default 350 — stricter than
+    /// `observability_limit` so the cone rule only fires on designs
+    /// with genuinely buried regions, not everything `hard-to-observe`
+    /// already flags.
+    pub deep_cone_observability_limit: u32,
+    /// Minimum number of over-limit gates in a root's fan-in cone for
+    /// `deep-unobservable-cone` to fire. Default 4 — a single buried
+    /// net is a point problem, a cone of them wants a test point.
+    pub deep_cone_min_gates: usize,
 }
 
 impl Default for LintConfig {
@@ -34,6 +44,8 @@ impl Default for LintConfig {
             max_fanout: 24,
             controllability_limit: 250,
             observability_limit: 250,
+            deep_cone_observability_limit: 350,
+            deep_cone_min_gates: 4,
         }
     }
 }

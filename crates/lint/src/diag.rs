@@ -4,6 +4,8 @@ use std::fmt;
 
 use dft_netlist::GateId;
 
+use crate::fix::{rule_code, FixHint};
+
 /// How serious a diagnostic is.
 ///
 /// The ordering is meaningful: `Info < Warning < Error`, so severity can
@@ -61,6 +63,9 @@ impl fmt::Display for Category {
 pub struct Diagnostic {
     /// Stable identifier of the rule that produced this (kebab-case).
     pub rule: &'static str,
+    /// Stable `DFT-NNN` code of the rule (see [`crate::rule_code`]);
+    /// unlike `rule`, codes are guaranteed never to be renamed.
+    pub code: &'static str,
     /// Severity of this particular finding.
     pub severity: Severity,
     /// The rule's category.
@@ -72,12 +77,16 @@ pub struct Diagnostic {
     pub related: Vec<GateId>,
     /// Human-readable description of the finding.
     pub message: String,
-    /// Optional fix-it suggestion.
+    /// Optional fix-it suggestion, free text.
     pub hint: Option<String>,
+    /// Optional machine-applicable fix, the structured counterpart of
+    /// `hint` — what `tessera-fix` expands into candidate edits.
+    pub fix: Option<FixHint>,
 }
 
 impl Diagnostic {
-    /// Creates a diagnostic with no related gates and no hint.
+    /// Creates a diagnostic with no related gates and no hint. The
+    /// stable code is looked up from the rule id.
     #[must_use]
     pub fn new(
         rule: &'static str,
@@ -88,12 +97,14 @@ impl Diagnostic {
     ) -> Self {
         Diagnostic {
             rule,
+            code: rule_code(rule),
             severity,
             category,
             gate,
             related: Vec::new(),
             message: message.into(),
             hint: None,
+            fix: None,
         }
     }
 
@@ -101,6 +112,18 @@ impl Diagnostic {
     #[must_use]
     pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
         self.hint = Some(hint.into());
+        self
+    }
+
+    /// Attaches a machine-applicable fix. If no free-text hint is set
+    /// yet, one is derived from the fix so text renderings stay
+    /// informative.
+    #[must_use]
+    pub fn with_fix(mut self, fix: FixHint) -> Self {
+        if self.hint.is_none() {
+            self.hint = Some(fix.to_string());
+        }
+        self.fix = Some(fix);
         self
     }
 
@@ -116,8 +139,8 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}[{}] {}: {}",
-            self.severity, self.rule, self.gate, self.message
+            "{}[{} {}] {}: {}",
+            self.severity, self.code, self.rule, self.gate, self.message
         )
     }
 }
@@ -154,6 +177,11 @@ impl LintReport {
     #[must_use]
     pub fn diagnostics(&self) -> &[Diagnostic] {
         &self.diagnostics
+    }
+
+    /// Mutable access for post-run rewriting (severity overrides).
+    pub(crate) fn diagnostics_mut(&mut self) -> &mut Vec<Diagnostic> {
+        &mut self.diagnostics
     }
 
     /// Sorts diagnostics most-severe first (ties: rule id, then gate).
@@ -260,9 +288,10 @@ impl LintReport {
             out.push_str("\n    { ");
             let _ = write!(
                 out,
-                "\"rule\": {}, \"severity\": \"{}\", \"category\": \"{}\", \
+                "\"rule\": {}, \"code\": {}, \"severity\": \"{}\", \"category\": \"{}\", \
                  \"gate\": \"{}\", \"gate_index\": {}, ",
                 json_string(d.rule),
+                json_string(d.code),
                 d.severity,
                 d.category,
                 d.gate,
@@ -278,9 +307,15 @@ impl LintReport {
             let _ = write!(out, "], \"message\": {}, ", json_string(&d.message));
             match &d.hint {
                 Some(h) => {
-                    let _ = write!(out, "\"hint\": {}", json_string(h));
+                    let _ = write!(out, "\"hint\": {}, ", json_string(h));
                 }
-                None => out.push_str("\"hint\": null"),
+                None => out.push_str("\"hint\": null, "),
+            }
+            match &d.fix {
+                Some(fix) => {
+                    let _ = write!(out, "\"fix\": {}", fix.to_json());
+                }
+                None => out.push_str("\"fix\": null"),
             }
             out.push_str(" }");
         }
@@ -398,7 +433,7 @@ mod tests {
     fn text_render_shows_everything() {
         let t = sample().to_text();
         assert!(t.contains("demo: 3 diagnostic(s) (1 error(s), 1 warning(s), 1 note(s))"));
-        assert!(t.contains("warning[deep-logic] g7: logic level 51 exceeds bound 50"));
+        assert!(t.contains("warning[DFT-006 deep-logic] g7: logic level 51 exceeds bound 50"));
         assert!(t.contains("hint: pipeline the cone"));
         assert!(t.contains("related: g4"));
         assert!(LintReport::new("ok").to_text().contains("clean"));
@@ -410,13 +445,57 @@ mod tests {
         assert!(j.contains("\"design\": \"demo\""));
         assert!(j.contains("\"summary\": { \"error\": 1, \"warning\": 1, \"info\": 1 }"));
         assert!(j.contains("\"rule\": \"comb-feedback\""));
+        assert!(j.contains("\"code\": \"DFT-001\""));
         assert!(j.contains("\"gate\": \"g3\""));
         assert!(j.contains("\"gate_index\": 3"));
         assert!(j.contains("\"hint\": null"));
+        assert!(j.contains("\"fix\": null"));
         assert!(j.contains("\"related\": [\"g4\"]"));
         // Balanced braces/brackets (no quoting issues in our own text).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn with_fix_derives_hint_and_renders_json() {
+        let d = Diagnostic::new(
+            "dead-logic",
+            Severity::Warning,
+            Category::Testability,
+            GateId::from_index(2),
+            "never observed",
+        )
+        .with_fix(FixHint::ObservePoint {
+            net: GateId::from_index(2),
+        });
+        assert_eq!(d.code, "DFT-003");
+        assert_eq!(
+            d.hint.as_deref(),
+            Some("insert an observation test point at g2")
+        );
+        let mut r = LintReport::new("demo");
+        r.push(d);
+        let j = r.to_json();
+        assert!(j.contains(
+            "\"fix\": { \"kind\": \"observe-point\", \"target\": \"g2\", \"target_index\": 2 }"
+        ));
+    }
+
+    #[test]
+    fn explicit_hint_survives_with_fix() {
+        let d = Diagnostic::new(
+            "dead-logic",
+            Severity::Warning,
+            Category::Testability,
+            GateId::from_index(2),
+            "never observed",
+        )
+        .with_hint("custom advice")
+        .with_fix(FixHint::ObservePoint {
+            net: GateId::from_index(2),
+        });
+        assert_eq!(d.hint.as_deref(), Some("custom advice"));
+        assert!(d.fix.is_some());
     }
 
     #[test]

@@ -15,9 +15,14 @@
 //!   fanout map, SCOAP measures, constant propagation), computed once
 //!   per run.
 //! * [`Diagnostic`] — one finding, anchored to a
-//!   [`GateId`](dft_netlist::GateId) with optional related gates and a
-//!   fix-it hint. Reports render as text ([`LintReport::to_text`]) or
-//!   JSON ([`LintReport::to_json`]).
+//!   [`GateId`](dft_netlist::GateId) with optional related gates, a
+//!   free-text hint, a stable `DFT-NNN` [code](rule_code), and
+//!   optionally a machine-applicable [`FixHint`] a repair tool can
+//!   expand into a concrete netlist edit. Reports render as text
+//!   ([`LintReport::to_text`]) or JSON ([`LintReport::to_json`]).
+//! * [`SeverityOverrides`] — per-rule severity configuration parsed
+//!   from a TOML-subset file (`tessera-lint --rule-config`), applied to
+//!   finished reports.
 //!
 //! The built-in rules live in [`rules`]; thresholds in [`LintConfig`].
 //!
@@ -34,13 +39,17 @@
 //! }
 //! ```
 
+mod config;
 mod context;
 mod diag;
+mod fix;
 mod registry;
 pub mod rules;
 
+pub use config::{ConfigError, SeverityOverrides};
 pub use context::{LintConfig, LintContext};
 pub use diag::{Category, Diagnostic, LintReport, Severity};
+pub use fix::{resolve_rule_name, rule_code, FixHint};
 pub use registry::{Registry, Rule};
 
 use dft_netlist::Netlist;

@@ -18,18 +18,25 @@
 //! | `reconvergent-fanout` | (info) reconvergent paths exist | §I-B sensitization |
 //! | `redundant-logic` | no gate has all its faults statically untestable | §I-B redundancy |
 //! | `constant-implied-net` | no net is constant only via implication learning | §I-B redundancy |
+//! | `deep-unobservable-cone` | no buried cone of high-observability-cost nets | §III-B test points |
+//! | `implication-dead-region` | no region feeding only implication-proven constants | §I-B redundancy |
 //!
-//! The last two are powered by `dft-implic`'s static implication engine:
-//! they catch redundancy that needs reasoning across reconvergent paths
-//! (`x AND NOT x`), which simple constant propagation and structural
-//! reachability cannot see.
+//! The implication-backed rules are powered by `dft-implic`'s static
+//! implication engine: they catch redundancy that needs reasoning across
+//! reconvergent paths (`x AND NOT x`), which simple constant propagation
+//! and structural reachability cannot see.
+//!
+//! Rules that know a concrete repair attach a machine-applicable
+//! [`FixHint`] alongside the free-text hint; `tessera-fix` (the
+//! `dft-repair` crate) expands those into candidate netlist edits.
 
-use dft_netlist::cones::{fanin_cone, reconvergent_fanouts};
+use dft_netlist::cones::{exclusive_fanin_region, fanin_cone, reconvergent_fanouts};
 use dft_netlist::{GateId, GateKind, Netlist, Pin};
 use dft_testability::INFINITE;
 
 use crate::context::LintContext;
 use crate::diag::{Category, Diagnostic, LintReport, Severity};
+use crate::fix::FixHint;
 use crate::registry::Rule;
 
 /// The full built-in rule set, in run order.
@@ -49,6 +56,8 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(ReconvergentFanout),
         Box::new(RedundantLogic),
         Box::new(ConstantImpliedNet),
+        Box::new(DeepUnobservableCone),
+        Box::new(ImplicationDeadRegion),
     ]
 }
 
@@ -247,7 +256,8 @@ impl Rule for DeadLogic {
                     id,
                     "no primary output is structurally reachable from this gate",
                 )
-                .with_hint("mark an output or add an observation test point (§III-B)"),
+                .with_hint("mark an output or add an observation test point (§III-B)")
+                .with_fix(FixHint::ObservePoint { net: id }),
             );
         }
     }
@@ -438,7 +448,8 @@ impl Rule for LatchRace {
                     .with_related(vec![d])
                     .with_hint(
                         "insert logic between the latches or use a master/slave (LSSD SRL) cell",
-                    ),
+                    )
+                    .with_fix(FixHint::ScanConvert { storage: dff }),
                 );
             }
         }
@@ -478,7 +489,8 @@ impl Rule for UninitializableStorage {
                     )
                     .with_hint(
                         "add a CLEAR/PRESET line (§III-B) or place the latch on a scan chain (§IV)",
-                    ),
+                    )
+                    .with_fix(FixHint::AddReset),
                 );
             }
         }
@@ -519,7 +531,8 @@ impl Rule for HardToControl {
                         id,
                         format!("controllability cost {cc} exceeds the limit {limit}"),
                     )
-                    .with_hint("insert a control test point near this net (§III-B)"),
+                    .with_hint("insert a control test point near this net (§III-B)")
+                    .with_fix(FixHint::ControlPoint { net: id }),
                 );
             }
         }
@@ -559,7 +572,8 @@ impl Rule for HardToObserve {
                         id,
                         format!("observability cost {co} exceeds the limit {limit}"),
                     )
-                    .with_hint("route the net to an observation test point or spare output pin"),
+                    .with_hint("route the net to an observation test point or spare output pin")
+                    .with_fix(FixHint::ObservePoint { net: id }),
                 );
             }
         }
@@ -650,6 +664,10 @@ impl Rule for RedundantLogic {
                 continue;
             }
             let reason = witness.expect("a gate has at least the two output faults");
+            // Both output stuck-at faults are untestable, so folding to
+            // either value preserves function (§I-B); prefer the value
+            // the closure proves the net holds, if it proves one.
+            let value = engine.implied_constant(id).unwrap_or(false);
             report.push(
                 Diagnostic::new(
                     self.id(),
@@ -665,7 +683,8 @@ impl Rule for RedundantLogic {
                 .with_hint(
                     "the gate is provably redundant: remove it, or add a control/observation \
                      test point if it exists for a reason (§I-B, §III-B)",
-                ),
+                )
+                .with_fix(FixHint::RemoveRedundant { gate: id, value }),
             );
         }
     }
@@ -705,6 +724,7 @@ impl Rule for ConstantImpliedNet {
             // The implication witness: driving the net to the opposite
             // value contradicts itself somewhere — name that somewhere.
             let conflict = engine.query(id, !v).conflict;
+            let value = v;
             let v = u8::from(v);
             let mut diag = Diagnostic::new(
                 self.id(),
@@ -719,11 +739,162 @@ impl Rule for ConstantImpliedNet {
             .with_hint(
                 "the constant comes from reconvergent structure; simplify the logic or \
                  accept the redundant faults (§I-B)",
-            );
+            )
+            .with_fix(FixHint::FoldConstant { net: id, value });
             if let Some(at) = conflict {
                 diag = diag.with_related(vec![at]);
             }
             report.push(diag);
+        }
+    }
+}
+
+/// Flags buried cones: a net whose SCOAP observability cost crosses the
+/// (strict) deep-cone threshold, none of whose readers do, and whose
+/// fan-in cone contains at least `deep_cone_min_gates` further nets over
+/// the threshold. One observation test point at the flagged net (the
+/// cone's exit toward the outputs) rescues the whole region, which is
+/// exactly the §III-B test-point placement argument — so the rule fires
+/// once per cone, at the place the point belongs, instead of once per
+/// buried net the way `hard-to-observe` would.
+pub struct DeepUnobservableCone;
+
+impl Rule for DeepUnobservableCone {
+    fn id(&self) -> &'static str {
+        "deep-unobservable-cone"
+    }
+    fn description(&self) -> &'static str {
+        "cones of nets with excessive observability cost, reported at the cone exit"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let Some(scoap) = ctx.scoap() else {
+            return;
+        };
+        let netlist = ctx.netlist();
+        let limit = ctx.config().deep_cone_observability_limit;
+        let min_gates = ctx.config().deep_cone_min_gates;
+        let over = |id: GateId| {
+            let co = scoap.observability(id);
+            co < INFINITE && co > limit
+        };
+        for id in netlist.ids() {
+            if !over(id) || ctx.fanout()[id.index()].iter().any(|&(r, _)| over(r)) {
+                continue;
+            }
+            // `id` is a cone exit: over the limit, but everything it
+            // feeds is not. Count how much of its cone is buried with it.
+            let mut buried: Vec<GateId> = fanin_cone(netlist, &[id], false)
+                .into_iter()
+                .filter(|&g| g != id && over(g))
+                .collect();
+            if buried.len() + 1 < min_gates {
+                continue;
+            }
+            buried.sort();
+            report.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.severity(),
+                    self.category(),
+                    id,
+                    format!(
+                        "observability cost {} exceeds {limit} and {} more net(s) in this \
+                         cone are over the limit too",
+                        scoap.observability(id),
+                        buried.len(),
+                    ),
+                )
+                .with_related(buried)
+                .with_hint(
+                    "one observation test point at the cone exit rescues the whole \
+                     buried region (§III-B)",
+                )
+                .with_fix(FixHint::ObservePoint { net: id }),
+            );
+        }
+    }
+}
+
+/// Flags whole dead regions behind implication-proven constants: a
+/// maximal implied-constant net (one that is a primary output or has a
+/// reader the closure cannot fix) together with the gates that feed
+/// *only* it. Folding the root to its constant and deleting the private
+/// region is the paper's §I-B redundancy-removal transform, and the
+/// attached fix says exactly that.
+pub struct ImplicationDeadRegion;
+
+impl Rule for ImplicationDeadRegion {
+    fn id(&self) -> &'static str {
+        "implication-dead-region"
+    }
+    fn description(&self) -> &'static str {
+        "maximal implication-proven-constant nets with the region that only feeds them"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let Some(engine) = ctx.implications() else {
+            return;
+        };
+        let netlist = ctx.netlist();
+        let is_output: Vec<bool> = {
+            let mut v = vec![false; netlist.gate_count()];
+            for &(g, _) in netlist.primary_outputs() {
+                v[g.index()] = true;
+            }
+            v
+        };
+        for (id, gate) in netlist.iter() {
+            if gate.kind().is_source() {
+                continue;
+            }
+            let Some(value) = engine.implied_constant(id) else {
+                continue;
+            };
+            // Maximality: folding a constant net whose every reader is
+            // itself implied-constant would be subsumed by folding the
+            // reader, so report only the outermost net of the region.
+            let maximal = is_output[id.index()]
+                || ctx.fanout()[id.index()]
+                    .iter()
+                    .any(|&(r, _)| engine.implied_constant(r).is_none());
+            if !maximal {
+                continue;
+            }
+            let region = exclusive_fanin_region(netlist, id);
+            if region.is_empty() {
+                continue;
+            }
+            report.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.severity(),
+                    self.category(),
+                    id,
+                    format!(
+                        "net is provably constant {} and {} gate(s) exist only to feed it",
+                        u8::from(value),
+                        region.len(),
+                    ),
+                )
+                .with_related(region)
+                .with_hint(
+                    "fold the net to its constant and delete the private region (§I-B \
+                     redundancy removal); function is preserved because the stuck-at \
+                     fault at the fold point is untestable",
+                )
+                .with_fix(FixHint::FoldConstant { net: id, value }),
+            );
         }
     }
 }
@@ -1091,6 +1262,98 @@ mod tests {
         let r = lint(&n);
         assert_eq!(count(&r, "constant-output"), 1);
         assert_eq!(count(&r, "constant-implied-net"), 0);
+    }
+
+    // --- deep-unobservable-cone ------------------------------------------
+
+    /// A linear XOR chain: observability cost climbs steadily away from
+    /// the single output, so a tight limit buries the input end.
+    fn xor_chain(stages: usize) -> NL {
+        let mut n = NL::new("chain");
+        let mut prev = n.add_input("a0");
+        for i in 1..=stages {
+            let b = n.add_input(format!("a{i}"));
+            prev = n.add_gate(GateKind::Xor, &[prev, b]).unwrap();
+        }
+        n.mark_output(prev, "y").unwrap();
+        n
+    }
+
+    #[test]
+    fn deep_unobservable_cone_fires_once_at_the_cone_exit() {
+        let tight = LintConfig {
+            deep_cone_observability_limit: 10,
+            deep_cone_min_gates: 4,
+            ..LintConfig::default()
+        };
+        let r = lint_with(&xor_chain(30), tight);
+        // The chain has one buried region, reported once at its exit —
+        // not once per over-limit net.
+        assert_eq!(count(&r, "deep-unobservable-cone"), 1, "{}", r.to_text());
+        let d = r.by_rule("deep-unobservable-cone").next().unwrap();
+        assert!(d.related.len() + 1 >= 4, "cone size: {}", d.related.len());
+        assert_eq!(d.fix, Some(FixHint::ObservePoint { net: d.gate }));
+    }
+
+    #[test]
+    fn deep_unobservable_cone_silent_at_defaults_on_library_circuits() {
+        for n in [
+            c17(),
+            ripple_carry_adder(16),
+            parity_tree(16),
+            binary_counter(4),
+            shift_register(4),
+        ] {
+            let r = lint(&n);
+            assert_eq!(count(&r, "deep-unobservable-cone"), 0, "{}", n.name());
+        }
+    }
+
+    #[test]
+    fn deep_unobservable_cone_needs_a_cone_not_a_point() {
+        // Same chain, but demand more buried gates than it has.
+        let tight = LintConfig {
+            deep_cone_observability_limit: 10,
+            deep_cone_min_gates: 100,
+            ..LintConfig::default()
+        };
+        let r = lint_with(&xor_chain(30), tight);
+        assert_eq!(count(&r, "deep-unobservable-cone"), 0);
+    }
+
+    // --- implication-dead-region -----------------------------------------
+
+    #[test]
+    fn implication_dead_region_fires_on_the_fixture() {
+        // y = AND(live, z) with z provably 0: y is the maximal constant
+        // net, and na/z/live exist only to feed it.
+        let n = redundant_fixture();
+        let r = lint(&n);
+        assert!(count(&r, "implication-dead-region") > 0, "{}", r.to_text());
+        let d = r.by_rule("implication-dead-region").next().unwrap();
+        assert!(!d.related.is_empty(), "region is the point of the rule");
+        assert!(matches!(d.fix, Some(FixHint::FoldConstant { .. })));
+    }
+
+    #[test]
+    fn implication_dead_region_silent_on_c17() {
+        assert_eq!(count(&lint(&c17()), "implication-dead-region"), 0);
+    }
+
+    // --- fix hints ride along --------------------------------------------
+
+    #[test]
+    fn machine_applicable_fixes_are_attached() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let live = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        let dead = n.add_gate(GateKind::Or, &[a, b]).unwrap();
+        n.mark_output(live, "y").unwrap();
+        let r = lint(&n);
+        let d = r.by_rule("dead-logic").next().unwrap();
+        assert_eq!(d.fix, Some(FixHint::ObservePoint { net: dead }));
+        assert_eq!(d.code, "DFT-003");
     }
 
     // --- whole-registry smoke --------------------------------------------

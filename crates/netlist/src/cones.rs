@@ -62,6 +62,61 @@ pub fn fanout_cone(netlist: &Netlist, roots: &[GateId], through_storage: bool) -
     cone
 }
 
+/// Gates whose every fanout path dies at `root`: the logic that exists
+/// *only* to compute that net.
+///
+/// A gate belongs to the region when it is a plain logic gate (not a
+/// source, not storage, not a primary output) and every one of its
+/// readers is the root or already in the region. If `root`'s output is
+/// replaced (for example folded to a constant after a redundancy
+/// proof), the region is exactly the set of gates that become dead and
+/// can be deleted without touching any kept connection.
+///
+/// The walk stays inside the combinational frame (it does not cross
+/// storage). The root itself is not included; the result is sorted by
+/// arena order.
+#[must_use]
+pub fn exclusive_fanin_region(netlist: &Netlist, root: GateId) -> Vec<GateId> {
+    let fanout = netlist.fanout_map();
+    let is_output: HashSet<GateId> = netlist.primary_outputs().iter().map(|&(g, _)| g).collect();
+    let cone = fanin_cone(netlist, &[root], false);
+    let mut candidates: Vec<GateId> = cone
+        .into_iter()
+        .filter(|&g| {
+            let kind = netlist.gate(g).kind();
+            g != root
+                && !kind.is_source()
+                && !kind.is_storage()
+                && !is_output.contains(&g)
+                && !fanout[g.index()].is_empty()
+        })
+        .collect();
+    candidates.sort();
+
+    let mut in_region = vec![false; netlist.gate_count()];
+    in_region[root.index()] = true;
+    // Fixpoint: each pass can only grow the region, and the candidate
+    // set is a cone, so the loop terminates after at most |cone| passes.
+    loop {
+        let mut changed = false;
+        for &g in &candidates {
+            if !in_region[g.index()]
+                && fanout[g.index()]
+                    .iter()
+                    .all(|&(reader, _)| in_region[reader.index()])
+            {
+                in_region[g.index()] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    candidates.retain(|&g| in_region[g.index()]);
+    candidates
+}
+
 /// A reconvergent-fanout pair: two (or more) fanout branches of `stem`
 /// meet again at `meet`.
 ///
@@ -287,5 +342,35 @@ mod tests {
         let y = n.add_gate(GateKind::Not, &[b]).unwrap();
         let cone = fanin_cone(&n, &[x, y], false);
         assert_eq!(cone.len(), 4);
+    }
+
+    #[test]
+    fn exclusive_region_collects_only_private_feeders() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        // shared feeds both the root's cone and live logic; private and
+        // deeper feed only the root.
+        let shared = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let deeper = n.add_gate(GateKind::Not, &[b]).unwrap();
+        let private = n.add_gate(GateKind::And, &[shared, deeper]).unwrap();
+        let root = n.add_gate(GateKind::Or, &[private, a]).unwrap();
+        let live = n.add_gate(GateKind::Xor, &[shared, b]).unwrap();
+        n.mark_output(root, "r").unwrap();
+        n.mark_output(live, "l").unwrap();
+        assert_eq!(exclusive_fanin_region(&n, root), vec![deeper, private]);
+    }
+
+    #[test]
+    fn exclusive_region_respects_outputs_and_sources() {
+        let mut n = NL::new("t");
+        let a = n.add_input("a");
+        let observed = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let root = n.add_gate(GateKind::Not, &[observed]).unwrap();
+        n.mark_output(observed, "mid").unwrap();
+        n.mark_output(root, "y").unwrap();
+        // `observed` only feeds the root, but it is itself a primary
+        // output, so it must survive a fold of the root.
+        assert!(exclusive_fanin_region(&n, root).is_empty());
     }
 }

@@ -35,6 +35,14 @@ pub enum NetlistError {
     /// given gate (storage elements legally break cycles; plain gates may
     /// not).
     CombinationalCycle(GateId),
+    /// An edit that only makes sense on a plain logic gate was attempted
+    /// on a source or storage element.
+    NotALogicGate {
+        /// The gate the edit targeted.
+        gate: GateId,
+        /// Its actual kind.
+        kind: GateKind,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -63,6 +71,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::CombinationalCycle(id) => {
                 write!(f, "combinational cycle through gate {id}")
+            }
+            NetlistError::NotALogicGate { gate, kind } => {
+                write!(f, "gate {gate} is a {kind}, not a plain logic gate")
             }
         }
     }

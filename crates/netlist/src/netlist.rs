@@ -330,6 +330,40 @@ impl Netlist {
         Ok(())
     }
 
+    /// Replaces a logic gate with a tied constant, dropping its input
+    /// edges. Readers keep their connections (the gate id is unchanged),
+    /// output markings on the gate survive, and the arena keeps its
+    /// shape — so every other `GateId` stays valid.
+    ///
+    /// This is the redundancy-removal primitive: a net proven constant
+    /// under every input assignment (or proven unobservable) can be
+    /// folded to a constant without changing any primary output, and the
+    /// logic that only fed it becomes structurally dead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownGate`] on a foreign id and
+    /// [`NetlistError::NotALogicGate`] when the target is a primary
+    /// input, a constant, or a storage element (sources keep the
+    /// interface; storage keeps the state model).
+    pub fn replace_with_const(&mut self, id: GateId, value: bool) -> Result<(), NetlistError> {
+        let gate = self.try_gate(id)?;
+        if gate.kind().is_source() || gate.kind().is_storage() {
+            return Err(NetlistError::NotALogicGate {
+                gate: id,
+                kind: gate.kind(),
+            });
+        }
+        let g = &mut self.gates[id.index()];
+        g.kind = if value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
+        g.inputs.clear();
+        Ok(())
+    }
+
     /// Number of input pins reading `id`'s output net.
     ///
     /// A pin count, not a reader count: a gate consuming the net on two
@@ -596,5 +630,38 @@ mod tests {
             n.to_string(),
             "t: 3 gates (1 logic, 0 storage), 2 PIs, 1 POs"
         );
+    }
+
+    #[test]
+    fn replace_with_const_folds_in_place() {
+        let (mut n, g) = and_net();
+        let reader = n.add_gate(GateKind::Not, &[g]).unwrap();
+        n.mark_output(reader, "z").unwrap();
+        n.replace_with_const(g, true).unwrap();
+        assert_eq!(n.gate(g).kind(), GateKind::Const1);
+        assert!(n.gate(g).inputs().is_empty());
+        // Arena shape, readers and output markings are untouched.
+        assert_eq!(n.gate_count(), 4);
+        assert_eq!(n.gate(reader).inputs(), &[g]);
+        assert_eq!(n.find_output("y"), Some(g));
+        assert!(n.levelize().is_ok());
+    }
+
+    #[test]
+    fn replace_with_const_refuses_sources_and_storage() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let c = n.add_const(false);
+        let d = n.add_dff(a).unwrap();
+        for id in [a, c, d] {
+            assert!(matches!(
+                n.replace_with_const(id, false),
+                Err(NetlistError::NotALogicGate { .. })
+            ));
+        }
+        assert!(matches!(
+            n.replace_with_const(GateId::from_index(99), false),
+            Err(NetlistError::UnknownGate(_))
+        ));
     }
 }

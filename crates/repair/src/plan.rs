@@ -1,0 +1,246 @@
+//! The repair plan: a machine-readable record of an autopilot run.
+//!
+//! The plan is what `tessera-fix` writes to disk — every candidate that
+//! reached verification, its static rank evidence, the measured
+//! before/after coverage, the economics verdict, and the work-avoidance
+//! counters that show static pre-ranking actually pruned the candidate
+//! space. All numbers in the plan are deterministic for a fixed seed and
+//! netlist (wall-clock timing lives in the separate `dft-obs`
+//! [`RunReport`](dft_obs::RunReport), never here).
+
+use std::fmt::Write as _;
+
+use crate::candidate::CandidateEdit;
+use crate::verify::CoverageStat;
+
+/// One verified candidate, accepted or not.
+#[derive(Clone, Debug)]
+pub struct RepairRecord {
+    /// Autopilot round (1-based) the candidate was verified in.
+    pub round: usize,
+    /// Rule id of the diagnostic that proposed the edit.
+    pub rule: &'static str,
+    /// Stable `DFT-NNN` code of that rule.
+    pub code: &'static str,
+    /// The concrete edit.
+    pub edit: CandidateEdit,
+    /// Logic gates the edit adds (negative = removal).
+    pub extra_gates: i64,
+    /// Pins the edit adds.
+    pub extra_pins: i64,
+    /// Static rank score (integer; higher ranked earlier).
+    pub score: i128,
+    /// Coverage before the edit (this round's baseline).
+    pub before: CoverageStat,
+    /// Coverage with the edit applied.
+    pub after: CoverageStat,
+    /// Escape-cost saving per unit.
+    pub saving: f64,
+    /// One-time hardware cost.
+    pub hardware: f64,
+    /// Whether the repair was accepted and applied.
+    pub accepted: bool,
+}
+
+/// Work-avoidance counters across the whole run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCounters {
+    /// Candidates expanded from fix hints.
+    pub expanded: usize,
+    /// Candidates statically ranked.
+    pub ranked: usize,
+    /// Candidates pruned by the static ranking (never simulated).
+    pub pruned: usize,
+    /// Candidates verified with fault simulation.
+    pub verified: usize,
+    /// Repairs accepted and applied.
+    pub accepted: usize,
+}
+
+/// The full machine-readable outcome of one autopilot run.
+#[derive(Clone, Debug)]
+pub struct RepairPlan {
+    /// Design name of the input netlist.
+    pub design: String,
+    /// Random-pattern budget used for every measurement.
+    pub patterns: usize,
+    /// RNG seed used for every measurement.
+    pub seed: u64,
+    /// Coverage of the unrepaired netlist.
+    pub baseline: CoverageStat,
+    /// Coverage of the final (repaired) netlist.
+    pub final_coverage: CoverageStat,
+    /// Every verified candidate, in verification order.
+    pub records: Vec<RepairRecord>,
+    /// Work-avoidance counters.
+    pub counters: PlanCounters,
+}
+
+impl RepairPlan {
+    /// Accepted repairs only, in application order.
+    pub fn accepted(&self) -> impl Iterator<Item = &RepairRecord> {
+        self.records.iter().filter(|r| r.accepted)
+    }
+
+    /// Whether the run improved measured coverage at all.
+    #[must_use]
+    pub fn improved(&self) -> bool {
+        self.final_coverage.coverage > self.baseline.coverage
+    }
+
+    /// Renders the plan as a JSON object (hand-rolled, dependency-free,
+    /// schema `tessera-fix/1`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"tessera-fix/1\",");
+        let _ = writeln!(out, "  \"design\": \"{}\",", escape(&self.design));
+        let _ = writeln!(out, "  \"patterns\": {},", self.patterns);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"baseline\": {},", coverage_json(self.baseline));
+        let _ = writeln!(out, "  \"final\": {},", coverage_json(self.final_coverage));
+        let _ = writeln!(out, "  \"improved\": {},", self.improved());
+        let _ = writeln!(
+            out,
+            "  \"counters\": {{ \"expanded\": {}, \"ranked\": {}, \"pruned\": {}, \
+             \"verified\": {}, \"accepted\": {} }},",
+            self.counters.expanded,
+            self.counters.ranked,
+            self.counters.pruned,
+            self.counters.verified,
+            self.counters.accepted,
+        );
+        out.push_str("  \"repairs\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    { ");
+            let _ = write!(
+                out,
+                "\"round\": {}, \"rule\": \"{}\", \"code\": \"{}\", \"edit\": \"{}\", ",
+                r.round,
+                escape(r.rule),
+                escape(r.code),
+                r.edit.kind(),
+            );
+            match r.edit.target() {
+                Some(t) => {
+                    let _ = write!(out, "\"target\": \"{t}\", ");
+                }
+                None => out.push_str("\"target\": null, "),
+            }
+            let _ = write!(
+                out,
+                "\"extra_gates\": {}, \"extra_pins\": {}, \"score\": {}, \
+                 \"before\": {}, \"after\": {}, \"saving\": {}, \"hardware\": {}, \
+                 \"accepted\": {} }}",
+                r.extra_gates,
+                r.extra_pins,
+                r.score,
+                coverage_json(r.before),
+                coverage_json(r.after),
+                fmt_f64(r.saving),
+                fmt_f64(r.hardware),
+                r.accepted,
+            );
+        }
+        if !self.records.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn coverage_json(s: CoverageStat) -> String {
+    format!(
+        "{{ \"faults\": {}, \"detected\": {}, \"coverage\": {} }}",
+        s.fault_count,
+        s.detected,
+        fmt_f64(s.coverage)
+    )
+}
+
+/// Fixed-precision float rendering so plans compare bytewise across
+/// runs and platforms.
+fn fmt_f64(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::GateId;
+
+    fn sample() -> RepairPlan {
+        let low = CoverageStat {
+            fault_count: 20,
+            detected: 12,
+            coverage: 0.6,
+        };
+        let high = CoverageStat {
+            fault_count: 14,
+            detected: 14,
+            coverage: 1.0,
+        };
+        RepairPlan {
+            design: "fixture".into(),
+            patterns: 256,
+            seed: 1,
+            baseline: low,
+            final_coverage: high,
+            records: vec![RepairRecord {
+                round: 1,
+                rule: "implication-dead-region",
+                code: "DFT-015",
+                edit: CandidateEdit::Fold {
+                    net: GateId::from_index(6),
+                    value: false,
+                },
+                extra_gates: -4,
+                extra_pins: 0,
+                score: 40_000_000,
+                before: low,
+                after: high,
+                saving: 123.4,
+                hardware: 0.0,
+                accepted: true,
+            }],
+            counters: PlanCounters {
+                expanded: 5,
+                ranked: 5,
+                pruned: 3,
+                verified: 2,
+                accepted: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn json_carries_the_acceptance_story() {
+        let p = sample();
+        assert!(p.improved());
+        assert_eq!(p.accepted().count(), 1);
+        let j = p.to_json();
+        assert!(j.contains("\"schema\": \"tessera-fix/1\""));
+        assert!(j.contains("\"edit\": \"fold\""));
+        assert!(j.contains("\"target\": \"g6\""));
+        assert!(j.contains("\"code\": \"DFT-015\""));
+        assert!(j.contains("\"pruned\": 3"));
+        assert!(j.contains("\"improved\": true"));
+        assert!(j.contains("\"coverage\": 1.000000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_is_bytewise_stable() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+}

@@ -1,0 +1,205 @@
+//! End-to-end acceptance tests for the repair autopilot — the
+//! executable form of the ISSUE's acceptance criteria.
+
+use dft_lint::LintConfig;
+use dft_netlist::circuits::{c17, redundant_fixture};
+use dft_netlist::{GateKind, Netlist};
+use dft_obs::Recorder;
+use dft_repair::{repair, repair_observed, RepairOptions};
+
+/// The fixture with a known defect: `y` is provably constant, capping
+/// coverage. The autopilot must find a cost-model-accepted repair whose
+/// PPSFP-verified coverage strictly improves on the baseline.
+#[test]
+fn fixture_gets_an_accepted_coverage_improving_repair() {
+    let n = redundant_fixture();
+    let outcome = repair(&n, &RepairOptions::new()).unwrap();
+    let plan = &outcome.plan;
+
+    assert!(plan.counters.accepted >= 1, "at least one accepted repair");
+    assert!(
+        plan.final_coverage.coverage > plan.baseline.coverage,
+        "coverage strictly improves: {} -> {}",
+        plan.baseline.coverage,
+        plan.final_coverage.coverage
+    );
+    assert!(plan.improved());
+    // Folding the redundancy makes every remaining fault detectable.
+    assert!((plan.final_coverage.coverage - 1.0).abs() < 1e-12);
+
+    // The accepted record carries the before/after evidence.
+    let accepted: Vec<_> = plan.accepted().collect();
+    assert_eq!(accepted.len(), plan.counters.accepted);
+    for r in &accepted {
+        assert!(r.after.coverage > r.before.coverage);
+        assert!(r.saving > r.hardware);
+    }
+
+    // The repaired netlist really is smaller where it counts: the
+    // redundant region is folded to constants.
+    let consts = |nl: &Netlist| {
+        nl.ids()
+            .filter(|&id| matches!(nl.gate(id).kind(), GateKind::Const0 | GateKind::Const1))
+            .count()
+    };
+    assert!(consts(&outcome.netlist) > consts(&n));
+
+    // The plan JSON tells the same story.
+    let json = plan.to_json();
+    assert!(json.contains("\"improved\": true"));
+    assert!(json.contains("\"accepted\": true"));
+}
+
+/// Static pre-ranking must demonstrably prune candidates: more are
+/// expanded than simulated, and the counter says so (both in the plan
+/// and in the obs report).
+#[test]
+fn static_ranking_prunes_candidates_before_simulation() {
+    let n = redundant_fixture();
+    let opts = RepairOptions::new().with_top_k(1);
+    let mut recorder = Recorder::new();
+    let outcome = repair_observed(&n, &opts, Some(&mut recorder)).unwrap();
+    let report = recorder.finish("tessera-fix");
+
+    let c = &outcome.plan.counters;
+    assert!(c.pruned > 0, "counters: {c:?}");
+    assert_eq!(c.expanded, c.verified + c.pruned);
+    assert!(c.verified < c.expanded, "verification saw fewer candidates");
+
+    let autopilot = report.find("repair.autopilot").expect("span recorded");
+    assert_eq!(
+        autopilot.counter_total("repair.candidates.pruned") as usize,
+        c.pruned
+    );
+    assert_eq!(
+        autopilot.counter_total("repair.candidates.verified") as usize,
+        c.verified
+    );
+    assert_eq!(
+        autopilot.counter_total("repair.accepted") as usize,
+        c.accepted
+    );
+    assert!(report.find("repair.verify").is_some());
+    assert!(report.to_json().contains("repair.rank"));
+}
+
+/// The whole run is deterministic for a fixed seed: the plan JSON is
+/// bytewise identical across repeats and across PPSFP thread counts.
+#[test]
+fn plan_is_deterministic_across_runs_and_thread_counts() {
+    let n = redundant_fixture();
+    let run = |threads: usize| {
+        let opts = RepairOptions::new().with_seed(42).with_threads(threads);
+        repair(&n, &opts).unwrap().plan.to_json()
+    };
+    let one = run(1);
+    assert_eq!(one, run(1), "repeat run");
+    assert_eq!(one, run(2), "thread count");
+    assert_eq!(one, run(4), "thread count");
+}
+
+/// A clean, already-testable circuit needs no repair: nothing is
+/// accepted and the netlist comes back unchanged.
+#[test]
+fn clean_circuit_is_left_alone() {
+    let n = c17();
+    let outcome = repair(&n, &RepairOptions::new()).unwrap();
+    assert_eq!(outcome.plan.counters.accepted, 0);
+    assert!(!outcome.plan.improved());
+    assert_eq!(outcome.netlist.gate_count(), n.gate_count());
+}
+
+/// Dead (unreachable) logic carries provably-untestable faults; the
+/// cheapest repair is not to observe it but to fold it away — zero
+/// hardware, and the untestable faults leave the universe.
+#[test]
+fn dead_logic_is_folded_away_for_free() {
+    let mut n = Netlist::new("buried");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let c = n.add_input("c");
+    // A small buried cone no primary output can see.
+    let buried_and = n.add_gate(GateKind::And, &[a, b]).unwrap();
+    let _buried = n.add_gate(GateKind::Xor, &[buried_and, c]).unwrap();
+    // Live logic so the circuit has a primary output.
+    let live = n.add_gate(GateKind::Or, &[a, c]).unwrap();
+    n.mark_output(live, "z").unwrap();
+
+    let outcome = repair(&n, &RepairOptions::new()).unwrap();
+    let plan = &outcome.plan;
+    assert!(plan.counters.accepted >= 1, "{}", plan.to_json());
+    assert!(plan.improved());
+    let accepted: Vec<_> = plan.accepted().collect();
+    assert!(
+        accepted.iter().any(|r| r.edit.kind() == "fold"),
+        "folding beats spending a pin on dead logic"
+    );
+    for r in &accepted {
+        assert_eq!(r.hardware, 0.0, "dead-logic removal costs nothing");
+    }
+    // No extra pins were spent.
+    assert_eq!(
+        outcome.netlist.primary_outputs().len(),
+        n.primary_outputs().len()
+    );
+}
+
+/// The observe-point path: logic that is easy to control but starved of
+/// observability (a propagation choke) earns a test-point tap that the
+/// economics accept because it rescues many otherwise-undetected faults
+/// for one pin.
+#[test]
+fn starved_observability_earns_an_observe_point() {
+    let mut n = Netlist::new("starved");
+    // An 8-input XOR tree: every node is easy to control...
+    let leaves: Vec<_> = (0..8).map(|i| n.add_input(format!("d{i}"))).collect();
+    let mut level = leaves;
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|p| n.add_gate(GateKind::Xor, &[p[0], p[1]]).unwrap())
+            .collect();
+    }
+    let buried = level[0];
+    // ...but starved of observability: propagating its value to the
+    // output needs ten simultaneous 1s on the mask inputs, which random
+    // patterns almost never supply.
+    let mut choke = buried;
+    for i in 0..10 {
+        let m = n.add_input(format!("m{i}"));
+        choke = n.add_gate(GateKind::And, &[choke, m]).unwrap();
+    }
+    n.mark_output(choke, "y").unwrap();
+
+    let config = LintConfig {
+        observability_limit: 8,
+        ..LintConfig::default()
+    };
+    let opts = RepairOptions::new().with_lint_config(config);
+    let outcome = repair(&n, &opts).unwrap();
+    let plan = &outcome.plan;
+    assert!(plan.counters.accepted >= 1, "{}", plan.to_json());
+    assert!(plan.improved());
+    let kinds: Vec<&str> = plan.accepted().map(|r| r.edit.kind()).collect();
+    assert!(
+        kinds.contains(&"observe"),
+        "an observe point is among the accepted repairs: {kinds:?}"
+    );
+    // The repaired netlist gained at least one test-point output.
+    assert!(outcome.netlist.primary_outputs().len() > n.primary_outputs().len());
+}
+
+/// `max_rounds` and lint thresholds are honored: zero rounds means the
+/// input is returned untouched with a baseline-only plan.
+#[test]
+fn zero_rounds_only_measures_the_baseline() {
+    let n = redundant_fixture();
+    let opts = RepairOptions::new()
+        .with_max_rounds(0)
+        .with_lint_config(LintConfig::default());
+    let outcome = repair(&n, &opts).unwrap();
+    assert_eq!(outcome.plan.counters.expanded, 0);
+    assert_eq!(outcome.plan.counters.accepted, 0);
+    assert!(!outcome.plan.improved());
+    assert_eq!(outcome.netlist.gate_count(), n.gate_count());
+}

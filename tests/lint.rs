@@ -111,6 +111,7 @@ fn seeded_violations_are_all_detected() {
         controllability_limit: 5,
         observability_limit: 5,
         max_fanout: 1,
+        ..LintConfig::default()
     };
     let report = lint_with(&ripple_carry_adder(16), tight);
     for rule in [
