@@ -31,6 +31,13 @@ pub fn merge_cubes(cubes: &[TestCube]) -> Vec<TestCube> {
     merged
 }
 
+/// Patterns graded per reverse-drop window: 4 blocks of 64, the point
+/// where [`Ppsfp`]'s `LaneWidth::Auto` switches to 256-lane wide words,
+/// so one baseline sweep and one event propagation per fault grade the
+/// whole window. The greedy result is window-size-invariant (see
+/// [`reverse_order_drop`]).
+const DROP_WINDOW: usize = 256;
+
 /// Reverse-order pattern dropping: fault-simulate the set in reverse and
 /// keep only patterns that detect a not-yet-detected fault.
 ///
@@ -38,16 +45,16 @@ pub fn merge_cubes(cubes: &[TestCube]) -> Vec<TestCube> {
 /// faults and incidentally cover the easy ones, so reversing maximizes
 /// the drop count.
 ///
-/// Implementation: the set is walked in reverse 64-pattern *windows*,
-/// each packed (newest pattern in lane 0) and graded in one
-/// [`Ppsfp`] pass over the still-undetected faults. A fault's
-/// first-detecting lane is exactly the latest pattern in the window that
-/// detects it, and the greedy reverse pass keeps a pattern iff some
-/// surviving fault has its latest detection there — so one dropping
-/// fault-sim pass per window reproduces the pattern-at-a-time greedy
-/// result exactly, turning the old O(patterns × full-set sims) loop into
-/// O(patterns / 64) cone-restricted passes with cross-window fault
-/// dropping.
+/// Implementation: the set is walked in reverse *windows* of 256
+/// patterns, each packed (newest pattern in lane 0) and
+/// graded in one [`Ppsfp`] pass over the still-undetected faults. A
+/// fault's first-detecting lane is exactly the latest pattern in the
+/// window that detects it, and the greedy reverse pass keeps a pattern
+/// iff some surviving fault has its latest detection there — so one
+/// dropping fault-sim pass per window reproduces the pattern-at-a-time
+/// greedy result exactly (for *any* window size), turning the old
+/// O(patterns × full-set sims) loop into O(patterns / window)
+/// cone-restricted passes with cross-window fault dropping.
 ///
 /// # Errors
 ///
@@ -70,24 +77,24 @@ pub fn reverse_order_drop(
     let mut kept: Vec<usize> = Vec::new();
     let mut end = patterns.len();
     while end > 0 && !live.is_empty() {
-        let start = end.saturating_sub(64);
+        let start = end.saturating_sub(DROP_WINDOW);
         // Lane l of the window is pattern end-1-l: reverse order, so a
         // fault's first-detecting lane is its latest detecting pattern.
         let window: Vec<Vec<bool>> = (start..end).rev().map(|p| patterns.get(p)).collect();
         let set = PatternSet::from_rows(n_pi, &window);
         let r = engine.run(&set, &live);
-        let mut kept_lanes = 0u64;
+        let mut keep_lane = vec![false; end - start];
         let mut still = Vec::with_capacity(live.len());
         for (i, d) in r.first_detected.iter().enumerate() {
             match d {
-                Some(lane) => kept_lanes |= 1u64 << lane,
+                Some(lane) => keep_lane[*lane] = true,
                 None => still.push(live[i]),
             }
         }
-        while kept_lanes != 0 {
-            let lane = kept_lanes.trailing_zeros() as usize;
-            kept.push(end - 1 - lane);
-            kept_lanes &= kept_lanes - 1;
+        for (lane, keep) in keep_lane.iter().enumerate() {
+            if *keep {
+                kept.push(end - 1 - lane);
+            }
         }
         live = still;
         end = start;

@@ -174,6 +174,12 @@ impl<'n> DetDriver<'n> {
                     obs.as_option(),
                 )
             });
+        // The inter-batch sets are at most one 64-pattern block (one
+        // batch of merged cubes), so the engine's `LaneWidth::Auto`
+        // keeps the narrow 64-lane path here — wide blocks would only
+        // pad empty tail words. The wide paths engage where the ATPG
+        // flow has real pattern volume: the random phase's 256-pattern
+        // chunks and compaction's 256-pattern reverse windows.
         let dropper = if config.collateral_dropping {
             Some(Ppsfp::new(netlist)?)
         } else {

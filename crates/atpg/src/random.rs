@@ -32,8 +32,10 @@ impl RandomAtpgOutcome {
 /// Applies up to `budget` uniform random patterns (with fault dropping),
 /// stopping early once `target_coverage` is reached.
 ///
-/// Patterns are generated in 64-pattern chunks, so a few more than the
-/// exact stopping point may be applied. Deterministic in `seed`.
+/// Patterns are generated in wide 256-pattern chunks, so when
+/// stopping at a partial coverage target a few more than the exact
+/// stopping point may be applied; a run that detects *every* fault is
+/// trimmed to the last useful pattern. Deterministic in `seed`.
 ///
 /// # Errors
 ///
@@ -48,6 +50,15 @@ pub fn random_atpg(
     let weights = vec![0.5; netlist.primary_inputs().len()];
     weighted_random_atpg(netlist, faults, &weights, budget, target_coverage, seed)
 }
+
+/// Patterns graded per engine call during random generation: 4 blocks
+/// of 64, exactly the point where [`Ppsfp`]'s `LaneWidth::Auto` switches
+/// to 256-lane wide words — one levelized baseline sweep and one event
+/// propagation per fault then cover the whole chunk. First detections
+/// are independent of the chunk size (the engine reports the global
+/// first within the set); only the coverage-target check granularity
+/// changes.
+const RANDOM_CHUNK: usize = 256;
 
 /// Weighted-random generation (the paper's reference \[95\]): input *i* is
 /// driven to 1 with probability `weights[i]`.
@@ -77,7 +88,7 @@ pub fn weighted_random_atpg(
     let engine = Ppsfp::new(netlist)?;
 
     while applied.len() < budget && !live.is_empty() {
-        let chunk = 64.min(budget - applied.len());
+        let chunk = RANDOM_CHUNK.min(budget - applied.len());
         let base = applied.len();
         let batch = PatternSet::weighted_random(weights, chunk, &mut rng);
         let live_faults: Vec<Fault> = live.iter().map(|&i| faults[i]).collect();
@@ -94,6 +105,17 @@ pub fn weighted_random_atpg(
         let covered = (faults.len() - live.len()) as f64 / faults.len().max(1) as f64;
         if covered >= target_coverage {
             break;
+        }
+    }
+
+    // Full coverage: everything past the last first-detection is dead
+    // weight from the wide chunk — trim it so a fast-falling circuit
+    // isn't padded out to the chunk boundary.
+    if live.is_empty() && !faults.is_empty() {
+        let useful = first_detected.iter().flatten().max().map_or(0, |&p| p + 1);
+        if useful < applied.len() {
+            let rows: Vec<Vec<bool>> = (0..useful).map(|p| applied.get(p)).collect();
+            applied = PatternSet::from_rows(weights.len(), &rows);
         }
     }
 

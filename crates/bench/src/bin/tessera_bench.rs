@@ -23,6 +23,7 @@
 //! ```text
 //! tessera-bench [--quick] [--out PATH] [--atpg-out PATH] [--threads N]
 //!               [--report PATH] [--atpg-baseline PATH]
+//!               [--fault-sim-baseline PATH]
 //! ```
 //!
 //! `--quick` restricts the rosters to the small circuits (the CI smoke
@@ -35,6 +36,11 @@
 //! compares this run's per-circuit ATPG flow results against a committed
 //! `BENCH_atpg.json` and exits nonzero if any circuit's pattern count
 //! rose or coverage dropped beyond a small tolerance.
+//! `--fault-sim-baseline PATH` does the same for the fault-sim table
+//! against a committed `BENCH_fault_sim.json`: exit 1 if any engine's
+//! detected count changed on a shared (circuit, engine) record, if the
+//! engines stopped agreeing, or if a non-trivially-timed record's
+//! `fault_patterns_per_sec` fell below half its baseline value.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -61,6 +67,7 @@ struct Config {
     threads: usize,
     report: Option<String>,
     atpg_baseline: Option<String>,
+    fault_sim_baseline: Option<String>,
 }
 
 fn parse_args() -> Config {
@@ -71,6 +78,7 @@ fn parse_args() -> Config {
         threads: 0,
         report: None,
         atpg_baseline: None,
+        fault_sim_baseline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -89,9 +97,13 @@ fn parse_args() -> Config {
             "--atpg-baseline" => {
                 cfg.atpg_baseline = Some(args.next().expect("--atpg-baseline requires a path"))
             }
+            "--fault-sim-baseline" => {
+                cfg.fault_sim_baseline =
+                    Some(args.next().expect("--fault-sim-baseline requires a path"))
+            }
             other => panic!(
                 "unknown flag {other} (expected --quick, --out PATH, --atpg-out PATH, \
-                 --threads N, --report PATH, --atpg-baseline PATH)"
+                 --threads N, --report PATH, --atpg-baseline PATH, --fault-sim-baseline PATH)"
             ),
         }
     }
@@ -106,6 +118,11 @@ struct Workload {
     /// Deductive simulation is O(patterns × gates × fanin × list size)
     /// with no dropping; it is skipped where it would dominate runtime.
     run_deductive: bool,
+    /// Run the full-work baselines (`serial_nodrop`, `parallel_fault`)
+    /// too. Off for the largest rung, where each would add tens of
+    /// seconds of O(faults × patterns × gates) measurement without
+    /// informing the headline serial-vs-PPSFP comparison.
+    run_slow_baselines: bool,
 }
 
 fn roster(quick: bool) -> Vec<Workload> {
@@ -115,12 +132,14 @@ fn roster(quick: bool) -> Vec<Workload> {
             netlist: c17(),
             patterns: exhaustive_patterns(5),
             run_deductive: true,
+            run_slow_baselines: true,
         },
         Workload {
             name: "rand_16x300",
             netlist: random_combinational(16, 300, 5),
             patterns: random_patterns(16, 256, 3),
             run_deductive: true,
+            run_slow_baselines: true,
         },
     ];
     if !quick {
@@ -129,12 +148,21 @@ fn roster(quick: bool) -> Vec<Workload> {
             netlist: random_combinational(20, 800, 6),
             patterns: random_patterns(20, 512, 4),
             run_deductive: false,
+            run_slow_baselines: true,
         });
         r.push(Workload {
             name: "rand_24x2000",
             netlist: random_combinational(24, 2000, 7),
             patterns: random_patterns(24, 1024, 5),
             run_deductive: false,
+            run_slow_baselines: true,
+        });
+        r.push(Workload {
+            name: "rand_28x6000",
+            netlist: random_combinational(28, 6000, 8),
+            patterns: random_patterns(28, 1024, 6),
+            run_deductive: false,
+            run_slow_baselines: false,
         });
     }
     r
@@ -151,6 +179,8 @@ struct Record {
     gates: usize,
     faults: usize,
     patterns: usize,
+    /// 64-lane pattern blocks in the workload's set.
+    blocks: usize,
     seconds: f64,
     detected: usize,
 }
@@ -162,6 +192,21 @@ impl Record {
 
     fn fault_patterns_per_sec(&self) -> f64 {
         (self.faults as f64 * self.patterns as f64) / self.seconds
+    }
+
+    /// Good-machine-equivalent gate evaluations per second: one full
+    /// levelized sweep evaluates `gates × patterns` gate-lanes, so this
+    /// normalizes throughput across circuit sizes.
+    fn gates_per_sec(&self) -> f64 {
+        (self.gates as f64 * self.patterns as f64) / self.seconds
+    }
+
+    /// Packed response bytes per gate slot for the whole pattern set
+    /// (8 bytes per 64-lane block) — the per-gate working set a full
+    /// sweep streams, and the quantity the cache-blocked level bands
+    /// tile against L1.
+    fn bytes_per_gate(&self) -> usize {
+        8 * self.blocks
     }
 }
 
@@ -200,8 +245,11 @@ fn main() {
 
     for w in roster(cfg.quick) {
         let faults = universe(&w.netlist);
-        let mut engines: Vec<&dyn FaultSimEngine> =
-            vec![&serial, &serial_nodrop, &ParallelFaultEngine];
+        let mut engines: Vec<&dyn FaultSimEngine> = vec![&serial];
+        if w.run_slow_baselines {
+            engines.push(&serial_nodrop);
+            engines.push(&ParallelFaultEngine);
+        }
         if w.run_deductive {
             engines.push(&DeductiveEngine);
         }
@@ -236,6 +284,7 @@ fn main() {
                 gates: w.netlist.gate_count(),
                 faults: faults.len(),
                 patterns: w.patterns.len(),
+                blocks: w.patterns.block_count(),
                 seconds: secs,
                 detected: result.detected_count(),
             });
@@ -254,6 +303,8 @@ fn main() {
                 format!("{:.4}", r.seconds),
                 eng(r.patterns_per_sec()),
                 eng(r.fault_patterns_per_sec()),
+                eng(r.gates_per_sec()),
+                r.bytes_per_gate().to_string(),
                 r.detected.to_string(),
             ]
         })
@@ -262,7 +313,7 @@ fn main() {
         "fault-simulation engine throughput",
         &[
             "circuit", "engine", "gates", "faults", "patterns", "seconds", "pat/s", "f*pat/s",
-            "detected",
+            "gate/s", "B/gate", "detected",
         ],
         &rows,
     );
@@ -388,6 +439,72 @@ fn main() {
     if let Some(path) = &cfg.atpg_baseline {
         check_atpg_baseline(path, &scaling);
     }
+
+    if let Some(path) = &cfg.fault_sim_baseline {
+        check_fault_sim_baseline(path, &records, all_agree);
+    }
+}
+
+/// Fails the run (exit 1) against a committed `BENCH_fault_sim.json` if
+/// the engines stopped agreeing, if any shared (circuit, engine)
+/// record's detected count changed (the detected *set* is a pure
+/// function of circuit + patterns, both seed-fixed, so any drift is a
+/// semantic regression), or if such a record's `fault_patterns_per_sec`
+/// fell below half its baseline (throughput cliff). The throughput
+/// check only applies where the baseline measured ≥ 10 ms — below that
+/// the numbers are timer noise. Records absent from the baseline (new
+/// rungs, `--quick` subsets) are skipped.
+fn check_fault_sim_baseline(path: &str, records: &[Record], all_agree: bool) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read fault-sim baseline {path}: {e}"));
+    let mut failed = false;
+    if !all_agree {
+        eprintln!("BASELINE REGRESSION: detected fault sets disagree across engines");
+        failed = true;
+    }
+    for r in records {
+        let needle = format!(
+            "\"circuit\": \"{}\", \"engine\": \"{}\"",
+            r.circuit, r.engine
+        );
+        let Some(at) = text.find(&needle) else {
+            println!(
+                "fault-sim baseline gate: {}/{} not in baseline, skipped",
+                r.circuit, r.engine
+            );
+            continue;
+        };
+        let base_detected: usize = extract_after(&text, at, "\"detected\":")
+            .and_then(|v| v.parse().ok())
+            .expect("baseline record has detected");
+        let base_seconds: f64 = extract_after(&text, at, "\"seconds\":")
+            .and_then(|v| v.parse().ok())
+            .expect("baseline record has seconds");
+        let base_fps: f64 = extract_after(&text, at, "\"fault_patterns_per_sec\":")
+            .and_then(|v| v.parse().ok())
+            .expect("baseline record has fault_patterns_per_sec");
+        if r.detected != base_detected {
+            eprintln!(
+                "BASELINE REGRESSION: {}/{} detected {} != baseline {}",
+                r.circuit, r.engine, r.detected, base_detected
+            );
+            failed = true;
+        }
+        if base_seconds >= 0.01 && r.fault_patterns_per_sec() < 0.5 * base_fps {
+            eprintln!(
+                "BASELINE REGRESSION: {}/{} fault_patterns_per_sec {:.0} < half of baseline {:.0}",
+                r.circuit,
+                r.engine,
+                r.fault_patterns_per_sec(),
+                base_fps
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("fault-sim baseline gate passed against {path}");
 }
 
 /// One roster circuit's full-flow result under the threaded driver
@@ -852,7 +969,8 @@ fn to_json(
             s,
             "    {{\"circuit\": \"{}\", \"engine\": \"{}\", \"gates\": {}, \"faults\": {}, \
              \"patterns\": {}, \"seconds\": {:.6}, \"patterns_per_sec\": {:.1}, \
-             \"fault_patterns_per_sec\": {:.1}, \"detected\": {}}}{}",
+             \"fault_patterns_per_sec\": {:.1}, \"gates_per_sec\": {:.1}, \
+             \"bytes_per_gate\": {}, \"detected\": {}}}{}",
             r.circuit,
             r.engine,
             r.gates,
@@ -861,6 +979,8 @@ fn to_json(
             r.seconds,
             r.patterns_per_sec(),
             r.fault_patterns_per_sec(),
+            r.gates_per_sec(),
+            r.bytes_per_gate(),
             r.detected,
             if i + 1 == records.len() { "" } else { "," }
         );

@@ -6,14 +6,20 @@
 //! over the whole roster (see [`engines`]). The engines and their
 //! trade-offs:
 //!
-//! | engine | algorithm | word packing | dropping | threads |
-//! |---|---|---|---|---|
-//! | [`SerialEngine`] | fault-serial, pattern-parallel full re-evaluation | 64 patterns/word | optional | 1 |
-//! | [`ParallelFaultEngine`] | good machine + 63 faulty machines per word | 63 faults/word | yes | 1 |
-//! | [`DeductiveEngine`] | fault-list propagation (Armstrong) | none (set algebra) | n/a | 1 |
-//! | [`SequentialEngine`] | 3-valued cycle-serial, fault-serial | none | yes | 1 |
-//! | [`ConcurrentEngine`] | diverged-machine-only re-simulation | none | yes | 1 |
-//! | [`PpsfpEngine`] | cone-restricted event diff vs. compiled baseline | 64 patterns/word | optional | N |
+//! | engine | algorithm | word packing | lane width | dropping | threads |
+//! |---|---|---|---|---|---|
+//! | [`SerialEngine`] | fault-serial, pattern-parallel full re-evaluation | wide pattern words | 64 (default) / 256 / 512 via [`SerialOptions::lane_width`] | optional | 1 |
+//! | [`ParallelFaultEngine`] | good machine + 63 faulty machines per word | 63 faults/word | 64 | yes | 1 |
+//! | [`DeductiveEngine`] | fault-list propagation (Armstrong) | none (set algebra) | n/a | n/a | 1 |
+//! | [`SequentialEngine`] | 3-valued cycle-serial, fault-serial | none | n/a | yes | 1 |
+//! | [`ConcurrentEngine`] | diverged-machine-only re-simulation | none | n/a | yes | 1 |
+//! | [`PpsfpEngine`] | cone-restricted event diff vs. compiled baseline | wide pattern words | auto (default) / 64 / 256 / 512 via [`PpsfpOptions::lane_width`] | optional | N |
+//!
+//! The two wide engines share [`dft_sim::LaneWidth`]: a wide block
+//! `[u64; W]` carries `64 × W` pattern lanes through one levelized walk
+//! (or one event propagation), and every width produces bit-identical
+//! detection results — the knob trades per-op dispatch overhead against
+//! wasted tail-lane work.
 //!
 //! The two sequential engines interpret the pattern set as a cycle
 //! *sequence* from an all-X start; on purely combinational netlists (no

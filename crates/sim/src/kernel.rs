@@ -13,6 +13,8 @@
 //! order evaluates each gate after all of its in-subset drivers. The
 //! cone-restricted fault engines rely on exactly this property.
 
+use std::ops::Range;
+
 use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
 
 use crate::word;
@@ -203,6 +205,174 @@ impl Kernel {
         self.eval_into(&mut vals);
         vals
     }
+
+    /// Evaluates op `i` over wide blocks with operands supplied by `read`
+    /// (slot → `[u64; W]`): the lane-width-parametric twin of
+    /// [`Kernel::eval_op_with`], used by the wide fault engines' overlay
+    /// reads.
+    #[inline]
+    #[must_use]
+    pub fn eval_op_wide_with<const W: usize>(
+        &self,
+        i: usize,
+        mut read: impl FnMut(u32) -> [u64; W],
+    ) -> [u64; W] {
+        word::fold_wide(self.kinds[i], self.op_args(i).iter().map(|&a| read(a)))
+    }
+
+    /// Writes the constant-source wide blocks into `vals` (the wide twin
+    /// of [`Kernel::init_constants`]).
+    pub fn init_constants_wide<const W: usize>(&self, vals: &mut [[u64; W]]) {
+        for &slot in &self.const1_slots {
+            vals[slot as usize] = [u64::MAX; W];
+        }
+    }
+
+    /// Runs ops `range` over wide-block `vals` in place, assuming every
+    /// slot an in-range op reads is already valid — either a source slot
+    /// or the destination of an earlier op. Calling this with consecutive
+    /// ranges covering `0..op_count` is equivalent to one
+    /// [`Kernel::eval_into_wide`] sweep; the cache-blocked drivers use
+    /// exactly that decomposition (see [`Kernel::level_bands`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals.len() != gate_count` or `range` is out of bounds.
+    pub fn eval_range_wide<const W: usize>(&self, range: Range<usize>, vals: &mut [[u64; W]]) {
+        assert_eq!(vals.len(), self.gate_count, "value array width mismatch");
+        assert!(range.end <= self.kinds.len(), "op range out of bounds");
+        for i in range {
+            let block = self.eval_op_wide_with(i, |a| vals[a as usize]);
+            vals[self.dst[i] as usize] = block;
+        }
+    }
+
+    /// Runs the whole program over wide-block `vals` in place: the
+    /// `[u64; W]` twin of [`Kernel::eval_into`]. Source slots must
+    /// already hold their blocks; every other slot is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals.len() != gate_count`.
+    pub fn eval_into_wide<const W: usize>(&self, vals: &mut [[u64; W]]) {
+        self.eval_range_wide(0..self.kinds.len(), vals);
+    }
+
+    /// Evaluates one packed wide block (`64 × W` patterns) with storage
+    /// held at 0, returning a freshly allocated value array. The `W = 1`
+    /// instantiation matches [`Kernel::eval_block`] word-for-word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_blocks.len()` disagrees with the primary input count.
+    #[must_use]
+    pub fn eval_block_wide<const W: usize>(&self, pi_blocks: &[[u64; W]]) -> Vec<[u64; W]> {
+        assert_eq!(
+            pi_blocks.len(),
+            self.pi_slots.len(),
+            "pattern width must match primary input count"
+        );
+        let mut vals = vec![[0u64; W]; self.gate_count];
+        self.init_constants_wide(&mut vals);
+        for (&slot, &b) in self.pi_slots.iter().zip(pi_blocks) {
+            vals[slot as usize] = b;
+        }
+        self.eval_into_wide(&mut vals);
+        vals
+    }
+
+    /// Default per-band working-set budget in bytes, sized to leave a
+    /// comfortable share of a typical 32 KiB L1d for the band's op
+    /// metadata and the pattern blocks being swept.
+    pub const BAND_BYTES: usize = 16 * 1024;
+
+    /// [`Kernel::level_bands`] with the slot budget derived from
+    /// [`Kernel::BAND_BYTES`] for wide blocks of `words` × `u64` (never
+    /// fewer than 32 slots per band, so tiny budgets cannot degenerate
+    /// into per-op bands).
+    #[must_use]
+    pub fn level_bands_for_width(&self, words: usize) -> Vec<Range<usize>> {
+        self.level_bands((Self::BAND_BYTES / (8 * words.max(1))).max(32))
+    }
+
+    /// Partitions the op stream into contiguous *bands* whose slot
+    /// working sets stay within `max_slots` distinct slots (destinations
+    /// plus operands), for cache-blocked sweeps: evaluating one band
+    /// across many pattern blocks back-to-back keeps both the band's op
+    /// metadata and its value slots hot instead of streaming the whole
+    /// netlist's state through cache once per block.
+    ///
+    /// Bands preserve op order, so replaying every band in sequence is a
+    /// full levelized sweep; a band always contains at least one op even
+    /// if that op alone exceeds the budget.
+    #[must_use]
+    pub fn level_bands(&self, max_slots: usize) -> Vec<Range<usize>> {
+        let mut bands = Vec::new();
+        let mut start = 0usize;
+        // Epoch-stamped membership test: slot_seen[s] == epoch means slot
+        // s is already counted in the current band.
+        let mut slot_seen = vec![0u32; self.gate_count];
+        let mut epoch = 0u32;
+        let mut band_slots = 0usize;
+        for i in 0..self.kinds.len() {
+            let mut op_new = 0usize;
+            let dst = self.dst[i] as usize;
+            if slot_seen[dst] != epoch + 1 {
+                op_new += 1;
+            }
+            for &a in self.op_args(i) {
+                if slot_seen[a as usize] != epoch + 1 {
+                    op_new += 1;
+                }
+            }
+            if band_slots + op_new > max_slots && i > start {
+                bands.push(start..i);
+                start = i;
+                epoch += 1;
+                band_slots = 0;
+            }
+            // (Re)count this op's slots against the current band.
+            if slot_seen[dst] != epoch + 1 {
+                slot_seen[dst] = epoch + 1;
+                band_slots += 1;
+            }
+            for &a in self.op_args(i) {
+                if slot_seen[a as usize] != epoch + 1 {
+                    slot_seen[a as usize] = epoch + 1;
+                    band_slots += 1;
+                }
+            }
+        }
+        if start < self.kinds.len() {
+            bands.push(start..self.kinds.len());
+        }
+        bands
+    }
+
+    /// Evaluates many wide pattern blocks band-major: for each level band
+    /// (see [`Kernel::level_bands`]), sweep that band across *all* blocks
+    /// before moving on. Each entry of `blocks` is a full value array
+    /// (`gate_count` wide slots) with sources already loaded; on return it
+    /// holds the fully evaluated values, identical to calling
+    /// [`Kernel::eval_into_wide`] per block.
+    ///
+    /// `bands` must come from [`Kernel::level_bands`] on this kernel (or
+    /// otherwise tile `0..op_count` in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block's length differs from `gate_count`.
+    pub fn eval_blocks_banded<const W: usize>(
+        &self,
+        bands: &[Range<usize>],
+        blocks: &mut [Vec<[u64; W]>],
+    ) {
+        for band in bands {
+            for vals in blocks.iter_mut() {
+                self.eval_range_wide(band.clone(), vals);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +429,59 @@ mod tests {
             assert_eq!(k.op_of_gate(pi), None);
         }
         assert_eq!(k.op_count(), 6);
+    }
+
+    #[test]
+    fn wide_block_matches_per_word_blocks() {
+        let n = random_combinational(12, 200, 3);
+        let k = Kernel::new(&n).unwrap();
+        // Four distinct 64-lane input blocks, evaluated once as a single
+        // 256-lane wide block and once word-by-word.
+        let pi_blocks: Vec<[u64; 4]> = (0..12u32)
+            .map(|i| {
+                [
+                    0x0123_4567_89AB_CDEFu64.rotate_left(i),
+                    0xFEDC_BA98_7654_3210u64.rotate_right(i),
+                    u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    !u64::from(i),
+                ]
+            })
+            .collect();
+        let wide = k.eval_block_wide::<4>(&pi_blocks);
+        for w in 0..4 {
+            let pi: Vec<u64> = pi_blocks.iter().map(|b| b[w]).collect();
+            let narrow = k.eval_block(&pi);
+            for (slot, &v) in narrow.iter().enumerate() {
+                assert_eq!(wide[slot][w], v, "slot {slot} word {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn banded_eval_matches_full_sweep() {
+        let n = random_combinational(12, 300, 9);
+        let k = Kernel::new(&n).unwrap();
+        let pi_blocks: Vec<[u64; 4]> = (0..12u32)
+            .map(|i| [u64::from(i) * 3, !(u64::from(i) << 7), 0xAAAA, u64::MAX])
+            .collect();
+        let reference = k.eval_block_wide::<4>(&pi_blocks);
+        // Absurdly small budget forces many bands; results must not change.
+        for budget in [1, 7, 64, 100_000] {
+            let bands = k.level_bands(budget);
+            assert_eq!(bands.last().unwrap().end, k.op_count());
+            assert_eq!(bands[0].start, 0);
+            for pair in bands.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "bands must tile the op stream");
+            }
+            let mut vals = vec![[0u64; 4]; k.gate_count()];
+            k.init_constants_wide(&mut vals);
+            for (&slot, &b) in k.pi_slots().iter().zip(&pi_blocks) {
+                vals[slot as usize] = b;
+            }
+            let mut blocks = vec![vals];
+            k.eval_blocks_banded(&bands, &mut blocks);
+            assert_eq!(blocks[0], reference, "budget {budget}");
+        }
     }
 
     #[test]

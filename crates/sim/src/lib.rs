@@ -59,3 +59,4 @@ pub use pattern::PatternSet;
 pub use sequential::SequentialSim;
 pub use threeval::ThreeValueSim;
 pub use value::Logic;
+pub use word::LaneWidth;
