@@ -17,6 +17,8 @@
 //! * [`bed_of_nails`] — in-circuit testing with per-group resolution
 //!   (Fig. 5) versus edge-connector ambiguity.
 
+#![forbid(unsafe_code)]
+
 pub mod bed_of_nails;
 pub mod bus;
 pub mod degating;

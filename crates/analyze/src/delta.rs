@@ -1,0 +1,90 @@
+//! The ECO edit vocabulary: single-gate netlist deltas.
+//!
+//! A [`NetlistDelta`] describes one structural edit in terms of the
+//! shared arena — the four primitives every engineering-change-order
+//! flow composes. [`crate::AnalysisCache::apply`] validates a delta
+//! (including the would-this-create-a-combinational-cycle check the raw
+//! `Netlist` primitives deliberately skip), performs it, re-levelizes
+//! the affected cone incrementally and marks the dirty region for every
+//! cached analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use dft_netlist::{GateId, GateKind, NetlistError};
+
+/// One structural edit against the current netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistDelta {
+    /// Append a new gate driven by existing nets (cannot create cycles;
+    /// the new net starts unread and unobserved).
+    AddGate {
+        /// Kind of the new gate (sources other than `Dff` are rejected
+        /// by the arena's fan-in rules where applicable).
+        kind: GateKind,
+        /// Existing driver nets.
+        inputs: Vec<GateId>,
+    },
+    /// Fold a logic gate to a tied constant, dropping its input edges
+    /// (the redundancy-removal primitive; readers keep the net).
+    RemoveGate {
+        /// The gate to fold away.
+        gate: GateId,
+        /// The constant the net is tied to.
+        value: bool,
+    },
+    /// Redirect one input pin of an existing gate to a new driver.
+    Rewire {
+        /// The reading gate.
+        gate: GateId,
+        /// Its input pin.
+        pin: usize,
+        /// The new driver net.
+        new_src: GateId,
+    },
+    /// Replace a logic gate in place: new kind and input list, same id.
+    ReplaceGate {
+        /// The gate to replace.
+        gate: GateId,
+        /// The replacement kind (combinational logic only).
+        kind: GateKind,
+        /// The replacement drivers.
+        inputs: Vec<GateId>,
+    },
+}
+
+/// Why a delta was rejected. Rejected deltas leave the cache (and its
+/// netlist) untouched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The underlying arena operation refused the edit (unknown ids,
+    /// bad fan-in, source/storage target, pin out of range).
+    Netlist(NetlistError),
+    /// The edit would close a combinational cycle.
+    WouldCycle {
+        /// The gate whose input list would close the loop.
+        gate: GateId,
+        /// The new driver reachable from `gate` through the frame.
+        through: GateId,
+    },
+}
+
+impl From<NetlistError> for DeltaError {
+    fn from(e: NetlistError) -> Self {
+        DeltaError::Netlist(e)
+    }
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Netlist(e) => write!(f, "{e}"),
+            DeltaError::WouldCycle { gate, through } => write!(
+                f,
+                "rewiring {gate} to read {through} would close a combinational cycle"
+            ),
+        }
+    }
+}
+
+impl Error for DeltaError {}

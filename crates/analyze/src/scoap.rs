@@ -1,0 +1,281 @@
+//! SCOAP controllability/observability as framework analyses.
+//!
+//! This is the algorithm from `dft-testability` ported onto the
+//! [`Analysis`] trait: [`Controllability`] is the forward CC0/CC1 pass,
+//! [`Observability`] the backward CO pass (it borrows the finished CC
+//! arrays, since side-input costs enter the pin formulas). The legacy
+//! `dft_testability::analyze` entry point is now a thin wrapper over
+//! [`compute`], and the golden c17 test plus the cross-crate
+//! equivalence tests pin the port bit-for-bit.
+
+use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
+
+use crate::solver::{output_mask, solve_capped, Analysis, Direction, GraphView};
+
+/// Sentinel for "cannot be controlled/observed at all" (for example the
+/// 1-controllability of a constant 0). Saturating arithmetic keeps sums
+/// below it.
+pub const INFINITE: u32 = u32::MAX / 4;
+
+/// Saturating add, capped at [`INFINITE`].
+#[inline]
+#[must_use]
+pub fn sat(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(INFINITE)
+}
+
+/// Sweep cap for the controllability relaxation (storage feedback).
+pub(crate) const CC_SWEEP_CAP: u32 = 64;
+/// Total sweep cap (controllability + observability), legacy-compatible.
+pub(crate) const TOTAL_SWEEP_CAP: u32 = 160;
+
+/// Forward SCOAP controllability: value is `(cc0, cc1)` per net.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Controllability;
+
+impl Analysis for Controllability {
+    type Value = (u32, u32);
+
+    fn name(&self) -> &'static str {
+        "scoap-cc"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn initial(&self) -> Self::Value {
+        (INFINITE, INFINITE)
+    }
+
+    fn transfer(&self, view: &GraphView<'_>, id: GateId, cc: &[Self::Value]) -> Self::Value {
+        let g = view.netlist.gate(id);
+        let cc0 = |s: GateId| cc[s.index()].0;
+        let cc1 = |s: GateId| cc[s.index()].1;
+        match g.kind() {
+            GateKind::Input => (1, 1),
+            GateKind::Const0 => (0, INFINITE),
+            GateKind::Const1 => (INFINITE, 0),
+            GateKind::Buf => {
+                let s = g.inputs()[0];
+                (sat(cc0(s), 1), sat(cc1(s), 1))
+            }
+            GateKind::Not => {
+                let s = g.inputs()[0];
+                (sat(cc1(s), 1), sat(cc0(s), 1))
+            }
+            GateKind::Dff => {
+                // One clock of "distance" on top of steering the input.
+                let s = g.inputs()[0];
+                (sat(cc0(s), 1), sat(cc1(s), 1))
+            }
+            GateKind::And | GateKind::Nand => {
+                let all1 = g.inputs().iter().fold(0u32, |a, &s| sat(a, cc1(s)));
+                let any0 = g.inputs().iter().map(|&s| cc0(s)).min().unwrap_or(INFINITE);
+                let (z0, z1) = (sat(any0, 1), sat(all1, 1));
+                if g.kind() == GateKind::And {
+                    (z0, z1)
+                } else {
+                    (z1, z0)
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let all0 = g.inputs().iter().fold(0u32, |a, &s| sat(a, cc0(s)));
+                let any1 = g.inputs().iter().map(|&s| cc1(s)).min().unwrap_or(INFINITE);
+                let (z1, z0) = (sat(any1, 1), sat(all0, 1));
+                if g.kind() == GateKind::Or {
+                    (z0, z1)
+                } else {
+                    (z1, z0)
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                // DP over parity: cheapest way to reach even/odd parity.
+                let (mut even, mut odd) = (0u32, INFINITE);
+                for &s in g.inputs() {
+                    let (e, o) = (even, odd);
+                    even = sat(e, cc0(s)).min(sat(o, cc1(s)));
+                    odd = sat(e, cc1(s)).min(sat(o, cc0(s)));
+                }
+                let (z0, z1) = (sat(even, 1), sat(odd, 1));
+                if g.kind() == GateKind::Xor {
+                    (z0, z1)
+                } else {
+                    (z1, z0)
+                }
+            }
+        }
+    }
+}
+
+/// Backward SCOAP observability. The value is the CO cost of a net; the
+/// boundary (a primary-output net) costs 0, unread non-output nets stay
+/// [`INFINITE`]. Side-input controllability costs come from the
+/// borrowed CC arrays, which must already be at their fixpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct Observability<'a> {
+    /// Finished `(cc0, cc1)` per net.
+    pub cc: &'a [(u32, u32)],
+}
+
+impl Analysis for Observability<'_> {
+    type Value = u32;
+
+    fn name(&self) -> &'static str {
+        "scoap-co"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn initial(&self) -> Self::Value {
+        INFINITE
+    }
+
+    fn transfer(&self, view: &GraphView<'_>, id: GateId, co: &[Self::Value]) -> Self::Value {
+        let mut best = if view.is_output[id.index()] {
+            0
+        } else {
+            INFINITE
+        };
+        for &(reader, pin) in &view.fanout[id.index()] {
+            let g = view.netlist.gate(reader);
+            let out_co = co[reader.index()];
+            let pin = pin as usize;
+            let cost = match g.kind() {
+                GateKind::Buf | GateKind::Not | GateKind::Dff => sat(out_co, 1),
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let noncontrolling = !g.kind().controlling_value().expect("AND/OR family");
+                    let side: u32 = g
+                        .inputs()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(q, _)| q != pin)
+                        .fold(0u32, |a, (_, &s)| {
+                            let c = if noncontrolling {
+                                self.cc[s.index()].1
+                            } else {
+                                self.cc[s.index()].0
+                            };
+                            sat(a, c)
+                        });
+                    sat(sat(out_co, side), 1)
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    let side: u32 = g
+                        .inputs()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(q, _)| q != pin)
+                        .fold(0u32, |a, (_, &s)| {
+                            sat(a, self.cc[s.index()].0.min(self.cc[s.index()].1))
+                        });
+                    sat(sat(out_co, side), 1)
+                }
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 => continue,
+            };
+            best = best.min(cost);
+        }
+        best
+    }
+}
+
+/// The full SCOAP result over one netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScoapResult {
+    /// `(cc0, cc1)` per net.
+    pub cc: Vec<(u32, u32)>,
+    /// Observability per net.
+    pub co: Vec<u32>,
+    /// Relaxation sweeps used to reach the fixpoint.
+    pub iterations: u32,
+}
+
+impl ScoapResult {
+    /// CC0 of a net.
+    #[must_use]
+    pub fn cc0(&self, net: GateId) -> u32 {
+        self.cc[net.index()].0
+    }
+
+    /// CC1 of a net.
+    #[must_use]
+    pub fn cc1(&self, net: GateId) -> u32 {
+        self.cc[net.index()].1
+    }
+
+    /// CO of a net.
+    #[must_use]
+    pub fn co(&self, net: GateId) -> u32 {
+        self.co[net.index()]
+    }
+
+    /// Combined test difficulty at a net: the cheaper controllability
+    /// plus the observability.
+    #[must_use]
+    pub fn difficulty(&self, net: GateId) -> u32 {
+        let (c0, c1) = self.cc[net.index()];
+        sat(c0.min(c1), self.co[net.index()])
+    }
+}
+
+/// Computes SCOAP measures from scratch via the framework solver.
+///
+/// # Errors
+///
+/// Returns [`LevelizeError`] if the combinational frame has a cycle.
+pub fn compute(netlist: &Netlist) -> Result<ScoapResult, LevelizeError> {
+    let lv = netlist.levelize()?;
+    let n = netlist.gate_count();
+    let level: Vec<u32> = (0..n).map(|i| lv.level(GateId::from_index(i))).collect();
+    let fanout = netlist.fanout_map();
+    let is_output = output_mask(netlist);
+    let view = GraphView {
+        netlist,
+        level: &level,
+        fanout: &fanout,
+        is_output: &is_output,
+    };
+    Ok(compute_with(&view, lv.order()))
+}
+
+/// [`compute`] over a caller-maintained [`GraphView`] and topological
+/// order (the cache path — no re-levelization).
+#[must_use]
+pub fn compute_with(view: &GraphView<'_>, order: &[GateId]) -> ScoapResult {
+    let mut iterations = 0;
+    let cc = solve_capped(&Controllability, view, order, &mut iterations, CC_SWEEP_CAP);
+    let obs = Observability { cc: &cc };
+    let co = solve_capped(&obs, view, order, &mut iterations, TOTAL_SWEEP_CAP);
+    ScoapResult { cc, co, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::circuits::{binary_counter, c17};
+
+    #[test]
+    fn framework_scoap_matches_known_values() {
+        let n = c17();
+        let r = compute(&n).unwrap();
+        for &pi in n.primary_inputs() {
+            assert_eq!(r.cc0(pi), 1);
+            assert_eq!(r.cc1(pi), 1);
+        }
+        for &(g, _) in n.primary_outputs() {
+            assert_eq!(r.co(g), 0);
+        }
+    }
+
+    #[test]
+    fn storage_feedback_converges_under_the_cap() {
+        let n = binary_counter(6);
+        let r = compute(&n).unwrap();
+        assert!(r.iterations < 200);
+        let q0 = n.find_output("q0").unwrap();
+        assert_eq!(r.cc0(q0), INFINITE);
+        assert_eq!(r.cc1(q0), INFINITE);
+    }
+}

@@ -1,0 +1,108 @@
+//! X-propagation: which nets can carry a power-up X that no input
+//! sequence is guaranteed to flush.
+//!
+//! The taint sources are *uninitializable* storage elements — DFFs whose
+//! SCOAP fixpoint says neither state value is ever reachable
+//! (`cc0 = cc1 = INFINITE`, the `q = f(q)`-without-reset pathology the
+//! paper's CLEAR/PRESET argument targets). The analysis pushes a
+//! witness forward through the combinational frame: a net's value is
+//! the smallest-id uninitializable source whose X can reach it, or
+//! `None` if the net is X-free.
+//!
+//! Two facts keep the value graph acyclic (and the incremental path
+//! exact even on sequential designs): the DFF transfer ignores its data
+//! input (a DFF is either a taint source or a taint killer — an
+//! initializable DFF can always be steered to a known value), and nets
+//! proven structurally constant cannot carry X at all.
+
+use dft_netlist::{GateId, GateKind};
+use dft_sim::Logic;
+
+use crate::scoap::INFINITE;
+use crate::solver::{Analysis, Direction, GraphView};
+
+/// The taint value of a net: the minimum-id uninitializable storage
+/// element whose X reaches it, if any.
+pub type XWitness = Option<GateId>;
+
+/// Forward X-taint propagation. Borrows the finished constant and
+/// controllability facts (the cross-analysis inputs that decide which
+/// gates kill taint and which storage sources emit it).
+#[derive(Clone, Copy, Debug)]
+pub struct XProp<'a> {
+    /// Structural constants per net.
+    pub constants: &'a [Logic],
+    /// SCOAP `(cc0, cc1)` per net (decides uninitializability).
+    pub cc: &'a [(u32, u32)],
+}
+
+impl XProp<'_> {
+    /// Whether `id` (a storage element) is a taint source.
+    #[must_use]
+    pub fn is_x_source(&self, id: GateId) -> bool {
+        let (c0, c1) = self.cc[id.index()];
+        c0 >= INFINITE && c1 >= INFINITE
+    }
+}
+
+impl Analysis for XProp<'_> {
+    type Value = XWitness;
+
+    fn name(&self) -> &'static str {
+        "xprop"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn initial(&self) -> Self::Value {
+        None
+    }
+
+    fn transfer(&self, view: &GraphView<'_>, id: GateId, values: &[Self::Value]) -> Self::Value {
+        let gate = view.netlist.gate(id);
+        match gate.kind() {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => None,
+            GateKind::Dff => self.is_x_source(id).then_some(id),
+            _ => {
+                if self.constants[id.index()].is_known() {
+                    return None;
+                }
+                gate.inputs()
+                    .iter()
+                    .filter_map(|&s| values[s.index()])
+                    .min()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::AnalysisCache;
+    use dft_netlist::circuits::{binary_counter, shift_register};
+
+    #[test]
+    fn unresettable_counter_taints_its_increment_logic() {
+        let n = binary_counter(4);
+        let mut cache = AnalysisCache::new(&n).unwrap();
+        let q0 = n.find_output("q0").unwrap();
+        let taint = cache.xprop().to_vec();
+        assert!(taint[q0.index()].is_some(), "counter state is X-tainted");
+        // The taint spreads past the state bits into the next-state logic.
+        assert!(n
+            .iter()
+            .any(|(id, g)| !g.kind().is_storage() && taint[id.index()].is_some()));
+    }
+
+    #[test]
+    fn flushable_shift_register_is_x_free() {
+        let n = shift_register(4);
+        let mut cache = AnalysisCache::new(&n).unwrap();
+        assert!(
+            cache.xprop().iter().all(Option::is_none),
+            "every stage can be steered from the serial input"
+        );
+    }
+}

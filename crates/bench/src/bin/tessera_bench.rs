@@ -20,8 +20,16 @@
 //! and the wall-clock scaling versus the no-collateral-dropping baseline
 //! lands in `BENCH_atpg.json`.
 //!
+//! A third section measures the incremental analysis framework
+//! (`dft-analyze`): per roster circuit it streams single-gate rewire
+//! ECOs through a warmed [`AnalysisCache`], times each apply-plus-resolve
+//! against a from-scratch pass, cross-checks the incrementally-maintained
+//! results bit-for-bit against a fresh cache over the final netlist
+//! (exit 1 on any divergence), and writes `BENCH_analysis.json`.
+//!
 //! ```text
-//! tessera-bench [--quick] [--out PATH] [--atpg-out PATH] [--threads N]
+//! tessera-bench [--quick] [--out PATH] [--atpg-out PATH]
+//!               [--analysis-out PATH] [--threads N]
 //!               [--report PATH] [--atpg-baseline PATH]
 //!               [--fault-sim-baseline PATH]
 //! ```
@@ -45,6 +53,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use dft_analyze::{AnalysisCache, NetlistDelta};
 use dft_atpg::{
     generate_tests, generate_tests_observed, AtpgConfig, DetDriver, Podem, PodemConfig,
 };
@@ -54,7 +63,7 @@ use dft_fault::{
     FaultSimEngine, ParallelFaultEngine, PpsfpEngine, PpsfpOptions, SerialEngine, SerialOptions,
 };
 use dft_netlist::circuits::{c17, random_combinational, redundant_fixture};
-use dft_netlist::Netlist;
+use dft_netlist::{GateId, GateKind, Netlist};
 use dft_obs::{Recorder, RunReport};
 use dft_sim::PatternSet;
 use rand::rngs::StdRng;
@@ -64,6 +73,7 @@ struct Config {
     quick: bool,
     out: String,
     atpg_out: String,
+    analysis_out: String,
     threads: usize,
     report: Option<String>,
     atpg_baseline: Option<String>,
@@ -75,6 +85,7 @@ fn parse_args() -> Config {
         quick: false,
         out: "BENCH_fault_sim.json".to_owned(),
         atpg_out: "BENCH_atpg.json".to_owned(),
+        analysis_out: "BENCH_analysis.json".to_owned(),
         threads: 0,
         report: None,
         atpg_baseline: None,
@@ -86,6 +97,9 @@ fn parse_args() -> Config {
             "--quick" => cfg.quick = true,
             "--out" => cfg.out = args.next().expect("--out requires a path"),
             "--atpg-out" => cfg.atpg_out = args.next().expect("--atpg-out requires a path"),
+            "--analysis-out" => {
+                cfg.analysis_out = args.next().expect("--analysis-out requires a path")
+            }
             "--threads" => {
                 cfg.threads = args
                     .next()
@@ -103,7 +117,8 @@ fn parse_args() -> Config {
             }
             other => panic!(
                 "unknown flag {other} (expected --quick, --out PATH, --atpg-out PATH, \
-                 --threads N, --report PATH, --atpg-baseline PATH, --fault-sim-baseline PATH)"
+                 --analysis-out PATH, --threads N, --report PATH, --atpg-baseline PATH, \
+                 --fault-sim-baseline PATH)"
             ),
         }
     }
@@ -348,6 +363,46 @@ fn main() {
     )
     .expect("write bench JSON");
 
+    let analysis = analysis_bench(cfg.quick);
+    let analysis_rows: Vec<Vec<String>> = analysis
+        .iter()
+        .map(|r| {
+            vec![
+                r.circuit.to_owned(),
+                r.gates.to_string(),
+                r.edits.to_string(),
+                eng(r.full_seconds),
+                eng(r.eco_median_seconds),
+                eng(r.eco_mean_seconds),
+                format!("{:.1}x", r.speedup()),
+                format!("{:.1}x", r.mean_speedup()),
+                r.equivalent.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "incremental analysis: single-gate ECO vs full recompute (scoap+constants+xprop)",
+        &[
+            "circuit",
+            "gates",
+            "edits",
+            "full_s",
+            "eco_p50_s",
+            "eco_mean_s",
+            "speedup",
+            "mean_x",
+            "equivalent",
+        ],
+        &analysis_rows,
+    );
+    if !analysis.iter().all(|r| r.equivalent) {
+        eprintln!("ANALYSIS REGRESSION: incremental results diverged from a from-scratch pass");
+        std::process::exit(1);
+    }
+    println!("\nwriting {}", cfg.analysis_out);
+    std::fs::write(&cfg.analysis_out, analysis_to_json(&analysis, &cfg))
+        .expect("write analysis bench JSON");
+
     let atpg = atpg_bench(cfg.quick);
     let atpg_rows: Vec<Vec<String>> = atpg
         .iter()
@@ -505,6 +560,223 @@ fn check_fault_sim_baseline(path: &str, records: &[Record], all_agree: bool) {
         std::process::exit(1);
     }
     println!("fault-sim baseline gate passed against {path}");
+}
+
+/// One circuit's incremental-analysis (ECO) measurement: mean seconds
+/// for a from-scratch analysis pass (cache build + SCOAP + constants +
+/// X-prop) versus per-edit seconds for single-gate rewires streamed
+/// through [`AnalysisCache::apply`] with the same analyses re-warmed
+/// after each. Per-edit latency is heavy-tailed — most rewires dirty a
+/// small cone, a few near the inputs of a deep circuit cascade through
+/// most of it — so both the median (the typical ECO) and the mean
+/// (amortized cost of the whole stream) are reported; the headline
+/// speedup is the median's.
+struct AnalysisRecord {
+    circuit: &'static str,
+    gates: usize,
+    edits: usize,
+    full_seconds: f64,
+    eco_mean_seconds: f64,
+    eco_median_seconds: f64,
+    /// The incrementally-maintained results matched a from-scratch pass
+    /// over the final (64-edits-later) netlist bit-for-bit.
+    equivalent: bool,
+}
+
+impl AnalysisRecord {
+    fn speedup(&self) -> f64 {
+        self.full_seconds / self.eco_median_seconds.max(1e-12)
+    }
+
+    fn mean_speedup(&self) -> f64 {
+        self.full_seconds / self.eco_mean_seconds.max(1e-12)
+    }
+}
+
+/// splitmix64 — a tiny deterministic generator for the ECO edit stream
+/// (seeded per circuit so the benchmark reproduces bit-for-bit).
+struct EcoRng(u64);
+
+impl EcoRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+fn warm_analyses(cache: &mut AnalysisCache) {
+    cache.scoap();
+    cache.constants();
+    cache.xprop();
+}
+
+/// Picks a random logic gate and rewires one of its pins to a random
+/// gate at a strictly lower level. Levels strictly increase along every
+/// edge, so a downhill rewire can never close a cycle — every generated
+/// ECO applies, keeping the timed stream free of rejected edits. The new
+/// source is drawn from a window a few levels below the gate (falling
+/// back to any lower level when the window is empty), matching how a
+/// real engineering change order patches locally rather than strapping a
+/// deep gate to a primary input.
+fn random_downhill_rewire(cache: &AnalysisCache, rng: &mut EcoRng) -> Option<NetlistDelta> {
+    let n = cache.netlist();
+    let rewirable: Vec<GateId> = n
+        .iter()
+        .filter(|(_, g)| {
+            !g.inputs().is_empty()
+                && matches!(
+                    g.kind(),
+                    GateKind::Buf
+                        | GateKind::Not
+                        | GateKind::And
+                        | GateKind::Or
+                        | GateKind::Nand
+                        | GateKind::Nor
+                        | GateKind::Xor
+                        | GateKind::Xnor
+                )
+        })
+        .map(|(id, _)| id)
+        .collect();
+    if rewirable.is_empty() {
+        return None;
+    }
+    for _ in 0..64 {
+        let gate = rewirable[rng.below(rewirable.len())];
+        let inputs = n.gate(gate).inputs();
+        let pin = rng.below(inputs.len());
+        let level = cache.level(gate);
+        let floor = level.saturating_sub(3);
+        let near: Vec<GateId> = n
+            .ids()
+            .filter(|&s| {
+                let l = cache.level(s);
+                l < level && l >= floor && s != inputs[pin]
+            })
+            .collect();
+        let lower: Vec<GateId> = if near.is_empty() {
+            n.ids()
+                .filter(|&s| cache.level(s) < level && s != inputs[pin])
+                .collect()
+        } else {
+            near
+        };
+        if let Some(&new_src) = lower.get(rng.below(lower.len().max(1))) {
+            return Some(NetlistDelta::Rewire { gate, pin, new_src });
+        }
+    }
+    None
+}
+
+fn analysis_roster(quick: bool) -> Vec<(&'static str, Netlist)> {
+    let mut r = vec![
+        ("c17", c17()),
+        ("rand_16x300", random_combinational(16, 300, 5)),
+    ];
+    if !quick {
+        r.push(("rand_24x2000", random_combinational(24, 2000, 7)));
+        r.push(("rand_28x6000", random_combinational(28, 6000, 8)));
+    }
+    r
+}
+
+fn analysis_bench(quick: bool) -> Vec<AnalysisRecord> {
+    const EDITS: usize = 64;
+    analysis_roster(quick)
+        .into_iter()
+        .map(|(name, n)| {
+            // Full-recompute baseline: mean over several from-scratch
+            // passes of exactly the work an ECO re-warms.
+            let reps = if n.gate_count() >= 1000 { 5 } else { 20 };
+            let t = Instant::now();
+            for _ in 0..reps {
+                let mut fresh = AnalysisCache::new(&n).expect("roster circuits levelize");
+                warm_analyses(&mut fresh);
+            }
+            let full_seconds = t.elapsed().as_secs_f64() / reps as f64;
+
+            let mut cache = AnalysisCache::new(&n).expect("roster circuits levelize");
+            warm_analyses(&mut cache);
+            let mut rng = EcoRng(0x7e55_e7a5 ^ n.gate_count() as u64);
+            let mut per_edit: Vec<f64> = Vec::with_capacity(EDITS);
+            for _ in 0..EDITS {
+                // Edit generation stays outside the timer; apply + dirty
+                // re-solve is the measured quantity.
+                let Some(delta) = random_downhill_rewire(&cache, &mut rng) else {
+                    break;
+                };
+                let t = Instant::now();
+                cache.apply(&delta).expect("downhill rewires cannot cycle");
+                warm_analyses(&mut cache);
+                per_edit.push(t.elapsed().as_secs_f64());
+            }
+            let edits = per_edit.len();
+            let eco_mean_seconds = per_edit.iter().sum::<f64>() / edits.max(1) as f64;
+            per_edit.sort_by(f64::total_cmp);
+            let eco_median_seconds = per_edit.get(edits / 2).copied().unwrap_or(0.0);
+
+            // The correctness gate: after the whole edit stream, every
+            // maintained result must match a from-scratch pass over the
+            // final netlist bit-for-bit.
+            let mut fresh = AnalysisCache::new(cache.netlist()).expect("edited netlists levelize");
+            let equivalent = cache.scoap().cc == fresh.scoap().cc
+                && cache.scoap().co == fresh.scoap().co
+                && cache.constants() == fresh.constants()
+                && cache.xprop() == fresh.xprop();
+
+            AnalysisRecord {
+                circuit: name,
+                gates: n.gate_count(),
+                edits,
+                full_seconds,
+                eco_mean_seconds,
+                eco_median_seconds,
+                equivalent,
+            }
+        })
+        .collect()
+}
+
+fn analysis_to_json(records: &[AnalysisRecord], cfg: &Config) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"analysis_eco\",");
+    let _ = writeln!(s, "  \"schema\": \"tessera-analysis/1\",");
+    let _ = writeln!(s, "  \"quick\": {},", cfg.quick);
+    s.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"circuit\": \"{}\", \"gates\": {}, \"edits\": {}, \
+             \"full_recompute_seconds\": {:.9}, \"per_eco_median_seconds\": {:.9}, \
+             \"per_eco_mean_seconds\": {:.9}, \"speedup\": {:.1}, \
+             \"mean_speedup\": {:.1}, \"equivalent\": {}}}{}",
+            r.circuit,
+            r.gates,
+            r.edits,
+            r.full_seconds,
+            r.eco_median_seconds,
+            r.eco_mean_seconds,
+            r.speedup(),
+            r.mean_speedup(),
+            r.equivalent,
+            if i + 1 == records.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"all_equivalent\": {}",
+        records.iter().all(|r| r.equivalent)
+    );
+    s.push_str("}\n");
+    s
 }
 
 /// One roster circuit's full-flow result under the threaded driver

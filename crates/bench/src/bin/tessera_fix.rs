@@ -13,7 +13,7 @@
 
 use std::process::ExitCode;
 
-use dft_bench::{circuit_menu, print_table, CircuitEntry};
+use dft_bench::{circuit_menu, print_table, resolve_circuit};
 use dft_lint::LintConfig;
 use dft_netlist::{bench_format, Netlist};
 use dft_obs::Recorder;
@@ -152,25 +152,6 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
         .map_err(|_| format!("{flag}: '{s}' is not a valid number"))
 }
 
-/// Resolves a target: built-in menu name first, then a `.bench` path.
-fn resolve(name: &str, menu: &[CircuitEntry]) -> Result<Netlist, String> {
-    if let Some(&(_, build)) = menu.iter().find(|(n, _)| *n == name) {
-        return Ok(build());
-    }
-    if std::path::Path::new(name).is_file() {
-        let text =
-            std::fs::read_to_string(name).map_err(|e| format!("cannot read '{name}': {e}"))?;
-        let stem = std::path::Path::new(name)
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .unwrap_or("netlist");
-        return bench_format::parse(&text, stem).map_err(|e| format!("{name}: {e}"));
-    }
-    Err(format!(
-        "unknown circuit '{name}' (not a built-in, not a file; try --list-circuits)"
-    ))
-}
-
 fn run_one(netlist: &Netlist, cli: &Cli) -> Result<RepairOutcome, String> {
     let mut recorder = cli.report.as_ref().map(|_| Recorder::new());
     let outcome = repair_observed(
@@ -211,7 +192,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
     let mut outcomes = Vec::with_capacity(names.len());
     for name in &names {
-        let netlist = resolve(name, &menu)?;
+        let netlist = resolve_circuit(name)?;
         outcomes.push(run_one(&netlist, &cli)?);
     }
 

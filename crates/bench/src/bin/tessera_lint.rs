@@ -11,7 +11,7 @@
 
 use std::process::ExitCode;
 
-use dft_bench::{circuit_menu, CircuitEntry};
+use dft_bench::{circuit_menu, resolve_circuit};
 use dft_lint::{lint_with, LintConfig, LintReport, Registry, SeverityOverrides};
 use dft_netlist::Netlist;
 use dft_scan::{insert_scan, lint_scan_design, RuleConfig, ScanConfig, ScanStyle};
@@ -22,7 +22,8 @@ tessera-lint: netlist-wide DFT design-rule checker
 USAGE:
     tessera-lint [OPTIONS] [CIRCUIT]...
 
-Circuits default to the full built-in set (see --list-circuits).
+Each CIRCUIT is a built-in name (see --list-circuits) or a path to a
+.bench netlist file. Defaults to the full built-in set.
 
 OPTIONS:
     --format <text|json>   output format (default text)
@@ -153,11 +154,10 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
 
 /// Lints one circuit; with `--scan`, the scan groundrule findings are
 /// merged into the same report.
-fn lint_one(build: fn() -> Netlist, cli: &Cli) -> Result<LintReport, String> {
-    let netlist = build();
-    let mut report = lint_with(&netlist, cli.config.clone());
+fn lint_one(netlist: &Netlist, cli: &Cli) -> Result<LintReport, String> {
+    let mut report = lint_with(netlist, cli.config.clone());
     if let Some(style) = cli.scan {
-        let design = insert_scan(&netlist, &ScanConfig::new(style))
+        let design = insert_scan(netlist, &ScanConfig::new(style))
             .map_err(|e| format!("{}: scan insertion failed: {e}", netlist.name()))?;
         let scan_report = lint_scan_design(
             &design,
@@ -178,24 +178,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cli) = parse_args(args)? else {
         return Ok(ExitCode::SUCCESS);
     };
-    let menu = circuit_menu();
-    let targets: Vec<CircuitEntry> = if cli.names.is_empty() {
-        menu
+    let targets: Vec<Netlist> = if cli.names.is_empty() {
+        circuit_menu()
+            .into_iter()
+            .map(|(_, build)| build())
+            .collect()
     } else {
         cli.names
             .iter()
-            .map(|name| {
-                menu.iter()
-                    .find(|(n, _)| n == name)
-                    .copied()
-                    .ok_or_else(|| format!("unknown circuit '{name}' (try --list-circuits)"))
-            })
+            .map(|name| resolve_circuit(name))
             .collect::<Result<_, _>>()?
     };
 
     let reports = targets
         .iter()
-        .map(|&(_, build)| lint_one(build, &cli))
+        .map(|netlist| lint_one(netlist, &cli))
         .collect::<Result<Vec<_>, _>>()?;
 
     match cli.format {

@@ -10,7 +10,9 @@
 //! cargo run --release -p dft-bench --bin exp_eq1_scaling
 //! ```
 
-use dft_netlist::{circuits, Netlist};
+#![forbid(unsafe_code)]
+
+use dft_netlist::{bench_format, circuits, Netlist};
 use dft_sim::PatternSet;
 
 /// A named entry in the built-in circuit menu.
@@ -38,6 +40,31 @@ pub fn circuit_menu() -> Vec<CircuitEntry> {
         ("sn74181", || circuits::sn74181().0),
         ("redundant-fixture", circuits::redundant_fixture),
     ]
+}
+
+/// Resolves a target circuit the way every `tessera-*` CLI does: a
+/// built-in menu name first, then a path to a `.bench` netlist file.
+///
+/// # Errors
+///
+/// Returns a human-readable message when `name` is neither a menu entry
+/// nor a readable, parseable `.bench` file.
+pub fn resolve_circuit(name: &str) -> Result<Netlist, String> {
+    if let Some((_, build)) = circuit_menu().into_iter().find(|(n, _)| *n == name) {
+        return Ok(build());
+    }
+    if std::path::Path::new(name).is_file() {
+        let text =
+            std::fs::read_to_string(name).map_err(|e| format!("cannot read '{name}': {e}"))?;
+        let stem = std::path::Path::new(name)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("netlist");
+        return bench_format::parse(&text, stem).map_err(|e| format!("{name}: {e}"));
+    }
+    Err(format!(
+        "unknown circuit '{name}' (not a built-in, not a file; try --list-circuits)"
+    ))
 }
 
 /// Prints an aligned text table (the format every experiment binary
@@ -103,6 +130,23 @@ mod tests {
         let p = exhaustive_patterns(3);
         assert_eq!(p.len(), 8);
         assert_eq!(p.get(5), vec![true, false, true]);
+    }
+
+    #[test]
+    fn resolve_circuit_covers_menu_files_and_unknowns() {
+        assert_eq!(resolve_circuit("c17").unwrap().name(), "c17");
+        assert!(resolve_circuit("no-such-circuit").is_err());
+        // A .bench file on disk resolves through the parser.
+        let path = std::env::temp_dir().join("dft_bench_resolve_test.bench");
+        let text = dft_netlist::bench_format::write(&circuits::c17());
+        std::fs::write(&path, text).unwrap();
+        let parsed = resolve_circuit(path.to_str().unwrap()).unwrap();
+        assert_eq!(parsed.name(), "dft_bench_resolve_test");
+        assert_eq!(
+            parsed.primary_inputs().len(),
+            circuits::c17().primary_inputs().len()
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

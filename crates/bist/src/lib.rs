@@ -16,6 +16,8 @@
 //!   partitioning, and the sensitized partitioning of the SN74181
 //!   (Figs. 33–34).
 
+#![forbid(unsafe_code)]
+
 pub mod autonomous;
 pub mod bilbo;
 pub mod ram;

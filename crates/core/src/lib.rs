@@ -29,6 +29,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod economics;
 pub mod flow;
 pub mod planner;

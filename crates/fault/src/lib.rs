@@ -48,6 +48,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod collapse;
 mod concurrent;
 mod deductive;

@@ -57,6 +57,8 @@
 //! assert!(engine.fault_untestable(z, Pin::Output, false).is_some());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod engine;
 mod untestable;
 

@@ -33,6 +33,8 @@
 //! assert_eq!(lfsr.period(), 7); // maximal length
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod aliasing;
 mod division;
 #[allow(clippy::module_inception)]

@@ -1,7 +1,8 @@
 //! Shared analysis state handed to every rule.
 
+use dft_analyze::{Dominators, GraphView, XProp, XWitness};
 use dft_implic::ImplicationEngine;
-use dft_netlist::{GateId, GateKind, Levelization, LevelizeError, Netlist};
+use dft_netlist::{GateId, Levelization, LevelizeError, Netlist};
 use dft_sim::Logic;
 use dft_testability::TestabilityReport;
 
@@ -35,6 +36,11 @@ pub struct LintConfig {
     /// `deep-unobservable-cone` to fire. Default 4 — a single buried
     /// net is a point problem, a cone of them wants a test point.
     pub deep_cone_min_gates: usize,
+    /// Minimum number of gates a net must observability-dominate for
+    /// `observability-dominator-bottleneck` to fire. Default 16 — a
+    /// funnel worth an observe point guards a real region, not a pair
+    /// of gates.
+    pub dominator_min_gates: usize,
 }
 
 impl Default for LintConfig {
@@ -46,6 +52,7 @@ impl Default for LintConfig {
             observability_limit: 250,
             deep_cone_observability_limit: 350,
             deep_cone_min_gates: 4,
+            dominator_min_gates: 16,
         }
     }
 }
@@ -63,6 +70,8 @@ pub struct LintContext<'n> {
     fanout: Vec<Vec<(GateId, u8)>>,
     scoap: Option<TestabilityReport>,
     constants: Option<Vec<Logic>>,
+    xprop: Option<Vec<XWitness>>,
+    dominators: Option<Dominators>,
     implications: Option<ImplicationEngine<'n>>,
 }
 
@@ -79,6 +88,34 @@ impl<'n> LintContext<'n> {
             .as_ref()
             .ok()
             .map(|lv| propagate_constants(netlist, lv));
+        // The framework analyses share one graph view; they need the
+        // finished SCOAP and constant facts as inputs.
+        let (xprop, dominators) = match (&levelization, &scoap, &constants) {
+            (Ok(lv), Some(report), Some(consts)) => {
+                let n = netlist.gate_count();
+                let level: Vec<u32> = (0..n).map(|i| lv.level(GateId::from_index(i))).collect();
+                let is_output = dft_analyze::output_mask(netlist);
+                let view = GraphView {
+                    netlist,
+                    level: &level,
+                    fanout: &fanout,
+                    is_output: &is_output,
+                };
+                let cc: Vec<(u32, u32)> = (0..n)
+                    .map(|i| {
+                        let m = report.measure(GateId::from_index(i));
+                        (m.cc0, m.cc1)
+                    })
+                    .collect();
+                let xp = XProp {
+                    constants: consts,
+                    cc: &cc,
+                };
+                let taint = dft_analyze::solve(&xp, &view, lv.order());
+                (Some(taint), Some(Dominators::compute(&view)))
+            }
+            _ => (None, None),
+        };
         let implications = levelization
             .is_ok()
             .then(|| ImplicationEngine::new(netlist));
@@ -89,6 +126,8 @@ impl<'n> LintContext<'n> {
             fanout,
             scoap,
             constants,
+            xprop,
+            dominators,
             implications,
         }
     }
@@ -130,6 +169,21 @@ impl<'n> LintContext<'n> {
         self.constants.as_deref()
     }
 
+    /// Per-net X-propagation witnesses: the uninitializable storage
+    /// element whose power-up X can reach the net, if any (`None` on
+    /// cyclic netlists).
+    #[must_use]
+    pub fn xprop(&self) -> Option<&[XWitness]> {
+        self.xprop.as_deref()
+    }
+
+    /// Structural observability dominators (`None` on cyclic netlists):
+    /// which single net funnels every observation path of a region.
+    #[must_use]
+    pub fn dominators(&self) -> Option<&Dominators> {
+        self.dominators.as_ref()
+    }
+
     /// The static implication engine with SOCRATES-style learned
     /// implications (`None` on cyclic netlists): implied constants that
     /// plain constant propagation misses, unsettable literals, and the
@@ -141,29 +195,21 @@ impl<'n> LintContext<'n> {
 }
 
 /// Three-valued forward evaluation with all inputs and state unknown:
-/// whatever comes out known is structurally constant.
+/// whatever comes out known is structurally constant. Thin wrapper over
+/// the `dft-analyze` framework pass (bit-identical to the historical
+/// in-crate loop; the framework's equivalence tests pin this down).
 fn propagate_constants(netlist: &Netlist, lv: &Levelization) -> Vec<Logic> {
-    let mut value = vec![Logic::X; netlist.gate_count()];
-    for &id in lv.order() {
-        let gate = netlist.gate(id);
-        value[id.index()] = match gate.kind() {
-            GateKind::Input | GateKind::Dff => Logic::X,
-            GateKind::Const0 => Logic::Zero,
-            GateKind::Const1 => Logic::One,
-            kind => {
-                let ins: Vec<Logic> = gate.inputs().iter().map(|&s| value[s.index()]).collect();
-                Logic::eval_gate(kind, &ins)
-            }
-        };
-    }
-    value
+    let level: Vec<u32> = (0..netlist.gate_count())
+        .map(|i| lv.level(GateId::from_index(i)))
+        .collect();
+    dft_analyze::constants::compute(netlist, &level)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dft_netlist::circuits::c17;
-    use dft_netlist::Netlist as NL;
+    use dft_netlist::{GateKind, Netlist as NL};
 
     #[test]
     fn context_precomputes_everything_on_acyclic_designs() {
@@ -172,6 +218,8 @@ mod tests {
         assert!(ctx.levelization().is_ok());
         assert!(ctx.scoap().is_some());
         assert!(ctx.constants().is_some());
+        assert!(ctx.xprop().is_some());
+        assert!(ctx.dominators().is_some());
         assert_eq!(ctx.fanout().len(), n.gate_count());
         assert_eq!(ctx.config().max_depth, 50);
     }
@@ -187,6 +235,8 @@ mod tests {
         assert!(ctx.levelization().is_err());
         assert!(ctx.scoap().is_none());
         assert!(ctx.constants().is_none());
+        assert!(ctx.xprop().is_none());
+        assert!(ctx.dominators().is_none());
         assert_eq!(ctx.fanout().len(), 3);
     }
 

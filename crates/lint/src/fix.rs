@@ -172,6 +172,9 @@ pub fn rule_code(rule: &str) -> &'static str {
         "constant-implied-net" => "DFT-013",
         "deep-unobservable-cone" => "DFT-014",
         "implication-dead-region" => "DFT-015",
+        "x-source-into-compare" => "DFT-016",
+        "observability-dominator-bottleneck" => "DFT-017",
+        "reconvergent-constant-mask" => "DFT-018",
         "scan-comb-feedback" => "DFT-101",
         "scan-coverage" => "DFT-102",
         "scan-depth" => "DFT-103",
@@ -185,7 +188,7 @@ pub fn rule_code(rule: &str) -> &'static str {
 /// use, so both spellings work in `--rule-config` files.
 #[must_use]
 pub fn resolve_rule_name(name: &str) -> Option<&'static str> {
-    const IDS: [&str; 19] = [
+    const IDS: [&str; 22] = [
         "comb-feedback",
         "unused-input",
         "dead-logic",
@@ -201,6 +204,9 @@ pub fn resolve_rule_name(name: &str) -> Option<&'static str> {
         "constant-implied-net",
         "deep-unobservable-cone",
         "implication-dead-region",
+        "x-source-into-compare",
+        "observability-dominator-bottleneck",
+        "reconvergent-constant-mask",
         "scan-comb-feedback",
         "scan-coverage",
         "scan-depth",
@@ -233,6 +239,9 @@ mod tests {
             "constant-implied-net",
             "deep-unobservable-cone",
             "implication-dead-region",
+            "x-source-into-compare",
+            "observability-dominator-bottleneck",
+            "reconvergent-constant-mask",
             "scan-comb-feedback",
             "scan-coverage",
             "scan-depth",

@@ -39,6 +39,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod config;
 mod context;
 mod diag;

@@ -20,6 +20,9 @@
 //! | `constant-implied-net` | no net is constant only via implication learning | §I-B redundancy |
 //! | `deep-unobservable-cone` | no buried cone of high-observability-cost nets | §III-B test points |
 //! | `implication-dead-region` | no region feeding only implication-proven constants | §I-B redundancy |
+//! | `x-source-into-compare` | no XOR/XNOR consumes an unflushable power-up X | §III-B initialization |
+//! | `observability-dominator-bottleneck` | no poorly-observable net funnels a wide region | §III-B test points |
+//! | `reconvergent-constant-mask` | no reconvergence cancels into a constant meet | §I-B redundancy |
 //!
 //! The implication-backed rules are powered by `dft-implic`'s static
 //! implication engine: they catch redundancy that needs reasoning across
@@ -58,6 +61,9 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(ConstantImpliedNet),
         Box::new(DeepUnobservableCone),
         Box::new(ImplicationDeadRegion),
+        Box::new(XSourceIntoCompare),
+        Box::new(ObservabilityDominatorBottleneck),
+        Box::new(ReconvergentConstantMask),
     ]
 }
 
@@ -899,6 +905,205 @@ impl Rule for ImplicationDeadRegion {
     }
 }
 
+/// Flags XOR/XNOR gates fed by a power-up X that no input sequence is
+/// guaranteed to flush. A comparison consuming such an X produces an
+/// undefined result on every tester cycle until the offending storage is
+/// initialized — the §III-B initialization argument, pointed at the place
+/// the X actually does damage. The related nets name the uninitializable
+/// storage elements (the X sources), and the fix targets the first of
+/// them.
+pub struct XSourceIntoCompare;
+
+impl Rule for XSourceIntoCompare {
+    fn id(&self) -> &'static str {
+        "x-source-into-compare"
+    }
+    fn description(&self) -> &'static str {
+        "XOR/XNOR comparisons consuming a power-up X from uninitializable storage"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let Some(taint) = ctx.xprop() else {
+            return;
+        };
+        for (id, gate) in ctx.netlist().iter() {
+            if !matches!(gate.kind(), GateKind::Xor | GateKind::Xnor) {
+                continue;
+            }
+            let mut sources: Vec<GateId> = gate
+                .inputs()
+                .iter()
+                .filter_map(|&s| taint[s.index()])
+                .collect();
+            if sources.is_empty() {
+                continue;
+            }
+            sources.sort();
+            sources.dedup();
+            let storage = sources[0];
+            report.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.severity(),
+                    self.category(),
+                    id,
+                    format!(
+                        "{} comparison consumes a power-up X from uninitializable \
+                         storage {storage}; its result is undefined on every cycle",
+                        gate.kind(),
+                    ),
+                )
+                .with_related(sources)
+                .with_hint(
+                    "scan the uninitializable storage (§IV) or give it a CLEAR/PRESET \
+                     line so the comparison settles (§III-B)",
+                )
+                .with_fix(FixHint::ScanConvert { storage }),
+            );
+        }
+    }
+}
+
+/// Flags observability funnels: a net that every observation path of a
+/// wide region passes through (a structural observability dominator)
+/// while itself being expensive to observe. One observation test point
+/// at the funnel rescues the entire dominated region at once — the best
+/// value-per-pin placement §III-B argues for. Nested funnels are
+/// deduplicated to the outermost qualifying net so a deep chain reports
+/// once, not once per link.
+pub struct ObservabilityDominatorBottleneck;
+
+impl Rule for ObservabilityDominatorBottleneck {
+    fn id(&self) -> &'static str {
+        "observability-dominator-bottleneck"
+    }
+    fn description(&self) -> &'static str {
+        "poorly observable nets that funnel every observation path of a wide region"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let (Some(scoap), Some(dom)) = (ctx.scoap(), ctx.dominators()) else {
+            return;
+        };
+        let netlist = ctx.netlist();
+        let limit = ctx.config().observability_limit;
+        let min_gates = ctx.config().dominator_min_gates;
+        let qualifies = |id: GateId| {
+            let co = scoap.observability(id);
+            co < INFINITE && co > limit && dom.dominated_count(id) >= min_gates
+        };
+        for id in netlist.ids() {
+            if !qualifies(id) {
+                continue;
+            }
+            // Outermost dedup: a funnel whose own (non-storage) reader is
+            // a qualifying funnel too is subsumed by the reader.
+            let subsumed = ctx.fanout()[id.index()]
+                .iter()
+                .any(|&(r, _)| !netlist.gate(r).kind().is_storage() && qualifies(r));
+            if subsumed {
+                continue;
+            }
+            report.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.severity(),
+                    self.category(),
+                    id,
+                    format!(
+                        "every observation path of {} gate(s) funnels through this net, \
+                         whose own observability cost {} exceeds the limit {limit}",
+                        dom.dominated_count(id),
+                        scoap.observability(id),
+                    ),
+                )
+                .with_hint(
+                    "an observation test point at the funnel rescues the whole dominated \
+                     region with one pin (§III-B)",
+                )
+                .with_fix(FixHint::ObservePoint { net: id }),
+            );
+        }
+    }
+}
+
+/// Flags reconvergent fanout whose meet gate is provably constant: the
+/// correlated paths do not merely complicate sensitization (the
+/// informational `reconvergent-fanout` note) — they cancel, so faults on
+/// the stem are masked along these paths entirely. This is §I-B
+/// redundancy created specifically by reconvergence, reported at the
+/// stem with the constant meet as the witness.
+pub struct ReconvergentConstantMask;
+
+impl Rule for ReconvergentConstantMask {
+    fn id(&self) -> &'static str {
+        "reconvergent-constant-mask"
+    }
+    fn description(&self) -> &'static str {
+        "reconvergent branches that cancel into a provably constant meet gate"
+    }
+    fn category(&self) -> Category {
+        Category::Testability
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let Some(constants) = ctx.constants() else {
+            return;
+        };
+        let netlist = ctx.netlist();
+        // One diagnostic per constant meet, at its first stem: several
+        // stems can reconverge at the same dead gate.
+        let mut seen = std::collections::BTreeSet::new();
+        for rec in reconvergent_fanouts(netlist) {
+            let value = constants[rec.meet.index()].to_bool().or_else(|| {
+                ctx.implications()
+                    .and_then(|eng| eng.implied_constant(rec.meet))
+            });
+            let Some(value) = value else {
+                continue;
+            };
+            if !seen.insert(rec.meet) {
+                continue;
+            }
+            report.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.severity(),
+                    self.category(),
+                    rec.stem,
+                    format!(
+                        "fanout branches reconverge at {}, which is provably constant {}: \
+                         stem faults are masked along these paths",
+                        rec.meet,
+                        u8::from(value),
+                    ),
+                )
+                .with_related(vec![rec.meet])
+                .with_hint(
+                    "the reconvergent structure cancels; fold the meet to its constant \
+                     or redesign the stem logic (§I-B)",
+                )
+                .with_fix(FixHint::FoldConstant {
+                    net: rec.meet,
+                    value,
+                }),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1338,6 +1543,128 @@ mod tests {
     #[test]
     fn implication_dead_region_silent_on_c17() {
         assert_eq!(count(&lint(&c17()), "implication-dead-region"), 0);
+    }
+
+    // --- x-source-into-compare -------------------------------------------
+
+    #[test]
+    fn x_source_into_compare_fires_on_the_counter_increment() {
+        // The resetless counter's next-state XORs consume X from the
+        // uninitializable state bits.
+        let r = lint(&binary_counter(4));
+        assert!(count(&r, "x-source-into-compare") > 0, "{}", r.to_text());
+        let d = r.by_rule("x-source-into-compare").next().unwrap();
+        assert!(!d.related.is_empty(), "the X sources are the witnesses");
+        assert!(matches!(d.fix, Some(FixHint::ScanConvert { .. })));
+        assert_eq!(d.code, "DFT-016");
+    }
+
+    #[test]
+    fn x_source_into_compare_silent_on_flushable_and_stateless_designs() {
+        // Every shift-register stage can be steered from the serial
+        // input; c17 has no storage at all.
+        assert_eq!(count(&lint(&shift_register(4)), "x-source-into-compare"), 0);
+        assert_eq!(count(&lint(&c17()), "x-source-into-compare"), 0);
+    }
+
+    // --- observability-dominator-bottleneck ------------------------------
+
+    #[test]
+    fn dominator_bottleneck_fires_once_at_the_outermost_funnel() {
+        // Every chain gate dominates its whole tail; with a tight
+        // observability limit a contiguous run of them qualifies, and the
+        // outermost-dedup collapses that run to a single report.
+        let tight = LintConfig {
+            observability_limit: 10,
+            ..LintConfig::default()
+        };
+        let r = lint_with(&xor_chain(30), tight);
+        assert_eq!(
+            count(&r, "observability-dominator-bottleneck"),
+            1,
+            "{}",
+            r.to_text()
+        );
+        let d = r
+            .by_rule("observability-dominator-bottleneck")
+            .next()
+            .unwrap();
+        assert_eq!(d.fix, Some(FixHint::ObservePoint { net: d.gate }));
+        assert_eq!(d.code, "DFT-017");
+    }
+
+    #[test]
+    fn dominator_bottleneck_needs_a_wide_region() {
+        // Same chain and limit, but demand a wider dominated region than
+        // any gate has.
+        let tight = LintConfig {
+            observability_limit: 10,
+            dominator_min_gates: 1000,
+            ..LintConfig::default()
+        };
+        let r = lint_with(&xor_chain(30), tight);
+        assert_eq!(count(&r, "observability-dominator-bottleneck"), 0);
+    }
+
+    #[test]
+    fn dominator_bottleneck_silent_at_defaults_on_library_circuits() {
+        for n in [
+            c17(),
+            ripple_carry_adder(16),
+            parity_tree(16),
+            binary_counter(4),
+            shift_register(4),
+        ] {
+            let r = lint(&n);
+            assert_eq!(
+                count(&r, "observability-dominator-bottleneck"),
+                0,
+                "{}",
+                n.name()
+            );
+        }
+    }
+
+    // --- reconvergent-constant-mask --------------------------------------
+
+    #[test]
+    fn reconvergent_constant_mask_fires_on_the_fixture() {
+        // In redundant_fixture the branches of `a` reconverge at
+        // `z = AND(a, NOT a)`, constant 0 by implication.
+        let n = redundant_fixture();
+        let r = lint(&n);
+        assert!(
+            count(&r, "reconvergent-constant-mask") > 0,
+            "{}",
+            r.to_text()
+        );
+        let d = r.by_rule("reconvergent-constant-mask").next().unwrap();
+        assert_eq!(d.related.len(), 1, "the constant meet is the witness");
+        assert!(matches!(d.fix, Some(FixHint::FoldConstant { .. })));
+        assert_eq!(d.code, "DFT-018");
+    }
+
+    #[test]
+    fn reconvergent_constant_mask_reports_each_meet_once() {
+        let n = redundant_fixture();
+        let r = lint(&n);
+        let mut meets: Vec<GateId> = r
+            .by_rule("reconvergent-constant-mask")
+            .map(|d| d.related[0])
+            .collect();
+        meets.sort();
+        meets.dedup();
+        assert_eq!(
+            meets.len(),
+            count(&r, "reconvergent-constant-mask"),
+            "one diagnostic per constant meet"
+        );
+    }
+
+    #[test]
+    fn reconvergent_constant_mask_silent_on_c17() {
+        // c17 reconverges plenty, but no meet is constant.
+        assert_eq!(count(&lint(&c17()), "reconvergent-constant-mask"), 0);
     }
 
     // --- fix hints ride along --------------------------------------------

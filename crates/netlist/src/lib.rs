@@ -38,6 +38,8 @@
 //!   (used by the paper's autonomous-testing experiment), PLAs, and seeded
 //!   random combinational/sequential circuit generators.
 
+#![forbid(unsafe_code)]
+
 pub mod bench_format;
 pub mod circuits;
 pub mod cones;

@@ -364,6 +364,60 @@ impl Netlist {
         Ok(())
     }
 
+    /// Replaces a logic gate in place: new kind, new input list, same
+    /// `GateId`. Readers keep their connections and output markings on
+    /// the gate survive, so every other id stays valid — this is the
+    /// ECO primitive behind `dft-analyze`'s `NetlistDelta::ReplaceGate`.
+    ///
+    /// Both the target and the replacement must be combinational logic:
+    /// sources keep the interface, storage keeps the state model (use
+    /// [`Netlist::replace_with_const`] to fold a net to a constant, and
+    /// [`Netlist::add_dff`] to introduce new state).
+    ///
+    /// No cycle check is performed; callers that must stay acyclic
+    /// re-levelize (or go through `dft-analyze`'s delta API, which
+    /// validates before mutating).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotALogicGate`] when the target or the
+    /// replacement kind is a source or storage element,
+    /// [`NetlistError::BadFanin`] if `inputs` is outside the legal range
+    /// for `kind`, and [`NetlistError::UnknownGate`] on foreign ids.
+    pub fn replace_gate(
+        &mut self,
+        id: GateId,
+        kind: GateKind,
+        inputs: &[GateId],
+    ) -> Result<(), NetlistError> {
+        let gate = self.try_gate(id)?;
+        if gate.kind().is_source() || gate.kind().is_storage() {
+            return Err(NetlistError::NotALogicGate {
+                gate: id,
+                kind: gate.kind(),
+            });
+        }
+        if kind.is_source() || kind.is_storage() {
+            return Err(NetlistError::NotALogicGate { gate: id, kind });
+        }
+        let (min, max) = kind.fanin_range();
+        if inputs.len() < min || inputs.len() > max {
+            return Err(NetlistError::BadFanin {
+                kind,
+                got: inputs.len(),
+            });
+        }
+        for &src in inputs {
+            if src.index() >= self.gates.len() {
+                return Err(NetlistError::UnknownGate(src));
+            }
+        }
+        let g = &mut self.gates[id.index()];
+        g.kind = kind;
+        g.inputs = inputs.to_vec();
+        Ok(())
+    }
+
     /// Number of input pins reading `id`'s output net.
     ///
     /// A pin count, not a reader count: a gate consuming the net on two

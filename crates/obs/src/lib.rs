@@ -49,6 +49,8 @@
 //! assert_eq!(report.root.find("engine.phase").unwrap().counter("engine.events"), 1000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod collector;
 mod recorder;
 mod report;

@@ -38,6 +38,8 @@
 //! assert!(outcome.plan.improved());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod candidate;
 pub mod plan;
 pub mod rank;

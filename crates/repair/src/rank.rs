@@ -15,10 +15,10 @@
 //! Both are integers, the score is integer arithmetic, and ties break on
 //! the candidate key — the ranking is bit-for-bit deterministic.
 
+use dft_analyze::AnalysisCache;
 use dft_fault::{prefilter_with, universe};
 use dft_implic::ImplicationEngine;
-use dft_netlist::{GateKind, Netlist};
-use dft_testability::analyze;
+use dft_netlist::{GateId, GateKind, Netlist};
 
 use crate::candidate::{apply_edit, Candidate, Edited};
 
@@ -49,20 +49,35 @@ impl StaticBaseline {
     /// its (infinite, dangling) observability must not poison the score.
     #[must_use]
     pub fn measure(netlist: &Netlist) -> Option<Self> {
-        let report = analyze(netlist).ok()?;
-        let difficulty = netlist
-            .ids()
-            .filter(|&id| !matches!(netlist.gate(id).kind(), GateKind::Const0 | GateKind::Const1))
-            .map(|id| u64::from(report.measure(id).difficulty()))
+        let mut cache = AnalysisCache::new(netlist).ok()?;
+        Some(Self::measure_cached(&mut cache))
+    }
+
+    /// Measures through a warmed [`AnalysisCache`] — the same numbers as
+    /// [`StaticBaseline::measure`] (the framework SCOAP port is
+    /// bit-exact), but the ranking loop can rebase one cached clone per
+    /// candidate so only each edit's dirty cone is recomputed instead of
+    /// the whole netlist.
+    #[must_use]
+    pub fn measure_cached(cache: &mut AnalysisCache) -> Self {
+        let const_mask: Vec<bool> = cache
+            .netlist()
+            .iter()
+            .map(|(_, g)| matches!(g.kind(), GateKind::Const0 | GateKind::Const1))
+            .collect();
+        let scoap = cache.scoap();
+        let difficulty = (0..const_mask.len())
+            .filter(|&i| !const_mask[i])
+            .map(|i| u64::from(scoap.difficulty(GateId::from_index(i))))
             .sum();
-        let faults = universe(netlist);
-        let engine = ImplicationEngine::new(netlist);
+        let faults = universe(cache.netlist());
+        let engine = ImplicationEngine::new(cache.netlist());
         let untestable = prefilter_with(&engine, &faults).untestable_count();
-        Some(StaticBaseline {
+        StaticBaseline {
             difficulty,
             untestable,
             fault_count: faults.len(),
-        })
+        }
     }
 }
 
@@ -96,12 +111,29 @@ pub fn rank_candidates(
 ) -> (Vec<RankedCandidate>, usize) {
     let mut ranked: Vec<RankedCandidate> = Vec::with_capacity(candidates.len());
     let mut dropped = 0usize;
+    // One warmed cache for the round; each candidate rebases a clone so
+    // scoring only re-solves the edit's dirty cone.
+    let base_cache = AnalysisCache::new(netlist).ok().map(|mut c| {
+        c.scoap();
+        c.constants();
+        c
+    });
     for candidate in candidates {
         let Ok(edited) = apply_edit(netlist, candidate.edit) else {
             dropped += 1;
             continue;
         };
-        let Some(after) = StaticBaseline::measure(&edited.netlist) else {
+        let after = match &base_cache {
+            Some(base) => {
+                let mut cache = base.clone();
+                match cache.rebase(&edited.netlist) {
+                    Ok(()) => Some(StaticBaseline::measure_cached(&mut cache)),
+                    Err(_) => None,
+                }
+            }
+            None => StaticBaseline::measure(&edited.netlist),
+        };
+        let Some(after) = after else {
             dropped += 1;
             continue;
         };
@@ -158,6 +190,59 @@ mod tests {
         assert_eq!(ranked[0].candidate.edit.kind(), "fold");
         assert!(ranked[0].untestable_delta > 0);
         assert!(ranked[0].score > 0);
+    }
+
+    #[test]
+    fn rebased_scoring_matches_from_scratch_measurement() {
+        // The rewire onto AnalysisCache must not move a single number:
+        // score every candidate both ways — rebasing a warmed cache
+        // clone, and measuring the edited netlist from scratch — and
+        // demand byte-identical ranking output.
+        let n = redundant_fixture();
+        let report = lint(&n);
+        let baseline = StaticBaseline::measure(&n).unwrap();
+        let cands = expand_hints(report.diagnostics(), &[]);
+        let (ranked, _) = rank_candidates(&n, baseline, cands.clone(), usize::MAX);
+        // Reference path: the pre-rewire from-scratch scorer.
+        let mut reference: Vec<(String, i128, i128, i128)> = Vec::new();
+        for candidate in cands {
+            let Ok(edited) = apply_edit(&n, candidate.edit) else {
+                continue;
+            };
+            let report = dft_testability::analyze(&edited.netlist).unwrap();
+            let difficulty: u64 = edited
+                .netlist
+                .ids()
+                .filter(|&id| {
+                    !matches!(
+                        edited.netlist.gate(id).kind(),
+                        GateKind::Const0 | GateKind::Const1
+                    )
+                })
+                .map(|id| u64::from(report.measure(id).difficulty()))
+                .sum();
+            let faults = universe(&edited.netlist);
+            let engine = ImplicationEngine::new(&edited.netlist);
+            let untestable = prefilter_with(&engine, &faults).untestable_count();
+            let dd = i128::from(baseline.difficulty) - i128::from(difficulty);
+            let ud = baseline.untestable as i128 - untestable as i128;
+            let hardware = edited.extra_gates.max(0) as i128 + 2 * edited.extra_pins.max(0) as i128;
+            let score = (dd + UNTESTABLE_WEIGHT * ud) * 1000 / (hardware + 1);
+            reference.push((candidate.edit.key(), dd, ud, score));
+        }
+        reference.sort_by(|a, b| b.3.cmp(&a.3).then_with(|| a.0.cmp(&b.0)));
+        let got: Vec<(String, i128, i128, i128)> = ranked
+            .iter()
+            .map(|r| {
+                (
+                    r.candidate.edit.key(),
+                    r.difficulty_delta,
+                    r.untestable_delta,
+                    r.score,
+                )
+            })
+            .collect();
+        assert_eq!(got, reference, "cache-rebased ranking diverged");
     }
 
     #[test]

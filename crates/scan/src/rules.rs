@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use dft_lint::{Category, Diagnostic, LintReport, Severity};
+use dft_lint::{Category, Diagnostic, FixHint, LintReport, Severity};
 use dft_netlist::GateId;
 
 use crate::ScanDesign;
@@ -54,14 +54,20 @@ pub struct RuleViolation {
     pub gate: GateId,
     /// Human-readable detail.
     pub detail: String,
+    /// The stable `DFT-1NN` code shared with the `dft-lint` rule table.
+    pub code: &'static str,
+    /// How serious the violation is (same scale as lint diagnostics).
+    pub severity: Severity,
+    /// Machine-applicable repair, when the checker knows one.
+    pub fix: Option<FixHint>,
 }
 
 impl fmt::Display for RuleViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} violated at {}: {}",
-            self.rule, self.gate, self.detail
+            "[{}] {} violated at {}: {}",
+            self.code, self.rule, self.gate, self.detail
         )
     }
 }
@@ -136,7 +142,8 @@ pub fn lint_scan_design(design: &ScanDesign, config: &RuleConfig) -> LintReport 
                     dff,
                     "storage element not accessible through the scan structure",
                 )
-                .with_hint("partial access defeats the combinational reduction; extend the chain"),
+                .with_hint("partial access defeats the combinational reduction; extend the chain")
+                .with_fix(FixHint::ScanConvert { storage: dff }),
             );
         }
     }
@@ -172,7 +179,8 @@ pub fn lint_scan_design(design: &ScanDesign, config: &RuleConfig) -> LintReport 
                         format!("data input driven directly by latch {d}"),
                     )
                     .with_related(vec![d])
-                    .with_hint("use a two-phase (master/slave) cell or insert logic between"),
+                    .with_hint("use a two-phase (master/slave) cell or insert logic between")
+                    .with_fix(FixHint::ScanConvert { storage: dff }),
                 );
             }
         }
@@ -201,6 +209,9 @@ pub fn check_rules(design: &ScanDesign, config: impl Into<RuleConfig>) -> Vec<Ru
             },
             gate: d.gate,
             detail: d.message.clone(),
+            code: d.code,
+            severity: d.severity,
+            fix: d.fix,
         })
         .collect()
 }
@@ -270,11 +281,34 @@ mod tests {
         for (diag, violation) in report.diagnostics().iter().zip(&shim) {
             assert_eq!(diag.gate, violation.gate);
             assert_eq!(diag.message, violation.detail);
+            assert_eq!(diag.code, violation.code);
+            assert_eq!(diag.severity, violation.severity);
+            assert_eq!(diag.fix, violation.fix);
         }
         // The report side carries the extra structure: every finding is
-        // a scan-category diagnostic with a scan-* rule id.
+        // a scan-category diagnostic with a scan-* rule id and a stable
+        // DFT-1NN code from the shared table.
         for diag in report.diagnostics() {
             assert!(diag.rule.starts_with("scan-"), "{}", diag.rule);
+            assert!(diag.code.starts_with("DFT-1"), "{}", diag.code);
+        }
+    }
+
+    #[test]
+    fn violations_carry_codes_severities_and_fixes() {
+        let n = binary_counter(8);
+        let d = insert_scan(&n, &ScanConfig::new(ScanStyle::ScanSet { width: 3 })).unwrap();
+        let v = check_rules(&d, RuleConfig::default());
+        let missing: Vec<&RuleViolation> = v
+            .iter()
+            .filter(|x| x.rule == ScanRule::AllStorageScanned)
+            .collect();
+        assert!(!missing.is_empty());
+        for x in &missing {
+            assert_eq!(x.code, "DFT-102");
+            assert_eq!(x.severity, Severity::Error);
+            assert_eq!(x.fix, Some(FixHint::ScanConvert { storage: x.gate }));
+            assert!(x.to_string().starts_with("[DFT-102]"), "{x}");
         }
     }
 }

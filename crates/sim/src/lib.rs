@@ -39,6 +39,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod compiled;
 mod event;
 pub mod exhaustive;

@@ -25,6 +25,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod scoap;
 
 pub use scoap::{analyze, Measure, TestabilityReport, INFINITE};

@@ -1,15 +1,17 @@
 //! SCOAP-style controllability/observability computation.
+//!
+//! The fixpoint computation itself lives in `dft-analyze` (the shared
+//! monotone-framework crate, where it also runs incrementally under ECO
+//! deltas); this module keeps the toolkit's stable report-shaped API as
+//! a thin wrapper and pins the port with golden hand-computed values.
 
-use dft_netlist::{GateId, GateKind, LevelizeError, Netlist};
+use dft_analyze::scoap::sat;
+use dft_netlist::{GateId, LevelizeError, Netlist};
 
 /// Sentinel for "cannot be controlled/observed at all" (for example the
 /// 1-controllability of a constant 0). Saturating arithmetic keeps sums
 /// below it.
-pub const INFINITE: u32 = u32::MAX / 4;
-
-fn sat(a: u32, b: u32) -> u32 {
-    a.saturating_add(b).min(INFINITE)
-}
+pub const INFINITE: u32 = dft_analyze::INFINITE;
 
 /// A testability measure triple for one net.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,167 +133,25 @@ impl TestabilityReport {
 
 /// Computes SCOAP-style measures for `netlist`.
 ///
+/// Delegates to the `dft-analyze` framework solver; the two relaxation
+/// passes and their iteration caps are bit-compatible with the original
+/// in-crate loops (the golden c17 test below holds the exact values).
+///
 /// # Errors
 ///
 /// Returns [`LevelizeError`] if the combinational frame has a cycle.
 pub fn analyze(netlist: &Netlist) -> Result<TestabilityReport, LevelizeError> {
-    let lv = netlist.levelize()?;
-    let n = netlist.gate_count();
-    let mut cc0 = vec![INFINITE; n];
-    let mut cc1 = vec![INFINITE; n];
-
-    // --- Controllability: relax to fixpoint (storage feedback). ---------
-    let mut iterations = 0;
-    loop {
-        iterations += 1;
-        let mut changed = false;
-        for &id in lv.order() {
-            let g = netlist.gate(id);
-            let i = id.index();
-            let (n0, n1) = match g.kind() {
-                GateKind::Input => (1, 1),
-                GateKind::Const0 => (0, INFINITE),
-                GateKind::Const1 => (INFINITE, 0),
-                GateKind::Buf => {
-                    let s = g.inputs()[0].index();
-                    (sat(cc0[s], 1), sat(cc1[s], 1))
-                }
-                GateKind::Not => {
-                    let s = g.inputs()[0].index();
-                    (sat(cc1[s], 1), sat(cc0[s], 1))
-                }
-                GateKind::Dff => {
-                    // One clock of "distance" on top of steering the input.
-                    let s = g.inputs()[0].index();
-                    (sat(cc0[s], 1), sat(cc1[s], 1))
-                }
-                GateKind::And | GateKind::Nand => {
-                    let all1 = g.inputs().iter().fold(0u32, |a, &s| sat(a, cc1[s.index()]));
-                    let any0 = g
-                        .inputs()
-                        .iter()
-                        .map(|&s| cc0[s.index()])
-                        .min()
-                        .unwrap_or(INFINITE);
-                    let (z0, z1) = (sat(any0, 1), sat(all1, 1));
-                    if g.kind() == GateKind::And {
-                        (z0, z1)
-                    } else {
-                        (z1, z0)
-                    }
-                }
-                GateKind::Or | GateKind::Nor => {
-                    let all0 = g.inputs().iter().fold(0u32, |a, &s| sat(a, cc0[s.index()]));
-                    let any1 = g
-                        .inputs()
-                        .iter()
-                        .map(|&s| cc1[s.index()])
-                        .min()
-                        .unwrap_or(INFINITE);
-                    let (z1, z0) = (sat(any1, 1), sat(all0, 1));
-                    if g.kind() == GateKind::Or {
-                        (z0, z1)
-                    } else {
-                        (z1, z0)
-                    }
-                }
-                GateKind::Xor | GateKind::Xnor => {
-                    // DP over parity: cheapest way to reach even/odd parity.
-                    let (mut even, mut odd) = (0u32, INFINITE);
-                    for &s in g.inputs() {
-                        let (e, o) = (even, odd);
-                        even = sat(e, cc0[s.index()]).min(sat(o, cc1[s.index()]));
-                        odd = sat(e, cc1[s.index()]).min(sat(o, cc0[s.index()]));
-                    }
-                    let (z0, z1) = (sat(even, 1), sat(odd, 1));
-                    if g.kind() == GateKind::Xor {
-                        (z0, z1)
-                    } else {
-                        (z1, z0)
-                    }
-                }
-            };
-            if n0 != cc0[i] || n1 != cc1[i] {
-                cc0[i] = n0;
-                cc1[i] = n1;
-                changed = true;
-            }
-        }
-        if !changed || iterations > 64 {
-            break;
-        }
-    }
-
-    // --- Observability: relax backwards. ---------------------------------
-    let mut co = vec![INFINITE; n];
-    for &(g, _) in netlist.primary_outputs() {
-        co[g.index()] = 0;
-    }
-    loop {
-        iterations += 1;
-        let mut changed = false;
-        for &id in lv.order().iter().rev() {
-            let g = netlist.gate(id);
-            let out_co = co[id.index()];
-            // Keep PO nets at 0 but still propagate to their drivers below.
-            for (pin, &src) in g.inputs().iter().enumerate() {
-                let pin_cost = match g.kind() {
-                    GateKind::Buf | GateKind::Not => sat(out_co, 1),
-                    GateKind::Dff => sat(out_co, 1),
-                    GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
-                        // Other inputs must hold non-controlling values.
-                        let noncontrolling = !g.kind().controlling_value().expect("AND/OR family");
-                        let side: u32 = g
-                            .inputs()
-                            .iter()
-                            .enumerate()
-                            .filter(|&(q, _)| q != pin)
-                            .fold(0u32, |a, (_, &s)| {
-                                let c = if noncontrolling {
-                                    cc1[s.index()]
-                                } else {
-                                    cc0[s.index()]
-                                };
-                                sat(a, c)
-                            });
-                        sat(sat(out_co, side), 1)
-                    }
-                    GateKind::Xor | GateKind::Xnor => {
-                        // Other inputs just need *known* cheap values.
-                        let side: u32 = g
-                            .inputs()
-                            .iter()
-                            .enumerate()
-                            .filter(|&(q, _)| q != pin)
-                            .fold(0u32, |a, (_, &s)| {
-                                sat(a, cc0[s.index()].min(cc1[s.index()]))
-                            });
-                        sat(sat(out_co, side), 1)
-                    }
-                    GateKind::Input | GateKind::Const0 | GateKind::Const1 => continue,
-                };
-                let si = src.index();
-                if pin_cost < co[si] {
-                    co[si] = pin_cost;
-                    changed = true;
-                }
-            }
-        }
-        if !changed || iterations > 160 {
-            break;
-        }
-    }
-
-    let measures = (0..n)
+    let r = dft_analyze::scoap::compute(netlist)?;
+    let measures = (0..netlist.gate_count())
         .map(|i| Measure {
-            cc0: cc0[i],
-            cc1: cc1[i],
-            co: co[i],
+            cc0: r.cc[i].0,
+            cc1: r.cc[i].1,
+            co: r.co[i],
         })
         .collect();
     Ok(TestabilityReport {
         measures,
-        iterations,
+        iterations: r.iterations,
     })
 }
 
@@ -424,5 +284,71 @@ mod tests {
         let n = c17();
         let r = analyze(&n).unwrap();
         assert!(r.total_difficulty() < u64::from(INFINITE));
+    }
+
+    #[test]
+    fn golden_c17_scoap_values() {
+        // Hand-computed SCOAP triples for the full c17 benchmark.
+        //
+        // NAND: cc0 = Σ cc1(inputs) + 1, cc1 = min cc0(input) + 1;
+        // pin CO = co(out) + Σ cc1(side inputs) + 1. Working from the
+        // inputs (1,1) forward and the outputs (co = 0) backward:
+        //
+        //   g10 = NAND(1,3)   cc = (3,2)   co = 0 + cc1(g16) + 1 = 3
+        //   g11 = NAND(3,6)   cc = (3,2)   co = min(via g16, via g19) = 5
+        //   g16 = NAND(2,11)  cc = (4,2)   co = min(0+cc1(g10)+1, 0+cc1(g19)+1) = 3
+        //   g19 = NAND(11,7)  cc = (4,2)   co = 0 + cc1(g16) + 1 = 3
+        //   g22 = NAND(10,16) cc = (5,4)   co = 0 (PO)
+        //   g23 = NAND(16,19) cc = (5,5)   co = 0 (PO)
+        let n = c17();
+        let r = analyze(&n).unwrap();
+        let net = |name: &str| {
+            n.find_input(name)
+                .or_else(|| n.find_output(name))
+                .unwrap_or_else(|| panic!("c17 net '{name}' missing"))
+        };
+        // Internal gates by arena construction order (g10, g11, g16, g19
+        // follow the five inputs).
+        let by_index = |i: usize| dft_netlist::GateId::from_index(i);
+        let (g10, g11, g16, g19) = (by_index(5), by_index(6), by_index(7), by_index(8));
+        let golden: [(GateId, (u32, u32, u32)); 11] = [
+            (net("1"), (1, 1, 5)),
+            (net("2"), (1, 1, 6)),
+            (net("3"), (1, 1, 5)),
+            (net("6"), (1, 1, 7)),
+            (net("7"), (1, 1, 6)),
+            (g10, (3, 2, 3)),
+            (g11, (3, 2, 5)),
+            (g16, (4, 2, 3)),
+            (g19, (4, 2, 3)),
+            (net("22"), (5, 4, 0)),
+            (net("23"), (5, 5, 0)),
+        ];
+        for (id, (cc0, cc1, co)) in golden {
+            assert_eq!(
+                (r.cc0(id), r.cc1(id), r.observability(id)),
+                (cc0, cc1, co),
+                "SCOAP triple mismatch at {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_matches_the_analysis_cache() {
+        // The wrapper and the incremental cache must agree exactly —
+        // they share one solver.
+        use dft_analyze::AnalysisCache;
+        use dft_netlist::circuits::random_combinational;
+        for seed in 0..4 {
+            let n = random_combinational(6, 40, seed);
+            let r = analyze(&n).unwrap();
+            let mut cache = AnalysisCache::new(&n).unwrap();
+            let s = cache.scoap();
+            for id in n.ids() {
+                assert_eq!(r.cc0(id), s.cc0(id));
+                assert_eq!(r.cc1(id), s.cc1(id));
+                assert_eq!(r.observability(id), s.co(id));
+            }
+        }
     }
 }

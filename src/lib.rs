@@ -5,7 +5,10 @@
 //! Library users will normally depend on the individual crates
 //! ([`dft_core`], [`dft_netlist`], …) directly.
 
+#![forbid(unsafe_code)]
+
 pub use dft_adhoc as adhoc;
+pub use dft_analyze as analyze;
 pub use dft_atpg as atpg;
 pub use dft_bist as bist;
 pub use dft_core as core;
@@ -15,6 +18,7 @@ pub use dft_lfsr as lfsr;
 pub use dft_lint as lint;
 pub use dft_netlist as netlist;
 pub use dft_obs as obs;
+pub use dft_repair as repair;
 pub use dft_scan as scan;
 pub use dft_sim as sim;
 pub use dft_testability as testability;
