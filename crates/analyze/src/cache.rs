@@ -292,6 +292,38 @@ impl AnalysisCache {
         self.scoap.as_ref().expect("ensured")
     }
 
+    /// The SCOAP result if it is computed *and* exact for the current
+    /// netlist — the zero-cost read path concurrent callers (the serve
+    /// daemon's read-locked queries) take before falling back to the
+    /// `&mut self` refresh.
+    #[must_use]
+    pub fn scoap_ready(&self) -> Option<&ScoapResult> {
+        match self.scoap_dirty {
+            Dirty::Clean => self.scoap.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The structural constants if computed and exact (see
+    /// [`AnalysisCache::scoap_ready`]).
+    #[must_use]
+    pub fn constants_ready(&self) -> Option<&[Logic]> {
+        match self.constants_dirty {
+            Dirty::Clean => self.constants.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// The X-taint witnesses if computed and exact (see
+    /// [`AnalysisCache::scoap_ready`]).
+    #[must_use]
+    pub fn xprop_ready(&self) -> Option<&[XWitness]> {
+        match self.xprop_dirty {
+            Dirty::Clean => self.xprop.as_deref(),
+            _ => None,
+        }
+    }
+
     /// Structural constants, refreshed incrementally.
     pub fn constants(&mut self) -> &[Logic] {
         self.ensure_constants();

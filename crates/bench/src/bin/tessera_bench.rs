@@ -51,12 +51,14 @@
 //! `fault_patterns_per_sec` fell below half its baseline value.
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Instant;
 
 use dft_analyze::{AnalysisCache, NetlistDelta};
 use dft_atpg::{
     generate_tests, generate_tests_observed, AtpgConfig, DetDriver, Podem, PodemConfig,
 };
+use dft_bench::cli::{envelope, Format, ToolExit};
 use dft_bench::{eng, exhaustive_patterns, print_table};
 use dft_fault::{
     dominance_collapse, prefilter_untestable, universe, DeductiveEngine, DetectionResult,
@@ -69,8 +71,26 @@ use dft_sim::PatternSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+const USAGE: &str = "\
+tessera-bench: engine throughput / ATPG / incremental-analysis benchmark
+
+USAGE:
+    tessera-bench [--quick] [--format text|json] [--out PATH]
+                  [--atpg-out PATH] [--analysis-out PATH] [--threads N]
+                  [--report PATH] [--atpg-baseline PATH]
+                  [--fault-sim-baseline PATH]
+
+With --format json the text tables are suppressed and stdout carries one
+tessera/1 envelope whose payload is the fault-sim benchmark JSON,
+byte-identical to what --out writes. The BENCH_*.json artifacts are
+written either way.
+
+EXIT CODES: 0 done, 1 regression (engines disagree, baseline gate or
+equivalence check failed), 2 usage error.";
+
 struct Config {
     quick: bool,
+    format: Format,
     out: String,
     atpg_out: String,
     analysis_out: String,
@@ -80,9 +100,10 @@ struct Config {
     fault_sim_baseline: Option<String>,
 }
 
-fn parse_args() -> Config {
+fn parse_args() -> Result<Option<Config>, String> {
     let mut cfg = Config {
         quick: false,
+        format: Format::Text,
         out: "BENCH_fault_sim.json".to_owned(),
         atpg_out: "BENCH_atpg.json".to_owned(),
         analysis_out: "BENCH_analysis.json".to_owned(),
@@ -92,37 +113,35 @@ fn parse_args() -> Config {
         fault_sim_baseline: None,
     };
     let mut args = std::env::args().skip(1);
+    let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+        args.next().ok_or_else(|| format!("{flag} expects a value"))
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
             "--quick" => cfg.quick = true,
-            "--out" => cfg.out = args.next().expect("--out requires a path"),
-            "--atpg-out" => cfg.atpg_out = args.next().expect("--atpg-out requires a path"),
-            "--analysis-out" => {
-                cfg.analysis_out = args.next().expect("--analysis-out requires a path")
-            }
+            "--format" => cfg.format = Format::parse(&value("--format", &mut args)?)?,
+            "--out" => cfg.out = value("--out", &mut args)?,
+            "--atpg-out" => cfg.atpg_out = value("--atpg-out", &mut args)?,
+            "--analysis-out" => cfg.analysis_out = value("--analysis-out", &mut args)?,
             "--threads" => {
-                cfg.threads = args
-                    .next()
-                    .expect("--threads requires a count")
+                let v = value("--threads", &mut args)?;
+                cfg.threads = v
                     .parse()
-                    .expect("--threads requires an integer")
+                    .map_err(|_| format!("--threads: '{v}' is not a valid count"))?;
             }
-            "--report" => cfg.report = Some(args.next().expect("--report requires a path")),
-            "--atpg-baseline" => {
-                cfg.atpg_baseline = Some(args.next().expect("--atpg-baseline requires a path"))
-            }
+            "--report" => cfg.report = Some(value("--report", &mut args)?),
+            "--atpg-baseline" => cfg.atpg_baseline = Some(value("--atpg-baseline", &mut args)?),
             "--fault-sim-baseline" => {
-                cfg.fault_sim_baseline =
-                    Some(args.next().expect("--fault-sim-baseline requires a path"))
+                cfg.fault_sim_baseline = Some(value("--fault-sim-baseline", &mut args)?);
             }
-            other => panic!(
-                "unknown flag {other} (expected --quick, --out PATH, --atpg-out PATH, \
-                 --analysis-out PATH, --threads N, --report PATH, --atpg-baseline PATH, \
-                 --fault-sim-baseline PATH)"
-            ),
+            other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    cfg
+    Ok(Some(cfg))
 }
 
 /// One benchmark workload: a circuit plus the pattern set applied to it.
@@ -242,8 +261,17 @@ fn time_engine(
     (t.elapsed().as_secs_f64().max(1e-9), r)
 }
 
-fn main() {
-    let cfg = parse_args();
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => return ExitCode::from(ToolExit::Success),
+        Err(msg) => {
+            eprintln!("tessera-bench: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(ToolExit::Usage);
+        }
+    };
+    let text = cfg.format == Format::Text;
     let ppsfp = PpsfpEngine {
         options: PpsfpOptions::new()
             .with_threads(cfg.threads)
@@ -306,189 +334,200 @@ fn main() {
         }
     }
 
-    let rows: Vec<Vec<String>> = records
-        .iter()
-        .map(|r| {
-            vec![
-                r.circuit.to_owned(),
-                r.engine.to_owned(),
-                r.gates.to_string(),
-                r.faults.to_string(),
-                r.patterns.to_string(),
-                format!("{:.4}", r.seconds),
-                eng(r.patterns_per_sec()),
-                eng(r.fault_patterns_per_sec()),
-                eng(r.gates_per_sec()),
-                r.bytes_per_gate().to_string(),
-                r.detected.to_string(),
-            ]
-        })
-        .collect();
-    print_table(
-        "fault-simulation engine throughput",
-        &[
-            "circuit", "engine", "gates", "faults", "patterns", "seconds", "pat/s", "f*pat/s",
-            "gate/s", "B/gate", "detected",
-        ],
-        &rows,
-    );
+    if text {
+        let rows: Vec<Vec<String>> = records
+            .iter()
+            .map(|r| {
+                vec![
+                    r.circuit.to_owned(),
+                    r.engine.to_owned(),
+                    r.gates.to_string(),
+                    r.faults.to_string(),
+                    r.patterns.to_string(),
+                    format!("{:.4}", r.seconds),
+                    eng(r.patterns_per_sec()),
+                    eng(r.fault_patterns_per_sec()),
+                    eng(r.gates_per_sec()),
+                    r.bytes_per_gate().to_string(),
+                    r.detected.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            "fault-simulation engine throughput",
+            &[
+                "circuit", "engine", "gates", "faults", "patterns", "seconds", "pat/s", "f*pat/s",
+                "gate/s", "B/gate", "detected",
+            ],
+            &rows,
+        );
+    }
 
     let curve = coverage_curve(cfg.quick, &ppsfp);
-    let speedup_rows: Vec<Vec<String>> = speedups
-        .iter()
-        .map(|(c, s)| vec![(*c).to_owned(), format!("{s:.1}x")])
-        .collect();
-    print_table(
-        "ppsfp speedup vs serial (dropping on in both)",
-        &["circuit", "speedup"],
-        &speedup_rows,
-    );
-    let curve_rows: Vec<Vec<String>> = curve
-        .iter()
-        .map(|&(k, c)| vec![k.to_string(), format!("{:.1}%", c * 100.0)])
-        .collect();
-    print_table(
-        "random-pattern coverage vs pattern count (ppsfp, rand_16x300)",
-        &["patterns", "coverage"],
-        &curve_rows,
-    );
-    println!(
-        "\ndetected fault sets agree across engines: {all_agree}\nwriting {}",
-        cfg.out
-    );
+    if text {
+        let speedup_rows: Vec<Vec<String>> = speedups
+            .iter()
+            .map(|(c, s)| vec![(*c).to_owned(), format!("{s:.1}x")])
+            .collect();
+        print_table(
+            "ppsfp speedup vs serial (dropping on in both)",
+            &["circuit", "speedup"],
+            &speedup_rows,
+        );
+        let curve_rows: Vec<Vec<String>> = curve
+            .iter()
+            .map(|&(k, c)| vec![k.to_string(), format!("{:.1}%", c * 100.0)])
+            .collect();
+        print_table(
+            "random-pattern coverage vs pattern count (ppsfp, rand_16x300)",
+            &["patterns", "coverage"],
+            &curve_rows,
+        );
+        println!(
+            "\ndetected fault sets agree across engines: {all_agree}\nwriting {}",
+            cfg.out
+        );
+    }
 
-    std::fs::write(
-        &cfg.out,
-        to_json(&records, &speedups, &curve, all_agree, &cfg),
-    )
-    .expect("write bench JSON");
+    let fault_sim_json = to_json(&records, &speedups, &curve, all_agree, &cfg);
+    std::fs::write(&cfg.out, &fault_sim_json).expect("write bench JSON");
 
     let analysis = analysis_bench(cfg.quick);
-    let analysis_rows: Vec<Vec<String>> = analysis
-        .iter()
-        .map(|r| {
-            vec![
-                r.circuit.to_owned(),
-                r.gates.to_string(),
-                r.edits.to_string(),
-                eng(r.full_seconds),
-                eng(r.eco_median_seconds),
-                eng(r.eco_mean_seconds),
-                format!("{:.1}x", r.speedup()),
-                format!("{:.1}x", r.mean_speedup()),
-                r.equivalent.to_string(),
-            ]
-        })
-        .collect();
-    print_table(
-        "incremental analysis: single-gate ECO vs full recompute (scoap+constants+xprop)",
-        &[
-            "circuit",
-            "gates",
-            "edits",
-            "full_s",
-            "eco_p50_s",
-            "eco_mean_s",
-            "speedup",
-            "mean_x",
-            "equivalent",
-        ],
-        &analysis_rows,
-    );
+    if text {
+        let analysis_rows: Vec<Vec<String>> = analysis
+            .iter()
+            .map(|r| {
+                vec![
+                    r.circuit.to_owned(),
+                    r.gates.to_string(),
+                    r.edits.to_string(),
+                    eng(r.full_seconds),
+                    eng(r.eco_median_seconds),
+                    eng(r.eco_mean_seconds),
+                    format!("{:.1}x", r.speedup()),
+                    format!("{:.1}x", r.mean_speedup()),
+                    r.equivalent.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            "incremental analysis: single-gate ECO vs full recompute (scoap+constants+xprop)",
+            &[
+                "circuit",
+                "gates",
+                "edits",
+                "full_s",
+                "eco_p50_s",
+                "eco_mean_s",
+                "speedup",
+                "mean_x",
+                "equivalent",
+            ],
+            &analysis_rows,
+        );
+    }
     if !analysis.iter().all(|r| r.equivalent) {
         eprintln!("ANALYSIS REGRESSION: incremental results diverged from a from-scratch pass");
         std::process::exit(1);
     }
-    println!("\nwriting {}", cfg.analysis_out);
+    if text {
+        println!("\nwriting {}", cfg.analysis_out);
+    }
     std::fs::write(&cfg.analysis_out, analysis_to_json(&analysis, &cfg))
         .expect("write analysis bench JSON");
 
     let atpg = atpg_bench(cfg.quick);
-    let atpg_rows: Vec<Vec<String>> = atpg
-        .iter()
-        .flat_map(|r| {
-            [("off", &r.without), ("on", &r.with)].map(|(mode, run)| {
-                vec![
-                    r.circuit.to_owned(),
-                    mode.to_owned(),
-                    r.targets.to_string(),
-                    r.static_untestable.to_string(),
-                    run.tested.to_string(),
-                    run.untestable.to_string(),
-                    run.aborted.to_string(),
-                    run.backtracks.to_string(),
-                    run.implication_conflicts.to_string(),
-                    format!("{:.4}", run.seconds),
-                ]
+    if text {
+        let atpg_rows: Vec<Vec<String>> = atpg
+            .iter()
+            .flat_map(|r| {
+                [("off", &r.without), ("on", &r.with)].map(|(mode, run)| {
+                    vec![
+                        r.circuit.to_owned(),
+                        mode.to_owned(),
+                        r.targets.to_string(),
+                        r.static_untestable.to_string(),
+                        run.tested.to_string(),
+                        run.untestable.to_string(),
+                        run.aborted.to_string(),
+                        run.backtracks.to_string(),
+                        run.implication_conflicts.to_string(),
+                        format!("{:.4}", run.seconds),
+                    ]
+                })
             })
-        })
-        .collect();
-    print_table(
-        "podem over dominance-collapsed targets, implication pruning off/on",
-        &[
-            "circuit",
-            "implic",
-            "targets",
-            "static_unt",
-            "tested",
-            "untestable",
-            "aborted",
-            "backtracks",
-            "impl_confl",
-            "seconds",
-        ],
-        &atpg_rows,
-    );
-    let total_without: u64 = atpg.iter().map(|r| r.without.backtracks).sum();
-    let total_with: u64 = atpg.iter().map(|r| r.with.backtracks).sum();
-    println!(
-        "\ntotal backtracks without implications: {total_without}\n\
-         total backtracks with implications:    {total_with}\n\
-         strictly fewer with pruning: {}",
-        total_with < total_without,
-    );
+            .collect();
+        print_table(
+            "podem over dominance-collapsed targets, implication pruning off/on",
+            &[
+                "circuit",
+                "implic",
+                "targets",
+                "static_unt",
+                "tested",
+                "untestable",
+                "aborted",
+                "backtracks",
+                "impl_confl",
+                "seconds",
+            ],
+            &atpg_rows,
+        );
+        let total_without: u64 = atpg.iter().map(|r| r.without.backtracks).sum();
+        let total_with: u64 = atpg.iter().map(|r| r.with.backtracks).sum();
+        println!(
+            "\ntotal backtracks without implications: {total_without}\n\
+             total backtracks with implications:    {total_with}\n\
+             strictly fewer with pruning: {}",
+            total_with < total_without,
+        );
+    }
 
     let scaling = flow_scaling_bench(cfg.quick);
-    let scaling_rows: Vec<Vec<String>> = scaling
-        .rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.config.to_owned(),
-                r.threads.to_string(),
-                r.dropping.to_string(),
-                format!("{:.4}", r.seconds),
-                r.patterns.to_string(),
-                r.attempts.to_string(),
-                format!("{:#018x}", r.hash),
-            ]
-        })
-        .collect();
-    print_table(
-        "deterministic ATPG flow wall-clock vs threads (random budget 0)",
-        &[
-            "config",
-            "threads",
-            "drop",
-            "seconds",
-            "patterns",
-            "attempts",
-            "pattern_hash",
-        ],
-        &scaling_rows,
-    );
-    println!(
-        "\npattern sets identical across thread counts: {}\n\
-         speedup t8 (dropping) vs serial_nodrop: {:.2}x\nwriting {}",
-        scaling.identical, scaling.speedup, cfg.atpg_out
-    );
+    if text {
+        let scaling_rows: Vec<Vec<String>> = scaling
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.config.to_owned(),
+                    r.threads.to_string(),
+                    r.dropping.to_string(),
+                    format!("{:.4}", r.seconds),
+                    r.patterns.to_string(),
+                    r.attempts.to_string(),
+                    format!("{:#018x}", r.hash),
+                ]
+            })
+            .collect();
+        print_table(
+            "deterministic ATPG flow wall-clock vs threads (random budget 0)",
+            &[
+                "config",
+                "threads",
+                "drop",
+                "seconds",
+                "patterns",
+                "attempts",
+                "pattern_hash",
+            ],
+            &scaling_rows,
+        );
+        println!(
+            "\npattern sets identical across thread counts: {}\n\
+             speedup t8 (dropping) vs serial_nodrop: {:.2}x\nwriting {}",
+            scaling.identical, scaling.speedup, cfg.atpg_out
+        );
+    }
     std::fs::write(&cfg.atpg_out, atpg_to_json(&atpg, &scaling, &cfg))
         .expect("write ATPG bench JSON");
 
     if let Some(path) = &cfg.report {
         let report = observed_run(&cfg);
         std::fs::write(path, report.to_json()).expect("write run report");
-        println!("writing {path}");
+        if text {
+            println!("writing {path}");
+        }
     }
 
     if let Some(path) = &cfg.atpg_baseline {
@@ -498,6 +537,13 @@ fn main() {
     if let Some(path) = &cfg.fault_sim_baseline {
         check_fault_sim_baseline(path, &records, all_agree);
     }
+
+    if cfg.format == Format::Json {
+        // The envelope's payload is byte-identical to the artifact
+        // written at --out.
+        print!("{}", envelope("tessera-bench", &fault_sim_json));
+    }
+    ExitCode::from(ToolExit::Success)
 }
 
 /// Fails the run (exit 1) against a committed `BENCH_fault_sim.json` if
@@ -523,7 +569,7 @@ fn check_fault_sim_baseline(path: &str, records: &[Record], all_agree: bool) {
             r.circuit, r.engine
         );
         let Some(at) = text.find(&needle) else {
-            println!(
+            eprintln!(
                 "fault-sim baseline gate: {}/{} not in baseline, skipped",
                 r.circuit, r.engine
             );
@@ -559,7 +605,7 @@ fn check_fault_sim_baseline(path: &str, records: &[Record], all_agree: bool) {
     if failed {
         std::process::exit(1);
     }
-    println!("fault-sim baseline gate passed against {path}");
+    eprintln!("fault-sim baseline gate passed against {path}");
 }
 
 /// One circuit's incremental-analysis (ECO) measurement: mean seconds
@@ -935,7 +981,7 @@ fn check_atpg_baseline(path: &str, scaling: &FlowScaling) {
     for r in &scaling.records {
         let needle = format!("\"circuit\": \"{}\"", r.circuit);
         let Some(at) = text[flow_at..].find(&needle).map(|i| i + flow_at) else {
-            println!("baseline gate: {} not in baseline, skipped", r.circuit);
+            eprintln!("baseline gate: {} not in baseline, skipped", r.circuit);
             continue;
         };
         let base_patterns: usize = extract_after(&text, at, "\"patterns\":")
@@ -966,7 +1012,7 @@ fn check_atpg_baseline(path: &str, scaling: &FlowScaling) {
     if failed {
         std::process::exit(1);
     }
-    println!("baseline gate passed against {path}");
+    eprintln!("baseline gate passed against {path}");
 }
 
 /// One fully observed pass: the reference serial engine, the PPSFP

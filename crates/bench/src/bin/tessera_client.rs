@@ -1,0 +1,530 @@
+//! `tessera-client` — command-line client, replay harness and stress
+//! corpus driver for the `tessera-serve` daemon.
+//!
+//! ```text
+//! tessera-client --addr 127.0.0.1:3117 load c17
+//! tessera-client lint c17
+//! tessera-client replay corpus.jsonl --diff golden.jsonl
+//! tessera-client stress --design rand_24x2000 --clients 8 \
+//!     --requests 250 --out BENCH_serve.json
+//! ```
+//!
+//! Every response prints as its `tessera-serve/1` envelope, one per
+//! line, so output is directly usable as a replay golden.
+//!
+//! `stress` is the concurrency acceptance harness: it builds one
+//! deterministic request sequence per client (shared-design reads plus
+//! a private load/ECO/drop block each), replays every sequence
+//! single-threaded to capture canonical responses, then replays them
+//! again from N concurrent clients and counts byte-level response
+//! divergence — which must be zero, the serializability claim of the
+//! read/write-locked session design. Throughput and latency quantiles
+//! land in a `BENCH_serve.json`.
+
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dft_bench::cli::ToolExit;
+use dft_json::{JsonWriter, Style, Value};
+use dft_netlist::{bench_format, circuits};
+use dft_serve::{
+    decode_request, encode_request, encode_response, Client, EcoEdit, Request, Response,
+};
+
+const USAGE: &str = "\
+tessera-client: client for the tessera-serve daemon
+
+USAGE:
+    tessera-client [--addr HOST:PORT] <COMMAND> [ARGS]
+
+COMMANDS:
+    load <circuit>                        load a built-in/roster circuit
+    drop <design>                         drop a loaded design
+    designs                               list loaded designs
+    lint <design>                         design-rule report
+    scoap <design>                        SCOAP testability summary
+    fault-sim <design> [N [SEED]]         random-pattern fault coverage
+    dictionary <design> [N [SEED]]        fault-dictionary resolution
+    podem <design> <gate> <0|1> [PIN]     generate a test for a fault
+    eco <design> add <kind> <in,in,...>   apply one add-gate ECO edit
+    stats                                 daemon telemetry snapshot
+    shutdown                              graceful drain
+    replay <FILE> [--diff FILE]           send a request-per-line corpus;
+                                          with --diff, byte-compare the
+                                          responses against a golden
+    stress [--design NAME] [--clients N] [--requests N] [--out PATH]
+                                          concurrency stress + BENCH json
+
+OPTIONS:
+    --addr <HOST:PORT>   daemon address (default 127.0.0.1:3117)
+    -h, --help           print this help
+
+EXIT CODES: 0 success, 1 error response / replay diff / stress
+divergence, 2 usage error.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("tessera-client: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(ToolExit::Usage)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr: SocketAddr = "127.0.0.1:3117".parse().expect("default address is valid");
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::from(ToolExit::Success));
+            }
+            "--addr" => {
+                let v = it.next().ok_or("--addr expects a value")?;
+                addr = v
+                    .parse()
+                    .map_err(|_| format!("--addr: '{v}' is not HOST:PORT"))?;
+            }
+            other => rest.push(other.to_owned()),
+        }
+    }
+    let Some((command, tail)) = rest.split_first() else {
+        return Err("missing command".into());
+    };
+    match command.as_str() {
+        "replay" => replay(addr, tail),
+        "stress" => stress(addr, tail),
+        _ => {
+            let req = parse_simple(command, tail)?;
+            let mut client = Client::new(addr);
+            let resp = client.request(&req).map_err(|e| e.to_string())?;
+            println!("{}", encode_response(&resp));
+            Ok(ExitCode::from(if resp.is_error() {
+                ToolExit::Findings
+            } else {
+                ToolExit::Success
+            }))
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{what}: '{s}' is not a valid number"))
+}
+
+/// Builds the request for one of the single-shot commands.
+fn parse_simple(command: &str, tail: &[String]) -> Result<Request, String> {
+    let arg = |i: usize, what: &str| -> Result<&String, String> {
+        tail.get(i)
+            .ok_or_else(|| format!("{command}: missing {what}"))
+    };
+    Ok(match command {
+        "load" => Request::Load {
+            circuit: arg(0, "circuit name")?.clone(),
+        },
+        "drop" => Request::Drop {
+            design: arg(0, "design name")?.clone(),
+        },
+        "designs" => Request::Designs,
+        "lint" => Request::Lint {
+            design: arg(0, "design name")?.clone(),
+        },
+        "scoap" => Request::Scoap {
+            design: arg(0, "design name")?.clone(),
+        },
+        "fault-sim" => Request::FaultSim {
+            design: arg(0, "design name")?.clone(),
+            patterns: tail.get(1).map_or(Ok(256), |v| parse_num(v, "patterns"))?,
+            seed: tail.get(2).map_or(Ok(1), |v| parse_num(v, "seed"))?,
+        },
+        "dictionary" => Request::Dictionary {
+            design: arg(0, "design name")?.clone(),
+            patterns: tail.get(1).map_or(Ok(256), |v| parse_num(v, "patterns"))?,
+            seed: tail.get(2).map_or(Ok(1), |v| parse_num(v, "seed"))?,
+        },
+        "podem" => Request::Podem {
+            design: arg(0, "design name")?.clone(),
+            gate: parse_num(arg(1, "gate index")?, "gate")?,
+            stuck: match arg(2, "stuck value (0|1)")?.as_str() {
+                "0" => false,
+                "1" => true,
+                other => return Err(format!("podem: stuck value '{other}' is not 0|1")),
+            },
+            pin: tail.get(3).map(|v| parse_num(v, "pin")).transpose()?,
+        },
+        "eco" => {
+            if arg(1, "edit op")? != "add" {
+                return Err("eco: only 'add <kind> <in,in,...>' is supported here".into());
+            }
+            let inputs = arg(3, "input list")?
+                .split(',')
+                .map(|v| parse_num(v, "eco input"))
+                .collect::<Result<Vec<usize>, _>>()?;
+            Request::Eco {
+                design: arg(0, "design name")?.clone(),
+                edits: vec![EcoEdit::AddGate {
+                    kind: arg(2, "gate kind")?.clone(),
+                    inputs,
+                }],
+            }
+        }
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown command '{other}'")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// replay
+// ---------------------------------------------------------------------
+
+/// Sends every request in a JSONL corpus; with `--diff`, byte-compares
+/// the response envelopes against a golden JSONL.
+fn replay(addr: SocketAddr, tail: &[String]) -> Result<ExitCode, String> {
+    let mut corpus_path = None;
+    let mut golden_path = None;
+    let mut it = tail.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--diff" => golden_path = Some(it.next().ok_or("--diff expects a path")?.clone()),
+            other if corpus_path.is_none() => corpus_path = Some(other.to_owned()),
+            other => return Err(format!("replay: unexpected argument '{other}'")),
+        }
+    }
+    let corpus_path = corpus_path.ok_or("replay: missing corpus path")?;
+    let corpus = std::fs::read_to_string(&corpus_path)
+        .map_err(|e| format!("cannot read '{corpus_path}': {e}"))?;
+    let golden: Option<Vec<String>> = match &golden_path {
+        Some(p) => Some(
+            std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read '{p}': {e}"))?
+                .lines()
+                .map(str::to_owned)
+                .collect(),
+        ),
+        None => None,
+    };
+
+    let mut client = Client::new(addr);
+    let mut diffs = 0usize;
+    let mut sent = 0usize;
+    for (i, line) in corpus.lines().enumerate() {
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let req = decode_request(line).map_err(|e| format!("{corpus_path}:{}: {e}", i + 1))?;
+        let resp = client.request(&req).map_err(|e| e.to_string())?;
+        let wire = encode_response(&resp);
+        println!("{wire}");
+        if let Some(golden) = &golden {
+            match golden.get(sent) {
+                Some(expected) if *expected == wire => {}
+                Some(expected) => {
+                    eprintln!(
+                        "DIVERGENCE at corpus line {}:\n  expected: {expected}\n  got:      {wire}",
+                        i + 1
+                    );
+                    diffs += 1;
+                }
+                None => {
+                    eprintln!("DIVERGENCE: golden has no line for corpus line {}", i + 1);
+                    diffs += 1;
+                }
+            }
+        }
+        sent += 1;
+    }
+    if let Some(golden) = &golden {
+        if golden.len() > sent {
+            eprintln!(
+                "DIVERGENCE: golden has {} extra line(s) beyond the corpus",
+                golden.len() - sent
+            );
+            diffs += golden.len() - sent;
+        }
+        eprintln!("replay: {sent} request(s), {diffs} divergence(s)");
+    }
+    Ok(ExitCode::from(if diffs == 0 {
+        ToolExit::Success
+    } else {
+        ToolExit::Findings
+    }))
+}
+
+// ---------------------------------------------------------------------
+// stress
+// ---------------------------------------------------------------------
+
+struct StressConfig {
+    design: String,
+    clients: usize,
+    requests: usize,
+    out: String,
+}
+
+/// One client's deterministic request sequence: reads against the
+/// shared design interleaved with a private load → ECO ×2 → drop block
+/// (private per client, so responses are interleaving-independent).
+fn client_sequence(cfg: &StressConfig, client: usize, gates: usize) -> Vec<Request> {
+    let design = cfg.design.clone();
+    let eco_name = format!("stress_eco_c{client}");
+    let eco_text = bench_format::write(&circuits::c17());
+    let mut seq = Vec::with_capacity(cfg.requests + 4);
+    seq.push(Request::LoadBench {
+        name: eco_name.clone(),
+        text: eco_text,
+    });
+    for round in 0..2 {
+        let _ = round;
+        seq.push(Request::Eco {
+            design: eco_name.clone(),
+            edits: vec![EcoEdit::AddGate {
+                kind: "nand".into(),
+                inputs: vec![0, 1],
+            }],
+        });
+    }
+    for i in 0..cfg.requests {
+        let salt = client * 37 + i * 13;
+        seq.push(match i % 5 {
+            0 => Request::Lint {
+                design: design.clone(),
+            },
+            1 => Request::Scoap {
+                design: design.clone(),
+            },
+            2 => Request::FaultSim {
+                design: design.clone(),
+                patterns: [64, 128, 256][salt % 3],
+                seed: 1 + (salt % 3) as u64,
+            },
+            3 => Request::Podem {
+                design: design.clone(),
+                gate: salt % gates.max(1),
+                pin: None,
+                stuck: i % 2 == 0,
+            },
+            _ => Request::Dictionary {
+                design: design.clone(),
+                patterns: 128,
+                seed: 2,
+            },
+        });
+    }
+    seq.push(Request::Drop { design: eco_name });
+    seq
+}
+
+fn stress(addr: SocketAddr, tail: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = StressConfig {
+        design: "rand_16x300".into(),
+        clients: 8,
+        requests: 100,
+        out: "BENCH_serve.json".into(),
+    };
+    let mut it = tail.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--design" => cfg.design = value("--design")?,
+            "--clients" => cfg.clients = parse_num(&value("--clients")?, "--clients")?,
+            "--requests" => cfg.requests = parse_num(&value("--requests")?, "--requests")?,
+            "--out" => cfg.out = value("--out")?,
+            other => return Err(format!("stress: unexpected argument '{other}'")),
+        }
+    }
+
+    // Load the shared design (idempotent) and size the PODEM targets.
+    let mut setup = Client::new(addr);
+    let resp = setup
+        .request(&Request::Load {
+            circuit: cfg.design.clone(),
+        })
+        .map_err(|e| e.to_string())?;
+    let Response::Loaded(info) = resp else {
+        return Err(format!(
+            "cannot load '{}': {}",
+            cfg.design,
+            encode_response(&resp)
+        ));
+    };
+    eprintln!(
+        "stress: design {} ({} gates), {} clients x {} requests",
+        info.design,
+        info.gates,
+        cfg.clients,
+        cfg.requests + 4
+    );
+
+    let sequences: Vec<Vec<Request>> = (0..cfg.clients)
+        .map(|c| client_sequence(&cfg, c, info.gates))
+        .collect();
+
+    // Phase A: single-threaded canonical replay. The setup client is
+    // dropped with this scope so its keep-alive connection does not
+    // occupy a daemon worker while the concurrent clients run.
+    let mut canonical: Vec<Vec<String>> = Vec::with_capacity(cfg.clients);
+    for seq in &sequences {
+        let mut responses = Vec::with_capacity(seq.len());
+        for req in seq {
+            let resp = setup.request(req).map_err(|e| e.to_string())?;
+            if resp.is_error() {
+                return Err(format!(
+                    "canonical replay got an error response for {}: {}",
+                    encode_request(req),
+                    encode_response(&resp)
+                ));
+            }
+            responses.push(encode_response(&resp));
+        }
+        canonical.push(responses);
+    }
+    drop(setup);
+    eprintln!("stress: canonical single-threaded replay done");
+
+    // Phase B: the same sequences from N concurrent clients.
+    type ClientRun = Result<(Vec<String>, Vec<u64>), String>;
+    let started = Instant::now();
+    let results: Vec<ClientRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sequences
+            .iter()
+            .map(|seq| {
+                scope.spawn(move || {
+                    let mut client = Client::new(addr);
+                    let mut responses = Vec::with_capacity(seq.len());
+                    let mut latencies_us = Vec::with_capacity(seq.len());
+                    for req in seq {
+                        let t = Instant::now();
+                        let resp = client.request(req).map_err(|e| e.to_string())?;
+                        latencies_us
+                            .push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        responses.push(encode_response(&resp));
+                    }
+                    Ok((responses, latencies_us))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".into()))
+            })
+            .collect()
+    });
+    let seconds = started.elapsed().as_secs_f64();
+
+    let mut divergence = 0usize;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut total = 0usize;
+    for (c, result) in results.into_iter().enumerate() {
+        let (responses, lats) = result.map_err(|e| format!("client {c}: {e}"))?;
+        total += responses.len();
+        latencies.extend(lats);
+        for (i, (got, want)) in responses.iter().zip(&canonical[c]).enumerate() {
+            if got != want {
+                divergence += 1;
+                if divergence <= 5 {
+                    eprintln!(
+                        "DIVERGENCE client {c} request {i}:\n  canonical: {want}\n  concurrent: {got}"
+                    );
+                }
+            }
+        }
+    }
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx]
+    };
+    let (p50, p99) = (quantile(0.50), quantile(0.99));
+    let rps = total as f64 / seconds.max(1e-9);
+
+    // Pull the daemon's own artifact counters for the ECO/caching proof.
+    let mut reporter = Client::new(addr);
+    let stats = reporter
+        .request(&Request::Stats)
+        .map_err(|e| e.to_string())?;
+    let snapshot = match &stats {
+        Response::Stats { stats } => stats.clone(),
+        other => return Err(format!("stats failed: {}", encode_response(other))),
+    };
+    let counter = |key: &str| -> u64 {
+        snapshot
+            .get("artifacts")
+            .and_then(|a| a.get(key))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    let eco_incremental = counter("eco_incremental");
+
+    let mut w = JsonWriter::new(Style::Pretty);
+    w.begin_object();
+    w.kv_string("bench", "serve_stress");
+    w.kv_string("schema", "tessera-serve-bench/1");
+    w.kv_string("design", &cfg.design);
+    w.kv_u64("gates", info.gates as u64);
+    w.kv_u64("clients", cfg.clients as u64);
+    w.kv_u64("requests_per_client", (cfg.requests + 4) as u64);
+    w.kv_u64("total_requests", total as u64);
+    w.kv_f64("seconds", seconds);
+    w.kv_f64("requests_per_sec", rps);
+    w.kv_u64("p50_us", p50);
+    w.kv_u64("p99_us", p99);
+    w.kv_u64("divergence", divergence as u64);
+    w.key("artifacts");
+    w.begin_object();
+    for key in [
+        "lint_hits",
+        "lint_builds",
+        "scoap_hits",
+        "scoap_refreshes",
+        "fault_sim_hits",
+        "fault_sim_runs",
+        "dictionary_hits",
+        "dictionary_builds",
+        "podem_warm",
+        "podem_warmups",
+        "eco_incremental",
+        "eco_rejected",
+    ] {
+        w.kv_u64(key, counter(key));
+    }
+    w.end_object();
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
+    let mut file =
+        std::fs::File::create(&cfg.out).map_err(|e| format!("cannot create '{}': {e}", cfg.out))?;
+    file.write_all(json.as_bytes())
+        .map_err(|e| format!("cannot write '{}': {e}", cfg.out))?;
+
+    eprintln!(
+        "stress: {total} requests in {seconds:.2}s ({rps:.0} req/s), \
+         p50 {p50}us p99 {p99}us, divergence {divergence}, \
+         eco_incremental {eco_incremental}; wrote {}",
+        cfg.out
+    );
+    if divergence > 0 || eco_incremental == 0 {
+        if eco_incremental == 0 {
+            eprintln!("stress: ECO incremental path never taken — check the daemon");
+        }
+        return Ok(ExitCode::from(ToolExit::Findings));
+    }
+    Ok(ExitCode::from(ToolExit::Success))
+}

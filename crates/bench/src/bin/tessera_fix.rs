@@ -13,6 +13,7 @@
 
 use std::process::ExitCode;
 
+use dft_bench::cli::{envelope, Format, ToolExit};
 use dft_bench::{circuit_menu, print_table, resolve_circuit};
 use dft_lint::LintConfig;
 use dft_netlist::{bench_format, Netlist};
@@ -47,13 +48,12 @@ OPTIONS:
     --list-circuits         print the built-in circuit names and exit
     -h, --help              print this help
 
-EXIT CODES: 0 done, 1 --require-improvement unmet, 2 usage error.";
+EXIT CODES: 0 done, 1 --require-improvement unmet, 2 usage error.
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Format {
-    Text,
-    Json,
-}
+JSON output is one tessera/1 envelope:
+{\"schema\": \"tessera/1\", \"tool\": \"tessera-fix\", \"payload\": ...}
+with the tessera-fix/1 plan (or an array of plans) embedded verbatim as
+the payload; --out still writes the bare plan JSON.";
 
 struct Cli {
     format: Format,
@@ -96,11 +96,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 return Ok(None);
             }
             "--format" => {
-                cli.format = match value("--format")?.as_str() {
-                    "text" => Format::Text,
-                    "json" => Format::Json,
-                    other => return Err(format!("unknown format '{other}'")),
-                };
+                cli.format = Format::parse(&value("--format")?)?;
             }
             "--out" => cli.out = Some(value("--out")?),
             "--netlist-out" => cli.netlist_out = Some(value("--netlist-out")?),
@@ -249,21 +245,25 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 }
             }
         }
-        Format::Json if outcomes.len() == 1 => print!("{}", outcomes[0].plan.to_json()),
         Format::Json => {
-            let bodies: Vec<String> = outcomes
-                .iter()
-                .map(|o| o.plan.to_json().trim_end().to_owned())
-                .collect();
-            println!("[\n{}\n]", bodies.join(",\n"));
+            let payload = if outcomes.len() == 1 {
+                outcomes[0].plan.to_json()
+            } else {
+                let bodies: Vec<String> = outcomes
+                    .iter()
+                    .map(|o| o.plan.to_json().trim_end().to_owned())
+                    .collect();
+                format!("[\n{}\n]", bodies.join(",\n"))
+            };
+            print!("{}", envelope("tessera-fix", &payload));
         }
     }
 
     if cli.require_improvement && !outcomes.iter().all(|o| o.plan.improved()) {
         eprintln!("tessera-fix: no coverage-improving repair was accepted");
-        return Ok(ExitCode::FAILURE);
+        return Ok(ExitCode::from(ToolExit::Findings));
     }
-    Ok(ExitCode::SUCCESS)
+    Ok(ExitCode::from(ToolExit::Success))
 }
 
 fn main() -> ExitCode {
@@ -273,7 +273,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("tessera-fix: {msg}");
             eprintln!("{USAGE}");
-            ExitCode::from(2)
+            ExitCode::from(ToolExit::Usage)
         }
     }
 }

@@ -11,6 +11,7 @@
 
 use std::process::ExitCode;
 
+use dft_bench::cli::{envelope, Format, ToolExit};
 use dft_bench::{circuit_menu, resolve_circuit};
 use dft_lint::{lint_with, LintConfig, LintReport, Registry, SeverityOverrides};
 use dft_netlist::Netlist;
@@ -42,13 +43,12 @@ OPTIONS:
     -h, --help             print this help
 
 EXIT CODES: 0 clean or warnings only, 1 error-severity findings,
-2 usage error.";
+2 usage error.
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Format {
-    Text,
-    Json,
-}
+JSON output is one tessera/1 envelope:
+{\"schema\": \"tessera/1\", \"tool\": \"tessera-lint\", \"payload\": ...}
+with the lint report (or an array of reports) embedded verbatim as the
+payload.";
 
 struct Cli {
     format: Format,
@@ -99,11 +99,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 return Ok(None);
             }
             "--format" => {
-                cli.format = match value("--format")?.as_str() {
-                    "text" => Format::Text,
-                    "json" => Format::Json,
-                    other => return Err(format!("unknown format '{other}'")),
-                };
+                cli.format = Format::parse(&value("--format")?)?;
             }
             "--max-depth" => {
                 cli.config.max_depth = parse_num(&value("--max-depth")?, "--max-depth")?;
@@ -201,20 +197,24 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 print!("{}", report.to_text());
             }
         }
-        Format::Json if reports.len() == 1 => print!("{}", reports[0].to_json()),
         Format::Json => {
-            let bodies: Vec<String> = reports
-                .iter()
-                .map(|r| r.to_json().trim_end().to_owned())
-                .collect();
-            println!("[\n{}\n]", bodies.join(",\n"));
+            let payload = if reports.len() == 1 {
+                reports[0].to_json()
+            } else {
+                let bodies: Vec<String> = reports
+                    .iter()
+                    .map(|r| r.to_json().trim_end().to_owned())
+                    .collect();
+                format!("[\n{}\n]", bodies.join(",\n"))
+            };
+            print!("{}", envelope("tessera-lint", &payload));
         }
     }
 
     if reports.iter().any(LintReport::has_errors) {
-        Ok(ExitCode::FAILURE)
+        Ok(ExitCode::from(ToolExit::Findings))
     } else {
-        Ok(ExitCode::SUCCESS)
+        Ok(ExitCode::from(ToolExit::Success))
     }
 }
 
@@ -225,7 +225,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("tessera-lint: {msg}");
             eprintln!("{USAGE}");
-            ExitCode::from(2)
+            ExitCode::from(ToolExit::Usage)
         }
     }
 }

@@ -12,8 +12,12 @@
 
 #![forbid(unsafe_code)]
 
+use std::fmt;
+
 use dft_netlist::{bench_format, circuits, Netlist};
 use dft_sim::PatternSet;
+
+pub mod cli;
 
 /// A named entry in the built-in circuit menu.
 pub type CircuitEntry = (&'static str, fn() -> Netlist);
@@ -42,29 +46,121 @@ pub fn circuit_menu() -> Vec<CircuitEntry> {
     ]
 }
 
+/// A failed circuit lookup, with enough structure for a tool (or the
+/// daemon's `/load` endpoint) to tell the caller what *would* have
+/// worked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolveError {
+    /// What the caller asked for.
+    pub name: String,
+    /// Why it failed (human-readable).
+    pub message: String,
+    /// The built-in names the resolver would have accepted. Empty when
+    /// the name *was* recognized but loading it failed (file unreadable,
+    /// parse error) — listing the menu there would misdiagnose.
+    pub available: Vec<String>,
+}
+
+impl ResolveError {
+    fn unknown(name: &str) -> Self {
+        ResolveError {
+            name: name.to_owned(),
+            message: format!(
+                "unknown circuit '{name}' (not a built-in, not a file; try --list-circuits)"
+            ),
+            available: circuit_menu()
+                .iter()
+                .map(|(n, _)| (*n).to_owned())
+                .collect(),
+        }
+    }
+
+    fn load_failed(name: &str, message: String) -> Self {
+        ResolveError {
+            name: name.to_owned(),
+            message,
+            available: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+impl From<ResolveError> for String {
+    fn from(e: ResolveError) -> Self {
+        e.message
+    }
+}
+
 /// Resolves a target circuit the way every `tessera-*` CLI does: a
 /// built-in menu name first, then a path to a `.bench` netlist file.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message when `name` is neither a menu entry
-/// nor a readable, parseable `.bench` file.
-pub fn resolve_circuit(name: &str) -> Result<Netlist, String> {
+/// [`ResolveError`] when `name` is neither a menu entry nor a readable,
+/// parseable `.bench` file; for an unrecognized name the error carries
+/// the full menu in `available`.
+pub fn resolve_circuit(name: &str) -> Result<Netlist, ResolveError> {
     if let Some((_, build)) = circuit_menu().into_iter().find(|(n, _)| *n == name) {
         return Ok(build());
     }
     if std::path::Path::new(name).is_file() {
-        let text =
-            std::fs::read_to_string(name).map_err(|e| format!("cannot read '{name}': {e}"))?;
+        let text = std::fs::read_to_string(name)
+            .map_err(|e| ResolveError::load_failed(name, format!("cannot read '{name}': {e}")))?;
         let stem = std::path::Path::new(name)
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("netlist");
-        return bench_format::parse(&text, stem).map_err(|e| format!("{name}: {e}"));
+        return bench_format::parse(&text, stem)
+            .map_err(|e| ResolveError::load_failed(name, format!("{name}: {e}")));
     }
-    Err(format!(
-        "unknown circuit '{name}' (not a built-in, not a file; try --list-circuits)"
-    ))
+    Err(ResolveError::unknown(name))
+}
+
+/// The benchmark-roster random circuits (`rand_<inputs>x<gates>`) with
+/// their fixed seeds — the names `tessera-bench` reports under, also
+/// loadable by name in the daemon so stress results line up with the
+/// offline benchmarks.
+pub const SERVE_ROSTER: [(&str, usize, usize, u64); 7] = [
+    ("rand_12x80", 12, 80, 9),
+    ("rand_14x120", 14, 120, 2),
+    ("rand_15x140", 15, 140, 6),
+    ("rand_16x300", 16, 300, 5),
+    ("rand_20x800", 20, 800, 6),
+    ("rand_24x2000", 24, 2000, 7),
+    ("rand_28x6000", 28, 6000, 8),
+];
+
+/// [`resolve_circuit`] extended with the benchmark-roster random
+/// circuits: the resolver behind `tessera-serve --preload` and the
+/// daemon's `/load` endpoint.
+///
+/// # Errors
+///
+/// [`ResolveError`] as for [`resolve_circuit`], with the roster names
+/// appended to `available` on an unknown name.
+pub fn resolve_serve_circuit(name: &str) -> Result<Netlist, ResolveError> {
+    if let Some(&(_, inputs, gates, seed)) = SERVE_ROSTER.iter().find(|(n, ..)| *n == name) {
+        let mut netlist = circuits::random_combinational(inputs, gates, seed);
+        // Serve the roster name, not the generator's parameter string,
+        // so follow-up requests can address the design by the name they
+        // loaded it under.
+        netlist.set_name(name);
+        return Ok(netlist);
+    }
+    resolve_circuit(name).map_err(|mut e| {
+        if !e.available.is_empty() {
+            e.available
+                .extend(SERVE_ROSTER.iter().map(|(n, ..)| (*n).to_owned()));
+        }
+        e
+    })
 }
 
 /// Prints an aligned text table (the format every experiment binary
@@ -130,6 +226,23 @@ mod tests {
         let p = exhaustive_patterns(3);
         assert_eq!(p.len(), 8);
         assert_eq!(p.get(5), vec![true, false, true]);
+    }
+
+    #[test]
+    fn resolve_errors_carry_the_menu() {
+        let err = resolve_circuit("no-such-circuit").unwrap_err();
+        assert!(err.message.contains("no-such-circuit"));
+        assert!(err.available.iter().any(|n| n == "c17"));
+        assert!(err.available.iter().any(|n| n == "sn74181"));
+        let err = resolve_serve_circuit("no-such-circuit").unwrap_err();
+        assert!(err.available.iter().any(|n| n == "rand_24x2000"));
+    }
+
+    #[test]
+    fn serve_resolver_builds_roster_circuits() {
+        let n = resolve_serve_circuit("rand_16x300").unwrap();
+        assert_eq!(n.primary_inputs().len(), 16);
+        assert_eq!(resolve_serve_circuit("c17").unwrap().name(), "c17");
     }
 
     #[test]

@@ -16,16 +16,19 @@ fn sn74181_json_is_machine_readable() {
     assert!(out.status.success(), "warnings must not fail the run");
     let s = String::from_utf8(out.stdout).unwrap();
     assert!(
-        s.trim_start().starts_with('{'),
-        "single circuit → bare object"
+        s.starts_with("{\"schema\": \"tessera/1\", \"tool\": \"tessera-lint\", \"payload\": "),
+        "stdout must be one tessera/1 envelope, got: {s}"
     );
     assert!(s.contains("\"design\": \"sn74181\""));
     assert!(s.contains("\"summary\""));
     assert!(s.contains("\"diagnostics\""));
-    // Our renderer never nests quotes, so brace balance is a fair
-    // well-formedness probe.
-    assert_eq!(s.matches('{').count(), s.matches('}').count());
-    assert_eq!(s.matches('[').count(), s.matches(']').count());
+    let doc = dft_json::parse(&s).expect("envelope is well-formed JSON");
+    let payload = doc.get("payload").expect("envelope carries a payload");
+    assert_eq!(
+        payload.get("design").and_then(dft_json::Value::as_str),
+        Some("sn74181"),
+        "single circuit → payload is the bare report object"
+    );
 }
 
 #[test]
@@ -36,9 +39,14 @@ fn multiple_circuits_render_as_a_json_array() {
         .expect("binary runs");
     assert!(out.status.success());
     let s = String::from_utf8(out.stdout).unwrap();
-    assert!(s.trim_start().starts_with('['));
     assert!(s.contains("\"design\": \"c17\""));
     assert!(s.contains("\"design\": \"maj3\""));
+    let doc = dft_json::parse(&s).expect("envelope is well-formed JSON");
+    let payload = doc.get("payload").expect("envelope carries a payload");
+    let reports = payload
+        .as_array()
+        .expect("multiple circuits → array payload");
+    assert_eq!(reports.len(), 2);
 }
 
 #[test]

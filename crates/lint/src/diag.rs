@@ -264,10 +264,11 @@ impl LintReport {
     }
 
     /// Renders the report as a JSON object (machine-readable form of
-    /// [`LintReport::to_text`]; no external dependencies, RFC 8259
-    /// string escaping).
+    /// [`LintReport::to_text`]; string escaping via the shared
+    /// [`dft_json`] primitives, RFC 8259).
     #[must_use]
     pub fn to_json(&self) -> String {
+        use dft_json::escaped as json_string;
         use fmt::Write;
         let mut out = String::new();
         out.push_str("{\n");
@@ -325,28 +326,6 @@ impl LintReport {
         out.push_str("]\n}\n");
         out
     }
-}
-
-/// Encodes `s` as a JSON string literal (quotes included).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                use fmt::Write;
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]
@@ -500,8 +479,74 @@ mod tests {
 
     #[test]
     fn json_strings_are_escaped() {
-        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
-        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
-        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        let mut r = LintReport::new("a\"b\\c");
+        r.push(Diagnostic::new(
+            "dead-logic",
+            Severity::Warning,
+            Category::Testability,
+            GateId::from_index(0),
+            "x\ny and \u{1}",
+        ));
+        let j = r.to_json();
+        assert!(j.contains("\"design\": \"a\\\"b\\\\c\""));
+        assert!(j.contains("\"message\": \"x\\ny and \\u0001\""));
+    }
+
+    /// Byte-identical to the output of the pre-`dft-json` emitter with
+    /// its private escaping helper (captured on c17 before the
+    /// refactor). The pretty layout is this crate's own; only the
+    /// string escaping moved to the shared crate, and neither may
+    /// drift: downstream tooling diffs these reports.
+    #[test]
+    fn json_bytes_match_the_legacy_emitter() {
+        const HINT: &str = "correlated paths can mask faults; \
+                            single-path sensitization arguments do not hold at the meet gate";
+        let mut r = LintReport::new("c17");
+        r.push(
+            Diagnostic::new(
+                "reconvergent-fanout",
+                Severity::Info,
+                Category::Testability,
+                GateId::from_index(2),
+                "fanout branches reconverge at g9",
+            )
+            .with_related(vec![GateId::from_index(9)])
+            .with_hint(HINT),
+        );
+        r.push(
+            Diagnostic::new(
+                "reconvergent-fanout",
+                Severity::Info,
+                Category::Testability,
+                GateId::from_index(6),
+                "fanout branches reconverge at g10",
+            )
+            .with_related(vec![GateId::from_index(10)])
+            .with_hint(HINT),
+        );
+        let golden = concat!(
+            "{\n",
+            "  \"design\": \"c17\",\n",
+            "  \"clean\": true,\n",
+            "  \"summary\": { \"error\": 0, \"warning\": 0, \"info\": 2 },\n",
+            "  \"diagnostics\": [\n",
+            "    { \"rule\": \"reconvergent-fanout\", \"code\": \"DFT-011\", ",
+            "\"severity\": \"info\", \"category\": \"testability\", ",
+            "\"gate\": \"g2\", \"gate_index\": 2, \"related\": [\"g9\"], ",
+            "\"message\": \"fanout branches reconverge at g9\", ",
+            "\"hint\": \"correlated paths can mask faults; single-path ",
+            "sensitization arguments do not hold at the meet gate\", ",
+            "\"fix\": null },\n",
+            "    { \"rule\": \"reconvergent-fanout\", \"code\": \"DFT-011\", ",
+            "\"severity\": \"info\", \"category\": \"testability\", ",
+            "\"gate\": \"g6\", \"gate_index\": 6, \"related\": [\"g10\"], ",
+            "\"message\": \"fanout branches reconverge at g10\", ",
+            "\"hint\": \"correlated paths can mask faults; single-path ",
+            "sensitization arguments do not hold at the meet gate\", ",
+            "\"fix\": null }\n",
+            "  ]\n",
+            "}\n",
+        );
+        assert_eq!(r.to_json(), golden);
     }
 }

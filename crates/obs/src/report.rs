@@ -2,7 +2,8 @@
 //! durations, counters, and gauges.
 
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
+
+use dft_json::{JsonWriter, Style};
 
 /// One span in a recorded run: a named phase with a wall-clock duration,
 /// the counters and gauges flushed while it was the innermost open span,
@@ -64,36 +65,29 @@ impl SpanNode {
         })
     }
 
-    fn write_json(&self, out: &mut String) {
-        out.push('{');
-        out.push_str("\"name\":");
-        write_json_string(out, &self.name);
-        let _ = write!(out, ",\"duration_ns\":{}", self.duration_ns);
-        out.push_str(",\"counters\":{");
-        for (i, (k, v)) in self.counters.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            write_json_string(out, k);
-            let _ = write!(out, ":{v}");
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.kv_string("name", &self.name);
+        w.kv_u64("duration_ns", self.duration_ns);
+        w.key("counters");
+        w.begin_object();
+        for (k, v) in &self.counters {
+            w.kv_u64(k, *v);
         }
-        out.push_str("},\"gauges\":{");
-        for (i, (k, v)) in self.gauges.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            write_json_string(out, k);
-            out.push(':');
-            write_json_f64(out, *v);
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (k, v) in &self.gauges {
+            w.kv_f64(k, *v);
         }
-        out.push_str("},\"children\":[");
-        for (i, c) in self.children.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            c.write_json(out);
+        w.end_object();
+        w.key("children");
+        w.begin_array();
+        for c in &self.children {
+            c.write_json(w);
         }
-        out.push_str("]}");
+        w.end_array();
+        w.end_object();
     }
 }
 
@@ -107,50 +101,26 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Serializes the report to a single-line JSON object. Hand-rolled
-    /// — the workspace has no serde and the schema is small and stable:
+    /// Serializes the report to a single-line JSON object via the
+    /// shared `dft-json` writer (the workspace has no serde). The
+    /// schema is small and stable:
     /// `{"schema":"tessera-obs/1","root":{span...}}` where each span is
     /// `{"name","duration_ns","counters","gauges","children"}`.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(256);
-        out.push_str("{\"schema\":\"tessera-obs/1\",\"root\":");
-        self.root.write_json(&mut out);
-        out.push('}');
-        out
+        let mut w = JsonWriter::new(Style::Compact);
+        w.begin_object();
+        w.kv_string("schema", "tessera-obs/1");
+        w.key("root");
+        self.root.write_json(&mut w);
+        w.end_object();
+        w.finish()
     }
 
     /// Shorthand for `self.root.find(name)`.
     #[must_use]
     pub fn find(&self, name: &str) -> Option<&SpanNode> {
         self.root.find(name)
-    }
-}
-
-fn write_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn write_json_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        let _ = write!(out, "{v}");
-    } else {
-        // JSON has no NaN/Infinity; null is the conventional stand-in.
-        out.push_str("null");
     }
 }
 
@@ -197,6 +167,38 @@ mod tests {
         let json = RunReport { root }.to_json();
         assert!(json.contains("a\\\"b\\\\c\\nd"));
         assert!(json.contains("k\\t"));
+    }
+
+    /// Byte-identical to the output of the pre-`dft-json` hand-rolled
+    /// emitter (captured before the refactor): existing consumers parse
+    /// this wire format with substring extraction, so the bytes are the
+    /// contract.
+    #[test]
+    fn json_bytes_match_the_legacy_emitter() {
+        let mut child = SpanNode::new("fault_sim.serial");
+        for (k, v) in [
+            ("detected", 46u64),
+            ("dropped", 46),
+            ("faults", 46),
+            ("faulty_evals", 46),
+            ("good_evals", 1),
+            ("lane_words", 1),
+            ("patterns", 32),
+        ] {
+            child.counters.insert(k.into(), v);
+        }
+        child.gauges.insert("coverage".into(), 1.0);
+        let mut root = SpanNode::new("golden");
+        root.children.push(child);
+        let json = RunReport { root }.to_json();
+        assert_eq!(
+            json,
+            "{\"schema\":\"tessera-obs/1\",\"root\":{\"name\":\"golden\",\"duration_ns\":0,\
+             \"counters\":{},\"gauges\":{},\"children\":[{\"name\":\"fault_sim.serial\",\
+             \"duration_ns\":0,\"counters\":{\"detected\":46,\"dropped\":46,\"faults\":46,\
+             \"faulty_evals\":46,\"good_evals\":1,\"lane_words\":1,\"patterns\":32},\
+             \"gauges\":{\"coverage\":1},\"children\":[]}]}}"
+        );
     }
 
     #[test]

@@ -169,8 +169,14 @@ fn fmt_f64(v: f64) -> String {
     format!("{v:.6}")
 }
 
+/// Shared RFC 8259 escaping from `dft-json`. Byte-identical to the old
+/// local helper for every legal design name; names carrying control
+/// characters (previously emitted raw, producing invalid JSON) now
+/// escape correctly.
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    dft_json::escape_into(&mut out, s);
+    out
 }
 
 #[cfg(test)]
@@ -242,5 +248,35 @@ mod tests {
     #[test]
     fn json_is_bytewise_stable() {
         assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    /// Byte-identical to the output of the pre-`dft-json` emitter
+    /// (captured before the escaping helper moved to the shared crate).
+    /// `tessera-fix` baselines are diffed bytewise in CI, so the plan
+    /// layout and the fixed `%.6f` float rendering are the contract.
+    #[test]
+    fn json_bytes_match_the_legacy_emitter() {
+        let golden = concat!(
+            "{\n",
+            "  \"schema\": \"tessera-fix/1\",\n",
+            "  \"design\": \"fixture\",\n",
+            "  \"patterns\": 256,\n",
+            "  \"seed\": 1,\n",
+            "  \"baseline\": { \"faults\": 20, \"detected\": 12, \"coverage\": 0.600000 },\n",
+            "  \"final\": { \"faults\": 14, \"detected\": 14, \"coverage\": 1.000000 },\n",
+            "  \"improved\": true,\n",
+            "  \"counters\": { \"expanded\": 5, \"ranked\": 5, \"pruned\": 3, ",
+            "\"verified\": 2, \"accepted\": 1 },\n",
+            "  \"repairs\": [\n",
+            "    { \"round\": 1, \"rule\": \"implication-dead-region\", ",
+            "\"code\": \"DFT-015\", \"edit\": \"fold\", \"target\": \"g6\", ",
+            "\"extra_gates\": -4, \"extra_pins\": 0, \"score\": 40000000, ",
+            "\"before\": { \"faults\": 20, \"detected\": 12, \"coverage\": 0.600000 }, ",
+            "\"after\": { \"faults\": 14, \"detected\": 14, \"coverage\": 1.000000 }, ",
+            "\"saving\": 123.400000, \"hardware\": 0.000000, \"accepted\": true }\n",
+            "  ]\n",
+            "}\n",
+        );
+        assert_eq!(sample().to_json(), golden);
     }
 }

@@ -1,0 +1,281 @@
+//! Concurrent service ≡ some serial order: the daemon's central
+//! consistency contract, checked the same way
+//! `crates/analyze/tests/incremental.rs` checks the cache underneath.
+//!
+//! Each proptest case builds two random designs behind one [`Service`]:
+//! `dut` is only ever read, `tgt` takes a serial stream of ECO writes
+//! while reader threads query both. Because the service serializes all
+//! access to a session behind its `RwLock`, every response must be
+//! explainable by a serial interleaving:
+//!
+//! - reads of the never-edited `dut` must be byte-identical to their
+//!   single-threaded canonical responses, regardless of interleaving;
+//! - reads of the concurrently-edited `tgt` must each match, byte for
+//!   byte, the response at *some* revision of the serial edit history
+//!   (precomputed on a second, single-threaded service);
+//! - after the run, the final `tgt` artifacts (SCOAP, fault sim) must
+//!   be byte-identical both to the serial incremental replay at the
+//!   final revision and to a from-scratch service that applies the
+//!   whole batch before computing anything — incremental ≡ scratch,
+//!   surfaced at the wire level.
+
+use std::sync::Arc;
+
+use dft_netlist::circuits::random_combinational;
+use dft_netlist::Netlist;
+use dft_serve::{encode_response, EcoEdit, LoadError, Request, Response, Service};
+use proptest::prelude::*;
+
+/// A service whose resolver serves exactly the two test netlists.
+fn service_for(dut: &Netlist, tgt: &Netlist) -> Service {
+    let (dut, tgt) = (dut.clone(), tgt.clone());
+    Service::new(Box::new(move |name: &str| match name {
+        "dut" => Ok(dut.clone()),
+        "tgt" => Ok(tgt.clone()),
+        other => Err(LoadError {
+            message: format!("unknown circuit '{other}'"),
+            available: vec!["dut".into(), "tgt".into()],
+        }),
+    }))
+}
+
+fn load(service: &Service, circuit: &str) -> usize {
+    match service.handle(&Request::Load {
+        circuit: circuit.into(),
+    }) {
+        Response::Loaded(info) => info.gates,
+        other => panic!("load {circuit} failed: {other:?}"),
+    }
+}
+
+/// The deterministic ECO stream: append-only gates (always applicable,
+/// never cycle-closing) with inputs drawn from the pre-edit gate range.
+fn edit_stream(gates: usize, count: usize) -> Vec<EcoEdit> {
+    let kinds = ["nand", "nor", "xor", "and"];
+    (0..count)
+        .map(|i| EcoEdit::AddGate {
+            kind: kinds[i % kinds.len()].into(),
+            inputs: vec![(i * 7 + 1) % gates, (i * 11 + 3) % gates],
+        })
+        .collect()
+}
+
+/// The read mix one reader thread issues, derived from its index.
+fn reader_requests(reader: usize, ops: usize, dut_gates: usize) -> Vec<Request> {
+    (0..ops)
+        .map(|i| match (reader + i) % 6 {
+            0 => Request::Scoap {
+                design: "tgt".into(),
+            },
+            1 => Request::FaultSim {
+                design: "tgt".into(),
+                patterns: 64,
+                seed: 1,
+            },
+            2 => Request::Scoap {
+                design: "dut".into(),
+            },
+            3 => Request::Lint {
+                design: "dut".into(),
+            },
+            4 => Request::Podem {
+                design: "dut".into(),
+                gate: (reader * 13 + i * 5) % dut_gates,
+                pin: None,
+                stuck: i % 2 == 0,
+            },
+            _ => Request::Dictionary {
+                design: "dut".into(),
+                patterns: 64,
+                seed: 2,
+            },
+        })
+        .collect()
+}
+
+fn run_case(seed: u64, inputs: usize, gates: usize, readers: usize, ops: usize, edits: usize) {
+    let mut dut = random_combinational(inputs, gates, seed);
+    dut.set_name("dut");
+    let mut tgt = random_combinational(inputs, gates, seed ^ 0xfeed);
+    tgt.set_name("tgt");
+
+    // Serial replay: the edit history's response at every revision.
+    // `serial[r]` maps a request to its canonical encoded response with
+    // r edits applied; revision r == r edits here (all edits apply).
+    let serial_service = service_for(&dut, &tgt);
+    let dut_gates = load(&serial_service, "dut");
+    let tgt_gates = load(&serial_service, "tgt");
+    let stream = edit_stream(tgt_gates, edits);
+    let probes = [
+        Request::Scoap {
+            design: "tgt".into(),
+        },
+        Request::FaultSim {
+            design: "tgt".into(),
+            patterns: 64,
+            seed: 1,
+        },
+    ];
+    let mut serial: Vec<Vec<String>> = Vec::with_capacity(edits + 1);
+    serial.push(
+        probes
+            .iter()
+            .map(|p| encode_response(&serial_service.handle(p)))
+            .collect(),
+    );
+    for edit in &stream {
+        match serial_service.handle(&Request::Eco {
+            design: "tgt".into(),
+            edits: vec![edit.clone()],
+        }) {
+            Response::Eco {
+                applied,
+                incremental,
+                ..
+            } => {
+                assert_eq!(applied, 1, "append-only edits always apply");
+                assert!(
+                    incremental,
+                    "append-only edits stay on the incremental path"
+                );
+            }
+            other => panic!("serial eco failed: {other:?}"),
+        }
+        serial.push(
+            probes
+                .iter()
+                .map(|p| encode_response(&serial_service.handle(p)))
+                .collect(),
+        );
+    }
+    // Canonical responses for the never-edited design.
+    let canonical_dut: Vec<(Request, String)> = (0..readers)
+        .flat_map(|r| reader_requests(r, ops, dut_gates))
+        .filter(|req| !matches!(req, Request::Scoap { design } | Request::FaultSim { design, .. } if design == "tgt"))
+        .map(|req| {
+            let resp = encode_response(&serial_service.handle(&req));
+            (req, resp)
+        })
+        .collect();
+
+    // The concurrent run: one writer thread streams the same edits while
+    // reader threads interleave queries against both designs.
+    let concurrent = Arc::new(service_for(&dut, &tgt));
+    load(&concurrent, "dut");
+    load(&concurrent, "tgt");
+    let observations: Vec<(Request, String)> = std::thread::scope(|scope| {
+        let writer = {
+            let service = Arc::clone(&concurrent);
+            let stream = &stream;
+            scope.spawn(move || {
+                for edit in stream {
+                    let resp = service.handle(&Request::Eco {
+                        design: "tgt".into(),
+                        edits: vec![edit.clone()],
+                    });
+                    match resp {
+                        Response::Eco {
+                            applied,
+                            incremental,
+                            ..
+                        } => {
+                            assert_eq!(applied, 1);
+                            assert!(incremental);
+                        }
+                        other => panic!("concurrent eco failed: {other:?}"),
+                    }
+                }
+            })
+        };
+        let handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let service = Arc::clone(&concurrent);
+                scope.spawn(move || {
+                    reader_requests(r, ops, dut_gates)
+                        .into_iter()
+                        .map(|req| {
+                            let resp = encode_response(&service.handle(&req));
+                            (req, resp)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        writer.join().expect("writer thread");
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader thread"))
+            .collect()
+    });
+
+    for (req, resp) in &observations {
+        let targets_tgt = matches!(
+            req,
+            Request::Scoap { design } | Request::FaultSim { design, .. } if design == "tgt"
+        );
+        if targets_tgt {
+            let probe_idx = usize::from(matches!(req, Request::FaultSim { .. }));
+            assert!(
+                serial.iter().any(|rev| rev[probe_idx] == *resp),
+                "response matches no serial revision for {req:?}: {resp}"
+            );
+        } else {
+            let want = &canonical_dut
+                .iter()
+                .find(|(r, _)| r == req)
+                .expect("every dut request has a canonical response")
+                .1;
+            assert_eq!(resp, want, "read-only design response diverged for {req:?}");
+        }
+    }
+
+    // Final state: concurrent incremental ≡ serial incremental ≡
+    // from-scratch (edits applied before any artifact is computed).
+    let scratch = service_for(&dut, &tgt);
+    load(&scratch, "tgt");
+    match scratch.handle(&Request::Eco {
+        design: "tgt".into(),
+        edits: stream.clone(),
+    }) {
+        Response::Eco { applied, .. } => assert_eq!(applied, edits),
+        other => panic!("scratch eco failed: {other:?}"),
+    }
+    for (i, probe) in probes.iter().enumerate() {
+        let final_concurrent = encode_response(&concurrent.handle(probe));
+        assert_eq!(
+            final_concurrent, serial[edits][i],
+            "final concurrent state diverged from the serial replay"
+        );
+        assert_eq!(
+            final_concurrent,
+            encode_response(&scratch.handle(probe)),
+            "incremental result diverged from from-scratch"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Interleaved reads and ECO writes across threads stay consistent
+    /// with a serial order, and the final cache state is bit-identical
+    /// to from-scratch — all observed at the wire (codec) level.
+    #[test]
+    fn interleaved_reads_and_ecos_serialize(
+        seed in any::<u64>(),
+        inputs in 3usize..=6,
+        gates in 10usize..=40,
+        readers in 2usize..=3,
+        ops in 4usize..=7,
+        edits in 2usize..=5,
+    ) {
+        run_case(seed, inputs, gates, readers, ops, edits);
+    }
+}
+
+#[test]
+fn a_fixed_heavy_interleaving_holds() {
+    // One deterministic, larger instance so the contract is exercised
+    // even under `--test-threads` configurations that starve proptest.
+    run_case(0xD4C1_9821, 6, 60, 4, 10, 6);
+}
