@@ -79,14 +79,25 @@ USAGE:
                   [--atpg-out PATH] [--analysis-out PATH] [--threads N]
                   [--report PATH] [--atpg-baseline PATH]
                   [--fault-sim-baseline PATH]
+                  [--scale SPEC]... [--no-scale] [--bytes-ceiling B]
 
 With --format json the text tables are suppressed and stdout carries one
 tessera/1 envelope whose payload is the fault-sim benchmark JSON,
 byte-identical to what --out writes. The BENCH_*.json artifacts are
 written either way.
 
-EXIT CODES: 0 done, 1 regression (engines disagree, baseline gate or
-equivalence check failed), 2 usage error.";
+--scale SPEC (repeatable) adds an industrial-scale ingest rung: SPEC is
+any circuit the resolver accepts, typically a layered generator spec
+like layered_256x100k. Defaults to the 10^5- and 10^6-gate rungs on a
+full run and to none with --quick. --no-scale suppresses the defaults.
+Scale rungs fault-grade via the streaming collapsed enumerator, verify
+bit-identity against the materialized fault list, and report netlist
+bytes/gate; --bytes-ceiling B fails the run (exit 1) if any scale
+netlist exceeds B bytes/gate.
+
+EXIT CODES: 0 done, 1 regression (engines disagree, baseline gate,
+equivalence, scale-identity or bytes-ceiling check failed), 2 usage
+error.";
 
 struct Config {
     quick: bool,
@@ -98,6 +109,23 @@ struct Config {
     report: Option<String>,
     atpg_baseline: Option<String>,
     fault_sim_baseline: Option<String>,
+    scale: Vec<String>,
+    no_scale: bool,
+    bytes_ceiling: Option<f64>,
+}
+
+impl Config {
+    /// The scale rungs to run: explicit `--scale` specs, else the
+    /// defaults (none under `--quick` or `--no-scale`).
+    fn scale_specs(&self) -> Vec<String> {
+        if !self.scale.is_empty() {
+            return self.scale.clone();
+        }
+        if self.quick || self.no_scale {
+            return Vec::new();
+        }
+        vec!["layered_256x100k".to_owned(), "layered_512x1m".to_owned()]
+    }
 }
 
 fn parse_args() -> Result<Option<Config>, String> {
@@ -111,6 +139,9 @@ fn parse_args() -> Result<Option<Config>, String> {
         report: None,
         atpg_baseline: None,
         fault_sim_baseline: None,
+        scale: Vec::new(),
+        no_scale: false,
+        bytes_ceiling: None,
     };
     let mut args = std::env::args().skip(1);
     let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
@@ -137,6 +168,15 @@ fn parse_args() -> Result<Option<Config>, String> {
             "--atpg-baseline" => cfg.atpg_baseline = Some(value("--atpg-baseline", &mut args)?),
             "--fault-sim-baseline" => {
                 cfg.fault_sim_baseline = Some(value("--fault-sim-baseline", &mut args)?);
+            }
+            "--scale" => cfg.scale.push(value("--scale", &mut args)?),
+            "--no-scale" => cfg.no_scale = true,
+            "--bytes-ceiling" => {
+                let v = value("--bytes-ceiling", &mut args)?;
+                cfg.bytes_ceiling = Some(
+                    v.parse()
+                        .map_err(|_| format!("--bytes-ceiling: '{v}' is not a number"))?,
+                );
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -244,6 +284,105 @@ impl Record {
     }
 }
 
+/// One industrial-scale ingest rung: a 10⁵–10⁶-gate circuit pushed
+/// through the streaming collapsed-fault enumerator and chunked PPSFP,
+/// with the memory-lean core's bytes/gate figure alongside.
+struct ScaleRecord {
+    circuit: String,
+    gates: usize,
+    /// Full stuck-at universe size (streamed, never materialized).
+    universe: usize,
+    /// Equivalence classes after streaming structural collapse.
+    classes: usize,
+    patterns: usize,
+    /// `Netlist::memory_footprint().bytes_per_gate()` — the interned
+    /// SoA core's storage cost.
+    netlist_bytes_per_gate: f64,
+    /// Building `CollapsedUniverse` (fan-out census + union-find).
+    enumerate_seconds: f64,
+    /// Chunked streaming PPSFP over the class representatives.
+    sim_seconds: f64,
+    detected: usize,
+    /// Streamed detection bit-identical to the materialized fault list.
+    identical: bool,
+}
+
+impl ScaleRecord {
+    /// Good-machine-equivalent gate evaluations per second (same
+    /// normalization as [`Record::gates_per_sec`]).
+    fn gates_per_sec(&self) -> f64 {
+        (self.gates as f64 * self.patterns as f64) / self.sim_seconds
+    }
+
+    fn fault_patterns_per_sec(&self) -> f64 {
+        (self.classes as f64 * self.patterns as f64) / self.sim_seconds
+    }
+}
+
+/// Runs the scale rungs. Each spec resolves through the shared circuit
+/// resolver (so `.bench`/`.blif` paths work as well as generator
+/// specs), fault-grades 256 random patterns over the streamed collapsed
+/// universe, and cross-checks the streamed run bit-for-bit against the
+/// same representatives as a materialized list. Streamed rows are also
+/// appended to `records` (engine `ppsfp_streamed`) so the JSON artifact
+/// and the baseline gate see them.
+fn scale_bench(cfg: &Config, records: &mut Vec<Record>) -> Vec<ScaleRecord> {
+    use dft_fault::stream::CollapsedUniverse;
+    let mut out = Vec::new();
+    for spec in cfg.scale_specs() {
+        let netlist = match dft_bench::resolve_circuit(&spec) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("tessera-bench: --scale {spec}: {e}");
+                std::process::exit(ToolExit::Usage as i32);
+            }
+        };
+        let footprint = netlist.memory_footprint();
+        let t = Instant::now();
+        let collapsed = CollapsedUniverse::new(&netlist);
+        let enumerate_seconds = t.elapsed().as_secs_f64().max(1e-9);
+        let patterns = random_patterns(netlist.primary_inputs().len(), 256, 12);
+        let engine = dft_fault::Ppsfp::with_options(
+            &netlist,
+            PpsfpOptions::new()
+                .with_threads(cfg.threads)
+                .with_fault_dropping(true),
+        )
+        .expect("scale circuits are combinational");
+        let t = Instant::now();
+        let streamed = engine.run_streamed(&patterns, collapsed.representatives(), 1 << 16);
+        let sim_seconds = t.elapsed().as_secs_f64().max(1e-9);
+        // Identity check: the same representatives as a materialized
+        // list must detect bit-identically.
+        let reps: Vec<dft_fault::Fault> = collapsed.representatives().collect();
+        let materialized = engine.run(&patterns, &reps);
+        let identical = streamed.first_detected == materialized.first_detected;
+        records.push(Record {
+            circuit: Box::leak(spec.clone().into_boxed_str()),
+            engine: "ppsfp_streamed",
+            gates: netlist.gate_count(),
+            faults: collapsed.class_count(),
+            patterns: patterns.len(),
+            blocks: patterns.block_count(),
+            seconds: sim_seconds,
+            detected: streamed.detected_count(),
+        });
+        out.push(ScaleRecord {
+            circuit: spec,
+            gates: netlist.gate_count(),
+            universe: collapsed.universe().len(),
+            classes: collapsed.class_count(),
+            patterns: patterns.len(),
+            netlist_bytes_per_gate: footprint.bytes_per_gate(),
+            enumerate_seconds,
+            sim_seconds,
+            detected: streamed.detected_count(),
+            identical,
+        });
+    }
+    out
+}
+
 fn time_engine(
     engine: &dyn FaultSimEngine,
     w: &Workload,
@@ -334,6 +473,8 @@ fn main() -> ExitCode {
         }
     }
 
+    let scale = scale_bench(&cfg, &mut records);
+
     if text {
         let rows: Vec<Vec<String>> = records
             .iter()
@@ -361,6 +502,58 @@ fn main() -> ExitCode {
             ],
             &rows,
         );
+        if !scale.is_empty() {
+            let scale_rows: Vec<Vec<String>> = scale
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.circuit.clone(),
+                        r.gates.to_string(),
+                        r.universe.to_string(),
+                        r.classes.to_string(),
+                        format!("{:.1}", r.netlist_bytes_per_gate),
+                        format!("{:.3}", r.enumerate_seconds),
+                        format!("{:.3}", r.sim_seconds),
+                        eng(r.gates_per_sec()),
+                        eng(r.fault_patterns_per_sec()),
+                        r.detected.to_string(),
+                        r.identical.to_string(),
+                    ]
+                })
+                .collect();
+            print_table(
+                "industrial-scale ingest: streamed collapse + chunked ppsfp",
+                &[
+                    "circuit",
+                    "gates",
+                    "universe",
+                    "classes",
+                    "nl_B/gate",
+                    "enum_s",
+                    "sim_s",
+                    "gate/s",
+                    "f*pat/s",
+                    "detected",
+                    "identical",
+                ],
+                &scale_rows,
+            );
+        }
+    }
+    if !scale.iter().all(|r| r.identical) {
+        eprintln!("SCALE REGRESSION: streamed PPSFP diverged from the materialized fault list");
+        std::process::exit(1);
+    }
+    if let Some(ceiling) = cfg.bytes_ceiling {
+        for r in &scale {
+            if r.netlist_bytes_per_gate > ceiling {
+                eprintln!(
+                    "SCALE REGRESSION: {} netlist bytes/gate {:.1} exceeds ceiling {ceiling}",
+                    r.circuit, r.netlist_bytes_per_gate
+                );
+                std::process::exit(1);
+            }
+        }
     }
 
     let curve = coverage_curve(cfg.quick, &ppsfp);
@@ -389,7 +582,7 @@ fn main() -> ExitCode {
         );
     }
 
-    let fault_sim_json = to_json(&records, &speedups, &curve, all_agree, &cfg);
+    let fault_sim_json = to_json(&records, &speedups, &curve, &scale, all_agree, &cfg);
     std::fs::write(&cfg.out, &fault_sim_json).expect("write bench JSON");
 
     let analysis = analysis_bench(cfg.quick);
@@ -1273,6 +1466,7 @@ fn to_json(
     records: &[Record],
     speedups: &[(&'static str, f64)],
     curve: &[(usize, f64)],
+    scale: &[ScaleRecord],
     all_agree: bool,
     cfg: &Config,
 ) -> String {
@@ -1319,6 +1513,30 @@ fn to_json(
             s,
             "    {{\"patterns\": {k}, \"coverage\": {c:.4}}}{}",
             if i + 1 == curve.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"scale\": [\n");
+    for (i, r) in scale.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"circuit\": \"{}\", \"gates\": {}, \"universe\": {}, \"classes\": {}, \
+             \"patterns\": {}, \"netlist_bytes_per_gate\": {:.1}, \"enumerate_seconds\": {:.6}, \
+             \"sim_seconds\": {:.6}, \"gates_per_sec\": {:.1}, \"fault_patterns_per_sec\": {:.1}, \
+             \"detected\": {}, \"identical\": {}}}{}",
+            r.circuit,
+            r.gates,
+            r.universe,
+            r.classes,
+            r.patterns,
+            r.netlist_bytes_per_gate,
+            r.enumerate_seconds,
+            r.sim_seconds,
+            r.gates_per_sec(),
+            r.fault_patterns_per_sec(),
+            r.detected,
+            r.identical,
+            if i + 1 == scale.len() { "" } else { "," }
         );
     }
     s.push_str("  ]\n}\n");

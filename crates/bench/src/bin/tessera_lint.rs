@@ -13,7 +13,7 @@ use std::process::ExitCode;
 
 use dft_bench::cli::{envelope, Format, ToolExit};
 use dft_bench::{circuit_menu, resolve_circuit};
-use dft_lint::{lint_with, LintConfig, LintReport, Registry, SeverityOverrides};
+use dft_lint::{LintConfig, LintReport, Registry, SeverityOverrides};
 use dft_netlist::Netlist;
 use dft_scan::{insert_scan, lint_scan_design, RuleConfig, ScanConfig, ScanStyle};
 
@@ -150,8 +150,18 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
 
 /// Lints one circuit; with `--scan`, the scan groundrule findings are
 /// merged into the same report.
+///
+/// Rules configured `off` are removed from the registry *before* the
+/// run, not filtered out of the report afterwards: the shared analyses
+/// are lazy, so a rule that never executes never forces the (possibly
+/// quadratic) analyses it reads. Silencing the implication-backed rules
+/// is what makes linting 10⁵-gate netlists tractable.
 fn lint_one(netlist: &Netlist, cli: &Cli) -> Result<LintReport, String> {
-    let mut report = lint_with(netlist, cli.config.clone());
+    let mut registry = Registry::with_default_rules();
+    for rule in cli.overrides.disabled() {
+        registry.disable(rule);
+    }
+    let mut report = registry.run_with(netlist, cli.config.clone());
     if let Some(style) = cli.scan {
         let design = insert_scan(netlist, &ScanConfig::new(style))
             .map_err(|e| format!("{}: scan insertion failed: {e}", netlist.name()))?;

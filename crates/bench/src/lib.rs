@@ -99,28 +99,76 @@ impl From<ResolveError> for String {
 }
 
 /// Resolves a target circuit the way every `tessera-*` CLI does: a
-/// built-in menu name first, then a path to a `.bench` netlist file.
+/// built-in menu name first, then a scaled-generator spec, then a path
+/// to a `.bench` or `.blif` netlist file (chosen by extension;
+/// anything that isn't `.blif` goes through the `.bench` parser).
+///
+/// A scaled-generator spec has the shape `layered_<inputs>x<gates>`
+/// with an optional `k`/`m` suffix on the gate count —
+/// `layered_256x100k` is a 100 000-gate, 256-input layered random
+/// circuit (fixed seed, so every tool sees the same netlist). This is
+/// the ingest path for the 10⁵–10⁶-gate benchmarks: no netlist file is
+/// materialized.
 ///
 /// # Errors
 ///
-/// [`ResolveError`] when `name` is neither a menu entry nor a readable,
-/// parseable `.bench` file; for an unrecognized name the error carries
-/// the full menu in `available`.
+/// [`ResolveError`] when `name` is none of the above or loading fails;
+/// for an unrecognized name the error carries the full menu in
+/// `available`.
 pub fn resolve_circuit(name: &str) -> Result<Netlist, ResolveError> {
     if let Some((_, build)) = circuit_menu().into_iter().find(|(n, _)| *n == name) {
         return Ok(build());
     }
+    if let Some(netlist) = resolve_layered_spec(name) {
+        return Ok(netlist);
+    }
     if std::path::Path::new(name).is_file() {
+        let path = std::path::Path::new(name);
         let text = std::fs::read_to_string(name)
             .map_err(|e| ResolveError::load_failed(name, format!("cannot read '{name}': {e}")))?;
-        let stem = std::path::Path::new(name)
+        let stem = path
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("netlist");
-        return bench_format::parse(&text, stem)
-            .map_err(|e| ResolveError::load_failed(name, format!("{name}: {e}")));
+        let is_blif = path
+            .extension()
+            .and_then(|s| s.to_str())
+            .is_some_and(|ext| ext.eq_ignore_ascii_case("blif"));
+        return if is_blif {
+            dft_netlist::blif::parse(&text, stem)
+                .map_err(|e| ResolveError::load_failed(name, format!("{name}: {e}")))
+        } else {
+            bench_format::parse(&text, stem)
+                .map_err(|e| ResolveError::load_failed(name, format!("{name}: {e}")))
+        };
     }
     Err(ResolveError::unknown(name))
+}
+
+/// Parses a `layered_<inputs>x<gates>[k|m]` scaled-generator spec into
+/// a deterministic (seed 42) layered random circuit named after the
+/// spec itself.
+fn resolve_layered_spec(name: &str) -> Option<Netlist> {
+    let rest = name.strip_prefix("layered_")?;
+    let (inputs, gates) = rest.split_once('x')?;
+    let inputs: usize = inputs.parse().ok()?;
+    let gates = parse_scaled_count(gates)?;
+    if inputs == 0 || gates == 0 {
+        return None;
+    }
+    let mut netlist = circuits::layered_random(inputs, gates, 42);
+    netlist.set_name(name);
+    Some(netlist)
+}
+
+/// Parses a count with an optional `k` (×10³) or `m` (×10⁶) suffix.
+fn parse_scaled_count(s: &str) -> Option<usize> {
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 1_000),
+        b'm' | b'M' => (&s[..s.len() - 1], 1_000_000),
+        _ => (s, 1),
+    };
+    digits.parse::<usize>().ok()?.checked_mul(mult)
 }
 
 /// The benchmark-roster random circuits (`rand_<inputs>x<gates>`) with
@@ -260,6 +308,36 @@ mod tests {
             circuits::c17().primary_inputs().len()
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resolve_circuit_reads_blif_by_extension() {
+        let path = std::env::temp_dir().join("dft_bench_resolve_test.blif");
+        let text = dft_netlist::blif::write_blif(&circuits::c17());
+        std::fs::write(&path, text).unwrap();
+        let parsed = resolve_circuit(path.to_str().unwrap()).unwrap();
+        assert_eq!(parsed.name(), "c17", ".model name wins over the stem");
+        assert_eq!(parsed.gate_count(), circuits::c17().gate_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resolve_circuit_builds_layered_specs() {
+        let n = resolve_circuit("layered_64x10k").unwrap();
+        assert_eq!(n.name(), "layered_64x10k");
+        assert_eq!(n.primary_inputs().len(), 64);
+        assert_eq!(n.logic_gate_count(), 10_000);
+        // Deterministic: the same spec resolves to the same netlist.
+        assert_eq!(n, resolve_circuit("layered_64x10k").unwrap());
+        assert_eq!(
+            resolve_circuit("layered_32x500")
+                .unwrap()
+                .logic_gate_count(),
+            500
+        );
+        for bad in ["layered_x10k", "layered_0x5", "layered_8x", "layered_8x1q"] {
+            assert!(resolve_circuit(bad).is_err(), "{bad} must not resolve");
+        }
     }
 
     #[test]

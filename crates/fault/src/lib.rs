@@ -63,6 +63,7 @@ mod ppsfp;
 mod prefilter;
 mod sequential;
 mod serial;
+pub mod stream;
 mod stuck_open;
 
 pub use collapse::{collapse, dominance_collapse, Collapse, DominanceCollapse};

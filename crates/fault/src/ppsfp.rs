@@ -338,6 +338,71 @@ impl<'n> Ppsfp<'n> {
         result
     }
 
+    /// [`Ppsfp::run`] over a fault *stream*: faults are pulled from the
+    /// iterator in chunks of `chunk_faults` and simulated against a
+    /// baseline computed once, so no full `Vec<Fault>` is ever
+    /// materialized — the working set is one chunk plus the per-fault
+    /// result vector. With a streaming enumerator
+    /// ([`crate::stream::FaultUniverse::iter`] or
+    /// [`crate::stream::CollapsedUniverse::representatives`]) a
+    /// 10⁶-gate netlist fault-grades without the ~10⁷-entry fault list.
+    ///
+    /// Detection is **bit-identical** to [`Ppsfp::run`] on the
+    /// materialized list: faults are independent, dropping is per-fault,
+    /// and results concatenate in stream order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width disagrees with the netlist or
+    /// `chunk_faults == 0`.
+    #[must_use]
+    pub fn run_streamed(
+        &self,
+        patterns: &PatternSet,
+        faults: impl IntoIterator<Item = Fault>,
+        chunk_faults: usize,
+    ) -> DetectionResult {
+        assert!(chunk_faults > 0, "chunk size must be positive");
+        match self
+            .options
+            .lane_width
+            .resolve_words(patterns.block_count())
+        {
+            8 => self.run_streamed_width::<8>(patterns, faults, chunk_faults),
+            4 => self.run_streamed_width::<4>(patterns, faults, chunk_faults),
+            _ => self.run_streamed_width::<1>(patterns, faults, chunk_faults),
+        }
+    }
+
+    /// [`Ppsfp::run_streamed`] monomorphized for one wide-block width.
+    fn run_streamed_width<const W: usize>(
+        &self,
+        patterns: &PatternSet,
+        faults: impl IntoIterator<Item = Fault>,
+        chunk_faults: usize,
+    ) -> DetectionResult {
+        let baseline = self.baseline::<W>(patterns);
+        let dropping = self.options.fault_dropping;
+        let mut faults = faults.into_iter();
+        let mut first_detected: Vec<Option<usize>> = Vec::new();
+        let mut chunk: Vec<Fault> = Vec::with_capacity(chunk_faults);
+        loop {
+            chunk.clear();
+            chunk.extend(faults.by_ref().take(chunk_faults));
+            if chunk.is_empty() {
+                break;
+            }
+            let (detected, _) = self.run_partitioned::<W, _, _>(&chunk, |worker, fault| {
+                worker.detect(fault, &baseline, dropping)
+            });
+            first_detected.extend(detected);
+        }
+        DetectionResult {
+            first_detected,
+            pattern_count: patterns.len(),
+        }
+    }
+
     /// Full-syndrome fault simulation: for every fault, the complete set
     /// of `(pattern, output)` observations it corrupts (no dropping) —
     /// the payload a [`crate::FaultDictionary`] needs.

@@ -114,6 +114,21 @@ impl SeverityOverrides {
         self.entries.len()
     }
 
+    /// The rules configured `off`, by canonical name.
+    ///
+    /// Callers that own the [`Registry`](crate::Registry) should
+    /// [`disable`](crate::Registry::disable) these *before* the run
+    /// rather than rely on [`apply`](Self::apply) filtering the report:
+    /// a disabled rule never executes and never forces the lazy shared
+    /// analyses it would have read, which is the difference between
+    /// linear and quadratic wall-clock on industrial-scale netlists.
+    pub fn disabled(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries
+            .iter()
+            .filter(|(_, a)| matches!(a, Action::Off))
+            .map(|&(rule, _)| rule)
+    }
+
     /// Applies the overrides to a finished report: overridden rules get
     /// their new severity, silenced rules lose their findings, and the
     /// report is re-sorted so exit-code logic (`worst`, `is_clean`)

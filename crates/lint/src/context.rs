@@ -1,5 +1,7 @@
 //! Shared analysis state handed to every rule.
 
+use std::cell::OnceCell;
+
 use dft_analyze::{Dominators, GraphView, XProp, XWitness};
 use dft_implic::ImplicationEngine;
 use dft_netlist::{GateId, Levelization, LevelizeError, Netlist};
@@ -57,48 +59,62 @@ impl Default for LintConfig {
     }
 }
 
-/// Precomputed analyses shared by all rules in one run.
+/// Shared analyses handed to every rule in one run.
 ///
-/// Rules read, never compute: levelization, the fanout map, SCOAP
-/// measures and a constant-propagation pass are done once here. On a
-/// cyclic netlist only the fanout map is available — rules other than
-/// the feedback check bail out gracefully.
+/// Rules read, never compute — but the expensive analyses are computed
+/// *lazily*, on the first rule that asks. Levelization and the fanout
+/// map are cheap and eager; SCOAP, constant propagation, the
+/// X-propagation/dominator framework passes and the implication engine
+/// each materialize once on first access and are shared by every later
+/// rule. A run whose rule set never touches the implication engine
+/// (quadratic in gate count: one learning propagation per literal)
+/// never pays for it — which is what keeps linting 10⁵–10⁶-gate
+/// netlists with the structural/SCOAP rule subset linear. On a cyclic
+/// netlist only the fanout map is available — rules other than the
+/// feedback check bail out gracefully.
 pub struct LintContext<'n> {
     netlist: &'n Netlist,
     config: LintConfig,
     levelization: Result<Levelization, LevelizeError>,
     fanout: Vec<Vec<(GateId, u8)>>,
-    scoap: Option<TestabilityReport>,
-    constants: Option<Vec<Logic>>,
-    xprop: Option<Vec<XWitness>>,
-    dominators: Option<Dominators>,
-    implications: Option<ImplicationEngine<'n>>,
+    scoap: OnceCell<Option<TestabilityReport>>,
+    constants: OnceCell<Option<Vec<Logic>>>,
+    framework: OnceCell<Option<(Vec<XWitness>, Dominators)>>,
+    implications: OnceCell<Option<ImplicationEngine<'n>>>,
 }
 
 impl<'n> LintContext<'n> {
     /// Runs the shared analyses over `netlist`.
     #[must_use]
     pub fn new(netlist: &'n Netlist, config: LintConfig) -> Self {
-        let levelization = netlist.levelize();
-        let fanout = netlist.fanout_map();
-        let scoap = levelization
-            .is_ok()
-            .then(|| dft_testability::analyze(netlist).expect("levelization succeeded"));
-        let constants = levelization
-            .as_ref()
-            .ok()
-            .map(|lv| propagate_constants(netlist, lv));
-        // The framework analyses share one graph view; they need the
-        // finished SCOAP and constant facts as inputs.
-        let (xprop, dominators) = match (&levelization, &scoap, &constants) {
-            (Ok(lv), Some(report), Some(consts)) => {
-                let n = netlist.gate_count();
+        LintContext {
+            netlist,
+            config,
+            levelization: netlist.levelize(),
+            fanout: netlist.fanout_map(),
+            scoap: OnceCell::new(),
+            constants: OnceCell::new(),
+            framework: OnceCell::new(),
+            implications: OnceCell::new(),
+        }
+    }
+
+    /// The framework analyses share one graph view; they need the
+    /// finished SCOAP and constant facts as inputs, so asking for
+    /// either X-propagation or dominators forces both prerequisites.
+    fn framework(&self) -> Option<&(Vec<XWitness>, Dominators)> {
+        self.framework
+            .get_or_init(|| {
+                let lv = self.levelization.as_ref().ok()?;
+                let report = self.scoap()?;
+                let consts = self.constants()?;
+                let n = self.netlist.gate_count();
                 let level: Vec<u32> = (0..n).map(|i| lv.level(GateId::from_index(i))).collect();
-                let is_output = dft_analyze::output_mask(netlist);
+                let is_output = dft_analyze::output_mask(self.netlist);
                 let view = GraphView {
-                    netlist,
+                    netlist: self.netlist,
                     level: &level,
-                    fanout: &fanout,
+                    fanout: &self.fanout,
                     is_output: &is_output,
                 };
                 let cc: Vec<(u32, u32)> = (0..n)
@@ -112,24 +128,9 @@ impl<'n> LintContext<'n> {
                     cc: &cc,
                 };
                 let taint = dft_analyze::solve(&xp, &view, lv.order());
-                (Some(taint), Some(Dominators::compute(&view)))
-            }
-            _ => (None, None),
-        };
-        let implications = levelization
-            .is_ok()
-            .then(|| ImplicationEngine::new(netlist));
-        LintContext {
-            netlist,
-            config,
-            levelization,
-            fanout,
-            scoap,
-            constants,
-            xprop,
-            dominators,
-            implications,
-        }
+                Some((taint, Dominators::compute(&view)))
+            })
+            .as_ref()
     }
 
     /// The netlist under analysis.
@@ -155,42 +156,69 @@ impl<'n> LintContext<'n> {
         &self.fanout
     }
 
-    /// SCOAP measures (`None` on cyclic netlists).
+    /// SCOAP measures (`None` on cyclic netlists). Computed on first
+    /// access, then shared.
     #[must_use]
     pub fn scoap(&self) -> Option<&TestabilityReport> {
-        self.scoap.as_ref()
+        self.scoap
+            .get_or_init(|| {
+                self.levelization.is_ok().then(|| {
+                    dft_testability::analyze(self.netlist).expect("levelization succeeded")
+                })
+            })
+            .as_ref()
     }
 
     /// Per-net constant-propagation values with every primary input and
     /// storage output at X (`None` on cyclic netlists). A known value
     /// here is a value the net holds under *every* input assignment.
+    /// Computed on first access, then shared.
     #[must_use]
     pub fn constants(&self) -> Option<&[Logic]> {
-        self.constants.as_deref()
+        self.constants
+            .get_or_init(|| {
+                self.levelization
+                    .as_ref()
+                    .ok()
+                    .map(|lv| propagate_constants(self.netlist, lv))
+            })
+            .as_deref()
     }
 
     /// Per-net X-propagation witnesses: the uninitializable storage
     /// element whose power-up X can reach the net, if any (`None` on
-    /// cyclic netlists).
+    /// cyclic netlists). Computed on first access, then shared.
     #[must_use]
     pub fn xprop(&self) -> Option<&[XWitness]> {
-        self.xprop.as_deref()
+        self.framework().map(|(taint, _)| taint.as_slice())
     }
 
     /// Structural observability dominators (`None` on cyclic netlists):
     /// which single net funnels every observation path of a region.
+    /// Computed on first access, then shared.
     #[must_use]
     pub fn dominators(&self) -> Option<&Dominators> {
-        self.dominators.as_ref()
+        self.framework().map(|(_, dom)| dom)
     }
 
     /// The static implication engine with SOCRATES-style learned
     /// implications (`None` on cyclic netlists): implied constants that
     /// plain constant propagation misses, unsettable literals, and the
     /// statically-untestable-fault oracle.
+    ///
+    /// This is by far the most expensive shared analysis — one learning
+    /// propagation per literal, quadratic in gate count — so it is only
+    /// built when a rule that reads implications is actually in the
+    /// run's rule set.
     #[must_use]
     pub fn implications(&self) -> Option<&ImplicationEngine<'n>> {
-        self.implications.as_ref()
+        self.implications
+            .get_or_init(|| {
+                self.levelization
+                    .is_ok()
+                    .then(|| ImplicationEngine::new(self.netlist))
+            })
+            .as_ref()
     }
 }
 
@@ -212,7 +240,7 @@ mod tests {
     use dft_netlist::{GateKind, Netlist as NL};
 
     #[test]
-    fn context_precomputes_everything_on_acyclic_designs() {
+    fn context_serves_every_analysis_on_acyclic_designs() {
         let n = c17();
         let ctx = LintContext::new(&n, LintConfig::default());
         assert!(ctx.levelization().is_ok());

@@ -125,17 +125,13 @@ pub fn parse(text: &str, name: impl Into<String>) -> Result<Netlist, ParseBenchE
                 (*n, id)
             }
             Decl::Gate { target, kind, args } => {
-                // Temporarily wire every pin to gate 0 (or to a const we add
-                // first); real sources are patched in pass 2. To keep arity
-                // validation meaningful we pass the right number of args.
-                let placeholder = if netlist.gate_count() == 0 {
-                    netlist.add_const(false)
-                } else {
-                    GateId::from_index(0)
-                };
-                let fake: Vec<GateId> = args.iter().map(|_| placeholder).collect();
+                // Pass 1 only reserves the row (pins self-loop until pass 2
+                // patches in the real sources), so no placeholder source
+                // gate is ever added to the arena — a gate definition may
+                // legally precede the first INPUT line. Arity is still
+                // validated here, with the declaration's line number.
                 let id = netlist
-                    .add_named_gate(*kind, &fake, Some(*target))
+                    .add_pending_gate(*kind, args.len(), Some(target))
                     .map_err(|e| ParseBenchError::new(*lineno, e.to_string()))?;
                 (*target, id)
             }
@@ -182,21 +178,41 @@ fn strip_call<'a>(line: &'a str, kw: &str) -> Option<&'a str> {
     Some(rest.trim())
 }
 
+/// One display name per gate, shared by the `.bench` and BLIF writers:
+/// the gate's own name; else, for an unnamed primary-output driver, the
+/// (first) output name it drives — so marking an anonymous gate as
+/// output `y` round-trips without a phantom alias buffer; else a
+/// synthetic `g<N>`.
+pub(crate) fn display_names(netlist: &Netlist) -> Vec<String> {
+    let mut names: Vec<Option<String>> = netlist
+        .ids()
+        .map(|id| netlist.gate(id).name().map(str::to_owned))
+        .collect();
+    for (gate, po) in netlist.primary_outputs() {
+        let slot = &mut names[gate.index()];
+        if slot.is_none() {
+            *slot = Some(po.clone());
+        }
+    }
+    names
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| n.unwrap_or_else(|| format!("g{i}")))
+        .collect()
+}
+
 /// Serializes a [`Netlist`] to `.bench` text.
 ///
-/// Unnamed gates receive synthetic `g<N>` names. The output parses back
-/// into a structurally identical netlist (gate order may differ).
+/// Unnamed gates receive synthetic `g<N>` names (except unnamed
+/// primary-output drivers, which take their output's name). The output
+/// parses back into a structurally identical netlist (gate order may
+/// differ).
 #[must_use]
 pub fn write(netlist: &Netlist) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# {}", netlist.name());
-    let name_of = |id: GateId| -> String {
-        netlist
-            .gate(id)
-            .name()
-            .map(str::to_owned)
-            .unwrap_or_else(|| format!("g{}", id.index()))
-    };
+    let names = display_names(netlist);
+    let name_of = |id: GateId| -> &str { &names[id.index()] };
     for &pi in netlist.primary_inputs() {
         let _ = writeln!(out, "INPUT({})", name_of(pi));
     }
@@ -208,7 +224,7 @@ pub fn write(netlist: &Netlist) -> String {
         match gate.kind() {
             GateKind::Input => {}
             kind => {
-                let args: Vec<String> = gate.inputs().iter().map(|&src| name_of(src)).collect();
+                let args: Vec<&str> = gate.inputs().iter().map(|&src| name_of(src)).collect();
                 let _ = writeln!(
                     out,
                     "{} = {}({})",
@@ -219,10 +235,11 @@ pub fn write(netlist: &Netlist) -> String {
             }
         }
     }
-    // Alias buffers for outputs whose name differs from the driver's.
+    // Alias buffers for outputs whose name differs from the driver's
+    // (a named driver, or a second output on one driver).
     for (gate, name) in netlist.primary_outputs() {
         let gate_name = name_of(*gate);
-        if &gate_name != name {
+        if gate_name != name {
             let _ = writeln!(out, "{name} = BUF({gate_name})");
         }
     }
@@ -306,6 +323,56 @@ cout = OR(c1, c2)
 
         let text = "y = NOT a\n";
         assert_eq!(parse(text, "t").unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn gate_before_first_input_leaves_no_phantom() {
+        // Regression: pass 1 used to add a placeholder Const0 when a gate
+        // definition preceded the first INPUT line, and never removed it.
+        let n = parse("y = NOT(a)\nINPUT(a)\nOUTPUT(y)\n", "t").unwrap();
+        assert_eq!(n.gate_count(), 2, "exactly NOT + INPUT, no phantom");
+        assert_eq!(n.stats().count(GateKind::Const0), 0);
+        let y = n.find_output("y").unwrap();
+        assert_eq!(n.gate(y).kind(), GateKind::Not);
+        assert_eq!(n.gate(n.gate(y).inputs()[0]).name(), Some("a"));
+        // Same text with the input first parses to an equal netlist.
+        let reordered = parse("INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n", "t").unwrap();
+        assert_eq!(reordered.gate_count(), 2);
+        assert_eq!(n.stats().by_kind, reordered.stats().by_kind);
+    }
+
+    #[test]
+    fn stock_iscas_spellings_parse() {
+        // BUFF and power/ground aliases as found in distribution files.
+        let text = "\
+OUTPUT(y)
+y = BUFF(n1)
+n1 = NAND(a, b, one)
+one = VDD()
+INPUT(a)
+INPUT(b)
+zero = GND()
+OUTPUT(zlow)
+zlow = BUFF(zero)
+";
+        let n = parse(text, "t").unwrap();
+        assert_eq!(n.stats().count(GateKind::Buf), 2);
+        assert_eq!(n.stats().count(GateKind::Const1), 1);
+        assert_eq!(n.stats().count(GateKind::Const0), 1);
+        assert_eq!(n.gate_count(), 7, "no phantom placeholder gates");
+        // The writer re-emits canonical keywords that parse right back.
+        let round = parse(&write(&n), "t").unwrap();
+        assert_eq!(round.stats().by_kind, n.stats().by_kind);
+        assert!(write(&n).contains("BUF("));
+        assert!(!write(&n).contains("BUFF("));
+    }
+
+    #[test]
+    fn write_is_byte_stable_after_one_round_trip() {
+        let n = parse(FULL_ADDER, "fa").unwrap();
+        let t1 = write(&n);
+        let t2 = write(&parse(&t1, "fa").unwrap());
+        assert_eq!(t1, t2);
     }
 
     #[test]

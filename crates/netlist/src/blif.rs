@@ -1,0 +1,959 @@
+//! Reader and writer for the Berkeley Logic Interchange Format (BLIF).
+//!
+//! BLIF is the distribution format of the MCNC/ISCAS benchmark suites
+//! and the native netlist format of SIS/ABC-era logic synthesis — the
+//! files the testability literature actually evaluates on. The subset
+//! understood here is the structural core:
+//!
+//! ```text
+//! .model c17
+//! .inputs 1 2 3 6 7
+//! .outputs 22 23
+//! .names 1 3 10
+//! 11 0
+//! .names 3 6 11
+//! 11 0
+//! .names 10 16 22
+//! 11 0
+//! .end
+//! ```
+//!
+//! * `.model`, `.inputs`, `.outputs`, `.end` — interface declarations;
+//! * `.names` — a single-output cover table. Canonical covers are
+//!   recognized directly as [`GateKind`] primitives (for up to 12
+//!   inputs by exact truth-table match, so *any* cover spelling of
+//!   AND/OR/NAND/NOR/XOR/XNOR/BUF/NOT/constants maps to one gate);
+//!   other covers fall back to a NOT/AND/OR decomposition with shared
+//!   inverters;
+//! * `.latch` — a D-type storage element (clock/type/init fields are
+//!   accepted and ignored: the model has one implicit system clock).
+//!
+//! `#` comments and `\` line continuations are handled; definitions may
+//! appear in any order (two-pass resolution, like
+//! [`bench_format`](crate::bench_format)). Errors carry 1-based line
+//! numbers. Unsupported hierarchical constructs (`.subckt`, `.gate`,
+//! `.exdc`, …) are reported, not skipped.
+//!
+//! ```
+//! use dft_netlist::blif;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let text = ".model inv\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n";
+//! let n = blif::parse(text, "fallback")?;
+//! assert_eq!(n.name(), "inv");
+//! assert_eq!(n.gate_count(), 2);
+//! let round_trip = blif::parse(&blif::write_blif(&n), "fallback")?;
+//! assert_eq!(round_trip.gate_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{GateId, GateKind, Netlist, ParseBlifError};
+
+/// One logical (continuation-joined, comment-stripped) line.
+struct Line {
+    lineno: usize,
+    text: String,
+}
+
+/// Joins `\` continuations and strips `#` comments, keeping the first
+/// physical line's number for each logical line.
+fn logical_lines(text: &str) -> Vec<Line> {
+    let mut out: Vec<Line> = Vec::new();
+    let mut pending: Option<Line> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let body = match raw.find('#') {
+            Some(h) => &raw[..h],
+            None => raw,
+        };
+        let (fragment, continues) = match body.trim_end().strip_suffix('\\') {
+            Some(f) => (f, true),
+            None => (body, false),
+        };
+        let line = pending.get_or_insert_with(|| Line {
+            lineno: i + 1,
+            text: String::new(),
+        });
+        line.text.push(' ');
+        line.text.push_str(fragment);
+        if !continues {
+            let done = pending.take().expect("pending line exists");
+            if !done.text.trim().is_empty() {
+                out.push(done);
+            }
+        }
+    }
+    if let Some(done) = pending {
+        if !done.text.trim().is_empty() {
+            out.push(done);
+        }
+    }
+    out
+}
+
+/// What a `.names` cover computes, after analysis.
+enum Cover {
+    /// A single primitive over all declared input signals, in order.
+    Simple(GateKind),
+    /// A constant; declared input signals are ignored.
+    Const(bool),
+    /// General sum-of-products: each cube is `(signal index, positive)`
+    /// literals; `complement` inverts the sum (the cover listed the
+    /// off-set).
+    Sop {
+        cubes: Vec<Vec<(usize, bool)>>,
+        complement: bool,
+    },
+}
+
+/// Analyzes one `.names` cover (`k` input signals, `rows` of
+/// `plane output` text) into a [`Cover`].
+fn analyze_cover(k: usize, rows: &[(usize, String)]) -> Result<Cover, ParseBlifError> {
+    if rows.is_empty() {
+        return Ok(Cover::Const(false));
+    }
+    let mut planes: Vec<&str> = Vec::with_capacity(rows.len());
+    let mut out_value: Option<bool> = None;
+    for (lineno, row) in rows {
+        let mut tokens = row.split_whitespace();
+        let (plane, out) = if k == 0 {
+            ("", tokens.next().unwrap_or(""))
+        } else {
+            let p = tokens.next().unwrap_or("");
+            let o = tokens.next().unwrap_or("");
+            (p, o)
+        };
+        if tokens.next().is_some() {
+            return Err(ParseBlifError::new(*lineno, "too many fields in cover row"));
+        }
+        if plane.len() != k || !plane.bytes().all(|b| matches!(b, b'0' | b'1' | b'-')) {
+            return Err(ParseBlifError::new(
+                *lineno,
+                format!("cover row input plane must be {k} characters of 0/1/-"),
+            ));
+        }
+        let out = match out {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(ParseBlifError::new(
+                    *lineno,
+                    format!("cover row output must be 0 or 1, got {other:?}"),
+                ))
+            }
+        };
+        if *out_value.get_or_insert(out) != out {
+            return Err(ParseBlifError::new(
+                *lineno,
+                "cover mixes on-set and off-set rows",
+            ));
+        }
+        planes.push(plane);
+    }
+    let on = out_value.expect("rows is non-empty");
+
+    // A row with no care literals covers everything: the function is
+    // constant regardless of the other rows.
+    if planes.iter().any(|p| p.bytes().all(|b| b == b'-')) {
+        return Ok(Cover::Const(on));
+    }
+
+    // Exact recognition by truth table for small fan-in: any spelling of
+    // a primitive collapses to one gate.
+    if k <= 12 {
+        let covered = |m: usize| {
+            planes.iter().any(|p| {
+                p.bytes().enumerate().all(|(i, b)| match b {
+                    b'-' => true,
+                    b'0' => m >> i & 1 == 0,
+                    _ => m >> i & 1 == 1,
+                })
+            })
+        };
+        let f: Vec<bool> = (0..1usize << k).map(|m| covered(m) == on).collect();
+        if f.iter().all(|&v| !v) {
+            return Ok(Cover::Const(false));
+        }
+        if f.iter().all(|&v| v) {
+            return Ok(Cover::Const(true));
+        }
+        if k == 1 {
+            return Ok(Cover::Simple(if f[1] {
+                GateKind::Buf
+            } else {
+                GateKind::Not
+            }));
+        }
+        for kind in [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            if f.iter().enumerate().all(|(m, &v)| v == truth(kind, m, k)) {
+                return Ok(Cover::Simple(kind));
+            }
+        }
+    }
+
+    let cubes: Vec<Vec<(usize, bool)>> = planes
+        .iter()
+        .map(|p| {
+            p.bytes()
+                .enumerate()
+                .filter(|&(_, b)| b != b'-')
+                .map(|(i, b)| (i, b == b'1'))
+                .collect()
+        })
+        .collect();
+    Ok(Cover::Sop {
+        cubes,
+        complement: !on,
+    })
+}
+
+/// Reference truth table of a wide primitive on minterm `m` over `k`
+/// inputs.
+fn truth(kind: GateKind, m: usize, k: usize) -> bool {
+    let full = (1usize << k) - 1;
+    match kind {
+        GateKind::And => m == full,
+        GateKind::Nand => m != full,
+        GateKind::Or => m != 0,
+        GateKind::Nor => m == 0,
+        GateKind::Xor => m.count_ones() % 2 == 1,
+        GateKind::Xnor => m.count_ones().is_multiple_of(2),
+        _ => unreachable!("only wide primitives are table-matched"),
+    }
+}
+
+/// A pin to patch in pass 2: `gate`'s pin `pin` must be driven by the
+/// signal named `signal` (declared anywhere in the file).
+struct Patch<'a> {
+    lineno: usize,
+    gate: GateId,
+    pin: usize,
+    signal: &'a str,
+}
+
+/// Everything pass 1 accumulates while creating gate rows.
+struct Builder<'a> {
+    netlist: Netlist,
+    by_name: HashMap<&'a str, GateId>,
+    patches: Vec<Patch<'a>>,
+    /// Shared inverters for negative SOP literals, keyed by signal name.
+    inverter_of: HashMap<&'a str, GateId>,
+}
+
+impl<'a> Builder<'a> {
+    /// Adds a pending gate whose pins will be patched to `pins` (signal
+    /// names) in pass 2.
+    fn pend(
+        &mut self,
+        lineno: usize,
+        kind: GateKind,
+        pins: &[&'a str],
+        name: Option<&str>,
+    ) -> Result<GateId, ParseBlifError> {
+        let id = self
+            .netlist
+            .add_pending_gate(kind, pins.len(), name)
+            .map_err(|e| ParseBlifError::new(lineno, e.to_string()))?;
+        for (pin, &signal) in pins.iter().enumerate() {
+            self.patches.push(Patch {
+                lineno,
+                gate: id,
+                pin,
+                signal,
+            });
+        }
+        Ok(id)
+    }
+
+    /// Records `signal` as defined by gate `id`, rejecting redefinition.
+    fn define(&mut self, lineno: usize, signal: &'a str, id: GateId) -> Result<(), ParseBlifError> {
+        if self.by_name.insert(signal, id).is_some() {
+            return Err(ParseBlifError::new(
+                lineno,
+                format!("signal {signal} defined more than once"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The shared inverter of `signal`, created on first use.
+    fn inverter(&mut self, lineno: usize, signal: &'a str) -> Result<GateId, ParseBlifError> {
+        if let Some(&id) = self.inverter_of.get(signal) {
+            return Ok(id);
+        }
+        let id = self.pend(lineno, GateKind::Not, &[signal], None)?;
+        self.inverter_of.insert(signal, id);
+        Ok(id)
+    }
+
+    /// The [`PinSrc`] for one SOP literal: the raw signal for a
+    /// positive literal, the signal's shared inverter for a negative
+    /// one.
+    fn literal_pin(
+        &mut self,
+        lineno: usize,
+        inputs: &[&'a str],
+        (i, positive): (usize, bool),
+    ) -> Result<PinSrc<'a>, ParseBlifError> {
+        if positive {
+            Ok(PinSrc::Signal(inputs[i]))
+        } else {
+            Ok(PinSrc::Gate(self.inverter(lineno, inputs[i])?))
+        }
+    }
+
+    /// Materializes a general SOP cover as a NOT/AND/OR tree whose root
+    /// gate carries the target name, returning the root.
+    fn build_sop(
+        &mut self,
+        lineno: usize,
+        inputs: &[&'a str],
+        target: &str,
+        cubes: &[Vec<(usize, bool)>],
+        complement: bool,
+    ) -> Result<GateId, ParseBlifError> {
+        // Single cube: the cube gate itself is the root, with the root
+        // kind absorbing the complement (AND→NAND, literal→BUF/NOT).
+        if let [cube] = cubes {
+            debug_assert!(!cube.is_empty(), "tautology cubes fold to Cover::Const");
+            if let [(i, positive)] = cube[..] {
+                // Single literal: complement flips its polarity.
+                let kind = if positive != complement {
+                    GateKind::Buf
+                } else {
+                    GateKind::Not
+                };
+                return self.pend(lineno, kind, &[inputs[i]], Some(target));
+            }
+            let pins: Vec<PinSrc<'a>> = cube
+                .iter()
+                .map(|&lit| self.literal_pin(lineno, inputs, lit))
+                .collect::<Result<_, _>>()?;
+            let kind = if complement {
+                GateKind::Nand
+            } else {
+                GateKind::And
+            };
+            return self.gate_over(lineno, kind, pins, Some(target));
+        }
+        // One node per cube (the literal itself, or an AND of them),
+        // then an OR — NOR for an off-set cover — as the named root.
+        let mut cube_nodes: Vec<PinSrc<'a>> = Vec::with_capacity(cubes.len());
+        for cube in cubes {
+            debug_assert!(!cube.is_empty(), "tautology cubes fold to Cover::Const");
+            if let [lit] = cube[..] {
+                cube_nodes.push(self.literal_pin(lineno, inputs, lit)?);
+            } else {
+                let pins: Vec<PinSrc<'a>> = cube
+                    .iter()
+                    .map(|&lit| self.literal_pin(lineno, inputs, lit))
+                    .collect::<Result<_, _>>()?;
+                let id = self.gate_over(lineno, GateKind::And, pins, None)?;
+                cube_nodes.push(PinSrc::Gate(id));
+            }
+        }
+        let kind = if complement {
+            GateKind::Nor
+        } else {
+            GateKind::Or
+        };
+        self.gate_over(lineno, kind, cube_nodes, Some(target))
+    }
+
+    /// Adds a gate of `kind` over mixed signal/gate pins. Signal pins
+    /// become pass-2 patches; gate pins are connected immediately.
+    fn gate_over(
+        &mut self,
+        lineno: usize,
+        kind: GateKind,
+        pins: Vec<PinSrc<'a>>,
+        name: Option<&str>,
+    ) -> Result<GateId, ParseBlifError> {
+        let id = self
+            .netlist
+            .add_pending_gate(kind, pins.len(), name)
+            .map_err(|e| ParseBlifError::new(lineno, e.to_string()))?;
+        for (pin, src) in pins.into_iter().enumerate() {
+            match src {
+                PinSrc::Signal(signal) => self.patches.push(Patch {
+                    lineno,
+                    gate: id,
+                    pin,
+                    signal,
+                }),
+                PinSrc::Gate(src) => self
+                    .netlist
+                    .reconnect_input(id, pin, src)
+                    .map_err(|e| ParseBlifError::new(lineno, e.to_string()))?,
+            }
+        }
+        Ok(id)
+    }
+}
+
+/// A pin source during SOP construction: a named signal (resolved in
+/// pass 2) or an already-created gate.
+enum PinSrc<'a> {
+    Signal(&'a str),
+    Gate(GateId),
+}
+
+/// Parses BLIF text into a [`Netlist`].
+///
+/// The `.model` name, when present, becomes the design name; otherwise
+/// `default_name` is used.
+///
+/// # Errors
+///
+/// Returns [`ParseBlifError`] (with a 1-based line number) on malformed
+/// directives or cover rows, unknown or unsupported constructs,
+/// undefined or multiply-defined signals, and interface violations.
+pub fn parse(text: &str, default_name: impl Into<String>) -> Result<Netlist, ParseBlifError> {
+    let lines = logical_lines(text);
+
+    // Statement scan: directives plus the cover rows attached to the
+    // most recent .names.
+    struct NamesStmt<'a> {
+        lineno: usize,
+        signals: Vec<&'a str>,
+        rows: Vec<(usize, String)>,
+    }
+    let mut model_name: Option<String> = None;
+    let mut input_decls: Vec<(usize, &str)> = Vec::new();
+    let mut output_decls: Vec<(usize, &str)> = Vec::new();
+    let mut latches: Vec<(usize, &str, &str)> = Vec::new();
+    let mut names: Vec<NamesStmt> = Vec::new();
+    let mut open_names = false;
+
+    'lines: for line in &lines {
+        let text = line.text.trim();
+        let lineno = line.lineno;
+        let mut tokens = text.split_whitespace();
+        let head = tokens.next().expect("logical lines are non-empty");
+        if !head.starts_with('.') {
+            if !open_names {
+                return Err(ParseBlifError::new(
+                    lineno,
+                    format!("expected a '.' directive, got {head:?}"),
+                ));
+            }
+            names
+                .last_mut()
+                .expect("open_names implies a names statement")
+                .rows
+                .push((lineno, text.to_owned()));
+            continue;
+        }
+        open_names = false;
+        match head {
+            ".model" => {
+                let name = tokens.next().unwrap_or("").to_owned();
+                if model_name.replace(name).is_some() {
+                    return Err(ParseBlifError::new(
+                        lineno,
+                        "multiple .model declarations (hierarchy is not supported)",
+                    ));
+                }
+            }
+            ".inputs" => input_decls.extend(tokens.map(|t| (lineno, t))),
+            ".outputs" => output_decls.extend(tokens.map(|t| (lineno, t))),
+            ".names" => {
+                let signals: Vec<&str> = tokens.collect();
+                if signals.is_empty() {
+                    return Err(ParseBlifError::new(
+                        lineno,
+                        ".names needs at least an output signal",
+                    ));
+                }
+                names.push(NamesStmt {
+                    lineno,
+                    signals,
+                    rows: Vec::new(),
+                });
+                open_names = true;
+            }
+            ".latch" => match (tokens.next(), tokens.next()) {
+                // Trailing type/control/init-value fields are accepted
+                // and ignored: the model has one implicit system clock.
+                (Some(d), Some(q)) => latches.push((lineno, d, q)),
+                _ => {
+                    return Err(ParseBlifError::new(
+                        lineno,
+                        ".latch needs an input and an output signal",
+                    ))
+                }
+            },
+            ".end" => break 'lines,
+            ".subckt" | ".gate" | ".mlatch" | ".exdc" | ".search" => {
+                return Err(ParseBlifError::new(
+                    lineno,
+                    format!("unsupported BLIF construct {head} (flat single-model files only)"),
+                ))
+            }
+            other => {
+                return Err(ParseBlifError::new(
+                    lineno,
+                    format!("unknown BLIF directive {other}"),
+                ))
+            }
+        }
+    }
+
+    // Pass 1: create every gate row (pins self-looped), recording pin
+    // patches; pass 2 resolves signal names once everything is declared.
+    let design_name = match model_name {
+        Some(m) if !m.is_empty() => m,
+        _ => default_name.into(),
+    };
+    let mut b = Builder {
+        netlist: Netlist::new(design_name),
+        by_name: HashMap::new(),
+        patches: Vec::new(),
+        inverter_of: HashMap::new(),
+    };
+
+    for &(lineno, name) in &input_decls {
+        let id = b
+            .netlist
+            .try_add_input(name)
+            .map_err(|e| ParseBlifError::new(lineno, e.to_string()))?;
+        b.define(lineno, name, id)?;
+    }
+    for &(lineno, d, q) in &latches {
+        let id = b.pend(lineno, GateKind::Dff, &[d], Some(q))?;
+        b.define(lineno, q, id)?;
+    }
+    for stmt in &names {
+        let (inputs, target) = stmt.signals.split_at(stmt.signals.len() - 1);
+        let target = target[0];
+        let lineno = stmt.lineno;
+        let id = match analyze_cover(inputs.len(), &stmt.rows)? {
+            Cover::Const(v) => {
+                let kind = if v {
+                    GateKind::Const1
+                } else {
+                    GateKind::Const0
+                };
+                b.pend(lineno, kind, &[], Some(target))?
+            }
+            Cover::Simple(kind) => b.pend(lineno, kind, inputs, Some(target))?,
+            Cover::Sop { cubes, complement } => {
+                b.build_sop(lineno, inputs, target, &cubes, complement)?
+            }
+        };
+        b.define(lineno, target, id)?;
+    }
+
+    // Pass 2: connect real sources.
+    let Builder {
+        mut netlist,
+        by_name,
+        patches,
+        ..
+    } = b;
+    for p in &patches {
+        let src = *by_name.get(p.signal).ok_or_else(|| {
+            ParseBlifError::new(p.lineno, format!("undefined signal {}", p.signal))
+        })?;
+        netlist
+            .reconnect_input(p.gate, p.pin, src)
+            .map_err(|e| ParseBlifError::new(p.lineno, e.to_string()))?;
+    }
+
+    for &(lineno, out) in &output_decls {
+        let id = *by_name
+            .get(out)
+            .ok_or_else(|| ParseBlifError::new(lineno, format!("undefined output signal {out}")))?;
+        netlist
+            .mark_output(id, out)
+            .map_err(|e| ParseBlifError::new(lineno, e.to_string()))?;
+    }
+
+    Ok(netlist)
+}
+
+/// Serializes a [`Netlist`] to BLIF text.
+///
+/// Every primitive is emitted as its canonical minimum-row cover (e.g.
+/// NAND as a single off-set row), latches as `.latch` lines, and
+/// primary outputs whose name differs from their driver's as `1 1`
+/// buffer tables. Unnamed gates receive synthetic `g<N>` names. The
+/// output parses back into a structurally identical netlist, and
+/// re-emission after one round trip is byte-stable.
+///
+/// # Panics
+///
+/// Panics if an XOR/XNOR gate has more than 16 inputs (the canonical
+/// parity cover enumerates minterms; structural netlists keep parity
+/// fan-in far below this).
+#[must_use]
+pub fn write_blif(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let names = crate::bench_format::display_names(netlist);
+    let name_of = |id: GateId| -> &str { &names[id.index()] };
+    let _ = writeln!(out, ".model {}", netlist.name());
+    if !netlist.primary_inputs().is_empty() {
+        let pis: Vec<&str> = netlist
+            .primary_inputs()
+            .iter()
+            .map(|&pi| name_of(pi))
+            .collect();
+        let _ = writeln!(out, ".inputs {}", pis.join(" "));
+    }
+    if !netlist.primary_outputs().is_empty() {
+        let pos: Vec<&str> = netlist
+            .primary_outputs()
+            .iter()
+            .map(|(_, n)| n.as_str())
+            .collect();
+        let _ = writeln!(out, ".outputs {}", pos.join(" "));
+    }
+    for (id, gate) in netlist.iter() {
+        if gate.kind() == GateKind::Dff {
+            let _ = writeln!(out, ".latch {} {}", name_of(gate.inputs()[0]), name_of(id));
+        }
+    }
+    for (id, gate) in netlist.iter() {
+        let k = gate.fanin();
+        let header = |out: &mut String| {
+            let args: Vec<&str> = gate.inputs().iter().map(|&src| name_of(src)).collect();
+            if args.is_empty() {
+                let _ = writeln!(out, ".names {}", name_of(id));
+            } else {
+                let _ = writeln!(out, ".names {} {}", args.join(" "), name_of(id));
+            }
+        };
+        match gate.kind() {
+            GateKind::Input | GateKind::Dff => {}
+            GateKind::Const0 => header(&mut out),
+            GateKind::Const1 => {
+                header(&mut out);
+                out.push_str("1\n");
+            }
+            GateKind::Buf => {
+                header(&mut out);
+                out.push_str("1 1\n");
+            }
+            GateKind::Not => {
+                header(&mut out);
+                out.push_str("0 1\n");
+            }
+            GateKind::And => {
+                header(&mut out);
+                let _ = writeln!(out, "{} 1", "1".repeat(k));
+            }
+            GateKind::Nand => {
+                header(&mut out);
+                let _ = writeln!(out, "{} 0", "1".repeat(k));
+            }
+            GateKind::Or => {
+                header(&mut out);
+                let _ = writeln!(out, "{} 0", "0".repeat(k));
+            }
+            GateKind::Nor => {
+                header(&mut out);
+                let _ = writeln!(out, "{} 1", "0".repeat(k));
+            }
+            kind @ (GateKind::Xor | GateKind::Xnor) => {
+                assert!(k <= 16, "parity cover enumeration capped at 16 inputs");
+                header(&mut out);
+                let want = u32::from(kind == GateKind::Xnor);
+                for m in 0..1usize << k {
+                    if m.count_ones() % 2 == want {
+                        continue;
+                    }
+                    // Off-parity minterms for XOR, on-parity for XNOR:
+                    // rows list the ON-set.
+                    let plane: String = (0..k)
+                        .map(|i| if m >> i & 1 == 1 { '1' } else { '0' })
+                        .collect();
+                    let _ = writeln!(out, "{plane} 1");
+                }
+            }
+        }
+    }
+    // Alias tables for outputs whose name differs from the driver's
+    // (a named driver, or a second output on one driver).
+    for (gate, name) in netlist.primary_outputs() {
+        let gate_name = name_of(*gate);
+        if gate_name != name {
+            let _ = writeln!(out, ".names {gate_name} {name}\n1 1");
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bench_format, circuits};
+
+    const C17: &str = "\
+.model c17
+.inputs 1 2 3 6 7
+.outputs 22 23
+.names 1 3 10
+11 0
+.names 3 6 11
+11 0
+.names 2 11 16
+11 0
+.names 11 7 19
+11 0
+.names 10 16 22
+11 0
+.names 16 19 23
+11 0
+.end
+";
+
+    #[test]
+    fn parses_c17_exactly() {
+        let n = parse(C17, "fallback").unwrap();
+        assert_eq!(n.name(), "c17");
+        assert_eq!(n.gate_count(), 11, "5 PIs + 6 NANDs, nothing else");
+        assert_eq!(n.primary_inputs().len(), 5);
+        assert_eq!(n.primary_outputs().len(), 2);
+        assert_eq!(n.stats().count(GateKind::Nand), 6);
+        assert!(n.is_combinational());
+        assert!(n.levelize().is_ok());
+    }
+
+    #[test]
+    fn cover_recognition_maps_primitives() {
+        // Every canonical gate, each in a non-obvious cover spelling.
+        let text = "\
+.model kinds
+.inputs a b c
+.outputs o1 o2 o3 o4 o5 o6 o7 o8
+.names a b o1
+0- 0
+-0 0
+.names a b o2
+00 0
+.names a b c o3
+0-- 1
+-0- 1
+--0 1
+.names a b o4
+00 1
+.names a b o5
+01 1
+10 1
+.names a b o6
+00 1
+11 1
+.names a o7
+0 1
+.names a o8
+1 1
+.end
+";
+        let n = parse(text, "t").unwrap();
+        let kind_of = |name: &str| n.gate(n.find_output(name).unwrap()).kind();
+        assert_eq!(kind_of("o1"), GateKind::And, "off-set DeMorgan AND");
+        assert_eq!(kind_of("o2"), GateKind::Or, "off-set OR");
+        assert_eq!(kind_of("o3"), GateKind::Nand, "on-set DeMorgan NAND");
+        assert_eq!(kind_of("o4"), GateKind::Nor);
+        assert_eq!(kind_of("o5"), GateKind::Xor);
+        assert_eq!(kind_of("o6"), GateKind::Xnor);
+        assert_eq!(kind_of("o7"), GateKind::Not);
+        assert_eq!(kind_of("o8"), GateKind::Buf);
+        // No decomposition happened: one gate per .names.
+        assert_eq!(n.gate_count(), 3 + 8);
+    }
+
+    #[test]
+    fn constants_and_latches_parse() {
+        let text = "\
+.model seq
+.inputs d
+.outputs q one zero
+.latch d q re clk 2
+.names one
+1
+.names zero
+.end
+";
+        let n = parse(text, "t").unwrap();
+        assert_eq!(n.storage_elements().len(), 1);
+        assert_eq!(n.stats().count(GateKind::Const1), 1);
+        assert_eq!(n.stats().count(GateKind::Const0), 1);
+        assert!(!n.is_combinational());
+        let q = n.find_output("q").unwrap();
+        assert_eq!(n.gate(q).kind(), GateKind::Dff);
+        assert_eq!(n.gate(n.gate(q).inputs()[0]).name(), Some("d"));
+    }
+
+    #[test]
+    fn general_covers_decompose_with_shared_inverters() {
+        // f = a·b' + a'·c — not a primitive; needs NOT/AND/OR.
+        let text = "\
+.model sop
+.inputs a b c
+.outputs f
+.names a b c f
+10- 1
+0-1 1
+.end
+";
+        let n = parse(text, "t").unwrap();
+        let f = n.find_output("f").unwrap();
+        assert_eq!(n.gate(f).kind(), GateKind::Or);
+        assert_eq!(n.gate(f).fanin(), 2);
+        // 3 PIs + 2 inverters + 2 ANDs + 1 OR.
+        assert_eq!(n.gate_count(), 8);
+        // Check the function on all 8 minterms via bool eval.
+        let eval = |va: bool, vb: bool, vc: bool| -> bool {
+            let mut vals = vec![false; n.gate_count()];
+            let order = n.levelize().unwrap();
+            for &id in order.order() {
+                let g = n.gate(id);
+                vals[id.index()] = match g.kind() {
+                    GateKind::Input => match g.name() {
+                        Some("a") => va,
+                        Some("b") => vb,
+                        _ => vc,
+                    },
+                    kind => {
+                        let ins: Vec<bool> = g.inputs().iter().map(|&s| vals[s.index()]).collect();
+                        kind.eval_bool(&ins)
+                    }
+                };
+            }
+            vals[f.index()]
+        };
+        for m in 0..8 {
+            let (va, vb, vc) = (m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1);
+            assert_eq!(eval(va, vb, vc), (va && !vb) || (!va && vc), "m={m}");
+        }
+    }
+
+    #[test]
+    fn continuations_and_comments_join() {
+        let text = "\
+.model cont # trailing comment
+.inputs a \\
+   b
+.outputs y
+# full-line comment
+.names a b y
+11 1
+.end
+";
+        let n = parse(text, "t").unwrap();
+        assert_eq!(n.primary_inputs().len(), 2);
+        assert_eq!(n.gate(n.find_output("y").unwrap()).kind(), GateKind::And);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let unsupported = ".model m\n.inputs a\n.subckt sub x=a\n.end\n";
+        let err = parse(unsupported, "t").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains(".subckt"));
+
+        let bad_row = ".model m\n.inputs a b\n.outputs y\n.names a b y\n1x 1\n.end\n";
+        let err = parse(bad_row, "t").unwrap_err();
+        assert_eq!(err.line, 5);
+
+        let mixed = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n";
+        let err = parse(mixed, "t").unwrap_err();
+        assert_eq!(err.line, 6);
+        assert!(err.message.contains("mixes"));
+
+        let undefined = ".model m\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n";
+        let err = parse(undefined, "t").unwrap_err();
+        assert!(err.message.contains("ghost"));
+
+        let duplicate = ".model m\n.inputs a\n.names a y\n1 1\n.names a y\n0 1\n.end\n";
+        let err = parse(duplicate, "t").unwrap_err();
+        assert_eq!(err.line, 5);
+        assert!(err.message.contains("more than once"));
+
+        let stray = ".model m\n.inputs a\n11 1\n.end\n";
+        let err = parse(stray, "t").unwrap_err();
+        assert_eq!(err.line, 3);
+
+        let unknown = ".model m\n.frobnicate\n.end\n";
+        let err = parse(unknown, "t").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn out_of_order_definitions_resolve() {
+        let text = "\
+.model ooo
+.outputs y
+.names p q y
+11 1
+.inputs p q
+.end
+";
+        let n = parse(text, "t").unwrap();
+        let y = n.find_output("y").unwrap();
+        assert_eq!(n.gate(y).kind(), GateKind::And);
+        assert_eq!(n.gate(n.gate(y).inputs()[0]).name(), Some("p"));
+        assert_eq!(n.gate_count(), 3, "no phantom gates");
+    }
+
+    #[test]
+    fn write_round_trips_structurally() {
+        for n in [
+            circuits::c17(),
+            circuits::full_adder(),
+            circuits::binary_counter(4),
+            circuits::random_combinational(8, 60, 3),
+        ] {
+            let text = write_blif(&n);
+            let back = parse(&text, n.name()).unwrap();
+            assert_eq!(back.name(), n.name());
+            assert_eq!(back.primary_inputs().len(), n.primary_inputs().len());
+            assert_eq!(back.primary_outputs().len(), n.primary_outputs().len());
+            assert_eq!(back.storage_elements().len(), n.storage_elements().len());
+            // Structural identity up to writer-added output-alias buffers.
+            for kind in GateKind::ALL {
+                if kind == GateKind::Buf {
+                    assert!(back.stats().count(kind) >= n.stats().count(kind));
+                } else {
+                    assert_eq!(back.stats().count(kind), n.stats().count(kind), "{kind}");
+                }
+            }
+            assert!(back.levelize().is_ok());
+        }
+    }
+
+    #[test]
+    fn write_is_byte_stable_after_one_round_trip() {
+        for n in [
+            circuits::c17(),
+            circuits::binary_counter(4),
+            circuits::random_combinational(8, 60, 3),
+        ] {
+            let t1 = write_blif(&parse(&write_blif(&n), n.name()).unwrap());
+            let t2 = write_blif(&parse(&t1, n.name()).unwrap());
+            assert_eq!(t1, t2);
+        }
+    }
+
+    #[test]
+    fn blif_and_bench_parse_identically() {
+        // The same circuit through both format pipelines lands on the
+        // very same netlist (names, arena order, outputs — everything).
+        let n = circuits::c17();
+        let via_blif = parse(&write_blif(&n), "c17").unwrap();
+        let via_bench = bench_format::parse(&bench_format::write(&n), "c17").unwrap();
+        assert_eq!(via_blif, via_bench);
+    }
+}

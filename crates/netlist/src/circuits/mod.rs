@@ -21,6 +21,6 @@ pub use basic::{
     ripple_carry_adder, wallace_multiplier,
 };
 pub use pla::{random_pattern_resistant_pla, Pla, PlaCube};
-pub use random::{random_combinational, RandomCircuit};
+pub use random::{layered_random, random_combinational, LayeredCircuit, RandomCircuit};
 pub use sequential::{binary_counter, johnson_counter, random_sequential, shift_register};
 pub use sn74181::{sn74181, Sn74181Ports};

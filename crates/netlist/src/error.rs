@@ -107,6 +107,32 @@ impl fmt::Display for ParseBenchError {
 
 impl Error for ParseBenchError {}
 
+/// Errors produced while parsing the BLIF text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBlifError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseBlifError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseBlifError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseBlifError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

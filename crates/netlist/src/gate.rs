@@ -180,9 +180,23 @@ impl GateKind {
     }
 
     /// Parses a `.bench` keyword (case-insensitive) into a gate kind.
+    ///
+    /// Besides the canonical keywords this accepts the spellings found
+    /// in stock benchmark distributions: the ISCAS-85 files write
+    /// buffers as `BUFF` (some tools use `BUFFER`), and tied nets
+    /// appear as power/ground pseudo-gates (`VDD`/`VCC`/`TIE1` for
+    /// constant 1, `GND`/`VSS`/`TIE0` for constant 0). These are
+    /// parse-side aliases only: [`GateKind::keyword`] (and therefore
+    /// every writer) still emits the canonical spelling.
     #[must_use]
     pub fn from_keyword(kw: &str) -> Option<GateKind> {
         let up = kw.to_ascii_uppercase();
+        match up.as_str() {
+            "BUFF" | "BUFFER" => return Some(GateKind::Buf),
+            "VDD" | "VCC" | "TIE1" => return Some(GateKind::Const1),
+            "GND" | "VSS" | "TIE0" => return Some(GateKind::Const0),
+            _ => {}
+        }
         GateKind::ALL.iter().copied().find(|k| k.keyword() == up)
     }
 }
@@ -193,15 +207,23 @@ impl fmt::Display for GateKind {
     }
 }
 
-/// One gate instance inside a [`Netlist`](crate::Netlist).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Gate {
+/// A borrowed view of one gate inside a [`Netlist`](crate::Netlist).
+///
+/// The netlist stores gates struct-of-arrays style (kinds, a shared
+/// edge arena, an interned name arena — see `DESIGN.md` §11), so a
+/// "gate" is not a stored object but a cheap `Copy` view assembled on
+/// access. All accessors return data borrowed from the netlist (`'n`),
+/// so a view obtained from a temporary expression like
+/// `netlist.gate(id).inputs()` stays usable for as long as the netlist
+/// is borrowed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Gate<'n> {
     pub(crate) kind: GateKind,
-    pub(crate) inputs: Vec<GateId>,
-    pub(crate) name: Option<String>,
+    pub(crate) inputs: &'n [GateId],
+    pub(crate) name: Option<&'n str>,
 }
 
-impl Gate {
+impl<'n> Gate<'n> {
     /// The gate's primitive kind.
     #[must_use]
     pub fn kind(&self) -> GateKind {
@@ -210,8 +232,8 @@ impl Gate {
 
     /// The gates driving this gate's input pins, in pin order.
     #[must_use]
-    pub fn inputs(&self) -> &[GateId] {
-        &self.inputs
+    pub fn inputs(&self) -> &'n [GateId] {
+        self.inputs
     }
 
     /// Fan-in count.
@@ -222,8 +244,8 @@ impl Gate {
 
     /// Optional instance name (always present for primary inputs).
     #[must_use]
-    pub fn name(&self) -> Option<&str> {
-        self.name.as_deref()
+    pub fn name(&self) -> Option<&'n str> {
+        self.name
     }
 }
 
@@ -297,5 +319,26 @@ mod tests {
             );
         }
         assert_eq!(GateKind::from_keyword("FROB"), None);
+    }
+
+    #[test]
+    fn distribution_aliases_parse_but_do_not_write() {
+        for (alias, kind) in [
+            ("BUFF", GateKind::Buf),
+            ("buff", GateKind::Buf),
+            ("BUFFER", GateKind::Buf),
+            ("VDD", GateKind::Const1),
+            ("VCC", GateKind::Const1),
+            ("TIE1", GateKind::Const1),
+            ("GND", GateKind::Const0),
+            ("vss", GateKind::Const0),
+            ("TIE0", GateKind::Const0),
+        ] {
+            assert_eq!(GateKind::from_keyword(alias), Some(kind), "{alias}");
+        }
+        // The writer side is untouched: canonical keywords only.
+        assert_eq!(GateKind::Buf.keyword(), "BUF");
+        assert_eq!(GateKind::Const1.keyword(), "CONST1");
+        assert_eq!(GateKind::Const0.keyword(), "CONST0");
     }
 }

@@ -30,9 +30,14 @@
 //! ## Contents
 //!
 //! * [`Netlist`] — arena-based circuit graph with validation, levelization
-//!   and structural statistics.
+//!   and structural statistics. Storage is struct-of-arrays with an
+//!   interned name arena ([`Netlist::memory_footprint`] reports the
+//!   bytes/gate), sized for 10⁵–10⁶-gate industrial netlists.
 //! * [`bench_format`] — a `.bench`-style (ISCAS-85 flavoured) text
 //!   parser/writer so circuits can be stored and exchanged.
+//! * [`blif`] — a Berkeley Logic Interchange Format parser/writer
+//!   (`.model`/`.inputs`/`.outputs`/`.names` cover tables, `.latch`),
+//!   the distribution format of the ISCAS/MCNC benchmark suites.
 //! * [`circuits`] — the benchmark library: ISCAS c17, adders, multipliers,
 //!   parity trees, comparators, decoders, a structural SN74181-style ALU
 //!   (used by the paper's autonomous-testing experiment), PLAs, and seeded
@@ -41,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bench_format;
+pub mod blif;
 pub mod circuits;
 pub mod cones;
 mod error;
@@ -50,8 +56,8 @@ mod level;
 #[allow(clippy::module_inception)]
 mod netlist;
 
-pub use error::{NetlistError, ParseBenchError};
+pub use error::{NetlistError, ParseBenchError, ParseBlifError};
 pub use gate::{Gate, GateKind};
 pub use id::{GateId, Pin, PortRef};
 pub use level::{Levelization, LevelizeError};
-pub use netlist::{Netlist, NetlistStats};
+pub use netlist::{MemoryFootprint, Netlist, NetlistStats};

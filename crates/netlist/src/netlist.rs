@@ -5,6 +5,9 @@ use std::fmt;
 
 use crate::{Gate, GateId, GateKind, Levelization, LevelizeError, NetlistError};
 
+/// Sentinel in the per-gate name-span table for "unnamed".
+const NO_NAME: u32 = u32::MAX;
+
 /// A gate-level logic network.
 ///
 /// Gates live in an append-only arena and are referenced by [`GateId`].
@@ -12,6 +15,14 @@ use crate::{Gate, GateId, GateKind, Levelization, LevelizeError, NetlistError};
 /// are `Input` gates; primary outputs are named references to arbitrary
 /// gates; storage elements are `Dff` gates clocked by an implicit single
 /// system clock (refined by the scan styles in `dft-scan`).
+///
+/// Storage is struct-of-arrays: per-gate kind, edge-span and name-span
+/// tables index into one shared edge arena and one interned name-byte
+/// arena, so a gate costs a handful of flat bytes instead of a
+/// `Vec<GateId>` plus `Option<String>` heap pair. [`Netlist::gate`]
+/// assembles a cheap [`Gate`] view on access; the construction and
+/// query API is unchanged. [`Netlist::memory_footprint`] reports the
+/// resulting bytes/gate.
 ///
 /// ```
 /// use dft_netlist::{Netlist, GateKind};
@@ -27,10 +38,26 @@ use crate::{Gate, GateId, GateKind, Levelization, LevelizeError, NetlistError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Netlist {
     name: String,
-    gates: Vec<Gate>,
+    /// Per-gate primitive kind.
+    kinds: Vec<GateKind>,
+    /// Per-gate start of its input-pin span in `edges`.
+    edge_off: Vec<u32>,
+    /// Per-gate fan-in (length of the span in `edges`).
+    edge_len: Vec<u32>,
+    /// Shared input-pin arena. In-place edits that *grow* a gate's
+    /// fan-in (`replace_gate`) append a fresh span and orphan the old
+    /// one, so `edges.len()` can exceed the live pin count; all queries
+    /// go through the per-gate spans and never see orphaned slots.
+    edges: Vec<GateId>,
+    /// Per-gate start of its name in `name_bytes` (`NO_NAME` = unnamed).
+    name_off: Vec<u32>,
+    /// Per-gate name length in bytes.
+    name_len: Vec<u32>,
+    /// Interned name arena: every gate name's UTF-8 bytes, back to back.
+    name_bytes: Vec<u8>,
     inputs: Vec<GateId>,
     outputs: Vec<(GateId, String)>,
 }
@@ -41,7 +68,13 @@ impl Netlist {
     pub fn new(name: impl Into<String>) -> Self {
         Netlist {
             name: name.into(),
-            gates: Vec::new(),
+            kinds: Vec::new(),
+            edge_off: Vec::new(),
+            edge_len: Vec::new(),
+            edges: Vec::new(),
+            name_off: Vec::new(),
+            name_len: Vec::new(),
+            name_bytes: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
         }
@@ -58,10 +91,53 @@ impl Netlist {
         self.name = name.into();
     }
 
-    fn push(&mut self, gate: Gate) -> GateId {
-        let id = GateId::from_index(self.gates.len());
-        self.gates.push(gate);
+    /// Appends one gate row to the SoA tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an arena index overflows `u32` (a netlist with over
+    /// 4 × 10⁹ pins or name bytes is out of this model's scope).
+    fn push_gate(&mut self, kind: GateKind, inputs: &[GateId], name: Option<&str>) -> GateId {
+        let id = GateId::from_index(self.kinds.len());
+        self.kinds.push(kind);
+        self.edge_off
+            .push(u32::try_from(self.edges.len()).expect("edge arena overflow"));
+        self.edge_len
+            .push(u32::try_from(inputs.len()).expect("edge arena overflow"));
+        self.edges.extend_from_slice(inputs);
+        match name {
+            Some(s) => {
+                self.name_off
+                    .push(u32::try_from(self.name_bytes.len()).expect("name arena overflow"));
+                self.name_len
+                    .push(u32::try_from(s.len()).expect("name arena overflow"));
+                self.name_bytes.extend_from_slice(s.as_bytes());
+            }
+            None => {
+                self.name_off.push(NO_NAME);
+                self.name_len.push(0);
+            }
+        }
         id
+    }
+
+    /// The input-pin span of gate `i` (row index, not a `GateId`).
+    fn gate_inputs(&self, i: usize) -> &[GateId] {
+        let off = self.edge_off[i] as usize;
+        &self.edges[off..off + self.edge_len[i] as usize]
+    }
+
+    /// The interned name of gate `i`, if any.
+    fn gate_name(&self, i: usize) -> Option<&str> {
+        let off = self.name_off[i];
+        if off == NO_NAME {
+            return None;
+        }
+        let off = off as usize;
+        let bytes = &self.name_bytes[off..off + self.name_len[i] as usize];
+        // Spans are only ever created from whole `&str`s, so they sit on
+        // UTF-8 boundaries by construction.
+        Some(std::str::from_utf8(bytes).expect("name arena corrupted"))
     }
 
     /// Adds a primary input with the given name.
@@ -85,30 +161,23 @@ impl Netlist {
         if self
             .inputs
             .iter()
-            .any(|&id| self.gates[id.index()].name.as_deref() == Some(name.as_str()))
+            .any(|&id| self.gate_name(id.index()) == Some(name.as_str()))
         {
             return Err(NetlistError::DuplicateInputName(name));
         }
-        let id = self.push(Gate {
-            kind: GateKind::Input,
-            inputs: Vec::new(),
-            name: Some(name),
-        });
+        let id = self.push_gate(GateKind::Input, &[], Some(&name));
         self.inputs.push(id);
         Ok(id)
     }
 
     /// Adds a constant-0 or constant-1 source gate.
     pub fn add_const(&mut self, value: bool) -> GateId {
-        self.push(Gate {
-            kind: if value {
-                GateKind::Const1
-            } else {
-                GateKind::Const0
-            },
-            inputs: Vec::new(),
-            name: None,
-        })
+        let kind = if value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
+        self.push_gate(kind, &[], None)
     }
 
     /// Adds a logic gate of `kind` driven by `inputs`.
@@ -141,15 +210,33 @@ impl Netlist {
             });
         }
         for &src in inputs {
-            if src.index() >= self.gates.len() {
+            if src.index() >= self.kinds.len() {
                 return Err(NetlistError::UnknownGate(src));
             }
         }
-        Ok(self.push(Gate {
-            kind,
-            inputs: inputs.to_vec(),
-            name: name.map(Into::into),
-        }))
+        let name = name.map(Into::into);
+        Ok(self.push_gate(kind, inputs, name.as_deref()))
+    }
+
+    /// Adds a gate whose input pins all point at the gate itself, to be
+    /// patched afterwards with [`Netlist::reconnect_input`]. Arity is
+    /// validated; sources are trivially in range (the self id). This is
+    /// the two-pass format parsers' pass-1 primitive: it reserves a row
+    /// for a forward-referenced signal without inventing a placeholder
+    /// source gate that would otherwise linger in the arena.
+    pub(crate) fn add_pending_gate(
+        &mut self,
+        kind: GateKind,
+        fanin: usize,
+        name: Option<&str>,
+    ) -> Result<GateId, NetlistError> {
+        let (min, max) = kind.fanin_range();
+        if fanin < min || fanin > max {
+            return Err(NetlistError::BadFanin { kind, got: fanin });
+        }
+        let self_id = GateId::from_index(self.kinds.len());
+        let pins = vec![self_id; fanin];
+        Ok(self.push_gate(kind, &pins, name))
     }
 
     /// Adds a D flip-flop whose data input is `d`.
@@ -176,7 +263,7 @@ impl Netlist {
         gate: GateId,
         name: impl Into<String>,
     ) -> Result<(), NetlistError> {
-        if gate.index() >= self.gates.len() {
+        if gate.index() >= self.kinds.len() {
             return Err(NetlistError::UnknownGate(gate));
         }
         let name = name.into();
@@ -187,7 +274,7 @@ impl Netlist {
         Ok(())
     }
 
-    /// Access a gate by id.
+    /// Access a gate by id, as a cheap borrowed [`Gate`] view.
     ///
     /// Convenience wrapper over [`Netlist::try_gate`] for callers holding
     /// an id obtained from this netlist (construction returns, iteration,
@@ -199,7 +286,7 @@ impl Netlist {
     ///
     /// Panics if `id` is out of range for this netlist.
     #[must_use]
-    pub fn gate(&self, id: GateId) -> &Gate {
+    pub fn gate(&self, id: GateId) -> Gate<'_> {
         self.try_gate(id).expect("gate id out of range")
     }
 
@@ -209,44 +296,42 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::UnknownGate`] if `id` is out of range for
     /// this netlist.
-    pub fn try_gate(&self, id: GateId) -> Result<&Gate, NetlistError> {
-        self.gates
-            .get(id.index())
-            .ok_or(NetlistError::UnknownGate(id))
+    pub fn try_gate(&self, id: GateId) -> Result<Gate<'_>, NetlistError> {
+        let i = id.index();
+        if i >= self.kinds.len() {
+            return Err(NetlistError::UnknownGate(id));
+        }
+        Ok(Gate {
+            kind: self.kinds[i],
+            inputs: self.gate_inputs(i),
+            name: self.gate_name(i),
+        })
     }
 
     /// Number of gates in the arena (including inputs and constants).
     #[must_use]
     pub fn gate_count(&self) -> usize {
-        self.gates.len()
+        self.kinds.len()
     }
 
     /// Number of *logic* gates (excluding primary inputs and constants, but
     /// including storage elements) — the paper's "gate count" N in Eq. (1).
     #[must_use]
     pub fn logic_gate_count(&self) -> usize {
-        self.gates
+        self.kinds
             .iter()
-            .filter(|g| {
-                !matches!(
-                    g.kind,
-                    GateKind::Input | GateKind::Const0 | GateKind::Const1
-                )
-            })
+            .filter(|k| !matches!(k, GateKind::Input | GateKind::Const0 | GateKind::Const1))
             .count()
     }
 
     /// Iterates over `(id, gate)` pairs in arena order.
-    pub fn iter(&self) -> impl Iterator<Item = (GateId, &Gate)> {
-        self.gates
-            .iter()
-            .enumerate()
-            .map(|(i, g)| (GateId::from_index(i), g))
+    pub fn iter(&self) -> impl Iterator<Item = (GateId, Gate<'_>)> + '_ {
+        self.ids().map(move |id| (id, self.gate(id)))
     }
 
     /// All gate ids in arena order.
     pub fn ids(&self) -> impl Iterator<Item = GateId> {
-        (0..self.gates.len()).map(GateId::from_index)
+        (0..self.kinds.len()).map(GateId::from_index)
     }
 
     /// The primary inputs, in declaration order.
@@ -274,7 +359,7 @@ impl Netlist {
     /// Whether the netlist contains no storage elements.
     #[must_use]
     pub fn is_combinational(&self) -> bool {
-        self.gates.iter().all(|g| !g.kind.is_storage())
+        self.kinds.iter().all(|k| !k.is_storage())
     }
 
     /// Looks up a primary input by name.
@@ -283,7 +368,7 @@ impl Netlist {
         self.inputs
             .iter()
             .copied()
-            .find(|&id| self.gates[id.index()].name.as_deref() == Some(name))
+            .find(|&id| self.gate_name(id.index()) == Some(name))
     }
 
     /// Looks up a primary output by name, returning its driving gate.
@@ -312,21 +397,18 @@ impl Netlist {
         pin: usize,
         new_src: GateId,
     ) -> Result<(), NetlistError> {
-        if new_src.index() >= self.gates.len() {
+        if new_src.index() >= self.kinds.len() {
             return Err(NetlistError::UnknownGate(new_src));
         }
-        if gate.index() >= self.gates.len() {
+        if gate.index() >= self.kinds.len() {
             return Err(NetlistError::UnknownGate(gate));
         }
-        let g = &mut self.gates[gate.index()];
-        if pin >= g.inputs.len() {
-            return Err(NetlistError::InvalidPin {
-                gate,
-                pin,
-                fanin: g.inputs.len(),
-            });
+        let i = gate.index();
+        let fanin = self.edge_len[i] as usize;
+        if pin >= fanin {
+            return Err(NetlistError::InvalidPin { gate, pin, fanin });
         }
-        g.inputs[pin] = new_src;
+        self.edges[self.edge_off[i] as usize + pin] = new_src;
         Ok(())
     }
 
@@ -347,20 +429,17 @@ impl Netlist {
     /// input, a constant, or a storage element (sources keep the
     /// interface; storage keeps the state model).
     pub fn replace_with_const(&mut self, id: GateId, value: bool) -> Result<(), NetlistError> {
-        let gate = self.try_gate(id)?;
-        if gate.kind().is_source() || gate.kind().is_storage() {
-            return Err(NetlistError::NotALogicGate {
-                gate: id,
-                kind: gate.kind(),
-            });
+        let kind = self.try_gate(id)?.kind();
+        if kind.is_source() || kind.is_storage() {
+            return Err(NetlistError::NotALogicGate { gate: id, kind });
         }
-        let g = &mut self.gates[id.index()];
-        g.kind = if value {
+        let i = id.index();
+        self.kinds[i] = if value {
             GateKind::Const1
         } else {
             GateKind::Const0
         };
-        g.inputs.clear();
+        self.edge_len[i] = 0;
         Ok(())
     }
 
@@ -390,11 +469,11 @@ impl Netlist {
         kind: GateKind,
         inputs: &[GateId],
     ) -> Result<(), NetlistError> {
-        let gate = self.try_gate(id)?;
-        if gate.kind().is_source() || gate.kind().is_storage() {
+        let old_kind = self.try_gate(id)?.kind();
+        if old_kind.is_source() || old_kind.is_storage() {
             return Err(NetlistError::NotALogicGate {
                 gate: id,
-                kind: gate.kind(),
+                kind: old_kind,
             });
         }
         if kind.is_source() || kind.is_storage() {
@@ -408,13 +487,23 @@ impl Netlist {
             });
         }
         for &src in inputs {
-            if src.index() >= self.gates.len() {
+            if src.index() >= self.kinds.len() {
                 return Err(NetlistError::UnknownGate(src));
             }
         }
-        let g = &mut self.gates[id.index()];
-        g.kind = kind;
-        g.inputs = inputs.to_vec();
+        let i = id.index();
+        self.kinds[i] = kind;
+        let old_len = self.edge_len[i] as usize;
+        if inputs.len() <= old_len {
+            // Shrink or same-size: rewrite the existing span in place.
+            let off = self.edge_off[i] as usize;
+            self.edges[off..off + inputs.len()].copy_from_slice(inputs);
+        } else {
+            // Grow: append a fresh span, orphaning the old slots.
+            self.edge_off[i] = u32::try_from(self.edges.len()).expect("edge arena overflow");
+            self.edges.extend_from_slice(inputs);
+        }
+        self.edge_len[i] = u32::try_from(inputs.len()).expect("edge arena overflow");
         Ok(())
     }
 
@@ -425,9 +514,8 @@ impl Netlist {
     /// for bulk queries build [`Netlist::fanout_map`] once instead.
     #[must_use]
     pub fn fanout_count(&self, id: GateId) -> usize {
-        self.gates
-            .iter()
-            .flat_map(|g| g.inputs.iter())
+        (0..self.kinds.len())
+            .flat_map(|i| self.gate_inputs(i))
             .filter(|&&src| src == id)
             .count()
     }
@@ -436,7 +524,7 @@ impl Netlist {
     /// pairs that consume its output.
     #[must_use]
     pub fn fanout_map(&self) -> Vec<Vec<(GateId, u8)>> {
-        let mut map = vec![Vec::new(); self.gates.len()];
+        let mut map = vec![Vec::new(); self.kinds.len()];
         for (id, gate) in self.iter() {
             for (pin, &src) in gate.inputs.iter().enumerate() {
                 map[src.index()].push((id, pin as u8));
@@ -459,21 +547,71 @@ impl Netlist {
     pub fn stats(&self) -> NetlistStats {
         let mut by_kind = HashMap::new();
         let mut pin_count = 0usize;
-        for g in &self.gates {
-            *by_kind.entry(g.kind).or_insert(0usize) += 1;
-            pin_count += g.inputs.len() + 1; // input pins + output pin
+        for i in 0..self.kinds.len() {
+            *by_kind.entry(self.kinds[i]).or_insert(0usize) += 1;
+            pin_count += self.edge_len[i] as usize + 1; // input pins + output pin
         }
         NetlistStats {
-            gate_count: self.gates.len(),
+            gate_count: self.kinds.len(),
             logic_gate_count: self.logic_gate_count(),
             by_kind,
             pin_count,
             primary_input_count: self.inputs.len(),
             primary_output_count: self.outputs.len(),
-            storage_count: self.gates.iter().filter(|g| g.kind.is_storage()).count(),
+            storage_count: self.kinds.iter().filter(|k| k.is_storage()).count(),
+        }
+    }
+
+    /// The netlist's heap footprint, broken down by arena.
+    ///
+    /// Accounting is by live length (`len × element size`), not reserved
+    /// capacity, so the number is allocation-order independent; orphaned
+    /// edge slots left behind by fan-in-growing [`Netlist::replace_gate`]
+    /// calls *are* counted (they are real bytes). The headline number is
+    /// [`MemoryFootprint::bytes_per_gate`] — the scale benchmarks gate on
+    /// it not regressing.
+    #[must_use]
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        use std::mem::size_of;
+        let gate_bytes = self.kinds.len() * size_of::<GateKind>()
+            + self.edge_off.len() * size_of::<u32>()
+            + self.edge_len.len() * size_of::<u32>()
+            + self.name_off.len() * size_of::<u32>()
+            + self.name_len.len() * size_of::<u32>();
+        let edge_bytes = self.edges.len() * size_of::<GateId>();
+        let name_bytes = self.name_bytes.len();
+        let io_bytes = self.inputs.len() * size_of::<GateId>()
+            + self.outputs.len() * size_of::<(GateId, String)>()
+            + self.outputs.iter().map(|(_, n)| n.len()).sum::<usize>();
+        MemoryFootprint {
+            gate_count: self.kinds.len(),
+            gate_bytes,
+            edge_bytes,
+            name_bytes,
+            io_bytes,
         }
     }
 }
+
+impl PartialEq for Netlist {
+    /// Logical equality: same design name, same per-gate
+    /// (kind, inputs, name) rows, same primary I/O. Orphaned edge spans
+    /// (an artifact of in-place edit history) do not participate, so two
+    /// netlists that answer every query identically compare equal even
+    /// if their edit histories differ.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.kinds == other.kinds
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+            && (0..self.kinds.len()).all(|i| {
+                self.gate_inputs(i) == other.gate_inputs(i)
+                    && self.gate_name(i) == other.gate_name(i)
+            })
+    }
+}
+
+impl Eq for Netlist {}
 
 impl fmt::Display for Netlist {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -481,11 +619,63 @@ impl fmt::Display for Netlist {
             f,
             "{}: {} gates ({} logic, {} storage), {} PIs, {} POs",
             self.name,
-            self.gates.len(),
+            self.kinds.len(),
             self.logic_gate_count(),
-            self.gates.iter().filter(|g| g.kind.is_storage()).count(),
+            self.kinds.iter().filter(|k| k.is_storage()).count(),
             self.inputs.len(),
             self.outputs.len()
+        )
+    }
+}
+
+/// Heap-byte breakdown of a [`Netlist`], as reported by
+/// [`Netlist::memory_footprint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Total arena size (all gates including inputs and constants).
+    pub gate_count: usize,
+    /// Per-gate SoA tables: kind, edge span, name span.
+    pub gate_bytes: usize,
+    /// The shared input-pin arena.
+    pub edge_bytes: usize,
+    /// The interned name arena.
+    pub name_bytes: usize,
+    /// Primary input list and primary output list (including the output
+    /// name strings).
+    pub io_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Total heap bytes across all arenas.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.gate_bytes + self.edge_bytes + self.name_bytes + self.io_bytes
+    }
+
+    /// Heap bytes per arena gate — the scale benchmarks' headline
+    /// memory metric. `0.0` for an empty netlist.
+    #[must_use]
+    pub fn bytes_per_gate(&self) -> f64 {
+        if self.gate_count == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.gate_count as f64
+        }
+    }
+}
+
+impl fmt::Display for MemoryFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates, {} bytes ({:.1} B/gate: {} gate tables, {} edges, {} names, {} io)",
+            self.gate_count,
+            self.total_bytes(),
+            self.bytes_per_gate(),
+            self.gate_bytes,
+            self.edge_bytes,
+            self.name_bytes,
+            self.io_bytes
         )
     }
 }
@@ -716,6 +906,99 @@ mod tests {
         assert!(matches!(
             n.replace_with_const(GateId::from_index(99), false),
             Err(NetlistError::UnknownGate(_))
+        ));
+    }
+
+    #[test]
+    fn replace_gate_grows_and_shrinks_in_place() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        n.mark_output(g, "y").unwrap();
+        // Grow past the original span: appends a fresh span.
+        n.replace_gate(g, GateKind::Or, &[a, b, c]).unwrap();
+        assert_eq!(n.gate(g).kind(), GateKind::Or);
+        assert_eq!(n.gate(g).inputs(), &[a, b, c]);
+        // Shrink back: rewrites in place.
+        n.replace_gate(g, GateKind::Nand, &[c, a]).unwrap();
+        assert_eq!(n.gate(g).inputs(), &[c, a]);
+        assert_eq!(n.gate(g).fanin(), 2);
+        // Fanout queries never see orphaned slots: b is no longer read.
+        assert_eq!(n.fanout_count(b), 0);
+        assert_eq!(n.fanout_count(a), 1);
+    }
+
+    #[test]
+    fn equality_ignores_orphaned_edit_history() {
+        let build = || {
+            let mut n = Netlist::new("t");
+            let a = n.add_input("a");
+            let b = n.add_input("b");
+            let c = n.add_input("c");
+            let g = n.add_gate(GateKind::And, &[a, b, c]).unwrap();
+            n.mark_output(g, "y").unwrap();
+            (n, a, b, c, g)
+        };
+        let plain = build().0;
+        // Same logical content reached via shrink-then-grow edits that
+        // leave an orphaned span behind.
+        let (mut edited, a, b, c, g) = build();
+        edited.replace_gate(g, GateKind::Or, &[a, b]).unwrap();
+        edited.replace_gate(g, GateKind::And, &[a, b, c]).unwrap();
+        assert_eq!(plain, edited);
+        assert_eq!(edited, plain);
+    }
+
+    #[test]
+    fn named_gates_intern_and_resolve() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("sig_a");
+        let g = n
+            .add_named_gate(GateKind::Not, &[a], Some("inv_out"))
+            .unwrap();
+        let h = n.add_gate(GateKind::Buf, &[g]).unwrap();
+        assert_eq!(n.gate(a).name(), Some("sig_a"));
+        assert_eq!(n.gate(g).name(), Some("inv_out"));
+        assert_eq!(n.gate(h).name(), None);
+    }
+
+    #[test]
+    fn memory_footprint_accounts_all_arenas() {
+        let (n, _) = and_net();
+        let fp = n.memory_footprint();
+        assert_eq!(fp.gate_count, 3);
+        // 3 gates × (1 kind + 4×4 span bytes) = 51.
+        assert_eq!(fp.gate_bytes, 3 * 17);
+        // One AND gate with two pins.
+        assert_eq!(fp.edge_bytes, 2 * 4);
+        // Interned "a" + "b".
+        assert_eq!(fp.name_bytes, 2);
+        assert_eq!(
+            fp.total_bytes(),
+            fp.gate_bytes + fp.edge_bytes + fp.name_bytes + fp.io_bytes
+        );
+        assert!(fp.bytes_per_gate() > 0.0);
+        assert_eq!(Netlist::new("e").memory_footprint().bytes_per_gate(), 0.0);
+        // Display mentions the headline metric.
+        assert!(fp.to_string().contains("B/gate"));
+    }
+
+    #[test]
+    fn pending_gates_self_loop_until_patched() {
+        let mut n = Netlist::new("t");
+        let g = n.add_pending_gate(GateKind::And, 2, Some("later")).unwrap();
+        assert_eq!(n.gate(g).inputs(), &[g, g]);
+        assert_eq!(n.gate(g).name(), Some("later"));
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        n.reconnect_input(g, 0, a).unwrap();
+        n.reconnect_input(g, 1, b).unwrap();
+        assert_eq!(n.gate(g).inputs(), &[a, b]);
+        assert!(matches!(
+            n.add_pending_gate(GateKind::Not, 2, None),
+            Err(NetlistError::BadFanin { .. })
         ));
     }
 }

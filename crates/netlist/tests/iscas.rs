@@ -1,0 +1,168 @@
+//! Golden parse tests against checked-in real-format files, plus
+//! cross-format round-trip properties.
+//!
+//! The `.bench` golden is c17 exactly as the ISCAS-85 suite distributed
+//! it (numeric nets, banner comments, out-of-order gate definitions);
+//! the BLIF golden spells the same circuit with two different cover
+//! encodings of NAND. The two files must parse into *identical
+//! structural netlists with no phantom gates* — that is the acceptance
+//! bar for the ingest front end: format quirks may not leak into the
+//! graph the analyses see.
+
+use std::collections::BTreeMap;
+
+use dft_netlist::circuits::random_combinational;
+use dft_netlist::{bench_format, blif, GateKind, Netlist};
+use proptest::prelude::*;
+
+const C17_BENCH: &str = include_str!("data/c17.bench");
+const C17_BLIF: &str = include_str!("data/c17.blif");
+const FANOUT4_BENCH: &str = include_str!("data/fanout4.bench");
+
+/// Name-keyed structural view of a netlist: for every named gate, its
+/// kind, the names of its fanin signals, and whether it drives a
+/// primary output. Two parses of the same circuit must agree on this
+/// map regardless of arena order.
+fn signature(n: &Netlist) -> BTreeMap<String, (GateKind, Vec<String>, bool)> {
+    let is_po: Vec<bool> = {
+        let mut v = vec![false; n.gate_count()];
+        for (id, _) in n.primary_outputs() {
+            v[id.index()] = true;
+        }
+        v
+    };
+    n.iter()
+        .map(|(id, g)| {
+            let name = g.name().expect("golden circuits have no unnamed gates");
+            let fanins = g
+                .inputs()
+                .iter()
+                .map(|&src| {
+                    n.gate(src)
+                        .name()
+                        .expect("golden circuits have no unnamed fanins")
+                        .to_string()
+                })
+                .collect();
+            (name.to_string(), (g.kind(), fanins, is_po[id.index()]))
+        })
+        .collect()
+}
+
+/// No gate the source text never named, no placeholder constants: the
+/// parse must contain exactly the gates the file declares.
+fn assert_phantom_free(n: &Netlist) {
+    for (_, g) in n.iter() {
+        assert!(g.name().is_some(), "parser invented an unnamed gate");
+        assert!(
+            !matches!(g.kind(), GateKind::Const0 | GateKind::Const1),
+            "parser invented a constant placeholder ({:?})",
+            g.name()
+        );
+    }
+}
+
+#[test]
+fn golden_c17_bench_parses_exactly() {
+    let n = bench_format::parse(C17_BENCH, "c17").expect("stock c17.bench must parse");
+    assert_eq!(n.gate_count(), 11, "5 inputs + 6 NANDs");
+    assert_eq!(n.primary_inputs().len(), 5);
+    assert_eq!(n.primary_outputs().len(), 2);
+    assert_phantom_free(&n);
+
+    let sig = signature(&n);
+    assert_eq!(sig["22"].0, GateKind::Nand);
+    assert_eq!(sig["22"].1, vec!["10", "16"]);
+    assert!(sig["22"].2, "22 is a primary output");
+    assert_eq!(sig["11"].1, vec!["3", "6"]);
+    assert!(!sig["11"].2);
+    assert_eq!(
+        sig.values()
+            .filter(|(k, _, _)| *k == GateKind::Nand)
+            .count(),
+        6
+    );
+}
+
+#[test]
+fn golden_c17_blif_matches_bench_structurally() {
+    let from_bench = bench_format::parse(C17_BENCH, "c17").expect("c17.bench parses");
+    let from_blif = blif::parse(C17_BLIF, "c17").expect("c17.blif parses");
+    assert_phantom_free(&from_blif);
+    assert_eq!(from_blif.name(), "c17", ".model name wins");
+    assert_eq!(
+        signature(&from_bench),
+        signature(&from_blif),
+        "the .bench and BLIF spellings of c17 must be the same structural netlist"
+    );
+}
+
+#[test]
+fn golden_fanout4_accepts_vendor_spellings() {
+    let n = bench_format::parse(FANOUT4_BENCH, "fanout4").expect("fanout4.bench parses");
+    let sig = signature(&n);
+    assert_eq!(sig["B1"].0, GateKind::Buf, "BUFF is a buffer");
+    assert_eq!(sig["T1"].0, GateKind::Const1, "VDD() ties high");
+    assert_eq!(sig["T0"].0, GateKind::Const0, "GND() ties low");
+    assert_eq!(sig["Y"].1, vec!["B1", "T1"]);
+    assert_eq!(sig["Z"].1, vec!["B1", "T0"]);
+}
+
+#[test]
+fn golden_c17_round_trips_across_formats() {
+    let n = bench_format::parse(C17_BENCH, "c17").unwrap();
+    let via_blif = blif::parse(&blif::write_blif(&n), "c17").unwrap();
+    assert_eq!(signature(&n), signature(&via_blif));
+
+    let b = blif::parse(C17_BLIF, "c17").unwrap();
+    let via_bench = bench_format::parse(&bench_format::write(&b), "c17").unwrap();
+    assert_eq!(signature(&b), signature(&via_bench));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `.bench` and BLIF emissions of the same netlist re-parse into
+    /// *identical* netlists (full `Netlist` equality, not just the
+    /// name-keyed signature): both writers share the display-name
+    /// assignment and both parsers build gates in declaration order, so
+    /// the arenas must line up gate for gate.
+    #[test]
+    fn formats_agree_on_random_netlists(
+        inputs in 3usize..8,
+        gates in 10usize..90,
+        seed in 0u64..500,
+    ) {
+        let n = random_combinational(inputs, gates, seed);
+        let via_bench = bench_format::parse(&bench_format::write(&n), n.name()).unwrap();
+        let via_blif = blif::parse(&blif::write_blif(&n), n.name()).unwrap();
+        prop_assert_eq!(via_bench, via_blif);
+    }
+
+    /// One round trip reaches a fixed point: re-emitting the reparsed
+    /// netlist is byte-stable in both formats.
+    #[test]
+    fn emission_is_byte_stable_after_one_round_trip(
+        inputs in 3usize..8,
+        gates in 10usize..90,
+        seed in 0u64..500,
+    ) {
+        let n = random_combinational(inputs, gates, seed);
+
+        let bench1 = bench_format::write(&n);
+        let settled = bench_format::parse(&bench1, n.name()).unwrap();
+        let bench2 = bench_format::write(&settled);
+        prop_assert_eq!(
+            &bench2,
+            &bench_format::write(&bench_format::parse(&bench2, n.name()).unwrap())
+        );
+
+        let blif1 = blif::write_blif(&n);
+        let settled = blif::parse(&blif1, n.name()).unwrap();
+        let blif2 = blif::write_blif(&settled);
+        prop_assert_eq!(
+            &blif2,
+            &blif::write_blif(&blif::parse(&blif2, n.name()).unwrap())
+        );
+    }
+}
